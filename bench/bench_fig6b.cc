@@ -1,0 +1,31 @@
+// Figure 6(b): BSDJ query time split by phase — PE (path expansion),
+// SC (statistics collection), FPR (full path recovery).
+#include "bench_common.h"
+
+namespace relgraph {
+namespace bench {
+namespace {
+
+void Run() {
+  Banner("Figure 6(b)", "BSDJ time by phase (PE / SC / FPR), Power graphs",
+         "path expansion dominates; recovery and statistics are minor");
+  BenchEnv env = GetEnv();
+  std::printf("%10s %10s %10s %10s %10s\n", "nodes", "PE_s", "SC_s", "FPR_s",
+              "total_s");
+  const int64_t bases[] = {2000, 4000, 6000, 8000, 10000};
+  for (size_t i = 0; i < 5; i++) {
+    int64_t n = Scaled(bases[i]);
+    EdgeList list = GenerateBarabasiAlbert(n, 2, WeightRange{1, 100}, 100 + i);
+    auto pairs = MakeQueryPairs(n, env.queries, 9200 + i);
+    Workbench wb = Workbench::Make(list, Algorithm::kBSDJ);
+    AvgResult r = RunQueries(wb.finder.get(), pairs);
+    std::printf("%10lld %10.4f %10.4f %10.4f %10.4f\n",
+                static_cast<long long>(n), r.pe_s, r.sc_s, r.fpr_s, r.time_s);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace relgraph
+
+int main() { relgraph::bench::Run(); }

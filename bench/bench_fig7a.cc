@@ -1,0 +1,38 @@
+// Figure 7(a): BSDJ vs BBFS vs BSEG(3) on LiveJournal-like graphs of
+// growing size (the paper sweeps 0.5M-4M nodes; we scale down).
+#include "bench_common.h"
+
+namespace relgraph {
+namespace bench {
+namespace {
+
+void Run() {
+  Banner("Figure 7(a)",
+         "query time vs |V|, LiveJournal stand-in, BSDJ/BBFS/BSEG(3)",
+         "BSEG fastest (~1/3 of BSDJ, ~1/7 of BBFS at the largest size)");
+  BenchEnv env = GetEnv();
+  std::printf("%10s %10s %10s %10s\n", "nodes", "BSDJ_s", "BBFS_s",
+              "BSEG3_s");
+  const int64_t bases[] = {30000, 60000, 120000, 240000};
+  for (size_t i = 0; i < 4; i++) {
+    int64_t n = Scaled(bases[i]);
+    EdgeList list =
+        GenerateBarabasiAlbert(n, 4, WeightRange{1, 100}, 300 + i);
+    auto pairs = MakeQueryPairs(n, env.queries, 9500 + i);
+    SharedGraph sg = SharedGraph::Make(list);
+    auto bsdj = sg.Finder(Algorithm::kBSDJ);
+    AvgResult rs = RunQueries(bsdj.get(), pairs);
+    auto bbfs = sg.Finder(Algorithm::kBBFS);
+    AvgResult rf = RunQueries(bbfs.get(), pairs);
+    auto bseg = sg.Finder(Algorithm::kBSEG, /*lthd=*/3);
+    AvgResult rg = RunQueries(bseg.get(), pairs);
+    std::printf("%10lld %10.3f %10.3f %10.3f\n", static_cast<long long>(n),
+                rs.time_s, rf.time_s, rg.time_s);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace relgraph
+
+int main() { relgraph::bench::Run(); }

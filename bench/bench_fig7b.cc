@@ -1,0 +1,43 @@
+// Figure 7(b): BBFS / BSDJ / BSEG(3,5,7) on Random graphs (the paper
+// sweeps 5M-40M nodes at average degree 3; we scale down).
+#include "bench_common.h"
+
+namespace relgraph {
+namespace bench {
+namespace {
+
+void Run() {
+  Banner("Figure 7(b)",
+         "query time, Random graphs N3d, BBFS/BSDJ/BSEG(3)/BSEG(5)/BSEG(7)",
+         "BSEG variants fastest (~1/2-1/3 of BSDJ); BBFS degrades at scale");
+  BenchEnv env = GetEnv();
+  std::printf("%10s %10s %10s %10s %10s %10s\n", "nodes", "BBFS_s", "BSDJ_s",
+              "BSEG3_s", "BSEG5_s", "BSEG7_s");
+  const int64_t bases[] = {50000, 100000, 200000, 400000};
+  for (size_t i = 0; i < 4; i++) {
+    int64_t n = Scaled(bases[i]);
+    EdgeList list =
+        GenerateRandomGraph(n, 3 * n, WeightRange{1, 100}, 400 + i);
+    auto pairs = MakeQueryPairs(n, env.queries, 9600 + i);
+    SharedGraph sg = SharedGraph::Make(list);
+    auto bbfs = sg.Finder(Algorithm::kBBFS);
+    AvgResult rf = RunQueries(bbfs.get(), pairs);
+    auto bsdj = sg.Finder(Algorithm::kBSDJ);
+    AvgResult rs = RunQueries(bsdj.get(), pairs);
+    double seg_times[3];
+    weight_t lthds[3] = {3, 5, 7};
+    for (int k = 0; k < 3; k++) {
+      auto bseg = sg.Finder(Algorithm::kBSEG, lthds[k]);
+      seg_times[k] = RunQueries(bseg.get(), pairs).time_s;
+    }
+    std::printf("%10lld %10.3f %10.3f %10.3f %10.3f %10.3f\n",
+                static_cast<long long>(n), rf.time_s, rs.time_s, seg_times[0],
+                seg_times[1], seg_times[2]);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace relgraph
+
+int main() { relgraph::bench::Run(); }

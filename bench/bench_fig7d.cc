@@ -1,0 +1,42 @@
+// Figure 7(d): BSEG query time vs lthd on the real-graph stand-ins
+// (GoogleWeb, DBLP) — smaller thresholds suit these graphs.
+#include "bench_common.h"
+
+namespace relgraph {
+namespace bench {
+namespace {
+
+void Run() {
+  Banner("Figure 7(d)", "BSEG time vs lthd, GoogleWeb/DBLP stand-ins",
+         "small lthd (6-8) is best on the real graphs; too-large lthd "
+         "inflates the search space");
+  BenchEnv env = GetEnv();
+  std::printf("%12s %10s %10s %10s %10s %10s\n", "dataset", "lthd=2_s",
+              "lthd=4_s", "lthd=6_s", "lthd=8_s", "lthd=10_s");
+  struct DataSet {
+    const char* name;
+    EdgeList list;
+  };
+  DataSet sets[] = {
+      {"GoogleWeb", MakeGoogleWebStandIn(0.03 * GetEnv().scale, 600)},
+      {"DBLP", MakeDblpStandIn(0.08 * GetEnv().scale, 601)},
+  };
+  const weight_t lthds[] = {2, 4, 6, 8, 10};
+  for (auto& ds : sets) {
+    auto pairs = MakeQueryPairs(ds.list.num_nodes, env.queries, 9900);
+    SharedGraph sg = SharedGraph::Make(ds.list);
+    double times[5];
+    for (int k = 0; k < 5; k++) {
+      auto bseg = sg.Finder(Algorithm::kBSEG, lthds[k]);
+      times[k] = RunQueries(bseg.get(), pairs).time_s;
+    }
+    std::printf("%12s %10.4f %10.4f %10.4f %10.4f %10.4f\n", ds.name,
+                times[0], times[1], times[2], times[3], times[4]);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace relgraph
+
+int main() { relgraph::bench::Run(); }

@@ -1,0 +1,40 @@
+// Figure 8(c): index strategies — NoIndex vs non-clustered Index vs
+// clustered CluIndex on the SegTable and TVisited tables, BSEG(20).
+#include "bench_common.h"
+
+namespace relgraph {
+namespace bench {
+namespace {
+
+void Run() {
+  Banner("Figure 8(c)", "BSEG(20) under NoIndex / Index / CluIndex, Power",
+         "CluIndex best; Index close; NoIndex far slower (joins degrade to "
+         "scans)");
+  BenchEnv env = GetEnv();
+  std::printf("%10s %12s %12s %12s\n", "nodes", "NoIndex_s", "Index_s",
+              "CluIndex_s");
+  const int64_t bases[] = {2000, 5000, 10000};
+  const IndexStrategy strategies[] = {IndexStrategy::kNoIndex,
+                                      IndexStrategy::kIndex,
+                                      IndexStrategy::kCluIndex};
+  for (size_t i = 0; i < 3; i++) {
+    int64_t n = Scaled(bases[i]);
+    EdgeList list =
+        GenerateBarabasiAlbert(n, 2, WeightRange{1, 100}, 900 + i);
+    auto pairs = MakeQueryPairs(n, env.queries, 10200 + i);
+    double times[3];
+    for (int k = 0; k < 3; k++) {
+      Workbench wb = Workbench::Make(list, Algorithm::kBSEG, 20,
+                                     SqlMode::kNsql, strategies[k]);
+      times[k] = RunQueries(wb.finder.get(), pairs).time_s;
+    }
+    std::printf("%10lld %12.4f %12.4f %12.4f\n", static_cast<long long>(n),
+                times[0], times[1], times[2]);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace relgraph
+
+int main() { relgraph::bench::Run(); }

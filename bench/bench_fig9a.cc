@@ -1,0 +1,38 @@
+// Figure 9(a): SegTable index size (encoding number) vs lthd, Power graphs.
+#include "bench_common.h"
+
+namespace relgraph {
+namespace bench {
+namespace {
+
+void Run() {
+  Banner("Figure 9(a)", "SegTable entries vs lthd, Power graphs",
+         "index size grows with both lthd and |V|, roughly linearly in |V|");
+  std::printf("%10s %12s %12s %12s %12s\n", "nodes", "lthd=10", "lthd=20",
+              "lthd=30", "lthd=40");
+  const int64_t bases[] = {5000, 10000, 20000};
+  const weight_t lthds[] = {10, 20, 30, 40};
+  for (size_t i = 0; i < 3; i++) {
+    int64_t n = Scaled(bases[i]);
+    EdgeList list =
+        GenerateBarabasiAlbert(n, 2, WeightRange{1, 100}, 1100 + i);
+    SharedGraph sg = SharedGraph::Make(list);
+    int64_t sizes[4];
+    for (int k = 0; k < 4; k++) {
+      (void)sg.Finder(Algorithm::kBSEG, lthds[k]);
+      const SegTable& st = *sg.segtables.back();
+      sizes[k] = st.num_out_entries() + st.num_in_entries();
+    }
+    std::printf("%10lld %12lld %12lld %12lld %12lld\n",
+                static_cast<long long>(n), static_cast<long long>(sizes[0]),
+                static_cast<long long>(sizes[1]),
+                static_cast<long long>(sizes[2]),
+                static_cast<long long>(sizes[3]));
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace relgraph
+
+int main() { relgraph::bench::Run(); }

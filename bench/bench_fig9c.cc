@@ -1,0 +1,37 @@
+// Figure 9(c): SegTable construction time vs lthd, Power graphs.
+#include "bench_common.h"
+
+namespace relgraph {
+namespace bench {
+namespace {
+
+void Run() {
+  Banner("Figure 9(c)", "SegTable construction time vs lthd, Power graphs",
+         "construction time grows with lthd (longer segments, more "
+         "iterations) and with |V|");
+  std::printf("%10s %12s %12s %12s %12s\n", "nodes", "lthd=10_s",
+              "lthd=20_s", "lthd=30_s", "lthd=40_s");
+  const int64_t bases[] = {5000, 10000, 20000};
+  const weight_t lthds[] = {10, 20, 30, 40};
+  for (size_t i = 0; i < 3; i++) {
+    int64_t n = Scaled(bases[i]);
+    EdgeList list =
+        GenerateBarabasiAlbert(n, 2, WeightRange{1, 100}, 1100 + i);
+    SharedGraph sg = SharedGraph::Make(list);
+    double times[4];
+    for (int k = 0; k < 4; k++) {
+      SegTableBuildStats stats;
+      (void)sg.Finder(Algorithm::kBSEG, lthds[k], SqlMode::kNsql, &stats);
+      times[k] = stats.build_us / 1e6;
+    }
+    std::printf("%10lld %12.3f %12.3f %12.3f %12.3f\n",
+                static_cast<long long>(n), times[0], times[1], times[2],
+                times[3]);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace relgraph
+
+int main() { relgraph::bench::Run(); }

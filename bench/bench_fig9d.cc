@@ -1,0 +1,40 @@
+// Figure 9(d): SegTable construction time vs lthd, real-graph stand-ins.
+#include "bench_common.h"
+
+namespace relgraph {
+namespace bench {
+namespace {
+
+void Run() {
+  Banner("Figure 9(d)",
+         "SegTable construction time vs lthd, GoogleWeb/DBLP stand-ins",
+         "same growth-with-lthd behaviour as on synthetic graphs");
+  std::printf("%12s %10s %10s %10s %10s\n", "dataset", "lthd=2_s",
+              "lthd=4_s", "lthd=6_s", "lthd=8_s");
+  struct DataSet {
+    const char* name;
+    EdgeList list;
+  };
+  DataSet sets[] = {
+      {"GoogleWeb", MakeGoogleWebStandIn(0.03 * GetEnv().scale, 600)},
+      {"DBLP", MakeDblpStandIn(0.08 * GetEnv().scale, 601)},
+  };
+  const weight_t lthds[] = {2, 4, 6, 8};
+  for (auto& ds : sets) {
+    SharedGraph sg = SharedGraph::Make(ds.list);
+    double times[4];
+    for (int k = 0; k < 4; k++) {
+      SegTableBuildStats stats;
+      (void)sg.Finder(Algorithm::kBSEG, lthds[k], SqlMode::kNsql, &stats);
+      times[k] = stats.build_us / 1e6;
+    }
+    std::printf("%12s %10.3f %10.3f %10.3f %10.3f\n", ds.name, times[0],
+                times[1], times[2], times[3]);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace relgraph
+
+int main() { relgraph::bench::Run(); }

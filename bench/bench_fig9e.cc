@@ -1,0 +1,41 @@
+// Figure 9(e): SegTable construction time on the PostgreSQL 9.0 profile
+// (no MERGE -> update+insert in the construction's M-operator).
+#include "bench_common.h"
+
+namespace relgraph {
+namespace bench {
+namespace {
+
+void Run() {
+  Banner("Figure 9(e)",
+         "SegTable construction time vs lthd, PostgreSQL-9.0 profile, Power",
+         "same curve shape as DBMS-X (Fig 9(c)) — the method ports across "
+         "engines");
+  std::printf("%10s %12s %12s %12s\n", "nodes", "lthd=10_s", "lthd=20_s",
+              "lthd=30_s");
+  DatabaseOptions dopts;
+  dopts.profile = EngineProfile::kPostgres90;
+  const int64_t bases[] = {5000, 10000, 20000};
+  const weight_t lthds[] = {10, 20, 30};
+  for (size_t i = 0; i < 3; i++) {
+    int64_t n = Scaled(bases[i]);
+    EdgeList list =
+        GenerateBarabasiAlbert(n, 2, WeightRange{1, 100}, 1100 + i);
+    SharedGraph sg =
+        SharedGraph::Make(list, IndexStrategy::kCluIndex, dopts);
+    double times[3];
+    for (int k = 0; k < 3; k++) {
+      SegTableBuildStats stats;
+      (void)sg.Finder(Algorithm::kBSEG, lthds[k], SqlMode::kNsql, &stats);
+      times[k] = stats.build_us / 1e6;
+    }
+    std::printf("%10lld %12.3f %12.3f %12.3f\n", static_cast<long long>(n),
+                times[0], times[1], times[2]);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace relgraph
+
+int main() { relgraph::bench::Run(); }

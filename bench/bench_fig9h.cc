@@ -1,0 +1,35 @@
+// Figure 9(h): SegTable construction time vs graph scale (LiveJournal
+// stand-in series) — should grow about linearly (the index only encodes
+// local segments).
+#include "bench_common.h"
+
+namespace relgraph {
+namespace bench {
+namespace {
+
+void Run() {
+  Banner("Figure 9(h)",
+         "SegTable(3) construction time vs |V|, LiveJournal stand-in",
+         "near-linear growth in graph size");
+  std::printf("%10s %12s %14s %14s\n", "nodes", "build_s", "entries",
+              "s_per_Mnode");
+  const int64_t bases[] = {30000, 60000, 120000, 240000};
+  for (size_t i = 0; i < 4; i++) {
+    int64_t n = Scaled(bases[i]);
+    EdgeList list =
+        GenerateBarabasiAlbert(n, 4, WeightRange{1, 100}, 1300 + i);
+    Workbench wb = Workbench::Make(list, Algorithm::kBSEG, 3);
+    double s = wb.seg_stats.build_us / 1e6;
+    std::printf("%10lld %12.3f %14lld %14.2f\n", static_cast<long long>(n),
+                s,
+                static_cast<long long>(wb.segtable->num_out_entries() +
+                                       wb.segtable->num_in_entries()),
+                s / (n / 1e6));
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace relgraph
+
+int main() { relgraph::bench::Run(); }

@@ -1,0 +1,122 @@
+// Micro-benchmarks (google-benchmark) for the executor layer: the window
+// function and the MERGE statement — the two "new SQL features" whose cost
+// profile §5.2 (Fig 6(d)) depends on — plus the E-operator's index join.
+#include <benchmark/benchmark.h>
+
+#include "src/catalog/table.h"
+#include "src/exec/dml_executors.h"
+#include "src/exec/join_executors.h"
+#include "src/exec/scan_executors.h"
+#include "src/exec/window_executor.h"
+
+namespace relgraph {
+namespace {
+
+Schema ExpSchema() {
+  return Schema({{"nid", TypeId::kInt}, {"cost", TypeId::kInt},
+                 {"pid", TypeId::kInt}});
+}
+
+std::vector<Tuple> MakeExpansionRows(int64_t n, int64_t dups) {
+  std::vector<Tuple> rows;
+  rows.reserve(n * dups);
+  for (int64_t i = 0; i < n; i++) {
+    for (int64_t d = 0; d < dups; d++) {
+      rows.push_back(
+          Tuple({Value(i), Value((i * 31 + d * 17) % 1000), Value(d)}));
+    }
+  }
+  return rows;
+}
+
+void BM_WindowRowNumberDedup(benchmark::State& state) {
+  auto rows = MakeExpansionRows(state.range(0), 4);
+  for (auto _ : state) {
+    auto src = std::make_unique<MaterializedExecutor>(rows, ExpSchema());
+    WindowRowNumberExecutor window(std::move(src), {"nid"},
+                                   {{Col("cost"), true}});
+    std::vector<Tuple> out;
+    (void)Collect(&window, &out);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(state.iterations() * rows.size());
+}
+BENCHMARK(BM_WindowRowNumberDedup)->Arg(1000)->Arg(10000);
+
+void BM_MergeStatement(benchmark::State& state) {
+  // MERGE of `n` source rows into a target holding half of them already.
+  const int64_t n = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    DiskManager dm;
+    BufferPool pool(4096, &dm);
+    std::unique_ptr<Table> table;
+    (void)Table::Create(&pool, "t",
+                        Schema({{"nid", TypeId::kInt},
+                                {"d2s", TypeId::kInt},
+                                {"p2s", TypeId::kInt}}),
+                        TableOptions{}, &table);
+    (void)table->CreateSecondaryIndex("nid", true);
+    for (int64_t i = 0; i < n / 2; i++) {
+      (void)table->Insert(Tuple({Value(i), Value(int64_t{500}), Value(i)}));
+    }
+    auto rows = MakeExpansionRows(n, 1);
+    state.ResumeTiming();
+
+    MaterializedExecutor source(rows, ExpSchema());
+    MergeSpec spec;
+    spec.target_key_column = "nid";
+    spec.source_key_column = "nid";
+    spec.matched_condition = Cmp(CompareOp::kGt, Col("t.d2s"), Col("s.cost"));
+    spec.matched_sets = {{"d2s", Col("s.cost")}, {"p2s", Col("s.pid")}};
+    spec.insert_values = {Col("nid"), Col("cost"), Col("pid")};
+    int64_t affected;
+    (void)MergeInto(table.get(), &source, spec, &affected);
+    benchmark::DoNotOptimize(affected);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MergeStatement)->Arg(1000)->Arg(10000);
+
+void BM_IndexNestedLoopJoin(benchmark::State& state) {
+  // The E-operator join: a small frontier probing a large clustered edge
+  // table.
+  DiskManager dm;
+  BufferPool pool(8192, &dm);
+  std::unique_ptr<Table> edges;
+  TableOptions topts;
+  topts.storage = TableStorage::kClustered;
+  topts.cluster_key = "fid";
+  (void)Table::Create(&pool, "edges",
+                      Schema({{"fid", TypeId::kInt},
+                              {"tid", TypeId::kInt},
+                              {"cost", TypeId::kInt}}),
+                      topts, &edges);
+  const int64_t n = 100000;
+  for (int64_t i = 0; i < n; i++) {
+    for (int64_t d = 0; d < 3; d++) {
+      (void)edges->Insert(
+          Tuple({Value(i), Value((i + d + 1) % n), Value(d + 1)}));
+    }
+  }
+  std::vector<Tuple> frontier;
+  for (int64_t i = 0; i < 64; i++) {
+    frontier.push_back(Tuple({Value(i * 1000), Value(int64_t{7})}));
+  }
+  Schema fschema({{"nid", TypeId::kInt}, {"d2s", TypeId::kInt}});
+  for (auto _ : state) {
+    auto outer = std::make_unique<MaterializedExecutor>(frontier, fschema);
+    IndexNestedLoopJoinExecutor join(std::move(outer), edges.get(), "fid",
+                                     Col("nid"));
+    std::vector<Tuple> out;
+    (void)Collect(&join, &out);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(state.iterations() * frontier.size());
+}
+BENCHMARK(BM_IndexNestedLoopJoin);
+
+}  // namespace
+}  // namespace relgraph
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// Extension bench (no paper counterpart): the SQL-text client
+// (SqlPathFinder: parse + plan every statement, the paper's literal JDBC
+// regime) versus the native operator-level client (PathFinder) running the
+// same BSDJ algorithm on the same graphs. The gap isolates what the text
+// interface costs on an embedded engine — the overhead the paper's
+// simulated_statement_latency_us knob models for a networked RDBMS.
+#include "bench_common.h"
+#include "src/core/sql_path_finder.h"
+
+namespace relgraph {
+namespace bench {
+namespace {
+
+void Run() {
+  Banner("SQL-client overhead (extension)",
+         "BSDJ via SQL text vs native operator plans, Power graphs",
+         "same expansions and distances; SQL adds parse/plan cost per "
+         "statement");
+  BenchEnv env = GetEnv();
+  std::printf("%10s %12s %12s %8s %12s %12s\n", "nodes", "native_s", "sql_s",
+              "ratio", "native_stmt", "sql_stmt");
+  const int64_t bases[] = {2000, 4000, 8000};
+  for (size_t i = 0; i < 3; i++) {
+    int64_t n = Scaled(bases[i]);
+    EdgeList list = GenerateBarabasiAlbert(n, 2, WeightRange{1, 100}, 300 + i);
+    auto pairs = MakeQueryPairs(n, env.queries, 9300 + i);
+    SharedGraph sg = SharedGraph::Make(list);
+
+    auto native = sg.Finder(Algorithm::kBSDJ);
+    AvgResult rn = RunQueries(native.get(), pairs);
+
+    SqlPathFinderOptions opts;
+    opts.algorithm = Algorithm::kBSDJ;
+    std::unique_ptr<SqlPathFinder> sql_finder;
+    Check(SqlPathFinder::Create(sg.graph.get(), opts, &sql_finder),
+          "SqlPathFinder::Create");
+    AvgResult rs;
+    for (const auto& [s, t] : pairs) {
+      PathQueryResult r;
+      Check(sql_finder->Find(s, t, &r), "SqlPathFinder::Find");
+      rs.time_s += static_cast<double>(r.stats.total_us) / 1e6;
+      rs.statements += static_cast<double>(r.stats.statements);
+      rs.total++;
+    }
+    rs.time_s /= rs.total;
+    rs.statements /= rs.total;
+
+    std::printf("%10lld %12.4f %12.4f %8.2f %12.1f %12.1f\n",
+                static_cast<long long>(n), rn.time_s, rs.time_s,
+                rn.time_s > 0 ? rs.time_s / rn.time_s : 0.0, rn.statements,
+                rs.statements);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace relgraph
+
+int main() { relgraph::bench::Run(); }

@@ -1,0 +1,44 @@
+// Table 3: Time, Exps (# expansions) and Vst (# visited nodes) for
+// BSDJ / BBFS / BSEG(5) on Random graphs — the search-space vs
+// set-at-a-time trade-off table.
+#include "bench_common.h"
+
+namespace relgraph {
+namespace bench {
+namespace {
+
+void Run() {
+  Banner("Table 3",
+         "Time / Exps / Vst for BSDJ, BBFS, BSEG(5) on Random graphs",
+         "BBFS: fewest exps but largest visited set; BSEG: ~1/3 the exps of "
+         "BSDJ with slightly more visited nodes; BSEG fastest overall");
+  BenchEnv env = GetEnv();
+  std::printf("%10s | %8s %6s %8s | %8s %6s %8s | %8s %6s %8s\n", "nodes",
+              "BSDJ_s", "exps", "vst", "BBFS_s", "exps", "vst", "BSEG5_s",
+              "exps", "vst");
+  const int64_t bases[] = {50000, 100000, 200000, 400000};
+  for (size_t i = 0; i < 4; i++) {
+    int64_t n = Scaled(bases[i]);
+    EdgeList list =
+        GenerateRandomGraph(n, 3 * n, WeightRange{1, 100}, 400 + i);
+    auto pairs = MakeQueryPairs(n, env.queries, 9700 + i);
+    SharedGraph sg = SharedGraph::Make(list);
+    auto bsdj = sg.Finder(Algorithm::kBSDJ);
+    AvgResult rs = RunQueries(bsdj.get(), pairs);
+    auto bbfs = sg.Finder(Algorithm::kBBFS);
+    AvgResult rf = RunQueries(bbfs.get(), pairs);
+    auto bseg = sg.Finder(Algorithm::kBSEG, /*lthd=*/5);
+    AvgResult rg = RunQueries(bseg.get(), pairs);
+    std::printf(
+        "%10lld | %8.3f %6.0f %8.0f | %8.3f %6.0f %8.0f | %8.3f %6.0f %8.0f\n",
+        static_cast<long long>(n), rs.time_s, rs.expansions, rs.visited,
+        rf.time_s, rf.expansions, rf.visited, rg.time_s, rg.expansions,
+        rg.visited);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace relgraph
+
+int main() { relgraph::bench::Run(); }

@@ -1,0 +1,39 @@
+#include "src/catalog/catalog.h"
+
+namespace relgraph {
+
+Status Catalog::CreateTable(const std::string& name, Schema schema,
+                            TableOptions options, Table** out) {
+  if (tables_.count(name) != 0) {
+    return Status::AlreadyExists("table " + name + " already exists");
+  }
+  std::unique_ptr<Table> table;
+  RELGRAPH_RETURN_IF_ERROR(
+      Table::Create(pool_, name, std::move(schema), std::move(options),
+                    &table));
+  Table* raw = table.get();
+  tables_[name] = std::move(table);
+  if (out != nullptr) *out = raw;
+  return Status::OK();
+}
+
+Table* Catalog::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  if (tables_.erase(name) == 0) {
+    return Status::NotFound("table " + name + " does not exist");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace relgraph

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/catalog/table.h"
+#include "src/common/status.h"
+#include "src/storage/buffer_pool.h"
+
+namespace relgraph {
+
+/// Name -> Table directory for one database instance. (The engine is
+/// embedded and single-session; the catalog is the only metadata store.)
+class Catalog {
+ public:
+  explicit Catalog(BufferPool* pool) : pool_(pool) {}
+
+  /// Creates a table; fails with AlreadyExists on a name clash.
+  Status CreateTable(const std::string& name, Schema schema,
+                     TableOptions options, Table** out);
+
+  /// Returns nullptr when absent.
+  Table* GetTable(const std::string& name);
+
+  /// Drops a table definition (its pages are not reclaimed; the engine has
+  /// no free-space map, matching its append-only disk manager).
+  Status DropTable(const std::string& name);
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  BufferPool* pool_;
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace relgraph

@@ -1,0 +1,339 @@
+#include "src/catalog/table.h"
+
+#include <cassert>
+
+namespace relgraph {
+
+size_t Table::FixedWidth(const Schema& schema) {
+  size_t n = schema.NumColumns();
+  return (n + 7) / 8 + 8 * n;
+}
+
+Status Table::Create(BufferPool* pool, std::string name, Schema schema,
+                     TableOptions options, std::unique_ptr<Table>* out) {
+  auto table = std::unique_ptr<Table>(new Table());
+  table->pool_ = pool;
+  table->name_ = std::move(name);
+  table->schema_ = std::move(schema);
+  table->options_ = std::move(options);
+
+  if (table->options_.storage == TableStorage::kClustered) {
+    for (const auto& col : table->schema_.columns()) {
+      if (col.type == TypeId::kVarchar) {
+        return Status::NotSupported(
+            "clustered storage requires a fixed-width schema");
+      }
+    }
+    int idx = table->schema_.Find(table->options_.cluster_key);
+    if (idx < 0) {
+      return Status::InvalidArgument("cluster key column not in schema");
+    }
+    if (table->schema_.column(idx).type != TypeId::kInt) {
+      return Status::NotSupported("cluster key must be INT");
+    }
+    table->cluster_key_idx_ = static_cast<size_t>(idx);
+    table->fixed_width_ = FixedWidth(table->schema_);
+    RELGRAPH_RETURN_IF_ERROR(
+        BTree::Create(pool, static_cast<uint16_t>(table->fixed_width_),
+                      &table->clustered_));
+  } else {
+    RELGRAPH_RETURN_IF_ERROR(HeapFile::Create(pool, &table->heap_));
+  }
+  *out = std::move(table);
+  return Status::OK();
+}
+
+std::string Table::SerializeClustered(const Tuple& tuple) const {
+  std::string bytes = tuple.Serialize(schema_);
+  // NULL columns shrink the serialization below the fixed width; pad so the
+  // tree's fixed-size payload contract holds (padding is ignored on read).
+  bytes.resize(fixed_width_, 0);
+  return bytes;
+}
+
+Status Table::Insert(const Tuple& tuple, RowRef* ref) {
+  if (tuple.NumValues() != schema_.NumColumns()) {
+    return Status::InvalidArgument("arity mismatch on insert into " + name_);
+  }
+  if (options_.storage == TableStorage::kClustered) {
+    const Value& keyval = tuple.value(cluster_key_idx_);
+    if (keyval.IsNull()) {
+      return Status::InvalidArgument("NULL cluster key");
+    }
+    BtKey key{keyval.AsInt(), options_.cluster_unique ? 0 : next_tie_++};
+    RELGRAPH_RETURN_IF_ERROR(clustered_.Insert(key, SerializeClustered(tuple),
+                                               options_.cluster_unique));
+    num_rows_++;
+    if (ref != nullptr) ref->key = key;
+    return Status::OK();
+  }
+  Rid rid;
+  // Uniqueness must be checked before touching the heap so a duplicate key
+  // does not leave an orphan row.
+  for (auto& idx : indexes_) {
+    if (!idx.unique) continue;
+    const Value& v = tuple.value(idx.column_idx);
+    if (v.IsNull()) continue;
+    BtKey probe{v.AsInt(), 0};
+    std::string ignored;
+    if (idx.tree.SearchExact(probe, &ignored).ok()) {
+      return Status::AlreadyExists("duplicate key on index " + idx.column);
+    }
+  }
+  RELGRAPH_RETURN_IF_ERROR(heap_.Insert(tuple.Serialize(schema_), &rid));
+  RELGRAPH_RETURN_IF_ERROR(InsertIndexEntriesFor(tuple, rid));
+  num_rows_++;
+  if (ref != nullptr) ref->rid = rid;
+  return Status::OK();
+}
+
+Status Table::InsertIndexEntriesFor(const Tuple& tuple, const Rid& rid) {
+  for (auto& idx : indexes_) {
+    const Value& v = tuple.value(idx.column_idx);
+    if (v.IsNull()) continue;  // NULLs are not indexed
+    BtKey key{v.AsInt(), idx.unique ? 0 : RidTie(rid)};
+    RELGRAPH_RETURN_IF_ERROR(idx.tree.Insert(key, EncodeRid(rid), idx.unique));
+  }
+  return Status::OK();
+}
+
+Status Table::DeleteIndexEntriesFor(const Tuple& tuple, const Rid& rid) {
+  for (auto& idx : indexes_) {
+    const Value& v = tuple.value(idx.column_idx);
+    if (v.IsNull()) continue;
+    BtKey key{v.AsInt(), idx.unique ? 0 : RidTie(rid)};
+    RELGRAPH_RETURN_IF_ERROR(idx.tree.Delete(key));
+  }
+  return Status::OK();
+}
+
+Status Table::CreateSecondaryIndex(const std::string& column, bool unique) {
+  if (options_.storage == TableStorage::kClustered) {
+    return Status::NotSupported(
+        "secondary indexes on clustered tables are not supported");
+  }
+  int idx = schema_.Find(column);
+  if (idx < 0) return Status::InvalidArgument("no column " + column);
+  if (schema_.column(idx).type != TypeId::kInt) {
+    return Status::NotSupported("only INT columns can be indexed");
+  }
+  for (const auto& existing : indexes_) {
+    if (existing.column == column) {
+      return Status::AlreadyExists("index on " + column + " already exists");
+    }
+  }
+  SecondaryIndex si;
+  si.column = column;
+  si.column_idx = static_cast<size_t>(idx);
+  si.unique = unique;
+  RELGRAPH_RETURN_IF_ERROR(BTree::Create(pool_, 8, &si.tree));
+  // Backfill existing rows.
+  HeapFile::Iterator it = heap_.Scan();
+  Rid rid;
+  std::string record;
+  while (it.Next(&rid, &record)) {
+    Tuple tuple;
+    RELGRAPH_RETURN_IF_ERROR(Tuple::Deserialize(schema_, record, &tuple));
+    const Value& v = tuple.value(si.column_idx);
+    if (v.IsNull()) continue;
+    BtKey key{v.AsInt(), si.unique ? 0 : RidTie(rid)};
+    RELGRAPH_RETURN_IF_ERROR(si.tree.Insert(key, EncodeRid(rid), si.unique));
+  }
+  indexes_.push_back(std::move(si));
+  return Status::OK();
+}
+
+bool Table::HasIndexOn(const std::string& column) const {
+  if (options_.storage == TableStorage::kClustered) {
+    return column == options_.cluster_key;
+  }
+  for (const auto& idx : indexes_) {
+    if (idx.column == column) return true;
+  }
+  return false;
+}
+
+Status Table::LookupUnique(const std::string& column, int64_t key, Tuple* out,
+                           RowRef* ref) {
+  if (options_.storage == TableStorage::kClustered) {
+    if (column != options_.cluster_key || !options_.cluster_unique) {
+      return Status::InvalidArgument("no unique access path on " + column);
+    }
+    BtKey k{key, 0};
+    std::string payload;
+    RELGRAPH_RETURN_IF_ERROR(clustered_.SearchExact(k, &payload));
+    RELGRAPH_RETURN_IF_ERROR(Tuple::Deserialize(schema_, payload, out));
+    if (ref != nullptr) ref->key = k;
+    return Status::OK();
+  }
+  for (auto& idx : indexes_) {
+    if (idx.column != column) continue;
+    if (!idx.unique) {
+      return Status::InvalidArgument("index on " + column + " is not unique");
+    }
+    std::string payload;
+    RELGRAPH_RETURN_IF_ERROR(idx.tree.SearchExact(BtKey{key, 0}, &payload));
+    Rid rid = DecodeRid(payload);
+    std::string record;
+    RELGRAPH_RETURN_IF_ERROR(heap_.Get(rid, &record));
+    RELGRAPH_RETURN_IF_ERROR(Tuple::Deserialize(schema_, record, out));
+    if (ref != nullptr) ref->rid = rid;
+    return Status::OK();
+  }
+  return Status::InvalidArgument("no unique index on " + column);
+}
+
+Status Table::UpdateRow(const RowRef& ref, const Tuple& tuple) {
+  if (tuple.NumValues() != schema_.NumColumns()) {
+    return Status::InvalidArgument("arity mismatch on update of " + name_);
+  }
+  if (options_.storage == TableStorage::kClustered) {
+    const Value& keyval = tuple.value(cluster_key_idx_);
+    if (keyval.IsNull() || keyval.AsInt() != ref.key.key) {
+      return Status::NotSupported("cluster key is immutable under update");
+    }
+    return clustered_.UpdatePayload(ref.key, SerializeClustered(tuple));
+  }
+  // Heap: read the old tuple first so index entries can be maintained.
+  std::string old_bytes;
+  RELGRAPH_RETURN_IF_ERROR(heap_.Get(ref.rid, &old_bytes));
+  Tuple old_tuple;
+  RELGRAPH_RETURN_IF_ERROR(Tuple::Deserialize(schema_, old_bytes, &old_tuple));
+
+  std::string new_bytes = tuple.Serialize(schema_);
+  Status st = heap_.Update(ref.rid, new_bytes);
+  Rid rid = ref.rid;
+  if (st.IsResourceExhausted()) {
+    // Row grew: relocate it. All index entries must follow the new RID.
+    RELGRAPH_RETURN_IF_ERROR(DeleteIndexEntriesFor(old_tuple, ref.rid));
+    RELGRAPH_RETURN_IF_ERROR(heap_.Delete(ref.rid));
+    RELGRAPH_RETURN_IF_ERROR(heap_.Insert(new_bytes, &rid));
+    RELGRAPH_RETURN_IF_ERROR(InsertIndexEntriesFor(tuple, rid));
+    return Status::OK();
+  }
+  RELGRAPH_RETURN_IF_ERROR(st);
+  // In-place update: refresh only the indexes whose key changed.
+  for (auto& idx : indexes_) {
+    const Value& oldv = old_tuple.value(idx.column_idx);
+    const Value& newv = tuple.value(idx.column_idx);
+    if (oldv.Compare(newv) == 0) continue;
+    if (!oldv.IsNull()) {
+      BtKey key{oldv.AsInt(), idx.unique ? 0 : RidTie(rid)};
+      RELGRAPH_RETURN_IF_ERROR(idx.tree.Delete(key));
+    }
+    if (!newv.IsNull()) {
+      BtKey key{newv.AsInt(), idx.unique ? 0 : RidTie(rid)};
+      RELGRAPH_RETURN_IF_ERROR(idx.tree.Insert(key, EncodeRid(rid), idx.unique));
+    }
+  }
+  return Status::OK();
+}
+
+Status Table::DeleteRow(const RowRef& ref) {
+  if (options_.storage == TableStorage::kClustered) {
+    RELGRAPH_RETURN_IF_ERROR(clustered_.Delete(ref.key));
+    num_rows_--;
+    return Status::OK();
+  }
+  std::string bytes;
+  RELGRAPH_RETURN_IF_ERROR(heap_.Get(ref.rid, &bytes));
+  Tuple tuple;
+  RELGRAPH_RETURN_IF_ERROR(Tuple::Deserialize(schema_, bytes, &tuple));
+  RELGRAPH_RETURN_IF_ERROR(DeleteIndexEntriesFor(tuple, ref.rid));
+  RELGRAPH_RETURN_IF_ERROR(heap_.Delete(ref.rid));
+  num_rows_--;
+  return Status::OK();
+}
+
+Table::Iterator Table::Scan() {
+  Iterator it;
+  it.table_ = this;
+  if (options_.storage == TableStorage::kClustered) {
+    it.kind_ = Iterator::Kind::kClustered;
+    it.bt_it_ = clustered_.ScanAll();
+  } else {
+    it.kind_ = Iterator::Kind::kHeap;
+    it.heap_it_ = heap_.Scan();
+  }
+  return it;
+}
+
+Status Table::ScanRange(const std::string& column, int64_t lo, int64_t hi,
+                        Iterator* out) {
+  out->table_ = this;
+  if (options_.storage == TableStorage::kClustered) {
+    if (column != options_.cluster_key) {
+      return Status::InvalidArgument("clustered table has no index on " +
+                                     column);
+    }
+    out->kind_ = Iterator::Kind::kClustered;
+    out->bt_it_ = clustered_.Scan(lo, hi);
+    return Status::OK();
+  }
+  for (auto& idx : indexes_) {
+    if (idx.column != column) continue;
+    out->kind_ = Iterator::Kind::kSecondary;
+    out->bt_it_ = idx.tree.Scan(lo, hi);
+    return Status::OK();
+  }
+  return Status::InvalidArgument("no index on " + column);
+}
+
+bool Table::Iterator::Next(Tuple* tuple, RowRef* ref) {
+  switch (kind_) {
+    case Kind::kHeap: {
+      Rid rid;
+      if (!heap_it_.Next(&rid, &buffer_)) {
+        status_ = heap_it_.status();
+        return false;
+      }
+      status_ = Tuple::Deserialize(table_->schema_, buffer_, tuple);
+      if (!status_.ok()) return false;
+      if (ref != nullptr) ref->rid = rid;
+      return true;
+    }
+    case Kind::kClustered: {
+      BtKey key;
+      if (!bt_it_.Next(&key, &buffer_)) {
+        status_ = bt_it_.status();
+        return false;
+      }
+      status_ = Tuple::Deserialize(table_->schema_, buffer_, tuple);
+      if (!status_.ok()) return false;
+      if (ref != nullptr) ref->key = key;
+      return true;
+    }
+    case Kind::kSecondary: {
+      BtKey key;
+      std::string payload;
+      if (!bt_it_.Next(&key, &payload)) {
+        status_ = bt_it_.status();
+        return false;
+      }
+      Rid rid = DecodeRid(payload);
+      status_ = table_->heap_.Get(rid, &buffer_);
+      if (!status_.ok()) return false;
+      status_ = Tuple::Deserialize(table_->schema_, buffer_, tuple);
+      if (!status_.ok()) return false;
+      if (ref != nullptr) ref->rid = rid;
+      return true;
+    }
+  }
+  return false;
+}
+
+Status Table::Truncate() {
+  num_rows_ = 0;
+  next_tie_ = 1;
+  if (options_.storage == TableStorage::kClustered) {
+    return BTree::Create(pool_, static_cast<uint16_t>(fixed_width_),
+                         &clustered_);
+  }
+  RELGRAPH_RETURN_IF_ERROR(HeapFile::Create(pool_, &heap_));
+  for (auto& idx : indexes_) {
+    RELGRAPH_RETURN_IF_ERROR(BTree::Create(pool_, 8, &idx.tree));
+  }
+  return Status::OK();
+}
+
+}  // namespace relgraph

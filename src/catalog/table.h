@@ -1,0 +1,135 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/config.h"
+#include "src/common/status.h"
+#include "src/index/btree.h"
+#include "src/storage/heap_file.h"
+#include "src/types/tuple.h"
+
+namespace relgraph {
+
+/// Physical organization of a table — the paper's Figure 8(c) index
+/// strategies map onto these:
+///  - kHeap + no index        = "NoIndex"
+///  - kHeap + secondary index = "Index" (non-clustered B+-tree -> RID)
+///  - kClustered              = "CluIndex" (rows live in B+-tree leaves,
+///                               ordered by the cluster key)
+enum class TableStorage { kHeap, kClustered };
+
+struct TableOptions {
+  TableStorage storage = TableStorage::kHeap;
+  /// Column the clustered tree is keyed on (kClustered only).
+  std::string cluster_key;
+  /// Reject duplicate cluster keys (e.g. TVisited clustered on nid).
+  bool cluster_unique = false;
+};
+
+/// Stable reference to a row, valid until that row is deleted or moved by a
+/// growing update. Heap rows are addressed by RID; clustered rows by their
+/// B+-tree key.
+struct RowRef {
+  Rid rid;      // heap storage
+  BtKey key;    // clustered storage
+};
+
+/// A relational table: schema + physical storage + secondary indexes.
+/// Indexed columns must be INT (node ids, distances, flags — everything the
+/// graph workloads index). All mutations keep secondary indexes consistent.
+class Table {
+ public:
+  /// Creating tables goes through Catalog; tests may call this directly.
+  static Status Create(BufferPool* pool, std::string name, Schema schema,
+                       TableOptions options, std::unique_ptr<Table>* out);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  const TableOptions& options() const { return options_; }
+  int64_t num_rows() const { return num_rows_; }
+
+  /// Inserts a row; `ref` (optional) receives its stable reference.
+  Status Insert(const Tuple& tuple, RowRef* ref = nullptr);
+
+  /// Builds a non-clustered B+-tree on `column` (must be INT). Existing rows
+  /// are indexed immediately. `unique` rejects duplicates.
+  Status CreateSecondaryIndex(const std::string& column, bool unique);
+
+  /// True when lookups on `column` can use an index (secondary or cluster).
+  bool HasIndexOn(const std::string& column) const;
+
+  /// Point lookup through a *unique* access path on `column`.
+  Status LookupUnique(const std::string& column, int64_t key, Tuple* out,
+                      RowRef* ref);
+
+  /// Overwrites the row at `ref`. The new tuple must keep the cluster key
+  /// unchanged for clustered tables.
+  Status UpdateRow(const RowRef& ref, const Tuple& tuple);
+
+  Status DeleteRow(const RowRef& ref);
+
+  /// Streaming reader. `Scan()` visits every row (cluster-key order for
+  /// clustered tables, physical order for heaps). `ScanRange()` visits rows
+  /// with lo <= column <= hi and requires an index on `column`.
+  class Iterator {
+   public:
+    bool Next(Tuple* tuple, RowRef* ref);
+    const Status& status() const { return status_; }
+
+   private:
+    friend class Table;
+    enum class Kind { kHeap, kClustered, kSecondary };
+    Table* table_ = nullptr;
+    Kind kind_ = Kind::kHeap;
+    HeapFile::Iterator heap_it_;
+    BTree::Iterator bt_it_;
+    Status status_;
+    std::string buffer_;  // reused across rows (hot path of every scan)
+  };
+
+  Iterator Scan();
+  Status ScanRange(const std::string& column, int64_t lo, int64_t hi,
+                   Iterator* out);
+
+  /// Removes every row but keeps schema and index definitions (the
+  /// algorithms reset TVisited between queries with this).
+  Status Truncate();
+
+  /// Serialized width of this table's rows, if fixed (no VARCHAR columns).
+  static size_t FixedWidth(const Schema& schema);
+
+ private:
+  Table() = default;
+
+  struct SecondaryIndex {
+    std::string column;
+    size_t column_idx;
+    bool unique;
+    BTree tree;
+  };
+
+  Status InsertIndexEntriesFor(const Tuple& tuple, const Rid& rid);
+  Status DeleteIndexEntriesFor(const Tuple& tuple, const Rid& rid);
+  std::string SerializeClustered(const Tuple& tuple) const;
+  static int64_t RidTie(const Rid& rid) {
+    return (static_cast<int64_t>(rid.page_id) << 16) |
+           static_cast<int64_t>(rid.slot);
+  }
+
+  BufferPool* pool_ = nullptr;
+  std::string name_;
+  Schema schema_;
+  TableOptions options_;
+  size_t cluster_key_idx_ = 0;
+  size_t fixed_width_ = 0;   // clustered payload width
+  int64_t next_tie_ = 1;     // duplicate cluster keys get increasing ties
+  HeapFile heap_;
+  BTree clustered_;
+  std::vector<SecondaryIndex> indexes_;
+  int64_t num_rows_ = 0;
+};
+
+}  // namespace relgraph

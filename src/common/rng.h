@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+
+namespace relgraph {
+
+/// Deterministic 64-bit RNG (xorshift128+). The generators and the query
+/// workloads must be reproducible across runs and platforms, so we avoid
+/// std::mt19937's unspecified distribution behaviour and keep our own.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform on [0, 2^64).
+  uint64_t Next();
+
+  /// Uniform on [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer on [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double on [0, 1).
+  double NextDouble();
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace relgraph

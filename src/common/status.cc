@@ -1,0 +1,43 @@
+#include "src/common/status.h"
+
+namespace relgraph {
+
+namespace {
+const char* CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "OK";
+    case Status::Code::kNotFound:
+      return "NotFound";
+    case Status::Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Status::Code::kIOError:
+      return "IOError";
+    case Status::Code::kCorruption:
+      return "Corruption";
+    case Status::Code::kNotSupported:
+      return "NotSupported";
+    case Status::Code::kOutOfRange:
+      return "OutOfRange";
+    case Status::Code::kResourceExhausted:
+      return "ResourceExhausted";
+    case Status::Code::kAlreadyExists:
+      return "AlreadyExists";
+    case Status::Code::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  if (!msg_.empty()) {
+    out += ": ";
+    out += msg_;
+  }
+  return out;
+}
+
+}  // namespace relgraph

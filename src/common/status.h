@@ -1,0 +1,107 @@
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace relgraph {
+
+/// Status reports the outcome of an operation that can fail, following the
+/// RocksDB/LevelDB idiom: cheap to copy in the OK case, carries a code plus
+/// a human-readable message otherwise. Library code returns Status (or
+/// Result<T>) instead of throwing; exceptions are reserved for programmer
+/// errors caught by assertions.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kNotFound,
+    kInvalidArgument,
+    kIOError,
+    kCorruption,
+    kNotSupported,
+    kOutOfRange,
+    kResourceExhausted,
+    kAlreadyExists,
+    kInternal,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg = "") {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg = "") {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg = "") {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg = "") {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg = "") {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg = "") {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
+  static Status Internal(std::string msg = "") {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsResourceExhausted() const {
+    return code_ == Code::kResourceExhausted;
+  }
+  bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Renders e.g. "IOError: short read on page 17".
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  Code code_;
+  std::string msg_;
+};
+
+/// Result<T> couples a Status with a value; valid value only when ok().
+template <typename T>
+class Result {
+ public:
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)), value_() {}       // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+  T& value() { return value_; }
+  const T& value() const { return value_; }
+  T ValueOr(T fallback) const { return ok() ? value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  T value_;
+};
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define RELGRAPH_RETURN_IF_ERROR(expr)            \
+  do {                                            \
+    ::relgraph::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+}  // namespace relgraph

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace relgraph {
+
+/// Wall-clock stopwatch used by the statistics collectors (per-phase and
+/// per-operator timings reported in the paper's Figures 6(b) and 6(c)).
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/Reset, in microseconds.
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedMicros()) / 1e6;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Adds the scope's duration (µs) to `*sink` on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(int64_t* sink) : sink_(sink) {}
+  ~ScopedTimer() { *sink_ += timer_.ElapsedMicros(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  int64_t* sink_;
+  Timer timer_;
+};
+
+}  // namespace relgraph

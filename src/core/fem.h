@@ -1,0 +1,118 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/core/visited_table.h"
+#include "src/db/database.h"
+#include "src/exec/executor.h"
+#include "src/exec/expression.h"
+#include "src/graph/graph_store.h"
+
+namespace relgraph {
+
+/// Which SQL dialect generation the operator plans use (paper Figure 6(d)):
+///  - kNsql: the SQL:2003/2008 features — row_number() window dedup in the
+///    E-operator and one MERGE statement for the M-operator;
+///  - kTsql: "traditional" SQL — aggregate + re-join in the E-operator and
+///    an UPDATE statement followed by an INSERT for the M-operator.
+enum class SqlMode { kNsql, kTsql };
+
+const char* SqlModeName(SqlMode m);
+
+/// Per-query operator/phase accounting, feeding Figures 6(b) and 6(c).
+struct FemStats {
+  int64_t expansions = 0;       // E-operator invocations ("Exps")
+  int64_t f_operator_us = 0;
+  int64_t e_operator_us = 0;
+  int64_t m_operator_us = 0;
+  int64_t aux_us = 0;           // statistics collection (mid/min/minCost)
+
+  void Reset() { *this = FemStats{}; }
+};
+
+/// The three relational operators of the paper's FEM framework (§3.2),
+/// bound to one TVisited table. Each public method corresponds to one (or,
+/// for ExpandAndMerge in NSQL mode, one combined) SQL statement from
+/// Listings 2-4; Database::stats().statements counts them.
+class FemEngine {
+ public:
+  FemEngine(Database* db, VisitedTable* visited, SqlMode mode);
+
+  Database* db() { return db_; }
+  VisitedTable* visited() { return visited_; }
+  SqlMode mode() const { return mode_; }
+  FemStats& stats() { return stats_; }
+
+  // ----- F-operator and its auxiliary statements -------------------------
+
+  /// Listing 4(1) generalized: UPDATE TVisited SET flag=2 WHERE flag=0 AND
+  /// `frontier_pred` (evaluated over the TVisited schema). Returns the
+  /// number of frontier nodes marked.
+  Status MarkFrontier(const DirCols& dir, ExprRef frontier_pred,
+                      int64_t* marked);
+
+  /// Listing 4(3): UPDATE TVisited SET flag=1 WHERE flag=2.
+  Status FinalizeFrontier(const DirCols& dir);
+
+  /// Listing 2(2): SELECT TOP 1 nid FROM TVisited WHERE flag=0 AND
+  /// dist=(SELECT MIN(dist) ... WHERE flag=0). `found`=false when no
+  /// candidate remains.
+  Status PickMid(const DirCols& dir, node_id_t* mid, bool* found);
+
+  /// Listing 4(4): SELECT MIN(dist) FROM TVisited WHERE flag=0.
+  /// Returns kInfinity when no candidate remains.
+  Status MinOpenDistance(const DirCols& dir, weight_t* out);
+
+  /// Listing 4(5): SELECT MIN(d2s+d2t) FROM TVisited.
+  Status MinCost(weight_t* out);
+
+  /// Listing 4(6): SELECT nid FROM TVisited WHERE d2s+d2t = :min_cost.
+  Status MeetingNode(weight_t min_cost, node_id_t* out);
+
+  /// SELECT COUNT(*) FROM TVisited WHERE flag=0 (direction-choice probe).
+  Status CountOpen(const DirCols& dir, int64_t* out);
+
+  // ----- E + M ------------------------------------------------------------
+
+  /// The paper's path-expansion statement (Listing 2(3,4) / Listing 4(2)):
+  /// joins the frontier (flag=2) with `rel`, keeps per expanded node the
+  /// minimal-distance occurrence, applies the Theorem-1 pruning rule
+  /// `dist + cost + opposite_l >= min_cost` (pass opposite_l=0 and
+  /// min_cost=kInfinity to disable), and merges the result into TVisited.
+  /// `affected` reports inserted+updated rows (the SQLCA read).
+  ///
+  /// NSQL: window-function dedup, single MERGE (one statement).
+  /// TSQL: aggregate+re-join dedup, UPDATE then INSERT (two statements) —
+  /// also the automatic fallback when the engine profile lacks MERGE.
+  Status ExpandAndMerge(const DirCols& dir, const EdgeRelation& rel,
+                        weight_t opposite_l, weight_t min_cost,
+                        int64_t* affected);
+
+ private:
+  /// Builds the E-operator source rows (nid, cost, pid, aid).
+  Status BuildExpansionNsql(const DirCols& dir, const EdgeRelation& rel,
+                            weight_t opposite_l, weight_t min_cost,
+                            std::vector<Tuple>* rows);
+  Status BuildExpansionTsql(const DirCols& dir, const EdgeRelation& rel,
+                            weight_t opposite_l, weight_t min_cost,
+                            std::vector<Tuple>* rows);
+  /// Joins frontier rows with `rel` and projects (nid, cost, pid, aid),
+  /// without dedup — shared by both modes.
+  ExecRef BuildJoinProject(const DirCols& dir, const EdgeRelation& rel,
+                           weight_t opposite_l, weight_t min_cost);
+  Status MergeNsql(const DirCols& dir, std::vector<Tuple> rows,
+                   int64_t* affected);
+  Status MergeTsql(const DirCols& dir, std::vector<Tuple> rows,
+                   int64_t* affected);
+
+  Database* db_;
+  VisitedTable* visited_;
+  SqlMode mode_;
+  FemStats stats_;
+};
+
+/// Schema of the materialized E-operator output ("create view ek ...").
+Schema ExpansionSchema();
+
+}  // namespace relgraph

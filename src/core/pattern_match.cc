@@ -1,0 +1,94 @@
+#include "src/core/pattern_match.h"
+
+#include "src/exec/join_executors.h"
+#include "src/exec/scan_executors.h"
+
+namespace relgraph {
+
+Status LabelPathMatcher::Run(GraphStore* graph,
+                             const std::vector<int64_t>& labels, int64_t limit,
+                             PatternMatchResult* out) {
+  *out = PatternMatchResult{};
+  if (labels.empty()) return Status::InvalidArgument("empty label pattern");
+  Database* db = graph->db();
+  const int64_t stmt0 = db->stats().statements;
+  const EdgeRelation rel = graph->Forward();
+
+  // Visited relation: one row per partial match, one column per matched
+  // pattern position. Kept materialized between iterations (the "view" an
+  // RDBMS would pipeline); columns are named c0..ck.
+  auto col_name = [](size_t i) { return "c" + std::to_string(i); };
+
+  std::vector<Tuple> visited;
+  Schema visited_schema({{col_name(0), TypeId::kInt}});
+  {
+    // Initialization: data nodes carrying the first label.
+    db->RecordStatement();
+    ExecRef scan = std::make_unique<FilterExecutor>(
+        std::make_unique<SeqScanExecutor>(graph->nodes()),
+        ColEq("label", labels[0]));
+    ExecRef project = std::make_unique<ProjectExecutor>(
+        std::move(scan), std::vector<ExprRef>{Col("nid")}, visited_schema);
+    RELGRAPH_RETURN_IF_ERROR(Collect(project.get(), &visited));
+  }
+
+  for (size_t k = 1; k < labels.size(); k++) {
+    out->iterations++;
+    db->RecordStatement();
+    // Expand: visited ⋈ TEdges on c_{k-1} = fid, then label-check the new
+    // endpoint against TNodes (an index join when the node table allows).
+    ExecRef frontier =
+        std::make_unique<MaterializedExecutor>(std::move(visited),
+                                               visited_schema);
+    ExecRef with_edge;
+    if (rel.table->HasIndexOn(rel.join_column)) {
+      with_edge = std::make_unique<IndexNestedLoopJoinExecutor>(
+          std::move(frontier), rel.table, rel.join_column,
+          Col(col_name(k - 1)), nullptr);
+    } else {
+      with_edge = std::make_unique<NestedLoopJoinExecutor>(
+          std::move(frontier), std::make_unique<SeqScanExecutor>(rel.table),
+          Cmp(CompareOp::kEq, Col(col_name(k - 1)), Col(rel.join_column)));
+    }
+    ExecRef with_label;
+    if (graph->nodes()->HasIndexOn("nid")) {
+      with_label = std::make_unique<IndexNestedLoopJoinExecutor>(
+          std::move(with_edge), graph->nodes(), "nid", Col(rel.emit_column),
+          ColEq("label", labels[k]));
+    } else {
+      with_label = std::make_unique<NestedLoopJoinExecutor>(
+          std::move(with_edge), std::make_unique<SeqScanExecutor>(graph->nodes()),
+          And(Cmp(CompareOp::kEq, Col(rel.emit_column), Col("nid")),
+              ColEq("label", labels[k])));
+    }
+    // Merge: the widened tuple set becomes the next visited relation.
+    std::vector<Column> cols = visited_schema.columns();
+    cols.push_back({col_name(k), TypeId::kInt});
+    Schema next_schema(std::move(cols));
+    std::vector<ExprRef> exprs;
+    for (size_t i = 0; i < k; i++) exprs.push_back(Col(col_name(i)));
+    exprs.push_back(Col(rel.emit_column));
+    ExecRef project = std::make_unique<ProjectExecutor>(
+        std::move(with_label), std::move(exprs), next_schema);
+    std::vector<Tuple> next;
+    RELGRAPH_RETURN_IF_ERROR(Collect(project.get(), &next));
+    visited = std::move(next);
+    visited_schema = std::move(next_schema);
+    if (visited.empty()) break;
+  }
+
+  out->count = static_cast<int64_t>(visited.size());
+  for (const auto& t : visited) {
+    if (static_cast<int64_t>(out->matches.size()) >= limit) break;
+    std::vector<node_id_t> match;
+    match.reserve(t.NumValues());
+    for (size_t i = 0; i < t.NumValues(); i++) {
+      match.push_back(t.value(i).AsInt());
+    }
+    out->matches.push_back(std::move(match));
+  }
+  out->statements = db->stats().statements - stmt0;
+  return Status::OK();
+}
+
+}  // namespace relgraph

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <vector>
+
+#include "src/core/fem.h"
+#include "src/graph/graph_store.h"
+
+namespace relgraph {
+
+struct PatternMatchResult {
+  /// Matched node sequences (d0, ..., dk), capped at `limit`.
+  std::vector<std::vector<node_id_t>> matches;
+  /// Total number of matches (uncapped).
+  int64_t count = 0;
+  int64_t iterations = 0;
+  int64_t statements = 0;
+};
+
+/// Label-path pattern matching in the FEM framework (paper §3.1's third
+/// showcase, specialized to path-shaped patterns): finds every node
+/// sequence (d0, ..., dk) with label(di) = labels[i] and an edge di→di+1.
+/// Iteration i grows the visited relation by one column via a join with
+/// TEdges and a label filter on TNodes — the expand step of FEM with tuple
+/// concatenation as the merge.
+class LabelPathMatcher {
+ public:
+  static Status Run(GraphStore* graph, const std::vector<int64_t>& labels,
+                    int64_t limit, PatternMatchResult* out);
+};
+
+}  // namespace relgraph

@@ -1,0 +1,187 @@
+#include "src/core/prim_mst.h"
+
+#include <atomic>
+#include <map>
+
+#include "src/exec/agg_executors.h"
+#include "src/exec/dml_executors.h"
+#include "src/exec/join_executors.h"
+#include "src/exec/scan_executors.h"
+#include "src/exec/window_executor.h"
+
+namespace relgraph {
+
+namespace {
+Schema MstSchema() {
+  return Schema({{"nid", TypeId::kInt},
+                 {"w", TypeId::kInt},
+                 {"p2s", TypeId::kInt},
+                 {"f", TypeId::kInt}});
+}
+
+Schema CandidateSchema() {
+  return Schema({{"nid", TypeId::kInt},
+                 {"cost", TypeId::kInt},
+                 {"pid", TypeId::kInt}});
+}
+}  // namespace
+
+Status PrimMst::Run(GraphStore* graph, SqlMode mode, node_id_t root,
+                    MstResult* out) {
+  *out = MstResult{};
+  Database* db = graph->db();
+  const int64_t stmt0 = db->stats().statements;
+  static std::atomic<int> counter{0};
+  const std::string name = "TMst_" + std::to_string(counter.fetch_add(1));
+
+  Table* tree = nullptr;
+  TableOptions topts;
+  if (graph->strategy() == IndexStrategy::kCluIndex) {
+    topts.storage = TableStorage::kClustered;
+    topts.cluster_key = "nid";
+    topts.cluster_unique = true;
+  }
+  RELGRAPH_RETURN_IF_ERROR(
+      db->catalog()->CreateTable(name, MstSchema(), topts, &tree));
+  if (graph->strategy() != IndexStrategy::kCluIndex) {
+    RELGRAPH_RETURN_IF_ERROR(tree->CreateSecondaryIndex("nid", true));
+  }
+
+  db->RecordStatement();
+  RELGRAPH_RETURN_IF_ERROR(tree->Insert(
+      Tuple({Value(root), Value(int64_t{0}), Value(root), Value(int64_t{0})})));
+
+  const EdgeRelation rel = graph->Forward();
+  for (;;) {
+    // F: the single cheapest candidate (f=0, minimal w). Prim must stay
+    // node-at-a-time (§3.1): taking every minimum-cost candidate in one
+    // batch can miss a cheaper edge between two candidates admitted
+    // together, losing optimality.
+    db->RecordStatement();
+    Value min_w;
+    {
+      FilterExecutor open(std::make_unique<SeqScanExecutor>(tree),
+                          ColEq("f", 0));
+      RELGRAPH_RETURN_IF_ERROR(
+          EvalScalarAggregate(&open, AggOp::kMin, Col("w"), &min_w));
+    }
+    if (min_w.IsNull()) break;  // every reached node is in the tree
+
+    node_id_t mid;
+    {
+      // SELECT TOP 1 nid FROM tree WHERE f=0 AND w = :min.
+      FilterExecutor plan(
+          std::make_unique<SeqScanExecutor>(tree),
+          And(ColEq("f", 0),
+              Cmp(CompareOp::kEq, Col("w"), Lit(min_w.AsInt()))));
+      RELGRAPH_RETURN_IF_ERROR(plan.Init());
+      Tuple t;
+      if (!plan.Next(&t)) break;
+      mid = t.value(0).AsInt();
+    }
+
+    db->RecordStatement();
+    int64_t marked;
+    RELGRAPH_RETURN_IF_ERROR(UpdateWhere(tree, ColEq("nid", mid),
+                                         {{"f", Lit(int64_t{2})}}, &marked));
+    if (marked == 0) break;
+    out->iterations++;
+
+    // E: neighbours of the frontier with the edge weight as the candidate
+    // attachment cost (not accumulated — the Prim variation of §3.1).
+    db->RecordStatement();
+    std::vector<Tuple> rows;
+    {
+      ExecRef frontier = std::make_unique<FilterExecutor>(
+          std::make_unique<SeqScanExecutor>(tree), ColEq("f", 2));
+      ExecRef joined;
+      if (rel.table->HasIndexOn(rel.join_column)) {
+        joined = std::make_unique<IndexNestedLoopJoinExecutor>(
+            std::move(frontier), rel.table, rel.join_column, Col("nid"),
+            nullptr);
+      } else {
+        joined = std::make_unique<NestedLoopJoinExecutor>(
+            std::move(frontier), std::make_unique<SeqScanExecutor>(rel.table),
+            Cmp(CompareOp::kEq, Col("nid"), Col(rel.join_column)));
+      }
+      ExecRef projected = std::make_unique<ProjectExecutor>(
+          std::move(joined),
+          std::vector<ExprRef>{Col(rel.emit_column), Col(rel.cost_column),
+                               Col("nid")},
+          CandidateSchema());
+      if (mode == SqlMode::kNsql) {
+        ExecRef window = std::make_unique<WindowRowNumberExecutor>(
+            std::move(projected), std::vector<std::string>{"nid"},
+            std::vector<SortKey>{{Col("cost"), true}, {Col("pid"), true}});
+        ExecRef dedup = std::make_unique<FilterExecutor>(std::move(window),
+                                                         ColEq("rownum", 1));
+        ExecRef back = std::make_unique<ProjectExecutor>(
+            std::move(dedup),
+            std::vector<ExprRef>{Col("nid"), Col("cost"), Col("pid")},
+            CandidateSchema());
+        RELGRAPH_RETURN_IF_ERROR(Collect(back.get(), &rows));
+      } else {
+        // TSQL: collect everything, keep the per-node minimum client-side
+        // aggregate semantics via a second pass (as in the E-operator).
+        std::vector<Tuple> all;
+        RELGRAPH_RETURN_IF_ERROR(Collect(projected.get(), &all));
+        std::map<int64_t, Tuple> best;
+        for (const auto& t : all) {
+          auto [pos, inserted] = best.try_emplace(t.value(0).AsInt(), t);
+          if (!inserted &&
+              (t.value(1).AsInt() < pos->second.value(1).AsInt() ||
+               (t.value(1).AsInt() == pos->second.value(1).AsInt() &&
+                t.value(2).AsInt() < pos->second.value(2).AsInt()))) {
+            pos->second = t;
+          }
+        }
+        for (auto& [nid, t] : best) rows.push_back(std::move(t));
+      }
+    }
+
+    // M: nodes already in the tree (f=1 or f=2) are discarded; candidates
+    // keep their cheaper attachment.
+    {
+      if (mode == SqlMode::kTsql || !db->SupportsMerge()) db->RecordStatement();
+      MaterializedExecutor source(std::move(rows), CandidateSchema());
+      MergeSpec spec;
+      spec.target_key_column = "nid";
+      spec.source_key_column = "nid";
+      spec.matched_condition =
+          And(ColEq("t.f", 0),
+              Cmp(CompareOp::kGt, Col("t.w"), Col("s.cost")));
+      spec.matched_sets = {{"w", Col("s.cost")}, {"p2s", Col("s.pid")}};
+      spec.insert_values = {Col("nid"), Col("cost"), Col("pid"),
+                            Lit(int64_t{0})};
+      int64_t affected;
+      RELGRAPH_RETURN_IF_ERROR(MergeInto(tree, &source, spec, &affected));
+    }
+
+    db->RecordStatement();
+    int64_t reset;
+    RELGRAPH_RETURN_IF_ERROR(
+        UpdateWhere(tree, ColEq("f", 2), {{"f", Lit(int64_t{1})}}, &reset));
+  }
+
+  // Harvest the tree.
+  db->RecordStatement();
+  {
+    SeqScanExecutor scan(tree);
+    RELGRAPH_RETURN_IF_ERROR(scan.Init());
+    Tuple t;
+    while (scan.Next(&t)) {
+      node_id_t nid = t.value(0).AsInt();
+      weight_t w = t.value(1).AsInt();
+      node_id_t parent = t.value(2).AsInt();
+      out->total_weight += w;
+      if (nid != root) out->tree_edges.push_back({parent, nid, w});
+    }
+    RELGRAPH_RETURN_IF_ERROR(scan.status());
+  }
+  out->connected =
+      static_cast<int64_t>(out->tree_edges.size()) + 1 == graph->num_nodes();
+  out->statements = db->stats().statements - stmt0;
+  return db->catalog()->DropTable(name);
+}
+
+}  // namespace relgraph

@@ -1,0 +1,9 @@
+#pragma once
+
+namespace relgraph {
+
+/// Forward declaration only: PathFinder's interface mentions SegTable but
+/// its full definition (src/core/segtable.h) is needed just by BSEG users.
+class SegTable;
+
+}  // namespace relgraph

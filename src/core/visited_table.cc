@@ -1,0 +1,98 @@
+#include "src/core/visited_table.h"
+
+#include "src/exec/expression.h"
+#include "src/exec/scan_executors.h"
+
+namespace relgraph {
+
+namespace {
+Schema VisitedSchema() {
+  return Schema({{"nid", TypeId::kInt},
+                 {"d2s", TypeId::kInt},
+                 {"p2s", TypeId::kInt},
+                 {"a2s", TypeId::kInt},
+                 {"f", TypeId::kInt},
+                 {"d2t", TypeId::kInt},
+                 {"p2t", TypeId::kInt},
+                 {"a2t", TypeId::kInt},
+                 {"b", TypeId::kInt}});
+}
+}  // namespace
+
+DirCols VisitedTable::ForwardCols() {
+  return DirCols{"d2s", "p2s", "a2s", "f", /*forward=*/true};
+}
+
+DirCols VisitedTable::BackwardCols() {
+  return DirCols{"d2t", "p2t", "a2t", "b", /*forward=*/false};
+}
+
+Status VisitedTable::Create(Database* db, IndexStrategy strategy,
+                            std::string name,
+                            std::unique_ptr<VisitedTable>* out) {
+  auto vt = std::unique_ptr<VisitedTable>(new VisitedTable());
+  vt->db_ = db;
+  TableOptions topts;
+  if (strategy == IndexStrategy::kCluIndex) {
+    topts.storage = TableStorage::kClustered;
+    topts.cluster_key = "nid";
+    topts.cluster_unique = true;
+    vt->has_unique_index_ = true;
+  }
+  RELGRAPH_RETURN_IF_ERROR(db->catalog()->CreateTable(
+      std::move(name), VisitedSchema(), topts, &vt->table_));
+  if (strategy == IndexStrategy::kIndex) {
+    RELGRAPH_RETURN_IF_ERROR(
+        vt->table_->CreateSecondaryIndex("nid", /*unique=*/true));
+    vt->has_unique_index_ = true;
+  }
+  *out = std::move(vt);
+  return Status::OK();
+}
+
+Status VisitedTable::Reset() {
+  db_->RecordStatement();  // DELETE FROM TVisited
+  return table_->Truncate();
+}
+
+Status VisitedTable::InsertSource(node_id_t s) {
+  db_->RecordStatement();  // Listing 2(1)
+  return table_->Insert(Tuple({Value(s), Value(int64_t{0}), Value(s), Value(s),
+                               Value(int64_t{0}), Value(kInfinity),
+                               Value(kInvalidNode), Value(kInvalidNode),
+                               Value(int64_t{1})}));
+}
+
+Status VisitedTable::InsertSourceAndTarget(node_id_t s, node_id_t t) {
+  db_->RecordStatement();
+  RELGRAPH_RETURN_IF_ERROR(table_->Insert(
+      Tuple({Value(s), Value(int64_t{0}), Value(s), Value(s),
+             Value(int64_t{0}), Value(kInfinity), Value(kInvalidNode),
+             Value(kInvalidNode), Value(int64_t{0})})));
+  if (t == s) return Status::OK();
+  db_->RecordStatement();
+  return table_->Insert(Tuple({Value(t), Value(kInfinity), Value(kInvalidNode),
+                               Value(kInvalidNode), Value(int64_t{0}),
+                               Value(int64_t{0}), Value(t), Value(t),
+                               Value(int64_t{0})}));
+}
+
+Status VisitedTable::GetRow(node_id_t nid, Tuple* out) {
+  db_->RecordStatement();  // SELECT * FROM TVisited WHERE nid = :nid
+  if (has_unique_index_) {
+    return table_->LookupUnique("nid", nid, out, nullptr);
+  }
+  // Without an index the engine's plan is a filtered scan.
+  auto child = std::make_unique<SeqScanExecutor>(table_);
+  FilterExecutor plan(std::move(child), ColEq("nid", nid));
+  RELGRAPH_RETURN_IF_ERROR(plan.Init());
+  Tuple t;
+  if (plan.Next(&t)) {
+    *out = t;
+    return Status::OK();
+  }
+  RELGRAPH_RETURN_IF_ERROR(plan.status());
+  return Status::NotFound("node " + std::to_string(nid) + " not visited");
+}
+
+}  // namespace relgraph

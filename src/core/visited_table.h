@@ -1,0 +1,67 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/db/database.h"
+#include "src/graph/graph_store.h"
+
+namespace relgraph {
+
+/// Column bundle naming one search direction's state inside TVisited.
+/// Forward: (d2s, p2s, a2s, f); backward: (d2t, p2t, a2t, b).
+struct DirCols {
+  std::string dist;    // distance from the direction's origin
+  std::string pred;    // predecessor (fwd) / successor (bwd) on the path
+  std::string anchor;  // frontier node this row was expanded from (the
+                       // segment anchor; equals pred on base-graph edges)
+  std::string flag;    // three-value sign: 0 candidate, 1 expanded, 2 frontier
+  bool forward = true;
+};
+
+/// The TVisited working table of the paper (§3.3), extended per §4.1 with
+/// the backward-direction columns and, beyond the paper, with per-direction
+/// *anchor* columns (a2s/a2t). The paper stores only the immediate
+/// predecessor `p2s`, which under-specifies full-path recovery over
+/// SegTable: intermediate segment nodes never enter TVisited, so a p2s
+/// chain dead-ends. The anchor pins the frontier node whose segment covered
+/// this row, letting recovery re-open the right TOutSegs/TInSegs run (see
+/// PathFinder::RecoverPath). DESIGN.md documents this substitution.
+///
+/// Schema: (nid, d2s, p2s, a2s, f, d2t, p2t, a2t, b) — all INT, so rows are
+/// fixed-width and update in place.
+class VisitedTable {
+ public:
+  static Status Create(Database* db, IndexStrategy strategy, std::string name,
+                       std::unique_ptr<VisitedTable>* out);
+
+  Table* table() const { return table_; }
+  Database* db() const { return db_; }
+
+  static DirCols ForwardCols();
+  static DirCols BackwardCols();
+
+  /// Empties the table for the next query (counted as one statement).
+  Status Reset();
+
+  /// Listing 2(1): seed the forward search with the source node.
+  Status InsertSource(node_id_t s);
+
+  /// Algorithm 2 line 1: seed both directions.
+  Status InsertSourceAndTarget(node_id_t s, node_id_t t);
+
+  /// Point lookup of a node's row; uses the unique index when present,
+  /// otherwise a relational scan (NoIndex mode).
+  Status GetRow(node_id_t nid, Tuple* out);
+
+  int64_t num_rows() const { return table_->num_rows(); }
+
+ private:
+  VisitedTable() = default;
+
+  Database* db_ = nullptr;
+  Table* table_ = nullptr;
+  bool has_unique_index_ = false;
+};
+
+}  // namespace relgraph

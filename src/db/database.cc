@@ -1,0 +1,47 @@
+#include "src/db/database.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+
+namespace relgraph {
+
+namespace {
+std::string TempDbPath() {
+  static std::atomic<int> counter{0};
+  auto dir = std::filesystem::temp_directory_path();
+  return (dir / ("relgraph-" + std::to_string(::getpid()) + "-" +
+                 std::to_string(counter.fetch_add(1)) + ".db"))
+      .string();
+}
+}  // namespace
+
+Database::Database(DatabaseOptions options) : options_(std::move(options)) {
+  if (options_.in_memory) {
+    disk_ = std::make_unique<DiskManager>();
+  } else {
+    std::string path = options_.path.empty() ? TempDbPath() : options_.path;
+    disk_ = std::make_unique<DiskManager>(path);
+  }
+  disk_->set_simulated_io_latency_us(options_.simulated_io_latency_us);
+  pool_ = std::make_unique<BufferPool>(options_.buffer_pool_pages, disk_.get());
+  catalog_ = std::make_unique<Catalog>(pool_.get());
+}
+
+void Database::ResetStats() {
+  stats_ = DatabaseStats{};
+  pool_->ResetStats();
+  disk_->ResetStats();
+}
+
+void Database::MaybeSimulateStatementLatency() {
+  if (options_.simulated_statement_latency_us <= 0) return;
+  auto until = std::chrono::steady_clock::now() +
+               std::chrono::microseconds(
+                   options_.simulated_statement_latency_us);
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+}  // namespace relgraph

@@ -1,0 +1,152 @@
+#include "src/exec/agg_executors.h"
+
+#include <map>
+
+namespace relgraph {
+
+namespace {
+
+struct AggState {
+  Value acc;         // MIN/MAX/SUM accumulator (NULL until first input)
+  int64_t count = 0;
+};
+
+void Accumulate(const AggSpec& spec, const Tuple& tuple, const Schema& schema,
+                AggState* state) {
+  if (spec.op == AggOp::kCount) {
+    if (spec.expr == nullptr) {
+      state->count++;
+    } else if (!spec.expr->Evaluate(tuple, schema).IsNull()) {
+      state->count++;
+    }
+    return;
+  }
+  Value v = spec.expr->Evaluate(tuple, schema);
+  if (v.IsNull()) return;  // SQL aggregates skip NULLs
+  if (state->acc.IsNull()) {
+    state->acc = v;
+    return;
+  }
+  switch (spec.op) {
+    case AggOp::kMin:
+      if (v.Compare(state->acc) < 0) state->acc = v;
+      break;
+    case AggOp::kMax:
+      if (v.Compare(state->acc) > 0) state->acc = v;
+      break;
+    case AggOp::kSum:
+      state->acc = state->acc.Add(v);
+      break;
+    case AggOp::kCount:
+      break;
+  }
+}
+
+Value Finalize(const AggSpec& spec, const AggState& state) {
+  if (spec.op == AggOp::kCount) return Value(state.count);
+  return state.acc;
+}
+
+}  // namespace
+
+HashAggregateExecutor::HashAggregateExecutor(
+    ExecRef child, std::vector<std::string> group_cols,
+    std::vector<AggSpec> aggs)
+    : child_(std::move(child)),
+      group_cols_(std::move(group_cols)),
+      aggs_(std::move(aggs)) {
+  std::vector<Column> cols;
+  const Schema& in = child_->OutputSchema();
+  for (const auto& g : group_cols_) {
+    cols.push_back({g, in.column(in.IndexOf(g)).type});
+  }
+  for (const auto& a : aggs_) {
+    // COUNT yields INT; MIN/MAX/SUM keep the input's numeric type (INT for
+    // every aggregate the path-finding statements use).
+    cols.push_back({a.name, TypeId::kInt});
+  }
+  output_schema_ = Schema(std::move(cols));
+}
+
+Status HashAggregateExecutor::Init() {
+  results_.clear();
+  pos_ = 0;
+  RELGRAPH_RETURN_IF_ERROR(child_->Init());
+
+  const Schema& in = child_->OutputSchema();
+  std::vector<size_t> group_idx;
+  group_idx.reserve(group_cols_.size());
+  for (const auto& g : group_cols_) group_idx.push_back(in.IndexOf(g));
+
+  // std::map keyed on the group values gives deterministic output order,
+  // which keeps tests and benchmark traces reproducible.
+  std::map<std::vector<Value>, std::vector<AggState>,
+           decltype([](const std::vector<Value>& a,
+                       const std::vector<Value>& b) {
+             for (size_t i = 0; i < a.size(); i++) {
+               int c = a[i].Compare(b[i]);
+               if (c != 0) return c < 0;
+             }
+             return false;
+           })>
+      groups;
+
+  Tuple t;
+  while (child_->Next(&t)) {
+    std::vector<Value> key;
+    key.reserve(group_idx.size());
+    for (size_t gi : group_idx) key.push_back(t.value(gi));
+    auto [it, inserted] =
+        groups.try_emplace(std::move(key), std::vector<AggState>(aggs_.size()));
+    for (size_t i = 0; i < aggs_.size(); i++) {
+      Accumulate(aggs_[i], t, in, &it->second[i]);
+    }
+  }
+  RELGRAPH_RETURN_IF_ERROR(child_->status());
+
+  if (groups.empty() && group_cols_.empty()) {
+    // Scalar aggregate over empty input: one all-default row.
+    std::vector<AggState> empty(aggs_.size());
+    std::vector<Value> row;
+    for (size_t i = 0; i < aggs_.size(); i++) {
+      row.push_back(Finalize(aggs_[i], empty[i]));
+    }
+    results_.push_back(Tuple(std::move(row)));
+    return Status::OK();
+  }
+
+  for (auto& [key, states] : groups) {
+    std::vector<Value> row = key;
+    for (size_t i = 0; i < aggs_.size(); i++) {
+      row.push_back(Finalize(aggs_[i], states[i]));
+    }
+    results_.push_back(Tuple(std::move(row)));
+  }
+  return Status::OK();
+}
+
+bool HashAggregateExecutor::Next(Tuple* out) {
+  if (pos_ >= results_.size()) return false;
+  *out = results_[pos_++];
+  return true;
+}
+
+const Schema& HashAggregateExecutor::OutputSchema() const {
+  return output_schema_;
+}
+
+Status EvalScalarAggregate(Executor* child, AggOp op, ExprRef expr,
+                           Value* out) {
+  RELGRAPH_RETURN_IF_ERROR(child->Init());
+  AggSpec spec{op, std::move(expr), "agg"};
+  AggState state;
+  Tuple t;
+  while (child->Next(&t)) {
+    Accumulate(spec, t, child->OutputSchema(), &state);
+  }
+  RELGRAPH_RETURN_IF_ERROR(child->status());
+  *out = Finalize(spec, state);
+  return Status::OK();
+}
+
+}  // namespace relgraph

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/exec/executor.h"
+#include "src/exec/expression.h"
+
+namespace relgraph {
+
+enum class AggOp { kMin, kMax, kSum, kCount };
+
+struct AggSpec {
+  AggOp op;
+  ExprRef expr;       // ignored for COUNT(*) (may be null)
+  std::string name;   // output column name
+};
+
+/// Hash aggregation: GROUP BY `group_cols` with the given aggregates.
+/// Output schema = group columns followed by one column per aggregate.
+/// With no group columns this is a scalar aggregate and emits exactly one
+/// row even over empty input (MIN/MAX/SUM of nothing = NULL, COUNT = 0) —
+/// the paper's termination probes (`select min(d2s) from TVisited where
+/// f=0`) rely on that SQL behaviour.
+class HashAggregateExecutor : public Executor {
+ public:
+  HashAggregateExecutor(ExecRef child, std::vector<std::string> group_cols,
+                        std::vector<AggSpec> aggs);
+  Status Init() override;
+  bool Next(Tuple* out) override;
+  const Schema& OutputSchema() const override;
+  void Explain(int depth, std::string* out) const override {
+    Indent(depth, out);
+    out->append("HashAggregate:");
+    for (const auto& g : group_cols_) out->append(" " + g);
+    for (const auto& a : aggs_) out->append(" " + a.name);
+    out->append("\n");
+    child_->Explain(depth + 1, out);
+  }
+
+ private:
+  ExecRef child_;
+  std::vector<std::string> group_cols_;
+  std::vector<AggSpec> aggs_;
+  Schema output_schema_;
+  std::vector<Tuple> results_;
+  size_t pos_ = 0;
+};
+
+/// Convenience for the auxiliary statements: runs a scalar aggregate plan
+/// and returns its single value.
+Status EvalScalarAggregate(Executor* child, AggOp op, ExprRef expr,
+                           Value* out);
+
+}  // namespace relgraph

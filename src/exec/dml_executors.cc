@@ -1,0 +1,173 @@
+#include "src/exec/dml_executors.h"
+
+#include <unordered_map>
+
+#include "src/exec/scan_executors.h"
+
+namespace relgraph {
+
+Status InsertFromExecutor(Table* table, Executor* source, int64_t* inserted) {
+  *inserted = 0;
+  RELGRAPH_RETURN_IF_ERROR(source->Init());
+  Tuple t;
+  while (source->Next(&t)) {
+    RELGRAPH_RETURN_IF_ERROR(table->Insert(t));
+    (*inserted)++;
+  }
+  return source->status();
+}
+
+Status UpdateWhere(Table* table, ExprRef predicate,
+                   const std::vector<SetClause>& sets, int64_t* affected) {
+  *affected = 0;
+  const Schema& schema = table->schema();
+  std::vector<std::pair<size_t, ExprRef>> resolved;
+  resolved.reserve(sets.size());
+  for (const auto& s : sets) {
+    int idx = schema.Find(s.column);
+    if (idx < 0) return Status::InvalidArgument("no column " + s.column);
+    resolved.emplace_back(static_cast<size_t>(idx), s.expr);
+  }
+  // Collect matches first: applying updates mid-scan could revisit rows
+  // through a moved RID or a changed cluster position.
+  std::vector<std::pair<RowRef, Tuple>> pending;
+  Table::Iterator it = table->Scan();
+  Tuple t;
+  RowRef ref;
+  while (it.Next(&t, &ref)) {
+    if (predicate != nullptr && !EvalPredicate(*predicate, t, schema)) continue;
+    Tuple updated = t;
+    for (const auto& [idx, expr] : resolved) {
+      updated.value(idx) = expr->Evaluate(t, schema);
+    }
+    pending.emplace_back(ref, std::move(updated));
+  }
+  RELGRAPH_RETURN_IF_ERROR(it.status());
+  for (const auto& [row_ref, tuple] : pending) {
+    RELGRAPH_RETURN_IF_ERROR(table->UpdateRow(row_ref, tuple));
+    (*affected)++;
+  }
+  return Status::OK();
+}
+
+Status DeleteWhere(Table* table, ExprRef predicate, int64_t* affected) {
+  *affected = 0;
+  const Schema& schema = table->schema();
+  std::vector<RowRef> pending;
+  Table::Iterator it = table->Scan();
+  Tuple t;
+  RowRef ref;
+  while (it.Next(&t, &ref)) {
+    if (predicate != nullptr && !EvalPredicate(*predicate, t, schema)) continue;
+    pending.push_back(ref);
+  }
+  RELGRAPH_RETURN_IF_ERROR(it.status());
+  for (const auto& row_ref : pending) {
+    RELGRAPH_RETURN_IF_ERROR(table->DeleteRow(row_ref));
+    (*affected)++;
+  }
+  return Status::OK();
+}
+
+Status MergeInto(Table* target, Executor* source, const MergeSpec& spec,
+                 int64_t* affected) {
+  *affected = 0;
+  const Schema& target_schema = target->schema();
+  const Schema& source_schema = source->OutputSchema();
+  int tgt_key_idx = target_schema.Find(spec.target_key_column);
+  if (tgt_key_idx < 0) {
+    return Status::InvalidArgument("MERGE target lacks key column " +
+                                   spec.target_key_column);
+  }
+  // Without a unique index the planner falls back to a hash match: one scan
+  // of the target builds key -> row, then each source row probes the map
+  // (this is how an RDBMS executes MERGE on an unindexed target).
+  const bool use_index = target->HasIndexOn(spec.target_key_column);
+  std::unordered_map<int64_t, std::pair<RowRef, Tuple>> hash_side;
+  if (!use_index) {
+    Table::Iterator it = target->Scan();
+    Tuple t;
+    RowRef ref;
+    while (it.Next(&t, &ref)) {
+      const Value& key = t.value(tgt_key_idx);
+      if (key.IsNull()) continue;
+      hash_side.emplace(key.AsInt(), std::make_pair(ref, t));
+    }
+    RELGRAPH_RETURN_IF_ERROR(it.status());
+  }
+  int src_key_idx = source_schema.Find(spec.source_key_column);
+  if (src_key_idx < 0) {
+    return Status::InvalidArgument("MERGE source lacks key column " +
+                                   spec.source_key_column);
+  }
+  if (!spec.insert_values.empty() &&
+      spec.insert_values.size() != target_schema.NumColumns()) {
+    return Status::InvalidArgument("MERGE insert arity mismatch");
+  }
+
+  // Combined row namespace for the matched branch: t.<col> then s.<col>.
+  Schema combined = ConcatSchemas(PrefixSchema(target_schema, "t."),
+                                  PrefixSchema(source_schema, "s."));
+  std::vector<std::pair<size_t, ExprRef>> resolved_sets;
+  resolved_sets.reserve(spec.matched_sets.size());
+  for (const auto& s : spec.matched_sets) {
+    int idx = target_schema.Find(s.column);
+    if (idx < 0) return Status::InvalidArgument("no column " + s.column);
+    resolved_sets.emplace_back(static_cast<size_t>(idx), s.expr);
+  }
+
+  RELGRAPH_RETURN_IF_ERROR(source->Init());
+  Tuple src;
+  while (source->Next(&src)) {
+    const Value& key = src.value(src_key_idx);
+    if (key.IsNull()) continue;
+    Tuple existing;
+    RowRef ref;
+    Status found;
+    if (use_index) {
+      found = target->LookupUnique(spec.target_key_column, key.AsInt(),
+                                   &existing, &ref);
+    } else {
+      auto it = hash_side.find(key.AsInt());
+      if (it != hash_side.end()) {
+        ref = it->second.first;
+        existing = it->second.second;
+        found = Status::OK();
+      } else {
+        found = Status::NotFound("");
+      }
+    }
+    if (found.ok()) {
+      Tuple joined = ConcatTuples(existing, src);
+      if (spec.matched_condition != nullptr &&
+          !EvalPredicate(*spec.matched_condition, joined, combined)) {
+        continue;
+      }
+      if (resolved_sets.empty()) continue;
+      Tuple updated = existing;
+      for (const auto& [idx, expr] : resolved_sets) {
+        updated.value(idx) = expr->Evaluate(joined, combined);
+      }
+      RELGRAPH_RETURN_IF_ERROR(target->UpdateRow(ref, updated));
+      if (!use_index) hash_side[key.AsInt()] = {ref, updated};
+      (*affected)++;
+    } else if (found.IsNotFound()) {
+      if (spec.insert_values.empty()) continue;
+      std::vector<Value> values;
+      values.reserve(spec.insert_values.size());
+      for (const auto& e : spec.insert_values) {
+        values.push_back(e->Evaluate(src, source_schema));
+      }
+      Tuple fresh(std::move(values));
+      RowRef fresh_ref;
+      RELGRAPH_RETURN_IF_ERROR(target->Insert(fresh, &fresh_ref));
+      if (!use_index) hash_side[key.AsInt()] = {fresh_ref, fresh};
+      (*affected)++;
+    } else {
+      return found;
+    }
+  }
+  return source->status();
+}
+
+}  // namespace relgraph

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/catalog/table.h"
+#include "src/exec/executor.h"
+#include "src/exec/expression.h"
+
+namespace relgraph {
+
+/// Data-modification statements. Each reports the number of affected rows —
+/// the engine's equivalent of the SQL communication area (SQLCA) the paper's
+/// Algorithm 1 polls to detect termination ("if the number of affected
+/// tuples is 0 then break").
+
+/// INSERT INTO table SELECT ... ; source schema must be type-compatible.
+Status InsertFromExecutor(Table* table, Executor* source, int64_t* inserted);
+
+/// UPDATE table SET col=expr, ... WHERE predicate. Set expressions are
+/// evaluated against the *old* row (table schema). A null predicate matches
+/// every row.
+struct SetClause {
+  std::string column;
+  ExprRef expr;
+};
+Status UpdateWhere(Table* table, ExprRef predicate,
+                   const std::vector<SetClause>& sets, int64_t* affected);
+
+/// DELETE FROM table WHERE predicate.
+Status DeleteWhere(Table* table, ExprRef predicate, int64_t* affected);
+
+/// The SQL:2008 MERGE statement (paper §2.2, Listing 2(4)):
+///
+///   MERGE INTO target USING <source> ON target.<key_col> = source.<key_col>
+///   WHEN MATCHED [AND <matched_condition>] THEN UPDATE SET ...
+///   WHEN NOT MATCHED THEN INSERT VALUES (...)
+///
+/// The target must have a *unique* access path on `target_key_column`
+/// (unique secondary index or unique cluster key); the probe per source row
+/// is an index lookup, which is what makes one MERGE cheaper than the
+/// update-statement-plus-insert-statement pair it replaces.
+///
+/// Expression namespaces: `matched_condition` and matched SET expressions
+/// see the combined schema [t.<target cols>, s.<source cols>]; insert value
+/// expressions see the plain source schema.
+struct MergeSpec {
+  std::string target_key_column;
+  std::string source_key_column;
+  ExprRef matched_condition;            // nullptr = always
+  std::vector<SetClause> matched_sets;  // columns of the target
+  std::vector<ExprRef> insert_values;   // one per target column
+};
+
+Status MergeInto(Table* target, Executor* source, const MergeSpec& spec,
+                 int64_t* affected);
+
+}  // namespace relgraph

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/types/schema.h"
+#include "src/types/tuple.h"
+
+namespace relgraph {
+
+/// Volcano-style pull executor: Init() once, then Next() until it returns
+/// false; check status() afterwards to distinguish end-of-stream from error.
+/// Physical plans for the paper's SQL statements are built by composing
+/// these executors (see src/core/fem.cc for the F/E/M plans).
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  virtual Status Init() = 0;
+
+  /// Produces the next tuple; false at end of stream or on error.
+  virtual bool Next(Tuple* out) = 0;
+
+  virtual const Schema& OutputSchema() const = 0;
+
+  /// Appends this node (and its inputs, indented) to `out` — the plan tree
+  /// behind EXPLAIN. One line per operator, physical choices spelled out
+  /// (e.g. IndexNestedLoopJoin vs NestedLoopJoin, pushed-down filters).
+  virtual void Explain(int depth, std::string* out) const;
+
+  const Status& status() const { return status_; }
+
+ protected:
+  /// Explain helper: two spaces per depth level.
+  static void Indent(int depth, std::string* out) {
+    out->append(static_cast<size_t>(depth) * 2, ' ');
+  }
+
+  Status status_;
+};
+
+using ExecRef = std::unique_ptr<Executor>;
+
+/// Drains `exec` into a vector (Init + Next*). Errors propagate.
+Status Collect(Executor* exec, std::vector<Tuple>* out);
+
+}  // namespace relgraph

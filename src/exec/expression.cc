@@ -1,0 +1,268 @@
+#include "src/exec/expression.h"
+
+#include <cassert>
+
+namespace relgraph {
+
+namespace {
+
+class ColumnExpr : public Expression {
+ public:
+  explicit ColumnExpr(std::string name) : name_(std::move(name)) {}
+  Value Evaluate(const Tuple& tuple, const Schema& schema) const override {
+    return tuple.value(schema.IndexOf(name_));
+  }
+  std::string ToString() const override { return name_; }
+
+ private:
+  std::string name_;
+};
+
+class LiteralExpr : public Expression {
+ public:
+  explicit LiteralExpr(Value v) : value_(std::move(v)) {}
+  Value Evaluate(const Tuple&, const Schema&) const override { return value_; }
+  std::string ToString() const override { return value_.ToString(); }
+
+ private:
+  Value value_;
+};
+
+class AddExpr : public Expression {
+ public:
+  AddExpr(ExprRef l, ExprRef r) : left_(std::move(l)), right_(std::move(r)) {}
+  Value Evaluate(const Tuple& t, const Schema& s) const override {
+    return left_->Evaluate(t, s).Add(right_->Evaluate(t, s));
+  }
+  std::string ToString() const override {
+    return "(" + left_->ToString() + " + " + right_->ToString() + ")";
+  }
+
+ private:
+  ExprRef left_, right_;
+};
+
+class MulExpr : public Expression {
+ public:
+  MulExpr(ExprRef l, ExprRef r) : left_(std::move(l)), right_(std::move(r)) {}
+  Value Evaluate(const Tuple& t, const Schema& s) const override {
+    Value lv = left_->Evaluate(t, s);
+    Value rv = right_->Evaluate(t, s);
+    if (lv.IsNull() || rv.IsNull()) return Value::Null();
+    if (lv.type() == TypeId::kInt && rv.type() == TypeId::kInt) {
+      return Value(lv.AsInt() * rv.AsInt());
+    }
+    return Value(lv.AsNumeric() * rv.AsNumeric());
+  }
+  std::string ToString() const override {
+    return "(" + left_->ToString() + " * " + right_->ToString() + ")";
+  }
+
+ private:
+  ExprRef left_, right_;
+};
+
+const char* OpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq: return "=";
+    case CompareOp::kNe: return "<>";
+    case CompareOp::kLt: return "<";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+class CompareExpr : public Expression {
+ public:
+  CompareExpr(CompareOp op, ExprRef l, ExprRef r)
+      : op_(op), left_(std::move(l)), right_(std::move(r)) {}
+  Value Evaluate(const Tuple& t, const Schema& s) const override {
+    Value lv = left_->Evaluate(t, s);
+    Value rv = right_->Evaluate(t, s);
+    if (lv.IsNull() || rv.IsNull()) return Value::Null();  // SQL unknown
+    int c = lv.Compare(rv);
+    bool result = false;
+    switch (op_) {
+      case CompareOp::kEq: result = c == 0; break;
+      case CompareOp::kNe: result = c != 0; break;
+      case CompareOp::kLt: result = c < 0; break;
+      case CompareOp::kLe: result = c <= 0; break;
+      case CompareOp::kGt: result = c > 0; break;
+      case CompareOp::kGe: result = c >= 0; break;
+    }
+    return Value(static_cast<int64_t>(result ? 1 : 0));
+  }
+  std::string ToString() const override {
+    return "(" + left_->ToString() + " " + OpName(op_) + " " +
+           right_->ToString() + ")";
+  }
+
+ private:
+  CompareOp op_;
+  ExprRef left_, right_;
+};
+
+class AndExpr : public Expression {
+ public:
+  AndExpr(ExprRef l, ExprRef r) : left_(std::move(l)), right_(std::move(r)) {}
+  Value Evaluate(const Tuple& t, const Schema& s) const override {
+    Value lv = left_->Evaluate(t, s);
+    if (!lv.IsNull() && lv.AsInt() == 0) return Value(int64_t{0});
+    Value rv = right_->Evaluate(t, s);
+    if (!rv.IsNull() && rv.AsInt() == 0) return Value(int64_t{0});
+    if (lv.IsNull() || rv.IsNull()) return Value::Null();
+    return Value(int64_t{1});
+  }
+  std::string ToString() const override {
+    return "(" + left_->ToString() + " AND " + right_->ToString() + ")";
+  }
+
+ private:
+  ExprRef left_, right_;
+};
+
+class OrExpr : public Expression {
+ public:
+  OrExpr(ExprRef l, ExprRef r) : left_(std::move(l)), right_(std::move(r)) {}
+  Value Evaluate(const Tuple& t, const Schema& s) const override {
+    Value lv = left_->Evaluate(t, s);
+    if (!lv.IsNull() && lv.AsInt() != 0) return Value(int64_t{1});
+    Value rv = right_->Evaluate(t, s);
+    if (!rv.IsNull() && rv.AsInt() != 0) return Value(int64_t{1});
+    if (lv.IsNull() || rv.IsNull()) return Value::Null();
+    return Value(int64_t{0});
+  }
+  std::string ToString() const override {
+    return "(" + left_->ToString() + " OR " + right_->ToString() + ")";
+  }
+
+ private:
+  ExprRef left_, right_;
+};
+
+class SubExpr : public Expression {
+ public:
+  SubExpr(ExprRef l, ExprRef r) : left_(std::move(l)), right_(std::move(r)) {}
+  Value Evaluate(const Tuple& t, const Schema& s) const override {
+    Value lv = left_->Evaluate(t, s);
+    Value rv = right_->Evaluate(t, s);
+    if (lv.IsNull() || rv.IsNull()) return Value::Null();
+    if (lv.type() == TypeId::kInt && rv.type() == TypeId::kInt) {
+      return Value(lv.AsInt() - rv.AsInt());
+    }
+    return Value(lv.AsNumeric() - rv.AsNumeric());
+  }
+  std::string ToString() const override {
+    return "(" + left_->ToString() + " - " + right_->ToString() + ")";
+  }
+
+ private:
+  ExprRef left_, right_;
+};
+
+class DivExpr : public Expression {
+ public:
+  DivExpr(ExprRef l, ExprRef r) : left_(std::move(l)), right_(std::move(r)) {}
+  Value Evaluate(const Tuple& t, const Schema& s) const override {
+    Value lv = left_->Evaluate(t, s);
+    Value rv = right_->Evaluate(t, s);
+    if (lv.IsNull() || rv.IsNull()) return Value::Null();
+    if (lv.type() == TypeId::kInt && rv.type() == TypeId::kInt) {
+      if (rv.AsInt() == 0) return Value::Null();
+      return Value(lv.AsInt() / rv.AsInt());
+    }
+    if (rv.AsNumeric() == 0) return Value::Null();
+    return Value(lv.AsNumeric() / rv.AsNumeric());
+  }
+  std::string ToString() const override {
+    return "(" + left_->ToString() + " / " + right_->ToString() + ")";
+  }
+
+ private:
+  ExprRef left_, right_;
+};
+
+class IsNullExpr : public Expression {
+ public:
+  IsNullExpr(ExprRef inner, bool negated)
+      : inner_(std::move(inner)), negated_(negated) {}
+  Value Evaluate(const Tuple& t, const Schema& s) const override {
+    bool is_null = inner_->Evaluate(t, s).IsNull();
+    return Value(static_cast<int64_t>(is_null != negated_ ? 1 : 0));
+  }
+  std::string ToString() const override {
+    return inner_->ToString() + (negated_ ? " IS NOT NULL" : " IS NULL");
+  }
+
+ private:
+  ExprRef inner_;
+  bool negated_;
+};
+
+class NotExpr : public Expression {
+ public:
+  explicit NotExpr(ExprRef inner) : inner_(std::move(inner)) {}
+  Value Evaluate(const Tuple& t, const Schema& s) const override {
+    Value v = inner_->Evaluate(t, s);
+    if (v.IsNull()) return Value::Null();
+    return Value(static_cast<int64_t>(v.AsInt() == 0 ? 1 : 0));
+  }
+  std::string ToString() const override {
+    return "NOT " + inner_->ToString();
+  }
+
+ private:
+  ExprRef inner_;
+};
+
+}  // namespace
+
+ExprRef Col(std::string name) {
+  return std::make_shared<ColumnExpr>(std::move(name));
+}
+ExprRef Lit(int64_t v) { return std::make_shared<LiteralExpr>(Value(v)); }
+ExprRef Lit(double v) { return std::make_shared<LiteralExpr>(Value(v)); }
+ExprRef Lit(std::string v) {
+  return std::make_shared<LiteralExpr>(Value(std::move(v)));
+}
+ExprRef Lit(Value v) { return std::make_shared<LiteralExpr>(std::move(v)); }
+ExprRef NullLit() { return std::make_shared<LiteralExpr>(Value::Null()); }
+ExprRef Add(ExprRef left, ExprRef right) {
+  return std::make_shared<AddExpr>(std::move(left), std::move(right));
+}
+ExprRef Sub(ExprRef left, ExprRef right) {
+  return std::make_shared<SubExpr>(std::move(left), std::move(right));
+}
+ExprRef Mul(ExprRef left, ExprRef right) {
+  return std::make_shared<MulExpr>(std::move(left), std::move(right));
+}
+ExprRef Div(ExprRef left, ExprRef right) {
+  return std::make_shared<DivExpr>(std::move(left), std::move(right));
+}
+ExprRef IsNull(ExprRef inner, bool negated) {
+  return std::make_shared<IsNullExpr>(std::move(inner), negated);
+}
+ExprRef Cmp(CompareOp op, ExprRef left, ExprRef right) {
+  return std::make_shared<CompareExpr>(op, std::move(left), std::move(right));
+}
+ExprRef And(ExprRef left, ExprRef right) {
+  return std::make_shared<AndExpr>(std::move(left), std::move(right));
+}
+ExprRef Or(ExprRef left, ExprRef right) {
+  return std::make_shared<OrExpr>(std::move(left), std::move(right));
+}
+ExprRef Not(ExprRef inner) { return std::make_shared<NotExpr>(std::move(inner)); }
+
+ExprRef ColEq(std::string name, int64_t v) {
+  return Cmp(CompareOp::kEq, Col(std::move(name)), Lit(v));
+}
+
+bool EvalPredicate(const Expression& expr, const Tuple& tuple,
+                   const Schema& schema) {
+  Value v = expr.Evaluate(tuple, schema);
+  return !v.IsNull() && v.AsInt() != 0;
+}
+
+}  // namespace relgraph

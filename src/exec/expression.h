@@ -1,0 +1,57 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/types/schema.h"
+#include "src/types/tuple.h"
+#include "src/types/value.h"
+
+namespace relgraph {
+
+/// Scalar expression tree evaluated against one tuple. This is the
+/// machinery behind every WHERE predicate, SELECT list item, join
+/// condition, and MERGE action in the paper's SQL listings.
+class Expression {
+ public:
+  virtual ~Expression() = default;
+  virtual Value Evaluate(const Tuple& tuple, const Schema& schema) const = 0;
+  virtual std::string ToString() const = 0;
+};
+
+using ExprRef = std::shared_ptr<const Expression>;
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// References a column by name; resolved against the schema at evaluation
+/// time so one expression works across plans with compatible columns.
+ExprRef Col(std::string name);
+/// Integer / double / string / NULL literals.
+ExprRef Lit(int64_t v);
+ExprRef Lit(double v);
+ExprRef Lit(std::string v);
+ExprRef Lit(Value v);
+ExprRef NullLit();
+/// Arithmetic and logic. Div is SQL division: NULL on division by zero,
+/// integer division for two INTs.
+ExprRef Add(ExprRef left, ExprRef right);
+ExprRef Sub(ExprRef left, ExprRef right);
+ExprRef Mul(ExprRef left, ExprRef right);
+ExprRef Div(ExprRef left, ExprRef right);
+ExprRef Cmp(CompareOp op, ExprRef left, ExprRef right);
+ExprRef And(ExprRef left, ExprRef right);
+ExprRef Or(ExprRef left, ExprRef right);
+ExprRef Not(ExprRef inner);
+/// SQL IS NULL / IS NOT NULL (distinct from `= NULL`, which is unknown).
+ExprRef IsNull(ExprRef inner, bool negated = false);
+
+/// Shorthand: column = integer literal, the most common predicate.
+ExprRef ColEq(std::string name, int64_t v);
+
+/// SQL boolean test: true only when the value is non-null and nonzero
+/// (comparisons yield INT 0/1; NULL propagates as "unknown" = not true).
+bool EvalPredicate(const Expression& expr, const Tuple& tuple,
+                   const Schema& schema);
+
+}  // namespace relgraph

@@ -1,0 +1,114 @@
+#include "src/exec/join_executors.h"
+
+namespace relgraph {
+
+// ---------------------------------------------------------- NestedLoopJoin
+
+NestedLoopJoinExecutor::NestedLoopJoinExecutor(ExecRef left, ExecRef right,
+                                               ExprRef predicate)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      predicate_(std::move(predicate)) {
+  output_schema_ =
+      ConcatSchemas(left_->OutputSchema(), right_->OutputSchema());
+}
+
+Status NestedLoopJoinExecutor::Init() {
+  RELGRAPH_RETURN_IF_ERROR(left_->Init());
+  right_rows_.clear();
+  RELGRAPH_RETURN_IF_ERROR(Collect(right_.get(), &right_rows_));
+  have_left_ = false;
+  right_pos_ = 0;
+  return Status::OK();
+}
+
+bool NestedLoopJoinExecutor::Next(Tuple* out) {
+  for (;;) {
+    if (!have_left_) {
+      if (!left_->Next(&current_left_)) {
+        status_ = left_->status();
+        return false;
+      }
+      have_left_ = true;
+      right_pos_ = 0;
+    }
+    while (right_pos_ < right_rows_.size()) {
+      Tuple joined = ConcatTuples(current_left_, right_rows_[right_pos_++]);
+      if (predicate_ == nullptr ||
+          EvalPredicate(*predicate_, joined, output_schema_)) {
+        *out = std::move(joined);
+        return true;
+      }
+    }
+    have_left_ = false;
+  }
+}
+
+const Schema& NestedLoopJoinExecutor::OutputSchema() const {
+  return output_schema_;
+}
+
+// ----------------------------------------------------- IndexNestedLoopJoin
+
+IndexNestedLoopJoinExecutor::IndexNestedLoopJoinExecutor(
+    ExecRef outer, Table* inner, std::string inner_column, ExprRef outer_key,
+    ExprRef residual)
+    : outer_(std::move(outer)),
+      inner_(inner),
+      inner_column_(std::move(inner_column)),
+      outer_key_(std::move(outer_key)),
+      residual_(std::move(residual)) {
+  output_schema_ = ConcatSchemas(outer_->OutputSchema(), inner_->schema());
+}
+
+Status IndexNestedLoopJoinExecutor::Init() {
+  if (!inner_->HasIndexOn(inner_column_)) {
+    return Status::InvalidArgument("index nested-loop join requires index on " +
+                                   inner_column_);
+  }
+  have_outer_ = false;
+  inner_open_ = false;
+  return outer_->Init();
+}
+
+bool IndexNestedLoopJoinExecutor::Next(Tuple* out) {
+  for (;;) {
+    if (!have_outer_) {
+      if (!outer_->Next(&current_outer_)) {
+        status_ = outer_->status();
+        return false;
+      }
+      have_outer_ = true;
+      Value key = outer_key_->Evaluate(current_outer_, outer_->OutputSchema());
+      if (key.IsNull()) {  // NULL keys join nothing
+        have_outer_ = false;
+        continue;
+      }
+      status_ = inner_->ScanRange(inner_column_, key.AsInt(), key.AsInt(),
+                                  &inner_it_);
+      if (!status_.ok()) return false;
+      inner_open_ = true;
+    }
+    Tuple inner_tuple;
+    while (inner_open_ && inner_it_.Next(&inner_tuple, nullptr)) {
+      Tuple joined = ConcatTuples(current_outer_, inner_tuple);
+      if (residual_ == nullptr ||
+          EvalPredicate(*residual_, joined, output_schema_)) {
+        *out = std::move(joined);
+        return true;
+      }
+    }
+    if (inner_open_ && !inner_it_.status().ok()) {
+      status_ = inner_it_.status();
+      return false;
+    }
+    have_outer_ = false;
+    inner_open_ = false;
+  }
+}
+
+const Schema& IndexNestedLoopJoinExecutor::OutputSchema() const {
+  return output_schema_;
+}
+
+}  // namespace relgraph

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/catalog/table.h"
+#include "src/exec/executor.h"
+#include "src/exec/expression.h"
+
+namespace relgraph {
+
+/// Block nested-loop join: the right input is materialized once, then each
+/// left tuple is paired against it under `predicate` (evaluated over the
+/// concatenated schema). This is the E-operator's fallback plan when TEdges
+/// has no index — the paper's NoIndex configuration.
+class NestedLoopJoinExecutor : public Executor {
+ public:
+  NestedLoopJoinExecutor(ExecRef left, ExecRef right, ExprRef predicate);
+  Status Init() override;
+  bool Next(Tuple* out) override;
+  const Schema& OutputSchema() const override;
+  void Explain(int depth, std::string* out) const override {
+    Indent(depth, out);
+    out->append(predicate_ == nullptr
+                    ? "NestedLoopJoin (cross)\n"
+                    : "NestedLoopJoin: " + predicate_->ToString() + "\n");
+    left_->Explain(depth + 1, out);
+    right_->Explain(depth + 1, out);
+  }
+
+ private:
+  ExecRef left_;
+  ExecRef right_;
+  ExprRef predicate_;
+  Schema output_schema_;
+  std::vector<Tuple> right_rows_;
+  Tuple current_left_;
+  bool have_left_ = false;
+  size_t right_pos_ = 0;
+};
+
+/// Index nested-loop join: for each outer tuple, evaluates `outer_key` and
+/// probes the inner table's index on `inner_column` for equal keys. This is
+/// the plan the RDBMS optimizer picks for the E-operator join
+/// `TVisited ⋈ TEdges ON TVisited.nid = TEdges.fid` when TEdges is indexed
+/// (the paper's Index / CluIndex configurations). An optional residual
+/// predicate is applied to the concatenated row — the BSEG pruning rule
+/// `out.cost + q.d2s + lb < minCost` lands there.
+class IndexNestedLoopJoinExecutor : public Executor {
+ public:
+  IndexNestedLoopJoinExecutor(ExecRef outer, Table* inner,
+                              std::string inner_column, ExprRef outer_key,
+                              ExprRef residual = nullptr);
+  Status Init() override;
+  bool Next(Tuple* out) override;
+  const Schema& OutputSchema() const override;
+  void Explain(int depth, std::string* out) const override {
+    Indent(depth, out);
+    out->append("IndexNestedLoopJoin: probe " + inner_->name() + "." +
+                inner_column_ + " = " + outer_key_->ToString());
+    if (residual_ != nullptr) {
+      out->append(" residual " + residual_->ToString());
+    }
+    out->append("\n");
+    outer_->Explain(depth + 1, out);
+  }
+
+ private:
+  ExecRef outer_;
+  Table* inner_;
+  std::string inner_column_;
+  ExprRef outer_key_;
+  ExprRef residual_;
+  Schema output_schema_;
+  Tuple current_outer_;
+  bool have_outer_ = false;
+  Table::Iterator inner_it_;
+  bool inner_open_ = false;
+};
+
+}  // namespace relgraph

@@ -1,0 +1,191 @@
+#include "src/exec/scan_executors.h"
+
+namespace relgraph {
+
+void Executor::Explain(int depth, std::string* out) const {
+  Indent(depth, out);
+  out->append("Operator\n");
+}
+
+Status Collect(Executor* exec, std::vector<Tuple>* out) {
+  RELGRAPH_RETURN_IF_ERROR(exec->Init());
+  Tuple t;
+  while (exec->Next(&t)) out->push_back(t);
+  return exec->status();
+}
+
+Schema PrefixSchema(const Schema& schema, const std::string& prefix) {
+  std::vector<Column> cols;
+  cols.reserve(schema.NumColumns());
+  for (const auto& c : schema.columns()) {
+    cols.push_back({prefix + c.name, c.type});
+  }
+  return Schema(std::move(cols));
+}
+
+// ---------------------------------------------------------------- SeqScan
+
+SeqScanExecutor::SeqScanExecutor(Table* table) : table_(table) {}
+
+Status SeqScanExecutor::Init() {
+  it_ = table_->Scan();
+  return Status::OK();
+}
+
+bool SeqScanExecutor::Next(Tuple* out) {
+  if (!it_.Next(out, nullptr)) {
+    status_ = it_.status();
+    return false;
+  }
+  return true;
+}
+
+const Schema& SeqScanExecutor::OutputSchema() const {
+  return table_->schema();
+}
+
+// ---------------------------------------------------------- IndexRangeScan
+
+IndexRangeScanExecutor::IndexRangeScanExecutor(Table* table,
+                                               std::string column, int64_t lo,
+                                               int64_t hi)
+    : table_(table), column_(std::move(column)), lo_(lo), hi_(hi) {}
+
+Status IndexRangeScanExecutor::Init() {
+  return table_->ScanRange(column_, lo_, hi_, &it_);
+}
+
+bool IndexRangeScanExecutor::Next(Tuple* out) {
+  if (!it_.Next(out, nullptr)) {
+    status_ = it_.status();
+    return false;
+  }
+  return true;
+}
+
+const Schema& IndexRangeScanExecutor::OutputSchema() const {
+  return table_->schema();
+}
+
+// ----------------------------------------------------------------- Filter
+
+FilterExecutor::FilterExecutor(ExecRef child, ExprRef predicate)
+    : child_(std::move(child)), predicate_(std::move(predicate)) {}
+
+Status FilterExecutor::Init() { return child_->Init(); }
+
+bool FilterExecutor::Next(Tuple* out) {
+  while (child_->Next(out)) {
+    if (EvalPredicate(*predicate_, *out, child_->OutputSchema())) return true;
+  }
+  status_ = child_->status();
+  return false;
+}
+
+const Schema& FilterExecutor::OutputSchema() const {
+  return child_->OutputSchema();
+}
+
+// ---------------------------------------------------------------- Project
+
+ProjectExecutor::ProjectExecutor(ExecRef child, std::vector<ExprRef> exprs,
+                                 Schema output_schema)
+    : child_(std::move(child)),
+      exprs_(std::move(exprs)),
+      output_schema_(std::move(output_schema)) {}
+
+Status ProjectExecutor::Init() {
+  if (exprs_.size() != output_schema_.NumColumns()) {
+    return Status::InvalidArgument("projection arity mismatch");
+  }
+  return child_->Init();
+}
+
+bool ProjectExecutor::Next(Tuple* out) {
+  Tuple in;
+  if (!child_->Next(&in)) {
+    status_ = child_->status();
+    return false;
+  }
+  std::vector<Value> values;
+  values.reserve(exprs_.size());
+  for (const auto& e : exprs_) {
+    values.push_back(e->Evaluate(in, child_->OutputSchema()));
+  }
+  *out = Tuple(std::move(values));
+  return true;
+}
+
+const Schema& ProjectExecutor::OutputSchema() const { return output_schema_; }
+
+// ------------------------------------------------------------------ Limit
+
+LimitExecutor::LimitExecutor(ExecRef child, int64_t limit)
+    : child_(std::move(child)), limit_(limit) {}
+
+Status LimitExecutor::Init() {
+  produced_ = 0;
+  return child_->Init();
+}
+
+bool LimitExecutor::Next(Tuple* out) {
+  if (produced_ >= limit_) return false;
+  if (!child_->Next(out)) {
+    status_ = child_->status();
+    return false;
+  }
+  produced_++;
+  return true;
+}
+
+const Schema& LimitExecutor::OutputSchema() const {
+  return child_->OutputSchema();
+}
+
+// ----------------------------------------------------------- Materialized
+
+MaterializedExecutor::MaterializedExecutor(std::vector<Tuple> tuples,
+                                           Schema schema)
+    : tuples_(std::move(tuples)), schema_(std::move(schema)) {}
+
+Status MaterializedExecutor::Init() {
+  pos_ = 0;
+  return Status::OK();
+}
+
+bool MaterializedExecutor::Next(Tuple* out) {
+  if (pos_ >= tuples_.size()) return false;
+  *out = tuples_[pos_++];
+  return true;
+}
+
+const Schema& MaterializedExecutor::OutputSchema() const { return schema_; }
+
+// ----------------------------------------------------------------- Rename
+
+RenameExecutor::RenameExecutor(ExecRef child, std::vector<std::string> names)
+    : child_(std::move(child)) {
+  std::vector<Column> cols;
+  const Schema& in = child_->OutputSchema();
+  cols.reserve(in.NumColumns());
+  for (size_t i = 0; i < in.NumColumns(); i++) {
+    cols.push_back({names[i], in.column(i).type});
+  }
+  schema_ = Schema(std::move(cols));
+}
+
+Status RenameExecutor::Init() { return child_->Init(); }
+
+bool RenameExecutor::Next(Tuple* out) {
+  if (!child_->Next(out)) {
+    status_ = child_->status();
+    return false;
+  }
+  return true;
+}
+
+const Schema& RenameExecutor::OutputSchema() const { return schema_; }
+
+}  // namespace relgraph
+
+namespace relgraph_explain_detail {}  // silences include-what-you-use noise

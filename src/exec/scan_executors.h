@@ -1,0 +1,154 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/catalog/table.h"
+#include "src/exec/executor.h"
+#include "src/exec/expression.h"
+
+namespace relgraph {
+
+/// Full-table scan (the paper's NoIndex access path).
+class SeqScanExecutor : public Executor {
+ public:
+  explicit SeqScanExecutor(Table* table);
+  Status Init() override;
+  bool Next(Tuple* out) override;
+  const Schema& OutputSchema() const override;
+  void Explain(int depth, std::string* out) const override {
+    Indent(depth, out);
+    out->append("SeqScan: " + table_->name() + "\n");
+  }
+
+ private:
+  Table* table_;
+  Table::Iterator it_;
+};
+
+/// Index range scan: lo <= column <= hi through the cluster tree or a
+/// secondary index.
+class IndexRangeScanExecutor : public Executor {
+ public:
+  IndexRangeScanExecutor(Table* table, std::string column, int64_t lo,
+                         int64_t hi);
+  Status Init() override;
+  bool Next(Tuple* out) override;
+  const Schema& OutputSchema() const override;
+  void Explain(int depth, std::string* out) const override {
+    Indent(depth, out);
+    out->append("IndexRangeScan: " + table_->name() + "." + column_ + " in [" +
+                std::to_string(lo_) + ", " + std::to_string(hi_) + "]\n");
+  }
+
+ private:
+  Table* table_;
+  std::string column_;
+  int64_t lo_, hi_;
+  Table::Iterator it_;
+};
+
+/// WHERE clause: forwards child tuples satisfying the predicate.
+class FilterExecutor : public Executor {
+ public:
+  FilterExecutor(ExecRef child, ExprRef predicate);
+  Status Init() override;
+  bool Next(Tuple* out) override;
+  const Schema& OutputSchema() const override;
+  void Explain(int depth, std::string* out) const override {
+    Indent(depth, out);
+    out->append("Filter: " + predicate_->ToString() + "\n");
+    child_->Explain(depth + 1, out);
+  }
+
+ private:
+  ExecRef child_;
+  ExprRef predicate_;
+};
+
+/// SELECT list: evaluates one expression per output column.
+class ProjectExecutor : public Executor {
+ public:
+  ProjectExecutor(ExecRef child, std::vector<ExprRef> exprs,
+                  Schema output_schema);
+  Status Init() override;
+  bool Next(Tuple* out) override;
+  const Schema& OutputSchema() const override;
+  void Explain(int depth, std::string* out) const override {
+    Indent(depth, out);
+    out->append("Project:");
+    for (const auto& e : exprs_) out->append(" " + e->ToString());
+    out->append("\n");
+    child_->Explain(depth + 1, out);
+  }
+
+ private:
+  ExecRef child_;
+  std::vector<ExprRef> exprs_;
+  Schema output_schema_;
+};
+
+/// TOP n / LIMIT n.
+class LimitExecutor : public Executor {
+ public:
+  LimitExecutor(ExecRef child, int64_t limit);
+  Status Init() override;
+  bool Next(Tuple* out) override;
+  const Schema& OutputSchema() const override;
+  void Explain(int depth, std::string* out) const override {
+    Indent(depth, out);
+    out->append("Limit: " + std::to_string(limit_) + "\n");
+    child_->Explain(depth + 1, out);
+  }
+
+ private:
+  ExecRef child_;
+  int64_t limit_;
+  int64_t produced_ = 0;
+};
+
+/// Replays an in-memory tuple vector (used for VALUES lists and for
+/// materialized intermediate results such as the E-operator output fed to
+/// the M-operator).
+class MaterializedExecutor : public Executor {
+ public:
+  MaterializedExecutor(std::vector<Tuple> tuples, Schema schema);
+  Status Init() override;
+  bool Next(Tuple* out) override;
+  const Schema& OutputSchema() const override;
+  void Explain(int depth, std::string* out) const override {
+    Indent(depth, out);
+    out->append("Materialized: " + std::to_string(tuples_.size()) +
+                " row(s)\n");
+  }
+
+ private:
+  std::vector<Tuple> tuples_;
+  Schema schema_;
+  size_t pos_ = 0;
+};
+
+/// Renames the child's columns (SQL AS aliases; used to build the "t.x"/
+/// "s.x" combined schemas for MERGE and join predicates).
+class RenameExecutor : public Executor {
+ public:
+  RenameExecutor(ExecRef child, std::vector<std::string> new_names);
+  Status Init() override;
+  bool Next(Tuple* out) override;
+  const Schema& OutputSchema() const override;
+  void Explain(int depth, std::string* out) const override {
+    Indent(depth, out);
+    out->append("Rename: -> " + schema_.ToString() + "\n");
+    child_->Explain(depth + 1, out);
+  }
+
+ private:
+  ExecRef child_;
+  Schema schema_;
+};
+
+/// Prefixes every column name of `schema` with `prefix` (e.g. "out.").
+Schema PrefixSchema(const Schema& schema, const std::string& prefix);
+
+}  // namespace relgraph

@@ -1,0 +1,43 @@
+#include "src/exec/sort_executor.h"
+
+#include <algorithm>
+
+namespace relgraph {
+
+int CompareBySortKeys(const Tuple& a, const Tuple& b,
+                      const std::vector<SortKey>& keys, const Schema& schema) {
+  for (const auto& key : keys) {
+    Value va = key.expr->Evaluate(a, schema);
+    Value vb = key.expr->Evaluate(b, schema);
+    int c = va.Compare(vb);
+    if (c != 0) return key.ascending ? c : -c;
+  }
+  return 0;
+}
+
+SortExecutor::SortExecutor(ExecRef child, std::vector<SortKey> keys)
+    : child_(std::move(child)), keys_(std::move(keys)) {}
+
+Status SortExecutor::Init() {
+  rows_.clear();
+  pos_ = 0;
+  RELGRAPH_RETURN_IF_ERROR(Collect(child_.get(), &rows_));
+  const Schema& schema = child_->OutputSchema();
+  std::stable_sort(rows_.begin(), rows_.end(),
+                   [&](const Tuple& a, const Tuple& b) {
+                     return CompareBySortKeys(a, b, keys_, schema) < 0;
+                   });
+  return Status::OK();
+}
+
+bool SortExecutor::Next(Tuple* out) {
+  if (pos_ >= rows_.size()) return false;
+  *out = rows_[pos_++];
+  return true;
+}
+
+const Schema& SortExecutor::OutputSchema() const {
+  return child_->OutputSchema();
+}
+
+}  // namespace relgraph

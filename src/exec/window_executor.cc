@@ -1,0 +1,69 @@
+#include "src/exec/window_executor.h"
+
+#include <algorithm>
+
+namespace relgraph {
+
+WindowRowNumberExecutor::WindowRowNumberExecutor(
+    ExecRef child, std::vector<std::string> partition_cols,
+    std::vector<SortKey> order_keys, std::string out_column)
+    : child_(std::move(child)),
+      partition_cols_(std::move(partition_cols)),
+      order_keys_(std::move(order_keys)) {
+  std::vector<Column> cols = child_->OutputSchema().columns();
+  cols.push_back({std::move(out_column), TypeId::kInt});
+  output_schema_ = Schema(std::move(cols));
+}
+
+Status WindowRowNumberExecutor::Init() {
+  rows_.clear();
+  pos_ = 0;
+  std::vector<Tuple> input;
+  RELGRAPH_RETURN_IF_ERROR(Collect(child_.get(), &input));
+
+  const Schema& in_schema = child_->OutputSchema();
+  std::vector<size_t> part_idx;
+  part_idx.reserve(partition_cols_.size());
+  for (const auto& p : partition_cols_) part_idx.push_back(in_schema.IndexOf(p));
+
+  // One sort orders by (partition, order-keys); partitions are then
+  // contiguous runs — the standard single-pass window plan.
+  auto cmp_partition = [&](const Tuple& a, const Tuple& b) {
+    for (size_t pi : part_idx) {
+      int c = a.value(pi).Compare(b.value(pi));
+      if (c != 0) return c;
+    }
+    return 0;
+  };
+  std::stable_sort(input.begin(), input.end(),
+                   [&](const Tuple& a, const Tuple& b) {
+                     int c = cmp_partition(a, b);
+                     if (c != 0) return c < 0;
+                     return CompareBySortKeys(a, b, order_keys_, in_schema) < 0;
+                   });
+
+  rows_.reserve(input.size());
+  int64_t row_number = 0;
+  for (size_t i = 0; i < input.size(); i++) {
+    if (i == 0 || cmp_partition(input[i - 1], input[i]) != 0) {
+      row_number = 0;  // new partition
+    }
+    row_number++;
+    Tuple t = input[i];
+    t.Append(Value(row_number));
+    rows_.push_back(std::move(t));
+  }
+  return Status::OK();
+}
+
+bool WindowRowNumberExecutor::Next(Tuple* out) {
+  if (pos_ >= rows_.size()) return false;
+  *out = rows_[pos_++];
+  return true;
+}
+
+const Schema& WindowRowNumberExecutor::OutputSchema() const {
+  return output_schema_;
+}
+
+}  // namespace relgraph

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/exec/executor.h"
+#include "src/exec/expression.h"
+#include "src/exec/sort_executor.h"
+
+namespace relgraph {
+
+/// The SQL:2003 window function the paper leans on (§2.2, Listing 2(3)):
+///
+///   row_number() OVER (PARTITION BY <cols> ORDER BY <keys>)
+///
+/// Materializes the child, sorts by (partition columns, order keys), and
+/// appends an INT column holding the 1-based row number within each
+/// partition. Selecting `rownum = 1` afterwards keeps, per expanded node,
+/// the single occurrence with minimal distance — carrying its non-aggregate
+/// columns (p2s!) along, which is exactly why the paper prefers this over
+/// the aggregate+re-join formulation.
+class WindowRowNumberExecutor : public Executor {
+ public:
+  WindowRowNumberExecutor(ExecRef child, std::vector<std::string> partition_cols,
+                          std::vector<SortKey> order_keys,
+                          std::string out_column = "rownum");
+  Status Init() override;
+  bool Next(Tuple* out) override;
+  const Schema& OutputSchema() const override;
+  void Explain(int depth, std::string* out) const override {
+    Indent(depth, out);
+    out->append("WindowRowNumber: partition by");
+    for (const auto& p : partition_cols_) out->append(" " + p);
+    out->append(" order by");
+    for (const auto& k : order_keys_) out->append(" " + k.expr->ToString());
+    out->append(" -> " + output_schema_.column(
+                             output_schema_.NumColumns() - 1).name + "\n");
+    child_->Explain(depth + 1, out);
+  }
+
+ private:
+  ExecRef child_;
+  std::vector<std::string> partition_cols_;
+  std::vector<SortKey> order_keys_;
+  Schema output_schema_;
+  std::vector<Tuple> rows_;
+  size_t pos_ = 0;
+};
+
+}  // namespace relgraph

@@ -1,0 +1,133 @@
+#include "src/graph/generators.h"
+
+#include <algorithm>
+
+#include "src/common/rng.h"
+
+namespace relgraph {
+
+namespace {
+weight_t DrawWeight(Rng* rng, WeightRange w) {
+  return rng->NextInt(w.lo, w.hi);
+}
+}  // namespace
+
+EdgeList GenerateRandomGraph(int64_t n, int64_t m, WeightRange weights,
+                             uint64_t seed) {
+  Rng rng(seed);
+  EdgeList list;
+  list.num_nodes = n;
+  list.edges.reserve(m);
+  for (int64_t i = 0; i < m; i++) {
+    node_id_t u = rng.NextInt(0, n - 1);
+    node_id_t v = rng.NextInt(0, n - 1);
+    if (u == v) v = (v + 1) % n;
+    list.edges.push_back({u, v, DrawWeight(&rng, weights)});
+  }
+  return list;
+}
+
+EdgeList GenerateBarabasiAlbert(int64_t n, int64_t degree, WeightRange weights,
+                                uint64_t seed) {
+  Rng rng(seed);
+  EdgeList list;
+  list.num_nodes = n;
+  // `targets` holds one entry per edge endpoint, so sampling uniformly from
+  // it is preferential attachment (the classic repeated-nodes trick).
+  std::vector<node_id_t> targets;
+  targets.reserve(2 * n * degree);
+  int64_t seed_nodes = std::max<int64_t>(degree, 2);
+  for (node_id_t u = 0; u < seed_nodes; u++) {
+    node_id_t v = (u + 1) % seed_nodes;
+    weight_t w = DrawWeight(&rng, weights);
+    list.edges.push_back({u, v, w});
+    list.edges.push_back({v, u, w});
+    targets.push_back(u);
+    targets.push_back(v);
+  }
+  for (node_id_t u = seed_nodes; u < n; u++) {
+    for (int64_t k = 0; k < degree; k++) {
+      node_id_t v = targets[rng.NextBounded(targets.size())];
+      if (v == u) v = targets[rng.NextBounded(targets.size())];
+      if (v == u) v = (u + 1) % n;
+      weight_t w = DrawWeight(&rng, weights);
+      list.edges.push_back({u, v, w});
+      list.edges.push_back({v, u, w});
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+  return list;
+}
+
+EdgeList GenerateCommunityGraph(int64_t n, int64_t avg_degree,
+                                int64_t num_communities, double intra_fraction,
+                                WeightRange weights, uint64_t seed) {
+  Rng rng(seed);
+  EdgeList list;
+  list.num_nodes = n;
+  int64_t community_size = std::max<int64_t>(1, n / num_communities);
+  int64_t undirected_edges = n * avg_degree / 2;
+  for (int64_t i = 0; i < undirected_edges; i++) {
+    node_id_t u = rng.NextInt(0, n - 1);
+    node_id_t v;
+    if (rng.NextDouble() < intra_fraction) {
+      int64_t c = u / community_size;
+      int64_t lo = c * community_size;
+      int64_t hi = std::min(n - 1, lo + community_size - 1);
+      v = rng.NextInt(lo, hi);
+    } else {
+      v = rng.NextInt(0, n - 1);
+    }
+    if (u == v) v = (v + 1) % n;
+    weight_t w = DrawWeight(&rng, weights);
+    list.edges.push_back({u, v, w});
+    list.edges.push_back({v, u, w});
+  }
+  return list;
+}
+
+EdgeList GenerateGridGraph(int64_t rows, int64_t cols, WeightRange weights,
+                           uint64_t seed) {
+  Rng rng(seed);
+  EdgeList list;
+  list.num_nodes = rows * cols;
+  auto id = [cols](int64_t r, int64_t c) { return r * cols + c; };
+  for (int64_t r = 0; r < rows; r++) {
+    for (int64_t c = 0; c < cols; c++) {
+      if (c + 1 < cols) {
+        weight_t w = DrawWeight(&rng, weights);
+        list.edges.push_back({id(r, c), id(r, c + 1), w});
+        list.edges.push_back({id(r, c + 1), id(r, c), w});
+      }
+      if (r + 1 < rows) {
+        weight_t w = DrawWeight(&rng, weights);
+        list.edges.push_back({id(r, c), id(r + 1, c), w});
+        list.edges.push_back({id(r + 1, c), id(r, c), w});
+      }
+    }
+  }
+  return list;
+}
+
+EdgeList MakeDblpStandIn(double scale, uint64_t seed) {
+  // DBLP: 312,967 nodes, ~3.7 avg degree, strong community structure.
+  int64_t n = std::max<int64_t>(1000, static_cast<int64_t>(312967 * scale));
+  return GenerateCommunityGraph(n, /*avg_degree=*/4, /*num_communities=*/n / 50,
+                                /*intra_fraction=*/0.8, WeightRange{1, 100},
+                                seed);
+}
+
+EdgeList MakeGoogleWebStandIn(double scale, uint64_t seed) {
+  // GoogleWeb: 855,802 nodes, ~5.9 avg degree, skewed (power-law) degrees.
+  int64_t n = std::max<int64_t>(1000, static_cast<int64_t>(855802 * scale));
+  return GenerateBarabasiAlbert(n, /*degree=*/3, WeightRange{1, 100}, seed);
+}
+
+EdgeList MakeLiveJournalStandIn(double scale, uint64_t seed) {
+  // LiveJournal: 4,847,571 nodes, ~8.9 avg degree power-law social graph.
+  int64_t n = std::max<int64_t>(1000, static_cast<int64_t>(4847571 * scale));
+  return GenerateBarabasiAlbert(n, /*degree=*/4, WeightRange{1, 100}, seed);
+}
+
+}  // namespace relgraph

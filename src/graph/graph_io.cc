@@ -1,0 +1,61 @@
+#include "src/graph/graph_io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+
+namespace relgraph {
+
+Status SaveEdgeList(const EdgeList& list, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  std::fprintf(f, "%" PRId64 " %zu\n", list.num_nodes, list.edges.size());
+  for (const auto& e : list.edges) {
+    std::fprintf(f, "%" PRId64 " %" PRId64 " %" PRId64 "\n", e.from, e.to,
+                 e.weight);
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+
+Status LoadEdgeList(const std::string& path, EdgeList* out) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  out->num_nodes = 0;
+  out->edges.clear();
+  char line[256];
+  bool header_seen = false;
+  int64_t declared_edges = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (line[0] == '#' || line[0] == '\n') continue;
+    if (!header_seen) {
+      if (std::sscanf(line, "%" PRId64 " %" PRId64, &out->num_nodes,
+                      &declared_edges) != 2) {
+        std::fclose(f);
+        return Status::Corruption("bad header in " + path);
+      }
+      header_seen = true;
+      out->edges.reserve(declared_edges);
+      continue;
+    }
+    Edge e;
+    int n = std::sscanf(line, "%" PRId64 " %" PRId64 " %" PRId64, &e.from,
+                        &e.to, &e.weight);
+    if (n == 2) e.weight = 1;
+    if (n < 2) {
+      std::fclose(f);
+      return Status::Corruption("bad edge line in " + path);
+    }
+    if (e.from < 0 || e.from >= out->num_nodes || e.to < 0 ||
+        e.to >= out->num_nodes) {
+      std::fclose(f);
+      return Status::Corruption("edge endpoint out of range in " + path);
+    }
+    out->edges.push_back(e);
+  }
+  std::fclose(f);
+  if (!header_seen) return Status::Corruption("empty edge list " + path);
+  return Status::OK();
+}
+
+}  // namespace relgraph

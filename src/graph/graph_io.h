@@ -1,0 +1,16 @@
+#pragma once
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/graph/memgraph.h"
+
+namespace relgraph {
+
+/// Plain-text edge list: first line "num_nodes num_edges", then one
+/// "from to weight" triple per line. Lines starting with '#' are comments
+/// (SNAP-style, so real datasets drop in if available).
+Status SaveEdgeList(const EdgeList& list, const std::string& path);
+Status LoadEdgeList(const std::string& path, EdgeList* out);
+
+}  // namespace relgraph

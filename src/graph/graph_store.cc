@@ -1,0 +1,162 @@
+#include "src/graph/graph_store.h"
+
+#include <algorithm>
+
+namespace relgraph {
+
+const char* IndexStrategyName(IndexStrategy s) {
+  switch (s) {
+    case IndexStrategy::kNoIndex:
+      return "NoIndex";
+    case IndexStrategy::kIndex:
+      return "Index";
+    case IndexStrategy::kCluIndex:
+      return "CluIndex";
+  }
+  return "?";
+}
+
+namespace {
+Schema EdgeSchema() {
+  return Schema({{"fid", TypeId::kInt},
+                 {"tid", TypeId::kInt},
+                 {"cost", TypeId::kInt}});
+}
+
+Tuple EdgeTuple(const Edge& e) {
+  return Tuple({Value(e.from), Value(e.to), Value(e.weight)});
+}
+}  // namespace
+
+Status GraphStore::Create(Database* db, const EdgeList& list,
+                          GraphStoreOptions options,
+                          std::unique_ptr<GraphStore>* out) {
+  auto store = std::unique_ptr<GraphStore>(new GraphStore());
+  store->db_ = db;
+  store->options_ = options;
+  store->num_nodes_ = list.num_nodes;
+  store->num_edges_ = static_cast<int64_t>(list.edges.size());
+  store->min_weight_ = list.MinWeight();
+  Catalog* catalog = db->catalog();
+  const std::string& p = options.prefix;
+
+  // TNodes(nid, label): label supports the pattern-matching extension and
+  // defaults to a hash bucket of the id.
+  {
+    Schema node_schema({{"nid", TypeId::kInt}, {"label", TypeId::kInt}});
+    TableOptions topts;
+    if (options.strategy == IndexStrategy::kCluIndex) {
+      topts.storage = TableStorage::kClustered;
+      topts.cluster_key = "nid";
+      topts.cluster_unique = true;
+    }
+    RELGRAPH_RETURN_IF_ERROR(catalog->CreateTable(p + "TNodes", node_schema,
+                                                  topts, &store->nodes_));
+    if (options.strategy == IndexStrategy::kIndex) {
+      RELGRAPH_RETURN_IF_ERROR(
+          store->nodes_->CreateSecondaryIndex("nid", /*unique=*/true));
+    }
+    for (node_id_t u = 0; u < list.num_nodes; u++) {
+      RELGRAPH_RETURN_IF_ERROR(
+          store->nodes_->Insert(Tuple({Value(u), Value(u % 16)})));
+    }
+  }
+
+  if (options.strategy == IndexStrategy::kCluIndex) {
+    // Two clustered copies; rows inserted in cluster-key order for a
+    // packed tree (the clustered bulk-load a real RDBMS would do).
+    TableOptions fwd;
+    fwd.storage = TableStorage::kClustered;
+    fwd.cluster_key = "fid";
+    RELGRAPH_RETURN_IF_ERROR(catalog->CreateTable(p + "TEdges", EdgeSchema(),
+                                                  fwd, &store->edges_out_));
+    TableOptions bwd;
+    bwd.storage = TableStorage::kClustered;
+    bwd.cluster_key = "tid";
+    RELGRAPH_RETURN_IF_ERROR(catalog->CreateTable(p + "TEdgesIn", EdgeSchema(),
+                                                  bwd, &store->edges_in_));
+    std::vector<Edge> sorted = list.edges;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Edge& a, const Edge& b) { return a.from < b.from; });
+    for (const auto& e : sorted) {
+      RELGRAPH_RETURN_IF_ERROR(store->edges_out_->Insert(EdgeTuple(e)));
+    }
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Edge& a, const Edge& b) { return a.to < b.to; });
+    for (const auto& e : sorted) {
+      RELGRAPH_RETURN_IF_ERROR(store->edges_in_->Insert(EdgeTuple(e)));
+    }
+  } else {
+    RELGRAPH_RETURN_IF_ERROR(catalog->CreateTable(
+        p + "TEdges", EdgeSchema(), TableOptions{}, &store->edges_out_));
+    store->edges_in_ = store->edges_out_;
+    for (const auto& e : list.edges) {
+      RELGRAPH_RETURN_IF_ERROR(store->edges_out_->Insert(EdgeTuple(e)));
+    }
+    if (options.strategy == IndexStrategy::kIndex) {
+      RELGRAPH_RETURN_IF_ERROR(
+          store->edges_out_->CreateSecondaryIndex("fid", /*unique=*/false));
+      RELGRAPH_RETURN_IF_ERROR(
+          store->edges_out_->CreateSecondaryIndex("tid", /*unique=*/false));
+    }
+  }
+  *out = std::move(store);
+  return Status::OK();
+}
+
+EdgeRelation GraphStore::Forward() const {
+  return EdgeRelation{edges_out_, "fid", "tid", "fid", "cost"};
+}
+
+EdgeRelation GraphStore::Backward() const {
+  return EdgeRelation{edges_in_, "tid", "fid", "tid", "cost"};
+}
+
+Status GraphStore::AddEdge(const Edge& e) {
+  RELGRAPH_RETURN_IF_ERROR(edges_out_->Insert(EdgeTuple(e)));
+  if (edges_in_ != edges_out_) {
+    RELGRAPH_RETURN_IF_ERROR(edges_in_->Insert(EdgeTuple(e)));
+  }
+  num_edges_++;
+  min_weight_ = std::min(min_weight_, e.weight);
+  return Status::OK();
+}
+
+namespace {
+
+/// Deletes one row matching (fid, tid, cost) from an edge table, probing
+/// through `key_col`'s index when one exists.
+Status RemoveOneEdgeRow(Table* table, const std::string& key_col, int64_t key,
+                        const Edge& e) {
+  Table::Iterator it;
+  if (table->HasIndexOn(key_col)) {
+    RELGRAPH_RETURN_IF_ERROR(table->ScanRange(key_col, key, key, &it));
+  } else {
+    it = table->Scan();
+  }
+  Tuple row;
+  RowRef ref;
+  while (it.Next(&row, &ref)) {
+    if (row.value(0).AsInt() == e.from && row.value(1).AsInt() == e.to &&
+        row.value(2).AsInt() == e.weight) {
+      return table->DeleteRow(ref);
+    }
+  }
+  RELGRAPH_RETURN_IF_ERROR(it.status());
+  return Status::NotFound("no edge (" + std::to_string(e.from) + ", " +
+                          std::to_string(e.to) + ", " +
+                          std::to_string(e.weight) + ")");
+}
+
+}  // namespace
+
+Status GraphStore::RemoveEdge(const Edge& e) {
+  RELGRAPH_RETURN_IF_ERROR(RemoveOneEdgeRow(edges_out_, "fid", e.from, e));
+  if (edges_in_ != edges_out_) {
+    RELGRAPH_RETURN_IF_ERROR(RemoveOneEdgeRow(edges_in_, "tid", e.to, e));
+  }
+  num_edges_--;
+  return Status::OK();
+}
+
+}  // namespace relgraph

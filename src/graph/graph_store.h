@@ -1,0 +1,86 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/db/database.h"
+#include "src/graph/memgraph.h"
+
+namespace relgraph {
+
+/// Physical indexing of the edge relations — the paper's Figure 8(c) knobs.
+enum class IndexStrategy {
+  kNoIndex,   // heap TEdges, no access path: joins degrade to scans
+  kIndex,     // heap TEdges + non-clustered B+-trees on fid and tid
+  kCluIndex,  // two clustered copies: TEdges by fid, TEdgesIn by tid
+};
+
+const char* IndexStrategyName(IndexStrategy s);
+
+struct GraphStoreOptions {
+  IndexStrategy strategy = IndexStrategy::kCluIndex;
+  /// Table-name prefix so several graphs can coexist in one database.
+  std::string prefix;
+};
+
+/// One adjacency relation as the FEM operators consume it: which table to
+/// join against, which column carries the frontier side of the join, which
+/// column names the expanded node, and which column names the expanded
+/// node's predecessor/successor on the original graph. Base edge tables
+/// bind parent to the frontier endpoint; SegTable relations bind it to the
+/// precomputed `pid`.
+struct EdgeRelation {
+  Table* table = nullptr;
+  std::string join_column;    // matches the frontier node id
+  std::string emit_column;    // the newly reached node id
+  std::string parent_column;  // predecessor (fwd) / successor (bwd)
+  std::string cost_column = "cost";
+};
+
+/// Relational storage of one graph, matching the paper's Figure 1:
+/// TNodes(nid) and TEdges(fid, tid, cost), stored under the chosen index
+/// strategy. With kCluIndex the reverse adjacency lives in a second
+/// clustered copy (TEdgesIn by tid) so backward expansions are indexed too,
+/// mirroring the paper's symmetric TOutSegs/TInSegs arrangement.
+class GraphStore {
+ public:
+  static Status Create(Database* db, const EdgeList& list,
+                       GraphStoreOptions options,
+                       std::unique_ptr<GraphStore>* out);
+
+  /// Adjacency for forward expansion (join on fid, emit tid).
+  EdgeRelation Forward() const;
+  /// Adjacency for backward expansion (join on tid, emit fid).
+  EdgeRelation Backward() const;
+
+  Table* nodes() const { return nodes_; }
+  Database* db() const { return db_; }
+  int64_t num_nodes() const { return num_nodes_; }
+  int64_t num_edges() const { return num_edges_; }
+  weight_t min_weight() const { return min_weight_; }
+  IndexStrategy strategy() const { return options_.strategy; }
+
+  /// Appends one edge to every physical copy/index (dynamic updates).
+  Status AddEdge(const Edge& e);
+
+  /// Removes one edge matching (from, to, weight) from every physical
+  /// copy/index; NotFound when no such edge exists. `min_weight()` is left
+  /// untouched: deleting an edge can only raise the true minimum, and a
+  /// stale smaller bound only makes the frontier rules more conservative,
+  /// never incorrect.
+  Status RemoveEdge(const Edge& e);
+
+ private:
+  GraphStore() = default;
+
+  Database* db_ = nullptr;
+  GraphStoreOptions options_;
+  Table* nodes_ = nullptr;
+  Table* edges_out_ = nullptr;  // kCluIndex: clustered by fid; else the heap
+  Table* edges_in_ = nullptr;   // kCluIndex: clustered by tid; else == out
+  int64_t num_nodes_ = 0;
+  int64_t num_edges_ = 0;
+  weight_t min_weight_ = kInfinity;
+};
+
+}  // namespace relgraph

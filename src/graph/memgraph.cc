@@ -1,0 +1,245 @@
+#include "src/graph/memgraph.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace relgraph {
+
+weight_t EdgeList::MinWeight() const {
+  weight_t w = kInfinity;
+  for (const auto& e : edges) w = std::min(w, e.weight);
+  return w;
+}
+
+MemGraph::MemGraph(const EdgeList& list)
+    : num_nodes_(list.num_nodes), min_weight_(list.MinWeight()) {
+  int64_t m = static_cast<int64_t>(list.edges.size());
+  out_offsets_.assign(num_nodes_ + 1, 0);
+  in_offsets_.assign(num_nodes_ + 1, 0);
+  for (const auto& e : list.edges) {
+    out_offsets_[e.from + 1]++;
+    in_offsets_[e.to + 1]++;
+  }
+  for (int64_t i = 0; i < num_nodes_; i++) {
+    out_offsets_[i + 1] += out_offsets_[i];
+    in_offsets_[i + 1] += in_offsets_[i];
+  }
+  to_.resize(m);
+  out_weights_.resize(m);
+  from_.resize(m);
+  in_weights_.resize(m);
+  std::vector<int64_t> out_pos(out_offsets_.begin(), out_offsets_.end() - 1);
+  std::vector<int64_t> in_pos(in_offsets_.begin(), in_offsets_.end() - 1);
+  for (const auto& e : list.edges) {
+    int64_t po = out_pos[e.from]++;
+    to_[po] = e.to;
+    out_weights_[po] = e.weight;
+    int64_t pi = in_pos[e.to]++;
+    from_[pi] = e.from;
+    in_weights_[pi] = e.weight;
+  }
+}
+
+std::vector<MemGraph::Neighbor> MemGraph::OutNeighbors(node_id_t u) const {
+  std::vector<Neighbor> out;
+  for (int64_t i = out_offsets_[u]; i < out_offsets_[u + 1]; i++) {
+    out.push_back({to_[i], out_weights_[i]});
+  }
+  return out;
+}
+
+std::vector<MemGraph::Neighbor> MemGraph::InNeighbors(node_id_t u) const {
+  std::vector<Neighbor> out;
+  for (int64_t i = in_offsets_[u]; i < in_offsets_[u + 1]; i++) {
+    out.push_back({from_[i], in_weights_[i]});
+  }
+  return out;
+}
+
+int64_t MemGraph::OutDegree(node_id_t u) const {
+  return out_offsets_[u + 1] - out_offsets_[u];
+}
+
+namespace {
+using HeapItem = std::pair<weight_t, node_id_t>;
+using MinHeap =
+    std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>>;
+
+std::vector<node_id_t> RecoverPath(const std::vector<node_id_t>& pred,
+                                   node_id_t s, node_id_t t) {
+  std::vector<node_id_t> path;
+  for (node_id_t x = t; x != s; x = pred[x]) {
+    path.push_back(x);
+    if (pred[x] == kInvalidNode) return {};
+  }
+  path.push_back(s);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+}  // namespace
+
+MemPathResult MemGraph::Dijkstra(node_id_t s, node_id_t t) const {
+  MemPathResult result;
+  std::vector<weight_t> dist(num_nodes_, kInfinity);
+  std::vector<node_id_t> pred(num_nodes_, kInvalidNode);
+  std::vector<bool> settled(num_nodes_, false);
+  MinHeap heap;
+  dist[s] = 0;
+  pred[s] = s;
+  heap.push({0, s});
+  while (!heap.empty()) {
+    auto [d, u] = heap.top();
+    heap.pop();
+    if (settled[u]) continue;
+    settled[u] = true;
+    result.settled++;
+    if (u == t) break;
+    for (int64_t i = out_offsets_[u]; i < out_offsets_[u + 1]; i++) {
+      node_id_t v = to_[i];
+      weight_t nd = d + out_weights_[i];
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        pred[v] = u;
+        heap.push({nd, v});
+      }
+    }
+  }
+  if (dist[t] < kInfinity) {
+    result.found = true;
+    result.distance = dist[t];
+    result.path = RecoverPath(pred, s, t);
+  }
+  return result;
+}
+
+MemPathResult MemGraph::BidirectionalDijkstra(node_id_t s, node_id_t t) const {
+  MemPathResult result;
+  if (s == t) {
+    result.found = true;
+    result.distance = 0;
+    result.path = {s};
+    return result;
+  }
+  std::vector<weight_t> dist_f(num_nodes_, kInfinity);
+  std::vector<weight_t> dist_b(num_nodes_, kInfinity);
+  std::vector<node_id_t> pred(num_nodes_, kInvalidNode);
+  std::vector<node_id_t> succ(num_nodes_, kInvalidNode);
+  std::vector<bool> settled_f(num_nodes_, false);
+  std::vector<bool> settled_b(num_nodes_, false);
+  MinHeap heap_f, heap_b;
+  dist_f[s] = 0;
+  pred[s] = s;
+  heap_f.push({0, s});
+  dist_b[t] = 0;
+  succ[t] = t;
+  heap_b.push({0, t});
+
+  weight_t best = kInfinity;
+  node_id_t meet = kInvalidNode;
+  weight_t top_f = 0, top_b = 0;
+
+  auto relax_meeting = [&](node_id_t v) {
+    if (dist_f[v] < kInfinity && dist_b[v] < kInfinity &&
+        dist_f[v] + dist_b[v] < best) {
+      best = dist_f[v] + dist_b[v];
+      meet = v;
+    }
+  };
+
+  while (!heap_f.empty() || !heap_b.empty()) {
+    top_f = heap_f.empty() ? kInfinity : heap_f.top().first;
+    top_b = heap_b.empty() ? kInfinity : heap_b.top().first;
+    if (top_f + top_b >= best) break;
+    if (top_f <= top_b) {
+      auto [d, u] = heap_f.top();
+      heap_f.pop();
+      if (settled_f[u]) continue;
+      settled_f[u] = true;
+      result.settled++;
+      for (int64_t i = out_offsets_[u]; i < out_offsets_[u + 1]; i++) {
+        node_id_t v = to_[i];
+        weight_t nd = d + out_weights_[i];
+        if (nd < dist_f[v]) {
+          dist_f[v] = nd;
+          pred[v] = u;
+          heap_f.push({nd, v});
+        }
+        relax_meeting(v);
+      }
+    } else {
+      auto [d, u] = heap_b.top();
+      heap_b.pop();
+      if (settled_b[u]) continue;
+      settled_b[u] = true;
+      result.settled++;
+      for (int64_t i = in_offsets_[u]; i < in_offsets_[u + 1]; i++) {
+        node_id_t v = from_[i];
+        weight_t nd = d + in_weights_[i];
+        if (nd < dist_b[v]) {
+          dist_b[v] = nd;
+          succ[v] = u;
+          heap_b.push({nd, v});
+        }
+        relax_meeting(v);
+      }
+    }
+  }
+
+  if (best >= kInfinity) return result;
+  result.found = true;
+  result.distance = best;
+  // Stitch s -> meet (pred links) and meet -> t (succ links).
+  std::vector<node_id_t> front;
+  for (node_id_t x = meet; x != s; x = pred[x]) {
+    if (pred[x] == kInvalidNode) return result;
+    front.push_back(x);
+  }
+  front.push_back(s);
+  std::reverse(front.begin(), front.end());
+  for (node_id_t x = meet; x != t;) {
+    x = succ[x];
+    front.push_back(x);
+  }
+  result.path = std::move(front);
+  return result;
+}
+
+std::vector<weight_t> MemGraph::SingleSourceDistances(node_id_t s,
+                                                      weight_t limit) const {
+  std::vector<weight_t> dist(num_nodes_, kInfinity);
+  MinHeap heap;
+  dist[s] = 0;
+  heap.push({0, s});
+  while (!heap.empty()) {
+    auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u]) continue;
+    if (d > limit) break;
+    for (int64_t i = out_offsets_[u]; i < out_offsets_[u + 1]; i++) {
+      node_id_t v = to_[i];
+      weight_t nd = d + out_weights_[i];
+      if (nd < dist[v] && nd <= limit) {
+        dist[v] = nd;
+        heap.push({nd, v});
+      }
+    }
+  }
+  return dist;
+}
+
+weight_t MemGraph::PathLength(const std::vector<node_id_t>& path) const {
+  if (path.empty()) return kInfinity;
+  weight_t total = 0;
+  for (size_t i = 0; i + 1 < path.size(); i++) {
+    weight_t best = kInfinity;
+    for (int64_t j = out_offsets_[path[i]]; j < out_offsets_[path[i] + 1];
+         j++) {
+      if (to_[j] == path[i + 1]) best = std::min(best, out_weights_[j]);
+    }
+    if (best == kInfinity) return kInfinity;
+    total += best;
+  }
+  return total;
+}
+
+}  // namespace relgraph

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/config.h"
+
+namespace relgraph {
+
+/// One weighted directed edge.
+struct Edge {
+  node_id_t from = 0;
+  node_id_t to = 0;
+  weight_t weight = 1;
+
+  bool operator==(const Edge& other) const = default;
+};
+
+/// An edge list plus its node count — the interchange format between
+/// generators, file I/O, the relational GraphStore, and MemGraph.
+struct EdgeList {
+  int64_t num_nodes = 0;
+  std::vector<Edge> edges;
+
+  weight_t MinWeight() const;
+};
+
+/// Result of an in-memory shortest-path query.
+struct MemPathResult {
+  bool found = false;
+  weight_t distance = kInfinity;
+  std::vector<node_id_t> path;     // s ... t when found
+  int64_t settled = 0;             // nodes finalized (search-space measure)
+};
+
+/// Compressed-sparse-row adjacency (out and in) kept fully in memory.
+/// Implements the paper's in-memory competitors MDJ (Dijkstra with a binary
+/// heap) and MBDJ (bi-directional Dijkstra), and doubles as the test oracle
+/// for every relational algorithm.
+class MemGraph {
+ public:
+  explicit MemGraph(const EdgeList& list);
+
+  int64_t num_nodes() const { return num_nodes_; }
+  int64_t num_edges() const { return static_cast<int64_t>(to_.size()); }
+  weight_t min_weight() const { return min_weight_; }
+
+  struct Neighbor {
+    node_id_t node;
+    weight_t weight;
+  };
+
+  /// Out-neighbors of u as a contiguous span.
+  std::vector<Neighbor> OutNeighbors(node_id_t u) const;
+  std::vector<Neighbor> InNeighbors(node_id_t u) const;
+  int64_t OutDegree(node_id_t u) const;
+
+  /// MDJ: single-direction Dijkstra.
+  MemPathResult Dijkstra(node_id_t s, node_id_t t) const;
+
+  /// MBDJ: bi-directional Dijkstra (alternates on the smaller frontier top).
+  MemPathResult BidirectionalDijkstra(node_id_t s, node_id_t t) const;
+
+  /// Single-source distances to every reachable node, bounded by `limit`
+  /// (pass kInfinity for unbounded). Used by SegTable ground-truth tests.
+  std::vector<weight_t> SingleSourceDistances(node_id_t s,
+                                              weight_t limit) const;
+
+  /// Sum of edge weights along `path`; kInfinity when any hop is not an
+  /// edge. Validates recovered paths.
+  weight_t PathLength(const std::vector<node_id_t>& path) const;
+
+ private:
+  int64_t num_nodes_;
+  weight_t min_weight_;
+  // Forward CSR.
+  std::vector<int64_t> out_offsets_;
+  std::vector<node_id_t> to_;
+  std::vector<weight_t> out_weights_;
+  // Reverse CSR.
+  std::vector<int64_t> in_offsets_;
+  std::vector<node_id_t> from_;
+  std::vector<weight_t> in_weights_;
+};
+
+}  // namespace relgraph

@@ -1,0 +1,246 @@
+#include "src/sql/lexer.h"
+
+#include <array>
+#include <cctype>
+#include <cstdlib>
+
+namespace relgraph::sql {
+
+namespace {
+
+/// Reserved words. Anything else alphabetic is an identifier. Sorted for
+/// readability; lookup is linear over a small array (lexing is never a
+/// bottleneck next to executing the statement).
+constexpr std::array<const char*, 51> kKeywords = {
+    "ALL",    "AND",     "AS",      "ASC",    "BY",      "CLUSTER",
+    "COUNT",  "CREATE",  "DELETE",  "DESC",   "DISTINCT", "DOUBLE",
+    "DROP",   "EXISTS",  "FROM",    "GROUP",  "HAVING",  "INDEX",
+    "INSERT", "INT",     "INTO",    "IS",     "LIMIT",   "MATCHED",
+    "MAX",    "MERGE",   "MIN",     "NOT",    "NULL",    "ON",
+    "OR",     "ORDER",   "OVER",    "PARTITION", "ROW_NUMBER", "SELECT",
+    "SET",    "SUM",     "TABLE",   "THEN",    "TOP",
+    "TRUNCATE", "UNIQUE", "UPDATE",  "USING",  "VALUES",  "VARCHAR",
+    "WHEN",   "WHERE",   "BIGINT",  "INTEGER",
+};
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string ToUpper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return s;
+}
+
+}  // namespace
+
+const char* TokenKindName(TokenKind k) {
+  switch (k) {
+    case TokenKind::kEnd: return "end of input";
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kKeyword: return "keyword";
+    case TokenKind::kInteger: return "integer";
+    case TokenKind::kFloat: return "float";
+    case TokenKind::kString: return "string";
+    case TokenKind::kParameter: return "parameter";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kEq: return "'='";
+    case TokenKind::kNe: return "'<>'";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kSemicolon: return "';'";
+  }
+  return "?";
+}
+
+bool Lexer::IsKeyword(const std::string& upper) {
+  for (const char* kw : kKeywords) {
+    if (upper == kw) return true;
+  }
+  return false;
+}
+
+Status Lexer::Tokenize(const std::string& input, std::vector<Token>* out) {
+  out->clear();
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      i++;
+      continue;
+    }
+    // Comments.
+    if (c == '-' && i + 1 < n && input[i + 1] == '-') {
+      while (i < n && input[i] != '\n') i++;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && input[i + 1] == '*') {
+      size_t end = input.find("*/", i + 2);
+      if (end == std::string::npos) {
+        return Status::InvalidArgument("unterminated /* comment at offset " +
+                                       std::to_string(i));
+      }
+      i = end + 2;
+      continue;
+    }
+
+    Token tok;
+    tok.offset = i;
+
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(input[i])) i++;
+      tok.text = input.substr(start, i - start);
+      std::string upper = ToUpper(tok.text);
+      if (IsKeyword(upper)) {
+        tok.kind = TokenKind::kKeyword;
+        tok.text = std::move(upper);
+      } else {
+        tok.kind = TokenKind::kIdentifier;
+      }
+      out->push_back(std::move(tok));
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) i++;
+      bool is_float = false;
+      if (i < n && input[i] == '.' && i + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(input[i + 1]))) {
+        is_float = true;
+        i++;
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) i++;
+      }
+      tok.text = input.substr(start, i - start);
+      if (is_float) {
+        tok.kind = TokenKind::kFloat;
+        tok.float_value = std::strtod(tok.text.c_str(), nullptr);
+      } else {
+        tok.kind = TokenKind::kInteger;
+        tok.int_value = std::strtoll(tok.text.c_str(), nullptr, 10);
+      }
+      out->push_back(std::move(tok));
+      continue;
+    }
+
+    if (c == '\'') {
+      // SQL string literal; '' inside is an escaped quote.
+      std::string value;
+      i++;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == '\'') {
+          if (i + 1 < n && input[i + 1] == '\'') {
+            value.push_back('\'');
+            i += 2;
+            continue;
+          }
+          i++;
+          closed = true;
+          break;
+        }
+        value.push_back(input[i++]);
+      }
+      if (!closed) {
+        return Status::InvalidArgument("unterminated string at offset " +
+                                       std::to_string(tok.offset));
+      }
+      tok.kind = TokenKind::kString;
+      tok.text = std::move(value);
+      out->push_back(std::move(tok));
+      continue;
+    }
+
+    if (c == ':' && i + 1 < n && IsIdentStart(input[i + 1])) {
+      size_t start = ++i;
+      while (i < n && IsIdentChar(input[i])) i++;
+      tok.kind = TokenKind::kParameter;
+      tok.text = input.substr(start, i - start);
+      out->push_back(std::move(tok));
+      continue;
+    }
+
+    auto single = [&](TokenKind k) {
+      tok.kind = k;
+      tok.text = std::string(1, c);
+      i++;
+      out->push_back(tok);
+    };
+    switch (c) {
+      case ',': single(TokenKind::kComma); continue;
+      case '.': single(TokenKind::kDot); continue;
+      case '(': single(TokenKind::kLParen); continue;
+      case ')': single(TokenKind::kRParen); continue;
+      case '*': single(TokenKind::kStar); continue;
+      case '+': single(TokenKind::kPlus); continue;
+      case '-': single(TokenKind::kMinus); continue;
+      case '/': single(TokenKind::kSlash); continue;
+      case ';': single(TokenKind::kSemicolon); continue;
+      case '=': single(TokenKind::kEq); continue;
+      case '!':
+        if (i + 1 < n && input[i + 1] == '=') {
+          tok.kind = TokenKind::kNe;
+          tok.text = "!=";
+          i += 2;
+          out->push_back(tok);
+          continue;
+        }
+        return Status::InvalidArgument("stray '!' at offset " +
+                                       std::to_string(i));
+      case '<':
+        if (i + 1 < n && input[i + 1] == '=') {
+          tok.kind = TokenKind::kLe;
+          tok.text = "<=";
+          i += 2;
+        } else if (i + 1 < n && input[i + 1] == '>') {
+          tok.kind = TokenKind::kNe;
+          tok.text = "<>";
+          i += 2;
+        } else {
+          tok.kind = TokenKind::kLt;
+          tok.text = "<";
+          i++;
+        }
+        out->push_back(tok);
+        continue;
+      case '>':
+        if (i + 1 < n && input[i + 1] == '=') {
+          tok.kind = TokenKind::kGe;
+          tok.text = ">=";
+          i += 2;
+        } else {
+          tok.kind = TokenKind::kGt;
+          tok.text = ">";
+          i++;
+        }
+        out->push_back(tok);
+        continue;
+      default:
+        return Status::InvalidArgument(
+            std::string("unexpected character '") + c + "' at offset " +
+            std::to_string(i));
+    }
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = n;
+  out->push_back(std::move(end));
+  return Status::OK();
+}
+
+}  // namespace relgraph::sql

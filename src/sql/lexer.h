@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/sql/token.h"
+
+namespace relgraph::sql {
+
+/// Splits one SQL string into tokens. Comments (`-- ...` to end of line and
+/// `/* ... */`) are skipped. Keywords are recognized case-insensitively;
+/// identifiers keep their original spelling (name lookup downstream is
+/// case-insensitive, matching the usual RDBMS behaviour for unquoted names).
+class Lexer {
+ public:
+  /// Tokenizes the whole input; on success `out` ends with a kEnd token.
+  static Status Tokenize(const std::string& input, std::vector<Token>* out);
+
+  /// True when `upper` is a reserved word of the dialect (upper-cased).
+  static bool IsKeyword(const std::string& upper);
+};
+
+}  // namespace relgraph::sql

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/sql/ast.h"
+#include "src/sql/token.h"
+
+namespace relgraph::sql {
+
+/// Recursive-descent parser for the dialect in the paper's listings.
+/// One Parser instance parses one statement string (optionally ending in a
+/// semicolon). Errors carry the offending offset and what was expected.
+class Parser {
+ public:
+  /// Parses exactly one statement.
+  static Status Parse(const std::string& input,
+                      std::unique_ptr<Statement>* out);
+
+  /// Parses a script: statements separated by semicolons. Empty statements
+  /// (stray semicolons) are skipped.
+  static Status ParseScript(const std::string& input,
+                            std::vector<std::unique_ptr<Statement>>* out);
+
+ private:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  const Token& Peek(size_t ahead = 0) const;
+  Token Advance();
+  bool MatchKeyword(const char* kw);
+  bool CheckKeyword(const char* kw) const;
+  Status ExpectKeyword(const char* kw);
+  bool Match(TokenKind k);
+  Status Expect(TokenKind k, Token* out = nullptr);
+  Status ErrorHere(const std::string& expected) const;
+
+  Status ParseStatement(std::unique_ptr<Statement>* out);
+  Status ParseSelect(std::unique_ptr<SelectStmt>* out);
+  Status ParseInsert(std::unique_ptr<InsertStmt>* out);
+  Status ParseUpdate(std::unique_ptr<UpdateStmt>* out);
+  Status ParseDelete(std::unique_ptr<DeleteStmt>* out);
+  Status ParseMerge(std::unique_ptr<MergeStmt>* out);
+  Status ParseCreate(std::unique_ptr<Statement>* out);
+  Status ParseFromItem(FromItem* out);
+  Status ParseOrderItems(std::vector<std::unique_ptr<OrderItem>>* out);
+  Status ParseIdentifierList(std::vector<std::string>* out);
+  Status ParseSetItems(std::vector<SetItem>* out);
+
+  // Expression precedence climbing: Or > And > Not > comparison > additive >
+  // multiplicative > unary > primary.
+  Status ParseExpr(ExprPtr* out);
+  Status ParseOr(ExprPtr* out);
+  Status ParseAnd(ExprPtr* out);
+  Status ParseNot(ExprPtr* out);
+  Status ParseComparison(ExprPtr* out);
+  Status ParseAdditive(ExprPtr* out);
+  Status ParseMultiplicative(ExprPtr* out);
+  Status ParseUnary(ExprPtr* out);
+  Status ParsePrimary(ExprPtr* out);
+  Status ParseFunctionCall(const std::string& upper_name, ExprPtr* out);
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace relgraph::sql

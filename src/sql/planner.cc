@@ -1,0 +1,1155 @@
+#include "src/sql/planner.h"
+
+#include <algorithm>
+#include <cctype>
+#include <utility>
+
+#include "src/exec/agg_executors.h"
+#include "src/exec/dml_executors.h"
+#include "src/exec/join_executors.h"
+#include "src/exec/scan_executors.h"
+#include "src/exec/sort_executor.h"
+#include "src/exec/window_executor.h"
+
+namespace relgraph::sql {
+
+namespace {
+
+bool CiEquals(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); i++) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Unqualified part of a (possibly alias-prefixed) schema column name.
+std::string Suffix(const std::string& name) {
+  size_t dot = name.rfind('.');
+  return dot == std::string::npos ? name : name.substr(dot + 1);
+}
+
+void FlattenAnd(const Expr* e, std::vector<const Expr*>* out) {
+  if (e == nullptr) return;
+  if (e->kind == ExprKind::kBinary && e->binary_op == BinaryOp::kAnd) {
+    FlattenAnd(e->left.get(), out);
+    FlattenAnd(e->right.get(), out);
+    return;
+  }
+  out->push_back(e);
+}
+
+bool IsAggregateName(const std::string& f) {
+  return f == "MIN" || f == "MAX" || f == "SUM" || f == "COUNT";
+}
+
+/// True when the expression contains a plain (non-window) aggregate call.
+bool ContainsAggregate(const Expr& e) {
+  if (e.kind == ExprKind::kFuncCall && e.window == nullptr &&
+      IsAggregateName(e.func_name)) {
+    return true;
+  }
+  if (e.left != nullptr && ContainsAggregate(*e.left)) return true;
+  if (e.right != nullptr && ContainsAggregate(*e.right)) return true;
+  for (const auto& a : e.args) {
+    if (ContainsAggregate(*a)) return true;
+  }
+  return false;
+}
+
+const Expr* FindWindowCall(const Expr& e) {
+  if (e.kind == ExprKind::kFuncCall && e.window != nullptr) return &e;
+  if (e.left != nullptr) {
+    if (const Expr* w = FindWindowCall(*e.left)) return w;
+  }
+  if (e.right != nullptr) {
+    if (const Expr* w = FindWindowCall(*e.right)) return w;
+  }
+  for (const auto& a : e.args) {
+    if (const Expr* w = FindWindowCall(*a)) return w;
+  }
+  return nullptr;
+}
+
+/// True when every column the expression touches resolves in `schema` (and
+/// the expression is safe to evaluate early: no subqueries). Used to decide
+/// whether a WHERE conjunct can be pushed below a join.
+bool AllRefsResolveIn(const Expr& e, const Schema& schema,
+                      const std::string& alias) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+    case ExprKind::kParameter:
+      return true;
+    case ExprKind::kSubquery:
+      return false;  // conservatively keep subqueries above the join
+    case ExprKind::kColumnRef: {
+      if (!e.qualifier.empty() && !CiEquals(e.qualifier, alias)) return false;
+      std::string full =
+          e.qualifier.empty() ? e.column : e.qualifier + "." + e.column;
+      for (const auto& c : schema.columns()) {
+        if (CiEquals(c.name, full) || CiEquals(Suffix(c.name), e.column)) {
+          return true;
+        }
+      }
+      return false;
+    }
+    case ExprKind::kUnary:
+      return AllRefsResolveIn(*e.left, schema, alias);
+    case ExprKind::kBinary:
+      return AllRefsResolveIn(*e.left, schema, alias) &&
+             AllRefsResolveIn(*e.right, schema, alias);
+    case ExprKind::kFuncCall:
+      if (e.window != nullptr || IsAggregateName(e.func_name)) return false;
+      for (const auto& a : e.args) {
+        if (!AllRefsResolveIn(*a, schema, alias)) return false;
+      }
+      return true;
+  }
+  return false;
+}
+
+/// Best-effort output type for a projected expression (column types are
+/// advisory in this engine; values carry their own type at runtime).
+TypeId InferType(const Expr& e, const Schema& schema) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      return e.literal.IsNull() ? TypeId::kInt : e.literal.type();
+    case ExprKind::kColumnRef: {
+      // Exact, then unqualified-suffix match; fall back to INT.
+      std::string full =
+          e.qualifier.empty() ? e.column : e.qualifier + "." + e.column;
+      for (const auto& c : schema.columns()) {
+        if (CiEquals(c.name, full)) return c.type;
+      }
+      for (const auto& c : schema.columns()) {
+        if (CiEquals(Suffix(c.name), e.column)) return c.type;
+      }
+      return TypeId::kInt;
+    }
+    case ExprKind::kParameter:
+      return TypeId::kInt;
+    case ExprKind::kUnary:
+      return e.unary_op == UnaryOp::kNeg ? InferType(*e.left, schema)
+                                         : TypeId::kInt;
+    case ExprKind::kBinary:
+      switch (e.binary_op) {
+        case BinaryOp::kAdd:
+        case BinaryOp::kSub:
+        case BinaryOp::kMul:
+        case BinaryOp::kDiv: {
+          TypeId l = InferType(*e.left, schema);
+          TypeId r = InferType(*e.right, schema);
+          return (l == TypeId::kDouble || r == TypeId::kDouble)
+                     ? TypeId::kDouble
+                     : TypeId::kInt;
+        }
+        default:
+          return TypeId::kInt;  // comparisons and logic yield 0/1
+      }
+    case ExprKind::kFuncCall:
+      if (e.func_name == "COUNT" || e.func_name == "ROW_NUMBER" ||
+          e.func_name == "IS_NULL" || e.func_name == "IS_NOT_NULL") {
+        return TypeId::kInt;
+      }
+      if (!e.args.empty()) return InferType(*e.args[0], schema);
+      return TypeId::kInt;
+    case ExprKind::kSubquery:
+      return TypeId::kInt;
+  }
+  return TypeId::kInt;
+}
+
+/// Output column name for a select item: alias first, then the bare column
+/// name for plain references, then a positional fallback.
+std::string ItemName(const SelectItem& item, size_t index) {
+  if (!item.alias.empty()) return item.alias;
+  if (item.expr != nullptr) {
+    if (item.expr->kind == ExprKind::kColumnRef) return item.expr->column;
+    if (item.expr->kind == ExprKind::kFuncCall) {
+      std::string lower = item.expr->func_name;
+      for (char& c : lower) {
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      }
+      return lower;
+    }
+  }
+  return "col" + std::to_string(index + 1);
+}
+
+Status CoerceValue(const Value& v, TypeId target, Value* out) {
+  if (v.IsNull()) {
+    *out = Value::Null();
+    return Status::OK();
+  }
+  if (v.type() == target) {
+    *out = v;
+    return Status::OK();
+  }
+  if (v.type() == TypeId::kInt && target == TypeId::kDouble) {
+    *out = Value(static_cast<double>(v.AsInt()));
+    return Status::OK();
+  }
+  return Status::InvalidArgument(std::string("cannot store ") +
+                                 TypeName(v.type()) + " into " +
+                                 TypeName(target) + " column");
+}
+
+}  // namespace
+
+// ----- entry -----------------------------------------------------------------
+
+Status Planner::Execute(const Statement& stmt, SqlResult* result) {
+  *result = SqlResult{};
+  switch (stmt.kind) {
+    case StmtKind::kSelect:
+      return ExecuteSelect(*stmt.select, result);
+    case StmtKind::kInsert:
+      return ExecuteInsert(*stmt.insert, result);
+    case StmtKind::kUpdate:
+      return ExecuteUpdate(*stmt.update, result);
+    case StmtKind::kDelete:
+      return ExecuteDelete(*stmt.del, result);
+    case StmtKind::kMerge:
+      return ExecuteMerge(*stmt.merge, result);
+    case StmtKind::kCreateTable:
+      return ExecuteCreateTable(*stmt.create_table);
+    case StmtKind::kCreateIndex:
+      return ExecuteCreateIndex(*stmt.create_index);
+    case StmtKind::kDropTable:
+      return db_->catalog()->DropTable(stmt.drop_table->table);
+    case StmtKind::kTruncate: {
+      Table* t = nullptr;
+      RELGRAPH_RETURN_IF_ERROR(FindTable(stmt.truncate->table, &t));
+      return t->Truncate();
+    }
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+Status Planner::FindTable(const std::string& name, Table** out) const {
+  Table* t = db_->catalog()->GetTable(name);
+  if (t == nullptr) {
+    for (const std::string& n : db_->catalog()->TableNames()) {
+      if (CiEquals(n, name)) {
+        t = db_->catalog()->GetTable(n);
+        break;
+      }
+    }
+  }
+  if (t == nullptr) return Status::NotFound("no table named " + name);
+  *out = t;
+  return Status::OK();
+}
+
+// ----- name resolution and expression binding --------------------------------
+
+Status Planner::ResolveColumn(const std::string& qualifier,
+                              const std::string& column, const Schema& schema,
+                              std::string* resolved) const {
+  std::string full = qualifier.empty() ? column : qualifier + "." + column;
+  for (const auto& c : schema.columns()) {
+    if (CiEquals(c.name, full)) {
+      *resolved = c.name;
+      return Status::OK();
+    }
+  }
+  if (!qualifier.empty()) {
+    // `Table.col` against a plain (unprefixed) schema.
+    for (const auto& c : schema.columns()) {
+      if (CiEquals(c.name, column)) {
+        *resolved = c.name;
+        return Status::OK();
+      }
+    }
+    return Status::NotFound("unknown column " + full);
+  }
+  // Unqualified: unique suffix match across prefixed names.
+  const std::string* match = nullptr;
+  for (const auto& c : schema.columns()) {
+    if (CiEquals(Suffix(c.name), column)) {
+      if (match != nullptr && !CiEquals(*match, c.name)) {
+        return Status::InvalidArgument("ambiguous column " + column);
+      }
+      match = &c.name;
+    }
+  }
+  if (match == nullptr) return Status::NotFound("unknown column " + column);
+  *resolved = *match;
+  return Status::OK();
+}
+
+Status Planner::BindExpr(const Expr& e, const Schema& schema, ExprRef* out) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      *out = Lit(e.literal);
+      return Status::OK();
+    case ExprKind::kColumnRef: {
+      std::string resolved;
+      RELGRAPH_RETURN_IF_ERROR(
+          ResolveColumn(e.qualifier, e.column, schema, &resolved));
+      *out = Col(std::move(resolved));
+      return Status::OK();
+    }
+    case ExprKind::kParameter: {
+      if (params_ == nullptr) {
+        return Status::InvalidArgument("no parameters bound (wanted :" +
+                                       e.param_name + ")");
+      }
+      auto it = params_->find(e.param_name);
+      if (it == params_->end()) {
+        return Status::InvalidArgument("missing parameter :" + e.param_name);
+      }
+      *out = Lit(it->second);
+      return Status::OK();
+    }
+    case ExprKind::kUnary: {
+      ExprRef inner;
+      RELGRAPH_RETURN_IF_ERROR(BindExpr(*e.left, schema, &inner));
+      if (e.unary_op == UnaryOp::kNot) {
+        *out = Not(std::move(inner));
+      } else {
+        *out = Sub(Lit(int64_t{0}), std::move(inner));
+      }
+      return Status::OK();
+    }
+    case ExprKind::kBinary: {
+      ExprRef l, r;
+      RELGRAPH_RETURN_IF_ERROR(BindExpr(*e.left, schema, &l));
+      RELGRAPH_RETURN_IF_ERROR(BindExpr(*e.right, schema, &r));
+      switch (e.binary_op) {
+        case BinaryOp::kAdd: *out = Add(std::move(l), std::move(r)); break;
+        case BinaryOp::kSub: *out = Sub(std::move(l), std::move(r)); break;
+        case BinaryOp::kMul: *out = Mul(std::move(l), std::move(r)); break;
+        case BinaryOp::kDiv: *out = Div(std::move(l), std::move(r)); break;
+        case BinaryOp::kEq:
+          *out = Cmp(CompareOp::kEq, std::move(l), std::move(r));
+          break;
+        case BinaryOp::kNe:
+          *out = Cmp(CompareOp::kNe, std::move(l), std::move(r));
+          break;
+        case BinaryOp::kLt:
+          *out = Cmp(CompareOp::kLt, std::move(l), std::move(r));
+          break;
+        case BinaryOp::kLe:
+          *out = Cmp(CompareOp::kLe, std::move(l), std::move(r));
+          break;
+        case BinaryOp::kGt:
+          *out = Cmp(CompareOp::kGt, std::move(l), std::move(r));
+          break;
+        case BinaryOp::kGe:
+          *out = Cmp(CompareOp::kGe, std::move(l), std::move(r));
+          break;
+        case BinaryOp::kAnd: *out = And(std::move(l), std::move(r)); break;
+        case BinaryOp::kOr: *out = Or(std::move(l), std::move(r)); break;
+      }
+      return Status::OK();
+    }
+    case ExprKind::kFuncCall: {
+      if (e.func_name == "IS_NULL" || e.func_name == "IS_NOT_NULL") {
+        ExprRef inner;
+        RELGRAPH_RETURN_IF_ERROR(BindExpr(*e.args[0], schema, &inner));
+        *out = IsNull(std::move(inner), e.func_name == "IS_NOT_NULL");
+        return Status::OK();
+      }
+      if (e.window != nullptr) {
+        return Status::NotSupported(
+            "window function allowed only as a top-level select item");
+      }
+      return Status::NotSupported(
+          "aggregate " + e.func_name +
+          " not allowed here (only in the select list of an aggregate query)");
+    }
+    case ExprKind::kSubquery: {
+      Value v;
+      RELGRAPH_RETURN_IF_ERROR(EvalScalarSubquery(*e.subquery, &v));
+      *out = Lit(std::move(v));
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+Status Planner::EvalScalarSubquery(const SelectStmt& sub, Value* out) {
+  SqlResult r;
+  RELGRAPH_RETURN_IF_ERROR(ExecuteSelect(sub, &r));
+  if (r.schema.NumColumns() != 1) {
+    return Status::InvalidArgument("scalar subquery must produce one column");
+  }
+  if (r.rows.size() > 1) {
+    return Status::InvalidArgument("scalar subquery produced " +
+                                   std::to_string(r.rows.size()) + " rows");
+  }
+  *out = r.rows.empty() ? Value::Null() : r.rows[0].value(0);
+  return Status::OK();
+}
+
+Status Planner::EvalConstExpr(const Expr& e, Value* out) {
+  ExprRef bound;
+  Schema empty;
+  RELGRAPH_RETURN_IF_ERROR(BindExpr(e, empty, &bound));
+  *out = bound->Evaluate(Tuple{}, empty);
+  return Status::OK();
+}
+
+// ----- FROM ------------------------------------------------------------------
+
+Status Planner::PlanFromItem(const FromItem& item, FromPlan* out) {
+  if (item.kind == FromKind::kTable) {
+    RELGRAPH_RETURN_IF_ERROR(FindTable(item.table_name, &out->base_table));
+    out->alias = item.alias.empty() ? item.table_name : item.alias;
+    if (!item.column_aliases.empty()) {
+      return Status::NotSupported("column alias list on a base table");
+    }
+    out->prefixed_schema =
+        PrefixSchema(out->base_table->schema(), out->alias + ".");
+    return Status::OK();
+  }
+  // Derived table.
+  ExecRef sub;
+  RELGRAPH_RETURN_IF_ERROR(PlanSelect(*item.subquery, &sub));
+  Schema sub_schema = sub->OutputSchema();
+  std::vector<std::string> names;
+  if (!item.column_aliases.empty()) {
+    if (item.column_aliases.size() != sub_schema.NumColumns()) {
+      return Status::InvalidArgument(
+          "derived table column list arity mismatch: " + item.alias);
+    }
+    names = item.column_aliases;
+  } else {
+    names.reserve(sub_schema.NumColumns());
+    for (const auto& c : sub_schema.columns()) names.push_back(Suffix(c.name));
+  }
+  for (auto& n : names) n = item.alias + "." + n;
+  out->alias = item.alias;
+  out->plan = std::make_unique<RenameExecutor>(std::move(sub), names);
+  out->prefixed_schema = out->plan->OutputSchema();
+  return Status::OK();
+}
+
+Status Planner::PlanFrom(const SelectStmt& sel, ExecRef* out) {
+  std::vector<FromPlan> items;
+  items.reserve(sel.from.size());
+  for (const auto& fi : sel.from) {
+    FromPlan fp;
+    RELGRAPH_RETURN_IF_ERROR(PlanFromItem(fi, &fp));
+    items.push_back(std::move(fp));
+  }
+
+  std::vector<const Expr*> conjuncts;
+  FlattenAnd(sel.where.get(), &conjuncts);
+  std::vector<bool> used(conjuncts.size(), false);
+
+  // Predicate pushdown: a conjunct whose columns all come from one from-item
+  // filters that item before it joins (inner joins only, which is all this
+  // dialect has). This is what makes `q.nid = :mid and q.f = 2` in the
+  // E-operator statements scan a one-row frontier instead of all of
+  // TVisited — the plan the paper credits the RDBMS optimizer with.
+  std::vector<std::vector<size_t>> pushed(items.size());
+  for (size_t c = 0; c < conjuncts.size(); c++) {
+    for (size_t i = 0; i < items.size(); i++) {
+      if (AllRefsResolveIn(*conjuncts[c], items[i].prefixed_schema,
+                           items[i].alias)) {
+        pushed[i].push_back(c);
+        used[c] = true;
+        break;
+      }
+    }
+  }
+
+  // Materialize a from-item as an executor with alias-prefixed columns and
+  // its pushed filters applied.
+  auto materialize = [&](size_t idx, ExecRef* result) -> Status {
+    FromPlan& fp = items[idx];
+    ExecRef e;
+    if (fp.plan != nullptr) {
+      e = std::move(fp.plan);
+    } else {
+      ExecRef scan = std::make_unique<SeqScanExecutor>(fp.base_table);
+      std::vector<std::string> names;
+      for (const auto& c : fp.prefixed_schema.columns()) {
+        names.push_back(c.name);
+      }
+      e = std::make_unique<RenameExecutor>(std::move(scan), names);
+    }
+    for (size_t c : pushed[idx]) {
+      ExprRef bound;
+      RELGRAPH_RETURN_IF_ERROR(
+          BindExpr(*conjuncts[c], e->OutputSchema(), &bound));
+      e = std::make_unique<FilterExecutor>(std::move(e), std::move(bound));
+    }
+    *result = std::move(e);
+    return Status::OK();
+  };
+
+  ExecRef acc;
+  RELGRAPH_RETURN_IF_ERROR(materialize(0, &acc));
+  for (size_t i = 1; i < items.size(); i++) {
+    FromPlan& next = items[i];
+    // Index nested-loop opportunity: an unused equality conjunct that links
+    // a column of the accumulated plan to an indexed column of `next`.
+    bool planned = false;
+    if (next.base_table != nullptr) {
+      for (size_t c = 0; c < conjuncts.size() && !planned; c++) {
+        if (used[c]) continue;
+        const Expr* e = conjuncts[c];
+        if (e->kind != ExprKind::kBinary || e->binary_op != BinaryOp::kEq) {
+          continue;
+        }
+        if (e->left->kind != ExprKind::kColumnRef ||
+            e->right->kind != ExprKind::kColumnRef) {
+          continue;
+        }
+        for (int swap = 0; swap < 2 && !planned; swap++) {
+          const Expr& outer_ref = swap == 0 ? *e->left : *e->right;
+          const Expr& inner_ref = swap == 0 ? *e->right : *e->left;
+          // Inner side must name a column of `next`'s base table.
+          if (!inner_ref.qualifier.empty() &&
+              !CiEquals(inner_ref.qualifier, next.alias)) {
+            continue;
+          }
+          std::string inner_col;
+          if (!ResolveColumn("", inner_ref.column, next.base_table->schema(),
+                             &inner_col)
+                   .ok()) {
+            continue;
+          }
+          if (!next.base_table->HasIndexOn(inner_col)) continue;
+          // Outer side must resolve in the accumulated schema.
+          std::string outer_col;
+          if (!ResolveColumn(outer_ref.qualifier, outer_ref.column,
+                             acc->OutputSchema(), &outer_col)
+                   .ok()) {
+            continue;
+          }
+          std::vector<std::string> names;
+          for (const auto& col : acc->OutputSchema().columns()) {
+            names.push_back(col.name);
+          }
+          for (const auto& col : next.prefixed_schema.columns()) {
+            names.push_back(col.name);
+          }
+          ExecRef join = std::make_unique<IndexNestedLoopJoinExecutor>(
+              std::move(acc), next.base_table, inner_col, Col(outer_col));
+          acc = std::make_unique<RenameExecutor>(std::move(join), names);
+          // Filters pushed onto the inner table apply right after the probe
+          // (the renamed schema has the prefixed inner columns).
+          for (size_t pc : pushed[i]) {
+            ExprRef bound;
+            RELGRAPH_RETURN_IF_ERROR(
+                BindExpr(*conjuncts[pc], acc->OutputSchema(), &bound));
+            acc = std::make_unique<FilterExecutor>(std::move(acc),
+                                                   std::move(bound));
+          }
+          used[c] = true;
+          planned = true;
+        }
+      }
+    }
+    if (!planned) {
+      ExecRef rhs;
+      RELGRAPH_RETURN_IF_ERROR(materialize(i, &rhs));
+      acc = std::make_unique<NestedLoopJoinExecutor>(std::move(acc),
+                                                     std::move(rhs), nullptr);
+    }
+  }
+
+  // Residual predicate.
+  ExprRef residual;
+  for (size_t c = 0; c < conjuncts.size(); c++) {
+    if (used[c]) continue;
+    ExprRef bound;
+    RELGRAPH_RETURN_IF_ERROR(
+        BindExpr(*conjuncts[c], acc->OutputSchema(), &bound));
+    residual = residual == nullptr ? std::move(bound)
+                                   : And(std::move(residual), std::move(bound));
+  }
+  if (residual != nullptr) {
+    acc = std::make_unique<FilterExecutor>(std::move(acc), std::move(residual));
+  }
+  *out = std::move(acc);
+  return Status::OK();
+}
+
+// ----- SELECT ----------------------------------------------------------------
+
+Status Planner::PlanSelect(const SelectStmt& sel, ExecRef* out) {
+  ExecRef child;
+  if (sel.from.empty()) {
+    if (sel.where != nullptr) {
+      return Status::NotSupported("WHERE without FROM");
+    }
+    std::vector<Tuple> one = {Tuple{}};
+    child = std::make_unique<MaterializedExecutor>(std::move(one), Schema{});
+  } else {
+    RELGRAPH_RETURN_IF_ERROR(PlanFrom(sel, &child));
+  }
+
+  // ---- window function (at most one, as a top-level select item) ----
+  int window_item = -1;
+  std::string window_col;
+  for (size_t i = 0; i < sel.items.size(); i++) {
+    if (sel.items[i].expr == nullptr) continue;
+    const Expr* w = FindWindowCall(*sel.items[i].expr);
+    if (w == nullptr) continue;
+    if (window_item >= 0) {
+      return Status::NotSupported("multiple window functions in one SELECT");
+    }
+    if (w != sel.items[i].expr.get()) {
+      return Status::NotSupported(
+          "window function must be a bare select item");
+    }
+    if (w->func_name != "ROW_NUMBER" || !w->args.empty() || w->star_arg) {
+      return Status::NotSupported("only ROW_NUMBER() OVER (...) is supported");
+    }
+    window_item = static_cast<int>(i);
+    window_col = sel.items[i].alias.empty() ? "rownum" : sel.items[i].alias;
+
+    std::vector<std::string> partition_cols;
+    for (const auto& p : w->window->partition_by) {
+      if (p->kind != ExprKind::kColumnRef) {
+        return Status::NotSupported("PARTITION BY requires column references");
+      }
+      std::string resolved;
+      RELGRAPH_RETURN_IF_ERROR(ResolveColumn(p->qualifier, p->column,
+                                             child->OutputSchema(), &resolved));
+      partition_cols.push_back(std::move(resolved));
+    }
+    std::vector<SortKey> order_keys;
+    for (const auto& o : w->window->order_by) {
+      SortKey key;
+      RELGRAPH_RETURN_IF_ERROR(
+          BindExpr(*o->expr, child->OutputSchema(), &key.expr));
+      key.ascending = o->ascending;
+      order_keys.push_back(std::move(key));
+    }
+    child = std::make_unique<WindowRowNumberExecutor>(
+        std::move(child), std::move(partition_cols), std::move(order_keys),
+        window_col);
+  }
+
+  const Schema& in_schema = child->OutputSchema();
+
+  // ---- aggregate path ----
+  bool has_aggregate = false;
+  for (const auto& item : sel.items) {
+    if (item.expr != nullptr && ContainsAggregate(*item.expr)) {
+      has_aggregate = true;
+      break;
+    }
+  }
+
+  std::vector<ExprRef> project_exprs;
+  std::vector<Column> project_cols;
+
+  if (has_aggregate) {
+    std::vector<std::string> group_cols;
+    for (const auto& g : sel.group_by) {
+      if (g->kind != ExprKind::kColumnRef) {
+        return Status::NotSupported("GROUP BY requires column references");
+      }
+      std::string resolved;
+      RELGRAPH_RETURN_IF_ERROR(
+          ResolveColumn(g->qualifier, g->column, in_schema, &resolved));
+      group_cols.push_back(std::move(resolved));
+    }
+    std::vector<AggSpec> specs;
+    // Select items must be aggregate calls or grouped columns; record how
+    // each item maps onto the aggregate output.
+    struct ItemSlot { std::string column; TypeId type; };
+    std::vector<ItemSlot> slots;
+    for (size_t i = 0; i < sel.items.size(); i++) {
+      const SelectItem& item = sel.items[i];
+      if (item.expr == nullptr) {
+        return Status::NotSupported("* in an aggregate query");
+      }
+      const Expr& e = *item.expr;
+      if (e.kind == ExprKind::kFuncCall && IsAggregateName(e.func_name)) {
+        AggSpec spec;
+        if (e.func_name == "MIN") spec.op = AggOp::kMin;
+        else if (e.func_name == "MAX") spec.op = AggOp::kMax;
+        else if (e.func_name == "SUM") spec.op = AggOp::kSum;
+        else spec.op = AggOp::kCount;
+        if (!e.star_arg) {
+          if (e.args.size() != 1) {
+            return Status::InvalidArgument(e.func_name +
+                                           " takes exactly one argument");
+          }
+          RELGRAPH_RETURN_IF_ERROR(
+              BindExpr(*e.args[0], in_schema, &spec.expr));
+        } else if (spec.op != AggOp::kCount) {
+          return Status::InvalidArgument(e.func_name + "(*) is not valid");
+        }
+        spec.name = "agg" + std::to_string(specs.size() + 1);
+        slots.push_back({spec.name, spec.op == AggOp::kCount
+                                        ? TypeId::kInt
+                                        : InferType(e, in_schema)});
+        specs.push_back(std::move(spec));
+      } else if (e.kind == ExprKind::kColumnRef) {
+        std::string resolved;
+        RELGRAPH_RETURN_IF_ERROR(
+            ResolveColumn(e.qualifier, e.column, in_schema, &resolved));
+        if (std::find(group_cols.begin(), group_cols.end(), resolved) ==
+            group_cols.end()) {
+          return Status::InvalidArgument("column " + resolved +
+                                         " is not in GROUP BY");
+        }
+        slots.push_back({resolved, InferType(e, in_schema)});
+      } else {
+        return Status::NotSupported(
+            "aggregate select items must be aggregates or grouped columns");
+      }
+    }
+    child = std::make_unique<HashAggregateExecutor>(
+        std::move(child), std::move(group_cols), std::move(specs));
+    for (size_t i = 0; i < sel.items.size(); i++) {
+      project_exprs.push_back(Col(slots[i].column));
+      project_cols.push_back({ItemName(sel.items[i], i), slots[i].type});
+    }
+  } else {
+    if (!sel.group_by.empty()) {
+      return Status::NotSupported("GROUP BY without aggregates");
+    }
+    for (size_t i = 0; i < sel.items.size(); i++) {
+      const SelectItem& item = sel.items[i];
+      if (item.expr == nullptr) {  // bare *: expand every input column
+        for (const auto& c : in_schema.columns()) {
+          project_exprs.push_back(Col(c.name));
+          project_cols.push_back({c.name, c.type});
+        }
+        continue;
+      }
+      if (static_cast<int>(i) == window_item) {
+        project_exprs.push_back(Col(window_col));
+        project_cols.push_back({window_col, TypeId::kInt});
+        continue;
+      }
+      ExprRef bound;
+      RELGRAPH_RETURN_IF_ERROR(BindExpr(*item.expr, in_schema, &bound));
+      project_exprs.push_back(std::move(bound));
+      project_cols.push_back(
+          {ItemName(item, i), InferType(*item.expr, in_schema)});
+    }
+  }
+
+  Schema project_schema{project_cols};
+
+  // ---- ORDER BY: prefer sorting on the projected output; fall back to the
+  // pre-projection schema when the key only exists there. ----
+  std::vector<SortKey> outer_keys;
+  bool sort_before_project = false;
+  std::vector<SortKey> inner_keys;
+  for (const auto& o : sel.order_by) {
+    ExprRef bound;
+    Status s = BindExpr(*o->expr, project_schema, &bound);
+    if (s.ok()) {
+      outer_keys.push_back({std::move(bound), o->ascending});
+      continue;
+    }
+    RELGRAPH_RETURN_IF_ERROR(BindExpr(*o->expr, in_schema, &bound));
+    sort_before_project = true;
+    inner_keys.push_back({std::move(bound), o->ascending});
+  }
+  if (sort_before_project && !outer_keys.empty()) {
+    return Status::NotSupported(
+        "ORDER BY mixes projected and pre-projection columns");
+  }
+
+  if (sort_before_project) {
+    child = std::make_unique<SortExecutor>(std::move(child),
+                                           std::move(inner_keys));
+  }
+  child = std::make_unique<ProjectExecutor>(
+      std::move(child), std::move(project_exprs), project_schema);
+  if (!outer_keys.empty()) {
+    child = std::make_unique<SortExecutor>(std::move(child),
+                                           std::move(outer_keys));
+  }
+
+  if (sel.distinct) {
+    // DISTINCT = group by every output column with no aggregates.
+    std::vector<std::string> names;
+    for (const auto& c : project_schema.columns()) {
+      if (std::find(names.begin(), names.end(), c.name) != names.end()) {
+        return Status::NotSupported("DISTINCT with duplicate output names");
+      }
+      names.push_back(c.name);
+    }
+    child = std::make_unique<HashAggregateExecutor>(
+        std::move(child), std::move(names), std::vector<AggSpec>{});
+  }
+
+  int64_t limit = -1;
+  if (sel.top.has_value()) limit = *sel.top;
+  if (sel.limit.has_value()) {
+    limit = limit < 0 ? *sel.limit : std::min(limit, *sel.limit);
+  }
+  if (limit >= 0) {
+    child = std::make_unique<LimitExecutor>(std::move(child), limit);
+  }
+
+  *out = std::move(child);
+  return Status::OK();
+}
+
+Status Planner::ExecuteSelect(const SelectStmt& sel, SqlResult* result) {
+  ExecRef plan;
+  RELGRAPH_RETURN_IF_ERROR(PlanSelect(sel, &plan));
+  result->schema = plan->OutputSchema();
+  RELGRAPH_RETURN_IF_ERROR(Collect(plan.get(), &result->rows));
+  result->affected = static_cast<int64_t>(result->rows.size());
+  return Status::OK();
+}
+
+// ----- DML -------------------------------------------------------------------
+
+Status Planner::ExecuteInsert(const InsertStmt& ins, SqlResult* result) {
+  Table* table = nullptr;
+  RELGRAPH_RETURN_IF_ERROR(FindTable(ins.table, &table));
+  const Schema& schema = table->schema();
+
+  // Map the statement's column list onto table positions (identity when
+  // the list is absent).
+  std::vector<size_t> positions;
+  if (ins.columns.empty()) {
+    for (size_t i = 0; i < schema.NumColumns(); i++) positions.push_back(i);
+  } else {
+    for (const auto& name : ins.columns) {
+      std::string resolved;
+      RELGRAPH_RETURN_IF_ERROR(ResolveColumn("", name, schema, &resolved));
+      positions.push_back(schema.IndexOf(resolved));
+    }
+  }
+
+  if (ins.select != nullptr) {
+    ExecRef src;
+    RELGRAPH_RETURN_IF_ERROR(PlanSelect(*ins.select, &src));
+    if (src->OutputSchema().NumColumns() != positions.size()) {
+      return Status::InvalidArgument("INSERT ... SELECT arity mismatch");
+    }
+    // Rearrange the SELECT output into full-width table rows.
+    std::vector<ExprRef> exprs(schema.NumColumns());
+    for (size_t j = 0; j < positions.size(); j++) {
+      exprs[positions[j]] = Col(src->OutputSchema().column(j).name);
+    }
+    for (size_t i = 0; i < exprs.size(); i++) {
+      if (exprs[i] == nullptr) exprs[i] = NullLit();
+    }
+    ExecRef shaped = std::make_unique<ProjectExecutor>(
+        std::move(src), std::move(exprs), schema);
+    return InsertFromExecutor(table, shaped.get(), &result->affected);
+  }
+
+  std::vector<Tuple> tuples;
+  tuples.reserve(ins.rows.size());
+  for (const auto& row : ins.rows) {
+    if (row.size() != positions.size()) {
+      return Status::InvalidArgument("INSERT arity mismatch");
+    }
+    std::vector<Value> values(schema.NumColumns());
+    for (size_t j = 0; j < row.size(); j++) {
+      Value v;
+      RELGRAPH_RETURN_IF_ERROR(EvalConstExpr(*row[j], &v));
+      RELGRAPH_RETURN_IF_ERROR(
+          CoerceValue(v, schema.column(positions[j]).type, &values[positions[j]]));
+    }
+    tuples.emplace_back(std::move(values));
+  }
+  MaterializedExecutor src(std::move(tuples), schema);
+  return InsertFromExecutor(table, &src, &result->affected);
+}
+
+Status Planner::ExecuteUpdate(const UpdateStmt& upd, SqlResult* result) {
+  Table* table = nullptr;
+  RELGRAPH_RETURN_IF_ERROR(FindTable(upd.table, &table));
+  std::vector<SetClause> sets;
+  for (const auto& s : upd.sets) {
+    SetClause clause;
+    RELGRAPH_RETURN_IF_ERROR(
+        ResolveColumn("", s.column, table->schema(), &clause.column));
+    RELGRAPH_RETURN_IF_ERROR(BindExpr(*s.expr, table->schema(), &clause.expr));
+    sets.push_back(std::move(clause));
+  }
+  ExprRef where;
+  if (upd.where != nullptr) {
+    RELGRAPH_RETURN_IF_ERROR(BindExpr(*upd.where, table->schema(), &where));
+  }
+  return UpdateWhere(table, std::move(where), sets, &result->affected);
+}
+
+Status Planner::ExecuteDelete(const DeleteStmt& del, SqlResult* result) {
+  Table* table = nullptr;
+  RELGRAPH_RETURN_IF_ERROR(FindTable(del.table, &table));
+  ExprRef where;
+  if (del.where != nullptr) {
+    RELGRAPH_RETURN_IF_ERROR(BindExpr(*del.where, table->schema(), &where));
+  }
+  return DeleteWhere(table, std::move(where), &result->affected);
+}
+
+// ----- MERGE -----------------------------------------------------------------
+
+namespace {
+
+/// Rewrites a MERGE expression's column qualifiers (the statement's aliases)
+/// onto MergeInto's combined "t." / "s." namespace.
+Status BindMergeExpr(const SqlParams* params, const Expr& e,
+                     const std::string& target_alias, const Schema& target,
+                     const std::string& source_alias, const Schema& source,
+                     ExprRef* out);
+
+}  // namespace
+
+Status Planner::ExecuteMerge(const MergeStmt& m, SqlResult* result) {
+  Table* target = nullptr;
+  RELGRAPH_RETURN_IF_ERROR(FindTable(m.target_table, &target));
+  const Schema& target_schema = target->schema();
+
+  // Plan the source with *plain* column names: MergeInto prefixes them
+  // itself ("s.") for the matched branch.
+  ExecRef source;
+  Schema source_schema;
+  if (m.source.kind == FromKind::kTable) {
+    Table* src_table = nullptr;
+    RELGRAPH_RETURN_IF_ERROR(FindTable(m.source.table_name, &src_table));
+    source = std::make_unique<SeqScanExecutor>(src_table);
+    source_schema = src_table->schema();
+  } else {
+    RELGRAPH_RETURN_IF_ERROR(PlanSelect(*m.source.subquery, &source));
+    source_schema = source->OutputSchema();
+  }
+  if (!m.source.column_aliases.empty()) {
+    if (m.source.column_aliases.size() != source_schema.NumColumns()) {
+      return Status::InvalidArgument("MERGE source column list arity mismatch");
+    }
+    source = std::make_unique<RenameExecutor>(std::move(source),
+                                              m.source.column_aliases);
+    source_schema = source->OutputSchema();
+  }
+
+  const std::string& src_alias = m.source.alias;
+
+  // ON clause: exactly `target.k = source.k` (either order).
+  if (m.on == nullptr || m.on->kind != ExprKind::kBinary ||
+      m.on->binary_op != BinaryOp::kEq ||
+      m.on->left->kind != ExprKind::kColumnRef ||
+      m.on->right->kind != ExprKind::kColumnRef) {
+    return Status::NotSupported(
+        "MERGE ON must be <target>.<col> = <source>.<col>");
+  }
+  MergeSpec spec;
+  for (int swap = 0; swap < 2; swap++) {
+    const Expr& t_ref = swap == 0 ? *m.on->left : *m.on->right;
+    const Expr& s_ref = swap == 0 ? *m.on->right : *m.on->left;
+    bool t_side = t_ref.qualifier.empty() ||
+                  CiEquals(t_ref.qualifier, m.target_alias);
+    bool s_side =
+        s_ref.qualifier.empty() || CiEquals(s_ref.qualifier, src_alias);
+    if (!t_side || !s_side) continue;
+    std::string t_col, s_col;
+    if (!ResolveColumn("", t_ref.column, target_schema, &t_col).ok()) continue;
+    if (!ResolveColumn("", s_ref.column, source_schema, &s_col).ok()) continue;
+    spec.target_key_column = t_col;
+    spec.source_key_column = s_col;
+    break;
+  }
+  if (spec.target_key_column.empty()) {
+    return Status::InvalidArgument(
+        "MERGE ON condition does not name a target and a source column");
+  }
+
+  if (m.matched_condition != nullptr) {
+    RELGRAPH_RETURN_IF_ERROR(
+        BindMergeExpr(params_, *m.matched_condition, m.target_alias,
+                      target_schema, src_alias, source_schema,
+                      &spec.matched_condition));
+  }
+  for (const auto& s : m.matched_sets) {
+    SetClause clause;
+    RELGRAPH_RETURN_IF_ERROR(
+        ResolveColumn("", s.column, target_schema, &clause.column));
+    RELGRAPH_RETURN_IF_ERROR(BindMergeExpr(params_, *s.expr, m.target_alias,
+                                           target_schema, src_alias,
+                                           source_schema, &clause.expr));
+    spec.matched_sets.push_back(std::move(clause));
+  }
+
+  if (m.has_not_matched_clause) {
+    std::vector<size_t> positions;
+    if (m.insert_columns.empty()) {
+      if (m.insert_values.size() != target_schema.NumColumns()) {
+        return Status::InvalidArgument("MERGE insert arity mismatch");
+      }
+      for (size_t i = 0; i < target_schema.NumColumns(); i++) {
+        positions.push_back(i);
+      }
+    } else {
+      if (m.insert_values.size() != m.insert_columns.size()) {
+        return Status::InvalidArgument("MERGE insert arity mismatch");
+      }
+      for (const auto& name : m.insert_columns) {
+        std::string resolved;
+        RELGRAPH_RETURN_IF_ERROR(
+            ResolveColumn("", name, target_schema, &resolved));
+        positions.push_back(target_schema.IndexOf(resolved));
+      }
+    }
+    spec.insert_values.assign(target_schema.NumColumns(), NullLit());
+    for (size_t j = 0; j < positions.size(); j++) {
+      ExprRef bound;
+      // Insert values see the plain source row (SQL: only source columns are
+      // in scope for the NOT MATCHED branch).
+      RELGRAPH_RETURN_IF_ERROR(
+          BindExpr(*m.insert_values[j], source_schema, &bound));
+      spec.insert_values[positions[j]] = std::move(bound);
+    }
+  }
+
+  return MergeInto(target, source.get(), spec, &result->affected);
+}
+
+namespace {
+
+Status BindMergeExpr(const SqlParams* params, const Expr& e,
+                     const std::string& target_alias, const Schema& target,
+                     const std::string& source_alias, const Schema& source,
+                     ExprRef* out) {
+  // Column references get their alias rewritten onto "t."/"s."; everything
+  // else recurses structurally. A rewritten copy of the AST would also work
+  // but this avoids the clone.
+  if (e.kind == ExprKind::kColumnRef) {
+    auto resolve_in = [&](const Schema& s, std::string* res) {
+      for (const auto& c : s.columns()) {
+        if (CiEquals(c.name, e.column)) {
+          *res = c.name;
+          return true;
+        }
+      }
+      return false;
+    };
+    std::string plain;
+    if (!e.qualifier.empty()) {
+      if (CiEquals(e.qualifier, target_alias) && resolve_in(target, &plain)) {
+        *out = Col("t." + plain);
+        return Status::OK();
+      }
+      if (CiEquals(e.qualifier, source_alias) && resolve_in(source, &plain)) {
+        *out = Col("s." + plain);
+        return Status::OK();
+      }
+      return Status::NotFound("unknown MERGE column " + e.qualifier + "." +
+                              e.column);
+    }
+    bool in_t = resolve_in(target, &plain);
+    std::string t_name = "t." + plain;
+    bool in_s = resolve_in(source, &plain);
+    if (in_t && in_s) {
+      return Status::InvalidArgument("ambiguous MERGE column " + e.column);
+    }
+    if (in_t) {
+      *out = Col(std::move(t_name));
+      return Status::OK();
+    }
+    if (in_s) {
+      *out = Col("s." + plain);
+      return Status::OK();
+    }
+    return Status::NotFound("unknown MERGE column " + e.column);
+  }
+
+  auto recurse = [&](const Expr& sub, ExprRef* res) {
+    return BindMergeExpr(params, sub, target_alias, target, source_alias,
+                         source, res);
+  };
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      *out = Lit(e.literal);
+      return Status::OK();
+    case ExprKind::kParameter: {
+      if (params == nullptr) {
+        return Status::InvalidArgument("no parameters bound (wanted :" +
+                                       e.param_name + ")");
+      }
+      auto it = params->find(e.param_name);
+      if (it == params->end()) {
+        return Status::InvalidArgument("missing parameter :" + e.param_name);
+      }
+      *out = Lit(it->second);
+      return Status::OK();
+    }
+    case ExprKind::kUnary: {
+      ExprRef inner;
+      RELGRAPH_RETURN_IF_ERROR(recurse(*e.left, &inner));
+      *out = e.unary_op == UnaryOp::kNot
+                 ? Not(std::move(inner))
+                 : Sub(Lit(int64_t{0}), std::move(inner));
+      return Status::OK();
+    }
+    case ExprKind::kBinary: {
+      ExprRef l, r;
+      RELGRAPH_RETURN_IF_ERROR(recurse(*e.left, &l));
+      RELGRAPH_RETURN_IF_ERROR(recurse(*e.right, &r));
+      switch (e.binary_op) {
+        case BinaryOp::kAdd: *out = Add(std::move(l), std::move(r)); return Status::OK();
+        case BinaryOp::kSub: *out = Sub(std::move(l), std::move(r)); return Status::OK();
+        case BinaryOp::kMul: *out = Mul(std::move(l), std::move(r)); return Status::OK();
+        case BinaryOp::kDiv: *out = Div(std::move(l), std::move(r)); return Status::OK();
+        case BinaryOp::kEq: *out = Cmp(CompareOp::kEq, std::move(l), std::move(r)); return Status::OK();
+        case BinaryOp::kNe: *out = Cmp(CompareOp::kNe, std::move(l), std::move(r)); return Status::OK();
+        case BinaryOp::kLt: *out = Cmp(CompareOp::kLt, std::move(l), std::move(r)); return Status::OK();
+        case BinaryOp::kLe: *out = Cmp(CompareOp::kLe, std::move(l), std::move(r)); return Status::OK();
+        case BinaryOp::kGt: *out = Cmp(CompareOp::kGt, std::move(l), std::move(r)); return Status::OK();
+        case BinaryOp::kGe: *out = Cmp(CompareOp::kGe, std::move(l), std::move(r)); return Status::OK();
+        case BinaryOp::kAnd: *out = And(std::move(l), std::move(r)); return Status::OK();
+        case BinaryOp::kOr: *out = Or(std::move(l), std::move(r)); return Status::OK();
+      }
+      return Status::Internal("unhandled binary op");
+    }
+    case ExprKind::kFuncCall:
+      if (e.func_name == "IS_NULL" || e.func_name == "IS_NOT_NULL") {
+        ExprRef inner;
+        RELGRAPH_RETURN_IF_ERROR(recurse(*e.args[0], &inner));
+        *out = IsNull(std::move(inner), e.func_name == "IS_NOT_NULL");
+        return Status::OK();
+      }
+      return Status::NotSupported("function " + e.func_name + " inside MERGE");
+    case ExprKind::kSubquery:
+      return Status::NotSupported("subquery inside a MERGE action");
+    default:
+      return Status::Internal("unhandled expression kind in MERGE");
+  }
+}
+
+}  // namespace
+
+// ----- DDL -------------------------------------------------------------------
+
+Status Planner::ExecuteCreateTable(const CreateTableStmt& ct) {
+  std::vector<Column> cols;
+  for (const auto& c : ct.columns) cols.push_back({c.name, c.type});
+  TableOptions options;
+  if (!ct.cluster_by.empty()) {
+    options.storage = TableStorage::kClustered;
+    Schema s{cols};
+    std::string resolved;
+    RELGRAPH_RETURN_IF_ERROR(ResolveColumn("", ct.cluster_by, s, &resolved));
+    options.cluster_key = resolved;
+    options.cluster_unique = ct.cluster_unique;
+  }
+  Table* out = nullptr;
+  return db_->catalog()->CreateTable(ct.table, Schema{std::move(cols)},
+                                     options, &out);
+}
+
+Status Planner::ExecuteCreateIndex(const CreateIndexStmt& ci) {
+  Table* table = nullptr;
+  RELGRAPH_RETURN_IF_ERROR(FindTable(ci.table, &table));
+  std::string resolved;
+  RELGRAPH_RETURN_IF_ERROR(
+      ResolveColumn("", ci.column, table->schema(), &resolved));
+  return table->CreateSecondaryIndex(resolved, ci.unique);
+}
+
+}  // namespace relgraph::sql

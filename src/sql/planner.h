@@ -1,0 +1,96 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/db/database.h"
+#include "src/exec/executor.h"
+#include "src/exec/expression.h"
+#include "src/sql/ast.h"
+
+namespace relgraph::sql {
+
+/// Named statement parameters (`:lb`, `:minCost`). The path-finding client
+/// re-issues the same statement text each iteration with fresh bindings,
+/// exactly like a JDBC PreparedStatement.
+using SqlParams = std::map<std::string, relgraph::Value>;
+
+/// Result of one statement: rows+schema for SELECT, affected-row count for
+/// DML (the SQLCA reading the paper's Algorithm 1 polls), nothing for DDL.
+struct SqlResult {
+  int64_t affected = 0;
+  relgraph::Schema schema;
+  std::vector<relgraph::Tuple> rows;
+
+  /// First column of the first row; NULL Value when the result is empty.
+  relgraph::Value Scalar() const {
+    if (rows.empty() || rows[0].NumValues() == 0) return relgraph::Value::Null();
+    return rows[0].value(0);
+  }
+};
+
+/// Translates one parsed Statement into engine calls: executor pipelines for
+/// SELECT, the DML primitives (InsertFromExecutor / UpdateWhere / DeleteWhere
+/// / MergeInto) for writes, catalog calls for DDL.
+///
+/// Scope rules (deliberately the subset the paper's listings exercise):
+///  - FROM lists join left-to-right; an equality conjunct in WHERE that links
+///    the accumulated plan to an indexed column of the next base table turns
+///    that step into an index nested-loop join (the plan the paper's RDBMS
+///    optimizer picks for the E-operator).
+///  - Scalar subqueries are evaluated eagerly (uncorrelated only) — the
+///    paper's `d2s = (select min(d2s) from TVisited where f = 0)`.
+///  - Window: one ROW_NUMBER() OVER (...) per SELECT.
+///  - Aggregate queries: every select item is an aggregate call or a
+///    GROUP BY column.
+class Planner {
+ public:
+  Planner(Database* db, const SqlParams* params) : db_(db), params_(params) {}
+
+  /// Executes `stmt`, materializing SELECT output into `result`.
+  Status Execute(const Statement& stmt, SqlResult* result);
+
+  /// Builds the executor pipeline for a SELECT without running it.
+  Status PlanSelect(const SelectStmt& sel, ExecRef* out);
+
+ private:
+  struct FromPlan {
+    ExecRef plan;            // null for base tables until materialized
+    Table* base_table = nullptr;
+    std::string alias;       // effective alias (explicit or table name)
+    Schema prefixed_schema;  // alias-qualified column names
+  };
+
+  Status ExecuteSelect(const SelectStmt& sel, SqlResult* result);
+  Status ExecuteInsert(const InsertStmt& ins, SqlResult* result);
+  Status ExecuteUpdate(const UpdateStmt& upd, SqlResult* result);
+  Status ExecuteDelete(const DeleteStmt& del, SqlResult* result);
+  Status ExecuteMerge(const MergeStmt& m, SqlResult* result);
+  Status ExecuteCreateTable(const CreateTableStmt& ct);
+  Status ExecuteCreateIndex(const CreateIndexStmt& ci);
+
+  /// FROM + WHERE with join-conjunct extraction; `remaining_where` receives
+  /// the non-join part of the predicate (already bound).
+  Status PlanFrom(const SelectStmt& sel, ExecRef* out);
+  Status PlanFromItem(const FromItem& item, FromPlan* out);
+
+  /// AST expression -> runtime expression against `schema`.
+  Status BindExpr(const Expr& e, const Schema& schema, ExprRef* out);
+  /// Resolves a (qualifier, column) reference to the schema's column name.
+  Status ResolveColumn(const std::string& qualifier, const std::string& column,
+                       const Schema& schema, std::string* resolved) const;
+
+  Status EvalScalarSubquery(const SelectStmt& sub, Value* out);
+  /// Evaluates a constant expression (literals/params/arithmetic/subquery).
+  Status EvalConstExpr(const Expr& e, Value* out);
+
+  Status FindTable(const std::string& name, Table** out) const;
+
+  Database* db_;
+  const SqlParams* params_;
+};
+
+}  // namespace relgraph::sql

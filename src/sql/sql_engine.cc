@@ -1,0 +1,68 @@
+#include "src/sql/sql_engine.h"
+
+#include "src/sql/parser.h"
+
+namespace relgraph::sql {
+
+Status SqlEngine::Execute(const std::string& statement, SqlResult* result,
+                          const SqlParams& params) {
+  std::unique_ptr<Statement> stmt;
+  RELGRAPH_RETURN_IF_ERROR(Parser::Parse(statement, &stmt));
+  // MERGE is an engine-profile feature (§2.2): PostgreSQL 9.0 rejects it,
+  // forcing the client onto the update-then-insert pair — the behaviour the
+  // paper's Figure 8(a) measures.
+  if (stmt->kind == StmtKind::kMerge && !db_->SupportsMerge()) {
+    return Status::NotSupported(
+        "this engine profile does not support MERGE (use UPDATE + INSERT)");
+  }
+  db_->RecordStatement(statement);
+  Planner planner(db_, &params);
+  SqlResult local;
+  RELGRAPH_RETURN_IF_ERROR(planner.Execute(*stmt, &local));
+  if (result != nullptr) *result = std::move(local);
+  return Status::OK();
+}
+
+Status SqlEngine::ExecuteScript(const std::string& script, SqlResult* last,
+                                const SqlParams& params) {
+  std::vector<std::unique_ptr<Statement>> stmts;
+  RELGRAPH_RETURN_IF_ERROR(Parser::ParseScript(script, &stmts));
+  SqlResult local;
+  for (const auto& stmt : stmts) {
+    if (stmt->kind == StmtKind::kMerge && !db_->SupportsMerge()) {
+      return Status::NotSupported(
+          "this engine profile does not support MERGE (use UPDATE + INSERT)");
+    }
+    db_->RecordStatement("script statement");
+    Planner planner(db_, &params);
+    local = SqlResult{};
+    RELGRAPH_RETURN_IF_ERROR(planner.Execute(*stmt, &local));
+  }
+  if (last != nullptr) *last = std::move(local);
+  return Status::OK();
+}
+
+Status SqlEngine::QueryScalar(const std::string& statement, Value* out,
+                              const SqlParams& params) {
+  SqlResult r;
+  RELGRAPH_RETURN_IF_ERROR(Execute(statement, &r, params));
+  *out = r.Scalar();
+  return Status::OK();
+}
+
+Status SqlEngine::Explain(const std::string& statement, std::string* plan,
+                          const SqlParams& params) {
+  std::unique_ptr<Statement> stmt;
+  RELGRAPH_RETURN_IF_ERROR(Parser::Parse(statement, &stmt));
+  if (stmt->kind != StmtKind::kSelect) {
+    return Status::NotSupported("EXPLAIN supports SELECT statements");
+  }
+  Planner planner(db_, &params);
+  ExecRef root;
+  RELGRAPH_RETURN_IF_ERROR(planner.PlanSelect(*stmt->select, &root));
+  plan->clear();
+  root->Explain(0, plan);
+  return Status::OK();
+}
+
+}  // namespace relgraph::sql

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/db/database.h"
+#include "src/sql/planner.h"
+
+namespace relgraph::sql {
+
+/// Text-in, rows-out entry point: the engine's equivalent of a JDBC
+/// connection. Each Execute() call parses, plans, and runs one SQL
+/// statement, and counts as one statement against Database::stats() —
+/// which is exactly how the paper's client-side algorithms account for
+/// their "number of SQLs issued".
+///
+///   SqlEngine conn(db);
+///   SqlResult r;
+///   conn.Execute("select top 1 nid from TVisited where f = 0 and "
+///                "d2s = (select min(d2s) from TVisited where f = 0)", &r);
+///
+/// Statements may carry named parameters (`:mid`, `:lb`, `:minCost`) bound
+/// per call, like a PreparedStatement re-executed with fresh values.
+class SqlEngine {
+ public:
+  explicit SqlEngine(Database* db) : db_(db) {}
+
+  Database* db() { return db_; }
+
+  /// Parses and executes one statement. `result` may be nullptr when the
+  /// caller only needs success/failure (DDL).
+  Status Execute(const std::string& statement, SqlResult* result = nullptr,
+                 const SqlParams& params = {});
+
+  /// Executes a semicolon-separated script; `last` (optional) receives the
+  /// result of the final statement.
+  Status ExecuteScript(const std::string& script, SqlResult* last = nullptr,
+                       const SqlParams& params = {});
+
+  /// Runs a single-value query (e.g. `select min(d2s) from ...`). An empty
+  /// result yields a NULL Value.
+  Status QueryScalar(const std::string& statement, Value* out,
+                     const SqlParams& params = {});
+
+  /// EXPLAIN: plans a SELECT without running it and renders the physical
+  /// operator tree (one operator per line, children indented) — shows the
+  /// index-nested-loop picks and pushed-down filters the paper attributes
+  /// to the RDBMS optimizer. Scalar subqueries are still evaluated during
+  /// planning (they parameterize the plan).
+  Status Explain(const std::string& statement, std::string* plan,
+                 const SqlParams& params = {});
+
+ private:
+  Database* db_;
+};
+
+}  // namespace relgraph::sql

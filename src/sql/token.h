@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace relgraph::sql {
+
+/// Lexical token kinds for the SQL dialect of the paper's listings.
+/// Keywords are folded into kKeyword with the upper-cased text in `text`;
+/// the parser matches on that text, which keeps the enum small and makes
+/// adding keywords a parser-only change.
+enum class TokenKind {
+  kEnd,         // end of input
+  kIdentifier,  // table / column / alias names (case-preserving)
+  kKeyword,     // SELECT, FROM, MERGE, ... (text upper-cased)
+  kInteger,     // 42
+  kFloat,       // 3.5
+  kString,      // 'text' (SQL single quotes, '' escape)
+  kParameter,   // :name
+
+  kComma,       // ,
+  kDot,         // .
+  kLParen,      // (
+  kRParen,      // )
+  kStar,        // *
+  kPlus,        // +
+  kMinus,       // -
+  kSlash,       // /
+  kEq,          // =
+  kNe,          // <> or !=
+  kLt,          // <
+  kLe,          // <=
+  kGt,          // >
+  kGe,          // >=
+  kSemicolon,   // ;
+};
+
+const char* TokenKindName(TokenKind k);
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  /// Identifier spelling (original case), keyword (upper case), literal
+  /// spelling, or parameter name (without the colon).
+  std::string text;
+  int64_t int_value = 0;    // kInteger
+  double float_value = 0;   // kFloat
+  size_t offset = 0;        // byte offset into the statement, for errors
+
+  bool IsKeyword(const char* kw) const {
+    return kind == TokenKind::kKeyword && text == kw;
+  }
+};
+
+}  // namespace relgraph::sql

@@ -1,0 +1,126 @@
+#include "src/storage/buffer_pool.h"
+
+#include <cstring>
+
+namespace relgraph {
+
+BufferPool::BufferPool(size_t pool_size, DiskManager* disk)
+    : disk_(disk), replacer_(pool_size) {
+  frames_.reserve(pool_size);
+  for (size_t i = 0; i < pool_size; i++) {
+    frames_.push_back(std::make_unique<Page>());
+    free_list_.push_back(static_cast<frame_id_t>(i));
+  }
+  page_table_.reserve(pool_size * 2);
+}
+
+Status BufferPool::GetFreeFrame(frame_id_t* frame_id) {
+  if (!free_list_.empty()) {
+    *frame_id = free_list_.back();
+    free_list_.pop_back();
+    return Status::OK();
+  }
+  if (!replacer_.Victim(frame_id)) {
+    return Status::ResourceExhausted("all buffer frames are pinned");
+  }
+  Page* victim = frames_[*frame_id].get();
+  stats_.evictions++;
+  if (victim->is_dirty_) {
+    stats_.dirty_writebacks++;
+    RELGRAPH_RETURN_IF_ERROR(disk_->WritePage(victim->page_id_, victim->data_));
+    victim->is_dirty_ = false;
+  }
+  page_table_.erase(victim->page_id_);
+  victim->page_id_ = kInvalidPageId;
+  return Status::OK();
+}
+
+Status BufferPool::FetchPage(page_id_t page_id, Page** out) {
+  auto it = page_table_.find(page_id);
+  if (it != page_table_.end()) {
+    stats_.hits++;
+    Page* page = frames_[it->second].get();
+    if (page->pin_count_ == 0) replacer_.Pin(it->second);
+    page->pin_count_++;
+    *out = page;
+    return Status::OK();
+  }
+  stats_.misses++;
+  frame_id_t frame;
+  RELGRAPH_RETURN_IF_ERROR(GetFreeFrame(&frame));
+  Page* page = frames_[frame].get();
+  Status st = disk_->ReadPage(page_id, page->data_);
+  if (!st.ok()) {
+    free_list_.push_back(frame);
+    return st;
+  }
+  page->page_id_ = page_id;
+  page->pin_count_ = 1;
+  page->is_dirty_ = false;
+  page_table_[page_id] = frame;
+  *out = page;
+  return Status::OK();
+}
+
+Status BufferPool::NewPage(page_id_t* page_id, Page** out) {
+  frame_id_t frame;
+  RELGRAPH_RETURN_IF_ERROR(GetFreeFrame(&frame));
+  *page_id = disk_->AllocatePage();
+  Page* page = frames_[frame].get();
+  std::memset(page->data_, 0, kPageSize);
+  page->page_id_ = *page_id;
+  page->pin_count_ = 1;
+  page->is_dirty_ = true;  // a new page must reach disk at least once
+  page_table_[*page_id] = frame;
+  *out = page;
+  return Status::OK();
+}
+
+Status BufferPool::UnpinPage(page_id_t page_id, bool is_dirty) {
+  auto it = page_table_.find(page_id);
+  if (it == page_table_.end()) {
+    return Status::NotFound("unpin of non-resident page " +
+                            std::to_string(page_id));
+  }
+  Page* page = frames_[it->second].get();
+  if (page->pin_count_ <= 0) {
+    return Status::Internal("unpin of unpinned page " +
+                            std::to_string(page_id));
+  }
+  page->is_dirty_ = page->is_dirty_ || is_dirty;
+  page->pin_count_--;
+  if (page->pin_count_ == 0) replacer_.Unpin(it->second);
+  return Status::OK();
+}
+
+Status BufferPool::FlushPage(page_id_t page_id) {
+  auto it = page_table_.find(page_id);
+  if (it == page_table_.end()) return Status::OK();
+  Page* page = frames_[it->second].get();
+  if (page->is_dirty_) {
+    RELGRAPH_RETURN_IF_ERROR(disk_->WritePage(page_id, page->data_));
+    page->is_dirty_ = false;
+  }
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  for (const auto& [page_id, frame] : page_table_) {
+    Page* page = frames_[frame].get();
+    if (page->is_dirty_) {
+      RELGRAPH_RETURN_IF_ERROR(disk_->WritePage(page_id, page->data_));
+      page->is_dirty_ = false;
+    }
+  }
+  return Status::OK();
+}
+
+size_t BufferPool::PinnedFrames() const {
+  size_t n = 0;
+  for (const auto& f : frames_) {
+    if (f->pin_count() > 0) n++;
+  }
+  return n;
+}
+
+}  // namespace relgraph

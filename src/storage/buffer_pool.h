@@ -1,0 +1,139 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/config.h"
+#include "src/common/status.h"
+#include "src/storage/disk_manager.h"
+#include "src/storage/lru_replacer.h"
+
+namespace relgraph {
+
+/// In-memory image of one disk page plus its bookkeeping.
+class Page {
+ public:
+  char* data() { return data_; }
+  const char* data() const { return data_; }
+  page_id_t page_id() const { return page_id_; }
+  int pin_count() const { return pin_count_; }
+  bool is_dirty() const { return is_dirty_; }
+
+ private:
+  friend class BufferPool;
+  char data_[kPageSize] = {0};
+  page_id_t page_id_ = kInvalidPageId;
+  int pin_count_ = 0;
+  bool is_dirty_ = false;
+};
+
+struct BufferPoolStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t evictions = 0;
+  int64_t dirty_writebacks = 0;
+
+  double HitRate() const {
+    int64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+/// Fixed-capacity page cache between the access methods and the disk
+/// manager. This is the component the paper's buffer-size experiments
+/// (Figures 8(b), 9(g)) vary: the pool size in pages is the analogue of the
+/// RDBMS buffer setting.
+///
+/// Usage protocol (RocksDB-block-cache-like pin discipline):
+///   Page* p; pool.FetchPage(id, &p);  ... use p->data() ...
+///   pool.UnpinPage(id, /*dirty=*/true_if_modified);
+/// Pinned pages are never evicted; fetching when every frame is pinned
+/// returns ResourceExhausted.
+class BufferPool {
+ public:
+  BufferPool(size_t pool_size, DiskManager* disk);
+
+  /// Pins page `page_id`, reading it from disk on a miss.
+  Status FetchPage(page_id_t page_id, Page** out);
+
+  /// Allocates a brand-new page on disk and pins it.
+  Status NewPage(page_id_t* page_id, Page** out);
+
+  /// Drops one pin; marks the frame dirty if the caller modified it.
+  Status UnpinPage(page_id_t page_id, bool is_dirty);
+
+  /// Writes a page back to disk if present and dirty.
+  Status FlushPage(page_id_t page_id);
+
+  /// Writes back every dirty page.
+  Status FlushAll();
+
+  size_t pool_size() const { return frames_.size(); }
+  const BufferPoolStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferPoolStats{}; }
+  DiskManager* disk() { return disk_; }
+
+  /// Number of currently pinned frames (test/diagnostic hook).
+  size_t PinnedFrames() const;
+
+ private:
+  Status GetFreeFrame(frame_id_t* frame_id);
+
+  DiskManager* disk_;
+  std::vector<std::unique_ptr<Page>> frames_;
+  std::vector<frame_id_t> free_list_;
+  std::unordered_map<page_id_t, frame_id_t> page_table_;
+  LruReplacer replacer_;
+  BufferPoolStats stats_;
+};
+
+/// RAII pin guard: fetches on construction, unpins on destruction.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, page_id_t page_id) : pool_(pool) {
+    status_ = pool->FetchPage(page_id, &page_);
+    if (!status_.ok()) page_ = nullptr;
+  }
+  ~PageGuard() { Release(); }
+
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  PageGuard(PageGuard&& other) noexcept { *this = std::move(other); }
+  PageGuard& operator=(PageGuard&& other) noexcept {
+    if (this != &other) {
+      Release();
+      pool_ = other.pool_;
+      page_ = other.page_;
+      dirty_ = other.dirty_;
+      status_ = other.status_;
+      other.page_ = nullptr;
+      other.pool_ = nullptr;
+    }
+    return *this;
+  }
+
+  bool ok() const { return page_ != nullptr; }
+  const Status& status() const { return status_; }
+  Page* page() { return page_; }
+  char* data() { return page_->data(); }
+  const char* data() const { return page_->data(); }
+  void MarkDirty() { dirty_ = true; }
+
+  void Release() {
+    if (page_ != nullptr && pool_ != nullptr) {
+      pool_->UnpinPage(page_->page_id(), dirty_);
+      page_ = nullptr;
+    }
+  }
+
+ private:
+  BufferPool* pool_ = nullptr;
+  Page* page_ = nullptr;
+  bool dirty_ = false;
+  Status status_;
+};
+
+}  // namespace relgraph

@@ -1,0 +1,97 @@
+#include "src/storage/disk_manager.h"
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace relgraph {
+
+DiskManager::DiskManager() = default;
+
+DiskManager::DiskManager(const std::string& path) : path_(path) {
+  file_ = std::fopen(path.c_str(), "w+b");
+  // Fall back to in-memory mode when the path is unwritable; callers that
+  // need durability can check in_memory().
+}
+
+DiskManager::~DiskManager() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    std::remove(path_.c_str());
+  }
+}
+
+page_id_t DiskManager::AllocatePage() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  page_id_t id = next_page_id_.fetch_add(1);
+  stats_.allocations++;
+  if (file_ == nullptr) {
+    mem_pages_.emplace_back(kPageSize, 0);
+  } else {
+    char zeros[kPageSize] = {0};
+    std::fseek(file_, static_cast<long>(id) * kPageSize, SEEK_SET);
+    std::fwrite(zeros, 1, kPageSize, file_);
+  }
+  return id;
+}
+
+Status DiskManager::ReadPage(page_id_t page_id, char* out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (page_id < 0 || page_id >= next_page_id_.load()) {
+    return Status::OutOfRange("read of unallocated page " +
+                              std::to_string(page_id));
+  }
+  if (read_fault_in_ >= 0 && read_fault_in_-- == 0) {
+    read_fault_in_ = 0;  // keep failing until cleared
+    return Status::IOError("injected fault: read of page " +
+                           std::to_string(page_id));
+  }
+  stats_.reads++;
+  MaybeSimulateLatency();
+  if (file_ == nullptr) {
+    std::memcpy(out, mem_pages_[page_id].data(), kPageSize);
+    return Status::OK();
+  }
+  std::fseek(file_, static_cast<long>(page_id) * kPageSize, SEEK_SET);
+  size_t n = std::fread(out, 1, kPageSize, file_);
+  if (n != kPageSize) {
+    return Status::IOError("short read on page " + std::to_string(page_id));
+  }
+  return Status::OK();
+}
+
+Status DiskManager::WritePage(page_id_t page_id, const char* data) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (page_id < 0 || page_id >= next_page_id_.load()) {
+    return Status::OutOfRange("write of unallocated page " +
+                              std::to_string(page_id));
+  }
+  if (write_fault_in_ >= 0 && write_fault_in_-- == 0) {
+    write_fault_in_ = 0;  // keep failing until cleared
+    return Status::IOError("injected fault: write of page " +
+                           std::to_string(page_id));
+  }
+  stats_.writes++;
+  if (file_ == nullptr) {
+    std::memcpy(mem_pages_[page_id].data(), data, kPageSize);
+    return Status::OK();
+  }
+  std::fseek(file_, static_cast<long>(page_id) * kPageSize, SEEK_SET);
+  size_t n = std::fwrite(data, 1, kPageSize, file_);
+  if (n != kPageSize) {
+    return Status::IOError("short write on page " + std::to_string(page_id));
+  }
+  return Status::OK();
+}
+
+void DiskManager::MaybeSimulateLatency() {
+  if (simulated_io_latency_us_ <= 0) return;
+  auto until = std::chrono::steady_clock::now() +
+               std::chrono::microseconds(simulated_io_latency_us_);
+  // Busy-wait: sleep granularity on most kernels is far coarser than the
+  // tens of microseconds we model, which would distort the sweep.
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+}  // namespace relgraph

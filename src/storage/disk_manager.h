@@ -1,0 +1,94 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/config.h"
+#include "src/common/status.h"
+
+namespace relgraph {
+
+/// Counters the disk manager maintains; the experiment harness reads these
+/// to report I/O alongside wall-clock time (Figures 8(b), 9(g)).
+struct DiskStats {
+  int64_t reads = 0;
+  int64_t writes = 0;
+  int64_t allocations = 0;
+};
+
+/// DiskManager owns page-granular storage. Two modes:
+///  - file-backed: pages live in a single file, read/written with pread/pwrite;
+///  - in-memory: pages live in an anonymous vector (used by fast unit tests).
+///
+/// `simulated_io_latency_us` adds a busy-wait per physical read to restore the
+/// disk-bound regime of the paper's 2003-era testbed: the host OS page cache
+/// would otherwise absorb most misses and flatten the buffer-size curves. It
+/// defaults to 0 (off); only the buffer-size benchmarks turn it on. See
+/// DESIGN.md "Substitutions".
+class DiskManager {
+ public:
+  /// Creates an in-memory disk manager.
+  DiskManager();
+
+  /// Creates a file-backed disk manager; truncates any existing file.
+  explicit DiskManager(const std::string& path);
+
+  ~DiskManager();
+
+  DiskManager(const DiskManager&) = delete;
+  DiskManager& operator=(const DiskManager&) = delete;
+
+  /// Allocates a fresh zero-filled page and returns its id.
+  page_id_t AllocatePage();
+
+  /// Reads page `page_id` into `out` (kPageSize bytes).
+  Status ReadPage(page_id_t page_id, char* out);
+
+  /// Writes kPageSize bytes from `data` to page `page_id`.
+  Status WritePage(page_id_t page_id, const char* data);
+
+  int32_t num_pages() const { return next_page_id_.load(); }
+  bool in_memory() const { return file_ == nullptr; }
+
+  const DiskStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = DiskStats{}; }
+
+  void set_simulated_io_latency_us(int64_t us) {
+    simulated_io_latency_us_ = us;
+  }
+  int64_t simulated_io_latency_us() const { return simulated_io_latency_us_; }
+
+  /// Fault injection for failure-path tests: after `countdown` further
+  /// successful operations of that kind, every subsequent one fails with
+  /// IOError ("injected fault"). Negative disables (the default). The
+  /// error must surface as a Status through the buffer pool, heap files,
+  /// B+-trees, tables, executors, and finders — never as a crash or silent
+  /// corruption; tests/test_fault_injection.cc asserts each layer.
+  void InjectReadFaultAfter(int64_t countdown) { read_fault_in_ = countdown; }
+  void InjectWriteFaultAfter(int64_t countdown) {
+    write_fault_in_ = countdown;
+  }
+  void ClearFaults() {
+    read_fault_in_ = -1;
+    write_fault_in_ = -1;
+  }
+
+ private:
+  void MaybeSimulateLatency();
+
+  std::mutex mutex_;
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  std::vector<std::vector<char>> mem_pages_;
+  std::atomic<page_id_t> next_page_id_{0};
+  DiskStats stats_;
+  int64_t simulated_io_latency_us_ = 0;
+  int64_t read_fault_in_ = -1;
+  int64_t write_fault_in_ = -1;
+};
+
+}  // namespace relgraph

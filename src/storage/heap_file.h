@@ -1,0 +1,73 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "src/common/config.h"
+#include "src/common/status.h"
+#include "src/storage/buffer_pool.h"
+#include "src/storage/slotted_page.h"
+
+namespace relgraph {
+
+/// Unordered record store: a singly linked chain of slotted pages. This is
+/// the engine's default table storage ("heap organized", the paper's
+/// NoIndex baseline); tables may additionally carry B+-tree indexes or be
+/// stored clustered inside a B+-tree (see src/index, src/catalog).
+class HeapFile {
+ public:
+  /// Creates an empty heap file (allocates the first page).
+  static Status Create(BufferPool* pool, HeapFile* out);
+
+  /// Re-opens an existing heap file rooted at `first_page`.
+  static HeapFile Open(BufferPool* pool, page_id_t first_page,
+                       page_id_t last_page);
+
+  HeapFile() = default;
+
+  /// Appends a record; returns its RID.
+  Status Insert(std::string_view record, Rid* rid);
+
+  /// Copies the record at `rid` into `*out`.
+  Status Get(const Rid& rid, std::string* out) const;
+
+  /// In-place update; record must not be larger than the stored one.
+  Status Update(const Rid& rid, std::string_view record);
+
+  /// Tombstones the record at `rid`.
+  Status Delete(const Rid& rid);
+
+  page_id_t first_page() const { return first_page_; }
+  page_id_t last_page() const { return last_page_; }
+
+  /// Forward scanner over live records. Copies each record out so the page
+  /// pin is dropped between calls.
+  class Iterator {
+   public:
+    /// An empty iterator (Next always false).
+    Iterator() = default;
+    Iterator(const HeapFile* file, BufferPool* pool);
+
+    /// Advances to the next live record; false at end of file *or* on an
+    /// I/O error — check status() to tell the two apart.
+    bool Next(Rid* rid, std::string* record);
+
+    const Status& status() const { return status_; }
+
+   private:
+    const HeapFile* file_ = nullptr;
+    BufferPool* pool_ = nullptr;
+    page_id_t page_id_ = kInvalidPageId;
+    slot_id_t slot_ = 0;
+    Status status_;
+  };
+
+  Iterator Scan() const { return Iterator(this, pool_); }
+
+ private:
+  BufferPool* pool_ = nullptr;
+  page_id_t first_page_ = kInvalidPageId;
+  page_id_t last_page_ = kInvalidPageId;
+};
+
+}  // namespace relgraph

@@ -1,0 +1,36 @@
+#include "src/storage/lru_replacer.h"
+
+namespace relgraph {
+
+LruReplacer::LruReplacer(size_t capacity) : capacity_(capacity) {
+  table_.reserve(capacity);
+}
+
+bool LruReplacer::Victim(frame_id_t* frame_id) {
+  if (lru_list_.empty()) return false;
+  *frame_id = lru_list_.front();
+  lru_list_.pop_front();
+  table_.erase(*frame_id);
+  return true;
+}
+
+void LruReplacer::Pin(frame_id_t frame_id) {
+  auto it = table_.find(frame_id);
+  if (it == table_.end()) return;
+  lru_list_.erase(it->second);
+  table_.erase(it);
+}
+
+void LruReplacer::Unpin(frame_id_t frame_id) {
+  auto it = table_.find(frame_id);
+  if (it != table_.end()) {
+    // Refresh recency.
+    lru_list_.erase(it->second);
+    table_.erase(it);
+  }
+  if (table_.size() >= capacity_) return;  // cannot happen in normal use
+  lru_list_.push_back(frame_id);
+  table_[frame_id] = std::prev(lru_list_.end());
+}
+
+}  // namespace relgraph

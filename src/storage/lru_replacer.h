@@ -1,0 +1,36 @@
+#pragma once
+
+#include <list>
+#include <unordered_map>
+
+#include "src/common/config.h"
+
+namespace relgraph {
+
+/// LRU victim picker for the buffer pool. Frames become candidates when
+/// their pin count drops to zero (Unpin) and stop being candidates when
+/// re-pinned (Pin). Victim() evicts the least-recently unpinned frame.
+class LruReplacer {
+ public:
+  explicit LruReplacer(size_t capacity);
+
+  /// Picks the least-recently-used evictable frame. Returns false when no
+  /// frame is evictable (all pinned).
+  bool Victim(frame_id_t* frame_id);
+
+  /// Removes a frame from the candidate set (it was pinned).
+  void Pin(frame_id_t frame_id);
+
+  /// Adds a frame to the candidate set (pin count reached zero). Re-unpinning
+  /// an already-present frame refreshes its recency.
+  void Unpin(frame_id_t frame_id);
+
+  size_t Size() const { return lru_list_.size(); }
+
+ private:
+  size_t capacity_;
+  std::list<frame_id_t> lru_list_;  // front = oldest, back = newest
+  std::unordered_map<frame_id_t, std::list<frame_id_t>::iterator> table_;
+};
+
+}  // namespace relgraph

@@ -1,0 +1,98 @@
+#include "src/storage/slotted_page.h"
+
+#include <cstring>
+
+namespace relgraph {
+
+void SlottedPage::Init() {
+  Header* h = header();
+  h->num_slots = 0;
+  h->free_space_offset = kPageSize;
+  h->next_page_id = kInvalidPageId;
+}
+
+page_id_t SlottedPage::next_page_id() const { return header()->next_page_id; }
+
+void SlottedPage::set_next_page_id(page_id_t id) {
+  header()->next_page_id = id;
+}
+
+uint16_t SlottedPage::num_slots() const { return header()->num_slots; }
+
+uint16_t SlottedPage::FreeSpace() const {
+  const Header* h = header();
+  size_t used_front = kHeaderSize + h->num_slots * kSlotSize;
+  if (h->free_space_offset <= used_front) return 0;
+  return static_cast<uint16_t>(h->free_space_offset - used_front);
+}
+
+Status SlottedPage::Insert(std::string_view record, slot_id_t* slot) {
+  if (record.size() > MaxRecordSize()) {
+    return Status::InvalidArgument("record larger than page");
+  }
+  Header* h = header();
+  size_t needed = record.size() + kSlotSize;
+  if (FreeSpace() < needed) {
+    return Status::ResourceExhausted("page full");
+  }
+  h->free_space_offset -= static_cast<uint16_t>(record.size());
+  Slot* s = &slot_array()[h->num_slots];
+  s->offset = h->free_space_offset;
+  s->size = static_cast<uint16_t>(record.size());
+  std::memcpy(data_ + s->offset, record.data(), record.size());
+  *slot = h->num_slots;
+  h->num_slots++;
+  return Status::OK();
+}
+
+Status SlottedPage::Get(slot_id_t slot, std::string_view* record) const {
+  const Header* h = header();
+  if (slot >= h->num_slots) {
+    return Status::OutOfRange("slot out of range");
+  }
+  const Slot& s = slot_array()[slot];
+  if (s.offset == kDeletedOffset) {
+    return Status::NotFound("slot deleted");
+  }
+  *record = std::string_view(data_ + s.offset, s.size);
+  return Status::OK();
+}
+
+Status SlottedPage::Update(slot_id_t slot, std::string_view record) {
+  Header* h = header();
+  if (slot >= h->num_slots) {
+    return Status::OutOfRange("slot out of range");
+  }
+  Slot* s = &slot_array()[slot];
+  if (s->offset == kDeletedOffset) {
+    return Status::NotFound("slot deleted");
+  }
+  if (record.size() > s->size) {
+    return Status::ResourceExhausted("in-place update grows record");
+  }
+  std::memcpy(data_ + s->offset, record.data(), record.size());
+  s->size = static_cast<uint16_t>(record.size());
+  return Status::OK();
+}
+
+Status SlottedPage::Delete(slot_id_t slot) {
+  Header* h = header();
+  if (slot >= h->num_slots) {
+    return Status::OutOfRange("slot out of range");
+  }
+  Slot* s = &slot_array()[slot];
+  if (s->offset == kDeletedOffset) {
+    return Status::NotFound("slot already deleted");
+  }
+  s->offset = kDeletedOffset;
+  s->size = 0;
+  return Status::OK();
+}
+
+bool SlottedPage::IsDeleted(slot_id_t slot) const {
+  const Header* h = header();
+  if (slot >= h->num_slots) return true;
+  return slot_array()[slot].offset == kDeletedOffset;
+}
+
+}  // namespace relgraph

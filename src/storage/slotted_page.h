@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/common/config.h"
+#include "src/common/status.h"
+
+namespace relgraph {
+
+/// View over one heap-file page laid out as a classic slotted page:
+///
+///   [ header | slot directory -> ...free space... <- record data ]
+///
+/// Records are addressed by slot index; deleting a record tombstones its
+/// slot (slot indexes stay stable so RIDs remain valid). In-place updates
+/// are allowed when the new record is no larger than the old one; larger
+/// updates are the caller's job (delete + reinsert).
+class SlottedPage {
+ public:
+  /// Wraps raw page memory. Does not take ownership.
+  explicit SlottedPage(char* data) : data_(data) {}
+
+  /// Formats an empty page (call once right after page allocation).
+  void Init();
+
+  /// Next page in the heap file chain, or kInvalidPageId.
+  page_id_t next_page_id() const;
+  void set_next_page_id(page_id_t id);
+
+  uint16_t num_slots() const;
+
+  /// Bytes available for one more record (including its slot entry).
+  uint16_t FreeSpace() const;
+
+  /// Inserts a record; returns its slot in `*slot`. Fails with
+  /// ResourceExhausted when the record does not fit.
+  Status Insert(std::string_view record, slot_id_t* slot);
+
+  /// Reads the record in `slot` (zero-copy view into the page).
+  Status Get(slot_id_t slot, std::string_view* record) const;
+
+  /// Overwrites the record in `slot`; the new record must not be larger.
+  Status Update(slot_id_t slot, std::string_view record);
+
+  /// Tombstones `slot`; its space is reclaimed only by compaction.
+  Status Delete(slot_id_t slot);
+
+  bool IsDeleted(slot_id_t slot) const;
+
+  /// Maximum record size a freshly initialized page can hold.
+  static constexpr size_t MaxRecordSize() {
+    return kPageSize - kHeaderSize - kSlotSize;
+  }
+
+ private:
+  struct Header {
+    uint16_t num_slots;
+    uint16_t free_space_offset;  // start of the record data region
+    page_id_t next_page_id;
+  };
+  struct Slot {
+    uint16_t offset;  // kDeletedOffset when tombstoned
+    uint16_t size;
+  };
+  static constexpr size_t kHeaderSize = sizeof(Header);
+  static constexpr size_t kSlotSize = sizeof(Slot);
+  static constexpr uint16_t kDeletedOffset = 0xFFFF;
+
+  Header* header() { return reinterpret_cast<Header*>(data_); }
+  const Header* header() const { return reinterpret_cast<const Header*>(data_); }
+  Slot* slot_array() { return reinterpret_cast<Slot*>(data_ + kHeaderSize); }
+  const Slot* slot_array() const {
+    return reinterpret_cast<const Slot*>(data_ + kHeaderSize);
+  }
+
+  char* data_;
+};
+
+}  // namespace relgraph

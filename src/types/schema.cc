@@ -1,0 +1,43 @@
+#include "src/types/schema.h"
+
+#include <cassert>
+
+namespace relgraph {
+
+int Schema::Find(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); i++) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+size_t Schema::IndexOf(const std::string& name) const {
+  int idx = Find(name);
+  assert(idx >= 0 && "unknown column");
+  return static_cast<size_t>(idx);
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); i++) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += " ";
+    out += TypeName(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (columns_.size() != other.columns_.size()) return false;
+  for (size_t i = 0; i < columns_.size(); i++) {
+    if (columns_[i].name != other.columns_[i].name ||
+        columns_[i].type != other.columns_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace relgraph

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/types/value.h"
+
+namespace relgraph {
+
+/// One column definition.
+struct Column {
+  std::string name;
+  TypeId type;
+};
+
+/// Ordered set of columns describing a table or intermediate result.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  size_t NumColumns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of `name`, or -1 when absent.
+  int Find(const std::string& name) const;
+
+  /// Index of `name`; asserts presence (programmer error otherwise).
+  size_t IndexOf(const std::string& name) const;
+
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace relgraph

@@ -1,0 +1,97 @@
+#include "src/types/value.h"
+
+#include <cassert>
+#include <functional>
+
+namespace relgraph {
+
+const char* TypeName(TypeId t) {
+  switch (t) {
+    case TypeId::kNull:
+      return "NULL";
+    case TypeId::kInt:
+      return "INT";
+    case TypeId::kDouble:
+      return "DOUBLE";
+    case TypeId::kVarchar:
+      return "VARCHAR";
+  }
+  return "?";
+}
+
+int64_t Value::AsInt() const {
+  assert(type_ == TypeId::kInt);
+  return std::get<int64_t>(data_);
+}
+
+double Value::AsDouble() const {
+  assert(type_ == TypeId::kDouble);
+  return std::get<double>(data_);
+}
+
+const std::string& Value::AsString() const {
+  assert(type_ == TypeId::kVarchar);
+  return std::get<std::string>(data_);
+}
+
+double Value::AsNumeric() const {
+  if (type_ == TypeId::kInt) return static_cast<double>(std::get<int64_t>(data_));
+  if (type_ == TypeId::kDouble) return std::get<double>(data_);
+  assert(false && "AsNumeric on non-numeric value");
+  return 0.0;
+}
+
+int Value::Compare(const Value& other) const {
+  if (IsNull() || other.IsNull()) {
+    if (IsNull() && other.IsNull()) return 0;
+    return IsNull() ? -1 : 1;
+  }
+  if (type_ == TypeId::kVarchar || other.type_ == TypeId::kVarchar) {
+    assert(type_ == TypeId::kVarchar && other.type_ == TypeId::kVarchar);
+    return AsString().compare(other.AsString());
+  }
+  if (type_ == TypeId::kInt && other.type_ == TypeId::kInt) {
+    int64_t a = AsInt(), b = other.AsInt();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  double a = AsNumeric(), b = other.AsNumeric();
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+
+Value Value::Add(const Value& other) const {
+  if (IsNull() || other.IsNull()) return Value::Null();
+  if (type_ == TypeId::kInt && other.type_ == TypeId::kInt) {
+    return Value(AsInt() + other.AsInt());
+  }
+  return Value(AsNumeric() + other.AsNumeric());
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case TypeId::kNull:
+      return "NULL";
+    case TypeId::kInt:
+      return std::to_string(std::get<int64_t>(data_));
+    case TypeId::kDouble:
+      return std::to_string(std::get<double>(data_));
+    case TypeId::kVarchar:
+      return std::get<std::string>(data_);
+  }
+  return "?";
+}
+
+uint64_t Value::Hash() const {
+  switch (type_) {
+    case TypeId::kNull:
+      return 0x9E3779B97F4A7C15ULL;
+    case TypeId::kInt:
+      return std::hash<int64_t>()(std::get<int64_t>(data_));
+    case TypeId::kDouble:
+      return std::hash<double>()(std::get<double>(data_));
+    case TypeId::kVarchar:
+      return std::hash<std::string>()(std::get<std::string>(data_));
+  }
+  return 0;
+}
+
+}  // namespace relgraph

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "src/common/config.h"
+
+namespace relgraph {
+
+/// Column types supported by the engine. The graph workloads only need
+/// integers (node ids, weights, flags), but VARCHAR/DOUBLE keep the engine
+/// general (node labels for pattern matching, statistics).
+enum class TypeId : uint8_t {
+  kNull = 0,
+  kInt = 1,     // 64-bit signed
+  kDouble = 2,  // IEEE double
+  kVarchar = 3,
+};
+
+const char* TypeName(TypeId t);
+
+/// One SQL value. Small, value-semantic; NULL is represented explicitly so
+/// relational three-valued logic behaves correctly in comparisons.
+class Value {
+ public:
+  Value() : type_(TypeId::kNull) {}
+  explicit Value(int64_t v) : type_(TypeId::kInt), data_(v) {}
+  explicit Value(double v) : type_(TypeId::kDouble), data_(v) {}
+  explicit Value(std::string v) : type_(TypeId::kVarchar), data_(std::move(v)) {}
+  explicit Value(const char* v) : type_(TypeId::kVarchar), data_(std::string(v)) {}
+
+  static Value Null() { return Value(); }
+
+  TypeId type() const { return type_; }
+  bool IsNull() const { return type_ == TypeId::kNull; }
+
+  /// Accessors; behaviour is undefined on type mismatch (assert in debug).
+  int64_t AsInt() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+
+  /// Numeric view: ints widen to double; used by arithmetic on mixed types.
+  double AsNumeric() const;
+
+  /// Three-way comparison. NULLs sort first and equal to each other (the
+  /// engine's total order for sorting); predicate evaluation handles NULL
+  /// separately. Cross-numeric-type comparisons compare numerically.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  Value Add(const Value& other) const;
+
+  std::string ToString() const;
+
+  /// 64-bit hash for hash aggregation/joins.
+  uint64_t Hash() const;
+
+ private:
+  TypeId type_;
+  std::variant<std::monostate, int64_t, double, std::string> data_;
+};
+
+}  // namespace relgraph

@@ -1,0 +1,196 @@
+// Randomized B+-tree stress: long interleaved insert/delete/lookup/scan
+// sequences checked against std::multimap as the reference model, across
+// payload sizes (index entries vs clustered rows) and both unique and
+// duplicate-key regimes. Complements test_btree.cc's directed cases.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/index/btree.h"
+#include "src/storage/buffer_pool.h"
+#include "src/storage/disk_manager.h"
+
+namespace relgraph {
+namespace {
+
+std::string PayloadFor(int64_t key, int64_t tie, size_t size) {
+  std::string p = std::to_string(key) + ":" + std::to_string(tie);
+  p.resize(size, '#');
+  return p;
+}
+
+struct StressParam {
+  size_t payload_size;
+  bool unique;
+  uint64_t seed;
+};
+
+class BTreeStressTest : public ::testing::TestWithParam<StressParam> {};
+
+TEST_P(BTreeStressTest, MatchesReferenceModel) {
+  const StressParam& param = GetParam();
+  DiskManager disk;
+  BufferPool pool(256, &disk);
+  BTree tree;
+  ASSERT_TRUE(BTree::Create(
+                  &pool, static_cast<uint16_t>(param.payload_size), &tree)
+                  .ok());
+
+  // Reference: (key, tie) -> payload. Unique trees always use tie = 0.
+  std::map<std::pair<int64_t, int64_t>, std::string> model;
+  Rng rng(param.seed);
+  const int64_t key_space = 500;  // small space forces collisions + reuse
+  int64_t next_tie = 1;
+
+  for (int op = 0; op < 6000; op++) {
+    int dice = static_cast<int>(rng.NextBounded(10));
+    int64_t key = rng.NextInt(0, key_space - 1);
+    if (dice < 5) {
+      // Insert.
+      int64_t tie = param.unique ? 0 : next_tie++;
+      std::string payload = PayloadFor(key, tie, param.payload_size);
+      Status s = tree.Insert({key, tie}, payload, param.unique);
+      bool exists = model.count({key, tie}) != 0;
+      if (param.unique && model.count({key, 0}) != 0) {
+        EXPECT_FALSE(s.ok()) << "duplicate insert must fail, key=" << key;
+      } else {
+        ASSERT_TRUE(s.ok()) << s.ToString();
+        ASSERT_FALSE(exists);
+        model[{key, tie}] = payload;
+      }
+    } else if (dice < 7) {
+      // Delete one occurrence of `key` (if any).
+      auto it = model.lower_bound({key, INT64_MIN});
+      if (it != model.end() && it->first.first == key) {
+        ASSERT_TRUE(tree.Delete({key, it->first.second}).ok());
+        model.erase(it);
+      } else {
+        EXPECT_FALSE(tree.Delete({key, 0}).ok());
+      }
+    } else if (dice < 9) {
+      // Point scan: every model entry for `key`, in tie order.
+      BTree::Iterator it = tree.Scan(key, key);
+      BtKey k;
+      std::string payload;
+      auto pos = model.lower_bound({key, INT64_MIN});
+      while (it.Next(&k, &payload)) {
+        ASSERT_NE(pos, model.end());
+        ASSERT_EQ(pos->first.first, key);
+        EXPECT_EQ(k.key, key);
+        EXPECT_EQ(payload, pos->second);
+        ++pos;
+      }
+      ASSERT_TRUE(it.status().ok());
+      EXPECT_TRUE(pos == model.end() || pos->first.first != key);
+    } else {
+      // Range scan over a random window.
+      int64_t lo = rng.NextInt(0, key_space - 1);
+      int64_t hi = rng.NextInt(lo, key_space - 1);
+      BTree::Iterator it = tree.Scan(lo, hi);
+      BtKey k;
+      std::string payload;
+      auto pos = model.lower_bound({lo, INT64_MIN});
+      int64_t count = 0;
+      while (it.Next(&k, &payload)) {
+        ASSERT_NE(pos, model.end());
+        EXPECT_EQ(k.key, pos->first.first);
+        EXPECT_EQ(payload, pos->second);
+        ++pos;
+        count++;
+      }
+      ASSERT_TRUE(it.status().ok());
+      EXPECT_TRUE(pos == model.end() || pos->first.first > hi)
+          << "scan stopped early in [" << lo << "," << hi << "]";
+      (void)count;
+    }
+    // Cardinality invariant after every mutation batch.
+    if (op % 500 == 499) {
+      EXPECT_EQ(tree.num_entries(), static_cast<int64_t>(model.size()));
+    }
+  }
+
+  // Full-order check at the end: ScanAll must return the exact model in
+  // (key, tie) order.
+  BTree::Iterator it = tree.ScanAll();
+  BtKey k;
+  std::string payload;
+  auto pos = model.begin();
+  while (it.Next(&k, &payload)) {
+    ASSERT_NE(pos, model.end());
+    EXPECT_EQ(k.key, pos->first.first);
+    EXPECT_EQ(payload, pos->second);
+    ++pos;
+  }
+  ASSERT_TRUE(it.status().ok());
+  EXPECT_EQ(pos, model.end());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regimes, BTreeStressTest,
+    ::testing::Values(StressParam{16, false, 1}, StressParam{16, false, 2},
+                      StressParam{16, true, 3}, StressParam{64, false, 4},
+                      StressParam{64, true, 5}, StressParam{200, false, 6},
+                      StressParam{200, true, 7}),
+    [](const auto& info) {
+      return "payload" + std::to_string(info.param.payload_size) +
+             (info.param.unique ? "_unique" : "_dup") + "_seed" +
+             std::to_string(info.param.seed);
+    });
+
+TEST(BTreeStress, GrowShrinkGrowKeepsOrder) {
+  // Fill, empty completely, refill: exercises root collapse and re-growth.
+  DiskManager disk;
+  BufferPool pool(128, &disk);
+  BTree tree;
+  ASSERT_TRUE(BTree::Create(&pool, 8, &tree).ok());
+  for (int round = 0; round < 3; round++) {
+    for (int64_t k = 0; k < 800; k++) {
+      ASSERT_TRUE(tree.Insert({k, 0}, PayloadFor(k, 0, 8), true).ok());
+    }
+    EXPECT_EQ(tree.num_entries(), 800);
+    EXPECT_GE(tree.Height(), 2);
+    for (int64_t k = 0; k < 800; k++) {
+      ASSERT_TRUE(tree.Delete({k, 0}).ok());
+    }
+    EXPECT_EQ(tree.num_entries(), 0);
+    BTree::Iterator it = tree.ScanAll();
+    BtKey key;
+    std::string payload;
+    EXPECT_FALSE(it.Next(&key, &payload));
+    ASSERT_TRUE(it.status().ok());
+  }
+}
+
+TEST(BTreeStress, DescendingAndAlternatingInsertOrders) {
+  // Insert orders that provoke different split patterns must all yield the
+  // same sorted content.
+  for (int mode = 0; mode < 3; mode++) {
+    DiskManager disk;
+    BufferPool pool(128, &disk);
+    BTree tree;
+    ASSERT_TRUE(BTree::Create(&pool, 8, &tree).ok());
+    const int64_t n = 600;
+    for (int64_t i = 0; i < n; i++) {
+      int64_t k = mode == 0 ? i : mode == 1 ? (n - 1 - i)
+                                            : (i % 2 == 0 ? i : n - i);
+      ASSERT_TRUE(tree.Insert({k, 0}, PayloadFor(k, 0, 8), true).ok());
+    }
+    EXPECT_EQ(tree.num_entries(), n);
+    BTree::Iterator it = tree.ScanAll();
+    BtKey key;
+    std::string payload;
+    int64_t expect = 0;
+    while (it.Next(&key, &payload)) {
+      EXPECT_EQ(key.key, expect++);
+    }
+    ASSERT_TRUE(it.status().ok());
+    EXPECT_EQ(expect, n);
+  }
+}
+
+}  // namespace
+}  // namespace relgraph

@@ -1,0 +1,225 @@
+#include "src/storage/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/storage/lru_replacer.h"
+
+namespace relgraph {
+namespace {
+
+// ------------------------------------------------------------ LruReplacer
+
+TEST(LruReplacerTest, VictimIsLeastRecentlyUnpinned) {
+  LruReplacer lru(8);
+  lru.Unpin(1);
+  lru.Unpin(2);
+  lru.Unpin(3);
+  frame_id_t victim;
+  ASSERT_TRUE(lru.Victim(&victim));
+  EXPECT_EQ(victim, 1);
+  ASSERT_TRUE(lru.Victim(&victim));
+  EXPECT_EQ(victim, 2);
+}
+
+TEST(LruReplacerTest, PinRemovesCandidate) {
+  LruReplacer lru(8);
+  lru.Unpin(1);
+  lru.Unpin(2);
+  lru.Pin(1);
+  frame_id_t victim;
+  ASSERT_TRUE(lru.Victim(&victim));
+  EXPECT_EQ(victim, 2);
+  EXPECT_FALSE(lru.Victim(&victim));
+}
+
+TEST(LruReplacerTest, ReUnpinRefreshesRecency) {
+  LruReplacer lru(8);
+  lru.Unpin(1);
+  lru.Unpin(2);
+  lru.Unpin(1);  // 1 is now newest
+  frame_id_t victim;
+  ASSERT_TRUE(lru.Victim(&victim));
+  EXPECT_EQ(victim, 2);
+}
+
+TEST(LruReplacerTest, EmptyHasNoVictim) {
+  LruReplacer lru(4);
+  frame_id_t victim;
+  EXPECT_FALSE(lru.Victim(&victim));
+}
+
+// ------------------------------------------------------------- BufferPool
+
+TEST(BufferPoolTest, NewPageAndFetch) {
+  DiskManager dm;
+  BufferPool pool(4, &dm);
+  page_id_t id;
+  Page* page;
+  ASSERT_TRUE(pool.NewPage(&id, &page).ok());
+  std::strcpy(page->data(), "payload");
+  ASSERT_TRUE(pool.UnpinPage(id, true).ok());
+
+  Page* again;
+  ASSERT_TRUE(pool.FetchPage(id, &again).ok());
+  EXPECT_STREQ(again->data(), "payload");
+  ASSERT_TRUE(pool.UnpinPage(id, false).ok());
+}
+
+TEST(BufferPoolTest, EvictionWritesDirtyPagesBack) {
+  DiskManager dm;
+  BufferPool pool(2, &dm);
+  page_id_t ids[4];
+  for (int i = 0; i < 4; i++) {
+    Page* page;
+    ASSERT_TRUE(pool.NewPage(&ids[i], &page).ok());
+    page->data()[0] = static_cast<char>('a' + i);
+    ASSERT_TRUE(pool.UnpinPage(ids[i], true).ok());
+  }
+  // Pages 0 and 1 must have been evicted; re-fetch from disk.
+  for (int i = 0; i < 4; i++) {
+    Page* page;
+    ASSERT_TRUE(pool.FetchPage(ids[i], &page).ok());
+    EXPECT_EQ(page->data()[0], static_cast<char>('a' + i));
+    ASSERT_TRUE(pool.UnpinPage(ids[i], false).ok());
+  }
+  EXPECT_GT(pool.stats().evictions, 0);
+  EXPECT_GT(pool.stats().dirty_writebacks, 0);
+}
+
+TEST(BufferPoolTest, PinnedPagesAreNeverEvicted) {
+  DiskManager dm;
+  BufferPool pool(2, &dm);
+  page_id_t keep;
+  Page* kept;
+  ASSERT_TRUE(pool.NewPage(&keep, &kept).ok());  // stays pinned
+
+  page_id_t other;
+  Page* page;
+  ASSERT_TRUE(pool.NewPage(&other, &page).ok());
+  ASSERT_TRUE(pool.UnpinPage(other, true).ok());
+
+  // Fill beyond capacity; only the unpinned frame may turn over.
+  for (int i = 0; i < 3; i++) {
+    page_id_t id;
+    ASSERT_TRUE(pool.NewPage(&id, &page).ok());
+    ASSERT_TRUE(pool.UnpinPage(id, false).ok());
+  }
+  EXPECT_EQ(kept->page_id(), keep);  // untouched
+  EXPECT_EQ(pool.PinnedFrames(), 1u);
+
+  // With both frames pinned, a third fetch must fail.
+  page_id_t id2;
+  Page* p2;
+  ASSERT_TRUE(pool.NewPage(&id2, &p2).ok());
+  page_id_t id3;
+  Page* p3;
+  EXPECT_TRUE(pool.NewPage(&id3, &p3).IsResourceExhausted());
+  ASSERT_TRUE(pool.UnpinPage(keep, false).ok());
+  ASSERT_TRUE(pool.UnpinPage(id2, false).ok());
+}
+
+TEST(BufferPoolTest, HitMissAccounting) {
+  DiskManager dm;
+  BufferPool pool(4, &dm);
+  page_id_t id;
+  Page* page;
+  ASSERT_TRUE(pool.NewPage(&id, &page).ok());
+  ASSERT_TRUE(pool.UnpinPage(id, true).ok());
+  pool.ResetStats();
+
+  ASSERT_TRUE(pool.FetchPage(id, &page).ok());  // hit (resident)
+  ASSERT_TRUE(pool.UnpinPage(id, false).ok());
+  EXPECT_EQ(pool.stats().hits, 1);
+  EXPECT_EQ(pool.stats().misses, 0);
+  EXPECT_DOUBLE_EQ(pool.stats().HitRate(), 1.0);
+}
+
+TEST(BufferPoolTest, SmallerPoolMissesMore) {
+  // The mechanism behind the paper's Figure 8(b): scan a working set that
+  // fits in the large pool but not the small one.
+  auto misses_with_pool = [](size_t pool_pages) {
+    DiskManager dm;
+    BufferPool pool(pool_pages, &dm);
+    std::vector<page_id_t> ids(16);
+    for (auto& id : ids) {
+      Page* page;
+      EXPECT_TRUE(pool.NewPage(&id, &page).ok());
+      EXPECT_TRUE(pool.UnpinPage(id, true).ok());
+    }
+    pool.ResetStats();
+    for (int round = 0; round < 4; round++) {
+      for (auto id : ids) {
+        Page* page;
+        EXPECT_TRUE(pool.FetchPage(id, &page).ok());
+        EXPECT_TRUE(pool.UnpinPage(id, false).ok());
+      }
+    }
+    return pool.stats().misses;
+  };
+  EXPECT_GT(misses_with_pool(4), misses_with_pool(32));
+  EXPECT_EQ(misses_with_pool(32), 0);
+}
+
+TEST(BufferPoolTest, FlushAllPersistsDirtyPages) {
+  DiskManager dm;
+  BufferPool pool(4, &dm);
+  page_id_t id;
+  Page* page;
+  ASSERT_TRUE(pool.NewPage(&id, &page).ok());
+  std::strcpy(page->data(), "durable");
+  ASSERT_TRUE(pool.UnpinPage(id, true).ok());
+  ASSERT_TRUE(pool.FlushAll().ok());
+
+  char raw[kPageSize];
+  ASSERT_TRUE(dm.ReadPage(id, raw).ok());
+  EXPECT_STREQ(raw, "durable");
+}
+
+TEST(BufferPoolTest, UnpinErrors) {
+  DiskManager dm;
+  BufferPool pool(2, &dm);
+  EXPECT_TRUE(pool.UnpinPage(123, false).IsNotFound());
+  page_id_t id;
+  Page* page;
+  ASSERT_TRUE(pool.NewPage(&id, &page).ok());
+  ASSERT_TRUE(pool.UnpinPage(id, false).ok());
+  EXPECT_FALSE(pool.UnpinPage(id, false).ok());  // pin count already 0
+}
+
+TEST(PageGuardTest, ReleasesPinOnDestruction) {
+  DiskManager dm;
+  BufferPool pool(2, &dm);
+  page_id_t id;
+  Page* page;
+  ASSERT_TRUE(pool.NewPage(&id, &page).ok());
+  ASSERT_TRUE(pool.UnpinPage(id, true).ok());
+  {
+    PageGuard guard(&pool, id);
+    ASSERT_TRUE(guard.ok());
+    EXPECT_EQ(pool.PinnedFrames(), 1u);
+  }
+  EXPECT_EQ(pool.PinnedFrames(), 0u);
+}
+
+TEST(PageGuardTest, MoveTransfersOwnership) {
+  DiskManager dm;
+  BufferPool pool(2, &dm);
+  page_id_t id;
+  Page* page;
+  ASSERT_TRUE(pool.NewPage(&id, &page).ok());
+  ASSERT_TRUE(pool.UnpinPage(id, true).ok());
+  PageGuard outer;
+  {
+    PageGuard inner(&pool, id);
+    ASSERT_TRUE(inner.ok());
+    outer = std::move(inner);
+  }
+  EXPECT_EQ(pool.PinnedFrames(), 1u);  // still held by outer
+  outer.Release();
+  EXPECT_EQ(pool.PinnedFrames(), 0u);
+}
+
+}  // namespace
+}  // namespace relgraph

@@ -1,0 +1,170 @@
+// Failure injection through the whole stack: a disk fault (injected at the
+// DiskManager) must surface as an error Status — never a crash, hang, or
+// silently wrong result — at every layer above it: buffer pool, heap file /
+// B+-tree, table, executors, the SQL engine, and the path finders.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/path_finder.h"
+#include "src/db/database.h"
+#include "src/graph/generators.h"
+#include "src/sql/sql_engine.h"
+#include "src/storage/buffer_pool.h"
+#include "src/storage/disk_manager.h"
+
+namespace relgraph {
+namespace {
+
+TEST(FaultInjection, DiskReadFaultFailsImmediately) {
+  DiskManager disk;
+  page_id_t id = disk.AllocatePage();
+  char buf[kPageSize];
+  disk.InjectReadFaultAfter(0);
+  Status s = disk.ReadPage(id, buf);
+  EXPECT_TRUE(s.IsIOError()) << s.ToString();
+  // The fault is sticky until cleared.
+  EXPECT_TRUE(disk.ReadPage(id, buf).IsIOError());
+  disk.ClearFaults();
+  EXPECT_TRUE(disk.ReadPage(id, buf).ok());
+}
+
+TEST(FaultInjection, DiskFaultCountdownSparesEarlierOps) {
+  DiskManager disk;
+  page_id_t id = disk.AllocatePage();
+  char buf[kPageSize];
+  disk.InjectReadFaultAfter(2);
+  EXPECT_TRUE(disk.ReadPage(id, buf).ok());
+  EXPECT_TRUE(disk.ReadPage(id, buf).ok());
+  EXPECT_TRUE(disk.ReadPage(id, buf).IsIOError());
+}
+
+TEST(FaultInjection, BufferPoolPropagatesReadFaultOnMiss) {
+  DiskManager disk;
+  BufferPool pool(4, &disk);
+  page_id_t id;
+  Page* page = nullptr;
+  ASSERT_TRUE(pool.NewPage(&id, &page).ok());
+  ASSERT_TRUE(pool.UnpinPage(id, true).ok());
+  ASSERT_TRUE(pool.FlushAll().ok());
+
+  // Evict it by filling the pool, then force a re-read under a fault.
+  for (int i = 0; i < 4; i++) {
+    page_id_t other;
+    Page* p;
+    ASSERT_TRUE(pool.NewPage(&other, &p).ok());
+    ASSERT_TRUE(pool.UnpinPage(other, false).ok());
+  }
+  disk.InjectReadFaultAfter(0);
+  Status s = pool.FetchPage(id, &page);
+  EXPECT_TRUE(s.IsIOError()) << s.ToString();
+  disk.ClearFaults();
+  EXPECT_TRUE(pool.FetchPage(id, &page).ok());
+  EXPECT_TRUE(pool.UnpinPage(id, false).ok());
+}
+
+TEST(FaultInjection, BufferPoolPropagatesWriteFaultOnEviction) {
+  DiskManager disk;
+  BufferPool pool(2, &disk);
+  page_id_t dirty_id;
+  Page* page = nullptr;
+  ASSERT_TRUE(pool.NewPage(&dirty_id, &page).ok());
+  page->data()[0] = 'x';
+  ASSERT_TRUE(pool.UnpinPage(dirty_id, /*is_dirty=*/true).ok());
+
+  disk.InjectWriteFaultAfter(0);
+  // Filling the pool forces the dirty page's write-back.
+  Status last = Status::OK();
+  for (int i = 0; i < 3 && last.ok(); i++) {
+    page_id_t id;
+    Page* p;
+    last = pool.NewPage(&id, &p);
+    if (last.ok()) ASSERT_TRUE(pool.UnpinPage(id, false).ok());
+  }
+  EXPECT_TRUE(last.IsIOError()) << last.ToString();
+}
+
+TEST(FaultInjection, TableInsertSurfacesWriteFault) {
+  DatabaseOptions opts;
+  opts.buffer_pool_pages = 8;  // small pool: inserts must hit the disk
+  Database db(opts);
+  sql::SqlEngine conn(&db);
+  ASSERT_TRUE(conn.Execute("create table t (a int, b int)").ok());
+
+  db.disk()->InjectWriteFaultAfter(0);
+  Status failed = Status::OK();
+  for (int i = 0; i < 5000 && failed.ok(); i++) {
+    failed = conn.Execute("insert into t values (" + std::to_string(i) +
+                          ", " + std::to_string(i * 2) + ")");
+  }
+  EXPECT_TRUE(failed.IsIOError()) << "inserts never touched the disk";
+  db.disk()->ClearFaults();
+}
+
+TEST(FaultInjection, SelectSurfacesReadFault) {
+  DatabaseOptions opts;
+  opts.buffer_pool_pages = 8;
+  Database db(opts);
+  sql::SqlEngine conn(&db);
+  ASSERT_TRUE(conn.Execute("create table t (a int)").ok());
+  for (int i = 0; i < 2000; i++) {
+    ASSERT_TRUE(
+        conn.Execute("insert into t values (" + std::to_string(i) + ")").ok());
+  }
+  // Push t's early pages out of the tiny pool with another table.
+  ASSERT_TRUE(conn.Execute("create table filler (a int)").ok());
+  for (int i = 0; i < 2000; i++) {
+    ASSERT_TRUE(conn.Execute("insert into filler values (1)").ok());
+  }
+  db.disk()->InjectReadFaultAfter(0);
+  sql::SqlResult r;
+  Status s = conn.Execute("select count(*) from t", &r);
+  EXPECT_TRUE(s.IsIOError()) << s.ToString();
+  db.disk()->ClearFaults();
+  ASSERT_TRUE(conn.Execute("select count(*) from t", &r).ok());
+  EXPECT_EQ(r.Scalar().AsInt(), 2000);
+}
+
+TEST(FaultInjection, PathFinderSurfacesFaultMidQuery) {
+  EdgeList list = GenerateBarabasiAlbert(400, 3, WeightRange{1, 50}, 9);
+  DatabaseOptions opts;
+  opts.buffer_pool_pages = 16;  // force steady page traffic during search
+  Database db(opts);
+  std::unique_ptr<GraphStore> graph;
+  ASSERT_TRUE(GraphStore::Create(&db, list, GraphStoreOptions{}, &graph).ok());
+  std::unique_ptr<PathFinder> finder;
+  ASSERT_TRUE(PathFinder::Create(graph.get(), PathFinderOptions{}, &finder)
+                  .ok());
+
+  // Sanity: works before the fault.
+  PathQueryResult r;
+  ASSERT_TRUE(finder->Find(0, 300, &r).ok());
+  ASSERT_TRUE(r.found);
+
+  db.disk()->InjectReadFaultAfter(5);
+  Status s = finder->Find(0, 300, &r);
+  EXPECT_TRUE(s.IsIOError()) << s.ToString();
+
+  // And the engine recovers once the "disk" does.
+  db.disk()->ClearFaults();
+  PathQueryResult again;
+  ASSERT_TRUE(finder->Find(1, 200, &again).ok());
+}
+
+TEST(FaultInjection, FlushAllReportsWriteFault) {
+  DiskManager disk;
+  BufferPool pool(4, &disk);
+  page_id_t id;
+  Page* page = nullptr;
+  ASSERT_TRUE(pool.NewPage(&id, &page).ok());
+  page->data()[0] = 'y';
+  ASSERT_TRUE(pool.UnpinPage(id, true).ok());
+  disk.InjectWriteFaultAfter(0);
+  EXPECT_TRUE(pool.FlushAll().IsIOError());
+  disk.ClearFaults();
+  EXPECT_TRUE(pool.FlushAll().ok());
+}
+
+}  // namespace
+}  // namespace relgraph

@@ -1,0 +1,148 @@
+#include "src/graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+
+#include "src/graph/graph_io.h"
+
+namespace relgraph {
+namespace {
+
+TEST(GeneratorTest, RandomGraphShape) {
+  EdgeList g = GenerateRandomGraph(1000, 3000, WeightRange{1, 100}, 7);
+  EXPECT_EQ(g.num_nodes, 1000);
+  EXPECT_EQ(g.edges.size(), 3000u);
+  for (const auto& e : g.edges) {
+    EXPECT_GE(e.from, 0);
+    EXPECT_LT(e.from, 1000);
+    EXPECT_GE(e.to, 0);
+    EXPECT_LT(e.to, 1000);
+    EXPECT_NE(e.from, e.to);  // no self loops
+    EXPECT_GE(e.weight, 1);
+    EXPECT_LE(e.weight, 100);
+  }
+}
+
+TEST(GeneratorTest, GeneratorsAreDeterministic) {
+  EdgeList a = GenerateRandomGraph(500, 1500, WeightRange{1, 100}, 42);
+  EdgeList b = GenerateRandomGraph(500, 1500, WeightRange{1, 100}, 42);
+  EXPECT_EQ(a.edges, b.edges);
+  EdgeList c = GenerateBarabasiAlbert(500, 3, WeightRange{1, 100}, 42);
+  EdgeList d = GenerateBarabasiAlbert(500, 3, WeightRange{1, 100}, 42);
+  EXPECT_EQ(c.edges, d.edges);
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  EdgeList a = GenerateRandomGraph(500, 1500, WeightRange{1, 100}, 1);
+  EdgeList b = GenerateRandomGraph(500, 1500, WeightRange{1, 100}, 2);
+  EXPECT_NE(a.edges, b.edges);
+}
+
+TEST(GeneratorTest, BarabasiIsSymmetricWithSkewedDegrees) {
+  EdgeList g = GenerateBarabasiAlbert(3000, 3, WeightRange{1, 100}, 9);
+  EXPECT_EQ(g.num_nodes, 3000);
+  // Both directions present with equal weight (multiset comparison: the
+  // same pair can occur twice with different weights).
+  std::map<std::tuple<node_id_t, node_id_t, weight_t>, int> count;
+  for (const auto& e : g.edges) count[{e.from, e.to, e.weight}]++;
+  int missing = 0;
+  for (const auto& [key, n] : count) {
+    auto [from, to, w] = key;
+    auto it = count.find({to, from, w});
+    if (it == count.end() || it->second != n) missing++;
+  }
+  EXPECT_EQ(missing, 0);
+
+  // Preferential attachment produces a heavy tail: the max degree should
+  // far exceed the average (a uniform random graph stays within ~3x).
+  std::vector<int64_t> degree(g.num_nodes, 0);
+  for (const auto& e : g.edges) degree[e.from]++;
+  int64_t max_deg = *std::max_element(degree.begin(), degree.end());
+  double avg_deg = static_cast<double>(g.edges.size()) / g.num_nodes;
+  EXPECT_GT(max_deg, 10 * avg_deg);
+}
+
+TEST(GeneratorTest, CommunityGraphConcentratesEdges) {
+  const int64_t n = 2000, communities = 20;
+  EdgeList g =
+      GenerateCommunityGraph(n, 6, communities, 0.9, WeightRange{1, 50}, 3);
+  int64_t community_size = n / communities;
+  int64_t intra = 0;
+  for (const auto& e : g.edges) {
+    if (e.from / community_size == e.to / community_size) intra++;
+  }
+  double frac = static_cast<double>(intra) / g.edges.size();
+  EXPECT_GT(frac, 0.8);  // ~0.9 intra plus random collisions
+}
+
+TEST(GeneratorTest, GridGraphHasLatticeDegrees) {
+  EdgeList g = GenerateGridGraph(10, 20, WeightRange{1, 10}, 1);
+  EXPECT_EQ(g.num_nodes, 200);
+  // Undirected 10x20 lattice: 10*19 + 9*20 = 370 edges, two directions.
+  EXPECT_EQ(g.edges.size(), 740u);
+}
+
+TEST(GeneratorTest, StandInsScale) {
+  EdgeList dblp = MakeDblpStandIn(0.01, 1);
+  EXPECT_NEAR(dblp.num_nodes, 3129, 10);
+  EdgeList web = MakeGoogleWebStandIn(0.005, 1);
+  EXPECT_NEAR(web.num_nodes, 4279, 10);
+  EdgeList lj = MakeLiveJournalStandIn(0.001, 1);
+  EXPECT_NEAR(lj.num_nodes, 4847, 10);
+  EXPECT_GT(lj.edges.size() / static_cast<size_t>(lj.num_nodes), 6u);
+}
+
+TEST(GraphIoTest, SaveLoadRoundTrip) {
+  EdgeList g = GenerateRandomGraph(100, 400, WeightRange{1, 100}, 11);
+  std::string path =
+      (std::filesystem::temp_directory_path() / "relgraph_io_test.txt")
+          .string();
+  ASSERT_TRUE(SaveEdgeList(g, path).ok());
+  EdgeList back;
+  ASSERT_TRUE(LoadEdgeList(path, &back).ok());
+  EXPECT_EQ(back.num_nodes, g.num_nodes);
+  EXPECT_EQ(back.edges, g.edges);
+  std::filesystem::remove(path);
+}
+
+TEST(GraphIoTest, RejectsMalformedFiles) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "relgraph_io_bad.txt")
+          .string();
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("# comment only\n", f);
+    std::fclose(f);
+  }
+  EdgeList out;
+  EXPECT_FALSE(LoadEdgeList(path, &out).ok());
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("3 1\n0 99 5\n", f);  // endpoint out of range
+    std::fclose(f);
+  }
+  EXPECT_FALSE(LoadEdgeList(path, &out).ok());
+  EXPECT_FALSE(LoadEdgeList("/nonexistent/nowhere.txt", &out).ok());
+  std::filesystem::remove(path);
+}
+
+TEST(GraphIoTest, WeightDefaultsToOne) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "relgraph_io_w1.txt")
+          .string();
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("2 1\n0 1\n", f);
+    std::fclose(f);
+  }
+  EdgeList out;
+  ASSERT_TRUE(LoadEdgeList(path, &out).ok());
+  ASSERT_EQ(out.edges.size(), 1u);
+  EXPECT_EQ(out.edges[0].weight, 1);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace relgraph

@@ -1,0 +1,108 @@
+#include "src/graph/memgraph.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/graph/generators.h"
+
+namespace relgraph {
+namespace {
+
+EdgeList Diamond() {
+  // 0 -> 1 -> 3 (cost 1+1=2) and 0 -> 2 -> 3 (cost 5+5=10).
+  EdgeList list;
+  list.num_nodes = 4;
+  list.edges = {{0, 1, 1}, {1, 3, 1}, {0, 2, 5}, {2, 3, 5}};
+  return list;
+}
+
+TEST(MemGraphTest, CsrAdjacency) {
+  MemGraph g(Diamond());
+  EXPECT_EQ(g.num_nodes(), 4);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_EQ(g.min_weight(), 1);
+  EXPECT_EQ(g.OutDegree(0), 2);
+  auto out0 = g.OutNeighbors(0);
+  ASSERT_EQ(out0.size(), 2u);
+  auto in3 = g.InNeighbors(3);
+  ASSERT_EQ(in3.size(), 2u);
+}
+
+TEST(MemGraphTest, DijkstraPicksCheaperBranch) {
+  MemGraph g(Diamond());
+  auto r = g.Dijkstra(0, 3);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.distance, 2);
+  EXPECT_EQ(r.path, (std::vector<node_id_t>{0, 1, 3}));
+}
+
+TEST(MemGraphTest, DijkstraRespectsDirection) {
+  MemGraph g(Diamond());
+  EXPECT_FALSE(g.Dijkstra(3, 0).found);  // edges are one-way
+}
+
+TEST(MemGraphTest, BidirectionalMatchesDijkstraAndSettlesFewer) {
+  EdgeList list = GenerateBarabasiAlbert(2000, 3, WeightRange{1, 100}, 5);
+  MemGraph g(list);
+  Rng rng(17);
+  int64_t settled_uni = 0, settled_bi = 0;
+  for (int q = 0; q < 20; q++) {
+    node_id_t s = rng.NextInt(0, list.num_nodes - 1);
+    node_id_t t = rng.NextInt(0, list.num_nodes - 1);
+    auto uni = g.Dijkstra(s, t);
+    auto bi = g.BidirectionalDijkstra(s, t);
+    ASSERT_EQ(uni.found, bi.found) << "s=" << s << " t=" << t;
+    if (uni.found) {
+      EXPECT_EQ(uni.distance, bi.distance) << "s=" << s << " t=" << t;
+      EXPECT_EQ(g.PathLength(bi.path), bi.distance);
+    }
+    settled_uni += uni.settled;
+    settled_bi += bi.settled;
+  }
+  // The whole point of bi-directional search: smaller search space.
+  EXPECT_LT(settled_bi, settled_uni);
+}
+
+TEST(MemGraphTest, SingleSourceDistancesBoundedByLimit) {
+  EdgeList list = GenerateBarabasiAlbert(500, 3, WeightRange{1, 100}, 3);
+  MemGraph g(list);
+  auto bounded = g.SingleSourceDistances(0, 50);
+  auto full = g.SingleSourceDistances(0, kInfinity);
+  for (int64_t v = 0; v < list.num_nodes; v++) {
+    if (full[v] <= 50) {
+      EXPECT_EQ(bounded[v], full[v]) << "v=" << v;
+    } else {
+      EXPECT_EQ(bounded[v], kInfinity) << "v=" << v;
+    }
+  }
+}
+
+TEST(MemGraphTest, PathLengthValidatesEdges) {
+  MemGraph g(Diamond());
+  EXPECT_EQ(g.PathLength({0, 1, 3}), 2);
+  EXPECT_EQ(g.PathLength({0, 3}), kInfinity);  // no direct edge
+  EXPECT_EQ(g.PathLength({2}), 0);             // single node
+  EXPECT_EQ(g.PathLength({}), kInfinity);
+}
+
+TEST(MemGraphTest, ParallelEdgesUseCheapest) {
+  EdgeList list;
+  list.num_nodes = 2;
+  list.edges = {{0, 1, 9}, {0, 1, 2}};
+  MemGraph g(list);
+  EXPECT_EQ(g.Dijkstra(0, 1).distance, 2);
+  EXPECT_EQ(g.PathLength({0, 1}), 2);
+}
+
+TEST(MemGraphTest, SourceEqualsTarget) {
+  MemGraph g(Diamond());
+  auto r = g.Dijkstra(2, 2);
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.distance, 0);
+  auto rb = g.BidirectionalDijkstra(2, 2);
+  EXPECT_TRUE(rb.found);
+  EXPECT_EQ(rb.distance, 0);
+}
+
+}  // namespace
+}  // namespace relgraph

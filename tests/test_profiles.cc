@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "src/core/path_finder.h"
+#include "src/core/segtable.h"
+#include "src/graph/generators.h"
+#include "src/graph/memgraph.h"
+
+namespace relgraph {
+namespace {
+
+/// PostgreSQL 9.0 profile: window function available, MERGE absent — the
+/// M-operator silently degrades to update+insert (§5.2). Results must be
+/// identical; statement counts must grow.
+TEST(ProfileTest, Postgres90ProfileIsCorrectWithoutMerge) {
+  EdgeList list = GenerateBarabasiAlbert(200, 3, WeightRange{1, 100}, 3);
+  MemGraph mem(list);
+
+  auto run = [&](EngineProfile profile, int64_t* statements) {
+    DatabaseOptions dopts;
+    dopts.profile = profile;
+    Database db(dopts);
+    EXPECT_FALSE(profile == EngineProfile::kPostgres90 && db.SupportsMerge());
+    std::unique_ptr<GraphStore> graph;
+    EXPECT_TRUE(
+        GraphStore::Create(&db, list, GraphStoreOptions{}, &graph).ok());
+    PathFinderOptions opts;
+    opts.algorithm = Algorithm::kBSDJ;
+    std::unique_ptr<PathFinder> finder;
+    EXPECT_TRUE(PathFinder::Create(graph.get(), opts, &finder).ok());
+    PathQueryResult result;
+    EXPECT_TRUE(finder->Find(3, 137, &result).ok());
+    *statements = result.stats.statements;
+    return result;
+  };
+
+  int64_t stmts_x, stmts_pg;
+  PathQueryResult rx = run(EngineProfile::kDbmsX, &stmts_x);
+  PathQueryResult rpg = run(EngineProfile::kPostgres90, &stmts_pg);
+  MemPathResult oracle = mem.Dijkstra(3, 137);
+  ASSERT_EQ(rx.found, oracle.found);
+  ASSERT_EQ(rpg.found, oracle.found);
+  if (oracle.found) {
+    EXPECT_EQ(rx.distance, oracle.distance);
+    EXPECT_EQ(rpg.distance, oracle.distance);
+  }
+  // update+insert costs one extra statement per expansion.
+  EXPECT_GT(stmts_pg, stmts_x);
+}
+
+TEST(ProfileTest, SegTableBuildsOnPostgresProfile) {
+  EdgeList list = GenerateBarabasiAlbert(100, 3, WeightRange{1, 20}, 5);
+  DatabaseOptions dopts;
+  dopts.profile = EngineProfile::kPostgres90;
+  Database db(dopts);
+  std::unique_ptr<GraphStore> graph;
+  ASSERT_TRUE(GraphStore::Create(&db, list, GraphStoreOptions{}, &graph).ok());
+  SegTableOptions sopts;
+  sopts.lthd = 15;
+  std::unique_ptr<SegTable> segtable;
+  ASSERT_TRUE(SegTable::Build(&db, graph.get(), sopts, &segtable).ok());
+  EXPECT_GT(segtable->num_out_entries(), 0);
+
+  PathFinderOptions popts;
+  popts.algorithm = Algorithm::kBSEG;
+  std::unique_ptr<PathFinder> finder;
+  ASSERT_TRUE(
+      PathFinder::Create(graph.get(), popts, &finder, segtable.get()).ok());
+  MemGraph mem(list);
+  PathQueryResult result;
+  ASSERT_TRUE(finder->Find(0, 42, &result).ok());
+  MemPathResult oracle = mem.Dijkstra(0, 42);
+  EXPECT_EQ(result.found, oracle.found);
+  if (oracle.found) EXPECT_EQ(result.distance, oracle.distance);
+}
+
+TEST(ProfileTest, FileBackedDatabaseWorksEndToEnd) {
+  EdgeList list = GenerateBarabasiAlbert(2000, 3, WeightRange{1, 100}, 8);
+  MemGraph mem(list);
+  DatabaseOptions dopts;
+  dopts.in_memory = false;
+  dopts.buffer_pool_pages = 8;  // tiny pool forces real page traffic
+  Database db(dopts);
+  std::unique_ptr<GraphStore> graph;
+  ASSERT_TRUE(GraphStore::Create(&db, list, GraphStoreOptions{}, &graph).ok());
+  PathFinderOptions opts;
+  opts.algorithm = Algorithm::kBSDJ;
+  std::unique_ptr<PathFinder> finder;
+  ASSERT_TRUE(PathFinder::Create(graph.get(), opts, &finder).ok());
+  PathQueryResult result;
+  ASSERT_TRUE(finder->Find(1, 97, &result).ok());
+  MemPathResult oracle = mem.Dijkstra(1, 97);
+  ASSERT_EQ(result.found, oracle.found);
+  if (oracle.found) EXPECT_EQ(result.distance, oracle.distance);
+  EXPECT_GT(result.stats.buffer_misses, 0);
+  EXPECT_GT(db.disk()->stats().reads, 0);
+}
+
+TEST(ProfileTest, BiggerBufferPoolMissesLess) {
+  EdgeList list = GenerateBarabasiAlbert(400, 3, WeightRange{1, 100}, 2);
+  auto misses = [&](size_t pages) {
+    DatabaseOptions dopts;
+    dopts.in_memory = false;
+    dopts.buffer_pool_pages = pages;
+    Database db(dopts);
+    std::unique_ptr<GraphStore> graph;
+    EXPECT_TRUE(
+        GraphStore::Create(&db, list, GraphStoreOptions{}, &graph).ok());
+    PathFinderOptions opts;
+    opts.algorithm = Algorithm::kBSDJ;
+    std::unique_ptr<PathFinder> finder;
+    EXPECT_TRUE(PathFinder::Create(graph.get(), opts, &finder).ok());
+    int64_t total = 0;
+    for (node_id_t t = 50; t < 60; t++) {
+      PathQueryResult result;
+      EXPECT_TRUE(finder->Find(0, t, &result).ok());
+      total += result.stats.buffer_misses;
+    }
+    return total;
+  };
+  EXPECT_GE(misses(32), misses(4096));
+}
+
+TEST(ProfileTest, SimulatedIoLatencySlowsMisses) {
+  EdgeList list = GenerateBarabasiAlbert(200, 3, WeightRange{1, 100}, 6);
+  const int64_t latency_us = 300;
+  DatabaseOptions dopts;
+  dopts.in_memory = false;
+  dopts.buffer_pool_pages = 16;  // force misses
+  dopts.simulated_io_latency_us = latency_us;
+  Database db(dopts);
+  std::unique_ptr<GraphStore> graph;
+  ASSERT_TRUE(GraphStore::Create(&db, list, GraphStoreOptions{}, &graph).ok());
+  PathFinderOptions opts;
+  opts.algorithm = Algorithm::kBSDJ;
+  std::unique_ptr<PathFinder> finder;
+  ASSERT_TRUE(PathFinder::Create(graph.get(), opts, &finder).ok());
+  PathQueryResult result;
+  ASSERT_TRUE(finder->Find(0, 150, &result).ok());
+  // The busy-wait makes the lower bound deterministic regardless of
+  // machine load: every miss costs at least `latency_us`.
+  EXPECT_GT(result.stats.buffer_misses, 0);
+  EXPECT_GE(result.stats.total_us,
+            result.stats.buffer_misses * latency_us);
+}
+
+TEST(ProfileTest, StatementAccountingResets) {
+  Database db{DatabaseOptions{}};
+  db.RecordStatement();
+  db.RecordStatement();
+  EXPECT_EQ(db.stats().statements, 2);
+  db.ResetStats();
+  EXPECT_EQ(db.stats().statements, 0);
+  EXPECT_EQ(db.buffer_pool()->stats().hits, 0);
+}
+
+}  // namespace
+}  // namespace relgraph

@@ -1,0 +1,543 @@
+// End-to-end SQL execution tests: DDL, DML, SELECT pipelines (joins, index
+// nested-loop selection, aggregates, window function, subqueries, MERGE),
+// parameters, and engine-profile gating — everything the paper's listings
+// need, executed from SQL text against the embedded engine.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/db/database.h"
+#include "src/sql/sql_engine.h"
+
+namespace relgraph::sql {
+namespace {
+
+class SqlExecTest : public ::testing::Test {
+ protected:
+  SqlExecTest() : db_(DatabaseOptions{}), conn_(&db_) {}
+
+  /// Executes and asserts success.
+  SqlResult Run(const std::string& stmt, const SqlParams& params = {}) {
+    SqlResult r;
+    Status s = conn_.Execute(stmt, &r, params);
+    EXPECT_TRUE(s.ok()) << stmt << "\n  -> " << s.ToString();
+    return r;
+  }
+
+  int64_t ScalarInt(const std::string& stmt, const SqlParams& params = {}) {
+    Value v;
+    Status s = conn_.QueryScalar(stmt, &v, params);
+    EXPECT_TRUE(s.ok()) << stmt << "\n  -> " << s.ToString();
+    return v.IsNull() ? -1 : v.AsInt();
+  }
+
+  Database db_;
+  SqlEngine conn_;
+};
+
+// ------------------------------------------------------------------ DDL
+
+TEST_F(SqlExecTest, CreateInsertSelect) {
+  Run("create table t (a int, b int)");
+  Run("insert into t values (1, 10), (2, 20), (3, 30)");
+  SqlResult r = Run("select a, b from t where b >= 20");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.schema.column(0).name, "a");
+}
+
+TEST_F(SqlExecTest, CreateTableTwiceFails) {
+  Run("create table t (a int)");
+  SqlResult r;
+  EXPECT_FALSE(conn_.Execute("create table t (a int)", &r).ok());
+}
+
+TEST_F(SqlExecTest, SelectFromMissingTableFails) {
+  SqlResult r;
+  Status s = conn_.Execute("select a from nope", &r);
+  EXPECT_TRUE(s.IsNotFound()) << s.ToString();
+}
+
+TEST_F(SqlExecTest, DropThenRecreate) {
+  Run("create table t (a int)");
+  Run("insert into t values (1)");
+  Run("drop table t");
+  Run("create table t (a int, b int)");
+  Run("insert into t values (5, 6)");
+  EXPECT_EQ(ScalarInt("select count(*) from t"), 1);
+}
+
+TEST_F(SqlExecTest, TruncateKeepsSchema) {
+  Run("create table t (a int)");
+  Run("insert into t values (1), (2)");
+  Run("truncate table t");
+  EXPECT_EQ(ScalarInt("select count(*) from t"), 0);
+  Run("insert into t values (7)");
+  EXPECT_EQ(ScalarInt("select max(a) from t"), 7);
+}
+
+TEST_F(SqlExecTest, ClusteredTableAndUniqueIndex) {
+  Run("create table v (nid int, d2s int) cluster by (nid) unique");
+  Run("insert into v values (3, 30), (1, 10), (2, 20)");
+  SqlResult r = Run("select nid from v");
+  // Clustered scan returns cluster-key order.
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.rows[0].value(0).AsInt(), 1);
+  EXPECT_EQ(r.rows[2].value(0).AsInt(), 3);
+}
+
+TEST_F(SqlExecTest, TableNamesAreCaseInsensitive) {
+  Run("create table TVisited (nid int, d2s int)");
+  Run("insert into tvisited values (1, 0)");
+  EXPECT_EQ(ScalarInt("select count(*) from TVISITED"), 1);
+}
+
+TEST_F(SqlExecTest, ColumnNamesAreCaseInsensitive) {
+  Run("create table t (Alpha int)");
+  Run("insert into t (ALPHA) values (9)");
+  EXPECT_EQ(ScalarInt("select alpha from t"), 9);
+}
+
+// ------------------------------------------------------------------ DML
+
+TEST_F(SqlExecTest, InsertColumnListReordersAndNullFills) {
+  Run("create table t (a int, b int, c int)");
+  Run("insert into t (c, a) values (3, 1)");
+  SqlResult r = Run("select a, b, c from t");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0].value(0).AsInt(), 1);
+  EXPECT_TRUE(r.rows[0].value(1).IsNull());
+  EXPECT_EQ(r.rows[0].value(2).AsInt(), 3);
+}
+
+TEST_F(SqlExecTest, InsertAritMismatchFails) {
+  Run("create table t (a int, b int)");
+  SqlResult r;
+  EXPECT_FALSE(conn_.Execute("insert into t values (1)", &r).ok());
+  EXPECT_FALSE(conn_.Execute("insert into t (a) values (1, 2)", &r).ok());
+}
+
+TEST_F(SqlExecTest, InsertSelect) {
+  Run("create table src (x int, y int)");
+  Run("create table dst (x int, y int)");
+  Run("insert into src values (1, 2), (3, 4)");
+  SqlResult r = Run("insert into dst select x, y from src where x > 1");
+  EXPECT_EQ(r.affected, 1);
+  EXPECT_EQ(ScalarInt("select max(x) from dst"), 3);
+}
+
+TEST_F(SqlExecTest, InsertTypeCoercionIntToDouble) {
+  Run("create table t (score double)");
+  Run("insert into t values (5)");
+  SqlResult r = Run("select score from t");
+  EXPECT_EQ(r.rows[0].value(0).type(), TypeId::kDouble);
+}
+
+TEST_F(SqlExecTest, InsertTypeMismatchFails) {
+  Run("create table t (a int)");
+  SqlResult r;
+  EXPECT_FALSE(conn_.Execute("insert into t values ('text')", &r).ok());
+}
+
+TEST_F(SqlExecTest, UpdateAffectedCountIsSqlcaReading) {
+  Run("create table t (a int, f int)");
+  Run("insert into t values (1, 0), (2, 0), (3, 1)");
+  SqlResult r = Run("update t set f = 2 where f = 0");
+  EXPECT_EQ(r.affected, 2);  // Algorithm 1 line 5 polls exactly this
+  r = Run("update t set f = 2 where f = 0");
+  EXPECT_EQ(r.affected, 0);
+}
+
+TEST_F(SqlExecTest, UpdateSetSeesOldRow) {
+  Run("create table t (a int, b int)");
+  Run("insert into t values (1, 100)");
+  Run("update t set a = b, b = a");  // swap, not chain
+  SqlResult r = Run("select a, b from t");
+  EXPECT_EQ(r.rows[0].value(0).AsInt(), 100);
+  EXPECT_EQ(r.rows[0].value(1).AsInt(), 1);
+}
+
+TEST_F(SqlExecTest, DeleteWhere) {
+  Run("create table t (a int)");
+  Run("insert into t values (1), (2), (3)");
+  SqlResult r = Run("delete from t where a <> 2");
+  EXPECT_EQ(r.affected, 2);
+  EXPECT_EQ(ScalarInt("select count(*) from t"), 1);
+}
+
+// ------------------------------------------------------------------ SELECT
+
+TEST_F(SqlExecTest, SelectWithoutFrom) {
+  SqlResult r = Run("select 1 + 2 * 3 as v");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0].value(0).AsInt(), 7);
+  EXPECT_EQ(r.schema.column(0).name, "v");
+}
+
+TEST_F(SqlExecTest, SelectStar) {
+  Run("create table t (a int, b int)");
+  Run("insert into t values (1, 2)");
+  SqlResult r = Run("select * from t");
+  ASSERT_EQ(r.schema.NumColumns(), 2u);
+  EXPECT_EQ(r.rows[0].value(1).AsInt(), 2);
+}
+
+TEST_F(SqlExecTest, OrderByAndLimit) {
+  Run("create table t (a int)");
+  Run("insert into t values (5), (1), (4), (2), (3)");
+  SqlResult r = Run("select a from t order by a desc limit 2");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0].value(0).AsInt(), 5);
+  EXPECT_EQ(r.rows[1].value(0).AsInt(), 4);
+}
+
+TEST_F(SqlExecTest, TopBehavesLikeLimit) {
+  Run("create table t (a int)");
+  Run("insert into t values (1), (2), (3)");
+  EXPECT_EQ(Run("select top 1 a from t order by a desc").rows.size(), 1u);
+}
+
+TEST_F(SqlExecTest, OrderByPreProjectionColumn) {
+  Run("create table t (a int, b int)");
+  Run("insert into t values (1, 30), (2, 10), (3, 20)");
+  // b is not in the output; the sort must happen below the projection.
+  SqlResult r = Run("select a from t order by b");
+  EXPECT_EQ(r.rows[0].value(0).AsInt(), 2);
+  EXPECT_EQ(r.rows[2].value(0).AsInt(), 1);
+}
+
+TEST_F(SqlExecTest, Distinct) {
+  Run("create table t (a int)");
+  Run("insert into t values (1), (2), (1), (2), (3)");
+  SqlResult r = Run("select distinct a from t");
+  EXPECT_EQ(r.rows.size(), 3u);
+}
+
+TEST_F(SqlExecTest, ScalarAggregatesOverEmptyInput) {
+  Run("create table t (a int)");
+  // SQL: MIN over nothing is NULL; COUNT is 0. Listing 2(2)'s subquery
+  // depends on this.
+  Value v;
+  ASSERT_TRUE(conn_.QueryScalar("select min(a) from t", &v).ok());
+  EXPECT_TRUE(v.IsNull());
+  EXPECT_EQ(ScalarInt("select count(*) from t"), 0);
+}
+
+TEST_F(SqlExecTest, AggregateWithExpressionArgument) {
+  Run("create table v (d2s int, d2t int)");
+  Run("insert into v values (1, 10), (5, 2), (4, 4)");
+  // Listing 4(5).
+  EXPECT_EQ(ScalarInt("select min(d2s + d2t) from v"), 7);
+}
+
+TEST_F(SqlExecTest, GroupByWithAggregates) {
+  Run("create table e (fid int, cost int)");
+  Run("insert into e values (1, 5), (1, 3), (2, 9), (2, 1), (2, 2)");
+  SqlResult r =
+      Run("select fid, count(*) as degree, min(cost) as best from e "
+          "group by fid order by fid");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0].value(1).AsInt(), 2);
+  EXPECT_EQ(r.rows[1].value(1).AsInt(), 3);
+  EXPECT_EQ(r.rows[1].value(2).AsInt(), 1);
+}
+
+TEST_F(SqlExecTest, UngroupedColumnInAggregateFails) {
+  Run("create table t (a int, b int)");
+  SqlResult r;
+  EXPECT_FALSE(
+      conn_.Execute("select a, min(b) from t", &r).ok());  // a not grouped
+}
+
+TEST_F(SqlExecTest, ScalarSubqueryInWhere) {
+  Run("create table v (nid int, d2s int, f int)");
+  Run("insert into v values (1, 5, 0), (2, 3, 0), (3, 1, 1)");
+  // Listing 2(2): min over non-finalized rows only.
+  SqlResult r = Run(
+      "select top 1 nid from v where f = 0 and "
+      "d2s = (select min(d2s) from v where f = 0)");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0].value(0).AsInt(), 2);
+}
+
+TEST_F(SqlExecTest, ScalarSubqueryEmptyIsNull) {
+  Run("create table t (a int)");
+  SqlResult r = Run("select (select min(a) from t) as v");
+  EXPECT_TRUE(r.rows[0].value(0).IsNull());
+}
+
+TEST_F(SqlExecTest, JoinTwoTables) {
+  Run("create table v (nid int, d2s int)");
+  Run("create table e (fid int, tid int, cost int)");
+  Run("insert into v values (1, 0)");
+  Run("insert into e values (1, 2, 7), (1, 3, 4), (2, 3, 1)");
+  SqlResult r =
+      Run("select e.tid, v.d2s + e.cost from v, e where v.nid = e.fid "
+          "order by e.tid");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0].value(0).AsInt(), 2);
+  EXPECT_EQ(r.rows[0].value(1).AsInt(), 7);
+}
+
+TEST_F(SqlExecTest, JoinUsesIndexWhenAvailable) {
+  Run("create table v (nid int)");
+  Run("create table e (fid int, tid int) cluster by (fid)");
+  Run("insert into v values (5)");
+  for (int i = 0; i < 50; i++) {
+    Run("insert into e values (" + std::to_string(i % 10) + ", " +
+        std::to_string(i) + ")");
+  }
+  // Equi-join on the clustered key: the planner should pick the index
+  // nested-loop plan. Correctness check here; the plan choice shows up as
+  // fewer page reads in the micro-benchmarks.
+  SqlResult r = Run("select e.tid from v, e where v.nid = e.fid");
+  EXPECT_EQ(r.rows.size(), 5u);
+}
+
+TEST_F(SqlExecTest, ThreeWayJoin) {
+  Run("create table a (x int)");
+  Run("create table b (x int, y int)");
+  Run("create table c (y int, z int)");
+  Run("insert into a values (1), (2)");
+  Run("insert into b values (1, 10), (2, 20)");
+  Run("insert into c values (10, 100), (20, 200)");
+  SqlResult r = Run(
+      "select c.z from a, b, c where a.x = b.x and b.y = c.y order by c.z");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[1].value(0).AsInt(), 200);
+}
+
+TEST_F(SqlExecTest, QualifiedStarAmbiguityResolved) {
+  Run("create table a (k int)");
+  Run("create table b (k int)");
+  Run("insert into a values (1)");
+  Run("insert into b values (1)");
+  // Unqualified `k` is ambiguous across a and b.
+  SqlResult r;
+  Status s = conn_.Execute("select k from a, b where a.k = b.k", &r);
+  EXPECT_FALSE(s.ok());
+  // Qualified works.
+  Run("select a.k from a, b where a.k = b.k");
+}
+
+TEST_F(SqlExecTest, WindowRowNumberPicksMinimumPerPartition) {
+  Run("create table cand (nid int, p2s int, cost int)");
+  // Node 7 reachable two ways; node 8 once.
+  Run("insert into cand values (7, 1, 9), (7, 2, 4), (8, 1, 6)");
+  SqlResult r = Run(
+      "select nid, p2s, cost from "
+      "(select nid, p2s, cost, row_number() over (partition by nid "
+      " order by cost) as rn from cand) tmp (nid, p2s, cost, rn) "
+      "where rn = 1 order by nid");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0].value(0).AsInt(), 7);
+  EXPECT_EQ(r.rows[0].value(1).AsInt(), 2);  // the cheaper parent carried over
+  EXPECT_EQ(r.rows[0].value(2).AsInt(), 4);
+}
+
+TEST_F(SqlExecTest, DerivedTableColumnAliases) {
+  Run("create table t (a int, b int)");
+  Run("insert into t values (1, 2)");
+  SqlResult r = Run("select v from (select a + b from t) d (v)");
+  EXPECT_EQ(r.rows[0].value(0).AsInt(), 3);
+}
+
+TEST_F(SqlExecTest, IsNullPredicate) {
+  Run("create table t (a int, b int)");
+  Run("insert into t (a) values (1)");
+  Run("insert into t values (2, 20)");
+  EXPECT_EQ(ScalarInt("select count(*) from t where b is null"), 1);
+  EXPECT_EQ(ScalarInt("select count(*) from t where b is not null"), 1);
+}
+
+TEST_F(SqlExecTest, NullComparisonIsUnknown) {
+  Run("create table t (a int, b int)");
+  Run("insert into t (a) values (1)");
+  // b = NULL row: `b = 0` is unknown, row filtered out; NOT doesn't rescue it.
+  EXPECT_EQ(ScalarInt("select count(*) from t where b = 0"), 0);
+  EXPECT_EQ(ScalarInt("select count(*) from t where not b = 0"), 0);
+}
+
+// ------------------------------------------------------------------ params
+
+TEST_F(SqlExecTest, ParametersBindPerExecution) {
+  Run("create table v (nid int, d2s int, f int)");
+  Run("insert into v (nid, d2s, f) values (:n, :d, 0)",
+      {{"n", Value(int64_t{1})}, {"d", Value(int64_t{0})}});
+  Run("insert into v (nid, d2s, f) values (:n, :d, 0)",
+      {{"n", Value(int64_t{2})}, {"d", Value(int64_t{5})}});
+  EXPECT_EQ(ScalarInt("select d2s from v where nid = :n",
+                      {{"n", Value(int64_t{2})}}),
+            5);
+}
+
+TEST_F(SqlExecTest, MissingParameterFails) {
+  Run("create table t (a int)");
+  SqlResult r;
+  Status s = conn_.Execute("select a from t where a = :x", &r);
+  EXPECT_FALSE(s.ok());
+}
+
+// ------------------------------------------------------------------ MERGE
+
+TEST_F(SqlExecTest, MergeUpdatesAndInserts) {
+  Run("create table v (nid int, d2s int, f int) cluster by (nid) unique");
+  Run("create table ek (nid int, cost int)");
+  Run("insert into v values (1, 10, 1), (2, 10, 1)");
+  Run("insert into ek values (1, 5), (3, 7)");  // improves 1, adds 3
+  SqlResult r = Run(
+      "merge into v as target using ek as source on (source.nid = target.nid) "
+      "when matched and target.d2s > source.cost then "
+      "  update set d2s = source.cost, f = 0 "
+      "when not matched then insert (nid, d2s, f) values (nid, cost, 0)");
+  EXPECT_EQ(r.affected, 2);
+  EXPECT_EQ(ScalarInt("select d2s from v where nid = 1"), 5);
+  EXPECT_EQ(ScalarInt("select f from v where nid = 1"), 0);
+  EXPECT_EQ(ScalarInt("select d2s from v where nid = 3"), 7);
+  EXPECT_EQ(ScalarInt("select d2s from v where nid = 2"), 10);  // untouched
+}
+
+TEST_F(SqlExecTest, MergeMatchedConditionGates) {
+  Run("create table v (nid int, d2s int) cluster by (nid) unique");
+  Run("create table src (nid int, cost int)");
+  Run("insert into v values (1, 3)");
+  Run("insert into src values (1, 9)");  // worse: must NOT update
+  SqlResult r = Run(
+      "merge into v t using src s on (s.nid = t.nid) "
+      "when matched and t.d2s > s.cost then update set d2s = s.cost "
+      "when not matched then insert values (s.nid, s.cost)");
+  EXPECT_EQ(r.affected, 0);
+  EXPECT_EQ(ScalarInt("select d2s from v where nid = 1"), 3);
+}
+
+TEST_F(SqlExecTest, MergeFromSubquerySource) {
+  Run("create table v (nid int, d2s int) cluster by (nid) unique");
+  Run("create table e (fid int, tid int, cost int)");
+  Run("insert into v values (1, 0)");
+  Run("insert into e values (1, 2, 4), (1, 2, 7)");
+  // Dedup through the window before merging — the E+M composition.
+  SqlResult r = Run(
+      "merge into v t using (select nid, cost from "
+      " (select tid, cost, row_number() over (partition by tid order by cost)"
+      "  as rn from e) x (nid, cost, rn) where rn = 1) s (nid, cost) "
+      "on (s.nid = t.nid) "
+      "when matched and t.d2s > s.cost then update set d2s = s.cost "
+      "when not matched then insert values (nid, cost)");
+  EXPECT_EQ(r.affected, 1);
+  EXPECT_EQ(ScalarInt("select d2s from v where nid = 2"), 4);
+}
+
+TEST_F(SqlExecTest, MergeRejectedOnPostgresProfile) {
+  DatabaseOptions opts;
+  opts.profile = EngineProfile::kPostgres90;
+  Database pg(opts);
+  SqlEngine conn(&pg);
+  ASSERT_TRUE(conn.Execute("create table t (a int) cluster by (a) unique")
+                  .ok());
+  ASSERT_TRUE(conn.Execute("create table s (a int)").ok());
+  SqlResult r;
+  Status st = conn.Execute(
+      "merge into t using s on (s.a = t.a) "
+      "when not matched then insert values (a)",
+      &r);
+  EXPECT_TRUE(st.IsNotSupported()) << st.ToString();
+}
+
+// ------------------------------------------------------------------ misc
+
+TEST_F(SqlExecTest, StatementsAreCounted) {
+  int64_t before = db_.stats().statements;
+  Run("create table t (a int)");
+  Run("insert into t values (1)");
+  Run("select a from t");
+  EXPECT_EQ(db_.stats().statements, before + 3);
+}
+
+TEST_F(SqlExecTest, ScriptExecutesAllStatements) {
+  SqlResult last;
+  ASSERT_TRUE(conn_
+                  .ExecuteScript(
+                      "create table t (a int);"
+                      "insert into t values (1), (2);"
+                      "select sum(a) from t;",
+                      &last)
+                  .ok());
+  EXPECT_EQ(last.Scalar().AsInt(), 3);
+}
+
+TEST_F(SqlExecTest, ScriptStopsAtFirstError) {
+  Status s = conn_.ExecuteScript(
+      "create table t (a int); insert into missing values (1); "
+      "insert into t values (2)");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(ScalarInt("select count(*) from t"), 0);  // third stmt never ran
+}
+
+// ------------------------------------------------------------------ EXPLAIN
+
+TEST_F(SqlExecTest, ExplainShowsIndexJoinWhenIndexed) {
+  Run("create table v (nid int, d2s int, f int)");
+  Run("create table e (fid int, tid int, cost int) cluster by (fid)");
+  std::string plan;
+  ASSERT_TRUE(conn_
+                  .Explain("select e.tid from v q, e where q.nid = e.fid "
+                           "and q.f = 2",
+                           &plan)
+                  .ok());
+  EXPECT_NE(plan.find("IndexNestedLoopJoin: probe e.fid"), std::string::npos)
+      << plan;
+  // The single-table conjunct is pushed below the join, onto the scan of v.
+  size_t join_at = plan.find("IndexNestedLoopJoin");
+  size_t filter_at = plan.find("Filter: (q.f = 2)");
+  ASSERT_NE(filter_at, std::string::npos) << plan;
+  EXPECT_GT(filter_at, join_at) << "pushed filter should sit under the join\n"
+                                << plan;
+}
+
+TEST_F(SqlExecTest, ExplainShowsNestedLoopWithoutIndex) {
+  Run("create table v (nid int)");
+  Run("create table e (fid int, tid int)");  // heap, no index
+  std::string plan;
+  ASSERT_TRUE(
+      conn_.Explain("select e.tid from v, e where v.nid = e.fid", &plan).ok());
+  EXPECT_NE(plan.find("NestedLoopJoin"), std::string::npos) << plan;
+  EXPECT_EQ(plan.find("IndexNestedLoopJoin"), std::string::npos) << plan;
+}
+
+TEST_F(SqlExecTest, ExplainShowsWindowAndLimitPipeline) {
+  Run("create table c (nid int, cost int)");
+  std::string plan;
+  ASSERT_TRUE(conn_
+                  .Explain("select top 2 nid from (select nid, "
+                           "row_number() over (partition by nid order by "
+                           "cost) as rn from c) x (nid, rn) where rn = 1",
+                           &plan)
+                  .ok());
+  EXPECT_NE(plan.find("Limit: 2"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("WindowRowNumber: partition by c.nid"),
+            std::string::npos)
+      << plan;
+}
+
+TEST_F(SqlExecTest, ExplainEvaluatesScalarSubqueryIntoThePlan) {
+  Run("create table v (nid int, d2s int, f int)");
+  Run("insert into v values (1, 7, 0)");
+  std::string plan;
+  ASSERT_TRUE(conn_
+                  .Explain("select nid from v where d2s = "
+                           "(select min(d2s) from v where f = 0)",
+                           &plan)
+                  .ok());
+  // The subquery collapsed to its value at plan time.
+  EXPECT_NE(plan.find("= 7)"), std::string::npos) << plan;
+}
+
+TEST_F(SqlExecTest, ExplainRejectsNonSelect) {
+  Run("create table t (a int)");
+  std::string plan;
+  EXPECT_TRUE(
+      conn_.Explain("insert into t values (1)", &plan).IsNotSupported());
+}
+
+}  // namespace
+}  // namespace relgraph::sql

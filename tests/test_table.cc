@@ -1,0 +1,231 @@
+#include "src/catalog/table.h"
+
+#include <gtest/gtest.h>
+
+#include "src/catalog/catalog.h"
+
+namespace relgraph {
+namespace {
+
+Schema EdgeSchema() {
+  return Schema(
+      {{"fid", TypeId::kInt}, {"tid", TypeId::kInt}, {"cost", TypeId::kInt}});
+}
+
+Tuple Row(int64_t a, int64_t b, int64_t c) {
+  return Tuple({Value(a), Value(b), Value(c)});
+}
+
+class TableTest : public ::testing::Test {
+ protected:
+  TableTest() : pool_(512, &dm_) {}
+  DiskManager dm_;
+  BufferPool pool_;
+};
+
+TEST_F(TableTest, HeapInsertAndScan) {
+  std::unique_ptr<Table> table;
+  ASSERT_TRUE(
+      Table::Create(&pool_, "t", EdgeSchema(), TableOptions{}, &table).ok());
+  ASSERT_TRUE(table->Insert(Row(1, 2, 3)).ok());
+  ASSERT_TRUE(table->Insert(Row(4, 5, 6)).ok());
+  EXPECT_EQ(table->num_rows(), 2);
+
+  auto it = table->Scan();
+  Tuple t;
+  RowRef ref;
+  std::vector<int64_t> fids;
+  while (it.Next(&t, &ref)) fids.push_back(t.value(0).AsInt());
+  EXPECT_EQ(fids, (std::vector<int64_t>{1, 4}));
+}
+
+TEST_F(TableTest, ClusteredScanIsKeyOrdered) {
+  TableOptions opts;
+  opts.storage = TableStorage::kClustered;
+  opts.cluster_key = "fid";
+  std::unique_ptr<Table> table;
+  ASSERT_TRUE(Table::Create(&pool_, "t", EdgeSchema(), opts, &table).ok());
+  ASSERT_TRUE(table->Insert(Row(30, 1, 1)).ok());
+  ASSERT_TRUE(table->Insert(Row(10, 2, 2)).ok());
+  ASSERT_TRUE(table->Insert(Row(20, 3, 3)).ok());
+  ASSERT_TRUE(table->Insert(Row(10, 4, 4)).ok());  // duplicate key
+
+  auto it = table->Scan();
+  Tuple t;
+  std::vector<int64_t> fids;
+  while (it.Next(&t, nullptr)) fids.push_back(t.value(0).AsInt());
+  EXPECT_EQ(fids, (std::vector<int64_t>{10, 10, 20, 30}));
+}
+
+TEST_F(TableTest, ClusteredUniqueRejectsDuplicates) {
+  TableOptions opts;
+  opts.storage = TableStorage::kClustered;
+  opts.cluster_key = "fid";
+  opts.cluster_unique = true;
+  std::unique_ptr<Table> table;
+  ASSERT_TRUE(Table::Create(&pool_, "t", EdgeSchema(), opts, &table).ok());
+  ASSERT_TRUE(table->Insert(Row(1, 1, 1)).ok());
+  EXPECT_TRUE(table->Insert(Row(1, 2, 2)).IsAlreadyExists());
+}
+
+TEST_F(TableTest, SecondaryIndexRangeScan) {
+  std::unique_ptr<Table> table;
+  ASSERT_TRUE(
+      Table::Create(&pool_, "t", EdgeSchema(), TableOptions{}, &table).ok());
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(table->Insert(Row(i % 10, i, i * 2)).ok());
+  }
+  ASSERT_TRUE(table->CreateSecondaryIndex("fid", /*unique=*/false).ok());
+  EXPECT_TRUE(table->HasIndexOn("fid"));
+  EXPECT_FALSE(table->HasIndexOn("tid"));
+
+  Table::Iterator it;
+  ASSERT_TRUE(table->ScanRange("fid", 3, 3, &it).ok());
+  Tuple t;
+  int count = 0;
+  while (it.Next(&t, nullptr)) {
+    EXPECT_EQ(t.value(0).AsInt(), 3);
+    count++;
+  }
+  EXPECT_EQ(count, 10);
+}
+
+TEST_F(TableTest, SecondaryIndexBackfillsExistingRows) {
+  std::unique_ptr<Table> table;
+  ASSERT_TRUE(
+      Table::Create(&pool_, "t", EdgeSchema(), TableOptions{}, &table).ok());
+  ASSERT_TRUE(table->Insert(Row(7, 1, 1)).ok());
+  ASSERT_TRUE(table->CreateSecondaryIndex("fid", false).ok());
+  Table::Iterator it;
+  ASSERT_TRUE(table->ScanRange("fid", 7, 7, &it).ok());
+  Tuple t;
+  EXPECT_TRUE(it.Next(&t, nullptr));
+}
+
+TEST_F(TableTest, UniqueIndexLookupAndViolation) {
+  std::unique_ptr<Table> table;
+  ASSERT_TRUE(
+      Table::Create(&pool_, "t", EdgeSchema(), TableOptions{}, &table).ok());
+  ASSERT_TRUE(table->CreateSecondaryIndex("fid", /*unique=*/true).ok());
+  ASSERT_TRUE(table->Insert(Row(5, 50, 500)).ok());
+  EXPECT_TRUE(table->Insert(Row(5, 51, 501)).IsAlreadyExists());
+  EXPECT_EQ(table->num_rows(), 1);  // failed insert left no orphan row
+
+  Tuple t;
+  RowRef ref;
+  ASSERT_TRUE(table->LookupUnique("fid", 5, &t, &ref).ok());
+  EXPECT_EQ(t.value(1).AsInt(), 50);
+  EXPECT_TRUE(table->LookupUnique("fid", 6, &t, &ref).IsNotFound());
+}
+
+TEST_F(TableTest, UpdateRowMaintainsIndexes) {
+  std::unique_ptr<Table> table;
+  ASSERT_TRUE(
+      Table::Create(&pool_, "t", EdgeSchema(), TableOptions{}, &table).ok());
+  ASSERT_TRUE(table->CreateSecondaryIndex("fid", true).ok());
+  RowRef ref;
+  ASSERT_TRUE(table->Insert(Row(1, 10, 100), &ref).ok());
+  // Change the indexed key 1 -> 2: old entry must vanish, new must appear.
+  ASSERT_TRUE(table->UpdateRow(ref, Row(2, 10, 100)).ok());
+  Tuple t;
+  EXPECT_TRUE(table->LookupUnique("fid", 1, &t, nullptr).IsNotFound());
+  ASSERT_TRUE(table->LookupUnique("fid", 2, &t, nullptr).ok());
+  EXPECT_EQ(t.value(2).AsInt(), 100);
+}
+
+TEST_F(TableTest, ClusteredUpdateKeepsKeyImmutable) {
+  TableOptions opts;
+  opts.storage = TableStorage::kClustered;
+  opts.cluster_key = "fid";
+  opts.cluster_unique = true;
+  std::unique_ptr<Table> table;
+  ASSERT_TRUE(Table::Create(&pool_, "t", EdgeSchema(), opts, &table).ok());
+  RowRef ref;
+  ASSERT_TRUE(table->Insert(Row(1, 10, 100), &ref).ok());
+  ASSERT_TRUE(table->UpdateRow(ref, Row(1, 20, 200)).ok());
+  Tuple t;
+  ASSERT_TRUE(table->LookupUnique("fid", 1, &t, nullptr).ok());
+  EXPECT_EQ(t.value(1).AsInt(), 20);
+  EXPECT_TRUE(table->UpdateRow(ref, Row(9, 20, 200)).IsNotSupported());
+}
+
+TEST_F(TableTest, DeleteRowRemovesFromScanAndIndex) {
+  std::unique_ptr<Table> table;
+  ASSERT_TRUE(
+      Table::Create(&pool_, "t", EdgeSchema(), TableOptions{}, &table).ok());
+  ASSERT_TRUE(table->CreateSecondaryIndex("fid", true).ok());
+  RowRef ref;
+  ASSERT_TRUE(table->Insert(Row(1, 1, 1), &ref).ok());
+  ASSERT_TRUE(table->Insert(Row(2, 2, 2)).ok());
+  ASSERT_TRUE(table->DeleteRow(ref).ok());
+  EXPECT_EQ(table->num_rows(), 1);
+  Tuple t;
+  EXPECT_TRUE(table->LookupUnique("fid", 1, &t, nullptr).IsNotFound());
+  auto it = table->Scan();
+  int count = 0;
+  while (it.Next(&t, nullptr)) count++;
+  EXPECT_EQ(count, 1);
+}
+
+TEST_F(TableTest, TruncateKeepsSchemaAndIndexes) {
+  std::unique_ptr<Table> table;
+  ASSERT_TRUE(
+      Table::Create(&pool_, "t", EdgeSchema(), TableOptions{}, &table).ok());
+  ASSERT_TRUE(table->CreateSecondaryIndex("fid", true).ok());
+  ASSERT_TRUE(table->Insert(Row(1, 1, 1)).ok());
+  ASSERT_TRUE(table->Truncate().ok());
+  EXPECT_EQ(table->num_rows(), 0);
+  Tuple t;
+  EXPECT_TRUE(table->LookupUnique("fid", 1, &t, nullptr).IsNotFound());
+  // Insert after truncate works and the index is live.
+  ASSERT_TRUE(table->Insert(Row(1, 9, 9)).ok());
+  ASSERT_TRUE(table->LookupUnique("fid", 1, &t, nullptr).ok());
+  EXPECT_EQ(t.value(1).AsInt(), 9);
+}
+
+TEST_F(TableTest, ClusteredRequiresFixedWidthIntKey) {
+  Schema with_str({{"k", TypeId::kInt}, {"v", TypeId::kVarchar}});
+  TableOptions opts;
+  opts.storage = TableStorage::kClustered;
+  opts.cluster_key = "k";
+  std::unique_ptr<Table> table;
+  EXPECT_TRUE(
+      Table::Create(&pool_, "t", with_str, opts, &table).IsNotSupported());
+
+  TableOptions bad_key;
+  bad_key.storage = TableStorage::kClustered;
+  bad_key.cluster_key = "missing";
+  EXPECT_TRUE(Table::Create(&pool_, "t2", EdgeSchema(), bad_key, &table)
+                  .IsInvalidArgument());
+}
+
+TEST_F(TableTest, ArityMismatchRejected) {
+  std::unique_ptr<Table> table;
+  ASSERT_TRUE(
+      Table::Create(&pool_, "t", EdgeSchema(), TableOptions{}, &table).ok());
+  EXPECT_TRUE(
+      table->Insert(Tuple({Value(int64_t{1})})).IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------- Catalog
+
+TEST(CatalogTest, CreateGetDrop) {
+  DiskManager dm;
+  BufferPool pool(64, &dm);
+  Catalog catalog(&pool);
+  Table* t = nullptr;
+  ASSERT_TRUE(
+      catalog.CreateTable("edges", EdgeSchema(), TableOptions{}, &t).ok());
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(catalog.GetTable("edges"), t);
+  EXPECT_EQ(catalog.GetTable("nope"), nullptr);
+  EXPECT_TRUE(catalog.CreateTable("edges", EdgeSchema(), TableOptions{}, &t)
+                  .IsAlreadyExists());
+  EXPECT_EQ(catalog.TableNames(), std::vector<std::string>{"edges"});
+  ASSERT_TRUE(catalog.DropTable("edges").ok());
+  EXPECT_EQ(catalog.GetTable("edges"), nullptr);
+  EXPECT_TRUE(catalog.DropTable("edges").IsNotFound());
+}
+
+}  // namespace
+}  // namespace relgraph

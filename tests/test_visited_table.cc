@@ -1,0 +1,94 @@
+#include "src/core/visited_table.h"
+
+#include <gtest/gtest.h>
+
+namespace relgraph {
+namespace {
+
+class VisitedTableTest : public ::testing::TestWithParam<IndexStrategy> {
+ protected:
+  VisitedTableTest() : db_(DatabaseOptions{}) {
+    EXPECT_TRUE(VisitedTable::Create(&db_, GetParam(), "TV", &vt_).ok());
+  }
+  int64_t Field(node_id_t nid, const char* col) {
+    Tuple t;
+    EXPECT_TRUE(vt_->GetRow(nid, &t).ok());
+    return t.value(vt_->table()->schema().IndexOf(col)).AsInt();
+  }
+  Database db_;
+  std::unique_ptr<VisitedTable> vt_;
+};
+
+TEST_P(VisitedTableTest, SchemaCarriesBothDirections) {
+  const Schema& s = vt_->table()->schema();
+  for (const char* col :
+       {"nid", "d2s", "p2s", "a2s", "f", "d2t", "p2t", "a2t", "b"}) {
+    EXPECT_GE(s.Find(col), 0) << col;
+  }
+  EXPECT_EQ(s.NumColumns(), 9u);
+}
+
+TEST_P(VisitedTableTest, DirColsNameDisjointState) {
+  DirCols fwd = VisitedTable::ForwardCols();
+  DirCols bwd = VisitedTable::BackwardCols();
+  EXPECT_TRUE(fwd.forward);
+  EXPECT_FALSE(bwd.forward);
+  EXPECT_NE(fwd.dist, bwd.dist);
+  EXPECT_NE(fwd.flag, bwd.flag);
+  EXPECT_NE(fwd.anchor, bwd.anchor);
+}
+
+TEST_P(VisitedTableTest, InsertSourceSeedsOneRow) {
+  ASSERT_TRUE(vt_->InsertSource(7).ok());
+  EXPECT_EQ(vt_->num_rows(), 1);
+  EXPECT_EQ(Field(7, "d2s"), 0);
+  EXPECT_EQ(Field(7, "p2s"), 7);
+  EXPECT_EQ(Field(7, "a2s"), 7);
+  EXPECT_EQ(Field(7, "d2t"), kInfinity);
+  // The backward flag of a pure-forward seed is closed so single-direction
+  // algorithms never expand it backward.
+  EXPECT_EQ(Field(7, "b"), 1);
+}
+
+TEST_P(VisitedTableTest, InsertSourceAndTargetSeedsBoth) {
+  ASSERT_TRUE(vt_->InsertSourceAndTarget(3, 9).ok());
+  EXPECT_EQ(vt_->num_rows(), 2);
+  EXPECT_EQ(Field(3, "d2s"), 0);
+  EXPECT_EQ(Field(3, "d2t"), kInfinity);
+  EXPECT_EQ(Field(9, "d2t"), 0);
+  EXPECT_EQ(Field(9, "d2s"), kInfinity);
+  EXPECT_EQ(Field(9, "p2t"), 9);
+}
+
+TEST_P(VisitedTableTest, SourceEqualsTargetSeedsOnce) {
+  ASSERT_TRUE(vt_->InsertSourceAndTarget(4, 4).ok());
+  EXPECT_EQ(vt_->num_rows(), 1);
+}
+
+TEST_P(VisitedTableTest, GetRowMissingIsNotFound) {
+  ASSERT_TRUE(vt_->InsertSource(1).ok());
+  Tuple t;
+  EXPECT_TRUE(vt_->GetRow(99, &t).IsNotFound());
+}
+
+TEST_P(VisitedTableTest, ResetEmptiesAndCountsStatement) {
+  ASSERT_TRUE(vt_->InsertSourceAndTarget(1, 2).ok());
+  int64_t before = db_.stats().statements;
+  ASSERT_TRUE(vt_->Reset().ok());
+  EXPECT_EQ(vt_->num_rows(), 0);
+  EXPECT_EQ(db_.stats().statements, before + 1);
+  // Usable again after reset.
+  ASSERT_TRUE(vt_->InsertSource(5).ok());
+  EXPECT_EQ(Field(5, "d2s"), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, VisitedTableTest,
+    ::testing::Values(IndexStrategy::kNoIndex, IndexStrategy::kIndex,
+                      IndexStrategy::kCluIndex),
+    [](const ::testing::TestParamInfo<IndexStrategy>& info) {
+      return IndexStrategyName(info.param);
+    });
+
+}  // namespace
+}  // namespace relgraph
