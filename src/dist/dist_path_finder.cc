@@ -1,0 +1,234 @@
+#include "src/dist/dist_path_finder.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "src/common/timer.h"
+
+namespace relgraph {
+
+namespace {
+
+/// One direction of the coordinator's search: tentative distances, shortest
+/// path tree links (predecessor forward, successor backward), the settled
+/// set, and a lazy-deletion min-heap over the open nodes.
+struct SearchSide {
+  std::unordered_map<node_id_t, weight_t> dist;
+  std::unordered_map<node_id_t, node_id_t> parent;
+  std::unordered_set<node_id_t> settled;
+  using HeapEntry = std::pair<weight_t, node_id_t>;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      heap;
+
+  void Seed(node_id_t origin) {
+    dist[origin] = 0;
+    heap.push({0, origin});
+  }
+
+  /// Smallest open distance, discarding stale heap entries; kInfinity when
+  /// the frontier is exhausted.
+  weight_t MinOpen() {
+    while (!heap.empty()) {
+      auto [d, n] = heap.top();
+      auto it = dist.find(n);
+      if (settled.count(n) || it == dist.end() || it->second != d) {
+        heap.pop();
+        continue;
+      }
+      return d;
+    }
+    return kInfinity;
+  }
+
+  /// Pops and settles every open node at distance `level` (one set-at-a-time
+  /// frontier, the paper's §4.1 move).
+  std::vector<node_id_t> TakeFrontier(weight_t level) {
+    std::vector<node_id_t> frontier;
+    while (!heap.empty() && heap.top().first == level) {
+      auto [d, n] = heap.top();
+      heap.pop();
+      auto it = dist.find(n);
+      if (settled.count(n) || it == dist.end() || it->second != d) continue;
+      settled.insert(n);
+      frontier.push_back(n);
+    }
+    return frontier;
+  }
+};
+
+/// An adjacency row shipped from a shard to the coordinator.
+struct ShippedEdge {
+  node_id_t frontier_node;  // the endpoint that matched the frontier
+  node_id_t emit_node;      // the newly reached endpoint
+  weight_t cost;
+};
+
+}  // namespace
+
+Status DistPathFinder::Create(ShardedGraphStore* store,
+                              std::unique_ptr<DistPathFinder>* out) {
+  if (store == nullptr) {
+    return Status::InvalidArgument("null ShardedGraphStore");
+  }
+  *out = std::unique_ptr<DistPathFinder>(new DistPathFinder(store));
+  return Status::OK();
+}
+
+Status DistPathFinder::Find(node_id_t s, node_id_t t, DistPathResult* result) {
+  *result = DistPathResult{};
+  DistQueryStats& stats = result->stats;
+  Timer total_timer;
+  int64_t shard_serial_us = 0;    // sum over every shard query issued
+  int64_t shard_parallel_us = 0;  // sum over rounds of the slowest shard
+
+  if (s == t) {
+    stats.coordinator_statements++;  // the seed lookup answers immediately
+    result->found = true;
+    result->distance = 0;
+    result->path = {s};
+    stats.serial_us = total_timer.ElapsedMicros();
+    stats.parallel_us = stats.serial_us;
+    return Status::OK();
+  }
+
+  SearchSide fwd, bwd;
+  fwd.Seed(s);
+  bwd.Seed(t);
+  stats.coordinator_statements += 2;  // the two TVisited seed inserts
+
+  weight_t best = kInfinity;
+  node_id_t meet = kInvalidNode;
+  auto try_meet = [&](node_id_t v) {
+    auto fit = fwd.dist.find(v);
+    auto bit = bwd.dist.find(v);
+    if (fit == fwd.dist.end() || bit == bwd.dist.end()) return;
+    weight_t through = fit->second + bit->second;
+    if (through < best) {
+      best = through;
+      meet = v;
+    }
+  };
+
+  while (true) {
+    // Coordinator: read both frontier minima and test the Theorem-1 stop
+    // rule (lf + lb >= minCost).
+    weight_t lf = fwd.MinOpen();
+    weight_t lb = bwd.MinOpen();
+    stats.coordinator_statements += 2;
+    if (lf == kInfinity && lb == kInfinity) break;
+    if (best != kInfinity && lf + lb >= best) break;
+
+    // Expand the direction whose next level is cheaper (BSDJ alternation).
+    bool forward = lb == kInfinity || (lf != kInfinity && lf <= lb);
+    SearchSide& side = forward ? fwd : bwd;
+    weight_t level = forward ? lf : lb;
+
+    std::vector<node_id_t> frontier = side.TakeFrontier(level);
+    stats.coordinator_statements++;  // frontier select + settle update
+    for (node_id_t n : frontier) try_meet(n);
+    if (frontier.empty()) continue;
+
+    // Route each frontier node to its owner shard.
+    std::vector<std::vector<node_id_t>> by_shard(store_->num_shards());
+    for (node_id_t n : frontier) {
+      by_shard[store_->OwnerShard(n)].push_back(n);
+    }
+
+    // Shard-local expansion: every contacted shard answers one statement —
+    // SELECT * FROM TEdges WHERE fid IN (<frontier ∩ shard>) — and ships
+    // its matching adjacency rows back.
+    int64_t round_max_us = 0;
+    std::vector<ShippedEdge> shipped;
+    for (int shard = 0; shard < store_->num_shards(); shard++) {
+      if (by_shard[shard].empty()) continue;
+      Timer shard_timer;
+      Table* table =
+          forward ? store_->out_edges(shard) : store_->in_edges(shard);
+      const char* key_col = forward ? "fid" : "tid";
+      const size_t frontier_idx = forward ? 0 : 1;
+      const size_t emit_idx = forward ? 1 : 0;
+      stats.shard_statements++;
+      store_->shard_db(shard)->RecordStatement();
+      Tuple row;
+      if (table->HasIndexOn(key_col)) {
+        for (node_id_t n : by_shard[shard]) {
+          Table::Iterator it;
+          RELGRAPH_RETURN_IF_ERROR(table->ScanRange(key_col, n, n, &it));
+          while (it.Next(&row, nullptr)) {
+            shipped.push_back({n, row.value(emit_idx).AsInt(),
+                               row.value(2).AsInt()});
+          }
+          RELGRAPH_RETURN_IF_ERROR(it.status());
+        }
+      } else {
+        std::unordered_set<node_id_t> wanted(by_shard[shard].begin(),
+                                             by_shard[shard].end());
+        Table::Iterator it = table->Scan();
+        while (it.Next(&row, nullptr)) {
+          node_id_t key = row.value(frontier_idx).AsInt();
+          if (!wanted.count(key)) continue;
+          shipped.push_back({key, row.value(emit_idx).AsInt(),
+                             row.value(2).AsInt()});
+        }
+        RELGRAPH_RETURN_IF_ERROR(it.status());
+      }
+      int64_t us = shard_timer.ElapsedMicros();
+      shard_serial_us += us;
+      round_max_us = std::max(round_max_us, us);
+    }
+    shard_parallel_us += round_max_us;
+    stats.rows_shipped += static_cast<int64_t>(shipped.size());
+    stats.rounds++;
+
+    // Coordinator: relax the shipped rows (the MERGE of Listing 4(2)).
+    stats.coordinator_statements++;
+    for (const ShippedEdge& e : shipped) {
+      if (side.settled.count(e.emit_node)) continue;
+      weight_t nd = level + e.cost;
+      auto it = side.dist.find(e.emit_node);
+      if (it != side.dist.end() && it->second <= nd) continue;
+      side.dist[e.emit_node] = nd;
+      side.parent[e.emit_node] = e.frontier_node;
+      side.heap.push({nd, e.emit_node});
+      try_meet(e.emit_node);
+    }
+  }
+
+  stats.serial_us = total_timer.ElapsedMicros();
+  stats.parallel_us = stats.serial_us - shard_serial_us + shard_parallel_us;
+
+  if (best == kInfinity) return Status::OK();
+
+  result->found = true;
+  result->distance = best;
+  // Walk meet -> s through forward predecessors, then meet -> t through
+  // backward successors.
+  std::vector<node_id_t> head;
+  for (node_id_t v = meet; v != s;) {
+    auto it = fwd.parent.find(v);
+    if (it == fwd.parent.end()) {
+      return Status::Internal("broken forward parent chain");
+    }
+    head.push_back(v);
+    v = it->second;
+  }
+  head.push_back(s);
+  std::reverse(head.begin(), head.end());
+  result->path = std::move(head);
+  for (node_id_t v = meet; v != t;) {
+    auto it = bwd.parent.find(v);
+    if (it == bwd.parent.end()) {
+      return Status::Internal("broken backward parent chain");
+    }
+    v = it->second;
+    result->path.push_back(v);
+  }
+  return Status::OK();
+}
+
+}  // namespace relgraph

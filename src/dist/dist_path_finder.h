@@ -1,0 +1,54 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/dist/sharded_graph.h"
+
+namespace relgraph {
+
+/// What the distributed simulation measures per query: statement counts on
+/// the coordinator and across shards, rows crossing the shard/coordinator
+/// boundary (the "network"), and two clocks — the serial cost this
+/// single-process simulation actually pays, and the simulated-parallel
+/// wall clock where every expansion round is charged only its slowest
+/// shard. parallel_us <= serial_us always holds.
+struct DistQueryStats {
+  int64_t coordinator_statements = 0;
+  int64_t shard_statements = 0;
+  int64_t rows_shipped = 0;
+  int64_t rounds = 0;
+  int64_t serial_us = 0;
+  int64_t parallel_us = 0;
+};
+
+struct DistPathResult {
+  bool found = false;
+  weight_t distance = kInfinity;
+  std::vector<node_id_t> path;  // s ... t when found
+  DistQueryStats stats;
+};
+
+/// Coordinator for bi-directional set Dijkstra (the paper's BSDJ) over a
+/// ShardedGraphStore — the §7 distributed extension, simulated in-process.
+/// The coordinator keeps the visited/frontier bookkeeping and, each round,
+/// sends the frontier's node set to the shards that own those nodes; each
+/// shard answers with its local adjacency rows, which the coordinator
+/// relaxes. Expansion is thus fully partitioned while termination (the
+/// Theorem-1 bound lf + lb >= minCost) stays centralized.
+class DistPathFinder {
+ public:
+  static Status Create(ShardedGraphStore* store,
+                       std::unique_ptr<DistPathFinder>* out);
+
+  /// Finds the shortest path from s to t. Not-found is reported through
+  /// `result->found`; the Status covers engine errors only.
+  Status Find(node_id_t s, node_id_t t, DistPathResult* result);
+
+ private:
+  explicit DistPathFinder(ShardedGraphStore* store) : store_(store) {}
+
+  ShardedGraphStore* store_ = nullptr;
+};
+
+}  // namespace relgraph

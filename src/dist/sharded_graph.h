@@ -1,0 +1,63 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/db/database.h"
+#include "src/graph/graph_store.h"
+
+namespace relgraph {
+
+struct ShardedGraphOptions {
+  /// Number of partitions; each shard is its own Database instance (the
+  /// paper's §7 sketch: one RDBMS node per partition).
+  int num_shards = 1;
+  IndexStrategy strategy = IndexStrategy::kCluIndex;
+  /// Options applied to every per-shard database.
+  DatabaseOptions shard_db_options;
+};
+
+/// Hash-partitioned edge relations across independent per-shard databases.
+/// Edge (f, t, c) lives on shard Owner(f) in that shard's TEdges (the
+/// forward adjacency) and on shard Owner(t) in that shard's TEdgesIn (the
+/// backward adjacency) — so every expansion, in either direction, is a
+/// purely shard-local query on the frontier nodes that hash there.
+class ShardedGraphStore {
+ public:
+  static Status Create(const EdgeList& list, ShardedGraphOptions options,
+                       std::unique_ptr<ShardedGraphStore>* out);
+
+  int num_shards() const { return options_.num_shards; }
+  IndexStrategy strategy() const { return options_.strategy; }
+  int64_t num_nodes() const { return num_nodes_; }
+  int64_t num_edges() const { return num_edges_; }
+  weight_t min_weight() const { return min_weight_; }
+
+  /// Partition function: which shard owns node `n`'s adjacency.
+  int OwnerShard(node_id_t n) const {
+    return static_cast<int>(n % options_.num_shards);
+  }
+
+  /// Shard-local adjacency tables (forward rows where Owner(fid) == shard,
+  /// backward rows where Owner(tid) == shard).
+  Table* out_edges(int shard) const { return shards_[shard].out_edges; }
+  Table* in_edges(int shard) const { return shards_[shard].in_edges; }
+  Database* shard_db(int shard) const { return shards_[shard].db.get(); }
+
+ private:
+  ShardedGraphStore() = default;
+
+  struct Shard {
+    std::unique_ptr<Database> db;
+    Table* out_edges = nullptr;
+    Table* in_edges = nullptr;
+  };
+
+  ShardedGraphOptions options_;
+  std::vector<Shard> shards_;
+  int64_t num_nodes_ = 0;
+  int64_t num_edges_ = 0;
+  weight_t min_weight_ = kInfinity;
+};
+
+}  // namespace relgraph

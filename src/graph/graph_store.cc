@@ -16,17 +16,15 @@ const char* IndexStrategyName(IndexStrategy s) {
   return "?";
 }
 
-namespace {
-Schema EdgeSchema() {
+Schema EdgeTableSchema() {
   return Schema({{"fid", TypeId::kInt},
                  {"tid", TypeId::kInt},
                  {"cost", TypeId::kInt}});
 }
 
-Tuple EdgeTuple(const Edge& e) {
+Tuple EdgeTableRow(const Edge& e) {
   return Tuple({Value(e.from), Value(e.to), Value(e.weight)});
 }
-}  // namespace
 
 Status GraphStore::Create(Database* db, const EdgeList& list,
                           GraphStoreOptions options,
@@ -68,30 +66,30 @@ Status GraphStore::Create(Database* db, const EdgeList& list,
     TableOptions fwd;
     fwd.storage = TableStorage::kClustered;
     fwd.cluster_key = "fid";
-    RELGRAPH_RETURN_IF_ERROR(catalog->CreateTable(p + "TEdges", EdgeSchema(),
+    RELGRAPH_RETURN_IF_ERROR(catalog->CreateTable(p + "TEdges", EdgeTableSchema(),
                                                   fwd, &store->edges_out_));
     TableOptions bwd;
     bwd.storage = TableStorage::kClustered;
     bwd.cluster_key = "tid";
-    RELGRAPH_RETURN_IF_ERROR(catalog->CreateTable(p + "TEdgesIn", EdgeSchema(),
+    RELGRAPH_RETURN_IF_ERROR(catalog->CreateTable(p + "TEdgesIn", EdgeTableSchema(),
                                                   bwd, &store->edges_in_));
     std::vector<Edge> sorted = list.edges;
     std::sort(sorted.begin(), sorted.end(),
               [](const Edge& a, const Edge& b) { return a.from < b.from; });
     for (const auto& e : sorted) {
-      RELGRAPH_RETURN_IF_ERROR(store->edges_out_->Insert(EdgeTuple(e)));
+      RELGRAPH_RETURN_IF_ERROR(store->edges_out_->Insert(EdgeTableRow(e)));
     }
     std::sort(sorted.begin(), sorted.end(),
               [](const Edge& a, const Edge& b) { return a.to < b.to; });
     for (const auto& e : sorted) {
-      RELGRAPH_RETURN_IF_ERROR(store->edges_in_->Insert(EdgeTuple(e)));
+      RELGRAPH_RETURN_IF_ERROR(store->edges_in_->Insert(EdgeTableRow(e)));
     }
   } else {
     RELGRAPH_RETURN_IF_ERROR(catalog->CreateTable(
-        p + "TEdges", EdgeSchema(), TableOptions{}, &store->edges_out_));
+        p + "TEdges", EdgeTableSchema(), TableOptions{}, &store->edges_out_));
     store->edges_in_ = store->edges_out_;
     for (const auto& e : list.edges) {
-      RELGRAPH_RETURN_IF_ERROR(store->edges_out_->Insert(EdgeTuple(e)));
+      RELGRAPH_RETURN_IF_ERROR(store->edges_out_->Insert(EdgeTableRow(e)));
     }
     if (options.strategy == IndexStrategy::kIndex) {
       RELGRAPH_RETURN_IF_ERROR(
@@ -113,9 +111,9 @@ EdgeRelation GraphStore::Backward() const {
 }
 
 Status GraphStore::AddEdge(const Edge& e) {
-  RELGRAPH_RETURN_IF_ERROR(edges_out_->Insert(EdgeTuple(e)));
+  RELGRAPH_RETURN_IF_ERROR(edges_out_->Insert(EdgeTableRow(e)));
   if (edges_in_ != edges_out_) {
-    RELGRAPH_RETURN_IF_ERROR(edges_in_->Insert(EdgeTuple(e)));
+    RELGRAPH_RETURN_IF_ERROR(edges_in_->Insert(EdgeTableRow(e)));
   }
   num_edges_++;
   min_weight_ = std::min(min_weight_, e.weight);

@@ -17,6 +17,12 @@ enum class IndexStrategy {
 
 const char* IndexStrategyName(IndexStrategy s);
 
+/// The canonical TEdges(fid, tid, cost) schema and its row encoding, shared
+/// by every physical copy of the edge relation (GraphStore's clustered
+/// pair, the sharded partitions).
+Schema EdgeTableSchema();
+Tuple EdgeTableRow(const Edge& e);
+
 struct GraphStoreOptions {
   IndexStrategy strategy = IndexStrategy::kCluIndex;
   /// Table-name prefix so several graphs can coexist in one database.

@@ -1,0 +1,137 @@
+// Property test for the repo's core correctness story: every bidirectional
+// searcher — the native PathFinder under every Algorithm and both SQL
+// modes, the SQL-text client's bidirectional driver
+// (SqlPathFinder::RunBidirectional, reached through Find for kBSDJ/kBBFS),
+// and the in-memory MemGraph::BidirectionalDijkstra — must report the same
+// shortest distance as the unidirectional Dijkstra oracle on randomly
+// drawn graphs.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/path_finder.h"
+#include "src/core/segtable.h"
+#include "src/core/sql_path_finder.h"
+#include "src/graph/generators.h"
+#include "src/graph/memgraph.h"
+
+namespace relgraph {
+namespace {
+
+class BidirectionalAgreeTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BidirectionalAgreeTest, AllSearchersAgreeOnRandomGraphs) {
+  const uint64_t seed = GetParam();
+  // Draw the graph shape itself from the seed — a property test over the
+  // generator space, not a fixed fixture.
+  Rng shape_rng(seed * 2654435761u + 17);
+  const int64_t n = shape_rng.NextInt(80, 200);
+  const int64_t m = shape_rng.NextInt(2 * n, 5 * n);
+  const weight_t w_hi = shape_rng.NextInt(1, 100);
+  EdgeList list =
+      GenerateRandomGraph(n, m, WeightRange{1, w_hi}, seed * 31 + 7);
+  MemGraph mem(list);
+
+  Database db{DatabaseOptions{}};
+  std::unique_ptr<GraphStore> graph;
+  ASSERT_TRUE(GraphStore::Create(&db, list, GraphStoreOptions{}, &graph).ok());
+  SegTableOptions sopts;
+  sopts.lthd = static_cast<weight_t>(shape_rng.NextInt(5, 60));
+  std::unique_ptr<SegTable> segtable;
+  ASSERT_TRUE(SegTable::Build(&db, graph.get(), sopts, &segtable).ok());
+
+  // Native finders: every algorithm under both SQL modes.
+  std::vector<std::unique_ptr<PathFinder>> finders;
+  for (Algorithm algo : {Algorithm::kDJ, Algorithm::kBDJ, Algorithm::kBSDJ,
+                         Algorithm::kBBFS, Algorithm::kBSEG}) {
+    for (SqlMode mode : {SqlMode::kNsql, SqlMode::kTsql}) {
+      PathFinderOptions opts;
+      opts.algorithm = algo;
+      opts.sql_mode = mode;
+      std::unique_ptr<PathFinder> finder;
+      ASSERT_TRUE(
+          PathFinder::Create(graph.get(), opts, &finder, segtable.get()).ok())
+          << AlgorithmName(algo) << "/" << SqlModeName(mode);
+      finders.push_back(std::move(finder));
+    }
+  }
+
+  // SQL-text clients whose Find dispatches to RunBidirectional.
+  std::vector<std::unique_ptr<SqlPathFinder>> sql_finders;
+  for (Algorithm algo : {Algorithm::kBSDJ, Algorithm::kBBFS}) {
+    SqlPathFinderOptions opts;
+    opts.algorithm = algo;
+    opts.visited_table = std::string("BidiTV_") + AlgorithmName(algo);
+    std::unique_ptr<SqlPathFinder> finder;
+    ASSERT_TRUE(SqlPathFinder::Create(graph.get(), opts, &finder).ok());
+    sql_finders.push_back(std::move(finder));
+  }
+
+  Rng query_rng(seed * 7919 + 3);
+  for (int q = 0; q < 5; q++) {
+    node_id_t s = query_rng.NextInt(0, list.num_nodes - 1);
+    node_id_t t = query_rng.NextInt(0, list.num_nodes - 1);
+    MemPathResult oracle = mem.Dijkstra(s, t);
+
+    MemPathResult bidi = mem.BidirectionalDijkstra(s, t);
+    ASSERT_EQ(bidi.found, oracle.found) << "MBDJ s=" << s << " t=" << t;
+    if (oracle.found) {
+      ASSERT_EQ(bidi.distance, oracle.distance)
+          << "MBDJ s=" << s << " t=" << t;
+      EXPECT_EQ(mem.PathLength(bidi.path), bidi.distance);
+    }
+
+    for (auto& finder : finders) {
+      PathQueryResult result;
+      Status st = finder->Find(s, t, &result);
+      ASSERT_TRUE(st.ok())
+          << AlgorithmName(finder->options().algorithm) << "/"
+          << SqlModeName(finder->options().sql_mode) << " s=" << s
+          << " t=" << t << ": " << st.ToString();
+      ASSERT_EQ(result.found, oracle.found)
+          << AlgorithmName(finder->options().algorithm) << "/"
+          << SqlModeName(finder->options().sql_mode) << " s=" << s
+          << " t=" << t;
+      if (!oracle.found) continue;
+      EXPECT_EQ(result.distance, oracle.distance)
+          << AlgorithmName(finder->options().algorithm) << "/"
+          << SqlModeName(finder->options().sql_mode) << " s=" << s
+          << " t=" << t;
+      EXPECT_EQ(mem.PathLength(result.path), result.distance)
+          << AlgorithmName(finder->options().algorithm)
+          << ": recovered path is not a real path of the reported length";
+    }
+
+    for (auto& finder : sql_finders) {
+      PathQueryResult result;
+      Status st = finder->Find(s, t, &result);
+      ASSERT_TRUE(st.ok()) << "sql/" << AlgorithmName(finder->options().algorithm)
+                           << " s=" << s << " t=" << t << ": "
+                           << st.ToString();
+      ASSERT_EQ(result.found, oracle.found)
+          << "sql/" << AlgorithmName(finder->options().algorithm) << " s=" << s
+          << " t=" << t;
+      if (!oracle.found) continue;
+      EXPECT_EQ(result.distance, oracle.distance)
+          << "sql/" << AlgorithmName(finder->options().algorithm) << " s=" << s
+          << " t=" << t;
+      EXPECT_EQ(mem.PathLength(result.path), result.distance)
+          << "sql/" << AlgorithmName(finder->options().algorithm);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphSweep, BidirectionalAgreeTest,
+                         ::testing::Values(uint64_t{1}, uint64_t{2},
+                                           uint64_t{3}, uint64_t{4},
+                                           uint64_t{5}),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace relgraph

@@ -175,7 +175,9 @@ TEST(DistPathFinderBasics, WorksWithSecondaryIndexStrategy) {
   ASSERT_TRUE(finder->Find(2, 90, &r).ok());
   MemPathResult oracle = mem.Dijkstra(2, 90);
   EXPECT_EQ(r.found, oracle.found);
-  if (oracle.found) EXPECT_EQ(r.distance, oracle.distance);
+  if (oracle.found) {
+    EXPECT_EQ(r.distance, oracle.distance);
+  }
 }
 
 }  // namespace

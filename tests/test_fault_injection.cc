@@ -80,7 +80,9 @@ TEST(FaultInjection, BufferPoolPropagatesWriteFaultOnEviction) {
     page_id_t id;
     Page* p;
     last = pool.NewPage(&id, &p);
-    if (last.ok()) ASSERT_TRUE(pool.UnpinPage(id, false).ok());
+    if (last.ok()) {
+      ASSERT_TRUE(pool.UnpinPage(id, false).ok());
+    }
   }
   EXPECT_TRUE(last.IsIOError()) << last.ToString();
 }

@@ -46,8 +46,12 @@ TEST(IntegrationTest, TwoGraphsAndManyFindersShareOneDatabase) {
     MemPathResult o2 = mem_b.Dijkstra(s2, t2);
     EXPECT_EQ(r1.found, o1.found);
     EXPECT_EQ(r2.found, o2.found);
-    if (o1.found) EXPECT_EQ(r1.distance, o1.distance);
-    if (o2.found) EXPECT_EQ(r2.distance, o2.distance);
+    if (o1.found) {
+      EXPECT_EQ(r1.distance, o1.distance);
+    }
+    if (o2.found) {
+      EXPECT_EQ(r2.distance, o2.distance);
+    }
   }
 }
 

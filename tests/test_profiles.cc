@@ -70,7 +70,9 @@ TEST(ProfileTest, SegTableBuildsOnPostgresProfile) {
   ASSERT_TRUE(finder->Find(0, 42, &result).ok());
   MemPathResult oracle = mem.Dijkstra(0, 42);
   EXPECT_EQ(result.found, oracle.found);
-  if (oracle.found) EXPECT_EQ(result.distance, oracle.distance);
+  if (oracle.found) {
+    EXPECT_EQ(result.distance, oracle.distance);
+  }
 }
 
 TEST(ProfileTest, FileBackedDatabaseWorksEndToEnd) {
@@ -90,7 +92,9 @@ TEST(ProfileTest, FileBackedDatabaseWorksEndToEnd) {
   ASSERT_TRUE(finder->Find(1, 97, &result).ok());
   MemPathResult oracle = mem.Dijkstra(1, 97);
   ASSERT_EQ(result.found, oracle.found);
-  if (oracle.found) EXPECT_EQ(result.distance, oracle.distance);
+  if (oracle.found) {
+    EXPECT_EQ(result.distance, oracle.distance);
+  }
   EXPECT_GT(result.stats.buffer_misses, 0);
   EXPECT_GT(db.disk()->stats().reads, 0);
 }
