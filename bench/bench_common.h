@@ -49,9 +49,29 @@ struct AvgResult {
   int total = 0;
 };
 
-/// Runs `pairs` through `finder` and averages the stats.
+/// Runs `pairs` through `finder` and averages the stats. When RELGRAPH_JSON
+/// is set, also appends one machine-readable record (see JsonRecord below).
 AvgResult RunQueries(PathFinder* finder,
                      const std::vector<std::pair<node_id_t, node_id_t>>& pairs);
+
+/// ----- machine-readable output ---------------------------------------------
+/// RELGRAPH_JSON=path enables a JSON sink: every RunQueries() call (and any
+/// explicit JsonRecord() call) appends one record, and the whole list is
+/// written to `path` as a JSON array when the process exits. CI uploads these
+/// files to track figure reproductions over time.
+
+/// True when RELGRAPH_JSON is set.
+bool JsonEnabled();
+
+/// Sticky context attached to every subsequent record until overwritten
+/// (benches call e.g. JsonContext("nodes", n) at the top of each data-point
+/// loop). Setting an existing key replaces its value.
+void JsonContext(const std::string& key, double value);
+
+/// Appends one record: the current experiment (from Banner), `label`
+/// (typically algorithm/sql-mode), the sticky context, and the averaged
+/// metrics. No-op unless RELGRAPH_JSON is set.
+void JsonRecord(const std::string& label, const AvgResult& avg);
 
 /// Convenience: build a GraphStore (+ optional SegTable) in a fresh
 /// Database and answer queries with one algorithm.

@@ -20,6 +20,7 @@ void Run() {
   const int64_t bases[] = {2000, 4000, 6000, 8000, 10000};
   for (size_t i = 0; i < 5; i++) {
     int64_t n = Scaled(bases[i]);
+    JsonContext("nodes", static_cast<double>(n));
     EdgeList list = GenerateBarabasiAlbert(n, 2, WeightRange{1, 100}, 100 + i);
     auto pairs = MakeQueryPairs(n, env.queries, 9000 + i);
 

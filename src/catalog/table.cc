@@ -1,8 +1,27 @@
 #include "src/catalog/table.h"
 
 #include <cassert>
+#include <cstring>
 
 namespace relgraph {
+
+namespace {
+
+/// 8-byte payload of a secondary index over a *clustered* table: the row's
+/// (unique) cluster key value.
+std::string EncodeClusterKey(int64_t key) {
+  std::string out(sizeof(int64_t), '\0');
+  std::memcpy(out.data(), &key, sizeof(int64_t));
+  return out;
+}
+
+int64_t DecodeClusterKey(std::string_view payload) {
+  int64_t key;
+  std::memcpy(&key, payload.data(), sizeof(int64_t));
+  return key;
+}
+
+}  // namespace
 
 size_t Table::FixedWidth(const Schema& schema) {
   size_t n = schema.NumColumns();
@@ -63,6 +82,7 @@ Status Table::Insert(const Tuple& tuple, RowRef* ref) {
     BtKey key{keyval.AsInt(), options_.cluster_unique ? 0 : next_tie_++};
     RELGRAPH_RETURN_IF_ERROR(clustered_.Insert(key, SerializeClustered(tuple),
                                                options_.cluster_unique));
+    RELGRAPH_RETURN_IF_ERROR(InsertClusteredIndexEntriesFor(tuple, key));
     num_rows_++;
     if (ref != nullptr) ref->key = key;
     return Status::OK();
@@ -107,10 +127,40 @@ Status Table::DeleteIndexEntriesFor(const Tuple& tuple, const Rid& rid) {
   return Status::OK();
 }
 
+// Secondary entries over a clustered table use the (unique) cluster key as
+// both the duplicate tiebreaker and the payload.
+Status Table::InsertClusteredIndexEntriesFor(const Tuple& tuple,
+                                             const BtKey& key) {
+  for (auto& idx : indexes_) {
+    const Value& v = tuple.value(idx.column_idx);
+    if (v.IsNull()) continue;
+    BtKey entry{v.AsInt(), idx.unique ? 0 : key.key};
+    RELGRAPH_RETURN_IF_ERROR(
+        idx.tree.Insert(entry, EncodeClusterKey(key.key), idx.unique));
+  }
+  return Status::OK();
+}
+
+Status Table::DeleteClusteredIndexEntriesFor(const Tuple& tuple,
+                                             const BtKey& key) {
+  for (auto& idx : indexes_) {
+    const Value& v = tuple.value(idx.column_idx);
+    if (v.IsNull()) continue;
+    BtKey entry{v.AsInt(), idx.unique ? 0 : key.key};
+    RELGRAPH_RETURN_IF_ERROR(idx.tree.Delete(entry));
+  }
+  return Status::OK();
+}
+
 Status Table::CreateSecondaryIndex(const std::string& column, bool unique) {
-  if (options_.storage == TableStorage::kClustered) {
+  if (options_.storage == TableStorage::kClustered &&
+      !options_.cluster_unique) {
     return Status::NotSupported(
-        "secondary indexes on clustered tables are not supported");
+        "secondary indexes on clustered tables require a unique cluster key");
+  }
+  if (options_.storage == TableStorage::kClustered &&
+      column == options_.cluster_key) {
+    return Status::AlreadyExists("cluster key already indexes " + column);
   }
   int idx = schema_.Find(column);
   if (idx < 0) return Status::InvalidArgument("no column " + column);
@@ -128,24 +178,41 @@ Status Table::CreateSecondaryIndex(const std::string& column, bool unique) {
   si.unique = unique;
   RELGRAPH_RETURN_IF_ERROR(BTree::Create(pool_, 8, &si.tree));
   // Backfill existing rows.
-  HeapFile::Iterator it = heap_.Scan();
-  Rid rid;
-  std::string record;
-  while (it.Next(&rid, &record)) {
-    Tuple tuple;
-    RELGRAPH_RETURN_IF_ERROR(Tuple::Deserialize(schema_, record, &tuple));
-    const Value& v = tuple.value(si.column_idx);
-    if (v.IsNull()) continue;
-    BtKey key{v.AsInt(), si.unique ? 0 : RidTie(rid)};
-    RELGRAPH_RETURN_IF_ERROR(si.tree.Insert(key, EncodeRid(rid), si.unique));
+  if (options_.storage == TableStorage::kClustered) {
+    BTree::Iterator it = clustered_.ScanAll();
+    BtKey key;
+    std::string record;
+    while (it.Next(&key, &record)) {
+      Tuple tuple;
+      RELGRAPH_RETURN_IF_ERROR(Tuple::Deserialize(schema_, record, &tuple));
+      const Value& v = tuple.value(si.column_idx);
+      if (v.IsNull()) continue;
+      BtKey entry{v.AsInt(), si.unique ? 0 : key.key};
+      RELGRAPH_RETURN_IF_ERROR(
+          si.tree.Insert(entry, EncodeClusterKey(key.key), si.unique));
+    }
+    RELGRAPH_RETURN_IF_ERROR(it.status());
+  } else {
+    HeapFile::Iterator it = heap_.Scan();
+    Rid rid;
+    std::string record;
+    while (it.Next(&rid, &record)) {
+      Tuple tuple;
+      RELGRAPH_RETURN_IF_ERROR(Tuple::Deserialize(schema_, record, &tuple));
+      const Value& v = tuple.value(si.column_idx);
+      if (v.IsNull()) continue;
+      BtKey key{v.AsInt(), si.unique ? 0 : RidTie(rid)};
+      RELGRAPH_RETURN_IF_ERROR(si.tree.Insert(key, EncodeRid(rid), si.unique));
+    }
   }
   indexes_.push_back(std::move(si));
   return Status::OK();
 }
 
 bool Table::HasIndexOn(const std::string& column) const {
-  if (options_.storage == TableStorage::kClustered) {
-    return column == options_.cluster_key;
+  if (options_.storage == TableStorage::kClustered &&
+      column == options_.cluster_key) {
+    return true;
   }
   for (const auto& idx : indexes_) {
     if (idx.column == column) return true;
@@ -155,8 +222,10 @@ bool Table::HasIndexOn(const std::string& column) const {
 
 Status Table::LookupUnique(const std::string& column, int64_t key, Tuple* out,
                            RowRef* ref) {
-  if (options_.storage == TableStorage::kClustered) {
-    if (column != options_.cluster_key || !options_.cluster_unique) {
+  access_stats_.point_lookups++;
+  if (options_.storage == TableStorage::kClustered &&
+      column == options_.cluster_key) {
+    if (!options_.cluster_unique) {
       return Status::InvalidArgument("no unique access path on " + column);
     }
     BtKey k{key, 0};
@@ -173,6 +242,14 @@ Status Table::LookupUnique(const std::string& column, int64_t key, Tuple* out,
     }
     std::string payload;
     RELGRAPH_RETURN_IF_ERROR(idx.tree.SearchExact(BtKey{key, 0}, &payload));
+    if (options_.storage == TableStorage::kClustered) {
+      BtKey k{DecodeClusterKey(payload), 0};
+      std::string record;
+      RELGRAPH_RETURN_IF_ERROR(clustered_.SearchExact(k, &record));
+      RELGRAPH_RETURN_IF_ERROR(Tuple::Deserialize(schema_, record, out));
+      if (ref != nullptr) ref->key = k;
+      return Status::OK();
+    }
     Rid rid = DecodeRid(payload);
     std::string record;
     RELGRAPH_RETURN_IF_ERROR(heap_.Get(rid, &record));
@@ -191,6 +268,31 @@ Status Table::UpdateRow(const RowRef& ref, const Tuple& tuple) {
     const Value& keyval = tuple.value(cluster_key_idx_);
     if (keyval.IsNull() || keyval.AsInt() != ref.key.key) {
       return Status::NotSupported("cluster key is immutable under update");
+    }
+    if (!indexes_.empty()) {
+      // Read the old row so secondary entries whose key changed move.
+      std::string old_payload;
+      RELGRAPH_RETURN_IF_ERROR(clustered_.SearchExact(ref.key, &old_payload));
+      Tuple old_tuple;
+      RELGRAPH_RETURN_IF_ERROR(
+          Tuple::Deserialize(schema_, old_payload, &old_tuple));
+      RELGRAPH_RETURN_IF_ERROR(
+          clustered_.UpdatePayload(ref.key, SerializeClustered(tuple)));
+      for (auto& idx : indexes_) {
+        const Value& oldv = old_tuple.value(idx.column_idx);
+        const Value& newv = tuple.value(idx.column_idx);
+        if (oldv.Compare(newv) == 0) continue;
+        if (!oldv.IsNull()) {
+          BtKey entry{oldv.AsInt(), idx.unique ? 0 : ref.key.key};
+          RELGRAPH_RETURN_IF_ERROR(idx.tree.Delete(entry));
+        }
+        if (!newv.IsNull()) {
+          BtKey entry{newv.AsInt(), idx.unique ? 0 : ref.key.key};
+          RELGRAPH_RETURN_IF_ERROR(idx.tree.Insert(
+              entry, EncodeClusterKey(ref.key.key), idx.unique));
+        }
+      }
+      return Status::OK();
     }
     return clustered_.UpdatePayload(ref.key, SerializeClustered(tuple));
   }
@@ -231,6 +333,14 @@ Status Table::UpdateRow(const RowRef& ref, const Tuple& tuple) {
 
 Status Table::DeleteRow(const RowRef& ref) {
   if (options_.storage == TableStorage::kClustered) {
+    if (!indexes_.empty()) {
+      std::string payload;
+      RELGRAPH_RETURN_IF_ERROR(clustered_.SearchExact(ref.key, &payload));
+      Tuple tuple;
+      RELGRAPH_RETURN_IF_ERROR(Tuple::Deserialize(schema_, payload, &tuple));
+      RELGRAPH_RETURN_IF_ERROR(
+          DeleteClusteredIndexEntriesFor(tuple, ref.key));
+    }
     RELGRAPH_RETURN_IF_ERROR(clustered_.Delete(ref.key));
     num_rows_--;
     return Status::OK();
@@ -248,6 +358,7 @@ Status Table::DeleteRow(const RowRef& ref) {
 Table::Iterator Table::Scan() {
   Iterator it;
   it.table_ = this;
+  it.full_scan_ = true;
   if (options_.storage == TableStorage::kClustered) {
     it.kind_ = Iterator::Kind::kClustered;
     it.bt_it_ = clustered_.ScanAll();
@@ -261,11 +372,9 @@ Table::Iterator Table::Scan() {
 Status Table::ScanRange(const std::string& column, int64_t lo, int64_t hi,
                         Iterator* out) {
   out->table_ = this;
-  if (options_.storage == TableStorage::kClustered) {
-    if (column != options_.cluster_key) {
-      return Status::InvalidArgument("clustered table has no index on " +
-                                     column);
-    }
+  out->full_scan_ = false;
+  if (options_.storage == TableStorage::kClustered &&
+      column == options_.cluster_key) {
     out->kind_ = Iterator::Kind::kClustered;
     out->bt_it_ = clustered_.Scan(lo, hi);
     return Status::OK();
@@ -290,6 +399,7 @@ bool Table::Iterator::Next(Tuple* tuple, RowRef* ref) {
       status_ = Tuple::Deserialize(table_->schema_, buffer_, tuple);
       if (!status_.ok()) return false;
       if (ref != nullptr) ref->rid = rid;
+      table_->access_stats_.full_scan_rows++;
       return true;
     }
     case Kind::kClustered: {
@@ -301,6 +411,8 @@ bool Table::Iterator::Next(Tuple* tuple, RowRef* ref) {
       status_ = Tuple::Deserialize(table_->schema_, buffer_, tuple);
       if (!status_.ok()) return false;
       if (ref != nullptr) ref->key = key;
+      (full_scan_ ? table_->access_stats_.full_scan_rows
+                  : table_->access_stats_.index_scan_rows)++;
       return true;
     }
     case Kind::kSecondary: {
@@ -310,12 +422,24 @@ bool Table::Iterator::Next(Tuple* tuple, RowRef* ref) {
         status_ = bt_it_.status();
         return false;
       }
+      if (table_->options_.storage == TableStorage::kClustered) {
+        // Payload names the row's cluster key; fetch it from the base tree.
+        BtKey base{DecodeClusterKey(payload), 0};
+        status_ = table_->clustered_.SearchExact(base, &buffer_);
+        if (!status_.ok()) return false;
+        status_ = Tuple::Deserialize(table_->schema_, buffer_, tuple);
+        if (!status_.ok()) return false;
+        if (ref != nullptr) ref->key = base;
+        table_->access_stats_.index_scan_rows++;
+        return true;
+      }
       Rid rid = DecodeRid(payload);
       status_ = table_->heap_.Get(rid, &buffer_);
       if (!status_.ok()) return false;
       status_ = Tuple::Deserialize(table_->schema_, buffer_, tuple);
       if (!status_.ok()) return false;
       if (ref != nullptr) ref->rid = rid;
+      table_->access_stats_.index_scan_rows++;
       return true;
     }
   }
@@ -326,10 +450,11 @@ Status Table::Truncate() {
   num_rows_ = 0;
   next_tie_ = 1;
   if (options_.storage == TableStorage::kClustered) {
-    return BTree::Create(pool_, static_cast<uint16_t>(fixed_width_),
-                         &clustered_);
+    RELGRAPH_RETURN_IF_ERROR(BTree::Create(
+        pool_, static_cast<uint16_t>(fixed_width_), &clustered_));
+  } else {
+    RELGRAPH_RETURN_IF_ERROR(HeapFile::Create(pool_, &heap_));
   }
-  RELGRAPH_RETURN_IF_ERROR(HeapFile::Create(pool_, &heap_));
   for (auto& idx : indexes_) {
     RELGRAPH_RETURN_IF_ERROR(BTree::Create(pool_, 8, &idx.tree));
   }

@@ -37,6 +37,15 @@ struct RowRef {
   BtKey key;    // clustered storage
 };
 
+/// Row-access accounting, split by access path. The FEM hot-loop work is
+/// asserted scan-free against these counters (no full-table row reads in the
+/// auxiliary statements), and benches can report physical row traffic.
+struct TableAccessStats {
+  int64_t full_scan_rows = 0;   // rows produced by Scan()
+  int64_t index_scan_rows = 0;  // rows produced by ScanRange()
+  int64_t point_lookups = 0;    // LookupUnique() probes
+};
+
 /// A relational table: schema + physical storage + secondary indexes.
 /// Indexed columns must be INT (node ids, distances, flags — everything the
 /// graph workloads index). All mutations keep secondary indexes consistent.
@@ -56,6 +65,11 @@ class Table {
 
   /// Builds a non-clustered B+-tree on `column` (must be INT). Existing rows
   /// are indexed immediately. `unique` rejects duplicates.
+  ///
+  /// Heap tables index `column -> RID`. Clustered tables (which must have a
+  /// *unique* cluster key) index `column -> cluster key`, so an index probe
+  /// costs one extra tree descent — the classic secondary-on-clustered
+  /// layout. All mutations keep both kinds consistent.
   Status CreateSecondaryIndex(const std::string& column, bool unique);
 
   /// True when lookups on `column` can use an index (secondary or cluster).
@@ -84,6 +98,7 @@ class Table {
     enum class Kind { kHeap, kClustered, kSecondary };
     Table* table_ = nullptr;
     Kind kind_ = Kind::kHeap;
+    bool full_scan_ = false;  // Scan() vs ScanRange(), for access stats
     HeapFile::Iterator heap_it_;
     BTree::Iterator bt_it_;
     Status status_;
@@ -101,6 +116,9 @@ class Table {
   /// Serialized width of this table's rows, if fixed (no VARCHAR columns).
   static size_t FixedWidth(const Schema& schema);
 
+  const TableAccessStats& access_stats() const { return access_stats_; }
+  void ResetAccessStats() { access_stats_ = TableAccessStats{}; }
+
  private:
   Table() = default;
 
@@ -113,6 +131,8 @@ class Table {
 
   Status InsertIndexEntriesFor(const Tuple& tuple, const Rid& rid);
   Status DeleteIndexEntriesFor(const Tuple& tuple, const Rid& rid);
+  Status InsertClusteredIndexEntriesFor(const Tuple& tuple, const BtKey& key);
+  Status DeleteClusteredIndexEntriesFor(const Tuple& tuple, const BtKey& key);
   std::string SerializeClustered(const Tuple& tuple) const;
   static int64_t RidTie(const Rid& rid) {
     return (static_cast<int64_t>(rid.page_id) << 16) |
@@ -130,6 +150,7 @@ class Table {
   BTree clustered_;
   std::vector<SecondaryIndex> indexes_;
   int64_t num_rows_ = 0;
+  TableAccessStats access_stats_;
 };
 
 }  // namespace relgraph

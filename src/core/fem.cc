@@ -32,23 +32,21 @@ FemEngine::FemEngine(Database* db, VisitedTable* visited, SqlMode mode)
 
 // --------------------------------------------------------------- F-operator
 
-Status FemEngine::MarkFrontier(const DirCols& dir, ExprRef frontier_pred,
+Status FemEngine::MarkFrontier(const DirCols& dir, const FrontierSpec& spec,
                                int64_t* marked) {
   ScopedTimer timer(&stats_.f_operator_us);
+  ExprRef frontier_pred = spec.ToPredicate(dir);
   db_->RecordStatement("UPDATE " + visited_->table()->name() + " SET " +
                        dir.flag + "=2 WHERE " + dir.flag + "=0 AND " +
                        dir.dist + "<Max" +
                        (frontier_pred != nullptr
                             ? " AND " + frontier_pred->ToString()
                             : std::string()));
-  // flag=0 AND dist < infinity AND <caller predicate>. The reachability
-  // conjunct keeps rows seeded by the opposite direction (dist = infinity)
-  // out of this direction's frontier.
-  ExprRef pred = And(ColEq(dir.flag, 0),
-                     Cmp(CompareOp::kLt, Col(dir.dist), Lit(kInfinity)));
-  if (frontier_pred != nullptr) pred = And(std::move(pred), frontier_pred);
-  return UpdateWhere(visited_->table(), pred, {{dir.flag, Lit(int64_t{2})}},
-                     marked);
+  // flag=0 AND dist < infinity AND <spec>. The reachability conjunct keeps
+  // rows seeded by the opposite direction (dist = infinity) out of this
+  // direction's frontier. VisitedTable routes the update through the nid or
+  // dist index when the strategy provides one.
+  return visited_->MarkFrontier(dir, spec, marked);
 }
 
 Status FemEngine::FinalizeFrontier(const DirCols& dir) {
@@ -56,11 +54,13 @@ Status FemEngine::FinalizeFrontier(const DirCols& dir) {
   db_->RecordStatement("UPDATE " + visited_->table()->name() + " SET " +
                        dir.flag + "=1 WHERE " + dir.flag + "=2");
   int64_t affected;
-  return UpdateWhere(visited_->table(), ColEq(dir.flag, 2),
-                     {{dir.flag, Lit(int64_t{1})}}, &affected);
+  return visited_->FinalizeFrontier(dir, &affected);
 }
 
 // ----------------------------------------------------- auxiliary statements
+// The statements' SQL text is unchanged; their results now come from
+// VisitedTable's incremental aggregates (plus, for the TOP-1 row fetch, a
+// dist-index probe), so none of them scans TVisited any more.
 
 Status FemEngine::PickMid(const DirCols& dir, node_id_t* mid, bool* found) {
   ScopedTimer timer(&stats_.aux_us);
@@ -70,28 +70,11 @@ Status FemEngine::PickMid(const DirCols& dir, node_id_t* mid, bool* found) {
                        visited_->table()->name() + " WHERE " + dir.flag +
                        "=0)");
   *found = false;
-  ExprRef open = And(ColEq(dir.flag, 0),
-                     Cmp(CompareOp::kLt, Col(dir.dist), Lit(kInfinity)));
   // Inner subquery: SELECT MIN(dist) WHERE f=0.
-  Value min_dist;
-  {
-    FilterExecutor plan(std::make_unique<SeqScanExecutor>(visited_->table()),
-                        open);
-    RELGRAPH_RETURN_IF_ERROR(
-        EvalScalarAggregate(&plan, AggOp::kMin, Col(dir.dist), &min_dist));
-  }
-  if (min_dist.IsNull()) return Status::OK();
+  weight_t min_dist = visited_->MinOpenDist(dir);
+  if (min_dist >= kInfinity) return Status::OK();
   // Outer query: SELECT TOP 1 nid WHERE f=0 AND dist = :min.
-  FilterExecutor plan(
-      std::make_unique<SeqScanExecutor>(visited_->table()),
-      And(open, Cmp(CompareOp::kEq, Col(dir.dist), Lit(min_dist.AsInt()))));
-  RELGRAPH_RETURN_IF_ERROR(plan.Init());
-  Tuple t;
-  if (plan.Next(&t)) {
-    *mid = t.value(visited_->table()->schema().IndexOf("nid")).AsInt();
-    *found = true;
-  }
-  return plan.status();
+  return visited_->FirstOpenAt(dir, min_dist, mid, found);
 }
 
 Status FemEngine::MinOpenDistance(const DirCols& dir, weight_t* out) {
@@ -99,14 +82,7 @@ Status FemEngine::MinOpenDistance(const DirCols& dir, weight_t* out) {
   db_->RecordStatement("SELECT MIN(" + dir.dist + ") FROM " +
                        visited_->table()->name() + " WHERE " + dir.flag +
                        "=0");
-  FilterExecutor plan(
-      std::make_unique<SeqScanExecutor>(visited_->table()),
-      And(ColEq(dir.flag, 0),
-          Cmp(CompareOp::kLt, Col(dir.dist), Lit(kInfinity))));
-  Value v;
-  RELGRAPH_RETURN_IF_ERROR(
-      EvalScalarAggregate(&plan, AggOp::kMin, Col(dir.dist), &v));
-  *out = v.IsNull() ? kInfinity : v.AsInt();
+  *out = visited_->MinOpenDist(dir);
   return Status::OK();
 }
 
@@ -114,11 +90,7 @@ Status FemEngine::MinCost(weight_t* out) {
   ScopedTimer timer(&stats_.aux_us);
   db_->RecordStatement("SELECT MIN(d2s+d2t) FROM " +
                        visited_->table()->name());
-  SeqScanExecutor plan(visited_->table());
-  Value v;
-  RELGRAPH_RETURN_IF_ERROR(EvalScalarAggregate(
-      &plan, AggOp::kMin, Add(Col("d2s"), Col("d2t")), &v));
-  *out = v.IsNull() ? kInfinity : v.AsInt();
+  *out = visited_->MinPathCost();
   return Status::OK();
 }
 
@@ -144,14 +116,7 @@ Status FemEngine::CountOpen(const DirCols& dir, int64_t* out) {
   ScopedTimer timer(&stats_.aux_us);
   db_->RecordStatement("SELECT COUNT(*) FROM " + visited_->table()->name() +
                        " WHERE " + dir.flag + "=0");
-  FilterExecutor plan(
-      std::make_unique<SeqScanExecutor>(visited_->table()),
-      And(ColEq(dir.flag, 0),
-          Cmp(CompareOp::kLt, Col(dir.dist), Lit(kInfinity))));
-  Value v;
-  RELGRAPH_RETURN_IF_ERROR(
-      EvalScalarAggregate(&plan, AggOp::kCount, nullptr, &v));
-  *out = v.AsInt();
+  *out = visited_->OpenCount(dir);
   return Status::OK();
 }
 
@@ -159,10 +124,9 @@ Status FemEngine::CountOpen(const DirCols& dir, int64_t* out) {
 
 ExecRef FemEngine::BuildJoinProject(const DirCols& dir, const EdgeRelation& rel,
                                     weight_t opposite_l, weight_t min_cost) {
-  // Frontier: SELECT * FROM TVisited WHERE flag = 2.
-  ExecRef frontier = std::make_unique<FilterExecutor>(
-      std::make_unique<SeqScanExecutor>(visited_->table()),
-      ColEq(dir.flag, 2));
+  // Frontier: SELECT * FROM TVisited WHERE flag = 2 — an index range probe
+  // on the flag column under Index/CluIndex, a filtered scan under NoIndex.
+  ExecRef frontier = visited_->FrontierScan(dir);
 
   // Theorem-1 pruning: dist + cost + l_opposite < minCost. Inactive while
   // no s-t path is known (min_cost = kInfinity dwarfs any real sum).
@@ -235,15 +199,17 @@ Status FemEngine::BuildExpansionTsql(const DirCols& dir,
   ExecRef again = BuildJoinProject(dir, rel, opposite_l, min_cost);
   RELGRAPH_RETURN_IF_ERROR(again->Init());
   std::map<int64_t, Tuple> best;
-  Tuple t;
-  while (again->Next(&t)) {
-    int64_t nid = t.value(0).AsInt();
-    weight_t cost = t.value(1).AsInt();
-    auto it = min_by_node.find(nid);
-    if (it == min_by_node.end() || cost != it->second) continue;
-    auto [pos, inserted] = best.try_emplace(nid, t);
-    if (!inserted && t.value(2).AsInt() < pos->second.value(2).AsInt()) {
-      pos->second = t;
+  std::vector<Tuple> batch;
+  while (again->NextBatch(&batch)) {
+    for (Tuple& t : batch) {
+      int64_t nid = t.value(0).AsInt();
+      weight_t cost = t.value(1).AsInt();
+      auto it = min_by_node.find(nid);
+      if (it == min_by_node.end() || cost != it->second) continue;
+      auto [pos, inserted] = best.try_emplace(nid, t);
+      if (!inserted && t.value(2).AsInt() < pos->second.value(2).AsInt()) {
+        pos->second = std::move(t);
+      }
     }
   }
   RELGRAPH_RETURN_IF_ERROR(again->status());
@@ -260,6 +226,7 @@ Status FemEngine::MergeNsql(const DirCols& dir, std::vector<Tuple> rows,
   MergeSpec spec;
   spec.target_key_column = "nid";
   spec.source_key_column = "nid";
+  spec.observer = visited_->ChangeObserver();
   spec.matched_condition =
       Cmp(CompareOp::kGt, Col("t." + dir.dist), Col("s.cost"));
   spec.matched_sets = {{dir.dist, Col("s.cost")},
@@ -293,6 +260,7 @@ Status FemEngine::MergeTsql(const DirCols& dir, std::vector<Tuple> rows,
     MergeSpec spec;
     spec.target_key_column = "nid";
     spec.source_key_column = "nid";
+    spec.observer = visited_->ChangeObserver();
     spec.matched_condition =
         Cmp(CompareOp::kGt, Col("t." + dir.dist), Col("s.cost"));
     spec.matched_sets = {{dir.dist, Col("s.cost")},
@@ -311,6 +279,7 @@ Status FemEngine::MergeTsql(const DirCols& dir, std::vector<Tuple> rows,
     MergeSpec spec;
     spec.target_key_column = "nid";
     spec.source_key_column = "nid";
+    spec.observer = visited_->ChangeObserver();
     if (dir.forward) {
       spec.insert_values = {Col("nid"),        Col("cost"),
                             Col("pid"),        Col("aid"),
@@ -371,6 +340,21 @@ Status FemEngine::ExpandAndMerge(const DirCols& dir, const EdgeRelation& rel,
   }
   ScopedTimer timer(&stats_.m_operator_us);
   if (merge_m) {
+    return MergeNsql(dir, std::move(rows), affected);
+  }
+  return MergeTsql(dir, std::move(rows), affected);
+}
+
+Status FemEngine::MergeExpansion(const DirCols& dir, std::vector<Tuple> rows,
+                                 int64_t* affected) {
+  db_->RecordStatement(
+      "MERGE " + visited_->table()->name() +
+      " AS target USING ek AS source ON source.nid=target.nid WHEN MATCHED "
+      "AND target." + dir.dist + ">source.cost THEN UPDATE SET " + dir.dist +
+      "=source.cost," + dir.pred + "=source.pid," + dir.flag +
+      "=0 WHEN NOT MATCHED THEN INSERT ...");
+  ScopedTimer timer(&stats_.m_operator_us);
+  if (mode_ == SqlMode::kNsql && db_->SupportsMerge()) {
     return MergeNsql(dir, std::move(rows), affected);
   }
   return MergeTsql(dir, std::move(rows), affected);

@@ -45,11 +45,14 @@ class FemEngine {
   FemStats& stats() { return stats_; }
 
   // ----- F-operator and its auxiliary statements -------------------------
+  // Each method records the same SQL statement text as ever (the Listings);
+  // what changed is the physical plan behind it: frontier updates run
+  // through VisitedTable's indexed access paths, and the scalar probes read
+  // VisitedTable's incrementally-maintained aggregates instead of scanning.
 
   /// Listing 4(1) generalized: UPDATE TVisited SET flag=2 WHERE flag=0 AND
-  /// `frontier_pred` (evaluated over the TVisited schema). Returns the
-  /// number of frontier nodes marked.
-  Status MarkFrontier(const DirCols& dir, ExprRef frontier_pred,
+  /// dist<Max AND `spec`. Returns the number of frontier nodes marked.
+  Status MarkFrontier(const DirCols& dir, const FrontierSpec& spec,
                       int64_t* marked);
 
   /// Listing 4(3): UPDATE TVisited SET flag=1 WHERE flag=2.
@@ -61,16 +64,17 @@ class FemEngine {
   Status PickMid(const DirCols& dir, node_id_t* mid, bool* found);
 
   /// Listing 4(4): SELECT MIN(dist) FROM TVisited WHERE flag=0.
-  /// Returns kInfinity when no candidate remains.
+  /// Returns kInfinity when no candidate remains. O(1).
   Status MinOpenDistance(const DirCols& dir, weight_t* out);
 
-  /// Listing 4(5): SELECT MIN(d2s+d2t) FROM TVisited.
+  /// Listing 4(5): SELECT MIN(d2s+d2t) FROM TVisited. O(1).
   Status MinCost(weight_t* out);
 
   /// Listing 4(6): SELECT nid FROM TVisited WHERE d2s+d2t = :min_cost.
   Status MeetingNode(weight_t min_cost, node_id_t* out);
 
   /// SELECT COUNT(*) FROM TVisited WHERE flag=0 (direction-choice probe).
+  /// O(1).
   Status CountOpen(const DirCols& dir, int64_t* out);
 
   // ----- E + M ------------------------------------------------------------
@@ -87,6 +91,13 @@ class FemEngine {
   /// also the automatic fallback when the engine profile lacks MERGE.
   Status ExpandAndMerge(const DirCols& dir, const EdgeRelation& rel,
                         weight_t opposite_l, weight_t min_cost,
+                        int64_t* affected);
+
+  /// M-operator alone: merges pre-built expansion rows (ExpansionSchema)
+  /// into TVisited, honoring the mode/profile plan choice. The distributed
+  /// coordinator uses this — its E-operator join runs remotely on the
+  /// shards, which ship back the expansion rows.
+  Status MergeExpansion(const DirCols& dir, std::vector<Tuple> rows,
                         int64_t* affected);
 
  private:

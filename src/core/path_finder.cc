@@ -130,8 +130,8 @@ Status PathFinder::RunDj(node_id_t s, node_id_t t, PathQueryResult* result) {
     if (!have_mid) return Status::OK();  // search space exhausted: no path
 
     int64_t marked, affected;
-    RELGRAPH_RETURN_IF_ERROR(fem_->MarkFrontier(fwd, ColEq("nid", mid),
-                                                &marked));
+    RELGRAPH_RETURN_IF_ERROR(
+        fem_->MarkFrontier(fwd, FrontierSpec::Node(mid), &marked));
     RELGRAPH_RETURN_IF_ERROR(fem_->ExpandAndMerge(fwd, RelFor(fwd),
                                                   /*opposite_l=*/0, kInfinity,
                                                   &affected));
@@ -189,8 +189,8 @@ Status PathFinder::RunBdj(node_id_t s, node_id_t t, PathQueryResult* result) {
       return Status::OK();
     }
     int64_t marked, affected;
-    RELGRAPH_RETURN_IF_ERROR(fem_->MarkFrontier(dir, ColEq("nid", mid),
-                                                &marked));
+    RELGRAPH_RETURN_IF_ERROR(
+        fem_->MarkFrontier(dir, FrontierSpec::Node(mid), &marked));
     RELGRAPH_RETURN_IF_ERROR(fem_->ExpandAndMerge(
         dir, RelFor(dir), options_.disable_pruning ? 0 : (go_forward ? lb : lf),
         options_.disable_pruning ? kInfinity : min_cost, &affected));
@@ -239,25 +239,23 @@ Status PathFinder::RunSetBidirectional(node_id_t s, node_id_t t,
       return Status::OK();
     }
 
-    ExprRef frontier_pred;
+    FrontierSpec frontier_spec;
     switch (options_.algorithm) {
       case Algorithm::kBSDJ:
-        frontier_pred = Cmp(CompareOp::kEq, Col(dir.dist), Lit(m));
+        frontier_spec = FrontierSpec::DistEq(m);
         break;
       case Algorithm::kBBFS:
-        frontier_pred = nullptr;  // every candidate expands
+        frontier_spec = FrontierSpec::All();  // every candidate expands
         break;
       case Algorithm::kBSEG:
-        frontier_pred =
-            Or(Cmp(CompareOp::kLe, Col(dir.dist), Lit(round * lthd)),
-               Cmp(CompareOp::kEq, Col(dir.dist), Lit(m)));
+        frontier_spec = FrontierSpec::DistOr(round * lthd, m);
         break;
       default:
         return Status::Internal("unexpected algorithm in set loop");
     }
 
     int64_t marked, affected;
-    RELGRAPH_RETURN_IF_ERROR(fem_->MarkFrontier(dir, frontier_pred, &marked));
+    RELGRAPH_RETURN_IF_ERROR(fem_->MarkFrontier(dir, frontier_spec, &marked));
     if (marked == 0) {
       result->found = min_cost < kInfinity;
       result->distance = min_cost;

@@ -45,6 +45,22 @@ Status SqlPathFinder::Create(GraphStore* graph, SqlPathFinderOptions options,
          : "create table " + v +
                " (nid int, d2s int, p2s int, f int, d2t int, p2t int, b int) "
                "cluster by (nid) unique"));
+  // Physical tuning, once per working table: index the sign and distance
+  // columns so the frontier UPDATEs (`... where f = 2`, `... and d2s =
+  // (select min(d2s) ...)`) run as index probes — the planner's sargable
+  // conjunct extraction turns them into UpdateWhereIndexed plans.
+  {
+    std::vector<const char*> indexed = dj
+                                           ? std::vector<const char*>{"f",
+                                                                      "d2s"}
+                                           : std::vector<const char*>{
+                                                 "f", "b", "d2s", "d2t"};
+    for (const char* col : indexed) {
+      RELGRAPH_RETURN_IF_ERROR(finder->conn_->Execute(
+          "create index ix_" + v + "_" + col + " on " + v + " (" + col +
+          ")"));
+    }
+  }
 
   // Statement templates (the Listings, with :parameters where the paper has
   // client-side variables).

@@ -1,6 +1,8 @@
 #include "src/core/visited_table.h"
 
-#include "src/exec/expression.h"
+#include <algorithm>
+#include <utility>
+
 #include "src/exec/scan_executors.h"
 
 namespace relgraph {
@@ -17,7 +19,29 @@ Schema VisitedSchema() {
                  {"a2t", TypeId::kInt},
                  {"b", TypeId::kInt}});
 }
+
+/// flag = 0 AND dist < infinity — the open-candidate filter every frontier
+/// and auxiliary statement shares.
+ExprRef OpenPredicate(const DirCols& dir) {
+  return And(ColEq(dir.flag, 0),
+             Cmp(CompareOp::kLt, Col(dir.dist), Lit(kInfinity)));
+}
 }  // namespace
+
+ExprRef FrontierSpec::ToPredicate(const DirCols& dir) const {
+  switch (kind) {
+    case Kind::kAll:
+      return nullptr;
+    case Kind::kNode:
+      return ColEq("nid", node);
+    case Kind::kDistEq:
+      return Cmp(CompareOp::kEq, Col(dir.dist), Lit(level));
+    case Kind::kDistOr:
+      return Or(Cmp(CompareOp::kLe, Col(dir.dist), Lit(bound)),
+                Cmp(CompareOp::kEq, Col(dir.dist), Lit(level)));
+  }
+  return nullptr;
+}
 
 DirCols VisitedTable::ForwardCols() {
   return DirCols{"d2s", "p2s", "a2s", "f", /*forward=*/true};
@@ -46,35 +70,109 @@ Status VisitedTable::Create(Database* db, IndexStrategy strategy,
         vt->table_->CreateSecondaryIndex("nid", /*unique=*/true));
     vt->has_unique_index_ = true;
   }
+  // Index/CluIndex: give the F/E operators indexed access paths on the sign
+  // and distance columns, so frontier selection and the frontier scan read
+  // O(frontier) rows. NoIndex keeps the paper's scan-only physical design.
+  if (strategy != IndexStrategy::kNoIndex) {
+    for (const char* col : {"f", "b", "d2s", "d2t"}) {
+      RELGRAPH_RETURN_IF_ERROR(
+          vt->table_->CreateSecondaryIndex(col, /*unique=*/false));
+    }
+  }
+
+  const Schema& schema = vt->table_->schema();
+  vt->nid_idx_ = schema.IndexOf("nid");
+  vt->d2s_idx_ = schema.IndexOf("d2s");
+  vt->d2t_idx_ = schema.IndexOf("d2t");
+  vt->fwd_state_.dist_idx = vt->d2s_idx_;
+  vt->fwd_state_.flag_idx = schema.IndexOf("f");
+  vt->bwd_state_.dist_idx = vt->d2t_idx_;
+  vt->bwd_state_.flag_idx = schema.IndexOf("b");
   *out = std::move(vt);
   return Status::OK();
 }
 
+// -------------------------------------------------- incremental aggregates
+
+void VisitedTable::AccumulateSide(DirState* state, const Tuple* old_row,
+                                  const Tuple& new_row) {
+  auto is_open = [&](const Tuple& t, weight_t* dist) {
+    *dist = t.value(state->dist_idx).AsInt();
+    return t.value(state->flag_idx).AsInt() == 0 && *dist < kInfinity;
+  };
+  weight_t dist;
+  if (old_row != nullptr && is_open(*old_row, &dist)) {
+    auto it = state->open_dists.find(dist);
+    if (--it->second == 0) state->open_dists.erase(it);
+    state->open_count--;
+  }
+  if (is_open(new_row, &dist)) {
+    state->open_dists[dist]++;
+    state->open_count++;
+  }
+}
+
+void VisitedTable::OnRowChanged(const Tuple* old_row, const Tuple& new_row) {
+  AccumulateSide(&fwd_state_, old_row, new_row);
+  AccumulateSide(&bwd_state_, old_row, new_row);
+  weight_t sum =
+      new_row.value(d2s_idx_).AsInt() + new_row.value(d2t_idx_).AsInt();
+  if (sum < min_cost_) min_cost_ = sum;
+}
+
+RowChangeObserver VisitedTable::ChangeObserver() {
+  return [this](const Tuple* old_row, const Tuple& new_row) {
+    OnRowChanged(old_row, new_row);
+  };
+}
+
+weight_t VisitedTable::MinOpenDist(const DirCols& dir) const {
+  const DirState& state = StateFor(dir);
+  return state.open_dists.empty() ? kInfinity
+                                  : state.open_dists.begin()->first;
+}
+
+int64_t VisitedTable::OpenCount(const DirCols& dir) const {
+  return StateFor(dir).open_count;
+}
+
+// ------------------------------------------------------------ DML wrappers
+
 Status VisitedTable::Reset() {
   db_->RecordStatement();  // DELETE FROM TVisited
+  fwd_state_.open_dists.clear();
+  fwd_state_.open_count = 0;
+  bwd_state_.open_dists.clear();
+  bwd_state_.open_count = 0;
+  min_cost_ = kInfinity;
   return table_->Truncate();
 }
 
 Status VisitedTable::InsertSource(node_id_t s) {
   db_->RecordStatement();  // Listing 2(1)
-  return table_->Insert(Tuple({Value(s), Value(int64_t{0}), Value(s), Value(s),
-                               Value(int64_t{0}), Value(kInfinity),
-                               Value(kInvalidNode), Value(kInvalidNode),
-                               Value(int64_t{1})}));
+  Tuple row({Value(s), Value(int64_t{0}), Value(s), Value(s),
+             Value(int64_t{0}), Value(kInfinity), Value(kInvalidNode),
+             Value(kInvalidNode), Value(int64_t{1})});
+  RELGRAPH_RETURN_IF_ERROR(table_->Insert(row));
+  OnRowChanged(nullptr, row);
+  return Status::OK();
 }
 
 Status VisitedTable::InsertSourceAndTarget(node_id_t s, node_id_t t) {
   db_->RecordStatement();
-  RELGRAPH_RETURN_IF_ERROR(table_->Insert(
-      Tuple({Value(s), Value(int64_t{0}), Value(s), Value(s),
+  Tuple src({Value(s), Value(int64_t{0}), Value(s), Value(s),
              Value(int64_t{0}), Value(kInfinity), Value(kInvalidNode),
-             Value(kInvalidNode), Value(int64_t{0})})));
+             Value(kInvalidNode), Value(int64_t{0})});
+  RELGRAPH_RETURN_IF_ERROR(table_->Insert(src));
+  OnRowChanged(nullptr, src);
   if (t == s) return Status::OK();
   db_->RecordStatement();
-  return table_->Insert(Tuple({Value(t), Value(kInfinity), Value(kInvalidNode),
-                               Value(kInvalidNode), Value(int64_t{0}),
-                               Value(int64_t{0}), Value(t), Value(t),
-                               Value(int64_t{0})}));
+  Tuple tgt({Value(t), Value(kInfinity), Value(kInvalidNode),
+             Value(kInvalidNode), Value(int64_t{0}), Value(int64_t{0}),
+             Value(t), Value(t), Value(int64_t{0})});
+  RELGRAPH_RETURN_IF_ERROR(table_->Insert(tgt));
+  OnRowChanged(nullptr, tgt);
+  return Status::OK();
 }
 
 Status VisitedTable::GetRow(node_id_t nid, Tuple* out) {
@@ -93,6 +191,78 @@ Status VisitedTable::GetRow(node_id_t nid, Tuple* out) {
   }
   RELGRAPH_RETURN_IF_ERROR(plan.status());
   return Status::NotFound("node " + std::to_string(nid) + " not visited");
+}
+
+// --------------------------------------------------- frontier access paths
+
+Status VisitedTable::MarkFrontier(const DirCols& dir, const FrontierSpec& spec,
+                                  int64_t* marked) {
+  ExprRef pred = OpenPredicate(dir);
+  if (ExprRef extra = spec.ToPredicate(dir)) pred = And(std::move(pred), extra);
+  const std::vector<SetClause> sets = {{dir.flag, Lit(int64_t{2})}};
+  RowChangeObserver observer = ChangeObserver();
+  // Pick the cheapest access path that covers the spec; the residual
+  // predicate keeps every plan exactly equivalent to the full-scan UPDATE.
+  if (spec.kind == FrontierSpec::Kind::kNode &&
+      table_->HasIndexOn("nid")) {
+    return UpdateWhereIndexed(table_, "nid", spec.node, spec.node, pred, sets,
+                              marked, observer);
+  }
+  if (spec.kind == FrontierSpec::Kind::kDistEq &&
+      table_->HasIndexOn(dir.dist)) {
+    return UpdateWhereIndexed(table_, dir.dist, spec.level, spec.level, pred,
+                              sets, marked, observer);
+  }
+  if (spec.kind == FrontierSpec::Kind::kDistOr &&
+      table_->HasIndexOn(dir.dist)) {
+    return UpdateWhereIndexed(table_, dir.dist, 0,
+                              std::max(spec.bound, spec.level), pred, sets,
+                              marked, observer);
+  }
+  return UpdateWhere(table_, pred, sets, marked, observer);
+}
+
+Status VisitedTable::FinalizeFrontier(const DirCols& dir, int64_t* affected) {
+  const std::vector<SetClause> sets = {{dir.flag, Lit(int64_t{1})}};
+  RowChangeObserver observer = ChangeObserver();
+  if (table_->HasIndexOn(dir.flag)) {
+    return UpdateWhereIndexed(table_, dir.flag, 2, 2, ColEq(dir.flag, 2),
+                              sets, affected, observer);
+  }
+  return UpdateWhere(table_, ColEq(dir.flag, 2), sets, affected, observer);
+}
+
+Status VisitedTable::FirstOpenAt(const DirCols& dir, weight_t dist,
+                                 node_id_t* nid, bool* found) {
+  *found = false;
+  ExprRef pred = And(OpenPredicate(dir),
+                     Cmp(CompareOp::kEq, Col(dir.dist), Lit(dist)));
+  ExecRef source;
+  if (table_->HasIndexOn(dir.dist)) {
+    // Index order ties on scan position, so "first match" is the same row
+    // the filtered full scan would return.
+    source = std::make_unique<IndexRangeScanExecutor>(table_, dir.dist, dist,
+                                                      dist);
+  } else {
+    source = std::make_unique<SeqScanExecutor>(table_);
+  }
+  FilterExecutor plan(std::move(source), std::move(pred));
+  RELGRAPH_RETURN_IF_ERROR(plan.Init());
+  Tuple t;
+  if (plan.Next(&t)) {
+    *nid = t.value(nid_idx_).AsInt();
+    *found = true;
+    return Status::OK();
+  }
+  return plan.status();
+}
+
+ExecRef VisitedTable::FrontierScan(const DirCols& dir) const {
+  if (table_->HasIndexOn(dir.flag)) {
+    return std::make_unique<IndexRangeScanExecutor>(table_, dir.flag, 2, 2);
+  }
+  return std::make_unique<FilterExecutor>(
+      std::make_unique<SeqScanExecutor>(table_), ColEq(dir.flag, 2));
 }
 
 }  // namespace relgraph

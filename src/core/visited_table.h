@@ -1,9 +1,14 @@
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/db/database.h"
+#include "src/exec/dml_executors.h"
+#include "src/exec/executor.h"
+#include "src/exec/expression.h"
 #include "src/graph/graph_store.h"
 
 namespace relgraph {
@@ -19,6 +24,40 @@ struct DirCols {
   bool forward = true;
 };
 
+/// Structured form of the F-operator's frontier-selection conjunct (the part
+/// of Listing 4(1)'s WHERE beyond `flag = 0 AND dist < Max`). Keeping it
+/// structured — rather than an opaque expression — lets VisitedTable choose
+/// an indexed access path (a dist-index or nid-index probe) while
+/// ToPredicate() still yields the exact SQL text and fallback plan.
+struct FrontierSpec {
+  enum class Kind {
+    kAll,     // every open candidate (BBFS)
+    kNode,    // nid = node (DJ / BDJ: one node at a time)
+    kDistEq,  // dist = level (BSDJ: the minimum-distance set)
+    kDistOr,  // dist <= bound OR dist = level (BSEG selective expansion)
+  };
+  Kind kind = Kind::kAll;
+  node_id_t node = kInvalidNode;
+  weight_t level = 0;
+  weight_t bound = 0;
+
+  static FrontierSpec All() { return {}; }
+  static FrontierSpec Node(node_id_t n) {
+    return {Kind::kNode, n, 0, 0};
+  }
+  static FrontierSpec DistEq(weight_t level) {
+    return {Kind::kDistEq, kInvalidNode, level, 0};
+  }
+  static FrontierSpec DistOr(weight_t bound, weight_t level) {
+    return {Kind::kDistOr, kInvalidNode, level, bound};
+  }
+
+  /// The conjunct as an expression over the TVisited schema; nullptr for
+  /// kAll. Identical tree shape to what the algorithms historically built,
+  /// so recorded SQL text is unchanged.
+  ExprRef ToPredicate(const DirCols& dir) const;
+};
+
 /// The TVisited working table of the paper (§3.3), extended per §4.1 with
 /// the backward-direction columns and, beyond the paper, with per-direction
 /// *anchor* columns (a2s/a2t). The paper stores only the immediate
@@ -30,6 +69,16 @@ struct DirCols {
 ///
 /// Schema: (nid, d2s, p2s, a2s, f, d2t, p2t, a2t, b) — all INT, so rows are
 /// fixed-width and update in place.
+///
+/// Beyond storage, this class owns TVisited's *access paths*:
+///  - under the Index/CluIndex strategies the flag and dist columns carry
+///    secondary B+-trees, so frontier selection, finalization, and the
+///    E-operator's frontier scan touch O(frontier) rows instead of O(|V|);
+///  - the aggregates the auxiliary statements read (open count, min open
+///    dist, min d2s+d2t) are maintained incrementally on every insert,
+///    frontier update, and merge, making those statements O(1). Every
+///    mutation must therefore flow through this class (or a DML statement
+///    carrying ChangeObserver()); callers never update the table directly.
 class VisitedTable {
  public:
   static Status Create(Database* db, IndexStrategy strategy, std::string name,
@@ -56,12 +105,78 @@ class VisitedTable {
 
   int64_t num_rows() const { return table_->num_rows(); }
 
+  // ----- incremental aggregates ------------------------------------------
+  // Exact at all times; "open" means flag = 0 AND dist < infinity, the
+  // candidate set every auxiliary statement filters on.
+
+  /// MIN(dist) over open rows; kInfinity when none remain.
+  weight_t MinOpenDist(const DirCols& dir) const;
+  /// COUNT(*) over open rows.
+  int64_t OpenCount(const DirCols& dir) const;
+  /// MIN(d2s + d2t) over all rows; kInfinity when the table is empty.
+  /// (Exact because per-row distances only ever decrease within a query.)
+  weight_t MinPathCost() const { return min_cost_; }
+
+  // ----- access-path-aware operations ------------------------------------
+
+  /// Listing 4(1): flag := 2 for open rows satisfying `spec`. Uses the nid
+  /// or dist index when the strategy provides one; otherwise the historical
+  /// full-scan UPDATE plan. `marked` returns the affected-row count.
+  Status MarkFrontier(const DirCols& dir, const FrontierSpec& spec,
+                      int64_t* marked);
+
+  /// Listing 4(3): flag := 1 for flag = 2 rows, via the flag index when
+  /// present.
+  Status FinalizeFrontier(const DirCols& dir, int64_t* affected);
+
+  /// First open row with dist = `dist` in scan order (PickMid's outer
+  /// SELECT TOP 1); `found` = false when no such row exists.
+  Status FirstOpenAt(const DirCols& dir, weight_t dist, node_id_t* nid,
+                     bool* found);
+
+  /// Source executor over the marked frontier (flag = 2) for the
+  /// E-operator join: an index range probe on the flag column when indexed,
+  /// else the historical filtered scan. Row order matches the filtered
+  /// scan in both cases (the flag index ties on scan position).
+  ExecRef FrontierScan(const DirCols& dir) const;
+
+  /// Observer that keeps the aggregates exact; attach to any DML statement
+  /// (e.g. the M-operator MERGE) that mutates this table.
+  RowChangeObserver ChangeObserver();
+
  private:
   VisitedTable() = default;
+
+  /// Aggregate bookkeeping for one direction.
+  struct DirState {
+    size_t dist_idx = 0;
+    size_t flag_idx = 0;
+    std::map<weight_t, int64_t> open_dists;  // dist -> open-row count
+    int64_t open_count = 0;
+  };
+
+  DirState& StateFor(const DirCols& dir) {
+    return dir.forward ? fwd_state_ : bwd_state_;
+  }
+  const DirState& StateFor(const DirCols& dir) const {
+    return dir.forward ? fwd_state_ : bwd_state_;
+  }
+
+  /// Folds one row image change into the aggregates (old_row null = insert).
+  void OnRowChanged(const Tuple* old_row, const Tuple& new_row);
+  void AccumulateSide(DirState* state, const Tuple* old_row,
+                      const Tuple& new_row);
 
   Database* db_ = nullptr;
   Table* table_ = nullptr;
   bool has_unique_index_ = false;
+
+  DirState fwd_state_;
+  DirState bwd_state_;
+  size_t d2s_idx_ = 0;
+  size_t d2t_idx_ = 0;
+  size_t nid_idx_ = 0;
+  weight_t min_cost_ = kInfinity;
 };
 
 }  // namespace relgraph

@@ -1,7 +1,6 @@
 #include "src/dist/dist_path_finder.h"
 
 #include <algorithm>
-#include <queue>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -11,71 +10,127 @@
 
 namespace relgraph {
 
-namespace {
-
-/// One direction of the coordinator's search: tentative distances, shortest
-/// path tree links (predecessor forward, successor backward), the settled
-/// set, and a lazy-deletion min-heap over the open nodes.
-struct SearchSide {
-  std::unordered_map<node_id_t, weight_t> dist;
-  std::unordered_map<node_id_t, node_id_t> parent;
-  std::unordered_set<node_id_t> settled;
-  using HeapEntry = std::pair<weight_t, node_id_t>;
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
-                      std::greater<HeapEntry>>
-      heap;
-
-  void Seed(node_id_t origin) {
-    dist[origin] = 0;
-    heap.push({0, origin});
-  }
-
-  /// Smallest open distance, discarding stale heap entries; kInfinity when
-  /// the frontier is exhausted.
-  weight_t MinOpen() {
-    while (!heap.empty()) {
-      auto [d, n] = heap.top();
-      auto it = dist.find(n);
-      if (settled.count(n) || it == dist.end() || it->second != d) {
-        heap.pop();
-        continue;
-      }
-      return d;
-    }
-    return kInfinity;
-  }
-
-  /// Pops and settles every open node at distance `level` (one set-at-a-time
-  /// frontier, the paper's §4.1 move).
-  std::vector<node_id_t> TakeFrontier(weight_t level) {
-    std::vector<node_id_t> frontier;
-    while (!heap.empty() && heap.top().first == level) {
-      auto [d, n] = heap.top();
-      heap.pop();
-      auto it = dist.find(n);
-      if (settled.count(n) || it == dist.end() || it->second != d) continue;
-      settled.insert(n);
-      frontier.push_back(n);
-    }
-    return frontier;
-  }
-};
-
-/// An adjacency row shipped from a shard to the coordinator.
-struct ShippedEdge {
-  node_id_t frontier_node;  // the endpoint that matched the frontier
-  node_id_t emit_node;      // the newly reached endpoint
-  weight_t cost;
-};
-
-}  // namespace
-
 Status DistPathFinder::Create(ShardedGraphStore* store,
                               std::unique_ptr<DistPathFinder>* out) {
   if (store == nullptr) {
     return Status::InvalidArgument("null ShardedGraphStore");
   }
-  *out = std::unique_ptr<DistPathFinder>(new DistPathFinder(store));
+  auto finder = std::unique_ptr<DistPathFinder>(new DistPathFinder(store));
+  // The coordinator is its own "RDBMS node": statement counts and buffer
+  // traffic on its TVisited accrue here, separate from every shard database.
+  finder->coord_db_ = std::make_unique<Database>();
+  RELGRAPH_RETURN_IF_ERROR(
+      VisitedTable::Create(finder->coord_db_.get(), store->strategy(),
+                           "TVisitedCoord", &finder->visited_));
+  finder->fem_ = std::make_unique<FemEngine>(
+      finder->coord_db_.get(), finder->visited_.get(), SqlMode::kNsql);
+  *out = std::move(finder);
+  return Status::OK();
+}
+
+Status DistPathFinder::ExpandOnShards(const std::vector<node_id_t>& frontier,
+                                      bool forward, weight_t level,
+                                      std::vector<Tuple>* rows,
+                                      DistQueryStats* stats,
+                                      int64_t* shard_serial_us,
+                                      int64_t* shard_parallel_us) {
+  // Route each frontier node to its owner shard.
+  std::vector<std::vector<node_id_t>> by_shard(store_->num_shards());
+  for (node_id_t n : frontier) {
+    by_shard[store_->OwnerShard(n)].push_back(n);
+  }
+
+  // Shard-local expansion: every contacted shard answers one statement —
+  // SELECT * FROM TEdges WHERE fid IN (<frontier ∩ shard>) — and ships its
+  // matching adjacency rows back.
+  struct Shipped {
+    node_id_t frontier_node;
+    node_id_t emit_node;
+    weight_t cost;
+  };
+  int64_t round_max_us = 0;
+  std::vector<Shipped> shipped;
+  for (int shard = 0; shard < store_->num_shards(); shard++) {
+    if (by_shard[shard].empty()) continue;
+    Timer shard_timer;
+    Table* table =
+        forward ? store_->out_edges(shard) : store_->in_edges(shard);
+    const char* key_col = forward ? "fid" : "tid";
+    const size_t frontier_idx = forward ? 0 : 1;
+    const size_t emit_idx = forward ? 1 : 0;
+    stats->shard_statements++;
+    store_->shard_db(shard)->RecordStatement();
+    Tuple row;
+    if (table->HasIndexOn(key_col)) {
+      for (node_id_t n : by_shard[shard]) {
+        Table::Iterator it;
+        RELGRAPH_RETURN_IF_ERROR(table->ScanRange(key_col, n, n, &it));
+        while (it.Next(&row, nullptr)) {
+          shipped.push_back(
+              {n, row.value(emit_idx).AsInt(), row.value(2).AsInt()});
+        }
+        RELGRAPH_RETURN_IF_ERROR(it.status());
+      }
+    } else {
+      std::unordered_set<node_id_t> wanted(by_shard[shard].begin(),
+                                           by_shard[shard].end());
+      Table::Iterator it = table->Scan();
+      while (it.Next(&row, nullptr)) {
+        node_id_t key = row.value(frontier_idx).AsInt();
+        if (!wanted.count(key)) continue;
+        shipped.push_back(
+            {key, row.value(emit_idx).AsInt(), row.value(2).AsInt()});
+      }
+      RELGRAPH_RETURN_IF_ERROR(it.status());
+    }
+    int64_t us = shard_timer.ElapsedMicros();
+    *shard_serial_us += us;
+    round_max_us = std::max(round_max_us, us);
+  }
+  *shard_parallel_us += round_max_us;
+  stats->rows_shipped += static_cast<int64_t>(shipped.size());
+
+  // The E-operator's dedup (rownum = 1): keep, per reached node, the
+  // cheapest shipped edge, ties broken by the smaller parent — the shards
+  // did the join, the coordinator finishes the expansion statement.
+  std::unordered_map<node_id_t, size_t> best;
+  best.reserve(shipped.size());
+  std::vector<Tuple> dedup;
+  for (const Shipped& e : shipped) {
+    weight_t cost = level + e.cost;
+    auto [it, inserted] = best.try_emplace(e.emit_node, dedup.size());
+    if (inserted) {
+      dedup.push_back(Tuple({Value(e.emit_node), Value(cost),
+                             Value(e.frontier_node), Value(e.frontier_node)}));
+      continue;
+    }
+    Tuple& cur = dedup[it->second];
+    weight_t cur_cost = cur.value(1).AsInt();
+    if (cost < cur_cost ||
+        (cost == cur_cost && e.frontier_node < cur.value(2).AsInt())) {
+      cur = Tuple({Value(e.emit_node), Value(cost), Value(e.frontier_node),
+                   Value(e.frontier_node)});
+    }
+  }
+  *rows = std::move(dedup);
+  return Status::OK();
+}
+
+Status DistPathFinder::WalkChain(const DirCols& dir, node_id_t from,
+                                 node_id_t origin,
+                                 std::vector<node_id_t>* out) {
+  const size_t pred_idx = visited_->table()->schema().IndexOf(dir.pred);
+  out->push_back(from);
+  node_id_t x = from;
+  for (int64_t guard = 0; x != origin; guard++) {
+    if (guard > store_->num_nodes() + 8) {
+      return Status::Internal("broken " + dir.pred + " chain");
+    }
+    Tuple row;
+    RELGRAPH_RETURN_IF_ERROR(visited_->GetRow(x, &row));
+    x = row.value(pred_idx).AsInt();
+    out->push_back(x);
+  }
   return Status::OK();
 }
 
@@ -85,149 +140,93 @@ Status DistPathFinder::Find(node_id_t s, node_id_t t, DistPathResult* result) {
   Timer total_timer;
   int64_t shard_serial_us = 0;    // sum over every shard query issued
   int64_t shard_parallel_us = 0;  // sum over rounds of the slowest shard
+  const int64_t coord_stmt0 = coord_db_->stats().statements;
 
   if (s == t) {
-    stats.coordinator_statements++;  // the seed lookup answers immediately
+    coord_db_->RecordStatement();  // the seed lookup answers immediately
     result->found = true;
     result->distance = 0;
     result->path = {s};
+    stats.coordinator_statements =
+        coord_db_->stats().statements - coord_stmt0;
     stats.serial_us = total_timer.ElapsedMicros();
     stats.parallel_us = stats.serial_us;
     return Status::OK();
   }
 
-  SearchSide fwd, bwd;
-  fwd.Seed(s);
-  bwd.Seed(t);
-  stats.coordinator_statements += 2;  // the two TVisited seed inserts
-
-  weight_t best = kInfinity;
-  node_id_t meet = kInvalidNode;
-  auto try_meet = [&](node_id_t v) {
-    auto fit = fwd.dist.find(v);
-    auto bit = bwd.dist.find(v);
-    if (fit == fwd.dist.end() || bit == bwd.dist.end()) return;
-    weight_t through = fit->second + bit->second;
-    if (through < best) {
-      best = through;
-      meet = v;
-    }
-  };
+  const DirCols fwd = VisitedTable::ForwardCols();
+  const DirCols bwd = VisitedTable::BackwardCols();
+  RELGRAPH_RETURN_IF_ERROR(visited_->Reset());
+  RELGRAPH_RETURN_IF_ERROR(visited_->InsertSourceAndTarget(s, t));
 
   while (true) {
-    // Coordinator: read both frontier minima and test the Theorem-1 stop
-    // rule (lf + lb >= minCost).
-    weight_t lf = fwd.MinOpen();
-    weight_t lb = bwd.MinOpen();
-    stats.coordinator_statements += 2;
-    if (lf == kInfinity && lb == kInfinity) break;
-    if (best != kInfinity && lf + lb >= best) break;
+    // Coordinator: read both frontier minima and the best meeting cost, and
+    // test the Theorem-1 stop rule (lf + lb >= minCost). All three probes
+    // are O(1) reads of TVisited's incremental aggregates.
+    weight_t lf, lb, min_cost;
+    RELGRAPH_RETURN_IF_ERROR(fem_->MinOpenDistance(fwd, &lf));
+    RELGRAPH_RETURN_IF_ERROR(fem_->MinOpenDistance(bwd, &lb));
+    RELGRAPH_RETURN_IF_ERROR(fem_->MinCost(&min_cost));
+    if (lf >= kInfinity && lb >= kInfinity) break;
+    if (min_cost < kInfinity && lf + lb >= min_cost) break;
 
     // Expand the direction whose next level is cheaper (BSDJ alternation).
-    bool forward = lb == kInfinity || (lf != kInfinity && lf <= lb);
-    SearchSide& side = forward ? fwd : bwd;
-    weight_t level = forward ? lf : lb;
+    const bool forward = lb >= kInfinity || (lf < kInfinity && lf <= lb);
+    const DirCols& dir = forward ? fwd : bwd;
+    const weight_t level = forward ? lf : lb;
 
-    std::vector<node_id_t> frontier = side.TakeFrontier(level);
-    stats.coordinator_statements++;  // frontier select + settle update
-    for (node_id_t n : frontier) try_meet(n);
-    if (frontier.empty()) continue;
-
-    // Route each frontier node to its owner shard.
-    std::vector<std::vector<node_id_t>> by_shard(store_->num_shards());
-    for (node_id_t n : frontier) {
-      by_shard[store_->OwnerShard(n)].push_back(n);
-    }
-
-    // Shard-local expansion: every contacted shard answers one statement —
-    // SELECT * FROM TEdges WHERE fid IN (<frontier ∩ shard>) — and ships
-    // its matching adjacency rows back.
-    int64_t round_max_us = 0;
-    std::vector<ShippedEdge> shipped;
-    for (int shard = 0; shard < store_->num_shards(); shard++) {
-      if (by_shard[shard].empty()) continue;
-      Timer shard_timer;
-      Table* table =
-          forward ? store_->out_edges(shard) : store_->in_edges(shard);
-      const char* key_col = forward ? "fid" : "tid";
-      const size_t frontier_idx = forward ? 0 : 1;
-      const size_t emit_idx = forward ? 1 : 0;
-      stats.shard_statements++;
-      store_->shard_db(shard)->RecordStatement();
-      Tuple row;
-      if (table->HasIndexOn(key_col)) {
-        for (node_id_t n : by_shard[shard]) {
-          Table::Iterator it;
-          RELGRAPH_RETURN_IF_ERROR(table->ScanRange(key_col, n, n, &it));
-          while (it.Next(&row, nullptr)) {
-            shipped.push_back({n, row.value(emit_idx).AsInt(),
-                               row.value(2).AsInt()});
-          }
-          RELGRAPH_RETURN_IF_ERROR(it.status());
-        }
-      } else {
-        std::unordered_set<node_id_t> wanted(by_shard[shard].begin(),
-                                             by_shard[shard].end());
-        Table::Iterator it = table->Scan();
-        while (it.Next(&row, nullptr)) {
-          node_id_t key = row.value(frontier_idx).AsInt();
-          if (!wanted.count(key)) continue;
-          shipped.push_back({key, row.value(emit_idx).AsInt(),
-                             row.value(2).AsInt()});
-        }
-        RELGRAPH_RETURN_IF_ERROR(it.status());
+    // F-operator: mark the minimum-distance set, then read it back (the
+    // frontier SELECT the coordinator ships to the shards).
+    int64_t marked;
+    RELGRAPH_RETURN_IF_ERROR(
+        fem_->MarkFrontier(dir, FrontierSpec::DistEq(level), &marked));
+    coord_db_->RecordStatement();  // SELECT nid FROM TVisited WHERE flag=2
+    std::vector<node_id_t> frontier;
+    {
+      ExecRef scan = visited_->FrontierScan(dir);
+      std::vector<Tuple> rows;
+      RELGRAPH_RETURN_IF_ERROR(Collect(scan.get(), &rows));
+      frontier.reserve(rows.size());
+      const size_t nid_idx = visited_->table()->schema().IndexOf("nid");
+      for (const Tuple& row : rows) {
+        frontier.push_back(row.value(nid_idx).AsInt());
       }
-      int64_t us = shard_timer.ElapsedMicros();
-      shard_serial_us += us;
-      round_max_us = std::max(round_max_us, us);
     }
-    shard_parallel_us += round_max_us;
-    stats.rows_shipped += static_cast<int64_t>(shipped.size());
+
+    std::vector<Tuple> expansion;
+    RELGRAPH_RETURN_IF_ERROR(ExpandOnShards(frontier, forward, level,
+                                            &expansion, &stats,
+                                            &shard_serial_us,
+                                            &shard_parallel_us));
     stats.rounds++;
 
-    // Coordinator: relax the shipped rows (the MERGE of Listing 4(2)).
-    stats.coordinator_statements++;
-    for (const ShippedEdge& e : shipped) {
-      if (side.settled.count(e.emit_node)) continue;
-      weight_t nd = level + e.cost;
-      auto it = side.dist.find(e.emit_node);
-      if (it != side.dist.end() && it->second <= nd) continue;
-      side.dist[e.emit_node] = nd;
-      side.parent[e.emit_node] = e.frontier_node;
-      side.heap.push({nd, e.emit_node});
-      try_meet(e.emit_node);
-    }
+    // M-operator on the coordinator: merge the shipped rows into TVisited.
+    int64_t affected;
+    RELGRAPH_RETURN_IF_ERROR(
+        fem_->MergeExpansion(dir, std::move(expansion), &affected));
+    RELGRAPH_RETURN_IF_ERROR(fem_->FinalizeFrontier(dir));
   }
 
+  const weight_t best = visited_->MinPathCost();
+  if (best < kInfinity) {
+    result->found = true;
+    result->distance = best;
+    node_id_t meet;
+    RELGRAPH_RETURN_IF_ERROR(fem_->MeetingNode(best, &meet));
+    // Walk meet -> s through forward predecessors, then meet -> t through
+    // backward successors.
+    std::vector<node_id_t> head;
+    RELGRAPH_RETURN_IF_ERROR(WalkChain(fwd, meet, s, &head));
+    std::reverse(head.begin(), head.end());
+    std::vector<node_id_t> tail;
+    RELGRAPH_RETURN_IF_ERROR(WalkChain(bwd, meet, t, &tail));
+    result->path = std::move(head);
+    result->path.insert(result->path.end(), tail.begin() + 1, tail.end());
+  }
+
+  stats.coordinator_statements = coord_db_->stats().statements - coord_stmt0;
   stats.serial_us = total_timer.ElapsedMicros();
   stats.parallel_us = stats.serial_us - shard_serial_us + shard_parallel_us;
-
-  if (best == kInfinity) return Status::OK();
-
-  result->found = true;
-  result->distance = best;
-  // Walk meet -> s through forward predecessors, then meet -> t through
-  // backward successors.
-  std::vector<node_id_t> head;
-  for (node_id_t v = meet; v != s;) {
-    auto it = fwd.parent.find(v);
-    if (it == fwd.parent.end()) {
-      return Status::Internal("broken forward parent chain");
-    }
-    head.push_back(v);
-    v = it->second;
-  }
-  head.push_back(s);
-  std::reverse(head.begin(), head.end());
-  result->path = std::move(head);
-  for (node_id_t v = meet; v != t;) {
-    auto it = bwd.parent.find(v);
-    if (it == bwd.parent.end()) {
-      return Status::Internal("broken backward parent chain");
-    }
-    v = it->second;
-    result->path.push_back(v);
-  }
   return Status::OK();
 }
 

@@ -3,6 +3,8 @@
 #include <memory>
 #include <vector>
 
+#include "src/core/fem.h"
+#include "src/core/visited_table.h"
 #include "src/dist/sharded_graph.h"
 
 namespace relgraph {
@@ -31,11 +33,15 @@ struct DistPathResult {
 
 /// Coordinator for bi-directional set Dijkstra (the paper's BSDJ) over a
 /// ShardedGraphStore — the §7 distributed extension, simulated in-process.
-/// The coordinator keeps the visited/frontier bookkeeping and, each round,
-/// sends the frontier's node set to the shards that own those nodes; each
-/// shard answers with its local adjacency rows, which the coordinator
-/// relaxes. Expansion is thus fully partitioned while termination (the
-/// Theorem-1 bound lf + lb >= minCost) stays centralized.
+/// The coordinator keeps its visited/frontier bookkeeping in a relational
+/// TVisited (a VisitedTable in a coordinator-local Database), driven through
+/// the same FEM operators as the single-node engine — so the distributed
+/// path inherits TVisited's indexed access paths, O(1) aggregate probes,
+/// and per-statement accounting. Each round it sends the frontier's node
+/// set to the shards that own those nodes; each shard answers with its
+/// local adjacency rows, which the coordinator merges back (the M-operator).
+/// Expansion is thus fully partitioned while termination (the Theorem-1
+/// bound lf + lb >= minCost) stays centralized.
 class DistPathFinder {
  public:
   static Status Create(ShardedGraphStore* store,
@@ -45,10 +51,28 @@ class DistPathFinder {
   /// `result->found`; the Status covers engine errors only.
   Status Find(node_id_t s, node_id_t t, DistPathResult* result);
 
+  /// The coordinator's database (statement counts feed DistQueryStats).
+  Database* coordinator_db() { return coord_db_.get(); }
+
  private:
   explicit DistPathFinder(ShardedGraphStore* store) : store_(store) {}
 
+  /// Queries the owner shards of `frontier` and ships their adjacency rows
+  /// back as E-operator expansion rows (ExpansionSchema), deduplicated per
+  /// reached node. Updates the shard-side clocks and counters.
+  Status ExpandOnShards(const std::vector<node_id_t>& frontier, bool forward,
+                        weight_t level, std::vector<Tuple>* rows,
+                        DistQueryStats* stats, int64_t* shard_serial_us,
+                        int64_t* shard_parallel_us);
+
+  /// Walks one direction's predecessor chain from `from` back to `origin`.
+  Status WalkChain(const DirCols& dir, node_id_t from, node_id_t origin,
+                   std::vector<node_id_t>* out);
+
   ShardedGraphStore* store_ = nullptr;
+  std::unique_ptr<Database> coord_db_;
+  std::unique_ptr<VisitedTable> visited_;
+  std::unique_ptr<FemEngine> fem_;
 };
 
 }  // namespace relgraph

@@ -17,8 +17,14 @@ Status InsertFromExecutor(Table* table, Executor* source, int64_t* inserted) {
   return source->status();
 }
 
-Status UpdateWhere(Table* table, ExprRef predicate,
-                   const std::vector<SetClause>& sets, int64_t* affected) {
+namespace {
+
+/// Shared tail of the UPDATE plans: evaluate SET clauses over the matched
+/// rows, then apply (the collect-then-apply split keeps the scan stable
+/// under row movement).
+Status ApplyUpdates(Table* table, Table::Iterator it, ExprRef predicate,
+                    const std::vector<SetClause>& sets, int64_t* affected,
+                    const RowChangeObserver& observer) {
   *affected = 0;
   const Schema& schema = table->schema();
   std::vector<std::pair<size_t, ExprRef>> resolved;
@@ -28,10 +34,9 @@ Status UpdateWhere(Table* table, ExprRef predicate,
     if (idx < 0) return Status::InvalidArgument("no column " + s.column);
     resolved.emplace_back(static_cast<size_t>(idx), s.expr);
   }
-  // Collect matches first: applying updates mid-scan could revisit rows
-  // through a moved RID or a changed cluster position.
-  std::vector<std::pair<RowRef, Tuple>> pending;
-  Table::Iterator it = table->Scan();
+  // The pre-image is only materialized when someone listens for it.
+  const bool want_old = observer != nullptr;
+  std::vector<std::tuple<RowRef, Tuple, Tuple>> pending;  // ref, old, new
   Tuple t;
   RowRef ref;
   while (it.Next(&t, &ref)) {
@@ -40,14 +45,35 @@ Status UpdateWhere(Table* table, ExprRef predicate,
     for (const auto& [idx, expr] : resolved) {
       updated.value(idx) = expr->Evaluate(t, schema);
     }
-    pending.emplace_back(ref, std::move(updated));
+    pending.emplace_back(ref, want_old ? t : Tuple(), std::move(updated));
   }
   RELGRAPH_RETURN_IF_ERROR(it.status());
-  for (const auto& [row_ref, tuple] : pending) {
-    RELGRAPH_RETURN_IF_ERROR(table->UpdateRow(row_ref, tuple));
+  for (const auto& [row_ref, old_row, new_row] : pending) {
+    RELGRAPH_RETURN_IF_ERROR(table->UpdateRow(row_ref, new_row));
+    if (want_old) observer(&old_row, new_row);
     (*affected)++;
   }
   return Status::OK();
+}
+
+}  // namespace
+
+Status UpdateWhere(Table* table, ExprRef predicate,
+                   const std::vector<SetClause>& sets, int64_t* affected,
+                   const RowChangeObserver& observer) {
+  return ApplyUpdates(table, table->Scan(), std::move(predicate), sets,
+                      affected, observer);
+}
+
+Status UpdateWhereIndexed(Table* table, const std::string& index_column,
+                          int64_t lo, int64_t hi, ExprRef predicate,
+                          const std::vector<SetClause>& sets,
+                          int64_t* affected,
+                          const RowChangeObserver& observer) {
+  Table::Iterator it;
+  RELGRAPH_RETURN_IF_ERROR(table->ScanRange(index_column, lo, hi, &it));
+  return ApplyUpdates(table, std::move(it), std::move(predicate), sets,
+                      affected, observer);
 }
 
 Status DeleteWhere(Table* table, ExprRef predicate, int64_t* affected) {
@@ -149,6 +175,7 @@ Status MergeInto(Table* target, Executor* source, const MergeSpec& spec,
         updated.value(idx) = expr->Evaluate(joined, combined);
       }
       RELGRAPH_RETURN_IF_ERROR(target->UpdateRow(ref, updated));
+      if (spec.observer != nullptr) spec.observer(&existing, updated);
       if (!use_index) hash_side[key.AsInt()] = {ref, updated};
       (*affected)++;
     } else if (found.IsNotFound()) {
@@ -161,6 +188,7 @@ Status MergeInto(Table* target, Executor* source, const MergeSpec& spec,
       Tuple fresh(std::move(values));
       RowRef fresh_ref;
       RELGRAPH_RETURN_IF_ERROR(target->Insert(fresh, &fresh_ref));
+      if (spec.observer != nullptr) spec.observer(nullptr, fresh);
       if (!use_index) hash_side[key.AsInt()] = {fresh_ref, fresh};
       (*affected)++;
     } else {

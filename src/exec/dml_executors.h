@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -9,6 +10,14 @@
 #include "src/exec/expression.h"
 
 namespace relgraph {
+
+/// Invoked once per row a DML statement actually changes: `old_row` is null
+/// for inserts, otherwise the pre-image; `new_row` is the post-image (both
+/// in the table schema). VisitedTable subscribes to keep its incremental
+/// aggregates exact without re-scanning (deletes are not reported — the
+/// callers that care truncate instead of deleting).
+using RowChangeObserver =
+    std::function<void(const Tuple* old_row, const Tuple& new_row)>;
 
 /// Data-modification statements. Each reports the number of affected rows —
 /// the engine's equivalent of the SQL communication area (SQLCA) the paper's
@@ -26,7 +35,19 @@ struct SetClause {
   ExprRef expr;
 };
 Status UpdateWhere(Table* table, ExprRef predicate,
-                   const std::vector<SetClause>& sets, int64_t* affected);
+                   const std::vector<SetClause>& sets, int64_t* affected,
+                   const RowChangeObserver& observer = nullptr);
+
+/// UPDATE driven through an index: candidate rows come from
+/// ScanRange(index_column, lo, hi) instead of a full scan, then `predicate`
+/// (which must imply the range for the two plans to be equivalent) filters
+/// residually. This is the plan an RDBMS picks for the F-operator's
+/// `UPDATE ... WHERE flag = 2` once the flag column is indexed.
+Status UpdateWhereIndexed(Table* table, const std::string& index_column,
+                          int64_t lo, int64_t hi, ExprRef predicate,
+                          const std::vector<SetClause>& sets,
+                          int64_t* affected,
+                          const RowChangeObserver& observer = nullptr);
 
 /// DELETE FROM table WHERE predicate.
 Status DeleteWhere(Table* table, ExprRef predicate, int64_t* affected);
@@ -51,6 +72,7 @@ struct MergeSpec {
   ExprRef matched_condition;            // nullptr = always
   std::vector<SetClause> matched_sets;  // columns of the target
   std::vector<ExprRef> insert_values;   // one per target column
+  RowChangeObserver observer;           // optional change notifications
 };
 
 Status MergeInto(Table* target, Executor* source, const MergeSpec& spec,

@@ -9,10 +9,19 @@
 
 namespace relgraph {
 
+/// Rows moved per NextBatch() call. Large enough to amortize the per-batch
+/// virtual dispatch, small enough to stay cache-resident.
+inline constexpr size_t kExecBatchSize = 1024;
+
 /// Volcano-style pull executor: Init() once, then Next() until it returns
 /// false; check status() afterwards to distinguish end-of-stream from error.
 /// Physical plans for the paper's SQL statements are built by composing
 /// these executors (see src/core/fem.cc for the F/E/M plans).
+///
+/// Hot consumers (the E-operator, Collect) pull through NextBatch(), which
+/// moves up to kExecBatchSize tuples per virtual call; operators without an
+/// override fall back to a Next() loop, so the two interfaces always yield
+/// the same stream.
 class Executor {
  public:
   virtual ~Executor() = default;
@@ -21,6 +30,19 @@ class Executor {
 
   /// Produces the next tuple; false at end of stream or on error.
   virtual bool Next(Tuple* out) = 0;
+
+  /// Clears `out` and appends up to kExecBatchSize tuples. Returns false
+  /// when the stream is exhausted (out left empty) or on error — like
+  /// Next(), check status() to tell the two apart. The batch vector is
+  /// caller-owned so its capacity is reused across calls.
+  virtual bool NextBatch(std::vector<Tuple>* out) {
+    out->clear();
+    Tuple t;
+    while (out->size() < kExecBatchSize && Next(&t)) {
+      out->push_back(std::move(t));
+    }
+    return !out->empty();
+  }
 
   virtual const Schema& OutputSchema() const = 0;
 
@@ -41,6 +63,18 @@ class Executor {
 };
 
 using ExecRef = std::unique_ptr<Executor>;
+
+/// Shared NextBatch body for executors that replay a materialized vector
+/// (Materialized, Window): copies rows [*pos, ...) into `out` up to the
+/// batch cap, advancing *pos.
+inline bool ReplayBatch(const std::vector<Tuple>& rows, size_t* pos,
+                        std::vector<Tuple>* out) {
+  out->clear();
+  while (*pos < rows.size() && out->size() < kExecBatchSize) {
+    out->push_back(rows[(*pos)++]);
+  }
+  return !out->empty();
+}
 
 /// Drains `exec` into a vector (Init + Next*). Errors propagate.
 Status Collect(Executor* exec, std::vector<Tuple>* out);

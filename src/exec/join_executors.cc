@@ -66,45 +66,63 @@ Status IndexNestedLoopJoinExecutor::Init() {
     return Status::InvalidArgument("index nested-loop join requires index on " +
                                    inner_column_);
   }
-  have_outer_ = false;
+  outer_batch_.clear();
+  outer_pos_ = 0;
   inner_open_ = false;
   return outer_->Init();
 }
 
-bool IndexNestedLoopJoinExecutor::Next(Tuple* out) {
+bool IndexNestedLoopJoinExecutor::OpenNextOuter() {
   for (;;) {
-    if (!have_outer_) {
-      if (!outer_->Next(&current_outer_)) {
+    if (outer_pos_ >= outer_batch_.size()) {
+      if (!outer_->NextBatch(&outer_batch_)) {
         status_ = outer_->status();
         return false;
       }
-      have_outer_ = true;
-      Value key = outer_key_->Evaluate(current_outer_, outer_->OutputSchema());
-      if (key.IsNull()) {  // NULL keys join nothing
-        have_outer_ = false;
-        continue;
-      }
-      status_ = inner_->ScanRange(inner_column_, key.AsInt(), key.AsInt(),
-                                  &inner_it_);
-      if (!status_.ok()) return false;
-      inner_open_ = true;
+      outer_pos_ = 0;
     }
-    Tuple inner_tuple;
-    while (inner_open_ && inner_it_.Next(&inner_tuple, nullptr)) {
-      Tuple joined = ConcatTuples(current_outer_, inner_tuple);
+    Value key = outer_key_->Evaluate(outer_batch_[outer_pos_],
+                                     outer_->OutputSchema());
+    if (key.IsNull()) {  // NULL keys join nothing
+      outer_pos_++;
+      continue;
+    }
+    status_ = inner_->ScanRange(inner_column_, key.AsInt(), key.AsInt(),
+                                &inner_it_);
+    if (!status_.ok()) return false;
+    inner_open_ = true;
+    return true;
+  }
+}
+
+bool IndexNestedLoopJoinExecutor::Next(Tuple* out) {
+  for (;;) {
+    if (!inner_open_ && !OpenNextOuter()) return false;
+    while (inner_it_.Next(&inner_tuple_, nullptr)) {
+      Tuple joined = ConcatTuples(outer_batch_[outer_pos_], inner_tuple_);
       if (residual_ == nullptr ||
           EvalPredicate(*residual_, joined, output_schema_)) {
         *out = std::move(joined);
         return true;
       }
     }
-    if (inner_open_ && !inner_it_.status().ok()) {
+    if (!inner_it_.status().ok()) {
       status_ = inner_it_.status();
       return false;
     }
-    have_outer_ = false;
     inner_open_ = false;
+    outer_pos_++;
   }
+}
+
+bool IndexNestedLoopJoinExecutor::NextBatch(std::vector<Tuple>* out) {
+  out->clear();
+  // Non-virtual self-call: one virtual hop per batch instead of per row.
+  Tuple t;
+  while (out->size() < kExecBatchSize && IndexNestedLoopJoinExecutor::Next(&t)) {
+    out->push_back(std::move(t));
+  }
+  return !out->empty();
 }
 
 const Schema& IndexNestedLoopJoinExecutor::OutputSchema() const {

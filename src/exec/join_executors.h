@@ -53,6 +53,7 @@ class IndexNestedLoopJoinExecutor : public Executor {
                               ExprRef residual = nullptr);
   Status Init() override;
   bool Next(Tuple* out) override;
+  bool NextBatch(std::vector<Tuple>* out) override;
   const Schema& OutputSchema() const override;
   void Explain(int depth, std::string* out) const override {
     Indent(depth, out);
@@ -66,14 +67,21 @@ class IndexNestedLoopJoinExecutor : public Executor {
   }
 
  private:
+  /// Advances to the next outer row with a non-NULL key and opens its inner
+  /// range scan; false when the outer side is exhausted or on error.
+  bool OpenNextOuter();
+
   ExecRef outer_;
   Table* inner_;
   std::string inner_column_;
   ExprRef outer_key_;
   ExprRef residual_;
   Schema output_schema_;
-  Tuple current_outer_;
-  bool have_outer_ = false;
+  // The outer side is pulled through NextBatch; probes walk outer_batch_ so
+  // the per-row virtual-call round trip disappears from the join loop.
+  std::vector<Tuple> outer_batch_;
+  size_t outer_pos_ = 0;
+  Tuple inner_tuple_;  // reused across probes
   Table::Iterator inner_it_;
   bool inner_open_ = false;
 };

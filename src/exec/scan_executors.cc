@@ -9,8 +9,11 @@ void Executor::Explain(int depth, std::string* out) const {
 
 Status Collect(Executor* exec, std::vector<Tuple>* out) {
   RELGRAPH_RETURN_IF_ERROR(exec->Init());
-  Tuple t;
-  while (exec->Next(&t)) out->push_back(t);
+  std::vector<Tuple> batch;
+  while (exec->NextBatch(&batch)) {
+    out->insert(out->end(), std::make_move_iterator(batch.begin()),
+                std::make_move_iterator(batch.end()));
+  }
   return exec->status();
 }
 
@@ -23,21 +26,53 @@ Schema PrefixSchema(const Schema& schema, const std::string& prefix) {
   return Schema(std::move(cols));
 }
 
+namespace {
+
+/// Shared single-pull and batch-drain bodies for the two table-iterator
+/// scans. Once the iterator reports false — end of stream *or* error —
+/// `exhausted` latches so neither pull style touches it again: resuming a
+/// failed iterator would skip the bad row and overwrite its error status,
+/// making the batch stream diverge from the Next() stream.
+bool PullIterator(Table::Iterator* it, bool* exhausted, Status* status,
+                  Tuple* out) {
+  if (*exhausted) return false;
+  if (!it->Next(out, nullptr)) {
+    *exhausted = true;
+    *status = it->status();
+    return false;
+  }
+  return true;
+}
+
+bool DrainIteratorBatch(Table::Iterator* it, bool* exhausted, Status* status,
+                        std::vector<Tuple>* out) {
+  out->clear();
+  Tuple t;
+  while (out->size() < kExecBatchSize &&
+         PullIterator(it, exhausted, status, &t)) {
+    out->push_back(std::move(t));
+  }
+  return !out->empty();
+}
+
+}  // namespace
+
 // ---------------------------------------------------------------- SeqScan
 
 SeqScanExecutor::SeqScanExecutor(Table* table) : table_(table) {}
 
 Status SeqScanExecutor::Init() {
   it_ = table_->Scan();
+  exhausted_ = false;
   return Status::OK();
 }
 
 bool SeqScanExecutor::Next(Tuple* out) {
-  if (!it_.Next(out, nullptr)) {
-    status_ = it_.status();
-    return false;
-  }
-  return true;
+  return PullIterator(&it_, &exhausted_, &status_, out);
+}
+
+bool SeqScanExecutor::NextBatch(std::vector<Tuple>* out) {
+  return DrainIteratorBatch(&it_, &exhausted_, &status_, out);
 }
 
 const Schema& SeqScanExecutor::OutputSchema() const {
@@ -52,15 +87,16 @@ IndexRangeScanExecutor::IndexRangeScanExecutor(Table* table,
     : table_(table), column_(std::move(column)), lo_(lo), hi_(hi) {}
 
 Status IndexRangeScanExecutor::Init() {
+  exhausted_ = false;
   return table_->ScanRange(column_, lo_, hi_, &it_);
 }
 
 bool IndexRangeScanExecutor::Next(Tuple* out) {
-  if (!it_.Next(out, nullptr)) {
-    status_ = it_.status();
-    return false;
-  }
-  return true;
+  return PullIterator(&it_, &exhausted_, &status_, out);
+}
+
+bool IndexRangeScanExecutor::NextBatch(std::vector<Tuple>* out) {
+  return DrainIteratorBatch(&it_, &exhausted_, &status_, out);
 }
 
 const Schema& IndexRangeScanExecutor::OutputSchema() const {
@@ -80,6 +116,26 @@ bool FilterExecutor::Next(Tuple* out) {
   }
   status_ = child_->status();
   return false;
+}
+
+bool FilterExecutor::NextBatch(std::vector<Tuple>* out) {
+  out->clear();
+  const Schema& in_schema = child_->OutputSchema();
+  // Each child batch is consumed whole, so no tuples straddle calls, and
+  // pulling stops as soon as anything matched — out never exceeds one child
+  // batch, which keeps the kExecBatchSize cap intact through filter stacks.
+  while (out->empty()) {
+    if (!child_->NextBatch(&in_batch_)) {
+      status_ = child_->status();
+      break;
+    }
+    for (Tuple& t : in_batch_) {
+      if (EvalPredicate(*predicate_, t, in_schema)) {
+        out->push_back(std::move(t));
+      }
+    }
+  }
+  return !out->empty();
 }
 
 const Schema& FilterExecutor::OutputSchema() const {
@@ -113,6 +169,25 @@ bool ProjectExecutor::Next(Tuple* out) {
     values.push_back(e->Evaluate(in, child_->OutputSchema()));
   }
   *out = Tuple(std::move(values));
+  return true;
+}
+
+bool ProjectExecutor::NextBatch(std::vector<Tuple>* out) {
+  out->clear();
+  if (!child_->NextBatch(&in_batch_)) {
+    status_ = child_->status();
+    return false;
+  }
+  const Schema& in_schema = child_->OutputSchema();
+  out->reserve(in_batch_.size());
+  for (const Tuple& in : in_batch_) {
+    std::vector<Value> values;
+    values.reserve(exprs_.size());
+    for (const auto& e : exprs_) {
+      values.push_back(e->Evaluate(in, in_schema));
+    }
+    out->emplace_back(std::move(values));
+  }
   return true;
 }
 
@@ -157,6 +232,10 @@ bool MaterializedExecutor::Next(Tuple* out) {
   if (pos_ >= tuples_.size()) return false;
   *out = tuples_[pos_++];
   return true;
+}
+
+bool MaterializedExecutor::NextBatch(std::vector<Tuple>* out) {
+  return ReplayBatch(tuples_, &pos_, out);
 }
 
 const Schema& MaterializedExecutor::OutputSchema() const { return schema_; }

@@ -16,6 +16,7 @@ class SeqScanExecutor : public Executor {
   explicit SeqScanExecutor(Table* table);
   Status Init() override;
   bool Next(Tuple* out) override;
+  bool NextBatch(std::vector<Tuple>* out) override;
   const Schema& OutputSchema() const override;
   void Explain(int depth, std::string* out) const override {
     Indent(depth, out);
@@ -25,6 +26,7 @@ class SeqScanExecutor : public Executor {
  private:
   Table* table_;
   Table::Iterator it_;
+  bool exhausted_ = false;  // iterator returned false; don't pull it again
 };
 
 /// Index range scan: lo <= column <= hi through the cluster tree or a
@@ -35,6 +37,7 @@ class IndexRangeScanExecutor : public Executor {
                          int64_t hi);
   Status Init() override;
   bool Next(Tuple* out) override;
+  bool NextBatch(std::vector<Tuple>* out) override;
   const Schema& OutputSchema() const override;
   void Explain(int depth, std::string* out) const override {
     Indent(depth, out);
@@ -47,6 +50,7 @@ class IndexRangeScanExecutor : public Executor {
   std::string column_;
   int64_t lo_, hi_;
   Table::Iterator it_;
+  bool exhausted_ = false;  // iterator returned false; don't pull it again
 };
 
 /// WHERE clause: forwards child tuples satisfying the predicate.
@@ -55,6 +59,7 @@ class FilterExecutor : public Executor {
   FilterExecutor(ExecRef child, ExprRef predicate);
   Status Init() override;
   bool Next(Tuple* out) override;
+  bool NextBatch(std::vector<Tuple>* out) override;
   const Schema& OutputSchema() const override;
   void Explain(int depth, std::string* out) const override {
     Indent(depth, out);
@@ -65,6 +70,7 @@ class FilterExecutor : public Executor {
  private:
   ExecRef child_;
   ExprRef predicate_;
+  std::vector<Tuple> in_batch_;  // NextBatch scratch, fully drained per call
 };
 
 /// SELECT list: evaluates one expression per output column.
@@ -74,6 +80,7 @@ class ProjectExecutor : public Executor {
                   Schema output_schema);
   Status Init() override;
   bool Next(Tuple* out) override;
+  bool NextBatch(std::vector<Tuple>* out) override;
   const Schema& OutputSchema() const override;
   void Explain(int depth, std::string* out) const override {
     Indent(depth, out);
@@ -87,6 +94,7 @@ class ProjectExecutor : public Executor {
   ExecRef child_;
   std::vector<ExprRef> exprs_;
   Schema output_schema_;
+  std::vector<Tuple> in_batch_;  // NextBatch scratch, fully drained per call
 };
 
 /// TOP n / LIMIT n.
@@ -116,6 +124,7 @@ class MaterializedExecutor : public Executor {
   MaterializedExecutor(std::vector<Tuple> tuples, Schema schema);
   Status Init() override;
   bool Next(Tuple* out) override;
+  bool NextBatch(std::vector<Tuple>* out) override;
   const Schema& OutputSchema() const override;
   void Explain(int depth, std::string* out) const override {
     Indent(depth, out);

@@ -49,9 +49,11 @@ Status WindowRowNumberExecutor::Init() {
       row_number = 0;  // new partition
     }
     row_number++;
-    Tuple t = input[i];
-    t.Append(Value(row_number));
-    rows_.push_back(std::move(t));
+    std::vector<Value> values;
+    values.reserve(input[i].NumValues() + 1);
+    for (const Value& v : input[i].values()) values.push_back(v);
+    values.emplace_back(row_number);
+    rows_.push_back(Tuple(std::move(values)));
   }
   return Status::OK();
 }
@@ -60,6 +62,10 @@ bool WindowRowNumberExecutor::Next(Tuple* out) {
   if (pos_ >= rows_.size()) return false;
   *out = rows_[pos_++];
   return true;
+}
+
+bool WindowRowNumberExecutor::NextBatch(std::vector<Tuple>* out) {
+  return ReplayBatch(rows_, &pos_, out);
 }
 
 const Schema& WindowRowNumberExecutor::OutputSchema() const {

@@ -26,6 +26,7 @@ class WindowRowNumberExecutor : public Executor {
                           std::string out_column = "rownum");
   Status Init() override;
   bool Next(Tuple* out) override;
+  bool NextBatch(std::vector<Tuple>* out) override;
   const Schema& OutputSchema() const override;
   void Explain(int depth, std::string* out) const override {
     Indent(depth, out);

@@ -861,6 +861,41 @@ Status Planner::ExecuteInsert(const InsertStmt& ins, SqlResult* result) {
   return InsertFromExecutor(table, &src, &result->affected);
 }
 
+namespace {
+
+/// True when `e` reads a column of the current row (a scalar subquery does
+/// not: the engine has no correlated subqueries, so it evaluates to a
+/// row-independent constant).
+bool ReadsRowColumns(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kColumnRef:
+      return true;
+    case ExprKind::kUnary:
+      return ReadsRowColumns(*e.left);
+    case ExprKind::kBinary:
+      return ReadsRowColumns(*e.left) || ReadsRowColumns(*e.right);
+    case ExprKind::kFuncCall:
+      for (const auto& a : e.args) {
+        if (a != nullptr && ReadsRowColumns(*a)) return true;
+      }
+      return false;
+    default:
+      return false;
+  }
+}
+
+/// Flattens a WHERE clause into its top-level AND conjuncts.
+void CollectConjuncts(const Expr& e, std::vector<const Expr*>* out) {
+  if (e.kind == ExprKind::kBinary && e.binary_op == BinaryOp::kAnd) {
+    CollectConjuncts(*e.left, out);
+    CollectConjuncts(*e.right, out);
+    return;
+  }
+  out->push_back(&e);
+}
+
+}  // namespace
+
 Status Planner::ExecuteUpdate(const UpdateStmt& upd, SqlResult* result) {
   Table* table = nullptr;
   RELGRAPH_RETURN_IF_ERROR(FindTable(upd.table, &table));
@@ -872,9 +907,61 @@ Status Planner::ExecuteUpdate(const UpdateStmt& upd, SqlResult* result) {
     RELGRAPH_RETURN_IF_ERROR(BindExpr(*s.expr, table->schema(), &clause.expr));
     sets.push_back(std::move(clause));
   }
+  if (upd.where == nullptr) {
+    return UpdateWhere(table, nullptr, sets, &result->affected);
+  }
+
+  // Sargable-conjunct extraction: a top-level `col = <row-independent
+  // expr>` conjunct on an indexed column turns the full-scan UPDATE into an
+  // index range probe — the plan the F-operator statements (`... WHERE
+  // flag = 2`, `... AND dist = (SELECT MIN(dist) ...)`) want once TVisited
+  // carries flag/dist indexes. The full predicate is still evaluated
+  // residually, so the plans stay exactly equivalent.
+  const Schema& schema = table->schema();
+  std::vector<const Expr*> conjuncts;
+  CollectConjuncts(*upd.where, &conjuncts);
   ExprRef where;
-  if (upd.where != nullptr) {
-    RELGRAPH_RETURN_IF_ERROR(BindExpr(*upd.where, table->schema(), &where));
+  std::string index_column;
+  int64_t index_key = 0;
+  bool have_index_key = false;
+  for (const Expr* c : conjuncts) {
+    ExprRef bound;
+    if (c->kind == ExprKind::kBinary && c->binary_op == BinaryOp::kEq &&
+        (c->left->kind == ExprKind::kColumnRef) !=
+            (c->right->kind == ExprKind::kColumnRef)) {
+      const Expr& col_side =
+          c->left->kind == ExprKind::kColumnRef ? *c->left : *c->right;
+      const Expr& const_side =
+          c->left->kind == ExprKind::kColumnRef ? *c->right : *c->left;
+      ExprRef l, r;
+      RELGRAPH_RETURN_IF_ERROR(BindExpr(*c->left, schema, &l));
+      RELGRAPH_RETURN_IF_ERROR(BindExpr(*c->right, schema, &r));
+      if (!have_index_key && !ReadsRowColumns(const_side)) {
+        std::string resolved;
+        Status found = ResolveColumn(col_side.qualifier, col_side.column,
+                                     schema, &resolved);
+        if (found.ok() && table->HasIndexOn(resolved)) {
+          const ExprRef& const_bound =
+              c->left->kind == ExprKind::kColumnRef ? r : l;
+          Value v = const_bound->Evaluate(Tuple(std::vector<Value>{}),
+                                          Schema(std::vector<Column>{}));
+          if (v.type() == TypeId::kInt) {
+            index_column = resolved;
+            index_key = v.AsInt();
+            have_index_key = true;
+          }
+        }
+      }
+      bound = Cmp(CompareOp::kEq, std::move(l), std::move(r));
+    } else {
+      RELGRAPH_RETURN_IF_ERROR(BindExpr(*c, schema, &bound));
+    }
+    where = where == nullptr ? std::move(bound)
+                             : And(std::move(where), std::move(bound));
+  }
+  if (have_index_key) {
+    return UpdateWhereIndexed(table, index_column, index_key, index_key,
+                              std::move(where), sets, &result->affected);
   }
   return UpdateWhere(table, std::move(where), sets, &result->affected);
 }

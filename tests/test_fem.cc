@@ -62,7 +62,7 @@ TEST_F(FemTest, ExpandAndMergeVisitsNeighbors) {
   ASSERT_TRUE(vt_->InsertSource(0).ok());
   auto fwd = VisitedTable::ForwardCols();
   int64_t marked, affected;
-  ASSERT_TRUE(fem_->MarkFrontier(fwd, ColEq("nid", 0), &marked).ok());
+  ASSERT_TRUE(fem_->MarkFrontier(fwd, FrontierSpec::Node(0), &marked).ok());
   EXPECT_EQ(marked, 1);
   ASSERT_TRUE(
       fem_->ExpandAndMerge(fwd, graph_->Forward(), 0, kInfinity, &affected)
@@ -79,13 +79,13 @@ TEST_F(FemTest, MergeImprovesDistanceAndReopens) {
   ASSERT_TRUE(vt_->InsertSource(0).ok());
   auto fwd = VisitedTable::ForwardCols();
   int64_t marked, affected;
-  ASSERT_TRUE(fem_->MarkFrontier(fwd, ColEq("nid", 0), &marked).ok());
+  ASSERT_TRUE(fem_->MarkFrontier(fwd, FrontierSpec::Node(0), &marked).ok());
   ASSERT_TRUE(
       fem_->ExpandAndMerge(fwd, graph_->Forward(), 0, kInfinity, &affected)
           .ok());
   ASSERT_TRUE(fem_->FinalizeFrontier(fwd).ok());
   // Expand node 1: reaches node 2 at cost 5 < 100, reopening it.
-  ASSERT_TRUE(fem_->MarkFrontier(fwd, ColEq("nid", 1), &marked).ok());
+  ASSERT_TRUE(fem_->MarkFrontier(fwd, FrontierSpec::Node(1), &marked).ok());
   ASSERT_TRUE(
       fem_->ExpandAndMerge(fwd, graph_->Forward(), 0, kInfinity, &affected)
           .ok());
@@ -99,7 +99,7 @@ TEST_F(FemTest, PruningRuleSuppressesHopelessExpansions) {
   ASSERT_TRUE(vt_->InsertSource(0).ok());
   auto fwd = VisitedTable::ForwardCols();
   int64_t marked, affected;
-  ASSERT_TRUE(fem_->MarkFrontier(fwd, ColEq("nid", 0), &marked).ok());
+  ASSERT_TRUE(fem_->MarkFrontier(fwd, FrontierSpec::Node(0), &marked).ok());
   // Theorem 1 with min_cost=50, lb=0: the shortcut edge (0->2, cost 100)
   // must be pruned; the cheap edge (0->1, cost 2) survives.
   ASSERT_TRUE(fem_->ExpandAndMerge(fwd, graph_->Forward(), /*opposite_l=*/0,
@@ -133,7 +133,7 @@ TEST_F(FemTest, BackwardExpansionUsesInEdges) {
   ASSERT_TRUE(vt_->InsertSourceAndTarget(0, 3).ok());
   auto bwd = VisitedTable::BackwardCols();
   int64_t marked, affected;
-  ASSERT_TRUE(fem_->MarkFrontier(bwd, ColEq("nid", 3), &marked).ok());
+  ASSERT_TRUE(fem_->MarkFrontier(bwd, FrontierSpec::Node(3), &marked).ok());
   EXPECT_EQ(marked, 1);
   ASSERT_TRUE(
       fem_->ExpandAndMerge(bwd, graph_->Backward(), 0, kInfinity, &affected)
@@ -150,7 +150,7 @@ TEST_F(FemTest, ReachabilityGuardKeepsOppositeSeedOutOfFrontier) {
   // Node 3 has d2s = infinity; a frontier predicate of "true" must still
   // exclude it from the forward frontier.
   int64_t marked;
-  ASSERT_TRUE(fem_->MarkFrontier(fwd, nullptr, &marked).ok());
+  ASSERT_TRUE(fem_->MarkFrontier(fwd, FrontierSpec::All(), &marked).ok());
   EXPECT_EQ(marked, 1);  // only the source
   EXPECT_EQ(Field(3, "f"), 0);
 }
@@ -163,7 +163,7 @@ TEST_F(FemTest, StatementsAreCounted) {
   bool found;
   ASSERT_TRUE(fem_->PickMid(fwd, &mid, &found).ok());
   int64_t marked, affected;
-  ASSERT_TRUE(fem_->MarkFrontier(fwd, ColEq("nid", mid), &marked).ok());
+  ASSERT_TRUE(fem_->MarkFrontier(fwd, FrontierSpec::Node(mid), &marked).ok());
   ASSERT_TRUE(
       fem_->ExpandAndMerge(fwd, graph_->Forward(), 0, kInfinity, &affected)
           .ok());
@@ -181,7 +181,7 @@ TEST_F(FemTest, StatementLogRecordsSqlText) {
   bool found;
   int64_t marked, affected;
   ASSERT_TRUE(fem_->PickMid(fwd, &mid, &found).ok());
-  ASSERT_TRUE(fem_->MarkFrontier(fwd, ColEq("nid", mid), &marked).ok());
+  ASSERT_TRUE(fem_->MarkFrontier(fwd, FrontierSpec::Node(mid), &marked).ok());
   ASSERT_TRUE(
       fem_->ExpandAndMerge(fwd, graph_->Forward(), 0, kInfinity, &affected)
           .ok());
@@ -218,7 +218,7 @@ TEST_F(FemTest, TsqlExpansionMatchesNsql) {
     ASSERT_TRUE(vt->InsertSource(0).ok());
     auto fwd = VisitedTable::ForwardCols();
     int64_t marked, affected;
-    ASSERT_TRUE(fem.MarkFrontier(fwd, ColEq("nid", 0), &marked).ok());
+    ASSERT_TRUE(fem.MarkFrontier(fwd, FrontierSpec::Node(0), &marked).ok());
     ASSERT_TRUE(
         fem.ExpandAndMerge(fwd, graph_->Forward(), 0, kInfinity, &affected)
             .ok());

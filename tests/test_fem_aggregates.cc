@@ -1,0 +1,185 @@
+// VisitedTable's incremental aggregates (open count, min open dist, min
+// d2s+d2t) must match values recomputed from scratch after any mixed
+// sequence of seeds, frontier updates, and merges — across all three index
+// strategies and both SQL modes. And the auxiliary statements that read
+// them (MinOpenDistance / MinCost / CountOpen) must no longer touch any
+// TVisited row at all, which the table's access counters pin down.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "src/common/rng.h"
+#include "src/core/fem.h"
+#include "src/core/visited_table.h"
+#include "src/graph/generators.h"
+
+namespace relgraph {
+namespace {
+
+struct Recomputed {
+  int64_t open_count = 0;
+  weight_t min_open = kInfinity;
+  weight_t min_cost = kInfinity;
+};
+
+/// The from-scratch oracle: one full scan per direction.
+Recomputed Recompute(VisitedTable* vt, const DirCols& dir) {
+  const Schema& schema = vt->table()->schema();
+  const size_t dist_idx = schema.IndexOf(dir.dist);
+  const size_t flag_idx = schema.IndexOf(dir.flag);
+  const size_t d2s_idx = schema.IndexOf("d2s");
+  const size_t d2t_idx = schema.IndexOf("d2t");
+  Recomputed r;
+  auto it = vt->table()->Scan();
+  Tuple t;
+  while (it.Next(&t, nullptr)) {
+    weight_t dist = t.value(dist_idx).AsInt();
+    if (t.value(flag_idx).AsInt() == 0 && dist < kInfinity) {
+      r.open_count++;
+      r.min_open = std::min(r.min_open, dist);
+    }
+    r.min_cost = std::min(
+        r.min_cost, t.value(d2s_idx).AsInt() + t.value(d2t_idx).AsInt());
+  }
+  EXPECT_TRUE(it.status().ok());
+  return r;
+}
+
+void ExpectAggregatesExact(VisitedTable* vt, const char* where) {
+  for (const DirCols& dir :
+       {VisitedTable::ForwardCols(), VisitedTable::BackwardCols()}) {
+    Recomputed r = Recompute(vt, dir);
+    EXPECT_EQ(vt->OpenCount(dir), r.open_count)
+        << where << " dir=" << dir.dist;
+    EXPECT_EQ(vt->MinOpenDist(dir), r.min_open)
+        << where << " dir=" << dir.dist;
+    EXPECT_EQ(vt->MinPathCost(), r.min_cost) << where << " dir=" << dir.dist;
+  }
+}
+
+class FemAggregateTest
+    : public ::testing::TestWithParam<std::tuple<IndexStrategy, SqlMode>> {};
+
+TEST_P(FemAggregateTest, MatchRecomputeAfterMixedMergeUpdateSequences) {
+  const auto& [strategy, mode] = GetParam();
+  EdgeList list = GenerateBarabasiAlbert(60, 3, WeightRange{1, 30}, 17);
+  Database db{DatabaseOptions{}};
+  GraphStoreOptions gopts;
+  gopts.strategy = strategy;
+  std::unique_ptr<GraphStore> graph;
+  ASSERT_TRUE(GraphStore::Create(&db, list, gopts, &graph).ok());
+  std::unique_ptr<VisitedTable> vt;
+  ASSERT_TRUE(VisitedTable::Create(&db, strategy, "TVagg", &vt).ok());
+  FemEngine fem(&db, vt.get(), mode);
+
+  const DirCols fwd = VisitedTable::ForwardCols();
+  const DirCols bwd = VisitedTable::BackwardCols();
+  Rng rng(5);
+  for (int query = 0; query < 3; query++) {
+    ASSERT_TRUE(vt->Reset().ok());
+    ExpectAggregatesExact(vt.get(), "after reset");
+    node_id_t s = rng.NextInt(0, list.num_nodes - 1);
+    node_id_t t = rng.NextInt(0, list.num_nodes - 1);
+    ASSERT_TRUE(vt->InsertSourceAndTarget(s, t).ok());
+    ExpectAggregatesExact(vt.get(), "after seed");
+
+    // A dozen rounds of the real FEM statement mix, alternating direction
+    // and frontier shape; verify the aggregates after every mutation.
+    for (int round = 0; round < 12; round++) {
+      const bool forward = rng.NextInt(0, 1) == 0;
+      const DirCols& dir = forward ? fwd : bwd;
+      weight_t m;
+      ASSERT_TRUE(fem.MinOpenDistance(dir, &m).ok());
+      if (m >= kInfinity) break;
+      FrontierSpec spec = rng.NextInt(0, 1) == 0
+                              ? FrontierSpec::DistEq(m)
+                              : FrontierSpec::DistOr(m + 5, m);
+      int64_t marked;
+      ASSERT_TRUE(fem.MarkFrontier(dir, spec, &marked).ok());
+      ExpectAggregatesExact(vt.get(), "after mark");
+      int64_t affected;
+      ASSERT_TRUE(fem.ExpandAndMerge(dir,
+                                     forward ? graph->Forward()
+                                             : graph->Backward(),
+                                     0, kInfinity, &affected)
+                      .ok());
+      ExpectAggregatesExact(vt.get(), "after merge");
+      ASSERT_TRUE(fem.FinalizeFrontier(dir).ok());
+      ExpectAggregatesExact(vt.get(), "after finalize");
+    }
+  }
+}
+
+TEST_P(FemAggregateTest, AuxiliaryStatementsAreScanFree) {
+  const auto& [strategy, mode] = GetParam();
+  EdgeList list = GenerateBarabasiAlbert(50, 2, WeightRange{1, 20}, 23);
+  Database db{DatabaseOptions{}};
+  GraphStoreOptions gopts;
+  gopts.strategy = strategy;
+  std::unique_ptr<GraphStore> graph;
+  ASSERT_TRUE(GraphStore::Create(&db, list, gopts, &graph).ok());
+  std::unique_ptr<VisitedTable> vt;
+  ASSERT_TRUE(VisitedTable::Create(&db, strategy, "TVscan", &vt).ok());
+  FemEngine fem(&db, vt.get(), mode);
+
+  const DirCols fwd = VisitedTable::ForwardCols();
+  ASSERT_TRUE(vt->InsertSourceAndTarget(0, 40).ok());
+  // Warm up: a couple of real expansions so TVisited has rows in every
+  // flag state.
+  for (int round = 0; round < 2; round++) {
+    weight_t m;
+    ASSERT_TRUE(fem.MinOpenDistance(fwd, &m).ok());
+    ASSERT_LT(m, kInfinity);
+    int64_t marked, affected;
+    ASSERT_TRUE(fem.MarkFrontier(fwd, FrontierSpec::DistEq(m), &marked).ok());
+    ASSERT_TRUE(
+        fem.ExpandAndMerge(fwd, graph->Forward(), 0, kInfinity, &affected)
+            .ok());
+    ASSERT_TRUE(fem.FinalizeFrontier(fwd).ok());
+  }
+
+  // The three aggregate probes: zero TVisited row accesses of any kind,
+  // while still counting as one SQL statement each.
+  vt->table()->ResetAccessStats();
+  const int64_t stmt_before = db.stats().statements;
+  weight_t m, mc;
+  int64_t n;
+  ASSERT_TRUE(fem.MinOpenDistance(fwd, &m).ok());
+  ASSERT_TRUE(fem.MinCost(&mc).ok());
+  ASSERT_TRUE(fem.CountOpen(fwd, &n).ok());
+  EXPECT_EQ(db.stats().statements - stmt_before, 3);
+  const TableAccessStats& stats = vt->table()->access_stats();
+  EXPECT_EQ(stats.full_scan_rows, 0);
+  EXPECT_EQ(stats.index_scan_rows, 0);
+  EXPECT_EQ(stats.point_lookups, 0);
+
+  // Under the indexed strategies the F-operator must not full-scan either:
+  // marking and finalizing a frontier goes through index probes only.
+  if (strategy != IndexStrategy::kNoIndex) {
+    vt->table()->ResetAccessStats();
+    ASSERT_TRUE(fem.MinOpenDistance(fwd, &m).ok());
+    if (m < kInfinity) {
+      int64_t marked;
+      ASSERT_TRUE(
+          fem.MarkFrontier(fwd, FrontierSpec::DistEq(m), &marked).ok());
+      ASSERT_TRUE(fem.FinalizeFrontier(fwd).ok());
+      EXPECT_EQ(vt->table()->access_stats().full_scan_rows, 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StrategiesAndModes, FemAggregateTest,
+    ::testing::Combine(::testing::Values(IndexStrategy::kNoIndex,
+                                         IndexStrategy::kIndex,
+                                         IndexStrategy::kCluIndex),
+                       ::testing::Values(SqlMode::kNsql, SqlMode::kTsql)),
+    [](const auto& info) {
+      return std::string(IndexStrategyName(std::get<0>(info.param))) + "_" +
+             SqlModeName(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace relgraph

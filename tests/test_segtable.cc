@@ -286,7 +286,9 @@ TEST(SegTableIncrementalTest, OverThresholdEdgeInsertsRawRows) {
 /// DESIGN.md invariant 2 (end-to-end): BSEG over SegTable returns
 /// original-graph shortest distances for every lthd.
 TEST(SegTableTest, BsegCorrectAcrossThresholds) {
-  EdgeList list = GenerateBarabasiAlbert(250, 3, WeightRange{1, 100}, 31);
+  // 130 nodes keeps every lthd regime meaningful (3 < min ball, 30 mid,
+  // 120 > max edge weight) while the three SegTable builds stay fast.
+  EdgeList list = GenerateBarabasiAlbert(130, 3, WeightRange{1, 100}, 31);
   MemGraph mem(list);
   Database db{DatabaseOptions{}};
   std::unique_ptr<GraphStore> graph;

@@ -31,7 +31,13 @@ std::map<std::pair<node_id_t, node_id_t>, weight_t> Snapshot(Table* table) {
 }
 
 /// Builds graph+SegTable over `list`, applies `deletions` incrementally,
-/// and compares against a from-scratch build on the reduced graph.
+/// and compares against a from-scratch build on the reduced graph. The
+/// maintained side runs under `strategy` (that is what is being tested);
+/// the rebuild *oracle* always runs under kCluIndex — the (fid, tid) ->
+/// cost map Snapshot() compares is a property of the graph alone (segment
+/// costs are shortest distances, independent of access-path or scan
+/// order), and the indexed build is an order of magnitude faster than the
+/// NoIndex full-scan build it used to mirror.
 void ExpectDeletionMatchesRebuild(const EdgeList& list,
                                   const std::vector<Edge>& deletions,
                                   weight_t lthd, IndexStrategy strategy) {
@@ -58,10 +64,14 @@ void ExpectDeletionMatchesRebuild(const EdgeList& list,
   }
 
   Database db2{DatabaseOptions{}};
+  GraphStoreOptions oracle_gopts;
+  oracle_gopts.strategy = IndexStrategy::kCluIndex;
   std::unique_ptr<GraphStore> graph2;
-  ASSERT_TRUE(GraphStore::Create(&db2, reduced, gopts, &graph2).ok());
+  ASSERT_TRUE(GraphStore::Create(&db2, reduced, oracle_gopts, &graph2).ok());
+  SegTableOptions oracle_opts = opts;
+  oracle_opts.strategy = IndexStrategy::kCluIndex;
   std::unique_ptr<SegTable> rebuilt;
-  ASSERT_TRUE(SegTable::Build(&db2, graph2.get(), opts, &rebuilt).ok());
+  ASSERT_TRUE(SegTable::Build(&db2, graph2.get(), oracle_opts, &rebuilt).ok());
 
   EXPECT_EQ(Snapshot(segtable->out_segs()), Snapshot(rebuilt->out_segs()))
       << "TOutSegs diverged";
@@ -164,7 +174,11 @@ class SegTableDeletionRandomTest
 
 TEST_P(SegTableDeletionRandomTest, MatchesRebuildOnRandomDeletions) {
   const auto& [strategy, seed] = GetParam();
-  EdgeList list = GenerateBarabasiAlbert(90, 3, WeightRange{1, 20}, seed);
+  // NoIndex pays a full edge-table scan per settled ball node during
+  // maintenance; a smaller instance keeps the same property under test
+  // while staying inside the suite's time budget.
+  const int64_t nodes = strategy == IndexStrategy::kNoIndex ? 48 : 90;
+  EdgeList list = GenerateBarabasiAlbert(nodes, 3, WeightRange{1, 20}, seed);
   // Delete 10 random edges (distinct positions).
   Rng rng(seed + 99);
   std::vector<Edge> deletions;
