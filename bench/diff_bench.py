@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Perf regression gate: diff RELGRAPH_JSON bench runs against the
+checked-in baseline and fail on latency regressions.
+
+Usage:
+    python3 bench/diff_bench.py --run build/smoke_1.json [smoke_2.json ...] \
+        [--baseline BENCH_baseline.json] [--baseline-key ci_smoke] \
+        [--tolerance 0.25] [--metric time_s]
+
+The baseline file is BENCH_baseline.json at the repo root. The CI job runs
+the smoke-scale bench_fig6a three times (RELGRAPH_QUERIES=4,
+RELGRAPH_SCALE=0.2) and gates the per-record *minimum* wall-clock against
+the `ci_smoke` record list, which was captured the same way (min of three
+runs). Min-of-N is the noise treatment: scheduler interference only ever
+adds time, so the minimum is the stable estimator a single run is not.
+
+Records are matched on (experiment, label, context); a run record more
+than `tolerance` (default 25%) slower than its baseline fails the job, as
+does a baseline record missing from the run (a silently dropped benchmark
+is a regression too). Counter metrics (statements, expansions, visited)
+are compared exactly and across every run: they are deterministic, so
+*any* drift is a behaviour change, not noise.
+
+With --normalize (what CI uses), each record's latency is divided by the
+total latency of its own run before comparison, so a uniformly faster or
+slower machine cancels out: the gate then catches *structural* regressions
+(one algorithm/graph-size cell slowing relative to the rest) across runner
+classes, at the cost of missing a perfectly uniform slowdown. Without the
+flag, absolute wall-clock is compared — the right mode when the run and
+the baseline come from the same machine (local development).
+
+The tolerance can also be set via RELGRAPH_BENCH_TOLERANCE. Absolute
+wall-clock baselines are machine-specific — refresh the `ci_smoke` block
+whenever the CI runner generation changes.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+EXACT_METRICS = ("statements", "expansions", "visited", "found", "total")
+
+
+def record_key(rec):
+    ctx = rec.get("context", {})
+    ctx_key = tuple(sorted((k, v) for k, v in ctx.items()))
+    return (rec.get("experiment", "?"), rec.get("label", "?"), ctx_key)
+
+
+def fmt_key(key):
+    experiment, label, ctx = key
+    ctx_s = ", ".join(f"{k}={v:g}" for k, v in ctx)
+    return f"{experiment} / {label} ({ctx_s})"
+
+
+def merge_runs(run_files, metric, failures):
+    """Per-record min of `metric` across runs; exact metrics must agree."""
+    merged = {}
+    for path in run_files:
+        with open(path) as f:
+            run = json.load(f)
+        for rec in run:
+            key = record_key(rec)
+            metrics = rec.get("metrics", {})
+            if key not in merged:
+                merged[key] = dict(metrics)
+                continue
+            best = merged[key]
+            for m in EXACT_METRICS:
+                if m in best and m in metrics and best[m] != metrics[m]:
+                    failures.append(
+                        f"{fmt_key(key)}: {m} differs between runs "
+                        f"({best[m]:g} vs {metrics[m]:g}) — deterministic "
+                        f"counters must not vary")
+            if metric in metrics and metric in best:
+                best[metric] = min(best[metric], metrics[metric])
+    return merged
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--run", required=True, nargs="+",
+                        help="bench JSON file(s) from this build; latency is "
+                             "gated on the per-record minimum across them")
+    parser.add_argument("--baseline", default="BENCH_baseline.json")
+    parser.add_argument("--baseline-key", default="ci_smoke",
+                        help="top-level key in the baseline file holding the "
+                             "record list to diff against")
+    parser.add_argument("--metric", default="time_s",
+                        help="latency metric to gate on")
+    parser.add_argument("--normalize", action="store_true",
+                        help="compare per-record latency *shares* of the run "
+                             "total instead of absolute seconds (machine-"
+                             "independent; used by CI)")
+    parser.add_argument("--tolerance", type=float,
+                        default=float(os.environ.get(
+                            "RELGRAPH_BENCH_TOLERANCE", "0.25")),
+                        help="allowed fractional latency regression")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline_doc = json.load(f)
+    baseline = baseline_doc.get(args.baseline_key)
+    if baseline is None:
+        print(f"FAIL: baseline file has no '{args.baseline_key}' record list")
+        return 1
+
+    failures = []
+    run_by_key = merge_runs(args.run, args.metric, failures)
+
+    def normalizer(records):
+        total = sum(m.get(args.metric, 0.0) for m in records)
+        return total if total > 0 else 1.0
+
+    run_norm = base_norm = 1.0
+    unit = "s"
+    if args.normalize:
+        run_norm = normalizer(list(run_by_key.values()))
+        base_norm = normalizer([r.get("metrics", {}) for r in baseline])
+        unit = " (share)"
+    lines = []
+    for base_rec in baseline:
+        key = record_key(base_rec)
+        run_m = run_by_key.get(key)
+        if run_m is None:
+            failures.append(f"missing from run: {fmt_key(key)}")
+            continue
+        base_m = base_rec.get("metrics", {})
+
+        for metric in EXACT_METRICS:
+            if metric in base_m and metric in run_m:
+                if base_m[metric] != run_m[metric]:
+                    failures.append(
+                        f"{fmt_key(key)}: {metric} changed "
+                        f"{base_m[metric]:g} -> {run_m[metric]:g} "
+                        f"(deterministic counter; must be identical)")
+
+        base_t = base_m.get(args.metric)
+        run_t = run_m.get(args.metric)
+        if base_t is None or run_t is None:
+            failures.append(f"{fmt_key(key)}: metric {args.metric} absent")
+            continue
+        base_v = base_t / base_norm
+        run_v = run_t / run_norm
+        ratio = run_v / base_v if base_v > 0 else float("inf")
+        verdict = "ok"
+        if ratio > 1.0 + args.tolerance:
+            verdict = "REGRESSION"
+            failures.append(
+                f"{fmt_key(key)}: {args.metric} {base_v:.6f}{unit} -> "
+                f"{run_v:.6f}{unit} "
+                f"({ratio:.2f}x, tolerance {1.0 + args.tolerance:.2f}x)")
+        lines.append(f"  {fmt_key(key)}: {base_v:.6f}{unit} -> "
+                     f"{run_v:.6f}{unit} ({ratio:.2f}x) {verdict}")
+
+    # Symmetric coverage check: a run record the baseline does not know is
+    # gated against nothing, and under --normalize it silently dilutes
+    # every other record's share — so it fails the job until the baseline
+    # is refreshed to include it.
+    base_keys = {record_key(r) for r in baseline}
+    for key in run_by_key:
+        if key not in base_keys:
+            failures.append(
+                f"missing from baseline: {fmt_key(key)} (refresh the "
+                f"'{args.baseline_key}' block to cover it)")
+
+    print(f"diff_bench: {len(baseline)} baseline record(s), "
+          f"{len(args.run)} run file(s), tolerance +{args.tolerance:.0%} on "
+          f"{args.metric} (min across runs"
+          f"{', normalized to run totals' if args.normalize else ''})")
+    for line in lines:
+        print(line)
+    if failures:
+        print(f"\nFAIL ({len(failures)} issue(s)):")
+        for f_line in failures:
+            print(f"  {f_line}")
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,13 @@ struct Rid {
   bool IsValid() const { return page_id != kInvalidPageId; }
 };
 
+/// Default rows moved per Executor::NextBatch() call and evaluated per
+/// Expression::EvalBatch() column loop. Large enough to amortize per-batch
+/// virtual dispatch and name resolution, small enough to stay
+/// cache-resident. The effective size is runtime-tunable for benchmarks via
+/// SetExecBatchSize() (src/exec/executor.h); everything else uses this.
+constexpr size_t kExecBatchSize = 1024;
+
 /// Node identifier in a graph (matches the paper's `nid`/`fid`/`tid`).
 using node_id_t = int64_t;
 /// Edge weight / path distance. The paper uses integer weights in [1,100];

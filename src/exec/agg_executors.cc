@@ -11,23 +11,20 @@ struct AggState {
   int64_t count = 0;
 };
 
-void Accumulate(const AggSpec& spec, const Tuple& tuple, const Schema& schema,
-                AggState* state) {
-  if (spec.op == AggOp::kCount) {
-    if (spec.expr == nullptr) {
-      state->count++;
-    } else if (!spec.expr->Evaluate(tuple, schema).IsNull()) {
-      state->count++;
-    }
+/// Folds one already-evaluated input value into the accumulator. The
+/// argument expressions are evaluated per batch (EvalBatch) by the callers,
+/// so this is the whole per-row cost of aggregation.
+void AccumulateValue(AggOp op, const Value& v, AggState* state) {
+  if (op == AggOp::kCount) {
+    if (!v.IsNull()) state->count++;
     return;
   }
-  Value v = spec.expr->Evaluate(tuple, schema);
   if (v.IsNull()) return;  // SQL aggregates skip NULLs
   if (state->acc.IsNull()) {
     state->acc = v;
     return;
   }
-  switch (spec.op) {
+  switch (op) {
     case AggOp::kMin:
       if (v.Compare(state->acc) < 0) state->acc = v;
       break;
@@ -91,15 +88,31 @@ Status HashAggregateExecutor::Init() {
            })>
       groups;
 
-  Tuple t;
-  while (child_->Next(&t)) {
-    std::vector<Value> key;
-    key.reserve(group_idx.size());
-    for (size_t gi : group_idx) key.push_back(t.value(gi));
-    auto [it, inserted] =
-        groups.try_emplace(std::move(key), std::vector<AggState>(aggs_.size()));
-    for (size_t i = 0; i < aggs_.size(); i++) {
-      Accumulate(aggs_[i], t, in, &it->second[i]);
+  // Batched build: the child drains through the borrowed-batch interface
+  // (the build never owns the input rows), and each aggregate's argument
+  // expression is evaluated as one column per batch; the per-row work is
+  // just the group probe and accumulator fold.
+  const Tuple* batch = nullptr;
+  size_t cnt = 0;
+  std::vector<ValueColumn> agg_cols(aggs_.size());
+  while (child_->NextBatchView(&batch, &cnt)) {
+    RowBatch rb(batch, cnt, in);
+    for (size_t k = 0; k < aggs_.size(); k++) {
+      if (aggs_[k].expr != nullptr) aggs_[k].expr->EvalBatch(rb, &agg_cols[k]);
+    }
+    for (size_t r = 0; r < cnt; r++) {
+      std::vector<Value> key;
+      key.reserve(group_idx.size());
+      for (size_t gi : group_idx) key.push_back(batch[r].value(gi));
+      auto [it, inserted] = groups.try_emplace(
+          std::move(key), std::vector<AggState>(aggs_.size()));
+      for (size_t k = 0; k < aggs_.size(); k++) {
+        if (aggs_[k].expr == nullptr) {
+          it->second[k].count++;  // COUNT(*)
+        } else {
+          AccumulateValue(aggs_[k].op, agg_cols[k].Get(r), &it->second[k]);
+        }
+      }
     }
   }
   RELGRAPH_RETURN_IF_ERROR(child_->status());
@@ -131,6 +144,10 @@ bool HashAggregateExecutor::Next(Tuple* out) {
   return true;
 }
 
+bool HashAggregateExecutor::NextBatch(std::vector<Tuple>* out) {
+  return ReplayBatch(results_, &pos_, out);
+}
+
 const Schema& HashAggregateExecutor::OutputSchema() const {
   return output_schema_;
 }
@@ -140,9 +157,19 @@ Status EvalScalarAggregate(Executor* child, AggOp op, ExprRef expr,
   RELGRAPH_RETURN_IF_ERROR(child->Init());
   AggSpec spec{op, std::move(expr), "agg"};
   AggState state;
-  Tuple t;
-  while (child->Next(&t)) {
-    Accumulate(spec, t, child->OutputSchema(), &state);
+  const Tuple* batch = nullptr;
+  size_t cnt = 0;
+  ValueColumn col;
+  while (child->NextBatchView(&batch, &cnt)) {
+    if (spec.expr == nullptr) {  // COUNT(*): no expression to evaluate
+      state.count += static_cast<int64_t>(cnt);
+      continue;
+    }
+    RowBatch rb(batch, cnt, child->OutputSchema());
+    spec.expr->EvalBatch(rb, &col);
+    for (size_t i = 0; i < col.size(); i++) {
+      AccumulateValue(op, col.Get(i), &state);
+    }
   }
   RELGRAPH_RETURN_IF_ERROR(child->status());
   *out = Finalize(spec, state);

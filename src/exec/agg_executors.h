@@ -28,6 +28,7 @@ class HashAggregateExecutor : public Executor {
                         std::vector<AggSpec> aggs);
   Status Init() override;
   bool Next(Tuple* out) override;
+  bool NextBatch(std::vector<Tuple>* out) override;
   const Schema& OutputSchema() const override;
   void Explain(int depth, std::string* out) const override {
     Indent(depth, out);

@@ -9,19 +9,41 @@ namespace relgraph {
 Status InsertFromExecutor(Table* table, Executor* source, int64_t* inserted) {
   *inserted = 0;
   RELGRAPH_RETURN_IF_ERROR(source->Init());
-  Tuple t;
-  while (source->Next(&t)) {
-    RELGRAPH_RETURN_IF_ERROR(table->Insert(t));
-    (*inserted)++;
+  std::vector<Tuple> batch;
+  while (source->NextBatch(&batch)) {
+    for (const Tuple& t : batch) {
+      RELGRAPH_RETURN_IF_ERROR(table->Insert(t));
+      (*inserted)++;
+    }
   }
   return source->status();
 }
 
 namespace {
 
+/// Pulls up to ExecBatchSize() (row, ref) pairs from `it`. `exhausted`
+/// latches once the iterator reports false so a failed iterator is never
+/// resumed (same contract as the scan executors).
+bool DrainScanBatch(Table::Iterator* it, bool* exhausted,
+                    std::vector<Tuple>* rows, std::vector<RowRef>* refs) {
+  refs->clear();
+  bool got = DrainBatchInto(rows, [&](Tuple* t) {
+    if (*exhausted) return false;
+    RowRef ref;
+    if (!it->Next(t, &ref)) {
+      *exhausted = true;
+      return false;
+    }
+    refs->push_back(ref);
+    return true;
+  });
+  return got;
+}
+
 /// Shared tail of the UPDATE plans: evaluate SET clauses over the matched
 /// rows, then apply (the collect-then-apply split keeps the scan stable
-/// under row movement).
+/// under row movement). Both the WHERE predicate and the SET expressions
+/// run in batch mode — one EvalBatch column per scan batch.
 Status ApplyUpdates(Table* table, Table::Iterator it, ExprRef predicate,
                     const std::vector<SetClause>& sets, int64_t* affected,
                     const RowChangeObserver& observer) {
@@ -37,15 +59,53 @@ Status ApplyUpdates(Table* table, Table::Iterator it, ExprRef predicate,
   // The pre-image is only materialized when someone listens for it.
   const bool want_old = observer != nullptr;
   std::vector<std::tuple<RowRef, Tuple, Tuple>> pending;  // ref, old, new
-  Tuple t;
-  RowRef ref;
-  while (it.Next(&t, &ref)) {
-    if (predicate != nullptr && !EvalPredicate(*predicate, t, schema)) continue;
-    Tuple updated = t;
-    for (const auto& [idx, expr] : resolved) {
-      updated.value(idx) = expr->Evaluate(t, schema);
+  std::vector<Tuple> rows;
+  std::vector<RowRef> refs;
+  ValueColumn pred_scratch;
+  std::vector<char> keep;
+  std::vector<Tuple> matched;
+  std::vector<RowRef> matched_refs;
+  std::vector<ValueColumn> set_cols(resolved.size());
+  bool exhausted = false;
+  while (DrainScanBatch(&it, &exhausted, &rows, &refs)) {
+    if (predicate != nullptr) {
+      RowBatch batch(rows, schema);
+      EvalPredicateBatch(*predicate, batch, &pred_scratch, &keep);
+      matched.clear();
+      matched_refs.clear();
+      for (size_t i = 0; i < rows.size(); i++) {
+        if (keep[i]) {
+          matched.push_back(std::move(rows[i]));
+          matched_refs.push_back(refs[i]);
+        }
+      }
+    } else {
+      // Swap, not move: the displaced batch flows back into `rows`, whose
+      // recycled slot buffers the next DrainScanBatch then reuses.
+      matched.swap(rows);
+      matched_refs = refs;
     }
-    pending.emplace_back(ref, want_old ? t : Tuple(), std::move(updated));
+    if (matched.empty()) continue;
+    // SET expressions see the *old* rows — one column per clause when the
+    // match set is big enough to amortize it, row-at-a-time otherwise.
+    const bool vectorize_sets = matched.size() >= kMinVectorizedRows;
+    if (vectorize_sets) {
+      RowBatch mbatch(matched, schema);
+      for (size_t k = 0; k < resolved.size(); k++) {
+        resolved[k].second->EvalBatch(mbatch, &set_cols[k]);
+      }
+    }
+    for (size_t i = 0; i < matched.size(); i++) {
+      Tuple updated = matched[i];
+      for (size_t k = 0; k < resolved.size(); k++) {
+        updated.value(resolved[k].first) =
+            vectorize_sets ? set_cols[k].Get(i)
+                           : resolved[k].second->Evaluate(matched[i], schema);
+      }
+      pending.emplace_back(matched_refs[i],
+                           want_old ? std::move(matched[i]) : Tuple(),
+                           std::move(updated));
+    }
   }
   RELGRAPH_RETURN_IF_ERROR(it.status());
   for (const auto& [row_ref, old_row, new_row] : pending) {
@@ -81,11 +141,21 @@ Status DeleteWhere(Table* table, ExprRef predicate, int64_t* affected) {
   const Schema& schema = table->schema();
   std::vector<RowRef> pending;
   Table::Iterator it = table->Scan();
-  Tuple t;
-  RowRef ref;
-  while (it.Next(&t, &ref)) {
-    if (predicate != nullptr && !EvalPredicate(*predicate, t, schema)) continue;
-    pending.push_back(ref);
+  std::vector<Tuple> rows;
+  std::vector<RowRef> refs;
+  ValueColumn pred_scratch;
+  std::vector<char> keep;
+  bool exhausted = false;
+  while (DrainScanBatch(&it, &exhausted, &rows, &refs)) {
+    if (predicate == nullptr) {
+      pending.insert(pending.end(), refs.begin(), refs.end());
+      continue;
+    }
+    RowBatch batch(rows, schema);
+    EvalPredicateBatch(*predicate, batch, &pred_scratch, &keep);
+    for (size_t i = 0; i < rows.size(); i++) {
+      if (keep[i]) pending.push_back(refs[i]);
+    }
   }
   RELGRAPH_RETURN_IF_ERROR(it.status());
   for (const auto& row_ref : pending) {
@@ -142,57 +212,69 @@ Status MergeInto(Table* target, Executor* source, const MergeSpec& spec,
     resolved_sets.emplace_back(static_cast<size_t>(idx), s.expr);
   }
 
-  RELGRAPH_RETURN_IF_ERROR(source->Init());
-  Tuple src;
-  while (source->Next(&src)) {
-    const Value& key = src.value(src_key_idx);
-    if (key.IsNull()) continue;
-    Tuple existing;
-    RowRef ref;
-    Status found;
-    if (use_index) {
-      found = target->LookupUnique(spec.target_key_column, key.AsInt(),
-                                   &existing, &ref);
-    } else {
-      auto it = hash_side.find(key.AsInt());
-      if (it != hash_side.end()) {
-        ref = it->second.first;
-        existing = it->second.second;
-        found = Status::OK();
+  // SQL MERGE semantics: the source is evaluated against the target's
+  // *pre-statement* state (the standard's snapshot rule; also sidesteps
+  // the Halloween problem when the source subquery reads the target). The
+  // source therefore drains completely — through the batched Collect path,
+  // so a SELECT-backed source (the paper's windowed expansion subquery)
+  // still runs its whole pipeline in batch mode — before any merge action
+  // runs. The per-row probe/update/insert below is inherently
+  // row-at-a-time: each action sees the effect of the previous source row
+  // on the target.
+  std::vector<Tuple> src_rows;
+  RELGRAPH_RETURN_IF_ERROR(Collect(source, &src_rows));
+  {
+    for (size_t si = 0; si < src_rows.size(); si++) {
+      const Tuple& src = src_rows[si];
+      const Value& key = src.value(src_key_idx);
+      if (key.IsNull()) continue;
+      Tuple existing;
+      RowRef ref;
+      Status found;
+      if (use_index) {
+        found = target->LookupUnique(spec.target_key_column, key.AsInt(),
+                                     &existing, &ref);
       } else {
-        found = Status::NotFound("");
+        auto it = hash_side.find(key.AsInt());
+        if (it != hash_side.end()) {
+          ref = it->second.first;
+          existing = it->second.second;
+          found = Status::OK();
+        } else {
+          found = Status::NotFound("");
+        }
       }
-    }
-    if (found.ok()) {
-      Tuple joined = ConcatTuples(existing, src);
-      if (spec.matched_condition != nullptr &&
-          !EvalPredicate(*spec.matched_condition, joined, combined)) {
-        continue;
+      if (found.ok()) {
+        Tuple joined = ConcatTuples(existing, src);
+        if (spec.matched_condition != nullptr &&
+            !EvalPredicate(*spec.matched_condition, joined, combined)) {
+          continue;
+        }
+        if (resolved_sets.empty()) continue;
+        Tuple updated = existing;
+        for (const auto& [idx, expr] : resolved_sets) {
+          updated.value(idx) = expr->Evaluate(joined, combined);
+        }
+        RELGRAPH_RETURN_IF_ERROR(target->UpdateRow(ref, updated));
+        if (spec.observer != nullptr) spec.observer(&existing, updated);
+        if (!use_index) hash_side[key.AsInt()] = {ref, updated};
+        (*affected)++;
+      } else if (found.IsNotFound()) {
+        if (spec.insert_values.empty()) continue;
+        std::vector<Value> values;
+        values.reserve(spec.insert_values.size());
+        for (const auto& e : spec.insert_values) {
+          values.push_back(e->Evaluate(src, source_schema));
+        }
+        Tuple fresh(std::move(values));
+        RowRef fresh_ref;
+        RELGRAPH_RETURN_IF_ERROR(target->Insert(fresh, &fresh_ref));
+        if (spec.observer != nullptr) spec.observer(nullptr, fresh);
+        if (!use_index) hash_side[key.AsInt()] = {fresh_ref, fresh};
+        (*affected)++;
+      } else {
+        return found;
       }
-      if (resolved_sets.empty()) continue;
-      Tuple updated = existing;
-      for (const auto& [idx, expr] : resolved_sets) {
-        updated.value(idx) = expr->Evaluate(joined, combined);
-      }
-      RELGRAPH_RETURN_IF_ERROR(target->UpdateRow(ref, updated));
-      if (spec.observer != nullptr) spec.observer(&existing, updated);
-      if (!use_index) hash_side[key.AsInt()] = {ref, updated};
-      (*affected)++;
-    } else if (found.IsNotFound()) {
-      if (spec.insert_values.empty()) continue;
-      std::vector<Value> values;
-      values.reserve(spec.insert_values.size());
-      for (const auto& e : spec.insert_values) {
-        values.push_back(e->Evaluate(src, source_schema));
-      }
-      Tuple fresh(std::move(values));
-      RowRef fresh_ref;
-      RELGRAPH_RETURN_IF_ERROR(target->Insert(fresh, &fresh_ref));
-      if (spec.observer != nullptr) spec.observer(nullptr, fresh);
-      if (!use_index) hash_side[key.AsInt()] = {fresh_ref, fresh};
-      (*affected)++;
-    } else {
-      return found;
     }
   }
   return source->status();

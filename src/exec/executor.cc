@@ -1,0 +1,30 @@
+#include "src/exec/executor.h"
+
+namespace relgraph {
+
+namespace {
+size_t g_exec_batch_size = kExecBatchSize;
+}  // namespace
+
+size_t ExecBatchSize() { return g_exec_batch_size; }
+
+void SetExecBatchSize(size_t n) {
+  g_exec_batch_size = n == 0 ? kExecBatchSize : n;
+}
+
+void Executor::Explain(int depth, std::string* out) const {
+  Indent(depth, out);
+  out->append("Operator\n");
+}
+
+Status Collect(Executor* exec, std::vector<Tuple>* out) {
+  RELGRAPH_RETURN_IF_ERROR(exec->Init());
+  std::vector<Tuple> batch;
+  while (exec->NextBatch(&batch)) {
+    out->insert(out->end(), std::make_move_iterator(batch.begin()),
+                std::make_move_iterator(batch.end()));
+  }
+  return exec->status();
+}
+
+}  // namespace relgraph

@@ -3,15 +3,38 @@
 #include <memory>
 #include <vector>
 
+#include "src/common/config.h"
 #include "src/common/status.h"
 #include "src/types/schema.h"
 #include "src/types/tuple.h"
 
 namespace relgraph {
 
-/// Rows moved per NextBatch() call. Large enough to amortize the per-batch
-/// virtual dispatch, small enough to stay cache-resident.
-inline constexpr size_t kExecBatchSize = 1024;
+/// Effective rows-per-NextBatch cap. Defaults to kExecBatchSize
+/// (src/common/config.h); SetExecBatchSize lets benchmarks sweep it
+/// (bench_micro_exec) and tests force degenerate sizes. Not thread-safe —
+/// set it before running plans, never mid-drain.
+size_t ExecBatchSize();
+void SetExecBatchSize(size_t n);  // n = 0 restores kExecBatchSize
+
+/// Shared body of every batch drain: pulls up to ExecBatchSize() rows via
+/// `pull(Tuple*)` straight into `out`'s slots. The slot discipline is the
+/// batch path's core perf invariant — grow on demand (short streams never
+/// pay for slots they don't use), never clear() (recycled tuples keep
+/// their heap buffers), trim with resize at the end — so it lives here
+/// once rather than in each drain site.
+template <typename PullFn>
+bool DrainBatchInto(std::vector<Tuple>* out, PullFn pull) {
+  const size_t cap = ExecBatchSize();
+  size_t n = 0;
+  while (n < cap) {
+    if (n == out->size()) out->emplace_back();
+    if (!pull(&(*out)[n])) break;
+    n++;
+  }
+  out->resize(n);
+  return n > 0;
+}
 
 /// Volcano-style pull executor: Init() once, then Next() until it returns
 /// false; check status() afterwards to distinguish end-of-stream from error.
@@ -31,17 +54,26 @@ class Executor {
   /// Produces the next tuple; false at end of stream or on error.
   virtual bool Next(Tuple* out) = 0;
 
-  /// Clears `out` and appends up to kExecBatchSize tuples. Returns false
+  /// Clears `out` and appends up to ExecBatchSize() tuples. Returns false
   /// when the stream is exhausted (out left empty) or on error — like
   /// Next(), check status() to tell the two apart. The batch vector is
   /// caller-owned so its capacity is reused across calls.
   virtual bool NextBatch(std::vector<Tuple>* out) {
-    out->clear();
-    Tuple t;
-    while (out->size() < kExecBatchSize && Next(&t)) {
-      out->push_back(std::move(t));
-    }
-    return !out->empty();
+    return DrainBatchInto(out, [this](Tuple* t) { return Next(t); });
+  }
+
+  /// Borrowed-batch pull: points *rows/*n at up to ExecBatchSize() tuples
+  /// owned by this executor, valid only until the next pull of any kind.
+  /// Consumers that do not need to own the tuples — filters, projections,
+  /// aggregate builds, the MERGE source drain — read through this and skip
+  /// a per-batch tuple copy. The default adapts NextBatch through an
+  /// internal buffer (no worse than a caller-owned batch); operators that
+  /// already hold their output (Materialized) serve it with zero copies.
+  virtual bool NextBatchView(const Tuple** rows, size_t* n) {
+    if (!NextBatch(&view_buffer_)) return false;
+    *rows = view_buffer_.data();
+    *n = view_buffer_.size();
+    return true;
   }
 
   virtual const Schema& OutputSchema() const = 0;
@@ -60,20 +92,28 @@ class Executor {
   }
 
   Status status_;
+  std::vector<Tuple> view_buffer_;  // backs the default NextBatchView
 };
 
 using ExecRef = std::unique_ptr<Executor>;
 
 /// Shared NextBatch body for executors that replay a materialized vector
-/// (Materialized, Window): copies rows [*pos, ...) into `out` up to the
-/// batch cap, advancing *pos.
+/// (Materialized, HashAggregate): copies rows [*pos, ...) into `out` up to
+/// the batch cap, advancing *pos. Rows are copy-assigned into the batch's
+/// existing slots — not clear()ed and re-pushed — so a reused batch vector
+/// keeps its tuples' heap buffers and the steady-state replay allocates
+/// nothing (the same trick that makes single-tuple Next() into one reused
+/// out-tuple cheap).
 inline bool ReplayBatch(const std::vector<Tuple>& rows, size_t* pos,
                         std::vector<Tuple>* out) {
-  out->clear();
-  while (*pos < rows.size() && out->size() < kExecBatchSize) {
-    out->push_back(rows[(*pos)++]);
+  const size_t cap = ExecBatchSize();
+  const size_t left = rows.size() - *pos;
+  const size_t n = left < cap ? left : cap;
+  out->resize(n);
+  for (size_t i = 0; i < n; i++) {
+    (*out)[i] = rows[(*pos)++];
   }
-  return !out->empty();
+  return n > 0;
 }
 
 /// Drains `exec` into a vector (Init + Next*). Errors propagate.

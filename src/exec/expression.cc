@@ -1,16 +1,108 @@
 #include "src/exec/expression.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace relgraph {
 
+void Expression::EvalBatch(const RowBatch& batch, ValueColumn* out) const {
+  // Scalar fallback: one Evaluate per row. Operator nodes override this
+  // with column-at-a-time kernels.
+  out->Reset(batch.num_rows());
+  for (const Tuple& t : batch) {
+    out->Append(Evaluate(t, batch.schema()));
+  }
+}
+
 namespace {
+
+/// Thread-local LIFO pool of scratch columns for EvalBatch's interior
+/// nodes. Borrow depth equals expression-tree depth, and a returned slot is
+/// handed back to the next borrower at the same depth, so the vectors keep
+/// their capacity across batches — steady-state batch evaluation allocates
+/// nothing.
+class ScratchPool {
+ public:
+  ValueColumn* Borrow() {
+    if (next_ == cols_.size()) {
+      cols_.push_back(std::make_unique<ValueColumn>());
+    }
+    return cols_[next_++].get();
+  }
+  void Return() { next_--; }
+
+ private:
+  std::vector<std::unique_ptr<ValueColumn>> cols_;
+  size_t next_ = 0;
+};
+
+thread_local ScratchPool g_scratch_pool;
+
+/// RAII borrow. Declare in evaluation order; destruction order being the
+/// reverse keeps the pool's LIFO discipline.
+class ScratchColumn {
+ public:
+  ScratchColumn() : col_(g_scratch_pool.Borrow()) {}
+  ~ScratchColumn() { g_scratch_pool.Return(); }
+  ScratchColumn(const ScratchColumn&) = delete;
+  ScratchColumn& operator=(const ScratchColumn&) = delete;
+  ValueColumn& operator*() { return *col_; }
+  ValueColumn* get() { return col_; }
+
+ private:
+  ValueColumn* col_;
+};
+
+/// Unboxed binary kernel: both inputs are int columns; `f` combines two
+/// non-null int64s. NULL in either input yields NULL (SQL arithmetic /
+/// comparison semantics). The null-free loop is branchless per row — this
+/// is the code the whole TVisited workload runs.
+template <typename IntFn>
+void IntBinaryKernel(const ValueColumn& l, const ValueColumn& r,
+                     ValueColumn* out, IntFn f) {
+  const size_t n = l.size();
+  out->ResetIntFilled(n);
+  std::vector<int64_t>& o = out->MutableInts();
+  const std::vector<int64_t>& a = l.ints();
+  const std::vector<int64_t>& b = r.ints();
+  if (!l.has_nulls() && !r.has_nulls()) {
+    for (size_t i = 0; i < n; i++) o[i] = f(a[i], b[i]);
+    return;
+  }
+  for (size_t i = 0; i < n; i++) {
+    if (l.IsNull(i) || r.IsNull(i)) {
+      out->SetNull(i);
+    } else {
+      o[i] = f(a[i], b[i]);
+    }
+  }
+}
+
+/// Boxed binary kernel: the general path when either side left the int
+/// representation. `combine` is the node's scalar Combine, so the two
+/// evaluation modes share one semantics definition.
+template <typename CombineFn>
+void BoxedBinaryKernel(const ValueColumn& l, const ValueColumn& r,
+                       ValueColumn* out, CombineFn combine) {
+  const size_t n = l.size();
+  out->Reset(n);
+  for (size_t i = 0; i < n; i++) {
+    out->Append(combine(l.Get(i), r.Get(i)));
+  }
+}
 
 class ColumnExpr : public Expression {
  public:
   explicit ColumnExpr(std::string name) : name_(std::move(name)) {}
   Value Evaluate(const Tuple& tuple, const Schema& schema) const override {
     return tuple.value(schema.IndexOf(name_));
+  }
+  void EvalBatch(const RowBatch& batch, ValueColumn* out) const override {
+    // The whole point of batch mode: the name -> position lookup happens
+    // once here instead of once per row.
+    out->Reset(batch.num_rows());
+    const size_t idx = batch.schema().IndexOf(name_);
+    for (const Tuple& t : batch) out->AppendRef(t.value(idx));
   }
   std::string ToString() const override { return name_; }
 
@@ -22,6 +114,21 @@ class LiteralExpr : public Expression {
  public:
   explicit LiteralExpr(Value v) : value_(std::move(v)) {}
   Value Evaluate(const Tuple&, const Schema&) const override { return value_; }
+  void EvalBatch(const RowBatch& batch, ValueColumn* out) const override {
+    const size_t n = batch.num_rows();
+    if (value_.type() == TypeId::kInt) {
+      out->ResetIntFilled(n);
+      std::vector<int64_t>& o = out->MutableInts();
+      std::fill(o.begin(), o.end(), value_.AsInt());
+      return;
+    }
+    out->Reset(n);
+    if (value_.IsNull()) {
+      for (size_t i = 0; i < n; i++) out->AppendNull();
+    } else {
+      for (size_t i = 0; i < n; i++) out->Append(value_);
+    }
+  }
   std::string ToString() const override { return value_.ToString(); }
 
  private:
@@ -31,8 +138,23 @@ class LiteralExpr : public Expression {
 class AddExpr : public Expression {
  public:
   AddExpr(ExprRef l, ExprRef r) : left_(std::move(l)), right_(std::move(r)) {}
+  static Value Combine(const Value& lv, const Value& rv) {
+    return lv.Add(rv);
+  }
   Value Evaluate(const Tuple& t, const Schema& s) const override {
-    return left_->Evaluate(t, s).Add(right_->Evaluate(t, s));
+    return Combine(left_->Evaluate(t, s), right_->Evaluate(t, s));
+  }
+  void EvalBatch(const RowBatch& batch, ValueColumn* out) const override {
+    ScratchColumn ls, rs;
+    ValueColumn& l = *ls;
+    ValueColumn& r = *rs;
+    left_->EvalBatch(batch, &l);
+    right_->EvalBatch(batch, &r);
+    if (l.is_int() && r.is_int()) {
+      IntBinaryKernel(l, r, out, [](int64_t a, int64_t b) { return a + b; });
+    } else {
+      BoxedBinaryKernel(l, r, out, Combine);
+    }
   }
   std::string ToString() const override {
     return "(" + left_->ToString() + " + " + right_->ToString() + ")";
@@ -42,20 +164,114 @@ class AddExpr : public Expression {
   ExprRef left_, right_;
 };
 
+class SubExpr : public Expression {
+ public:
+  SubExpr(ExprRef l, ExprRef r) : left_(std::move(l)), right_(std::move(r)) {}
+  static Value Combine(const Value& lv, const Value& rv) {
+    if (lv.IsNull() || rv.IsNull()) return Value::Null();
+    if (lv.type() == TypeId::kInt && rv.type() == TypeId::kInt) {
+      return Value(lv.AsInt() - rv.AsInt());
+    }
+    return Value(lv.AsNumeric() - rv.AsNumeric());
+  }
+  Value Evaluate(const Tuple& t, const Schema& s) const override {
+    return Combine(left_->Evaluate(t, s), right_->Evaluate(t, s));
+  }
+  void EvalBatch(const RowBatch& batch, ValueColumn* out) const override {
+    ScratchColumn ls, rs;
+    ValueColumn& l = *ls;
+    ValueColumn& r = *rs;
+    left_->EvalBatch(batch, &l);
+    right_->EvalBatch(batch, &r);
+    if (l.is_int() && r.is_int()) {
+      IntBinaryKernel(l, r, out, [](int64_t a, int64_t b) { return a - b; });
+    } else {
+      BoxedBinaryKernel(l, r, out, Combine);
+    }
+  }
+  std::string ToString() const override {
+    return "(" + left_->ToString() + " - " + right_->ToString() + ")";
+  }
+
+ private:
+  ExprRef left_, right_;
+};
+
 class MulExpr : public Expression {
  public:
   MulExpr(ExprRef l, ExprRef r) : left_(std::move(l)), right_(std::move(r)) {}
-  Value Evaluate(const Tuple& t, const Schema& s) const override {
-    Value lv = left_->Evaluate(t, s);
-    Value rv = right_->Evaluate(t, s);
+  static Value Combine(const Value& lv, const Value& rv) {
     if (lv.IsNull() || rv.IsNull()) return Value::Null();
     if (lv.type() == TypeId::kInt && rv.type() == TypeId::kInt) {
       return Value(lv.AsInt() * rv.AsInt());
     }
     return Value(lv.AsNumeric() * rv.AsNumeric());
   }
+  Value Evaluate(const Tuple& t, const Schema& s) const override {
+    return Combine(left_->Evaluate(t, s), right_->Evaluate(t, s));
+  }
+  void EvalBatch(const RowBatch& batch, ValueColumn* out) const override {
+    ScratchColumn ls, rs;
+    ValueColumn& l = *ls;
+    ValueColumn& r = *rs;
+    left_->EvalBatch(batch, &l);
+    right_->EvalBatch(batch, &r);
+    if (l.is_int() && r.is_int()) {
+      IntBinaryKernel(l, r, out, [](int64_t a, int64_t b) { return a * b; });
+    } else {
+      BoxedBinaryKernel(l, r, out, Combine);
+    }
+  }
   std::string ToString() const override {
     return "(" + left_->ToString() + " * " + right_->ToString() + ")";
+  }
+
+ private:
+  ExprRef left_, right_;
+};
+
+class DivExpr : public Expression {
+ public:
+  DivExpr(ExprRef l, ExprRef r) : left_(std::move(l)), right_(std::move(r)) {}
+  static Value Combine(const Value& lv, const Value& rv) {
+    if (lv.IsNull() || rv.IsNull()) return Value::Null();
+    if (lv.type() == TypeId::kInt && rv.type() == TypeId::kInt) {
+      if (rv.AsInt() == 0) return Value::Null();
+      return Value(lv.AsInt() / rv.AsInt());
+    }
+    if (rv.AsNumeric() == 0) return Value::Null();
+    return Value(lv.AsNumeric() / rv.AsNumeric());
+  }
+  Value Evaluate(const Tuple& t, const Schema& s) const override {
+    return Combine(left_->Evaluate(t, s), right_->Evaluate(t, s));
+  }
+  void EvalBatch(const RowBatch& batch, ValueColumn* out) const override {
+    ScratchColumn ls, rs;
+    ValueColumn& l = *ls;
+    ValueColumn& r = *rs;
+    left_->EvalBatch(batch, &l);
+    right_->EvalBatch(batch, &r);
+    if (!l.is_int() || !r.is_int()) {
+      BoxedBinaryKernel(l, r, out, Combine);
+      return;
+    }
+    // Int division adds its own NULL source (division by zero), so it gets
+    // a dedicated kernel instead of IntBinaryKernel.
+    const size_t n = l.size();
+    out->ResetIntFilled(n);
+    std::vector<int64_t>& o = out->MutableInts();
+    const std::vector<int64_t>& a = l.ints();
+    const std::vector<int64_t>& b = r.ints();
+    for (size_t i = 0; i < n; i++) {
+      if (l.IsNull(i) || r.IsNull(i) || b[i] == 0) {
+        out->SetNull(i);
+      } else {
+        o[i] = a[i] / b[i];
+      }
+    }
+  }
+  std::string ToString() const override {
+    return "(" + left_->ToString() + " / " + right_->ToString() + ")";
   }
 
  private:
@@ -78,13 +294,11 @@ class CompareExpr : public Expression {
  public:
   CompareExpr(CompareOp op, ExprRef l, ExprRef r)
       : op_(op), left_(std::move(l)), right_(std::move(r)) {}
-  Value Evaluate(const Tuple& t, const Schema& s) const override {
-    Value lv = left_->Evaluate(t, s);
-    Value rv = right_->Evaluate(t, s);
+  static Value Combine(CompareOp op, const Value& lv, const Value& rv) {
     if (lv.IsNull() || rv.IsNull()) return Value::Null();  // SQL unknown
     int c = lv.Compare(rv);
     bool result = false;
-    switch (op_) {
+    switch (op) {
       case CompareOp::kEq: result = c == 0; break;
       case CompareOp::kNe: result = c != 0; break;
       case CompareOp::kLt: result = c < 0; break;
@@ -93,6 +307,51 @@ class CompareExpr : public Expression {
       case CompareOp::kGe: result = c >= 0; break;
     }
     return Value(static_cast<int64_t>(result ? 1 : 0));
+  }
+  Value Evaluate(const Tuple& t, const Schema& s) const override {
+    return Combine(op_, left_->Evaluate(t, s), right_->Evaluate(t, s));
+  }
+  void EvalBatch(const RowBatch& batch, ValueColumn* out) const override {
+    ScratchColumn ls, rs;
+    ValueColumn& l = *ls;
+    ValueColumn& r = *rs;
+    left_->EvalBatch(batch, &l);
+    right_->EvalBatch(batch, &r);
+    if (!l.is_int() || !r.is_int()) {
+      BoxedBinaryKernel(l, r, out,
+                        [op = op_](const Value& lv, const Value& rv) {
+                          return Combine(op, lv, rv);
+                        });
+      return;
+    }
+    // Int comparisons (the body of every frontier predicate) run one
+    // branchless kernel per operator over the unboxed columns.
+    switch (op_) {
+      case CompareOp::kEq:
+        IntBinaryKernel(l, r, out,
+                        [](int64_t a, int64_t b) -> int64_t { return a == b; });
+        break;
+      case CompareOp::kNe:
+        IntBinaryKernel(l, r, out,
+                        [](int64_t a, int64_t b) -> int64_t { return a != b; });
+        break;
+      case CompareOp::kLt:
+        IntBinaryKernel(l, r, out,
+                        [](int64_t a, int64_t b) -> int64_t { return a < b; });
+        break;
+      case CompareOp::kLe:
+        IntBinaryKernel(l, r, out,
+                        [](int64_t a, int64_t b) -> int64_t { return a <= b; });
+        break;
+      case CompareOp::kGt:
+        IntBinaryKernel(l, r, out,
+                        [](int64_t a, int64_t b) -> int64_t { return a > b; });
+        break;
+      case CompareOp::kGe:
+        IntBinaryKernel(l, r, out,
+                        [](int64_t a, int64_t b) -> int64_t { return a >= b; });
+        break;
+    }
   }
   std::string ToString() const override {
     return "(" + left_->ToString() + " " + OpName(op_) + " " +
@@ -115,6 +374,45 @@ class AndExpr : public Expression {
     if (lv.IsNull() || rv.IsNull()) return Value::Null();
     return Value(int64_t{1});
   }
+  void EvalBatch(const RowBatch& batch, ValueColumn* out) const override {
+    // Three-valued AND over fully evaluated sides: same truth table as the
+    // short-circuiting scalar path (false dominates NULL).
+    ScratchColumn ls, rs;
+    ValueColumn& l = *ls;
+    ValueColumn& r = *rs;
+    left_->EvalBatch(batch, &l);
+    right_->EvalBatch(batch, &r);
+    const size_t n = l.size();
+    if (l.is_int() && r.is_int()) {
+      out->ResetIntFilled(n);
+      std::vector<int64_t>& o = out->MutableInts();
+      const std::vector<int64_t>& a = l.ints();
+      const std::vector<int64_t>& b = r.ints();
+      if (!l.has_nulls() && !r.has_nulls()) {
+        for (size_t i = 0; i < n; i++) o[i] = (a[i] != 0) & (b[i] != 0);
+        return;
+      }
+      for (size_t i = 0; i < n; i++) {
+        const bool ln = l.IsNull(i), rn = r.IsNull(i);
+        if (!ln && a[i] == 0) {
+          o[i] = 0;
+        } else if (!rn && b[i] == 0) {
+          o[i] = 0;
+        } else if (ln || rn) {
+          out->SetNull(i);
+        } else {
+          o[i] = 1;
+        }
+      }
+      return;
+    }
+    BoxedBinaryKernel(l, r, out, [](const Value& lv, const Value& rv) {
+      if (!lv.IsNull() && lv.AsInt() == 0) return Value(int64_t{0});
+      if (!rv.IsNull() && rv.AsInt() == 0) return Value(int64_t{0});
+      if (lv.IsNull() || rv.IsNull()) return Value::Null();
+      return Value(int64_t{1});
+    });
+  }
   std::string ToString() const override {
     return "(" + left_->ToString() + " AND " + right_->ToString() + ")";
   }
@@ -134,50 +432,45 @@ class OrExpr : public Expression {
     if (lv.IsNull() || rv.IsNull()) return Value::Null();
     return Value(int64_t{0});
   }
+  void EvalBatch(const RowBatch& batch, ValueColumn* out) const override {
+    ScratchColumn ls, rs;
+    ValueColumn& l = *ls;
+    ValueColumn& r = *rs;
+    left_->EvalBatch(batch, &l);
+    right_->EvalBatch(batch, &r);
+    const size_t n = l.size();
+    if (l.is_int() && r.is_int()) {
+      out->ResetIntFilled(n);
+      std::vector<int64_t>& o = out->MutableInts();
+      const std::vector<int64_t>& a = l.ints();
+      const std::vector<int64_t>& b = r.ints();
+      if (!l.has_nulls() && !r.has_nulls()) {
+        for (size_t i = 0; i < n; i++) o[i] = (a[i] != 0) | (b[i] != 0);
+        return;
+      }
+      for (size_t i = 0; i < n; i++) {
+        const bool ln = l.IsNull(i), rn = r.IsNull(i);
+        if (!ln && a[i] != 0) {
+          o[i] = 1;
+        } else if (!rn && b[i] != 0) {
+          o[i] = 1;
+        } else if (ln || rn) {
+          out->SetNull(i);
+        } else {
+          o[i] = 0;
+        }
+      }
+      return;
+    }
+    BoxedBinaryKernel(l, r, out, [](const Value& lv, const Value& rv) {
+      if (!lv.IsNull() && lv.AsInt() != 0) return Value(int64_t{1});
+      if (!rv.IsNull() && rv.AsInt() != 0) return Value(int64_t{1});
+      if (lv.IsNull() || rv.IsNull()) return Value::Null();
+      return Value(int64_t{0});
+    });
+  }
   std::string ToString() const override {
     return "(" + left_->ToString() + " OR " + right_->ToString() + ")";
-  }
-
- private:
-  ExprRef left_, right_;
-};
-
-class SubExpr : public Expression {
- public:
-  SubExpr(ExprRef l, ExprRef r) : left_(std::move(l)), right_(std::move(r)) {}
-  Value Evaluate(const Tuple& t, const Schema& s) const override {
-    Value lv = left_->Evaluate(t, s);
-    Value rv = right_->Evaluate(t, s);
-    if (lv.IsNull() || rv.IsNull()) return Value::Null();
-    if (lv.type() == TypeId::kInt && rv.type() == TypeId::kInt) {
-      return Value(lv.AsInt() - rv.AsInt());
-    }
-    return Value(lv.AsNumeric() - rv.AsNumeric());
-  }
-  std::string ToString() const override {
-    return "(" + left_->ToString() + " - " + right_->ToString() + ")";
-  }
-
- private:
-  ExprRef left_, right_;
-};
-
-class DivExpr : public Expression {
- public:
-  DivExpr(ExprRef l, ExprRef r) : left_(std::move(l)), right_(std::move(r)) {}
-  Value Evaluate(const Tuple& t, const Schema& s) const override {
-    Value lv = left_->Evaluate(t, s);
-    Value rv = right_->Evaluate(t, s);
-    if (lv.IsNull() || rv.IsNull()) return Value::Null();
-    if (lv.type() == TypeId::kInt && rv.type() == TypeId::kInt) {
-      if (rv.AsInt() == 0) return Value::Null();
-      return Value(lv.AsInt() / rv.AsInt());
-    }
-    if (rv.AsNumeric() == 0) return Value::Null();
-    return Value(lv.AsNumeric() / rv.AsNumeric());
-  }
-  std::string ToString() const override {
-    return "(" + left_->ToString() + " / " + right_->ToString() + ")";
   }
 
  private:
@@ -192,6 +485,17 @@ class IsNullExpr : public Expression {
     bool is_null = inner_->Evaluate(t, s).IsNull();
     return Value(static_cast<int64_t>(is_null != negated_ ? 1 : 0));
   }
+  void EvalBatch(const RowBatch& batch, ValueColumn* out) const override {
+    ScratchColumn is_;
+    ValueColumn& inner = *is_;
+    inner_->EvalBatch(batch, &inner);
+    const size_t n = inner.size();
+    out->ResetIntFilled(n);
+    std::vector<int64_t>& o = out->MutableInts();
+    for (size_t i = 0; i < n; i++) {
+      o[i] = inner.IsNull(i) != negated_ ? 1 : 0;
+    }
+  }
   std::string ToString() const override {
     return inner_->ToString() + (negated_ ? " IS NOT NULL" : " IS NULL");
   }
@@ -204,10 +508,33 @@ class IsNullExpr : public Expression {
 class NotExpr : public Expression {
  public:
   explicit NotExpr(ExprRef inner) : inner_(std::move(inner)) {}
-  Value Evaluate(const Tuple& t, const Schema& s) const override {
-    Value v = inner_->Evaluate(t, s);
+  static Value Combine(const Value& v) {
     if (v.IsNull()) return Value::Null();
     return Value(static_cast<int64_t>(v.AsInt() == 0 ? 1 : 0));
+  }
+  Value Evaluate(const Tuple& t, const Schema& s) const override {
+    return Combine(inner_->Evaluate(t, s));
+  }
+  void EvalBatch(const RowBatch& batch, ValueColumn* out) const override {
+    ScratchColumn is_;
+    ValueColumn& inner = *is_;
+    inner_->EvalBatch(batch, &inner);
+    const size_t n = inner.size();
+    if (inner.is_int()) {
+      out->ResetIntFilled(n);
+      std::vector<int64_t>& o = out->MutableInts();
+      const std::vector<int64_t>& a = inner.ints();
+      for (size_t i = 0; i < n; i++) {
+        if (inner.IsNull(i)) {
+          out->SetNull(i);
+        } else {
+          o[i] = a[i] == 0;
+        }
+      }
+      return;
+    }
+    out->Reset(n);
+    for (size_t i = 0; i < n; i++) out->Append(Combine(inner.Get(i)));
   }
   std::string ToString() const override {
     return "NOT " + inner_->ToString();
@@ -263,6 +590,36 @@ bool EvalPredicate(const Expression& expr, const Tuple& tuple,
                    const Schema& schema) {
   Value v = expr.Evaluate(tuple, schema);
   return !v.IsNull() && v.AsInt() != 0;
+}
+
+void EvalPredicateBatch(const Expression& expr, const RowBatch& batch,
+                        ValueColumn* scratch, std::vector<char>* keep) {
+  if (batch.num_rows() < kMinVectorizedRows) {
+    // Tiny batch (the FEM loop's single-digit-row frontier statements):
+    // per-row evaluation beats the per-node column setup cost.
+    keep->resize(batch.num_rows());
+    for (size_t i = 0; i < batch.num_rows(); i++) {
+      (*keep)[i] = EvalPredicate(expr, batch.row(i), batch.schema()) ? 1 : 0;
+    }
+    return;
+  }
+  expr.EvalBatch(batch, scratch);
+  const size_t n = scratch->size();
+  keep->resize(n);
+  if (scratch->is_int() && !scratch->has_nulls()) {
+    const std::vector<int64_t>& v = scratch->ints();
+    for (size_t i = 0; i < n; i++) (*keep)[i] = v[i] != 0;
+    return;
+  }
+  for (size_t i = 0; i < n; i++) {
+    if (scratch->IsNull(i)) {
+      (*keep)[i] = 0;
+    } else if (scratch->is_int()) {
+      (*keep)[i] = scratch->IntAt(i) != 0;
+    } else {
+      (*keep)[i] = scratch->Get(i).AsInt() != 0;
+    }
+  }
 }
 
 }  // namespace relgraph

@@ -116,13 +116,9 @@ bool IndexNestedLoopJoinExecutor::Next(Tuple* out) {
 }
 
 bool IndexNestedLoopJoinExecutor::NextBatch(std::vector<Tuple>* out) {
-  out->clear();
   // Non-virtual self-call: one virtual hop per batch instead of per row.
-  Tuple t;
-  while (out->size() < kExecBatchSize && IndexNestedLoopJoinExecutor::Next(&t)) {
-    out->push_back(std::move(t));
-  }
-  return !out->empty();
+  return DrainBatchInto(
+      out, [this](Tuple* t) { return IndexNestedLoopJoinExecutor::Next(t); });
 }
 
 const Schema& IndexNestedLoopJoinExecutor::OutputSchema() const {

@@ -2,21 +2,6 @@
 
 namespace relgraph {
 
-void Executor::Explain(int depth, std::string* out) const {
-  Indent(depth, out);
-  out->append("Operator\n");
-}
-
-Status Collect(Executor* exec, std::vector<Tuple>* out) {
-  RELGRAPH_RETURN_IF_ERROR(exec->Init());
-  std::vector<Tuple> batch;
-  while (exec->NextBatch(&batch)) {
-    out->insert(out->end(), std::make_move_iterator(batch.begin()),
-                std::make_move_iterator(batch.end()));
-  }
-  return exec->status();
-}
-
 Schema PrefixSchema(const Schema& schema, const std::string& prefix) {
   std::vector<Column> cols;
   cols.reserve(schema.NumColumns());
@@ -46,13 +31,9 @@ bool PullIterator(Table::Iterator* it, bool* exhausted, Status* status,
 
 bool DrainIteratorBatch(Table::Iterator* it, bool* exhausted, Status* status,
                         std::vector<Tuple>* out) {
-  out->clear();
-  Tuple t;
-  while (out->size() < kExecBatchSize &&
-         PullIterator(it, exhausted, status, &t)) {
-    out->push_back(std::move(t));
-  }
-  return !out->empty();
+  return DrainBatchInto(out, [&](Tuple* t) {
+    return PullIterator(it, exhausted, status, t);
+  });
 }
 
 }  // namespace
@@ -119,23 +100,35 @@ bool FilterExecutor::Next(Tuple* out) {
 }
 
 bool FilterExecutor::NextBatch(std::vector<Tuple>* out) {
-  out->clear();
+  size_t n = 0;
   const Schema& in_schema = child_->OutputSchema();
   // Each child batch is consumed whole, so no tuples straddle calls, and
   // pulling stops as soon as anything matched — out never exceeds one child
-  // batch, which keeps the kExecBatchSize cap intact through filter stacks.
-  while (out->empty()) {
-    if (!child_->NextBatch(&in_batch_)) {
+  // batch, which keeps the batch-size cap intact through filter stacks. The
+  // child is read through the borrowed-batch interface and the predicate
+  // runs as one EvalBatch per batch, so only the *matched* rows are ever
+  // copied (into output slots whose buffers are recycled across calls).
+  while (n == 0) {
+    const Tuple* rows = nullptr;
+    size_t cnt = 0;
+    if (!child_->NextBatchView(&rows, &cnt)) {
       status_ = child_->status();
       break;
     }
-    for (Tuple& t : in_batch_) {
-      if (EvalPredicate(*predicate_, t, in_schema)) {
-        out->push_back(std::move(t));
+    RowBatch batch(rows, cnt, in_schema);
+    EvalPredicateBatch(*predicate_, batch, &pred_scratch_, &keep_);
+    for (size_t i = 0; i < cnt; i++) {
+      if (!keep_[i]) continue;
+      if (n < out->size()) {
+        (*out)[n] = rows[i];
+      } else {
+        out->push_back(rows[i]);
       }
+      n++;
     }
   }
-  return !out->empty();
+  out->resize(n);
+  return n > 0;
 }
 
 const Schema& FilterExecutor::OutputSchema() const {
@@ -173,20 +166,61 @@ bool ProjectExecutor::Next(Tuple* out) {
 }
 
 bool ProjectExecutor::NextBatch(std::vector<Tuple>* out) {
-  out->clear();
-  if (!child_->NextBatch(&in_batch_)) {
+  const Tuple* rows = nullptr;
+  size_t cnt = 0;
+  if (!child_->NextBatchView(&rows, &cnt)) {
+    out->clear();
     status_ = child_->status();
     return false;
   }
   const Schema& in_schema = child_->OutputSchema();
-  out->reserve(in_batch_.size());
-  for (const Tuple& in : in_batch_) {
-    std::vector<Value> values;
-    values.reserve(exprs_.size());
-    for (const auto& e : exprs_) {
-      values.push_back(e->Evaluate(in, in_schema));
+  const size_t n_rows = cnt;
+  if (n_rows < kMinVectorizedRows) {  // tiny batch: row-at-a-time is cheaper
+    out->resize(n_rows);
+    for (size_t i = 0; i < n_rows; i++) {
+      std::vector<Value> values;
+      values.reserve(exprs_.size());
+      for (const auto& e : exprs_) {
+        values.push_back(e->Evaluate(rows[i], in_schema));
+      }
+      (*out)[i] = Tuple(std::move(values));
     }
-    out->emplace_back(std::move(values));
+    return true;
+  }
+  // Column-at-a-time over the borrowed child batch (no input copy): each
+  // select item produces one column over the whole batch, then the columns
+  // zip back into row tuples. Output slots with the right arity are
+  // overwritten in place (no allocation); slots a downstream consumer
+  // moved from get rebuilt.
+  RowBatch batch(rows, cnt, in_schema);
+  expr_cols_.resize(exprs_.size());
+  for (size_t k = 0; k < exprs_.size(); k++) {
+    exprs_[k]->EvalBatch(batch, &expr_cols_[k]);
+  }
+  const size_t n = cnt;
+  const size_t width = exprs_.size();
+  out->resize(n);
+  for (size_t i = 0; i < n; i++) {
+    Tuple& dst = (*out)[i];
+    if (dst.NumValues() == width) {
+      for (size_t k = 0; k < width; k++) {
+        const ValueColumn& col = expr_cols_[k];
+        if (col.is_int() && !col.IsNull(i)) {
+          dst.value(k).SetInt(col.IntAt(i));  // no temporary Value
+        } else if (col.is_int()) {
+          dst.value(k).SetNull();
+        } else {
+          dst.value(k) = col.Get(i);
+        }
+      }
+    } else {
+      std::vector<Value> values;
+      values.reserve(width);
+      for (size_t k = 0; k < width; k++) {
+        values.push_back(expr_cols_[k].Get(i));
+      }
+      dst = Tuple(std::move(values));
+    }
   }
   return true;
 }
@@ -238,6 +272,15 @@ bool MaterializedExecutor::NextBatch(std::vector<Tuple>* out) {
   return ReplayBatch(tuples_, &pos_, out);
 }
 
+bool MaterializedExecutor::NextBatchView(const Tuple** rows, size_t* n) {
+  const size_t cap = ExecBatchSize();
+  const size_t left = tuples_.size() - pos_;
+  *n = left < cap ? left : cap;
+  *rows = tuples_.data() + pos_;
+  pos_ += *n;
+  return *n > 0;
+}
+
 const Schema& MaterializedExecutor::OutputSchema() const { return schema_; }
 
 // ----------------------------------------------------------------- Rename
@@ -257,6 +300,22 @@ Status RenameExecutor::Init() { return child_->Init(); }
 
 bool RenameExecutor::Next(Tuple* out) {
   if (!child_->Next(out)) {
+    status_ = child_->status();
+    return false;
+  }
+  return true;
+}
+
+bool RenameExecutor::NextBatch(std::vector<Tuple>* out) {
+  if (!child_->NextBatch(out)) {
+    status_ = child_->status();
+    return false;
+  }
+  return true;
+}
+
+bool RenameExecutor::NextBatchView(const Tuple** rows, size_t* n) {
+  if (!child_->NextBatchView(rows, n)) {
     status_ = child_->status();
     return false;
   }

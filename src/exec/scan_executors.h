@@ -1,5 +1,6 @@
 #pragma once
 
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -41,8 +42,11 @@ class IndexRangeScanExecutor : public Executor {
   const Schema& OutputSchema() const override;
   void Explain(int depth, std::string* out) const override {
     Indent(depth, out);
+    const bool open_lo = lo_ == std::numeric_limits<int64_t>::min();
+    const bool open_hi = hi_ == std::numeric_limits<int64_t>::max();
     out->append("IndexRangeScan: " + table_->name() + "." + column_ + " in [" +
-                std::to_string(lo_) + ", " + std::to_string(hi_) + "]\n");
+                (open_lo ? "-inf" : std::to_string(lo_)) + ", " +
+                (open_hi ? "+inf" : std::to_string(hi_)) + "]\n");
   }
 
  private:
@@ -70,7 +74,8 @@ class FilterExecutor : public Executor {
  private:
   ExecRef child_;
   ExprRef predicate_;
-  std::vector<Tuple> in_batch_;  // NextBatch scratch, fully drained per call
+  ValueColumn pred_scratch_;  // EvalBatch output column
+  std::vector<char> keep_;    // per-row predicate verdicts
 };
 
 /// SELECT list: evaluates one expression per output column.
@@ -94,7 +99,7 @@ class ProjectExecutor : public Executor {
   ExecRef child_;
   std::vector<ExprRef> exprs_;
   Schema output_schema_;
-  std::vector<Tuple> in_batch_;  // NextBatch scratch, fully drained per call
+  std::vector<ValueColumn> expr_cols_;  // one column per select item
 };
 
 /// TOP n / LIMIT n.
@@ -125,6 +130,9 @@ class MaterializedExecutor : public Executor {
   Status Init() override;
   bool Next(Tuple* out) override;
   bool NextBatch(std::vector<Tuple>* out) override;
+  /// Serves windows of the owned vector directly — the zero-copy source
+  /// the whole batched pipeline leans on.
+  bool NextBatchView(const Tuple** rows, size_t* n) override;
   const Schema& OutputSchema() const override;
   void Explain(int depth, std::string* out) const override {
     Indent(depth, out);
@@ -145,6 +153,12 @@ class RenameExecutor : public Executor {
   RenameExecutor(ExecRef child, std::vector<std::string> new_names);
   Status Init() override;
   bool Next(Tuple* out) override;
+  /// Renaming only touches the schema, so batches (and borrowed views)
+  /// pass straight through — the planner wraps every base-table scan in a
+  /// Rename, and without these the whole SQL pipeline would fall back to
+  /// row-at-a-time pulls underneath it.
+  bool NextBatch(std::vector<Tuple>* out) override;
+  bool NextBatchView(const Tuple** rows, size_t* n) override;
   const Schema& OutputSchema() const override;
   void Explain(int depth, std::string* out) const override {
     Indent(depth, out);

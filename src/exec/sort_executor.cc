@@ -36,6 +36,10 @@ bool SortExecutor::Next(Tuple* out) {
   return true;
 }
 
+bool SortExecutor::NextBatch(std::vector<Tuple>* out) {
+  return ReplayBatch(rows_, &pos_, out);
+}
+
 const Schema& SortExecutor::OutputSchema() const {
   return child_->OutputSchema();
 }

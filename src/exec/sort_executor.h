@@ -20,6 +20,7 @@ class SortExecutor : public Executor {
   SortExecutor(ExecRef child, std::vector<SortKey> keys);
   Status Init() override;
   bool Next(Tuple* out) override;
+  bool NextBatch(std::vector<Tuple>* out) override;
   const Schema& OutputSchema() const override;
   void Explain(int depth, std::string* out) const override {
     Indent(depth, out);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <limits>
 #include <utility>
 
 #include "src/exec/agg_executors.h"
@@ -44,6 +45,88 @@ void FlattenAnd(const Expr* e, std::vector<const Expr*>* out) {
 
 bool IsAggregateName(const std::string& f) {
   return f == "MIN" || f == "MAX" || f == "SUM" || f == "COUNT";
+}
+
+/// True when `e` reads a column of the current row (a scalar subquery does
+/// not: the engine has no correlated subqueries, so it evaluates to a
+/// row-independent constant).
+bool ReadsRowColumns(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kColumnRef:
+      return true;
+    case ExprKind::kUnary:
+      return ReadsRowColumns(*e.left);
+    case ExprKind::kBinary:
+      return ReadsRowColumns(*e.left) || ReadsRowColumns(*e.right);
+    case ExprKind::kFuncCall:
+      for (const auto& a : e.args) {
+        if (a != nullptr && ReadsRowColumns(*a)) return true;
+      }
+      return false;
+    default:
+      return false;
+  }
+}
+
+/// Comparisons an index probe can serve (everything but <>).
+bool IsSargableCmpOp(BinaryOp op) {
+  return op == BinaryOp::kEq || op == BinaryOp::kLe || op == BinaryOp::kLt ||
+         op == BinaryOp::kGe || op == BinaryOp::kGt;
+}
+
+/// A conjunct shaped `col OP expr` / `expr OP col` with exactly one
+/// column-reference side — the candidate shape for sargable extraction.
+bool IsSargShaped(const Expr& e) {
+  return e.kind == ExprKind::kBinary && IsSargableCmpOp(e.binary_op) &&
+         (e.left->kind == ExprKind::kColumnRef) !=
+             (e.right->kind == ExprKind::kColumnRef);
+}
+
+/// The runtime comparison for a sargable AST operator.
+CompareOp ToCompareOp(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kLe: return CompareOp::kLe;
+    case BinaryOp::kLt: return CompareOp::kLt;
+    case BinaryOp::kGe: return CompareOp::kGe;
+    case BinaryOp::kGt: return CompareOp::kGt;
+    default: return CompareOp::kEq;
+  }
+}
+
+/// Key range implied by `col OP k` (or `k OP col` when !col_on_left).
+/// Returns false when the comparison yields no usable range (an
+/// overflowing open bound). The caller still applies the full predicate
+/// residually, so the range only needs to *cover* the matching keys.
+bool RangeForCompare(BinaryOp op, bool col_on_left, int64_t k, int64_t* lo,
+                     int64_t* hi) {
+  if (!col_on_left) {  // normalize `k OP col` by flipping the inequality
+    switch (op) {
+      case BinaryOp::kLt: op = BinaryOp::kGt; break;
+      case BinaryOp::kLe: op = BinaryOp::kGe; break;
+      case BinaryOp::kGt: op = BinaryOp::kLt; break;
+      case BinaryOp::kGe: op = BinaryOp::kLe; break;
+      default: break;  // = is symmetric
+    }
+  }
+  constexpr int64_t kMinKey = std::numeric_limits<int64_t>::min();
+  constexpr int64_t kMaxKey = std::numeric_limits<int64_t>::max();
+  switch (op) {
+    case BinaryOp::kEq: *lo = *hi = k; return true;
+    case BinaryOp::kLe: *lo = kMinKey; *hi = k; return true;
+    case BinaryOp::kLt:
+      if (k == kMinKey) return false;
+      *lo = kMinKey;
+      *hi = k - 1;
+      return true;
+    case BinaryOp::kGe: *lo = k; *hi = kMaxKey; return true;
+    case BinaryOp::kGt:
+      if (k == kMaxKey) return false;
+      *lo = k + 1;
+      *hi = kMaxKey;
+      return true;
+    default:
+      return false;
+  }
 }
 
 /// True when the expression contains a plain (non-window) aggregate call.
@@ -241,6 +324,47 @@ Status Planner::FindTable(const std::string& name, Table** out) const {
   }
   if (t == nullptr) return Status::NotFound("no table named " + name);
   *out = t;
+  return Status::OK();
+}
+
+// ----- sargable-conjunct extraction ------------------------------------------
+
+Status Planner::BindSargShaped(const Expr& c, const Schema& bind_schema,
+                               Table* table, const Schema& resolve_schema,
+                               bool use_qualifier, SargCandidate* best,
+                               ExprRef* bound) {
+  const bool col_on_left = c.left->kind == ExprKind::kColumnRef;
+  const Expr& col_side = col_on_left ? *c.left : *c.right;
+  const Expr& const_side = col_on_left ? *c.right : *c.left;
+  ExprRef l, r;
+  RELGRAPH_RETURN_IF_ERROR(BindExpr(*c.left, bind_schema, &l));
+  RELGRAPH_RETURN_IF_ERROR(BindExpr(*c.right, bind_schema, &r));
+  const bool is_eq = c.binary_op == BinaryOp::kEq;
+  if (table != nullptr && (!best->have_range || (is_eq && !best->equality)) &&
+      !ReadsRowColumns(const_side)) {
+    std::string resolved;
+    Status found =
+        ResolveColumn(use_qualifier ? col_side.qualifier : std::string(),
+                      col_side.column, resolve_schema, &resolved);
+    if (found.ok() && table->HasIndexOn(resolved)) {
+      // The const side folded to a literal during binding (scalar
+      // subqueries are evaluated at plan time), so this Evaluate is free
+      // and runs nothing twice.
+      const ExprRef& const_bound = col_on_left ? r : l;
+      Value v = const_bound->Evaluate(Tuple(std::vector<Value>{}),
+                                      Schema(std::vector<Column>{}));
+      int64_t lo, hi;
+      if (v.type() == TypeId::kInt &&
+          RangeForCompare(c.binary_op, col_on_left, v.AsInt(), &lo, &hi)) {
+        best->column = resolved;
+        best->lo = lo;
+        best->hi = hi;
+        best->have_range = true;
+        best->equality = is_eq;
+      }
+    }
+  }
+  *bound = Cmp(ToCompareOp(c.binary_op), std::move(l), std::move(r));
   return Status::OK();
 }
 
@@ -460,25 +584,52 @@ Status Planner::PlanFrom(const SelectStmt& sel, ExecRef* out) {
   }
 
   // Materialize a from-item as an executor with alias-prefixed columns and
-  // its pushed filters applied.
+  // its pushed filters applied. For base tables, a pushed `col OP const`
+  // conjunct (OP in {=, <=, <, >=, >}) over an indexed column turns the
+  // heap scan into an index range scan — the access path the F/E-operator
+  // SELECTs (`... where f = 2`, `... and d2s = (select min(d2s) ...)`) get
+  // from a real RDBMS optimizer, and the same one the native finder's
+  // FrontierScan/FirstOpenAt build by hand. The conjunct still filters
+  // residually, so the plans stay exactly equivalent; with equal index
+  // keys the scan order also matches the filtered full scan (index ties
+  // break on scan position), keeping TOP-1 picks identical.
   auto materialize = [&](size_t idx, ExecRef* result) -> Status {
     FromPlan& fp = items[idx];
+    const Schema& schema = fp.prefixed_schema;
+    std::vector<ExprRef> filters;
+    SargCandidate sarg;
+    for (size_t c : pushed[idx]) {
+      const Expr* cj = conjuncts[c];
+      ExprRef bound;
+      if (fp.base_table != nullptr && IsSargShaped(*cj)) {
+        RELGRAPH_RETURN_IF_ERROR(
+            BindSargShaped(*cj, schema, fp.base_table, fp.base_table->schema(),
+                           /*use_qualifier=*/false, &sarg, &bound));
+      } else {
+        RELGRAPH_RETURN_IF_ERROR(BindExpr(*cj, schema, &bound));
+      }
+      filters.push_back(std::move(bound));
+    }
+
     ExecRef e;
     if (fp.plan != nullptr) {
       e = std::move(fp.plan);
     } else {
-      ExecRef scan = std::make_unique<SeqScanExecutor>(fp.base_table);
+      ExecRef scan;
+      if (sarg.have_range) {
+        scan = std::make_unique<IndexRangeScanExecutor>(
+            fp.base_table, sarg.column, sarg.lo, sarg.hi);
+      } else {
+        scan = std::make_unique<SeqScanExecutor>(fp.base_table);
+      }
       std::vector<std::string> names;
       for (const auto& c : fp.prefixed_schema.columns()) {
         names.push_back(c.name);
       }
       e = std::make_unique<RenameExecutor>(std::move(scan), names);
     }
-    for (size_t c : pushed[idx]) {
-      ExprRef bound;
-      RELGRAPH_RETURN_IF_ERROR(
-          BindExpr(*conjuncts[c], e->OutputSchema(), &bound));
-      e = std::make_unique<FilterExecutor>(std::move(e), std::move(bound));
+    for (ExprRef& f : filters) {
+      e = std::make_unique<FilterExecutor>(std::move(e), std::move(f));
     }
     *result = std::move(e);
     return Status::OK();
@@ -863,27 +1014,6 @@ Status Planner::ExecuteInsert(const InsertStmt& ins, SqlResult* result) {
 
 namespace {
 
-/// True when `e` reads a column of the current row (a scalar subquery does
-/// not: the engine has no correlated subqueries, so it evaluates to a
-/// row-independent constant).
-bool ReadsRowColumns(const Expr& e) {
-  switch (e.kind) {
-    case ExprKind::kColumnRef:
-      return true;
-    case ExprKind::kUnary:
-      return ReadsRowColumns(*e.left);
-    case ExprKind::kBinary:
-      return ReadsRowColumns(*e.left) || ReadsRowColumns(*e.right);
-    case ExprKind::kFuncCall:
-      for (const auto& a : e.args) {
-        if (a != nullptr && ReadsRowColumns(*a)) return true;
-      }
-      return false;
-    default:
-      return false;
-  }
-}
-
 /// Flattens a WHERE clause into its top-level AND conjuncts.
 void CollectConjuncts(const Expr& e, std::vector<const Expr*>* out) {
   if (e.kind == ExprKind::kBinary && e.binary_op == BinaryOp::kAnd) {
@@ -911,56 +1041,33 @@ Status Planner::ExecuteUpdate(const UpdateStmt& upd, SqlResult* result) {
     return UpdateWhere(table, nullptr, sets, &result->affected);
   }
 
-  // Sargable-conjunct extraction: a top-level `col = <row-independent
-  // expr>` conjunct on an indexed column turns the full-scan UPDATE into an
-  // index range probe — the plan the F-operator statements (`... WHERE
-  // flag = 2`, `... AND dist = (SELECT MIN(dist) ...)`) want once TVisited
-  // carries flag/dist indexes. The full predicate is still evaluated
-  // residually, so the plans stay exactly equivalent.
+  // Sargable-conjunct extraction: a top-level `col OP <row-independent
+  // expr>` conjunct (OP in {=, <=, <, >=, >}) on an indexed column turns
+  // the full-scan UPDATE into an index range probe — the plan the
+  // F-operator statements (`... WHERE flag = 2`, `... AND dist = (SELECT
+  // MIN(dist) ...)`, BSEG's `dist <= bound`) want once TVisited carries
+  // flag/dist indexes. An equality conjunct beats a range conjunct (tighter
+  // probe); the full predicate is still evaluated residually, so every
+  // plan stays exactly equivalent to the full scan.
   const Schema& schema = table->schema();
   std::vector<const Expr*> conjuncts;
   CollectConjuncts(*upd.where, &conjuncts);
   ExprRef where;
-  std::string index_column;
-  int64_t index_key = 0;
-  bool have_index_key = false;
+  SargCandidate sarg;
   for (const Expr* c : conjuncts) {
     ExprRef bound;
-    if (c->kind == ExprKind::kBinary && c->binary_op == BinaryOp::kEq &&
-        (c->left->kind == ExprKind::kColumnRef) !=
-            (c->right->kind == ExprKind::kColumnRef)) {
-      const Expr& col_side =
-          c->left->kind == ExprKind::kColumnRef ? *c->left : *c->right;
-      const Expr& const_side =
-          c->left->kind == ExprKind::kColumnRef ? *c->right : *c->left;
-      ExprRef l, r;
-      RELGRAPH_RETURN_IF_ERROR(BindExpr(*c->left, schema, &l));
-      RELGRAPH_RETURN_IF_ERROR(BindExpr(*c->right, schema, &r));
-      if (!have_index_key && !ReadsRowColumns(const_side)) {
-        std::string resolved;
-        Status found = ResolveColumn(col_side.qualifier, col_side.column,
-                                     schema, &resolved);
-        if (found.ok() && table->HasIndexOn(resolved)) {
-          const ExprRef& const_bound =
-              c->left->kind == ExprKind::kColumnRef ? r : l;
-          Value v = const_bound->Evaluate(Tuple(std::vector<Value>{}),
-                                          Schema(std::vector<Column>{}));
-          if (v.type() == TypeId::kInt) {
-            index_column = resolved;
-            index_key = v.AsInt();
-            have_index_key = true;
-          }
-        }
-      }
-      bound = Cmp(CompareOp::kEq, std::move(l), std::move(r));
+    if (IsSargShaped(*c)) {
+      RELGRAPH_RETURN_IF_ERROR(BindSargShaped(*c, schema, table, schema,
+                                              /*use_qualifier=*/true, &sarg,
+                                              &bound));
     } else {
       RELGRAPH_RETURN_IF_ERROR(BindExpr(*c, schema, &bound));
     }
     where = where == nullptr ? std::move(bound)
                              : And(std::move(where), std::move(bound));
   }
-  if (have_index_key) {
-    return UpdateWhereIndexed(table, index_column, index_key, index_key,
+  if (sarg.have_range) {
+    return UpdateWhereIndexed(table, sarg.column, sarg.lo, sarg.hi,
                               std::move(where), sets, &result->affected);
   }
   return UpdateWhere(table, std::move(where), sets, &result->affected);

@@ -77,6 +77,28 @@ class Planner {
   Status PlanFrom(const SelectStmt& sel, ExecRef* out);
   Status PlanFromItem(const FromItem& item, FromPlan* out);
 
+  /// Candidate index probe extracted from sargable conjuncts. An equality
+  /// conjunct beats a range conjunct (tighter probe); within each class
+  /// the first match wins.
+  struct SargCandidate {
+    std::string column;
+    int64_t lo = 0, hi = 0;
+    bool have_range = false;
+    bool equality = false;
+  };
+
+  /// Shared body of the sargable-conjunct extraction used by both the
+  /// UPDATE planner and SELECT's base-table scan choice: binds a
+  /// `col OP expr` / `expr OP col` conjunct against `bind_schema` into the
+  /// residual comparison `bound`, and updates `best` when the conjunct is
+  /// an index-servable `col OP <row-independent INT>` over `table` (the
+  /// column resolved against `resolve_schema`; the column side's qualifier
+  /// is honored only when `use_qualifier`).
+  Status BindSargShaped(const Expr& c, const Schema& bind_schema,
+                        Table* table, const Schema& resolve_schema,
+                        bool use_qualifier, SargCandidate* best,
+                        ExprRef* bound);
+
   /// AST expression -> runtime expression against `schema`.
   Status BindExpr(const Expr& e, const Schema& schema, ExprRef* out);
   /// Resolves a (qualifier, column) reference to the schema's column name.

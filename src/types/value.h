@@ -35,6 +35,18 @@ class Value {
   TypeId type() const { return type_; }
   bool IsNull() const { return type_ == TypeId::kNull; }
 
+  /// In-place overwrite with an INT — cheaper than `*this = Value(v)`
+  /// (no temporary variant is constructed). The batch executors use this
+  /// to refill recycled output tuples.
+  void SetInt(int64_t v) {
+    type_ = TypeId::kInt;
+    data_ = v;
+  }
+  void SetNull() {
+    type_ = TypeId::kNull;
+    data_ = std::monostate{};
+  }
+
   /// Accessors; behaviour is undefined on type mismatch (assert in debug).
   int64_t AsInt() const;
   double AsDouble() const;

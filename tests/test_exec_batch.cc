@@ -12,6 +12,7 @@
 
 #include "src/catalog/table.h"
 #include "src/common/rng.h"
+#include "src/exec/dml_executors.h"
 #include "src/exec/join_executors.h"
 #include "src/exec/scan_executors.h"
 #include "src/exec/window_executor.h"
@@ -170,6 +171,277 @@ TEST_F(ExecBatchTest, RandomPlansAgreeAcrossPullStyles) {
           << "seed " << seed << " row " << i;
     }
   }
+}
+
+/// Draining through the borrowed-batch interface must also reproduce the
+/// Next() stream exactly (Materialized serves true zero-copy views; every
+/// other operator adapts through the base-class buffer).
+TEST_F(ExecBatchTest, ViewedDrainAgreesWithNext) {
+  for (uint64_t seed = 1; seed <= 12; seed++) {
+    const int depth = static_cast<int>(seed % 4) + 1;
+    Rng build_a(seed), build_b(seed);
+    ExecRef a = BuildPlan(&build_a, depth);
+    ExecRef b = BuildPlan(&build_b, depth);
+
+    std::vector<Tuple> row_stream = DrainTupleAtATime(a.get());
+    ASSERT_TRUE(b->Init().ok());
+    std::vector<Tuple> view_stream;
+    const Tuple* rows = nullptr;
+    size_t n = 0;
+    while (b->NextBatchView(&rows, &n)) {
+      ASSERT_GT(n, 0u);
+      ASSERT_LE(n, kExecBatchSize);
+      view_stream.insert(view_stream.end(), rows, rows + n);
+    }
+    ASSERT_TRUE(b->status().ok());
+    ASSERT_EQ(row_stream.size(), view_stream.size()) << "seed " << seed;
+    for (size_t i = 0; i < row_stream.size(); i++) {
+      ASSERT_EQ(row_stream[i], view_stream[i]) << "seed " << seed;
+    }
+  }
+}
+
+/// The runtime batch-size knob must only change batch boundaries, never
+/// the stream contents — including degenerate sizes.
+TEST_F(ExecBatchTest, BatchSizeKnobPreservesTheStream) {
+  Rng build_ref(5);
+  ExecRef ref_plan = BuildPlan(&build_ref, 3);
+  std::vector<Tuple> reference = DrainTupleAtATime(ref_plan.get());
+  for (size_t batch_size : {size_t{1}, size_t{3}, size_t{7}, size_t{4096}}) {
+    SetExecBatchSize(batch_size);
+    Rng build(5);
+    ExecRef plan = BuildPlan(&build, 3);
+    std::vector<Tuple> got = DrainBatched(plan.get());
+    SetExecBatchSize(0);
+    ASSERT_EQ(reference.size(), got.size()) << "batch size " << batch_size;
+    for (size_t i = 0; i < got.size(); i++) {
+      ASSERT_EQ(reference[i], got[i]) << "batch size " << batch_size;
+    }
+  }
+  EXPECT_EQ(ExecBatchSize(), kExecBatchSize);  // knob restored
+}
+
+// ---------------------------------------------------------------------------
+// EvalBatch-vs-Evaluate agreement: random expression trees over random rows
+// (ints, NULLs, and doubles, so both the unboxed kernels and the boxed
+// fallback run) must produce value-identical columns.
+// ---------------------------------------------------------------------------
+
+class EvalBatchTest : public ::testing::Test {
+ protected:
+  static Schema TestSchema() {
+    return Schema({{"a", TypeId::kInt},
+                   {"b", TypeId::kInt},
+                   {"c", TypeId::kInt},
+                   {"d", TypeId::kDouble}});
+  }
+
+  static std::vector<Tuple> MakeRows(Rng* rng, int n) {
+    std::vector<Tuple> rows;
+    rows.reserve(n);
+    for (int i = 0; i < n; i++) {
+      auto maybe_null_int = [&]() {
+        return rng->NextInt(0, 9) == 0 ? Value::Null()
+                                       : Value(rng->NextInt(-20, 20));
+      };
+      Value d = rng->NextInt(0, 9) == 0
+                    ? Value::Null()
+                    : Value(static_cast<double>(rng->NextInt(-40, 40)) / 4.0);
+      rows.push_back(Tuple({maybe_null_int(), maybe_null_int(),
+                            maybe_null_int(), d}));
+    }
+    return rows;
+  }
+
+  /// Numeric-valued expression (may yield INT, DOUBLE, or NULL).
+  static ExprRef RandomNumExpr(Rng* rng, int depth) {
+    if (depth <= 0) {
+      switch (rng->NextInt(0, 4)) {
+        case 0: return Col("a");
+        case 1: return Col("b");
+        case 2: return Col("c");
+        case 3: return Col("d");
+        default: return rng->NextInt(0, 3) == 0
+                            ? NullLit()
+                            : Lit(rng->NextInt(-10, 10));
+      }
+    }
+    ExprRef l = RandomNumExpr(rng, depth - 1);
+    ExprRef r = RandomNumExpr(rng, depth - 1);
+    switch (rng->NextInt(0, 3)) {
+      case 0: return Add(std::move(l), std::move(r));
+      case 1: return Sub(std::move(l), std::move(r));
+      case 2: return Mul(std::move(l), std::move(r));
+      default: return Div(std::move(l), std::move(r));
+    }
+  }
+
+  /// Boolean-valued expression (INT 0/1 or NULL) — the only shape the
+  /// logic operators are defined over.
+  static ExprRef RandomBoolExpr(Rng* rng, int depth) {
+    if (depth <= 0) {
+      if (rng->NextInt(0, 4) == 0) {
+        return IsNull(RandomNumExpr(rng, 1), rng->NextInt(0, 1) == 1);
+      }
+      CompareOp op = static_cast<CompareOp>(rng->NextInt(0, 5));
+      return Cmp(op, RandomNumExpr(rng, 1), RandomNumExpr(rng, 1));
+    }
+    switch (rng->NextInt(0, 2)) {
+      case 0:
+        return And(RandomBoolExpr(rng, depth - 1),
+                   RandomBoolExpr(rng, depth - 1));
+      case 1:
+        return Or(RandomBoolExpr(rng, depth - 1),
+                  RandomBoolExpr(rng, depth - 1));
+      default:
+        return Not(RandomBoolExpr(rng, depth - 1));
+    }
+  }
+
+  static void ExpectAgreement(const Expression& e,
+                              const std::vector<Tuple>& rows,
+                              const Schema& schema, uint64_t seed) {
+    RowBatch batch(rows, schema);
+    ValueColumn col;
+    e.EvalBatch(batch, &col);
+    ASSERT_EQ(col.size(), rows.size());
+    for (size_t i = 0; i < rows.size(); i++) {
+      Value scalar = e.Evaluate(rows[i], schema);
+      Value batched = col.Get(i);
+      ASSERT_EQ(scalar.IsNull(), batched.IsNull())
+          << "seed " << seed << " row " << i << " expr " << e.ToString();
+      if (!scalar.IsNull()) {
+        ASSERT_EQ(scalar.Compare(batched), 0)
+            << "seed " << seed << " row " << i << " expr " << e.ToString();
+      }
+    }
+  }
+};
+
+TEST_F(EvalBatchTest, RandomExpressionsAgreeWithScalarEvaluation) {
+  Schema schema = TestSchema();
+  for (uint64_t seed = 1; seed <= 60; seed++) {
+    Rng rng(seed);
+    auto rows = MakeRows(&rng, 64);
+    ExprRef num = RandomNumExpr(&rng, static_cast<int>(seed % 4));
+    ExpectAgreement(*num, rows, schema, seed);
+    ExprRef cond = RandomBoolExpr(&rng, static_cast<int>(seed % 3));
+    ExpectAgreement(*cond, rows, schema, seed);
+
+    // Predicate verdicts must match row-by-row EvalPredicate.
+    RowBatch batch(rows, schema);
+    ValueColumn scratch;
+    std::vector<char> keep;
+    EvalPredicateBatch(*cond, batch, &scratch, &keep);
+    ASSERT_EQ(keep.size(), rows.size());
+    for (size_t i = 0; i < rows.size(); i++) {
+      EXPECT_EQ(keep[i] != 0, EvalPredicate(*cond, rows[i], schema))
+          << "seed " << seed << " row " << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming window + MERGE-via-batch.
+// ---------------------------------------------------------------------------
+
+TEST_F(ExecBatchTest, SortedStreamingWindowMatchesSortingWindow) {
+  // Feed the streaming operator pre-sorted input; it must reproduce the
+  // sorting window's output exactly, for both pull styles.
+  auto make_sorting = [&] {
+    return std::make_unique<WindowRowNumberExecutor>(
+        std::make_unique<SeqScanExecutor>(right_.get()),
+        std::vector<std::string>{"fid"},
+        std::vector<SortKey>{{Col("cost"), true}, {Col("tid"), true}});
+  };
+  auto w = make_sorting();
+  std::vector<Tuple> expected = DrainTupleAtATime(w.get());
+
+  // Strip the rownum column to recover the sorted input stream.
+  std::vector<Tuple> sorted_input;
+  for (const Tuple& t : expected) {
+    std::vector<Value> v(t.values().begin(), t.values().end() - 1);
+    sorted_input.push_back(Tuple(std::move(v)));
+  }
+  Schema in_schema({{"fid", TypeId::kInt},
+                    {"tid", TypeId::kInt},
+                    {"cost", TypeId::kInt}});
+
+  SortedWindowRowNumberExecutor streamed(
+      std::make_unique<MaterializedExecutor>(sorted_input, in_schema),
+      std::vector<std::string>{"fid"});
+  std::vector<Tuple> got = DrainTupleAtATime(&streamed);
+  ASSERT_EQ(expected.size(), got.size());
+  for (size_t i = 0; i < got.size(); i++) EXPECT_EQ(expected[i], got[i]);
+
+  SortedWindowRowNumberExecutor streamed_batch(
+      std::make_unique<MaterializedExecutor>(sorted_input, in_schema),
+      std::vector<std::string>{"fid"});
+  std::vector<Tuple> got_batched = DrainBatched(&streamed_batch);
+  ASSERT_EQ(expected.size(), got_batched.size());
+  for (size_t i = 0; i < got_batched.size(); i++) {
+    EXPECT_EQ(expected[i], got_batched[i]);
+  }
+}
+
+TEST_F(ExecBatchTest, MergeViaBatchMatchesRowAtATimeMerge) {
+  // The same MERGE executed with batch size 1 (row-at-a-time drain) and
+  // the default batch size must produce identical targets and counts.
+  auto run_merge = [&](size_t batch_size, std::vector<Tuple>* final_rows,
+                       int64_t* affected) {
+    DiskManager dm;
+    BufferPool pool(512, &dm);
+    std::unique_ptr<Table> target;
+    ASSERT_TRUE(Table::Create(&pool, "T",
+                              Schema({{"nid", TypeId::kInt},
+                                      {"d2s", TypeId::kInt},
+                                      {"p2s", TypeId::kInt}}),
+                              TableOptions{}, &target)
+                    .ok());
+    ASSERT_TRUE(target->CreateSecondaryIndex("nid", /*unique=*/true).ok());
+    Rng rng(77);
+    for (int64_t i = 0; i < 300; i++) {
+      ASSERT_TRUE(target
+                      ->Insert(Tuple({Value(i), Value(rng.NextInt(50, 90)),
+                                      Value(int64_t{-1})}))
+                      .ok());
+    }
+    // Source: ~3000 rows with duplicate keys, some new, some better.
+    std::vector<Tuple> src;
+    Rng srng(78);
+    for (int64_t i = 0; i < 3000; i++) {
+      src.push_back(Tuple({Value(srng.NextInt(0, 600)),
+                           Value(srng.NextInt(10, 120)),
+                           Value(srng.NextInt(0, 40))}));
+    }
+    SetExecBatchSize(batch_size);
+    MaterializedExecutor source(std::move(src),
+                                Schema({{"nid", TypeId::kInt},
+                                        {"cost", TypeId::kInt},
+                                        {"pid", TypeId::kInt}}));
+    MergeSpec spec;
+    spec.target_key_column = "nid";
+    spec.source_key_column = "nid";
+    spec.matched_condition =
+        Cmp(CompareOp::kGt, Col("t.d2s"), Col("s.cost"));
+    spec.matched_sets = {{"d2s", Col("s.cost")}, {"p2s", Col("s.pid")}};
+    spec.insert_values = {Col("nid"), Col("cost"), Col("pid")};
+    ASSERT_TRUE(MergeInto(target.get(), &source, spec, affected).ok());
+    SetExecBatchSize(0);
+    SeqScanExecutor scan(target.get());
+    ASSERT_TRUE(Collect(&scan, final_rows).ok());
+  };
+
+  std::vector<Tuple> rows_single, rows_batched;
+  int64_t affected_single = 0, affected_batched = 0;
+  run_merge(1, &rows_single, &affected_single);
+  run_merge(0, &rows_batched, &affected_batched);
+  EXPECT_EQ(affected_single, affected_batched);
+  ASSERT_EQ(rows_single.size(), rows_batched.size());
+  for (size_t i = 0; i < rows_single.size(); i++) {
+    EXPECT_EQ(rows_single[i], rows_batched[i]) << "row " << i;
+  }
+  EXPECT_GT(affected_single, 0);
 }
 
 TEST_F(ExecBatchTest, WindowAndMaterializedBatchesAgree) {

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <cstring>
 #include <memory>
 
 #include "src/common/rng.h"
@@ -159,6 +161,179 @@ TEST(SqlPathFinderBasics, StatementLogShowsListingShapes) {
   EXPECT_TRUE(saw_merge);
   EXPECT_TRUE(saw_window);
   EXPECT_TRUE(saw_min);
+}
+
+/// Strips the per-finder-instance suffix from working-table names
+/// ("TVisited_BSDJ_3" -> "TVisited_BSDJ_#") so statement text can be
+/// compared across finder instances.
+std::string NormalizeTableNames(std::string sql) {
+  for (size_t at = sql.find("TVisited_"); at != std::string::npos;
+       at = sql.find("TVisited_", at + 1)) {
+    size_t digits = at + std::strlen("TVisited_");
+    while (digits < sql.size() &&
+           !std::isdigit(static_cast<unsigned char>(sql[digits])) &&
+           (std::isalnum(static_cast<unsigned char>(sql[digits])) ||
+            sql[digits] == '_')) {
+      digits++;
+    }
+    size_t end = digits;
+    while (end < sql.size() &&
+           std::isdigit(static_cast<unsigned char>(sql[end]))) {
+      end++;
+    }
+    if (end > digits) sql.replace(digits, end - digits, "#");
+  }
+  // CluIndex keeps the reverse adjacency in a second clustered table
+  // (TEdgesIn); the backward-expansion statement legitimately names the
+  // relation it reads, so fold it onto TEdges for cross-strategy diffs.
+  for (size_t at = sql.find("TEdgesIn"); at != std::string::npos;
+       at = sql.find("TEdgesIn", at)) {
+    sql.replace(at, std::strlen("TEdgesIn"), "TEdges");
+  }
+  return sql;
+}
+
+// The batched/sargable plans must be *invisible* above the executor layer:
+// across all three index strategies and both SQL modes, the native finder
+// must report bit-identical distances, per-query statement counts, and
+// recorded SQL text (the physical plan changes; the statements do not) —
+// and the SQL-text client must agree with the native finder and the
+// in-memory oracle under every strategy.
+TEST(SqlNativeAgreement, PlansAreInvisibleAcrossStrategiesAndModes) {
+  EdgeList list = GenerateBarabasiAlbert(120, 2, WeightRange{1, 40}, 31);
+  MemGraph mem(list);
+  Rng rng(501);
+  std::vector<std::pair<node_id_t, node_id_t>> queries;
+  for (int i = 0; i < 6; i++) {
+    queries.emplace_back(rng.NextInt(0, list.num_nodes - 1),
+                         rng.NextInt(0, list.num_nodes - 1));
+  }
+
+  const IndexStrategy strategies[] = {
+      IndexStrategy::kNoIndex, IndexStrategy::kIndex, IndexStrategy::kCluIndex};
+
+  for (Algorithm algo : {Algorithm::kBSDJ, Algorithm::kBBFS}) {
+    for (SqlMode mode : {SqlMode::kNsql, SqlMode::kTsql}) {
+      // Per (query): the reference observation from the first strategy.
+      struct Obs {
+        bool found = false;
+        weight_t distance = 0;
+        int64_t statements = 0;
+        int64_t expansions = 0;
+        std::vector<std::string> sql;
+      };
+      std::vector<Obs> reference(queries.size());
+      bool have_reference = false;
+
+      for (IndexStrategy strategy : strategies) {
+        Database db{DatabaseOptions{}};
+        db.EnableStatementLog(1 << 16);
+        GraphStoreOptions gopts;
+        gopts.strategy = strategy;
+        std::unique_ptr<GraphStore> graph;
+        ASSERT_TRUE(GraphStore::Create(&db, list, gopts, &graph).ok());
+        PathFinderOptions nopts;
+        nopts.algorithm = algo;
+        nopts.sql_mode = mode;
+        std::unique_ptr<PathFinder> native;
+        ASSERT_TRUE(PathFinder::Create(graph.get(), nopts, &native).ok());
+
+        for (size_t q = 0; q < queries.size(); q++) {
+          const auto& [s, t] = queries[q];
+          size_t log_before = db.statement_log().size();
+          PathQueryResult r;
+          ASSERT_TRUE(native->Find(s, t, &r).ok());
+          MemPathResult oracle = mem.Dijkstra(s, t);
+          ASSERT_EQ(r.found, oracle.found);
+          if (oracle.found) {
+            ASSERT_EQ(r.distance, oracle.distance);
+          }
+
+          Obs obs;
+          obs.found = r.found;
+          obs.distance = r.distance;
+          obs.statements = r.stats.statements;
+          obs.expansions = r.stats.expansions;
+          for (size_t i = log_before; i < db.statement_log().size(); i++) {
+            obs.sql.push_back(NormalizeTableNames(db.statement_log()[i]));
+          }
+          if (!have_reference) {
+            reference[q] = std::move(obs);
+            continue;
+          }
+          const Obs& ref = reference[q];
+          const std::string ctx = std::string(AlgorithmName(algo)) + "/" +
+                                  SqlModeName(mode) + "/" +
+                                  IndexStrategyName(strategy) + " q" +
+                                  std::to_string(q);
+          EXPECT_EQ(obs.found, ref.found) << ctx;
+          EXPECT_EQ(obs.distance, ref.distance) << ctx;
+          EXPECT_EQ(obs.statements, ref.statements) << ctx;
+          EXPECT_EQ(obs.expansions, ref.expansions) << ctx;
+          ASSERT_EQ(obs.sql.size(), ref.sql.size()) << ctx;
+          for (size_t i = 0; i < obs.sql.size(); i++) {
+            EXPECT_EQ(obs.sql[i], ref.sql[i]) << ctx << " stmt " << i;
+          }
+        }
+        have_reference = true;
+      }
+    }
+  }
+
+  // SQL-text client: identical distances to the oracle, and identical
+  // statement counts + recorded SQL across the graph's index strategies
+  // (the working-table DDL is the finder's own and never varies).
+  for (Algorithm algo : {Algorithm::kBSDJ, Algorithm::kBBFS}) {
+    struct Obs {
+      int64_t statements = 0;
+      std::vector<std::string> sql;
+    };
+    std::vector<Obs> reference(queries.size());
+    bool have_reference = false;
+    for (IndexStrategy strategy : strategies) {
+      Database db{DatabaseOptions{}};
+      db.EnableStatementLog(1 << 16);
+      GraphStoreOptions gopts;
+      gopts.strategy = strategy;
+      std::unique_ptr<GraphStore> graph;
+      ASSERT_TRUE(GraphStore::Create(&db, list, gopts, &graph).ok());
+      SqlPathFinderOptions sopts;
+      sopts.algorithm = algo;
+      std::unique_ptr<SqlPathFinder> finder;
+      ASSERT_TRUE(SqlPathFinder::Create(graph.get(), sopts, &finder).ok());
+
+      for (size_t q = 0; q < queries.size(); q++) {
+        const auto& [s, t] = queries[q];
+        size_t log_before = db.statement_log().size();
+        PathQueryResult r;
+        ASSERT_TRUE(finder->Find(s, t, &r).ok());
+        MemPathResult oracle = mem.Dijkstra(s, t);
+        ASSERT_EQ(r.found, oracle.found);
+        if (oracle.found) {
+          ASSERT_EQ(r.distance, oracle.distance);
+        }
+
+        Obs obs;
+        obs.statements = r.stats.statements;
+        for (size_t i = log_before; i < db.statement_log().size(); i++) {
+          obs.sql.push_back(NormalizeTableNames(db.statement_log()[i]));
+        }
+        if (!have_reference) {
+          reference[q] = std::move(obs);
+          continue;
+        }
+        const std::string ctx = std::string(AlgorithmName(algo)) + "/" +
+                                IndexStrategyName(strategy) + " q" +
+                                std::to_string(q);
+        EXPECT_EQ(obs.statements, reference[q].statements) << ctx;
+        ASSERT_EQ(obs.sql.size(), reference[q].sql.size()) << ctx;
+        for (size_t i = 0; i < obs.sql.size(); i++) {
+          EXPECT_EQ(obs.sql[i], reference[q].sql[i]) << ctx << " stmt " << i;
+        }
+      }
+      have_reference = true;
+    }
+  }
 }
 
 TEST(SqlPathFinderBasics, StatementCountGrowsWithIterationsNotGraph) {
