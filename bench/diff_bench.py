@@ -32,12 +32,29 @@ the baseline come from the same machine (local development).
 The tolerance can also be set via RELGRAPH_BENCH_TOLERANCE. Absolute
 wall-clock baselines are machine-specific — refresh the `ci_smoke` block
 whenever the CI runner generation changes.
+
+Rolling-window mode (--rolling-dir DIR [--window N] [--update-rolling]):
+instead of the checked-in block, the baseline is built from the previous
+runs stored in DIR (CI persists it in an actions cache keyed by runner
+label, so the window always comes from the same runner class and never
+needs the manual refresh the static baseline does). Record structure and
+the deterministic counters come from the *newest* stored run; the gated
+latency is the per-record minimum across the whole window (the same
+noise treatment as min-of-N within one build, stretched across builds).
+With --update-rolling, a PASSING comparison appends this build's merged
+records as run-<epoch>.json and prunes the window to N entries — failing
+runs never poison the baseline. When DIR is empty (first run on a fresh
+cache) the comparison falls back to --baseline/--baseline-key and the
+window is seeded. To reset after an intentional perf/counter change,
+bump the cache key in the workflow.
 """
 
 import argparse
+import glob as globmod
 import json
 import os
 import sys
+import time
 
 EXACT_METRICS = ("statements", "expansions", "visited", "found", "total")
 
@@ -78,6 +95,52 @@ def merge_runs(run_files, metric, failures):
     return merged
 
 
+def rolling_run_files(rolling_dir):
+    """Window files, oldest first (named run-<epoch>.json)."""
+    files = globmod.glob(os.path.join(rolling_dir, "run-*.json"))
+    return sorted(files, key=lambda p: os.path.basename(p))
+
+
+def load_rolling_baseline(rolling_dir, metric):
+    """Baseline record list from the stored window: the newest run gives
+    the record set and the deterministic counters; `metric` is the
+    per-record minimum across every run in the window."""
+    files = rolling_run_files(rolling_dir)
+    if not files:
+        return None, 0
+    with open(files[-1]) as f:
+        newest = json.load(f)
+    best = {}
+    for path in files:
+        with open(path) as f:
+            for rec in json.load(f):
+                key = record_key(rec)
+                t = rec.get("metrics", {}).get(metric)
+                if t is None:
+                    continue
+                best[key] = t if key not in best else min(best[key], t)
+    for rec in newest:
+        key = record_key(rec)
+        if key in best and metric in rec.get("metrics", {}):
+            rec["metrics"][metric] = best[key]
+    return newest, len(files)
+
+
+def update_rolling(rolling_dir, run_by_key, window):
+    """Appends this build's merged records and prunes to `window` files."""
+    os.makedirs(rolling_dir, exist_ok=True)
+    records = []
+    for (experiment, label, ctx), metrics in sorted(run_by_key.items()):
+        records.append({"experiment": experiment, "label": label,
+                        "context": dict(ctx), "metrics": metrics})
+    name = os.path.join(rolling_dir, "run-%013d.json" % int(time.time() * 1e3))
+    with open(name, "w") as f:
+        json.dump(records, f, indent=1)
+    files = rolling_run_files(rolling_dir)
+    for stale in files[:-window] if window > 0 else []:
+        os.remove(stale)
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--run", required=True, nargs="+",
@@ -87,6 +150,15 @@ def main():
     parser.add_argument("--baseline-key", default="ci_smoke",
                         help="top-level key in the baseline file holding the "
                              "record list to diff against")
+    parser.add_argument("--rolling-dir", default=None,
+                        help="directory of previous runs (run-*.json); when "
+                             "it holds any, they replace the checked-in "
+                             "baseline (see module docstring)")
+    parser.add_argument("--window", type=int, default=5,
+                        help="rolling-window size kept by --update-rolling")
+    parser.add_argument("--update-rolling", action="store_true",
+                        help="on PASS, append this build's merged records to "
+                             "--rolling-dir and prune to --window entries")
     parser.add_argument("--metric", default="time_s",
                         help="latency metric to gate on")
     parser.add_argument("--normalize", action="store_true",
@@ -99,12 +171,28 @@ def main():
                         help="allowed fractional latency regression")
     args = parser.parse_args()
 
-    with open(args.baseline) as f:
-        baseline_doc = json.load(f)
-    baseline = baseline_doc.get(args.baseline_key)
+    baseline = None
+    from_rolling = False
+    baseline_desc = f"checked-in '{args.baseline_key}'"
+    if args.rolling_dir:
+        baseline, window_runs = load_rolling_baseline(args.rolling_dir,
+                                                      args.metric)
+        if baseline is not None:
+            from_rolling = True
+            baseline_desc = (f"rolling window ({window_runs} prior run(s) in "
+                             f"{args.rolling_dir})")
+        else:
+            print(f"diff_bench: rolling dir {args.rolling_dir} is empty — "
+                  f"falling back to the checked-in baseline, then seeding "
+                  f"the window")
     if baseline is None:
-        print(f"FAIL: baseline file has no '{args.baseline_key}' record list")
-        return 1
+        with open(args.baseline) as f:
+            baseline_doc = json.load(f)
+        baseline = baseline_doc.get(args.baseline_key)
+        if baseline is None:
+            print(f"FAIL: baseline file has no '{args.baseline_key}' "
+                  f"record list")
+            return 1
 
     failures = []
     run_by_key = merge_runs(args.run, args.metric, failures)
@@ -156,18 +244,25 @@ def main():
 
     # Symmetric coverage check: a run record the baseline does not know is
     # gated against nothing, and under --normalize it silently dilutes
-    # every other record's share — so it fails the job until the baseline
-    # is refreshed to include it.
+    # every other record's share. Against the checked-in baseline that
+    # fails the job until the block is refreshed. Against the rolling
+    # window it is only a notice: on PASS the window absorbs the new
+    # record (--update-rolling) and gates it from the next run onward —
+    # newly added benchmarks self-seed instead of failing forever.
     base_keys = {record_key(r) for r in baseline}
     for key in run_by_key:
         if key not in base_keys:
-            failures.append(
-                f"missing from baseline: {fmt_key(key)} (refresh the "
-                f"'{args.baseline_key}' block to cover it)")
+            if from_rolling:
+                print(f"  note: new record {fmt_key(key)} — ungated this "
+                      f"run; the rolling window absorbs it on PASS")
+            else:
+                failures.append(
+                    f"missing from baseline: {fmt_key(key)} (refresh the "
+                    f"'{args.baseline_key}' block to cover it)")
 
-    print(f"diff_bench: {len(baseline)} baseline record(s), "
-          f"{len(args.run)} run file(s), tolerance +{args.tolerance:.0%} on "
-          f"{args.metric} (min across runs"
+    print(f"diff_bench: {len(baseline)} baseline record(s) from "
+          f"{baseline_desc}, {len(args.run)} run file(s), tolerance "
+          f"+{args.tolerance:.0%} on {args.metric} (min across runs"
           f"{', normalized to run totals' if args.normalize else ''})")
     for line in lines:
         print(line)
@@ -176,6 +271,10 @@ def main():
         for f_line in failures:
             print(f"  {f_line}")
         return 1
+    if args.update_rolling and args.rolling_dir:
+        update_rolling(args.rolling_dir, run_by_key, args.window)
+        print(f"rolling window updated "
+              f"({len(rolling_run_files(args.rolling_dir))} run(s) kept)")
     print("PASS")
     return 0
 

@@ -11,6 +11,7 @@
 //
 //   $ ./example_sql_shell --demo
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -109,9 +110,13 @@ int main(int argc, char** argv) {
   }
 
   sql::SqlEngine conn(&db);
-  std::printf("relgraph sql shell — tables: TNodes(nid), "
-              "TEdges(fid, tid, cost). \\q quits, --demo runs the paper's "
-              "statement sequence.\n");
+  std::printf(
+      "relgraph sql shell — tables: TNodes(nid), TEdges(fid, tid, cost).\n"
+      "  \\q quits, --demo runs the paper's statement sequence.\n"
+      "  \\prepare <sql>      parse+plan once, keep the handle\n"
+      "  \\exec [k=v ...]     bind :params and run the prepared handle\n"
+      "  \\stats              statement / prepare / plan-cache counters\n");
+  std::shared_ptr<sql::PreparedStatement> prepared;
   std::string line, statement;
   while (true) {
     std::printf(statement.empty() ? "sql> " : "  -> ");
@@ -119,12 +124,96 @@ int main(int argc, char** argv) {
     if (!std::getline(std::cin, line)) break;
     if (line == "\\q" || line == "quit" || line == "exit") break;
     statement += line;
-    // Statements end with ';' (or a bare newline flushes one-liners).
-    if (statement.find(';') == std::string::npos && !line.empty()) {
+    // `\`-commands are one-liners; SQL statements end with ';' (or a bare
+    // newline flushes one-liners).
+    size_t first = statement.find_first_not_of(" \t");
+    const bool meta = first != std::string::npos && statement[first] == '\\';
+    if (!meta && statement.find(';') == std::string::npos && !line.empty()) {
       statement += " ";
       continue;
     }
     if (statement.find_first_not_of(" ;\t") == std::string::npos) {
+      statement.clear();
+      continue;
+    }
+    size_t start0 = statement.find_first_not_of(" \t");
+    // `\prepare <sql>` compiles once; `\exec k=v ...` re-binds and runs
+    // the handle — the parse-once / bind-many loop the paper's client
+    // assumes of its JDBC PreparedStatements. The command is the whole
+    // first word, so typos and bare commands report usage instead of
+    // falling through to the SQL parser.
+    std::string meta_cmd;
+    size_t meta_end = start0;
+    if (start0 != std::string::npos && statement[start0] == '\\') {
+      meta_end = statement.find_first_of(" \t", start0);
+      if (meta_end == std::string::npos) meta_end = statement.size();
+      meta_cmd = statement.substr(start0 + 1, meta_end - start0 - 1);
+    }
+    if (meta_cmd == "prepare") {
+      std::string sql = statement.substr(meta_end);
+      if (size_t semi = sql.find(';'); semi != std::string::npos) {
+        sql.resize(semi);
+      }
+      if (sql.find_first_not_of(" \t") == std::string::npos) {
+        std::printf("usage: \\prepare <sql>\n");
+        statement.clear();
+        continue;
+      }
+      Status s = conn.Prepare(sql, &prepared);
+      if (s.ok()) {
+        std::printf("prepared (total prepares: %lld). \\exec [k=v ...] runs "
+                    "it without re-planning.\n",
+                    static_cast<long long>(db.stats().prepares));
+      } else {
+        std::printf("error: %s\n", s.ToString().c_str());
+      }
+      statement.clear();
+      continue;
+    }
+    if (meta_cmd == "exec") {
+      if (prepared == nullptr) {
+        std::printf("nothing prepared — use \\prepare <sql> first\n");
+        statement.clear();
+        continue;
+      }
+      sql::SqlParams params;
+      size_t pos = meta_end;
+      while (pos < statement.size()) {  // parse `name=int` bindings
+        size_t eq = statement.find('=', pos);
+        if (eq == std::string::npos) break;
+        size_t key_start = statement.find_first_not_of(" \t,;", pos);
+        std::string key = statement.substr(key_start, eq - key_start);
+        size_t val_end = statement.find_first_of(" \t,;", eq + 1);
+        if (val_end == std::string::npos) val_end = statement.size();
+        params[key] =
+            Value(static_cast<int64_t>(
+                std::atoll(statement.substr(eq + 1, val_end - eq - 1).c_str())));
+        pos = val_end;
+      }
+      sql::SqlResult r;
+      Status s = prepared->Execute(params, &r);
+      if (s.ok()) {
+        PrintResult(r);
+      } else {
+        std::printf("error: %s\n", s.ToString().c_str());
+      }
+      statement.clear();
+      continue;
+    }
+    if (meta_cmd == "stats") {
+      const DatabaseStats& st = db.stats();
+      std::printf("statements=%lld prepares=%lld plan_cache_hits=%lld\n",
+                  static_cast<long long>(st.statements),
+                  static_cast<long long>(st.prepares),
+                  static_cast<long long>(st.plan_cache_hits));
+      statement.clear();
+      continue;
+    }
+    if (meta_cmd == "q") break;
+    if (!meta_cmd.empty()) {
+      std::printf("unknown command \\%s (try \\prepare, \\exec, \\stats, "
+                  "\\q)\n",
+                  meta_cmd.c_str());
       statement.clear();
       continue;
     }

@@ -13,6 +13,7 @@ Status Catalog::CreateTable(const std::string& name, Schema schema,
                     &table));
   Table* raw = table.get();
   tables_[name] = std::move(table);
+  version_++;
   if (out != nullptr) *out = raw;
   return Status::OK();
 }
@@ -26,6 +27,7 @@ Status Catalog::DropTable(const std::string& name) {
   if (tables_.erase(name) == 0) {
     return Status::NotFound("table " + name + " does not exist");
   }
+  version_++;
   return Status::OK();
 }
 

@@ -13,9 +13,20 @@ namespace relgraph {
 
 /// Name -> Table directory for one database instance. (The engine is
 /// embedded and single-session; the catalog is the only metadata store.)
+///
+/// The catalog carries a monotonically increasing *version*, bumped on
+/// every schema change (table create/drop, index create/drop via the SQL
+/// layer). Prepared statements stamp the version they were planned
+/// against and re-plan when it moves — the invalidation protocol behind
+/// the engine's plan cache. Index changes made by calling
+/// Table::CreateSecondaryIndex directly (outside SQL DDL) do not bump the
+/// version; the SQL layer is the invalidation boundary.
 class Catalog {
  public:
   explicit Catalog(BufferPool* pool) : pool_(pool) {}
+
+  uint64_t version() const { return version_; }
+  void BumpVersion() { version_++; }
 
   /// Creates a table; fails with AlreadyExists on a name clash.
   Status CreateTable(const std::string& name, Schema schema,
@@ -33,6 +44,7 @@ class Catalog {
  private:
   BufferPool* pool_;
   std::map<std::string, std::unique_ptr<Table>> tables_;
+  uint64_t version_ = 1;
 };
 
 }  // namespace relgraph

@@ -152,7 +152,8 @@ Status Table::DeleteClusteredIndexEntriesFor(const Tuple& tuple,
   return Status::OK();
 }
 
-Status Table::CreateSecondaryIndex(const std::string& column, bool unique) {
+Status Table::CreateSecondaryIndex(const std::string& column, bool unique,
+                                   const std::string& name) {
   if (options_.storage == TableStorage::kClustered &&
       !options_.cluster_unique) {
     return Status::NotSupported(
@@ -173,6 +174,7 @@ Status Table::CreateSecondaryIndex(const std::string& column, bool unique) {
     }
   }
   SecondaryIndex si;
+  si.name = name.empty() ? column : name;
   si.column = column;
   si.column_idx = static_cast<size_t>(idx);
   si.unique = unique;
@@ -207,6 +209,26 @@ Status Table::CreateSecondaryIndex(const std::string& column, bool unique) {
   }
   indexes_.push_back(std::move(si));
   return Status::OK();
+}
+
+Status Table::DropSecondaryIndex(const std::string& name) {
+  for (int pass = 0; pass < 2; pass++) {  // by name first, then by column
+    for (size_t i = 0; i < indexes_.size(); i++) {
+      const std::string& key = pass == 0 ? indexes_[i].name
+                                         : indexes_[i].column;
+      if (key == name) {
+        // The tree's pages are abandoned, not reclaimed — same policy as
+        // DropTable (the engine's disk manager is append-only).
+        indexes_.erase(indexes_.begin() + static_cast<ptrdiff_t>(i));
+        return Status::OK();
+      }
+    }
+  }
+  if (options_.storage == TableStorage::kClustered &&
+      name == options_.cluster_key) {
+    return Status::InvalidArgument("cannot drop the cluster key of " + name_);
+  }
+  return Status::NotFound("no index " + name + " on " + name_);
 }
 
 bool Table::HasIndexOn(const std::string& column) const {

@@ -70,7 +70,15 @@ class Table {
   /// *unique* cluster key) index `column -> cluster key`, so an index probe
   /// costs one extra tree descent — the classic secondary-on-clustered
   /// layout. All mutations keep both kinds consistent.
-  Status CreateSecondaryIndex(const std::string& column, bool unique);
+  /// `name` is the SQL-level index name (CREATE INDEX <name> ...); it is
+  /// only used to resolve DROP INDEX and defaults to the column name.
+  Status CreateSecondaryIndex(const std::string& column, bool unique,
+                              const std::string& name = std::string());
+
+  /// Drops the secondary index named `name` (falling back to a column
+  /// match, since the engine keys indexes by column). The cluster tree is
+  /// the table's storage and cannot be dropped.
+  Status DropSecondaryIndex(const std::string& name);
 
   /// True when lookups on `column` can use an index (secondary or cluster).
   bool HasIndexOn(const std::string& column) const;
@@ -123,6 +131,7 @@ class Table {
   Table() = default;
 
   struct SecondaryIndex {
+    std::string name;  // SQL-level index name (DROP INDEX resolves on it)
     std::string column;
     size_t column_idx;
     bool unique;

@@ -116,8 +116,74 @@ Status SqlPathFinder::Create(GraphStore* graph, SqlPathFinderOptions options,
   s.pred_fwd = "select p2s from " + v + " where nid = :x";  // Listing 3(3)
   s.pred_bwd = "select p2t from " + v + " where nid = :x";
 
+  // Statement templates -> Template slots (the Listing texts plus the
+  // bookkeeping statements Find() issues around them). In prepared mode
+  // each template is parsed and planned exactly once, here; a full
+  // Find() afterwards performs zero parses/plans — only binds. In text
+  // mode the plan cache is disabled so every execution pays the paper's
+  // literal parse+plan cost.
+  SqlPathFinder* f = finder.get();
+  f->t_truncate_ = {"truncate " + v, nullptr};
+  f->t_seed_ = {s.seed, nullptr};
+  f->t_pick_mid_ = {s.pick_mid, nullptr};
+  f->t_expand_fwd_ = {s.expand_forward, nullptr};
+  f->t_expand_bwd_ = {s.expand_backward, nullptr};
+  f->t_finalize_mid_ = {s.finalize_mid, nullptr};
+  f->t_mark_fwd_ = {s.mark_frontier_fwd, nullptr};
+  f->t_mark_bwd_ = {s.mark_frontier_bwd, nullptr};
+  f->t_fin_fwd_ = {s.finalize_frontier_fwd, nullptr};
+  f->t_fin_bwd_ = {s.finalize_frontier_bwd, nullptr};
+  f->t_min_open_fwd_ = {s.min_open_fwd, nullptr};
+  f->t_min_open_bwd_ = {s.min_open_bwd, nullptr};
+  f->t_count_open_fwd_ = {s.count_open_fwd, nullptr};
+  f->t_count_open_bwd_ = {s.count_open_bwd, nullptr};
+  f->t_min_cost_ = {s.min_cost, nullptr};
+  f->t_meet_ = {s.meet_node, nullptr};
+  f->t_pred_fwd_ = {s.pred_fwd, nullptr};
+  f->t_pred_bwd_ = {s.pred_bwd, nullptr};
+  f->t_dist_at_ = {"select d2s from " + v + " where nid = :x", nullptr};
+  f->t_count_all_ = {"select count(*) from " + v, nullptr};
+
+  if (f->options_.use_prepared) {
+    // Prepare exactly the statements each algorithm issues: DJ's working
+    // table lacks the §4.1 backward columns, so the bidirectional
+    // templates don't even compile against it (and vice versa, DJ's
+    // node-at-a-time statements are dead weight for the set algorithms).
+    std::vector<Template*> used = {&f->t_truncate_, &f->t_seed_,
+                                   &f->t_expand_fwd_, &f->t_pred_fwd_,
+                                   &f->t_count_all_};
+    if (dj) {
+      used.insert(used.end(), {&f->t_pick_mid_, &f->t_finalize_mid_,
+                               &f->t_dist_at_});
+    } else {
+      used.insert(used.end(),
+                  {&f->t_expand_bwd_, &f->t_mark_fwd_, &f->t_mark_bwd_,
+                   &f->t_fin_fwd_, &f->t_fin_bwd_, &f->t_min_open_fwd_,
+                   &f->t_min_open_bwd_, &f->t_count_open_fwd_,
+                   &f->t_count_open_bwd_, &f->t_min_cost_, &f->t_meet_,
+                   &f->t_pred_bwd_});
+    }
+    for (Template* t : used) {
+      RELGRAPH_RETURN_IF_ERROR(f->conn_->Prepare(t->text, &t->handle));
+    }
+  } else {
+    f->conn_->SetPlanCacheCapacity(0);
+  }
+
   *out = std::move(finder);
   return Status::OK();
+}
+
+Status SqlPathFinder::Exec(Template& t, sql::SqlResult* result,
+                           const sql::SqlParams& params) {
+  if (t.handle != nullptr) return t.handle->Execute(params, result);
+  return conn_->Execute(t.text, result, params);
+}
+
+Status SqlPathFinder::Scalar(Template& t, Value* out,
+                             const sql::SqlParams& params) {
+  if (t.handle != nullptr) return t.handle->QueryScalar(params, out);
+  return conn_->QueryScalar(t.text, out, params);
 }
 
 std::string SqlPathFinder::BuildExpandSql(const EdgeRelation& rel,
@@ -182,13 +248,12 @@ Status SqlPathFinder::Find(node_id_t s, node_id_t t, PathQueryResult* result) {
 
 Status SqlPathFinder::RunDj(node_id_t s, node_id_t t,
                             PathQueryResult* result) {
-  const Statements& q = stmts_;
-  RELGRAPH_RETURN_IF_ERROR(conn_->Execute("truncate " + options_.visited_table));
-  RELGRAPH_RETURN_IF_ERROR(conn_->Execute(q.seed, nullptr, P({{"s", s}})));
+  RELGRAPH_RETURN_IF_ERROR(Exec(t_truncate_, nullptr));
+  RELGRAPH_RETURN_IF_ERROR(Exec(t_seed_, nullptr, P({{"s", s}})));
 
   for (int64_t iter = 0; iter < options_.max_iterations; iter++) {
     Value mid_v;
-    RELGRAPH_RETURN_IF_ERROR(conn_->QueryScalar(q.pick_mid, &mid_v));
+    RELGRAPH_RETURN_IF_ERROR(Scalar(t_pick_mid_, &mid_v));
     if (mid_v.IsNull()) break;  // no candidate left: t unreachable
     node_id_t mid = mid_v.AsInt();
 
@@ -199,11 +264,9 @@ Status SqlPathFinder::RunDj(node_id_t s, node_id_t t,
     // finalization instead (same worst-case n iterations, never early-stops
     // on a correct instance).
     sql::SqlResult r;
-    RELGRAPH_RETURN_IF_ERROR(
-        conn_->Execute(q.expand_forward, &r, P({{"mid", mid}})));
+    RELGRAPH_RETURN_IF_ERROR(Exec(t_expand_fwd_, &r, P({{"mid", mid}})));
     result->stats.expansions++;
-    RELGRAPH_RETURN_IF_ERROR(
-        conn_->Execute(q.finalize_mid, nullptr, P({{"mid", mid}})));
+    RELGRAPH_RETURN_IF_ERROR(Exec(t_finalize_mid_, nullptr, P({{"mid", mid}})));
     if (mid == t) {  // Listing 3(1): target finalized
       result->found = true;
       break;
@@ -212,24 +275,20 @@ Status SqlPathFinder::RunDj(node_id_t s, node_id_t t,
   if (!result->found) return Status::OK();
 
   Value dist;
-  RELGRAPH_RETURN_IF_ERROR(conn_->QueryScalar(
-      "select d2s from " + options_.visited_table + " where nid = :x", &dist,
-      P({{"x", t}})));
+  RELGRAPH_RETURN_IF_ERROR(Scalar(t_dist_at_, &dist, P({{"x", t}})));
   result->distance = dist.AsInt();
-  RELGRAPH_RETURN_IF_ERROR(RecoverChain(stmts_.pred_fwd, t, s, &result->path));
+  RELGRAPH_RETURN_IF_ERROR(RecoverChain(t_pred_fwd_, t, s, &result->path));
   std::reverse(result->path.begin(), result->path.end());
 
   Value vst;
-  RELGRAPH_RETURN_IF_ERROR(conn_->QueryScalar(
-      "select count(*) from " + options_.visited_table, &vst));
+  RELGRAPH_RETURN_IF_ERROR(Scalar(t_count_all_, &vst));
   result->stats.visited_rows = vst.AsInt();
   return Status::OK();
 }
 
 Status SqlPathFinder::RunBidirectional(node_id_t s, node_id_t t,
                                        PathQueryResult* result) {
-  const Statements& q = stmts_;
-  RELGRAPH_RETURN_IF_ERROR(conn_->Execute("truncate " + options_.visited_table));
+  RELGRAPH_RETURN_IF_ERROR(Exec(t_truncate_, nullptr));
   if (s == t) {
     result->found = true;
     result->distance = 0;
@@ -237,7 +296,7 @@ Status SqlPathFinder::RunBidirectional(node_id_t s, node_id_t t,
     return Status::OK();
   }
   RELGRAPH_RETURN_IF_ERROR(
-      conn_->Execute(q.seed, nullptr, P({{"s", s}, {"t", t}, {"inf", kInfinity}})));
+      Exec(t_seed_, nullptr, P({{"s", s}, {"t", t}, {"inf", kInfinity}})));
 
   weight_t min_cost = kInfinity;
   weight_t lf = 0, lb = 0;
@@ -248,43 +307,37 @@ Status SqlPathFinder::RunBidirectional(node_id_t s, node_id_t t,
        iter < options_.max_iterations;
        iter++) {
     const bool forward = nf <= nb;
-    const std::string& mark = forward ? q.mark_frontier_fwd : q.mark_frontier_bwd;
-    const std::string& expand = forward ? q.expand_forward : q.expand_backward;
-    const std::string& fin =
-        forward ? q.finalize_frontier_fwd : q.finalize_frontier_bwd;
-    const std::string& min_open = forward ? q.min_open_fwd : q.min_open_bwd;
-    const std::string& count_open =
-        forward ? q.count_open_fwd : q.count_open_bwd;
+    Template& mark = forward ? t_mark_fwd_ : t_mark_bwd_;
+    Template& expand = forward ? t_expand_fwd_ : t_expand_bwd_;
+    Template& fin = forward ? t_fin_fwd_ : t_fin_bwd_;
+    Template& min_open = forward ? t_min_open_fwd_ : t_min_open_bwd_;
+    Template& count_open = forward ? t_count_open_fwd_ : t_count_open_bwd_;
 
     sql::SqlResult r;
-    RELGRAPH_RETURN_IF_ERROR(
-        conn_->Execute(mark, &r, P({{"inf", kInfinity}})));
+    RELGRAPH_RETURN_IF_ERROR(Exec(mark, &r, P({{"inf", kInfinity}})));
     if (r.affected == 0) {  // this direction has no reachable candidate left
       (forward ? nf : nb) = 0;
       continue;
     }
-    RELGRAPH_RETURN_IF_ERROR(conn_->Execute(
+    RELGRAPH_RETURN_IF_ERROR(Exec(
         expand, &r,
         P({{"lb", forward ? lb : lf},
            {"minCost", min_cost},
            {"inf", kInfinity}})));
     result->stats.expansions++;
-    RELGRAPH_RETURN_IF_ERROR(conn_->Execute(fin));
+    RELGRAPH_RETURN_IF_ERROR(Exec(fin, nullptr));
 
     Value v;
-    RELGRAPH_RETURN_IF_ERROR(
-        conn_->QueryScalar(min_open, &v, P({{"inf", kInfinity}})));
+    RELGRAPH_RETURN_IF_ERROR(Scalar(min_open, &v, P({{"inf", kInfinity}})));
     (forward ? lf : lb) = v.IsNull() ? kInfinity : v.AsInt();
-    RELGRAPH_RETURN_IF_ERROR(
-        conn_->QueryScalar(count_open, &v, P({{"inf", kInfinity}})));
+    RELGRAPH_RETURN_IF_ERROR(Scalar(count_open, &v, P({{"inf", kInfinity}})));
     (forward ? nf : nb) = v.AsInt();
-    RELGRAPH_RETURN_IF_ERROR(conn_->QueryScalar(q.min_cost, &v));
+    RELGRAPH_RETURN_IF_ERROR(Scalar(t_min_cost_, &v));
     min_cost = v.IsNull() ? kInfinity : v.AsInt();
   }
 
   Value vst;
-  RELGRAPH_RETURN_IF_ERROR(conn_->QueryScalar(
-      "select count(*) from " + options_.visited_table, &vst));
+  RELGRAPH_RETURN_IF_ERROR(Scalar(t_count_all_, &vst));
   result->stats.visited_rows = vst.AsInt();
 
   if (min_cost >= kInfinity) return Status::OK();  // not found
@@ -295,17 +348,17 @@ Status SqlPathFinder::RunBidirectional(node_id_t s, node_id_t t,
   // p2s chain to s and the p2t chain to t.
   Value meet_v;
   RELGRAPH_RETURN_IF_ERROR(
-      conn_->QueryScalar(q.meet_node, &meet_v, P({{"minCost", min_cost}})));
+      Scalar(t_meet_, &meet_v, P({{"minCost", min_cost}})));
   if (meet_v.IsNull()) {
     return Status::Internal("minCost has no witness row");
   }
   node_id_t meet = meet_v.AsInt();
 
   std::vector<node_id_t> fwd_chain;  // meet .. s
-  RELGRAPH_RETURN_IF_ERROR(RecoverChain(q.pred_fwd, meet, s, &fwd_chain));
+  RELGRAPH_RETURN_IF_ERROR(RecoverChain(t_pred_fwd_, meet, s, &fwd_chain));
   std::reverse(fwd_chain.begin(), fwd_chain.end());  // s .. meet
   std::vector<node_id_t> bwd_chain;  // meet .. t
-  RELGRAPH_RETURN_IF_ERROR(RecoverChain(q.pred_bwd, meet, t, &bwd_chain));
+  RELGRAPH_RETURN_IF_ERROR(RecoverChain(t_pred_bwd_, meet, t, &bwd_chain));
 
   result->path = std::move(fwd_chain);
   result->path.insert(result->path.end(), bwd_chain.begin() + 1,
@@ -313,8 +366,8 @@ Status SqlPathFinder::RunBidirectional(node_id_t s, node_id_t t,
   return Status::OK();
 }
 
-Status SqlPathFinder::RecoverChain(const std::string& pred_stmt,
-                                   node_id_t from, node_id_t origin,
+Status SqlPathFinder::RecoverChain(Template& pred_stmt, node_id_t from,
+                                   node_id_t origin,
                                    std::vector<node_id_t>* out) {
   out->clear();
   out->push_back(from);
@@ -324,8 +377,7 @@ Status SqlPathFinder::RecoverChain(const std::string& pred_stmt,
   for (int64_t guard = 0; x != origin && guard <= graph_->num_nodes() + 1;
        guard++) {
     Value pred;
-    RELGRAPH_RETURN_IF_ERROR(
-        conn_->QueryScalar(pred_stmt, &pred, P({{"x", x}})));
+    RELGRAPH_RETURN_IF_ERROR(Scalar(pred_stmt, &pred, P({{"x", x}})));
     if (pred.IsNull()) {
       return Status::Corruption("broken predecessor chain at node " +
                                 std::to_string(x));

@@ -20,6 +20,15 @@ struct SqlPathFinderOptions {
   std::string visited_table = "SqlTVisited";
   /// Safety valve; a correct run never reaches it.
   int64_t max_iterations = 10'000'000;
+  /// Default (true): every statement template is prepared once in
+  /// Create() and each Find() only *binds* fresh parameters — a full
+  /// query performs zero parses/plans (DatabaseStats::prepares stays
+  /// flat). False restores the paper's literal text regime — every
+  /// statement re-parses and re-plans (the finder disables its
+  /// connection's plan cache) — which bench_sql_client measures as the
+  /// "text" series. Both modes issue identical SQL text, counts, and
+  /// results.
+  bool use_prepared = true;
 };
 
 /// The paper's client program, taken literally: a driver that talks to the
@@ -72,10 +81,25 @@ class SqlPathFinder {
  private:
   SqlPathFinder() = default;
 
+  /// One statement template: its SQL text (what gets recorded per
+  /// execution) and, in prepared mode, the compiled handle that makes
+  /// each execution bind-only.
+  struct Template {
+    std::string text;
+    std::shared_ptr<sql::PreparedStatement> handle;
+  };
+
+  /// Executes a template: through its prepared handle when present,
+  /// through the (cache-disabled) text interface otherwise. Both paths
+  /// record the same SQL text and count one statement.
+  Status Exec(Template& t, sql::SqlResult* result,
+              const sql::SqlParams& params = {});
+  Status Scalar(Template& t, Value* out, const sql::SqlParams& params = {});
+
   Status RunDj(node_id_t s, node_id_t t, PathQueryResult* result);
   Status RunBidirectional(node_id_t s, node_id_t t, PathQueryResult* result);
-  Status RecoverChain(const std::string& pred_stmt, node_id_t from,
-                      node_id_t origin, std::vector<node_id_t>* out);
+  Status RecoverChain(Template& pred_stmt, node_id_t from, node_id_t origin,
+                      std::vector<node_id_t>* out);
   /// Builds the Listing 2(3,4)/4(2) combined MERGE for one direction.
   std::string BuildExpandSql(const EdgeRelation& rel, bool forward,
                              bool set_frontier) const;
@@ -84,6 +108,14 @@ class SqlPathFinder {
   SqlPathFinderOptions options_;
   std::unique_ptr<sql::SqlEngine> conn_;
   Statements stmts_;
+
+  // Templates for the Listing statements (texts mirror stmts_) plus the
+  // bookkeeping statements Find() issues around them.
+  Template t_truncate_, t_seed_, t_pick_mid_, t_expand_fwd_, t_expand_bwd_,
+      t_finalize_mid_, t_mark_fwd_, t_mark_bwd_, t_fin_fwd_, t_fin_bwd_,
+      t_min_open_fwd_, t_min_open_bwd_, t_count_open_fwd_, t_count_open_bwd_,
+      t_min_cost_, t_meet_, t_pred_fwd_, t_pred_bwd_, t_dist_at_,
+      t_count_all_;
 };
 
 }  // namespace relgraph

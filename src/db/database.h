@@ -42,9 +42,15 @@ struct DatabaseOptions {
 
 /// Counters exposed to clients, mirroring what the paper's client reads
 /// from the RDBMS side (statement counts stand in for JDBC round-trips,
-/// affected-row counts stand in for SQLCA).
+/// affected-row counts stand in for SQLCA). `prepares` counts physical
+/// plan constructions (initial compiles and catalog-version replans);
+/// `plan_cache_hits` counts text-keyed plan-cache lookups that were
+/// served without one. A steady-state client is parse-free exactly when
+/// `prepares` stops moving while `statements` keeps counting.
 struct DatabaseStats {
   int64_t statements = 0;
+  int64_t prepares = 0;
+  int64_t plan_cache_hits = 0;
 };
 
 /// One embedded database instance: disk manager + buffer pool + catalog.
@@ -93,6 +99,11 @@ class Database {
   const std::vector<std::string>& statement_log() const {
     return statement_log_;
   }
+
+  /// Called by the SQL layer once per physical plan construction / per
+  /// plan-cache hit (see DatabaseStats).
+  void RecordPrepare() { stats_.prepares++; }
+  void RecordPlanCacheHit() { stats_.plan_cache_hits++; }
 
   const DatabaseStats& stats() const { return stats_; }
   void ResetStats();

@@ -24,6 +24,27 @@ Status DistPathFinder::Create(ShardedGraphStore* store,
                            "TVisitedCoord", &finder->visited_));
   finder->fem_ = std::make_unique<FemEngine>(
       finder->coord_db_.get(), finder->visited_.get(), SqlMode::kNsql);
+
+  // Prepare the per-shard expansion probes once: each shard's "engine"
+  // parses and plans its two statements here, and every round afterwards
+  // only binds `:n` — shard-side steady state never re-plans.
+  finder->shard_conns_.resize(store->num_shards());
+  for (int shard = 0; shard < store->num_shards(); shard++) {
+    ShardConn& conn = finder->shard_conns_[shard];
+    conn.engine = std::make_unique<sql::SqlEngine>(store->shard_db(shard));
+    if (store->out_edges(shard)->HasIndexOn("fid")) {
+      RELGRAPH_RETURN_IF_ERROR(conn.engine->Prepare(
+          "select tid, cost from " + store->out_edges(shard)->name() +
+              " where fid = :n",
+          &conn.probe_fwd));
+    }
+    if (store->in_edges(shard)->HasIndexOn("tid")) {
+      RELGRAPH_RETURN_IF_ERROR(conn.engine->Prepare(
+          "select fid, cost from " + store->in_edges(shard)->name() +
+              " where tid = :n",
+          &conn.probe_bwd));
+    }
+  }
   *out = std::move(finder);
   return Status::OK();
 }
@@ -55,23 +76,29 @@ Status DistPathFinder::ExpandOnShards(const std::vector<node_id_t>& frontier,
     Timer shard_timer;
     Table* table =
         forward ? store_->out_edges(shard) : store_->in_edges(shard);
-    const char* key_col = forward ? "fid" : "tid";
     const size_t frontier_idx = forward ? 0 : 1;
     const size_t emit_idx = forward ? 1 : 0;
+    // One logical round-trip to this shard per round (the conceptual
+    // `... WHERE fid IN (<frontier ∩ shard>)` statement); the shard's
+    // own Database additionally counts each prepared probe it executes.
     stats->shard_statements++;
-    store_->shard_db(shard)->RecordStatement();
     Tuple row;
-    if (table->HasIndexOn(key_col)) {
+    const std::shared_ptr<sql::PreparedStatement>& probe =
+        forward ? shard_conns_[shard].probe_fwd : shard_conns_[shard].probe_bwd;
+    if (probe != nullptr) {
+      // Indexed shard: bind-and-execute the prepared point probe per
+      // frontier node — same index range scan the native path built by
+      // hand, now through the shard's SQL surface with zero re-planning.
       for (node_id_t n : by_shard[shard]) {
-        Table::Iterator it;
-        RELGRAPH_RETURN_IF_ERROR(table->ScanRange(key_col, n, n, &it));
-        while (it.Next(&row, nullptr)) {
+        sql::SqlResult r;
+        RELGRAPH_RETURN_IF_ERROR(probe->Execute({{"n", Value(n)}}, &r));
+        for (const Tuple& rrow : r.rows) {
           shipped.push_back(
-              {n, row.value(emit_idx).AsInt(), row.value(2).AsInt()});
+              {n, rrow.value(0).AsInt(), rrow.value(1).AsInt()});
         }
-        RELGRAPH_RETURN_IF_ERROR(it.status());
       }
     } else {
+      store_->shard_db(shard)->RecordStatement();
       std::unordered_set<node_id_t> wanted(by_shard[shard].begin(),
                                            by_shard[shard].end());
       Table::Iterator it = table->Scan();

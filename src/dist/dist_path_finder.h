@@ -6,6 +6,7 @@
 #include "src/core/fem.h"
 #include "src/core/visited_table.h"
 #include "src/dist/sharded_graph.h"
+#include "src/sql/sql_engine.h"
 
 namespace relgraph {
 
@@ -73,6 +74,21 @@ class DistPathFinder {
   std::unique_ptr<Database> coord_db_;
   std::unique_ptr<VisitedTable> visited_;
   std::unique_ptr<FemEngine> fem_;
+
+  /// Per-shard SQL connection with the two edge-probe statements prepared
+  /// once at Create() — each expansion round only binds the frontier node
+  /// (`:n`) and executes, so shard-side steady state is parse-free, the
+  /// same contract SqlPathFinder has on the single-node engine. Used when
+  /// the shard's adjacency is indexed; the NoIndex strategy keeps the
+  /// single batched scan per shard (one statement answering the whole
+  /// frontier set, which per-node SQL probes cannot express without
+  /// IN-lists).
+  struct ShardConn {
+    std::unique_ptr<sql::SqlEngine> engine;
+    std::shared_ptr<sql::PreparedStatement> probe_fwd;  // out-edges by fid
+    std::shared_ptr<sql::PreparedStatement> probe_bwd;  // in-edges by tid
+  };
+  std::vector<ShardConn> shard_conns_;
 };
 
 }  // namespace relgraph

@@ -1,0 +1,43 @@
+#include "src/exec/bind_context.h"
+
+namespace relgraph {
+
+size_t BindContext::AddNamedSlot(const std::string& name) {
+  for (size_t i = 0; i < slots_.size(); i++) {
+    if (slots_[i].name == name) return i;
+  }
+  slots_.push_back({name, Value::Null(), false});
+  return slots_.size() - 1;
+}
+
+size_t BindContext::AddAnonymousSlot() {
+  slots_.push_back({std::string(), Value::Null(), false});
+  return slots_.size() - 1;
+}
+
+void BindContext::ClearBindings() {
+  for (Slot& s : slots_) {
+    s.value = Value::Null();
+    s.bound = false;
+  }
+}
+
+Status BindContext::BindNamed(const std::map<std::string, Value>& params) {
+  for (Slot& s : slots_) {
+    if (s.name.empty()) continue;
+    auto it = params.find(s.name);
+    if (it == params.end()) {
+      return Status::InvalidArgument("missing parameter :" + s.name);
+    }
+    s.value = it->second;
+    s.bound = true;
+  }
+  return Status::OK();
+}
+
+void BindContext::Set(size_t slot, Value v) {
+  slots_[slot].value = std::move(v);
+  slots_[slot].bound = true;
+}
+
+}  // namespace relgraph

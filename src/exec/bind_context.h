@@ -1,0 +1,57 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/types/value.h"
+
+namespace relgraph {
+
+/// Runtime parameter memory for a prepared physical plan — the executor
+/// layer's replacement for plan-time constant folding of `:params` and
+/// scalar subqueries. Compilation registers one slot per distinct
+/// parameter name (plus one anonymous slot per scalar subquery);
+/// *binding* — the cheap per-execution step — writes fresh Values into
+/// the slots, and Param()/BoundSlot() expressions read them while the
+/// plan runs. This is what lets one physical plan be re-executed with
+/// new bindings instead of being re-planned (JDBC's parse-once /
+/// bind-many contract).
+///
+/// Expressions hold a raw pointer to their context, so its address must
+/// stay stable for the plan's lifetime: prepared plans own their context
+/// behind a unique_ptr and never re-seat it.
+class BindContext {
+ public:
+  /// Registers (or finds) the slot for named parameter `name`.
+  size_t AddNamedSlot(const std::string& name);
+
+  /// Registers an anonymous slot (scalar-subquery results).
+  size_t AddAnonymousSlot();
+
+  /// Marks every slot unbound — the start of each execution.
+  void ClearBindings();
+
+  /// Binds every *named* slot from `params`. A registered name missing
+  /// from the map is an error (the statement cannot run without it);
+  /// extra map entries are ignored, matching ad-hoc execution.
+  Status BindNamed(const std::map<std::string, Value>& params);
+
+  void Set(size_t slot, Value v);
+  bool IsBound(size_t slot) const { return slots_[slot].bound; }
+  /// NULL when the slot is unbound (safe display/evaluation default;
+  /// BindNamed guarantees bound named slots before execution).
+  const Value& Get(size_t slot) const { return slots_[slot].value; }
+  size_t num_slots() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    std::string name;  // empty for anonymous (subquery) slots
+    Value value;
+    bool bound = false;
+  };
+  std::vector<Slot> slots_;
+};
+
+}  // namespace relgraph

@@ -136,6 +136,25 @@ Status UpdateWhereIndexed(Table* table, const std::string& index_column,
                       affected, observer);
 }
 
+Status UpdateWhereIndexedDynamic(Table* table, const std::string& index_column,
+                                 CompareOp op, const ExprRef& key,
+                                 ExprRef predicate,
+                                 const std::vector<SetClause>& sets,
+                                 int64_t* affected,
+                                 const RowChangeObserver& observer) {
+  Value v = key->Evaluate(Tuple{}, Schema{});
+  if (v.type() != TypeId::kInt) {
+    // Non-INT keys never match an INT index probe profitably; run the
+    // full-scan plan the text interface would have picked.
+    return UpdateWhere(table, std::move(predicate), sets, affected, observer);
+  }
+  int64_t lo = std::numeric_limits<int64_t>::min();
+  int64_t hi = std::numeric_limits<int64_t>::max();
+  KeyRangeFor(op, v.AsInt(), &lo, &hi);  // overflow keeps the full range
+  return UpdateWhereIndexed(table, index_column, lo, hi, std::move(predicate),
+                            sets, affected, observer);
+}
+
 Status DeleteWhere(Table* table, ExprRef predicate, int64_t* affected) {
   *affected = 0;
   const Schema& schema = table->schema();

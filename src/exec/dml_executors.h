@@ -49,6 +49,19 @@ Status UpdateWhereIndexed(Table* table, const std::string& index_column,
                           int64_t* affected,
                           const RowChangeObserver& observer = nullptr);
 
+/// Prepared-statement form of UpdateWhereIndexed: the probe range is
+/// `index_column OP key`, with `key` — a parameter or scalar-subquery
+/// slot — evaluated when the statement *executes*, not when it was
+/// planned. A non-INT key falls back to the full-scan plan and an
+/// overflowing bound to the full key range; `predicate` always applies
+/// residually, so every execution stays equivalent to UpdateWhere.
+Status UpdateWhereIndexedDynamic(Table* table, const std::string& index_column,
+                                 CompareOp op, const ExprRef& key,
+                                 ExprRef predicate,
+                                 const std::vector<SetClause>& sets,
+                                 int64_t* affected,
+                                 const RowChangeObserver& observer = nullptr);
+
 /// DELETE FROM table WHERE predicate.
 Status DeleteWhere(Table* table, ExprRef predicate, int64_t* affected);
 

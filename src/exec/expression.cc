@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/exec/bind_context.h"
+
 namespace relgraph {
 
 void Expression::EvalBatch(const RowBatch& batch, ValueColumn* out) const {
@@ -133,6 +135,54 @@ class LiteralExpr : public Expression {
 
  private:
   Value value_;
+};
+
+/// Shared body of the two slot-reading nodes: evaluation returns the
+/// context slot's current value, batch mode broadcasts it like a literal.
+class SlotReadExpr : public Expression {
+ public:
+  SlotReadExpr(const BindContext* ctx, size_t slot) : ctx_(ctx), slot_(slot) {}
+  Value Evaluate(const Tuple&, const Schema&) const override {
+    return ctx_->Get(slot_);
+  }
+  void EvalBatch(const RowBatch& batch, ValueColumn* out) const override {
+    const Value& v = ctx_->Get(slot_);
+    const size_t n = batch.num_rows();
+    if (v.type() == TypeId::kInt) {
+      out->ResetIntFilled(n);
+      std::vector<int64_t>& o = out->MutableInts();
+      std::fill(o.begin(), o.end(), v.AsInt());
+      return;
+    }
+    out->Reset(n);
+    if (v.IsNull()) {
+      for (size_t i = 0; i < n; i++) out->AppendNull();
+    } else {
+      for (size_t i = 0; i < n; i++) out->AppendRef(v);
+    }
+  }
+
+ protected:
+  const BindContext* ctx_;
+  size_t slot_;
+};
+
+class ParamExpr : public SlotReadExpr {
+ public:
+  ParamExpr(const BindContext* ctx, size_t slot, std::string name)
+      : SlotReadExpr(ctx, slot), name_(std::move(name)) {}
+  std::string ToString() const override { return ":" + name_; }
+
+ private:
+  std::string name_;
+};
+
+class BoundSlotExpr : public SlotReadExpr {
+ public:
+  using SlotReadExpr::SlotReadExpr;
+  std::string ToString() const override {
+    return ctx_->IsBound(slot_) ? ctx_->Get(slot_).ToString() : "(subquery)";
+  }
 };
 
 class AddExpr : public Expression {
@@ -548,6 +598,12 @@ class NotExpr : public Expression {
 
 ExprRef Col(std::string name) {
   return std::make_shared<ColumnExpr>(std::move(name));
+}
+ExprRef Param(const BindContext* ctx, size_t slot, std::string name) {
+  return std::make_shared<ParamExpr>(ctx, slot, std::move(name));
+}
+ExprRef BoundSlot(const BindContext* ctx, size_t slot) {
+  return std::make_shared<BoundSlotExpr>(ctx, slot);
 }
 ExprRef Lit(int64_t v) { return std::make_shared<LiteralExpr>(Value(v)); }
 ExprRef Lit(double v) { return std::make_shared<LiteralExpr>(Value(v)); }

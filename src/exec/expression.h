@@ -190,9 +190,21 @@ using ExprRef = std::shared_ptr<const Expression>;
 
 enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
 
+class BindContext;
+
 /// References a column by name; resolved against the schema at evaluation
 /// time so one expression works across plans with compatible columns.
 ExprRef Col(std::string name);
+/// Prepared-statement parameter `:name`: reads slot `slot` of `ctx` at
+/// evaluation time, so one compiled plan re-executes with fresh bindings.
+/// Unbound slots read as NULL (BindContext::BindNamed guarantees named
+/// slots are bound before a plan runs).
+ExprRef Param(const BindContext* ctx, size_t slot, std::string name);
+/// Scalar-subquery result slot, filled at bind time by the prepared
+/// statement right before the main plan opens — the executor-layer
+/// replacement for folding subqueries into the plan. ToString renders the
+/// current value when bound (what EXPLAIN shows), "(subquery)" otherwise.
+ExprRef BoundSlot(const BindContext* ctx, size_t slot);
 /// Integer / double / string / NULL literals.
 ExprRef Lit(int64_t v);
 ExprRef Lit(double v);

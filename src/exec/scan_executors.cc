@@ -62,14 +62,80 @@ const Schema& SeqScanExecutor::OutputSchema() const {
 
 // ---------------------------------------------------------- IndexRangeScan
 
+bool KeyRangeFor(CompareOp op, int64_t k, int64_t* lo, int64_t* hi) {
+  constexpr int64_t kMinKey = std::numeric_limits<int64_t>::min();
+  constexpr int64_t kMaxKey = std::numeric_limits<int64_t>::max();
+  switch (op) {
+    case CompareOp::kEq: *lo = *hi = k; return true;
+    case CompareOp::kLe: *lo = kMinKey; *hi = k; return true;
+    case CompareOp::kLt:
+      if (k == kMinKey) return false;
+      *lo = kMinKey;
+      *hi = k - 1;
+      return true;
+    case CompareOp::kGe: *lo = k; *hi = kMaxKey; return true;
+    case CompareOp::kGt:
+      if (k == kMaxKey) return false;
+      *lo = k + 1;
+      *hi = kMaxKey;
+      return true;
+    default:
+      return false;  // <> has no contiguous range
+  }
+}
+
 IndexRangeScanExecutor::IndexRangeScanExecutor(Table* table,
                                                std::string column, int64_t lo,
                                                int64_t hi)
     : table_(table), column_(std::move(column)), lo_(lo), hi_(hi) {}
 
+IndexRangeScanExecutor::IndexRangeScanExecutor(Table* table,
+                                               std::string column,
+                                               CompareOp op, ExprRef key)
+    : table_(table),
+      column_(std::move(column)),
+      lo_(std::numeric_limits<int64_t>::min()),
+      hi_(std::numeric_limits<int64_t>::max()),
+      key_(std::move(key)),
+      op_(op) {}
+
+void IndexRangeScanExecutor::ComputeRuntimeBounds() {
+  lo_ = std::numeric_limits<int64_t>::min();
+  hi_ = std::numeric_limits<int64_t>::max();
+  Value v = key_->Evaluate(Tuple{}, Schema{});
+  if (v.type() != TypeId::kInt) return;  // full range; residual filter decides
+  int64_t lo, hi;
+  if (KeyRangeFor(op_, v.AsInt(), &lo, &hi)) {
+    lo_ = lo;
+    hi_ = hi;
+  }
+}
+
 Status IndexRangeScanExecutor::Init() {
   exhausted_ = false;
+  if (key_ != nullptr) ComputeRuntimeBounds();
   return table_->ScanRange(column_, lo_, hi_, &it_);
+}
+
+void IndexRangeScanExecutor::Explain(int depth, std::string* out) const {
+  Indent(depth, out);
+  int64_t lo = lo_, hi = hi_;
+  if (key_ != nullptr) {
+    // Render the bounds the *current* bindings imply, so EXPLAIN on a
+    // bound prepared statement shows real numbers; unbound slots read as
+    // NULL, which leaves the range fully open.
+    lo = std::numeric_limits<int64_t>::min();
+    hi = std::numeric_limits<int64_t>::max();
+    Value v = key_->Evaluate(Tuple{}, Schema{});
+    if (v.type() == TypeId::kInt) KeyRangeFor(op_, v.AsInt(), &lo, &hi);
+  }
+  const bool open_lo = lo == std::numeric_limits<int64_t>::min();
+  const bool open_hi = hi == std::numeric_limits<int64_t>::max();
+  out->append("IndexRangeScan: " + table_->name() + "." + column_ + " in [" +
+              (open_lo ? "-inf" : std::to_string(lo)) + ", " +
+              (open_hi ? "+inf" : std::to_string(hi)) + "]" +
+              (key_ != nullptr ? " (bound from " + key_->ToString() + ")" : "") +
+              "\n");
 }
 
 bool IndexRangeScanExecutor::Next(Tuple* out) {

@@ -30,29 +30,43 @@ class SeqScanExecutor : public Executor {
   bool exhausted_ = false;  // iterator returned false; don't pull it again
 };
 
+/// Key range [*lo, *hi] covering `column OP k` with the column on the
+/// left-hand side. Returns false when the comparison yields no usable
+/// range (an open bound that would overflow); callers fall back to a full
+/// range or a sequential scan — the predicate always re-applies
+/// residually, so the range only needs to *cover* the matching keys.
+bool KeyRangeFor(CompareOp op, int64_t k, int64_t* lo, int64_t* hi);
+
 /// Index range scan: lo <= column <= hi through the cluster tree or a
-/// secondary index.
+/// secondary index. Two bound sources:
+///  - *static*: lo/hi fixed at plan time (plan-time-constant conjuncts);
+///  - *runtime*: the bound is `column OP <key expr>` where the key — a
+///    prepared-statement parameter or a scalar-subquery slot — is
+///    evaluated at Open, so one compiled plan probes fresh bounds on
+///    every execution. A non-INT or overflowing key degrades to the full
+///    key range (the residual filter keeps the plan equivalent).
 class IndexRangeScanExecutor : public Executor {
  public:
   IndexRangeScanExecutor(Table* table, std::string column, int64_t lo,
                          int64_t hi);
+  IndexRangeScanExecutor(Table* table, std::string column, CompareOp op,
+                         ExprRef key);
   Status Init() override;
   bool Next(Tuple* out) override;
   bool NextBatch(std::vector<Tuple>* out) override;
   const Schema& OutputSchema() const override;
-  void Explain(int depth, std::string* out) const override {
-    Indent(depth, out);
-    const bool open_lo = lo_ == std::numeric_limits<int64_t>::min();
-    const bool open_hi = hi_ == std::numeric_limits<int64_t>::max();
-    out->append("IndexRangeScan: " + table_->name() + "." + column_ + " in [" +
-                (open_lo ? "-inf" : std::to_string(lo_)) + ", " +
-                (open_hi ? "+inf" : std::to_string(hi_)) + "]\n");
-  }
+  void Explain(int depth, std::string* out) const override;
 
  private:
+  /// Evaluates the runtime key into lo_/hi_ (full range on a non-INT or
+  /// overflowing key).
+  void ComputeRuntimeBounds();
+
   Table* table_;
   std::string column_;
   int64_t lo_, hi_;
+  ExprRef key_;  // non-null => runtime bounds (op_ applies)
+  CompareOp op_ = CompareOp::kEq;
   Table::Iterator it_;
   bool exhausted_ = false;  // iterator returned false; don't pull it again
 };

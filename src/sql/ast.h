@@ -186,6 +186,13 @@ struct DropTableStmt {
   std::string table;
 };
 
+/// DROP INDEX <name> ON <table>; resolved by index name, falling back to
+/// the indexed column (the engine keys indexes by column).
+struct DropIndexStmt {
+  std::string index_name;
+  std::string table;
+};
+
 struct TruncateStmt {
   std::string table;
 };
@@ -194,7 +201,7 @@ struct TruncateStmt {
 
 enum class StmtKind {
   kSelect, kInsert, kUpdate, kDelete, kMerge,
-  kCreateTable, kCreateIndex, kDropTable, kTruncate,
+  kCreateTable, kCreateIndex, kDropTable, kDropIndex, kTruncate,
 };
 
 struct Statement {
@@ -207,6 +214,7 @@ struct Statement {
   std::unique_ptr<CreateTableStmt> create_table;
   std::unique_ptr<CreateIndexStmt> create_index;
   std::unique_ptr<DropTableStmt> drop_table;
+  std::unique_ptr<DropIndexStmt> drop_index;
   std::unique_ptr<TruncateStmt> truncate;
 };
 

@@ -128,12 +128,24 @@ Status Parser::ParseStatement(std::unique_ptr<Statement>* out) {
   } else if (CheckKeyword("CREATE")) {
     RELGRAPH_RETURN_IF_ERROR(ParseCreate(&stmt));
   } else if (MatchKeyword("DROP")) {
-    RELGRAPH_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
-    Token name;
-    RELGRAPH_RETURN_IF_ERROR(Expect(TokenKind::kIdentifier, &name));
-    stmt->kind = StmtKind::kDropTable;
-    stmt->drop_table = std::make_unique<DropTableStmt>();
-    stmt->drop_table->table = name.text;
+    if (MatchKeyword("INDEX")) {
+      // DROP INDEX <name> ON <table>
+      Token name, table;
+      RELGRAPH_RETURN_IF_ERROR(Expect(TokenKind::kIdentifier, &name));
+      RELGRAPH_RETURN_IF_ERROR(ExpectKeyword("ON"));
+      RELGRAPH_RETURN_IF_ERROR(Expect(TokenKind::kIdentifier, &table));
+      stmt->kind = StmtKind::kDropIndex;
+      stmt->drop_index = std::make_unique<DropIndexStmt>();
+      stmt->drop_index->index_name = name.text;
+      stmt->drop_index->table = table.text;
+    } else {
+      RELGRAPH_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+      Token name;
+      RELGRAPH_RETURN_IF_ERROR(Expect(TokenKind::kIdentifier, &name));
+      stmt->kind = StmtKind::kDropTable;
+      stmt->drop_table = std::make_unique<DropTableStmt>();
+      stmt->drop_table->table = name.text;
+    }
   } else if (MatchKeyword("TRUNCATE")) {
     MatchKeyword("TABLE");  // optional noise word
     Token name;

@@ -93,37 +93,35 @@ CompareOp ToCompareOp(BinaryOp op) {
   }
 }
 
-/// Key range implied by `col OP k` (or `k OP col` when !col_on_left).
-/// Returns false when the comparison yields no usable range (an
-/// overflowing open bound). The caller still applies the full predicate
-/// residually, so the range only needs to *cover* the matching keys.
-bool RangeForCompare(BinaryOp op, bool col_on_left, int64_t k, int64_t* lo,
-                     int64_t* hi) {
-  if (!col_on_left) {  // normalize `k OP col` by flipping the inequality
-    switch (op) {
-      case BinaryOp::kLt: op = BinaryOp::kGt; break;
-      case BinaryOp::kLe: op = BinaryOp::kGe; break;
-      case BinaryOp::kGt: op = BinaryOp::kLt; break;
-      case BinaryOp::kGe: op = BinaryOp::kLe; break;
-      default: break;  // = is symmetric
-    }
-  }
-  constexpr int64_t kMinKey = std::numeric_limits<int64_t>::min();
-  constexpr int64_t kMaxKey = std::numeric_limits<int64_t>::max();
+/// Normalizes `k OP col` onto `col OP' k` by flipping the inequality.
+CompareOp FlipCompare(CompareOp op) {
   switch (op) {
-    case BinaryOp::kEq: *lo = *hi = k; return true;
-    case BinaryOp::kLe: *lo = kMinKey; *hi = k; return true;
-    case BinaryOp::kLt:
-      if (k == kMinKey) return false;
-      *lo = kMinKey;
-      *hi = k - 1;
+    case CompareOp::kLt: return CompareOp::kGt;
+    case CompareOp::kLe: return CompareOp::kGe;
+    case CompareOp::kGt: return CompareOp::kLt;
+    case CompareOp::kGe: return CompareOp::kLe;
+    default: return op;  // = / <> are symmetric
+  }
+}
+
+/// True when the expression's value depends on execution-time bindings —
+/// a `:param` or a scalar subquery anywhere in the tree. Such values
+/// cannot fold at compile time; index bounds over them are evaluated at
+/// open instead.
+bool HasRuntimeSlots(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kParameter:
+    case ExprKind::kSubquery:
       return true;
-    case BinaryOp::kGe: *lo = k; *hi = kMaxKey; return true;
-    case BinaryOp::kGt:
-      if (k == kMaxKey) return false;
-      *lo = k + 1;
-      *hi = kMaxKey;
-      return true;
+    case ExprKind::kUnary:
+      return HasRuntimeSlots(*e.left);
+    case ExprKind::kBinary:
+      return HasRuntimeSlots(*e.left) || HasRuntimeSlots(*e.right);
+    case ExprKind::kFuncCall:
+      for (const auto& a : e.args) {
+        if (a != nullptr && HasRuntimeSlots(*a)) return true;
+      }
+      return false;
     default:
       return false;
   }
@@ -284,32 +282,62 @@ Status CoerceValue(const Value& v, TypeId target, Value* out) {
 
 // ----- entry -----------------------------------------------------------------
 
-Status Planner::Execute(const Statement& stmt, SqlResult* result) {
-  *result = SqlResult{};
+Status Planner::Compile(const Statement& stmt, PreparedPlan* out) {
+  out->kind = stmt.kind;
+  out->ctx = std::make_unique<BindContext>();
+  plan_ = out;
+  Status s;
   switch (stmt.kind) {
     case StmtKind::kSelect:
-      return ExecuteSelect(*stmt.select, result);
+      s = PlanSelect(*stmt.select, &out->root);
+      break;
     case StmtKind::kInsert:
-      return ExecuteInsert(*stmt.insert, result);
+      s = CompileInsert(*stmt.insert);
+      break;
     case StmtKind::kUpdate:
-      return ExecuteUpdate(*stmt.update, result);
+      s = CompileUpdate(*stmt.update);
+      break;
     case StmtKind::kDelete:
-      return ExecuteDelete(*stmt.del, result);
+      s = CompileDelete(*stmt.del);
+      break;
     case StmtKind::kMerge:
-      return ExecuteMerge(*stmt.merge, result);
+      s = CompileMerge(*stmt.merge);
+      break;
+    case StmtKind::kCreateTable:
+    case StmtKind::kCreateIndex:
+    case StmtKind::kDropTable:
+    case StmtKind::kDropIndex:
+    case StmtKind::kTruncate:
+      // DDL keeps no plan; ExecutePreparedPlan re-runs it from the AST
+      // (name resolution happens at execution, matching ad-hoc DDL).
+      s = Status::OK();
+      break;
+  }
+  plan_ = nullptr;
+  return s;
+}
+
+Status Planner::ExecuteDdl(const Statement& stmt) {
+  switch (stmt.kind) {
     case StmtKind::kCreateTable:
       return ExecuteCreateTable(*stmt.create_table);
     case StmtKind::kCreateIndex:
       return ExecuteCreateIndex(*stmt.create_index);
     case StmtKind::kDropTable:
+      // Catalog::DropTable bumps the version itself.
       return db_->catalog()->DropTable(stmt.drop_table->table);
+    case StmtKind::kDropIndex:
+      return ExecuteDropIndex(*stmt.drop_index);
     case StmtKind::kTruncate: {
+      // Data-only: rows vanish but the schema (and thus every compiled
+      // plan) stays valid — no version bump.
       Table* t = nullptr;
       RELGRAPH_RETURN_IF_ERROR(FindTable(stmt.truncate->table, &t));
       return t->Truncate();
     }
+    default:
+      return Status::Internal("ExecuteDdl called on a non-DDL statement");
   }
-  return Status::Internal("unhandled statement kind");
 }
 
 Status Planner::FindTable(const std::string& name, Table** out) const {
@@ -340,27 +368,41 @@ Status Planner::BindSargShaped(const Expr& c, const Schema& bind_schema,
   RELGRAPH_RETURN_IF_ERROR(BindExpr(*c.left, bind_schema, &l));
   RELGRAPH_RETURN_IF_ERROR(BindExpr(*c.right, bind_schema, &r));
   const bool is_eq = c.binary_op == BinaryOp::kEq;
-  if (table != nullptr && (!best->have_range || (is_eq && !best->equality)) &&
+  if (table != nullptr && (!best->active || (is_eq && !best->equality)) &&
       !ReadsRowColumns(const_side)) {
     std::string resolved;
     Status found =
         ResolveColumn(use_qualifier ? col_side.qualifier : std::string(),
                       col_side.column, resolve_schema, &resolved);
     if (found.ok() && table->HasIndexOn(resolved)) {
-      // The const side folded to a literal during binding (scalar
-      // subqueries are evaluated at plan time), so this Evaluate is free
-      // and runs nothing twice.
+      CompareOp op = ToCompareOp(c.binary_op);
+      if (!col_on_left) op = FlipCompare(op);
       const ExprRef& const_bound = col_on_left ? r : l;
-      Value v = const_bound->Evaluate(Tuple(std::vector<Value>{}),
-                                      Schema(std::vector<Column>{}));
-      int64_t lo, hi;
-      if (v.type() == TypeId::kInt &&
-          RangeForCompare(c.binary_op, col_on_left, v.AsInt(), &lo, &hi)) {
-        best->column = resolved;
-        best->lo = lo;
-        best->hi = hi;
-        best->have_range = true;
+      if (HasRuntimeSlots(const_side)) {
+        // The key depends on `:params` / scalar-subquery slots: keep the
+        // normalized comparison and the key expression; the executor
+        // computes the bounds at open with the execution's bindings.
+        best->active = true;
         best->equality = is_eq;
+        best->column = resolved;
+        best->is_static = false;
+        best->op = op;
+        best->key = const_bound;
+      } else {
+        // Plan-time constant: the bound side folded to a literal during
+        // binding, so this Evaluate is free and the range is fixed.
+        Value v = const_bound->Evaluate(Tuple(std::vector<Value>{}),
+                                        Schema(std::vector<Column>{}));
+        int64_t lo, hi;
+        if (v.type() == TypeId::kInt && KeyRangeFor(op, v.AsInt(), &lo, &hi)) {
+          best->active = true;
+          best->equality = is_eq;
+          best->column = resolved;
+          best->is_static = true;
+          best->lo = lo;
+          best->hi = hi;
+          best->key = nullptr;
+        }
       }
     }
   }
@@ -418,15 +460,11 @@ Status Planner::BindExpr(const Expr& e, const Schema& schema, ExprRef* out) {
       return Status::OK();
     }
     case ExprKind::kParameter: {
-      if (params_ == nullptr) {
-        return Status::InvalidArgument("no parameters bound (wanted :" +
-                                       e.param_name + ")");
-      }
-      auto it = params_->find(e.param_name);
-      if (it == params_->end()) {
-        return Status::InvalidArgument("missing parameter :" + e.param_name);
-      }
-      *out = Lit(it->second);
+      // Parse-once / bind-many: the parameter compiles to a slot read —
+      // never a folded literal — so the plan re-executes with fresh
+      // values without re-planning.
+      size_t slot = plan_->ctx->AddNamedSlot(e.param_name);
+      *out = Param(plan_->ctx.get(), slot, e.param_name);
       return Status::OK();
     }
     case ExprKind::kUnary: {
@@ -487,35 +525,25 @@ Status Planner::BindExpr(const Expr& e, const Schema& schema, ExprRef* out) {
           " not allowed here (only in the select list of an aggregate query)");
     }
     case ExprKind::kSubquery: {
-      Value v;
-      RELGRAPH_RETURN_IF_ERROR(EvalScalarSubquery(*e.subquery, &v));
-      *out = Lit(std::move(v));
+      // The subquery compiles to its own pipeline, evaluated into an
+      // anonymous slot at *bind* time — once per execution, right before
+      // the main plan opens. This keeps the paper's
+      // `d2s = (select min(d2s) ...)` fresh across re-executions of a
+      // prepared statement (the old planner folded it into the plan,
+      // which is why no plan could outlive one execution).
+      ExecRef sub;
+      RELGRAPH_RETURN_IF_ERROR(PlanSelect(*e.subquery, &sub));
+      if (sub->OutputSchema().NumColumns() != 1) {
+        return Status::InvalidArgument(
+            "scalar subquery must produce one column");
+      }
+      size_t slot = plan_->ctx->AddAnonymousSlot();
+      plan_->subqueries.push_back({slot, std::move(sub)});
+      *out = BoundSlot(plan_->ctx.get(), slot);
       return Status::OK();
     }
   }
   return Status::Internal("unhandled expression kind");
-}
-
-Status Planner::EvalScalarSubquery(const SelectStmt& sub, Value* out) {
-  SqlResult r;
-  RELGRAPH_RETURN_IF_ERROR(ExecuteSelect(sub, &r));
-  if (r.schema.NumColumns() != 1) {
-    return Status::InvalidArgument("scalar subquery must produce one column");
-  }
-  if (r.rows.size() > 1) {
-    return Status::InvalidArgument("scalar subquery produced " +
-                                   std::to_string(r.rows.size()) + " rows");
-  }
-  *out = r.rows.empty() ? Value::Null() : r.rows[0].value(0);
-  return Status::OK();
-}
-
-Status Planner::EvalConstExpr(const Expr& e, Value* out) {
-  ExprRef bound;
-  Schema empty;
-  RELGRAPH_RETURN_IF_ERROR(BindExpr(e, empty, &bound));
-  *out = bound->Evaluate(Tuple{}, empty);
-  return Status::OK();
 }
 
 // ----- FROM ------------------------------------------------------------------
@@ -616,9 +644,14 @@ Status Planner::PlanFrom(const SelectStmt& sel, ExecRef* out) {
       e = std::move(fp.plan);
     } else {
       ExecRef scan;
-      if (sarg.have_range) {
+      if (sarg.active && sarg.is_static) {
         scan = std::make_unique<IndexRangeScanExecutor>(
             fp.base_table, sarg.column, sarg.lo, sarg.hi);
+      } else if (sarg.active) {
+        // Runtime-bounded probe: the key is a `:param` / subquery slot;
+        // bounds re-compute at every open of the prepared plan.
+        scan = std::make_unique<IndexRangeScanExecutor>(
+            fp.base_table, sarg.column, sarg.op, sarg.key);
       } else {
         scan = std::make_unique<SeqScanExecutor>(fp.base_table);
       }
@@ -945,20 +978,12 @@ Status Planner::PlanSelect(const SelectStmt& sel, ExecRef* out) {
   return Status::OK();
 }
 
-Status Planner::ExecuteSelect(const SelectStmt& sel, SqlResult* result) {
-  ExecRef plan;
-  RELGRAPH_RETURN_IF_ERROR(PlanSelect(sel, &plan));
-  result->schema = plan->OutputSchema();
-  RELGRAPH_RETURN_IF_ERROR(Collect(plan.get(), &result->rows));
-  result->affected = static_cast<int64_t>(result->rows.size());
-  return Status::OK();
-}
-
 // ----- DML -------------------------------------------------------------------
 
-Status Planner::ExecuteInsert(const InsertStmt& ins, SqlResult* result) {
+Status Planner::CompileInsert(const InsertStmt& ins) {
   Table* table = nullptr;
   RELGRAPH_RETURN_IF_ERROR(FindTable(ins.table, &table));
+  plan_->table = table;
   const Schema& schema = table->schema();
 
   // Map the statement's column list onto table positions (identity when
@@ -988,28 +1013,32 @@ Status Planner::ExecuteInsert(const InsertStmt& ins, SqlResult* result) {
     for (size_t i = 0; i < exprs.size(); i++) {
       if (exprs[i] == nullptr) exprs[i] = NullLit();
     }
-    ExecRef shaped = std::make_unique<ProjectExecutor>(
-        std::move(src), std::move(exprs), schema);
-    return InsertFromExecutor(table, shaped.get(), &result->affected);
+    plan_->root = std::make_unique<ProjectExecutor>(std::move(src),
+                                                    std::move(exprs), schema);
+    plan_->insert_from_select = true;
+    return Status::OK();
   }
 
-  std::vector<Tuple> tuples;
-  tuples.reserve(ins.rows.size());
+  // VALUES rows compile to full-width expression rows (missing columns
+  // are NULL literals); evaluation and type coercion happen per
+  // execution, where `:params` carry that execution's values.
+  Schema empty;
+  plan_->insert_rows.reserve(ins.rows.size());
   for (const auto& row : ins.rows) {
     if (row.size() != positions.size()) {
       return Status::InvalidArgument("INSERT arity mismatch");
     }
-    std::vector<Value> values(schema.NumColumns());
+    std::vector<ExprRef> exprs(schema.NumColumns());
     for (size_t j = 0; j < row.size(); j++) {
-      Value v;
-      RELGRAPH_RETURN_IF_ERROR(EvalConstExpr(*row[j], &v));
       RELGRAPH_RETURN_IF_ERROR(
-          CoerceValue(v, schema.column(positions[j]).type, &values[positions[j]]));
+          BindExpr(*row[j], empty, &exprs[positions[j]]));
     }
-    tuples.emplace_back(std::move(values));
+    for (size_t i = 0; i < exprs.size(); i++) {
+      if (exprs[i] == nullptr) exprs[i] = NullLit();
+    }
+    plan_->insert_rows.push_back(std::move(exprs));
   }
-  MaterializedExecutor src(std::move(tuples), schema);
-  return InsertFromExecutor(table, &src, &result->affected);
+  return Status::OK();
 }
 
 namespace {
@@ -1026,20 +1055,18 @@ void CollectConjuncts(const Expr& e, std::vector<const Expr*>* out) {
 
 }  // namespace
 
-Status Planner::ExecuteUpdate(const UpdateStmt& upd, SqlResult* result) {
+Status Planner::CompileUpdate(const UpdateStmt& upd) {
   Table* table = nullptr;
   RELGRAPH_RETURN_IF_ERROR(FindTable(upd.table, &table));
-  std::vector<SetClause> sets;
+  plan_->table = table;
   for (const auto& s : upd.sets) {
     SetClause clause;
     RELGRAPH_RETURN_IF_ERROR(
         ResolveColumn("", s.column, table->schema(), &clause.column));
     RELGRAPH_RETURN_IF_ERROR(BindExpr(*s.expr, table->schema(), &clause.expr));
-    sets.push_back(std::move(clause));
+    plan_->sets.push_back(std::move(clause));
   }
-  if (upd.where == nullptr) {
-    return UpdateWhere(table, nullptr, sets, &result->affected);
-  }
+  if (upd.where == nullptr) return Status::OK();
 
   // Sargable-conjunct extraction: a top-level `col OP <row-independent
   // expr>` conjunct (OP in {=, <=, <, >=, >}) on an indexed column turns
@@ -1048,7 +1075,8 @@ Status Planner::ExecuteUpdate(const UpdateStmt& upd, SqlResult* result) {
   // MIN(dist) ...)`, BSEG's `dist <= bound`) want once TVisited carries
   // flag/dist indexes. An equality conjunct beats a range conjunct (tighter
   // probe); the full predicate is still evaluated residually, so every
-  // plan stays exactly equivalent to the full scan.
+  // plan stays exactly equivalent to the full scan. Bounds over `:params`
+  // or subquery slots stay symbolic and re-evaluate per execution.
   const Schema& schema = table->schema();
   std::vector<const Expr*> conjuncts;
   CollectConjuncts(*upd.where, &conjuncts);
@@ -1066,39 +1094,36 @@ Status Planner::ExecuteUpdate(const UpdateStmt& upd, SqlResult* result) {
     where = where == nullptr ? std::move(bound)
                              : And(std::move(where), std::move(bound));
   }
-  if (sarg.have_range) {
-    return UpdateWhereIndexed(table, sarg.column, sarg.lo, sarg.hi,
-                              std::move(where), sets, &result->affected);
+  plan_->where = std::move(where);
+  if (sarg.active) {
+    plan_->sarg.active = true;
+    plan_->sarg.column = sarg.column;
+    plan_->sarg.is_static = sarg.is_static;
+    plan_->sarg.lo = sarg.lo;
+    plan_->sarg.hi = sarg.hi;
+    plan_->sarg.op = sarg.op;
+    plan_->sarg.key = sarg.key;
   }
-  return UpdateWhere(table, std::move(where), sets, &result->affected);
+  return Status::OK();
 }
 
-Status Planner::ExecuteDelete(const DeleteStmt& del, SqlResult* result) {
+Status Planner::CompileDelete(const DeleteStmt& del) {
   Table* table = nullptr;
   RELGRAPH_RETURN_IF_ERROR(FindTable(del.table, &table));
-  ExprRef where;
+  plan_->table = table;
   if (del.where != nullptr) {
-    RELGRAPH_RETURN_IF_ERROR(BindExpr(*del.where, table->schema(), &where));
+    RELGRAPH_RETURN_IF_ERROR(
+        BindExpr(*del.where, table->schema(), &plan_->where));
   }
-  return DeleteWhere(table, std::move(where), &result->affected);
+  return Status::OK();
 }
 
 // ----- MERGE -----------------------------------------------------------------
 
-namespace {
-
-/// Rewrites a MERGE expression's column qualifiers (the statement's aliases)
-/// onto MergeInto's combined "t." / "s." namespace.
-Status BindMergeExpr(const SqlParams* params, const Expr& e,
-                     const std::string& target_alias, const Schema& target,
-                     const std::string& source_alias, const Schema& source,
-                     ExprRef* out);
-
-}  // namespace
-
-Status Planner::ExecuteMerge(const MergeStmt& m, SqlResult* result) {
+Status Planner::CompileMerge(const MergeStmt& m) {
   Table* target = nullptr;
   RELGRAPH_RETURN_IF_ERROR(FindTable(m.target_table, &target));
+  plan_->table = target;
   const Schema& target_schema = target->schema();
 
   // Plan the source with *plain* column names: MergeInto prefixes them
@@ -1156,15 +1181,14 @@ Status Planner::ExecuteMerge(const MergeStmt& m, SqlResult* result) {
 
   if (m.matched_condition != nullptr) {
     RELGRAPH_RETURN_IF_ERROR(
-        BindMergeExpr(params_, *m.matched_condition, m.target_alias,
-                      target_schema, src_alias, source_schema,
-                      &spec.matched_condition));
+        BindMergeExpr(*m.matched_condition, m.target_alias, target_schema,
+                      src_alias, source_schema, &spec.matched_condition));
   }
   for (const auto& s : m.matched_sets) {
     SetClause clause;
     RELGRAPH_RETURN_IF_ERROR(
         ResolveColumn("", s.column, target_schema, &clause.column));
-    RELGRAPH_RETURN_IF_ERROR(BindMergeExpr(params_, *s.expr, m.target_alias,
+    RELGRAPH_RETURN_IF_ERROR(BindMergeExpr(*s.expr, m.target_alias,
                                            target_schema, src_alias,
                                            source_schema, &clause.expr));
     spec.matched_sets.push_back(std::move(clause));
@@ -1201,15 +1225,17 @@ Status Planner::ExecuteMerge(const MergeStmt& m, SqlResult* result) {
     }
   }
 
-  return MergeInto(target, source.get(), spec, &result->affected);
+  plan_->root = std::move(source);
+  plan_->merge_spec = std::move(spec);
+  return Status::OK();
 }
 
-namespace {
-
-Status BindMergeExpr(const SqlParams* params, const Expr& e,
-                     const std::string& target_alias, const Schema& target,
-                     const std::string& source_alias, const Schema& source,
-                     ExprRef* out) {
+/// Rewrites a MERGE expression's column qualifiers (the statement's
+/// aliases) onto MergeInto's combined "t." / "s." namespace.
+Status Planner::BindMergeExpr(const Expr& e, const std::string& target_alias,
+                              const Schema& target,
+                              const std::string& source_alias,
+                              const Schema& source, ExprRef* out) {
   // Column references get their alias rewritten onto "t."/"s."; everything
   // else recurses structurally. A rewritten copy of the AST would also work
   // but this avoids the clone.
@@ -1254,23 +1280,15 @@ Status BindMergeExpr(const SqlParams* params, const Expr& e,
   }
 
   auto recurse = [&](const Expr& sub, ExprRef* res) {
-    return BindMergeExpr(params, sub, target_alias, target, source_alias,
-                         source, res);
+    return BindMergeExpr(sub, target_alias, target, source_alias, source, res);
   };
   switch (e.kind) {
     case ExprKind::kLiteral:
       *out = Lit(e.literal);
       return Status::OK();
     case ExprKind::kParameter: {
-      if (params == nullptr) {
-        return Status::InvalidArgument("no parameters bound (wanted :" +
-                                       e.param_name + ")");
-      }
-      auto it = params->find(e.param_name);
-      if (it == params->end()) {
-        return Status::InvalidArgument("missing parameter :" + e.param_name);
-      }
-      *out = Lit(it->second);
+      size_t slot = plan_->ctx->AddNamedSlot(e.param_name);
+      *out = Param(plan_->ctx.get(), slot, e.param_name);
       return Status::OK();
     }
     case ExprKind::kUnary: {
@@ -1316,8 +1334,6 @@ Status BindMergeExpr(const SqlParams* params, const Expr& e,
   }
 }
 
-}  // namespace
-
 // ----- DDL -------------------------------------------------------------------
 
 Status Planner::ExecuteCreateTable(const CreateTableStmt& ct) {
@@ -1343,7 +1359,97 @@ Status Planner::ExecuteCreateIndex(const CreateIndexStmt& ci) {
   std::string resolved;
   RELGRAPH_RETURN_IF_ERROR(
       ResolveColumn("", ci.column, table->schema(), &resolved));
-  return table->CreateSecondaryIndex(resolved, ci.unique);
+  RELGRAPH_RETURN_IF_ERROR(
+      table->CreateSecondaryIndex(resolved, ci.unique, ci.index_name));
+  // New access path: cached plans must get a chance to pick it up.
+  db_->catalog()->BumpVersion();
+  return Status::OK();
+}
+
+Status Planner::ExecuteDropIndex(const DropIndexStmt& di) {
+  Table* table = nullptr;
+  RELGRAPH_RETURN_IF_ERROR(FindTable(di.table, &table));
+  RELGRAPH_RETURN_IF_ERROR(table->DropSecondaryIndex(di.index_name));
+  // Plans probing the dropped index would fail at open; invalidate them.
+  db_->catalog()->BumpVersion();
+  return Status::OK();
+}
+
+// ----- bind + execute --------------------------------------------------------
+
+Status BindPreparedPlan(PreparedPlan* plan, const SqlParams& params) {
+  BindContext* ctx = plan->ctx.get();
+  ctx->ClearBindings();
+  RELGRAPH_RETURN_IF_ERROR(ctx->BindNamed(params));
+  // Scalar subqueries evaluate in registration order (inner before outer),
+  // against the database's *current* data — exactly what re-planning from
+  // text would have computed, minus the parse and plan.
+  for (auto& sq : plan->subqueries) {
+    std::vector<Tuple> rows;
+    RELGRAPH_RETURN_IF_ERROR(Collect(sq.plan.get(), &rows));
+    if (rows.size() > 1) {
+      return Status::InvalidArgument("scalar subquery produced " +
+                                     std::to_string(rows.size()) + " rows");
+    }
+    ctx->Set(sq.slot, rows.empty() ? Value::Null() : rows[0].value(0));
+  }
+  return Status::OK();
+}
+
+Status ExecutePreparedPlan(Database* db, const Statement& ast,
+                           PreparedPlan* plan, SqlResult* result) {
+  *result = SqlResult{};
+  switch (plan->kind) {
+    case StmtKind::kSelect: {
+      result->schema = plan->root->OutputSchema();
+      RELGRAPH_RETURN_IF_ERROR(Collect(plan->root.get(), &result->rows));
+      result->affected = static_cast<int64_t>(result->rows.size());
+      return Status::OK();
+    }
+    case StmtKind::kInsert: {
+      if (plan->insert_from_select) {
+        return InsertFromExecutor(plan->table, plan->root.get(),
+                                  &result->affected);
+      }
+      const Schema& schema = plan->table->schema();
+      Schema empty;
+      for (const auto& row : plan->insert_rows) {
+        std::vector<Value> values(schema.NumColumns());
+        for (size_t i = 0; i < row.size(); i++) {
+          Value v = row[i]->Evaluate(Tuple{}, empty);
+          RELGRAPH_RETURN_IF_ERROR(
+              CoerceValue(v, schema.column(i).type, &values[i]));
+        }
+        RELGRAPH_RETURN_IF_ERROR(plan->table->Insert(Tuple(std::move(values))));
+        result->affected++;
+      }
+      return Status::OK();
+    }
+    case StmtKind::kUpdate: {
+      if (plan->sarg.active) {
+        if (plan->sarg.is_static) {
+          return UpdateWhereIndexed(plan->table, plan->sarg.column,
+                                    plan->sarg.lo, plan->sarg.hi, plan->where,
+                                    plan->sets, &result->affected);
+        }
+        return UpdateWhereIndexedDynamic(plan->table, plan->sarg.column,
+                                         plan->sarg.op, plan->sarg.key,
+                                         plan->where, plan->sets,
+                                         &result->affected);
+      }
+      return UpdateWhere(plan->table, plan->where, plan->sets,
+                         &result->affected);
+    }
+    case StmtKind::kDelete:
+      return DeleteWhere(plan->table, plan->where, &result->affected);
+    case StmtKind::kMerge:
+      return MergeInto(plan->table, plan->root.get(), plan->merge_spec,
+                       &result->affected);
+    default: {
+      Planner planner(db);
+      return planner.ExecuteDdl(ast);
+    }
+  }
 }
 
 }  // namespace relgraph::sql

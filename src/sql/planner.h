@@ -7,6 +7,8 @@
 
 #include "src/common/status.h"
 #include "src/db/database.h"
+#include "src/exec/bind_context.h"
+#include "src/exec/dml_executors.h"
 #include "src/exec/executor.h"
 #include "src/exec/expression.h"
 #include "src/sql/ast.h"
@@ -14,8 +16,9 @@
 namespace relgraph::sql {
 
 /// Named statement parameters (`:lb`, `:minCost`). The path-finding client
-/// re-issues the same statement text each iteration with fresh bindings,
-/// exactly like a JDBC PreparedStatement.
+/// re-issues the same statement each iteration with fresh bindings,
+/// exactly like a JDBC PreparedStatement — and since the planner compiles
+/// parameters into BindContext slots, re-execution really is bind-only.
 using SqlParams = std::map<std::string, relgraph::Value>;
 
 /// Result of one statement: rows+schema for SELECT, affected-row count for
@@ -32,29 +35,104 @@ struct SqlResult {
   }
 };
 
-/// Translates one parsed Statement into engine calls: executor pipelines for
-/// SELECT, the DML primitives (InsertFromExecutor / UpdateWhere / DeleteWhere
-/// / MergeInto) for writes, catalog calls for DDL.
+/// One compiled, parameterized physical statement — what Prepare()
+/// produces and Execute(params) re-runs. Compilation folds parse-time
+/// constants but keeps `:params` and scalar subqueries as BindContext
+/// slot reads, so the plan outlives any single execution:
+///
+///   bind:    write parameter Values into `ctx`, run each entry of
+///            `subqueries` and write its scalar into its slot;
+///   execute: Init + drain `root` (SELECT) or run the stored DML
+///            primitive — index-probe bounds that depend on slots are
+///            re-evaluated at open (IndexRangeScanExecutor runtime
+///            bounds, UpdateWhereIndexedDynamic).
+///
+/// DDL kinds compile to just their statement kind and re-execute from the
+/// AST (there is no plan worth caching; DDL invalidates plans instead).
+struct PreparedPlan {
+  StmtKind kind = StmtKind::kSelect;
+
+  /// Runtime slots the plan's Param()/BoundSlot() expressions read.
+  /// Behind a unique_ptr: expressions capture the context's address.
+  std::unique_ptr<relgraph::BindContext> ctx;
+
+  /// Scalar-subquery plans, evaluated into their slots at bind time in
+  /// registration order (inner subqueries register before the outer
+  /// expressions that contain them, so dependencies are always ready).
+  struct SubqueryPlan {
+    size_t slot;
+    relgraph::ExecRef plan;
+  };
+  std::vector<SubqueryPlan> subqueries;
+
+  /// SELECT pipeline; also the shaped INSERT..SELECT source and the
+  /// MERGE source.
+  relgraph::ExecRef root;
+
+  relgraph::Table* table = nullptr;  // DML target
+
+  // INSERT ... VALUES: one full-table-width expression row per tuple
+  // (missing columns filled with NULL literals); evaluated and coerced
+  // per execution.
+  std::vector<std::vector<relgraph::ExprRef>> insert_rows;
+  bool insert_from_select = false;
+
+  // UPDATE / DELETE.
+  std::vector<relgraph::SetClause> sets;
+  relgraph::ExprRef where;
+
+  /// Sargable UPDATE probe: static bounds when the conjunct was a
+  /// plan-time constant, a runtime key expression otherwise.
+  struct Sarg {
+    bool active = false;
+    std::string column;
+    bool is_static = false;
+    int64_t lo = 0, hi = 0;                              // static bounds
+    relgraph::CompareOp op = relgraph::CompareOp::kEq;   // runtime bounds
+    relgraph::ExprRef key;
+  } sarg;
+
+  relgraph::MergeSpec merge_spec;  // MERGE (root is the source)
+};
+
+/// Binds one execution's values: named parameters from `params` (every
+/// registered name must be present), then the scalar subqueries in
+/// registration order.
+Status BindPreparedPlan(PreparedPlan* plan, const SqlParams& params);
+
+/// Runs a bound plan, materializing SELECT output into `result`. DDL
+/// kinds re-execute from `ast` through Planner::ExecuteDdl.
+Status ExecutePreparedPlan(Database* db, const Statement& ast,
+                           PreparedPlan* plan, SqlResult* result);
+
+/// Translates one parsed Statement into a PreparedPlan: executor
+/// pipelines for SELECT, the DML primitives (InsertFromExecutor /
+/// UpdateWhere / DeleteWhere / MergeInto) for writes, catalog calls for
+/// DDL.
 ///
 /// Scope rules (deliberately the subset the paper's listings exercise):
 ///  - FROM lists join left-to-right; an equality conjunct in WHERE that links
 ///    the accumulated plan to an indexed column of the next base table turns
 ///    that step into an index nested-loop join (the plan the paper's RDBMS
 ///    optimizer picks for the E-operator).
-///  - Scalar subqueries are evaluated eagerly (uncorrelated only) — the
-///    paper's `d2s = (select min(d2s) from TVisited where f = 0)`.
+///  - Scalar subqueries (uncorrelated only) compile to their own plans,
+///    evaluated at bind time — the paper's
+///    `d2s = (select min(d2s) from TVisited where f = 0)` re-evaluates on
+///    every execution of the prepared statement.
 ///  - Window: one ROW_NUMBER() OVER (...) per SELECT.
 ///  - Aggregate queries: every select item is an aggregate call or a
 ///    GROUP BY column.
 class Planner {
  public:
-  Planner(Database* db, const SqlParams* params) : db_(db), params_(params) {}
+  explicit Planner(Database* db) : db_(db) {}
 
-  /// Executes `stmt`, materializing SELECT output into `result`.
-  Status Execute(const Statement& stmt, SqlResult* result);
+  /// Compiles `stmt` into `out` (whose BindContext the compiled
+  /// expressions reference — `out` must not be re-seated afterwards).
+  Status Compile(const Statement& stmt, PreparedPlan* out);
 
-  /// Builds the executor pipeline for a SELECT without running it.
-  Status PlanSelect(const SelectStmt& sel, ExecRef* out);
+  /// Executes a DDL / TRUNCATE statement from its AST, bumping the
+  /// catalog version for schema-changing kinds so cached plans re-plan.
+  Status ExecuteDdl(const Statement& stmt);
 
  private:
   struct FromPlan {
@@ -64,13 +142,16 @@ class Planner {
     Schema prefixed_schema;  // alias-qualified column names
   };
 
-  Status ExecuteSelect(const SelectStmt& sel, SqlResult* result);
-  Status ExecuteInsert(const InsertStmt& ins, SqlResult* result);
-  Status ExecuteUpdate(const UpdateStmt& upd, SqlResult* result);
-  Status ExecuteDelete(const DeleteStmt& del, SqlResult* result);
-  Status ExecuteMerge(const MergeStmt& m, SqlResult* result);
+  Status CompileInsert(const InsertStmt& ins);
+  Status CompileUpdate(const UpdateStmt& upd);
+  Status CompileDelete(const DeleteStmt& del);
+  Status CompileMerge(const MergeStmt& m);
   Status ExecuteCreateTable(const CreateTableStmt& ct);
   Status ExecuteCreateIndex(const CreateIndexStmt& ci);
+  Status ExecuteDropIndex(const DropIndexStmt& di);
+
+  /// Builds the executor pipeline for a SELECT without running it.
+  Status PlanSelect(const SelectStmt& sel, ExecRef* out);
 
   /// FROM + WHERE with join-conjunct extraction; `remaining_where` receives
   /// the non-join part of the predicate (already bound).
@@ -79,19 +160,24 @@ class Planner {
 
   /// Candidate index probe extracted from sargable conjuncts. An equality
   /// conjunct beats a range conjunct (tighter probe); within each class
-  /// the first match wins.
+  /// the first match wins. Plan-time constants become static bounds;
+  /// conjuncts over `:params` / scalar subqueries keep the (normalized)
+  /// comparison and the key expression for evaluation at open time.
   struct SargCandidate {
-    std::string column;
-    int64_t lo = 0, hi = 0;
-    bool have_range = false;
+    bool active = false;
     bool equality = false;
+    std::string column;
+    bool is_static = false;
+    int64_t lo = 0, hi = 0;
+    CompareOp op = CompareOp::kEq;  // column-on-the-left normalized
+    ExprRef key;
   };
 
   /// Shared body of the sargable-conjunct extraction used by both the
   /// UPDATE planner and SELECT's base-table scan choice: binds a
   /// `col OP expr` / `expr OP col` conjunct against `bind_schema` into the
   /// residual comparison `bound`, and updates `best` when the conjunct is
-  /// an index-servable `col OP <row-independent INT>` over `table` (the
+  /// an index-servable `col OP <row-independent expr>` over `table` (the
   /// column resolved against `resolve_schema`; the column side's qualifier
   /// is honored only when `use_qualifier`).
   Status BindSargShaped(const Expr& c, const Schema& bind_schema,
@@ -99,20 +185,22 @@ class Planner {
                         bool use_qualifier, SargCandidate* best,
                         ExprRef* bound);
 
-  /// AST expression -> runtime expression against `schema`.
+  /// AST expression -> runtime expression against `schema`. Parameters
+  /// and scalar subqueries register slots on the plan under compilation.
   Status BindExpr(const Expr& e, const Schema& schema, ExprRef* out);
+  /// MERGE expressions: column qualifiers rewritten onto the "t."/"s."
+  /// combined namespace.
+  Status BindMergeExpr(const Expr& e, const std::string& target_alias,
+                       const Schema& target, const std::string& source_alias,
+                       const Schema& source, ExprRef* out);
   /// Resolves a (qualifier, column) reference to the schema's column name.
   Status ResolveColumn(const std::string& qualifier, const std::string& column,
                        const Schema& schema, std::string* resolved) const;
 
-  Status EvalScalarSubquery(const SelectStmt& sub, Value* out);
-  /// Evaluates a constant expression (literals/params/arithmetic/subquery).
-  Status EvalConstExpr(const Expr& e, Value* out);
-
   Status FindTable(const std::string& name, Table** out) const;
 
   Database* db_;
-  const SqlParams* params_;
+  PreparedPlan* plan_ = nullptr;  // current compile target
 };
 
 }  // namespace relgraph::sql
