@@ -13,7 +13,7 @@ Status Catalog::CreateTable(const std::string& name, Schema schema,
                     &table));
   Table* raw = table.get();
   tables_[name] = std::move(table);
-  version_++;
+  BumpVersion();
   if (out != nullptr) *out = raw;
   return Status::OK();
 }
@@ -27,7 +27,22 @@ Status Catalog::DropTable(const std::string& name) {
   if (tables_.erase(name) == 0) {
     return Status::NotFound("table " + name + " does not exist");
   }
-  version_++;
+  BumpVersion();
+  return Status::OK();
+}
+
+Status Catalog::CreateSecondaryIndex(Table* table, const std::string& column,
+                                     bool unique, const std::string& name) {
+  RELGRAPH_RETURN_IF_ERROR(table->CreateSecondaryIndex(column, unique, name));
+  // New access path: cached plans must get a chance to pick it up.
+  BumpVersion();
+  return Status::OK();
+}
+
+Status Catalog::DropSecondaryIndex(Table* table, const std::string& name) {
+  RELGRAPH_RETURN_IF_ERROR(table->DropSecondaryIndex(name));
+  // Plans probing the dropped index would fail at open; invalidate them.
+  BumpVersion();
   return Status::OK();
 }
 

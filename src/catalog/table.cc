@@ -244,7 +244,7 @@ bool Table::HasIndexOn(const std::string& column) const {
 
 Status Table::LookupUnique(const std::string& column, int64_t key, Tuple* out,
                            RowRef* ref) {
-  access_stats_.point_lookups++;
+  access_stats_.point_lookups.fetch_add(1, std::memory_order_relaxed);
   if (options_.storage == TableStorage::kClustered &&
       column == options_.cluster_key) {
     if (!options_.cluster_unique) {
@@ -421,7 +421,8 @@ bool Table::Iterator::Next(Tuple* tuple, RowRef* ref) {
       status_ = Tuple::Deserialize(table_->schema_, buffer_, tuple);
       if (!status_.ok()) return false;
       if (ref != nullptr) ref->rid = rid;
-      table_->access_stats_.full_scan_rows++;
+      table_->access_stats_.full_scan_rows.fetch_add(
+          1, std::memory_order_relaxed);
       return true;
     }
     case Kind::kClustered: {
@@ -434,7 +435,8 @@ bool Table::Iterator::Next(Tuple* tuple, RowRef* ref) {
       if (!status_.ok()) return false;
       if (ref != nullptr) ref->key = key;
       (full_scan_ ? table_->access_stats_.full_scan_rows
-                  : table_->access_stats_.index_scan_rows)++;
+                  : table_->access_stats_.index_scan_rows)
+          .fetch_add(1, std::memory_order_relaxed);
       return true;
     }
     case Kind::kSecondary: {
@@ -452,7 +454,8 @@ bool Table::Iterator::Next(Tuple* tuple, RowRef* ref) {
         status_ = Tuple::Deserialize(table_->schema_, buffer_, tuple);
         if (!status_.ok()) return false;
         if (ref != nullptr) ref->key = base;
-        table_->access_stats_.index_scan_rows++;
+        table_->access_stats_.index_scan_rows.fetch_add(
+            1, std::memory_order_relaxed);
         return true;
       }
       Rid rid = DecodeRid(payload);
@@ -461,7 +464,8 @@ bool Table::Iterator::Next(Tuple* tuple, RowRef* ref) {
       status_ = Tuple::Deserialize(table_->schema_, buffer_, tuple);
       if (!status_.ok()) return false;
       if (ref != nullptr) ref->rid = rid;
-      table_->access_stats_.index_scan_rows++;
+      table_->access_stats_.index_scan_rows.fetch_add(
+          1, std::memory_order_relaxed);
       return true;
     }
   }

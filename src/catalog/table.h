@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
@@ -40,10 +41,19 @@ struct RowRef {
 /// Row-access accounting, split by access path. The FEM hot-loop work is
 /// asserted scan-free against these counters (no full-table row reads in the
 /// auxiliary statements), and benches can report physical row traffic.
+/// Atomic because shard-local tables serve concurrent reader connections
+/// under the distributed coordinator; relaxed tallies, nothing orders on
+/// them.
 struct TableAccessStats {
-  int64_t full_scan_rows = 0;   // rows produced by Scan()
-  int64_t index_scan_rows = 0;  // rows produced by ScanRange()
-  int64_t point_lookups = 0;    // LookupUnique() probes
+  std::atomic<int64_t> full_scan_rows{0};   // rows produced by Scan()
+  std::atomic<int64_t> index_scan_rows{0};  // rows produced by ScanRange()
+  std::atomic<int64_t> point_lookups{0};    // LookupUnique() probes
+
+  void Reset() {
+    full_scan_rows.store(0, std::memory_order_relaxed);
+    index_scan_rows.store(0, std::memory_order_relaxed);
+    point_lookups.store(0, std::memory_order_relaxed);
+  }
 };
 
 /// A relational table: schema + physical storage + secondary indexes.
@@ -125,7 +135,7 @@ class Table {
   static size_t FixedWidth(const Schema& schema);
 
   const TableAccessStats& access_stats() const { return access_stats_; }
-  void ResetAccessStats() { access_stats_ = TableAccessStats{}; }
+  void ResetAccessStats() { access_stats_.Reset(); }
 
  private:
   Table() = default;

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace relgraph {
+
+/// Fixed-size worker pool with a FIFO task queue. The distributed
+/// coordinator drives every expansion round as one task per owner shard and
+/// joins the returned futures — the unit of parallelism the paper's §7
+/// sketch assumes ("each partition is processed by its own RDBMS node").
+/// Workers start in the constructor and live until destruction, so
+/// steady-state rounds pay one enqueue + one future-join per shard, never a
+/// thread spawn.
+///
+/// Thread-safety: Submit() may be called from any thread (concurrent query
+/// sessions share one pool). Tasks must not Submit() and then block on the
+/// resulting future from inside a worker (the classic pool deadlock); the
+/// coordinator only submits from session threads.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();  // drains the queue, then joins every worker
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `fn` and returns a future for its result. The future's
+  /// get()/wait() is the only completion signal; exceptions propagate
+  /// through it (the engine's own tasks return Status instead of throwing).
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace relgraph

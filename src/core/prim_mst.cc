@@ -44,7 +44,8 @@ Status PrimMst::Run(GraphStore* graph, SqlMode mode, node_id_t root,
   RELGRAPH_RETURN_IF_ERROR(
       db->catalog()->CreateTable(name, MstSchema(), topts, &tree));
   if (graph->strategy() != IndexStrategy::kCluIndex) {
-    RELGRAPH_RETURN_IF_ERROR(tree->CreateSecondaryIndex("nid", true));
+    RELGRAPH_RETURN_IF_ERROR(
+        db->catalog()->CreateSecondaryIndex(tree, "nid", true));
   }
 
   db->RecordStatement();

@@ -143,7 +143,7 @@ Status SegTable::BuildDirection(Database* db, GraphStore* graph,
       // paper's Fig 8(c) varies the *SegTable and TVisited* indexes; the
       // construction-internal table is an implementation detail.
       RELGRAPH_RETURN_IF_ERROR(
-          work->CreateSecondaryIndex("skey", /*unique=*/true));
+          catalog->CreateSecondaryIndex(work, "skey", /*unique=*/true));
     }
   }
 
@@ -297,7 +297,8 @@ Status SegTable::Build(Database* db, GraphStore* graph,
     RELGRAPH_RETURN_IF_ERROR(
         catalog->CreateTable(name, SegsSchema(), topts, table));
     if (options.strategy == IndexStrategy::kIndex) {
-      RELGRAPH_RETURN_IF_ERROR((*table)->CreateSecondaryIndex(key, false));
+      RELGRAPH_RETURN_IF_ERROR(
+          catalog->CreateSecondaryIndex(*table, key, false));
     }
     return Status::OK();
   };

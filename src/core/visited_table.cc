@@ -66,8 +66,8 @@ Status VisitedTable::Create(Database* db, IndexStrategy strategy,
   RELGRAPH_RETURN_IF_ERROR(db->catalog()->CreateTable(
       std::move(name), VisitedSchema(), topts, &vt->table_));
   if (strategy == IndexStrategy::kIndex) {
-    RELGRAPH_RETURN_IF_ERROR(
-        vt->table_->CreateSecondaryIndex("nid", /*unique=*/true));
+    RELGRAPH_RETURN_IF_ERROR(db->catalog()->CreateSecondaryIndex(
+        vt->table_, "nid", /*unique=*/true));
     vt->has_unique_index_ = true;
   }
   // Index/CluIndex: give the F/E operators indexed access paths on the sign
@@ -75,8 +75,8 @@ Status VisitedTable::Create(Database* db, IndexStrategy strategy,
   // O(frontier) rows. NoIndex keeps the paper's scan-only physical design.
   if (strategy != IndexStrategy::kNoIndex) {
     for (const char* col : {"f", "b", "d2s", "d2t"}) {
-      RELGRAPH_RETURN_IF_ERROR(
-          vt->table_->CreateSecondaryIndex(col, /*unique=*/false));
+      RELGRAPH_RETURN_IF_ERROR(db->catalog()->CreateSecondaryIndex(
+          vt->table_, col, /*unique=*/false));
     }
   }
 

@@ -25,12 +25,13 @@ Database::Database(DatabaseOptions options) : options_(std::move(options)) {
     disk_ = std::make_unique<DiskManager>(path);
   }
   disk_->set_simulated_io_latency_us(options_.simulated_io_latency_us);
-  pool_ = std::make_unique<BufferPool>(options_.buffer_pool_pages, disk_.get());
+  pool_ = std::make_unique<BufferPool>(options_.buffer_pool_pages, disk_.get(),
+                                       options_.concurrent_readers);
   catalog_ = std::make_unique<Catalog>(pool_.get());
 }
 
 void Database::ResetStats() {
-  stats_ = DatabaseStats{};
+  stats_.Reset();
   pool_->ResetStats();
   disk_->ResetStats();
 }

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -38,6 +40,13 @@ struct DatabaseOptions {
   /// the set-at-a-time trade-off; this knob restores the paper's regime
   /// for the experiments that depend on it (Figure 7(c,d)).
   int64_t simulated_statement_latency_us = 0;
+  /// Locks the buffer pool so multiple threads may *read* this database
+  /// at once (writes still require external serialization). The
+  /// distributed shard databases set this — their pages are served to
+  /// pooled connections of concurrent query sessions. Off by default:
+  /// single-session databases must not pay a lock per page access on the
+  /// engine's hottest path.
+  bool concurrent_readers = false;
 };
 
 /// Counters exposed to clients, mirroring what the paper's client reads
@@ -47,10 +56,21 @@ struct DatabaseOptions {
 /// `plan_cache_hits` counts text-keyed plan-cache lookups that were
 /// served without one. A steady-state client is parse-free exactly when
 /// `prepares` stops moving while `statements` keeps counting.
+///
+/// The counters are atomics: a shard database serves many pooled
+/// connections at once under the distributed coordinator, and every
+/// connection's statements must count. Relaxed ordering — these are pure
+/// tallies, nothing synchronizes on them.
 struct DatabaseStats {
-  int64_t statements = 0;
-  int64_t prepares = 0;
-  int64_t plan_cache_hits = 0;
+  std::atomic<int64_t> statements{0};
+  std::atomic<int64_t> prepares{0};
+  std::atomic<int64_t> plan_cache_hits{0};
+
+  void Reset() {
+    statements.store(0, std::memory_order_relaxed);
+    prepares.store(0, std::memory_order_relaxed);
+    plan_cache_hits.store(0, std::memory_order_relaxed);
+  }
 };
 
 /// One embedded database instance: disk manager + buffer pool + catalog.
@@ -75,9 +95,12 @@ class Database {
   /// Called by the FEM layer once per logical SQL statement issued. The
   /// optional text is the SQL the statement corresponds to (the Listing
   /// 2/3/4 equivalents); it is retained only while the log is enabled.
+  /// Safe to call from concurrent connections (the counter is atomic and
+  /// the log is mutex-guarded).
   void RecordStatement(std::string sql = std::string()) {
-    stats_.statements++;
-    if (log_enabled_ && !sql.empty()) {
+    stats_.statements.fetch_add(1, std::memory_order_relaxed);
+    if (log_enabled_ && max_log_entries_ > 0 && !sql.empty()) {
+      std::lock_guard<std::mutex> lock(log_mu_);
       if (statement_log_.size() >= max_log_entries_) {
         statement_log_.erase(statement_log_.begin());
       }
@@ -87,7 +110,9 @@ class Database {
   }
 
   /// Keeps the SQL text of up to `max_entries` most recent statements —
-  /// a trace of what the client would have sent over JDBC.
+  /// a trace of what the client would have sent over JDBC. Enable/disable
+  /// and reading the log back are single-threaded setup/teardown
+  /// operations; only RecordStatement() itself is concurrency-safe.
   void EnableStatementLog(size_t max_entries = 4096) {
     log_enabled_ = true;
     max_log_entries_ = max_entries;
@@ -102,8 +127,12 @@ class Database {
 
   /// Called by the SQL layer once per physical plan construction / per
   /// plan-cache hit (see DatabaseStats).
-  void RecordPrepare() { stats_.prepares++; }
-  void RecordPlanCacheHit() { stats_.plan_cache_hits++; }
+  void RecordPrepare() {
+    stats_.prepares.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordPlanCacheHit() {
+    stats_.plan_cache_hits.fetch_add(1, std::memory_order_relaxed);
+  }
 
   const DatabaseStats& stats() const { return stats_; }
   void ResetStats();
@@ -118,6 +147,7 @@ class Database {
   DatabaseStats stats_;
   bool log_enabled_ = false;
   size_t max_log_entries_ = 0;
+  std::mutex log_mu_;
   std::vector<std::string> statement_log_;
 };
 

@@ -1,0 +1,39 @@
+#include "src/dist/coordinator.h"
+
+#include <utility>
+
+#include "src/dist/dist_path_finder.h"
+
+namespace relgraph {
+
+Status DistCoordinator::Create(ShardedGraphStore* store, DistOptions options,
+                               std::unique_ptr<DistCoordinator>* out) {
+  if (store == nullptr) {
+    return Status::InvalidArgument("null ShardedGraphStore");
+  }
+  if (options.num_threads < 0) {
+    return Status::InvalidArgument("num_threads must be >= 0");
+  }
+  if (options.connections_per_shard < 1) {
+    return Status::InvalidArgument("connections_per_shard must be >= 1");
+  }
+  auto coord = std::unique_ptr<DistCoordinator>(
+      new DistCoordinator(store, options));
+  coord->services_.resize(store->num_shards());
+  for (int shard = 0; shard < store->num_shards(); shard++) {
+    RELGRAPH_RETURN_IF_ERROR(LocalShardService::Create(
+        store, shard, options.connections_per_shard,
+        &coord->services_[shard]));
+  }
+  if (options.num_threads > 0) {
+    coord->pool_ = std::make_unique<ThreadPool>(options.num_threads);
+  }
+  *out = std::move(coord);
+  return Status::OK();
+}
+
+Status DistCoordinator::NewSession(std::unique_ptr<DistPathFinder>* out) {
+  return DistPathFinder::CreateSession(this, out);
+}
+
+}  // namespace relgraph

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/dist/shard_service.h"
+#include "src/dist/sharded_graph.h"
+
+namespace relgraph {
+
+class DistPathFinder;
+
+/// Execution knobs for the distributed coordinator.
+struct DistOptions {
+  /// Worker threads driving shard expansion. 0 keeps the serial path: each
+  /// round's shard requests run one after another in the calling thread and
+  /// `parallel_us` is *simulated* (every round charged its slowest shard) —
+  /// the correctness oracle and the measurement baseline. >= 1 runs one
+  /// task per contacted shard on a shared pool and `parallel_us` becomes a
+  /// *measured* wall clock.
+  int num_threads = 0;
+  /// Pooled connections per shard. Each query session holds at most one
+  /// connection per shard at a time, so this bounds how many sessions can
+  /// expand on the same shard simultaneously; additional sessions queue.
+  int connections_per_shard = 1;
+};
+
+/// Process-wide coordinator state for distributed BSDJ over one
+/// ShardedGraphStore: the shard services (each with its prepared-statement
+/// connection pool) and the worker pool that runs expansion rounds. Query
+/// sessions (DistPathFinder) are created from here — each owns its own
+/// coordinator-local TVisited and FEM engine, so N sessions run Find()
+/// concurrently against the shared shard pool, the "many clients, one
+/// cluster" shape of the north star.
+class DistCoordinator {
+ public:
+  static Status Create(ShardedGraphStore* store, DistOptions options,
+                       std::unique_ptr<DistCoordinator>* out);
+
+  /// Creates one query session. Sessions are independent (per-session
+  /// visited state and statement accounting) and may be driven from
+  /// different threads; a single session is not itself thread-safe.
+  Status NewSession(std::unique_ptr<DistPathFinder>* out);
+
+  ShardedGraphStore* store() const { return store_; }
+  ShardService* shard_service(int shard) const {
+    return services_[shard].get();
+  }
+  /// nullptr when options().num_threads == 0 (serial mode).
+  ThreadPool* pool() const { return pool_.get(); }
+  const DistOptions& options() const { return options_; }
+
+ private:
+  DistCoordinator(ShardedGraphStore* store, DistOptions options)
+      : store_(store), options_(options) {}
+
+  ShardedGraphStore* store_;
+  DistOptions options_;
+  std::vector<std::unique_ptr<LocalShardService>> services_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace relgraph

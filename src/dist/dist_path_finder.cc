@@ -1,8 +1,8 @@
 #include "src/dist/dist_path_finder.h"
 
 #include <algorithm>
+#include <future>
 #include <unordered_map>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -11,40 +11,30 @@
 namespace relgraph {
 
 Status DistPathFinder::Create(ShardedGraphStore* store,
-                              std::unique_ptr<DistPathFinder>* out) {
-  if (store == nullptr) {
-    return Status::InvalidArgument("null ShardedGraphStore");
-  }
-  auto finder = std::unique_ptr<DistPathFinder>(new DistPathFinder(store));
-  // The coordinator is its own "RDBMS node": statement counts and buffer
-  // traffic on its TVisited accrue here, separate from every shard database.
+                              std::unique_ptr<DistPathFinder>* out,
+                              DistOptions options) {
+  std::unique_ptr<DistCoordinator> coord;
+  RELGRAPH_RETURN_IF_ERROR(DistCoordinator::Create(store, options, &coord));
+  std::unique_ptr<DistPathFinder> finder;
+  RELGRAPH_RETURN_IF_ERROR(coord->NewSession(&finder));
+  finder->owned_coord_ = std::move(coord);
+  *out = std::move(finder);
+  return Status::OK();
+}
+
+Status DistPathFinder::CreateSession(DistCoordinator* coord,
+                                     std::unique_ptr<DistPathFinder>* out) {
+  auto finder = std::unique_ptr<DistPathFinder>(new DistPathFinder(coord));
+  // Each session is its own "RDBMS node": statement counts and buffer
+  // traffic on its TVisited accrue here, separate from every shard database
+  // and from every other session.
   finder->coord_db_ = std::make_unique<Database>();
   RELGRAPH_RETURN_IF_ERROR(
-      VisitedTable::Create(finder->coord_db_.get(), store->strategy(),
-                           "TVisitedCoord", &finder->visited_));
+      VisitedTable::Create(finder->coord_db_.get(),
+                           finder->store_->strategy(), "TVisitedCoord",
+                           &finder->visited_));
   finder->fem_ = std::make_unique<FemEngine>(
       finder->coord_db_.get(), finder->visited_.get(), SqlMode::kNsql);
-
-  // Prepare the per-shard expansion probes once: each shard's "engine"
-  // parses and plans its two statements here, and every round afterwards
-  // only binds `:n` — shard-side steady state never re-plans.
-  finder->shard_conns_.resize(store->num_shards());
-  for (int shard = 0; shard < store->num_shards(); shard++) {
-    ShardConn& conn = finder->shard_conns_[shard];
-    conn.engine = std::make_unique<sql::SqlEngine>(store->shard_db(shard));
-    if (store->out_edges(shard)->HasIndexOn("fid")) {
-      RELGRAPH_RETURN_IF_ERROR(conn.engine->Prepare(
-          "select tid, cost from " + store->out_edges(shard)->name() +
-              " where fid = :n",
-          &conn.probe_fwd));
-    }
-    if (store->in_edges(shard)->HasIndexOn("tid")) {
-      RELGRAPH_RETURN_IF_ERROR(conn.engine->Prepare(
-          "select fid, cost from " + store->in_edges(shard)->name() +
-              " where tid = :n",
-          &conn.probe_bwd));
-    }
-  }
   *out = std::move(finder);
   return Status::OK();
 }
@@ -61,82 +51,95 @@ Status DistPathFinder::ExpandOnShards(const std::vector<node_id_t>& frontier,
     by_shard[store_->OwnerShard(n)].push_back(n);
   }
 
-  // Shard-local expansion: every contacted shard answers one statement —
-  // SELECT * FROM TEdges WHERE fid IN (<frontier ∩ shard>) — and ships its
-  // matching adjacency rows back.
-  struct Shipped {
-    node_id_t frontier_node;
-    node_id_t emit_node;
-    weight_t cost;
-  };
-  int64_t round_max_us = 0;
-  std::vector<Shipped> shipped;
+  // One request per contacted shard, kept in shard-index order: merging
+  // responses in that fixed order makes every downstream result — dedup
+  // choices, rows_shipped, statement counts — bit-identical whether the
+  // requests ran serially or on any number of worker threads.
+  std::vector<int> contacted;
   for (int shard = 0; shard < store_->num_shards(); shard++) {
-    if (by_shard[shard].empty()) continue;
-    Timer shard_timer;
-    Table* table =
-        forward ? store_->out_edges(shard) : store_->in_edges(shard);
-    const size_t frontier_idx = forward ? 0 : 1;
-    const size_t emit_idx = forward ? 1 : 0;
-    // One logical round-trip to this shard per round (the conceptual
-    // `... WHERE fid IN (<frontier ∩ shard>)` statement); the shard's
-    // own Database additionally counts each prepared probe it executes.
-    stats->shard_statements++;
-    Tuple row;
-    const std::shared_ptr<sql::PreparedStatement>& probe =
-        forward ? shard_conns_[shard].probe_fwd : shard_conns_[shard].probe_bwd;
-    if (probe != nullptr) {
-      // Indexed shard: bind-and-execute the prepared point probe per
-      // frontier node — same index range scan the native path built by
-      // hand, now through the shard's SQL surface with zero re-planning.
-      for (node_id_t n : by_shard[shard]) {
-        sql::SqlResult r;
-        RELGRAPH_RETURN_IF_ERROR(probe->Execute({{"n", Value(n)}}, &r));
-        for (const Tuple& rrow : r.rows) {
-          shipped.push_back(
-              {n, rrow.value(0).AsInt(), rrow.value(1).AsInt()});
-        }
-      }
-    } else {
-      store_->shard_db(shard)->RecordStatement();
-      std::unordered_set<node_id_t> wanted(by_shard[shard].begin(),
-                                           by_shard[shard].end());
-      Table::Iterator it = table->Scan();
-      while (it.Next(&row, nullptr)) {
-        node_id_t key = row.value(frontier_idx).AsInt();
-        if (!wanted.count(key)) continue;
-        shipped.push_back(
-            {key, row.value(emit_idx).AsInt(), row.value(2).AsInt()});
-      }
-      RELGRAPH_RETURN_IF_ERROR(it.status());
-    }
-    int64_t us = shard_timer.ElapsedMicros();
-    *shard_serial_us += us;
-    round_max_us = std::max(round_max_us, us);
+    if (!by_shard[shard].empty()) contacted.push_back(shard);
   }
-  *shard_parallel_us += round_max_us;
-  stats->rows_shipped += static_cast<int64_t>(shipped.size());
+  std::vector<ShardExpandResponse> responses(contacted.size());
+
+  ThreadPool* pool = coord_->pool();
+  if (pool == nullptr || contacted.size() <= 1) {
+    // Serial oracle: shard requests one after another in this thread. The
+    // simulated-parallel clock charges each round only its slowest shard —
+    // what the pre-thread-pool coordinator always reported.
+    int64_t round_max_us = 0;
+    for (size_t i = 0; i < contacted.size(); i++) {
+      int shard = contacted[i];
+      ShardExpandRequest req{forward, std::move(by_shard[shard])};
+      RELGRAPH_RETURN_IF_ERROR(
+          coord_->shard_service(shard)->Expand(req, &responses[i]));
+      *shard_serial_us += responses[i].elapsed_us;
+      round_max_us = std::max(round_max_us, responses[i].elapsed_us);
+    }
+    *shard_parallel_us += round_max_us;
+  } else {
+    // Threaded rounds: one task per contacted shard, future-joined. The
+    // first contacted shard runs inline — the coordinator thread would
+    // only block on the join otherwise, so it does one shard's work itself
+    // and saves a dispatch. The parallel clock is the measured wall time
+    // of the whole fan-out (queue wait included — that is real
+    // coordinator-side latency), while the serial clock still accumulates
+    // every shard's own service time.
+    Timer round_timer;
+    std::vector<std::future<Status>> futures;
+    futures.reserve(contacted.size() - 1);
+    for (size_t i = 1; i < contacted.size(); i++) {
+      int shard = contacted[i];
+      ShardService* svc = coord_->shard_service(shard);
+      ShardExpandResponse* resp = &responses[i];
+      auto req = std::make_shared<ShardExpandRequest>(
+          ShardExpandRequest{forward, std::move(by_shard[shard])});
+      futures.push_back(pool->Submit(
+          [svc, req, resp]() -> Status { return svc->Expand(*req, resp); }));
+    }
+    ShardExpandRequest first_req{forward, std::move(by_shard[contacted[0]])};
+    Status first_error =
+        coord_->shard_service(contacted[0])->Expand(first_req, &responses[0]);
+    for (auto& f : futures) {
+      Status st = f.get();
+      if (!st.ok() && first_error.ok()) first_error = st;
+    }
+    RELGRAPH_RETURN_IF_ERROR(first_error);
+    *shard_parallel_us += round_timer.ElapsedMicros();
+    for (const ShardExpandResponse& resp : responses) {
+      *shard_serial_us += resp.elapsed_us;
+    }
+  }
+
+  size_t shipped_total = 0;
+  for (const ShardExpandResponse& resp : responses) {
+    stats->shard_statements += resp.statements;
+    shipped_total += resp.edges.size();
+  }
+  stats->rows_shipped += static_cast<int64_t>(shipped_total);
 
   // The E-operator's dedup (rownum = 1): keep, per reached node, the
   // cheapest shipped edge, ties broken by the smaller parent — the shards
   // did the join, the coordinator finishes the expansion statement.
   std::unordered_map<node_id_t, size_t> best;
-  best.reserve(shipped.size());
+  best.reserve(shipped_total);
   std::vector<Tuple> dedup;
-  for (const Shipped& e : shipped) {
-    weight_t cost = level + e.cost;
-    auto [it, inserted] = best.try_emplace(e.emit_node, dedup.size());
-    if (inserted) {
-      dedup.push_back(Tuple({Value(e.emit_node), Value(cost),
-                             Value(e.frontier_node), Value(e.frontier_node)}));
-      continue;
-    }
-    Tuple& cur = dedup[it->second];
-    weight_t cur_cost = cur.value(1).AsInt();
-    if (cost < cur_cost ||
-        (cost == cur_cost && e.frontier_node < cur.value(2).AsInt())) {
-      cur = Tuple({Value(e.emit_node), Value(cost), Value(e.frontier_node),
-                   Value(e.frontier_node)});
+  for (const ShardExpandResponse& resp : responses) {
+    for (const ShippedEdge& e : resp.edges) {
+      weight_t cost = level + e.cost;
+      auto [it, inserted] = best.try_emplace(e.emit_node, dedup.size());
+      if (inserted) {
+        dedup.push_back(Tuple({Value(e.emit_node), Value(cost),
+                               Value(e.frontier_node),
+                               Value(e.frontier_node)}));
+        continue;
+      }
+      Tuple& cur = dedup[it->second];
+      weight_t cur_cost = cur.value(1).AsInt();
+      if (cost < cur_cost ||
+          (cost == cur_cost && e.frontier_node < cur.value(2).AsInt())) {
+        cur = Tuple({Value(e.emit_node), Value(cost), Value(e.frontier_node),
+                     Value(e.frontier_node)});
+      }
     }
   }
   *rows = std::move(dedup);
@@ -165,8 +168,10 @@ Status DistPathFinder::Find(node_id_t s, node_id_t t, DistPathResult* result) {
   *result = DistPathResult{};
   DistQueryStats& stats = result->stats;
   Timer total_timer;
-  int64_t shard_serial_us = 0;    // sum over every shard query issued
-  int64_t shard_parallel_us = 0;  // sum over rounds of the slowest shard
+  int64_t shard_serial_us = 0;    // sum over every shard request issued
+  int64_t shard_parallel_us = 0;  // sum over rounds: measured wall
+                                  // (threaded) or slowest shard (serial)
+  const bool threaded = coord_->pool() != nullptr;
   const int64_t coord_stmt0 = coord_db_->stats().statements;
 
   if (s == t) {
@@ -252,8 +257,17 @@ Status DistPathFinder::Find(node_id_t s, node_id_t t, DistPathResult* result) {
   }
 
   stats.coordinator_statements = coord_db_->stats().statements - coord_stmt0;
-  stats.serial_us = total_timer.ElapsedMicros();
-  stats.parallel_us = stats.serial_us - shard_serial_us + shard_parallel_us;
+  const int64_t total_us = total_timer.ElapsedMicros();
+  if (threaded) {
+    // The query really ran its rounds in parallel: the total is the
+    // parallel wall clock, and the serial clock backs the measured round
+    // walls out and charges the shards' summed service time instead.
+    stats.parallel_us = total_us;
+    stats.serial_us = total_us - shard_parallel_us + shard_serial_us;
+  } else {
+    stats.serial_us = total_us;
+    stats.parallel_us = total_us - shard_serial_us + shard_parallel_us;
+  }
   return Status::OK();
 }
 

@@ -5,17 +5,24 @@
 
 #include "src/core/fem.h"
 #include "src/core/visited_table.h"
+#include "src/dist/coordinator.h"
 #include "src/dist/sharded_graph.h"
-#include "src/sql/sql_engine.h"
 
 namespace relgraph {
 
-/// What the distributed simulation measures per query: statement counts on
-/// the coordinator and across shards, rows crossing the shard/coordinator
-/// boundary (the "network"), and two clocks — the serial cost this
-/// single-process simulation actually pays, and the simulated-parallel
-/// wall clock where every expansion round is charged only its slowest
-/// shard. parallel_us <= serial_us always holds.
+/// What one distributed query measures: statement counts on the coordinator
+/// and across shards, rows crossing the shard/coordinator boundary (the
+/// "network"), and two clocks.
+///
+/// `serial_us` is what the query costs with every shard request run one
+/// after another; `parallel_us` is what it costs with each round's shard
+/// requests running concurrently. In serial mode (DistOptions::num_threads
+/// == 0) the query actually executes serially: serial_us is the measured
+/// wall clock and parallel_us is *simulated* by charging each round only
+/// its slowest shard (so parallel_us <= serial_us always holds there). In
+/// threaded mode the roles flip: parallel_us is the *measured* wall clock
+/// (rounds really run on the thread pool) and serial_us backs out the
+/// measured round walls and charges the sum of shard service times instead.
 struct DistQueryStats {
   int64_t coordinator_statements = 0;
   int64_t shard_statements = 0;
@@ -32,33 +39,47 @@ struct DistPathResult {
   DistQueryStats stats;
 };
 
-/// Coordinator for bi-directional set Dijkstra (the paper's BSDJ) over a
-/// ShardedGraphStore — the §7 distributed extension, simulated in-process.
-/// The coordinator keeps its visited/frontier bookkeeping in a relational
-/// TVisited (a VisitedTable in a coordinator-local Database), driven through
-/// the same FEM operators as the single-node engine — so the distributed
-/// path inherits TVisited's indexed access paths, O(1) aggregate probes,
-/// and per-statement accounting. Each round it sends the frontier's node
-/// set to the shards that own those nodes; each shard answers with its
-/// local adjacency rows, which the coordinator merges back (the M-operator).
-/// Expansion is thus fully partitioned while termination (the Theorem-1
-/// bound lf + lb >= minCost) stays centralized.
+/// One query session of the distributed bi-directional set Dijkstra (the
+/// paper's BSDJ, §7 extension). The session keeps its visited/frontier
+/// bookkeeping in a relational TVisited (a VisitedTable in a session-local
+/// Database), driven through the same FEM operators as the single-node
+/// engine — so the distributed path inherits TVisited's indexed access
+/// paths, O(1) aggregate probes, and per-statement accounting. Each round
+/// it routes the frontier's node set to the owner shards' ShardServices
+/// (serially, or one thread-pool task per shard); each shard answers with
+/// its local adjacency rows, which the session merges back (the
+/// M-operator). Expansion is thus fully partitioned while termination (the
+/// Theorem-1 bound lf + lb >= minCost) stays centralized.
+///
+/// Sessions come from DistCoordinator::NewSession() and share that
+/// coordinator's shard services, connection pools, and worker threads; the
+/// session itself must be driven from one thread at a time.
 class DistPathFinder {
  public:
+  /// Convenience for the common single-session case: builds a private
+  /// coordinator with `options` and one session on it.
   static Status Create(ShardedGraphStore* store,
-                       std::unique_ptr<DistPathFinder>* out);
+                       std::unique_ptr<DistPathFinder>* out,
+                       DistOptions options = DistOptions{});
 
   /// Finds the shortest path from s to t. Not-found is reported through
   /// `result->found`; the Status covers engine errors only.
   Status Find(node_id_t s, node_id_t t, DistPathResult* result);
 
-  /// The coordinator's database (statement counts feed DistQueryStats).
+  /// The session's database (statement counts feed DistQueryStats).
   Database* coordinator_db() { return coord_db_.get(); }
 
  private:
-  explicit DistPathFinder(ShardedGraphStore* store) : store_(store) {}
+  friend class DistCoordinator;
 
-  /// Queries the owner shards of `frontier` and ships their adjacency rows
+  explicit DistPathFinder(DistCoordinator* coord)
+      : coord_(coord), store_(coord->store()) {}
+
+  static Status CreateSession(DistCoordinator* coord,
+                              std::unique_ptr<DistPathFinder>* out);
+
+  /// Queries the owner shards of `frontier` — serially, or as one
+  /// thread-pool task per contacted shard — and ships their adjacency rows
   /// back as E-operator expansion rows (ExpansionSchema), deduplicated per
   /// reached node. Updates the shard-side clocks and counters.
   Status ExpandOnShards(const std::vector<node_id_t>& frontier, bool forward,
@@ -70,25 +91,14 @@ class DistPathFinder {
   Status WalkChain(const DirCols& dir, node_id_t from, node_id_t origin,
                    std::vector<node_id_t>* out);
 
+  DistCoordinator* coord_ = nullptr;
   ShardedGraphStore* store_ = nullptr;
+  /// Set only by the single-session Create() overload, which owns its
+  /// coordinator; sessions minted via NewSession() borrow theirs.
+  std::unique_ptr<DistCoordinator> owned_coord_;
   std::unique_ptr<Database> coord_db_;
   std::unique_ptr<VisitedTable> visited_;
   std::unique_ptr<FemEngine> fem_;
-
-  /// Per-shard SQL connection with the two edge-probe statements prepared
-  /// once at Create() — each expansion round only binds the frontier node
-  /// (`:n`) and executes, so shard-side steady state is parse-free, the
-  /// same contract SqlPathFinder has on the single-node engine. Used when
-  /// the shard's adjacency is indexed; the NoIndex strategy keeps the
-  /// single batched scan per shard (one statement answering the whole
-  /// frontier set, which per-node SQL probes cannot express without
-  /// IN-lists).
-  struct ShardConn {
-    std::unique_ptr<sql::SqlEngine> engine;
-    std::shared_ptr<sql::PreparedStatement> probe_fwd;  // out-edges by fid
-    std::shared_ptr<sql::PreparedStatement> probe_bwd;  // in-edges by tid
-  };
-  std::vector<ShardConn> shard_conns_;
 };
 
 }  // namespace relgraph

@@ -1,0 +1,107 @@
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/dist/sharded_graph.h"
+#include "src/sql/sql_engine.h"
+
+namespace relgraph {
+
+/// One expansion request from the coordinator to a shard: "expand these
+/// frontier nodes in this direction and send back your local adjacency
+/// rows". This is the whole coordinator->shard wire contract — a networked
+/// transport later only has to serialize this struct and its response.
+struct ShardExpandRequest {
+  bool forward = true;              // out-edges (fid) vs in-edges (tid)
+  std::vector<node_id_t> nodes;     // frontier ∩ shard (owner-routed)
+};
+
+/// One adjacency row shipped back: the frontier node it was expanded from,
+/// the node the edge reaches, and the edge cost. The coordinator finishes
+/// the E-operator (level + cost, rownum-1 dedup) on these.
+struct ShippedEdge {
+  node_id_t frontier_node = kInvalidNode;
+  node_id_t emit_node = kInvalidNode;
+  weight_t cost = 0;
+};
+
+/// The shard's answer: its matching adjacency rows plus the counters the
+/// coordinator folds into DistQueryStats.
+struct ShardExpandResponse {
+  std::vector<ShippedEdge> edges;
+  /// Logical coordinator->shard round-trips this request cost (always 1:
+  /// the conceptual `SELECT ... WHERE fid IN (<frontier ∩ shard>)`). The
+  /// shard's own Database additionally counts each prepared probe it runs.
+  int64_t statements = 0;
+  /// Shard-local service time (µs), measured after a connection is held —
+  /// queueing for a connection is coordinator-side wait, not shard work.
+  int64_t elapsed_us = 0;
+};
+
+/// The shard-side service boundary of the distributed engine. Exactly one
+/// method today because expansion is the only thing BSDJ asks of a shard;
+/// the interface is the seam where a networked transport (RPC stub
+/// implementing Expand) lands without touching the coordinator.
+///
+/// Implementations must be safe to call from many threads at once: the
+/// thread-pool coordinator issues one Expand per owner shard per round, and
+/// concurrent query sessions overlap their rounds freely.
+class ShardService {
+ public:
+  virtual ~ShardService() = default;
+  virtual Status Expand(const ShardExpandRequest& request,
+                        ShardExpandResponse* response) = 0;
+};
+
+/// In-process ShardService over one shard of a ShardedGraphStore.
+///
+/// Each shard keeps a fixed pool of *connections* — a per-connection
+/// SqlEngine with the two edge-probe statements prepared once at
+/// construction — and every Expand() checks one out for the duration of
+/// the request (blocking when all are busy, like a JDBC connection pool
+/// under load). Shard-side steady state is therefore parse-free and
+/// concurrent sessions never share a statement handle; what they do share
+/// is the shard's Database, whose read path is audited for concurrent
+/// readers (see the thread-safety notes on BufferPool, Table, and BTree —
+/// queries only read shard data, all writes happen at load time).
+class LocalShardService : public ShardService {
+ public:
+  static Status Create(ShardedGraphStore* store, int shard, int connections,
+                       std::unique_ptr<LocalShardService>* out);
+
+  Status Expand(const ShardExpandRequest& request,
+                ShardExpandResponse* response) override;
+
+  Database* db() const { return store_->shard_db(shard_); }
+  int connections() const { return static_cast<int>(conns_.size()); }
+
+ private:
+  LocalShardService(ShardedGraphStore* store, int shard)
+      : store_(store), shard_(shard) {}
+
+  /// One pooled shard connection: engine + prepared probes (null when the
+  /// shard's adjacency is not indexed; the NoIndex strategy answers the
+  /// whole frontier set with one batched scan instead, which per-node SQL
+  /// probes cannot express without IN-lists).
+  struct Conn {
+    std::unique_ptr<sql::SqlEngine> engine;
+    std::shared_ptr<sql::PreparedStatement> probe_fwd;  // out-edges by fid
+    std::shared_ptr<sql::PreparedStatement> probe_bwd;  // in-edges by tid
+  };
+
+  Conn* CheckoutConn();     // blocks until a connection is free
+  void ReturnConn(Conn* c);
+
+  ShardedGraphStore* store_;
+  int shard_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+
+  std::mutex mu_;
+  std::condition_variable conn_available_;
+  std::vector<Conn*> idle_;
+};
+
+}  // namespace relgraph

@@ -22,7 +22,7 @@ Status BuildShardTable(Catalog* catalog, const std::string& name,
       catalog->CreateTable(name, EdgeTableSchema(), topts, out));
   if (strategy == IndexStrategy::kIndex) {
     RELGRAPH_RETURN_IF_ERROR(
-        (*out)->CreateSecondaryIndex(key_col, /*unique=*/false));
+        catalog->CreateSecondaryIndex(*out, key_col, /*unique=*/false));
   }
   if (strategy == IndexStrategy::kCluIndex) {
     std::sort(edges.begin(), edges.end(),
@@ -61,7 +61,12 @@ Status ShardedGraphStore::Create(const EdgeList& list,
   store->shards_.resize(options.num_shards);
   for (int i = 0; i < options.num_shards; i++) {
     Shard& shard = store->shards_[i];
-    shard.db = std::make_unique<Database>(options.shard_db_options);
+    // Shard databases are shared by pooled connections of concurrent query
+    // sessions; their buffer pools must serve concurrent readers no matter
+    // what the caller's options say.
+    DatabaseOptions shard_opts = options.shard_db_options;
+    shard_opts.concurrent_readers = true;
+    shard.db = std::make_unique<Database>(shard_opts);
     Catalog* catalog = shard.db->catalog();
     RELGRAPH_RETURN_IF_ERROR(
         BuildShardTable(catalog, "TEdges", "fid", options.strategy,

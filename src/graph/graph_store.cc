@@ -51,8 +51,8 @@ Status GraphStore::Create(Database* db, const EdgeList& list,
     RELGRAPH_RETURN_IF_ERROR(catalog->CreateTable(p + "TNodes", node_schema,
                                                   topts, &store->nodes_));
     if (options.strategy == IndexStrategy::kIndex) {
-      RELGRAPH_RETURN_IF_ERROR(
-          store->nodes_->CreateSecondaryIndex("nid", /*unique=*/true));
+      RELGRAPH_RETURN_IF_ERROR(catalog->CreateSecondaryIndex(
+          store->nodes_, "nid", /*unique=*/true));
     }
     for (node_id_t u = 0; u < list.num_nodes; u++) {
       RELGRAPH_RETURN_IF_ERROR(
@@ -92,10 +92,10 @@ Status GraphStore::Create(Database* db, const EdgeList& list,
       RELGRAPH_RETURN_IF_ERROR(store->edges_out_->Insert(EdgeTableRow(e)));
     }
     if (options.strategy == IndexStrategy::kIndex) {
-      RELGRAPH_RETURN_IF_ERROR(
-          store->edges_out_->CreateSecondaryIndex("fid", /*unique=*/false));
-      RELGRAPH_RETURN_IF_ERROR(
-          store->edges_out_->CreateSecondaryIndex("tid", /*unique=*/false));
+      RELGRAPH_RETURN_IF_ERROR(catalog->CreateSecondaryIndex(
+          store->edges_out_, "fid", /*unique=*/false));
+      RELGRAPH_RETURN_IF_ERROR(catalog->CreateSecondaryIndex(
+          store->edges_out_, "tid", /*unique=*/false));
     }
   }
   *out = std::move(store);

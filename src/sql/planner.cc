@@ -1359,20 +1359,16 @@ Status Planner::ExecuteCreateIndex(const CreateIndexStmt& ci) {
   std::string resolved;
   RELGRAPH_RETURN_IF_ERROR(
       ResolveColumn("", ci.column, table->schema(), &resolved));
-  RELGRAPH_RETURN_IF_ERROR(
-      table->CreateSecondaryIndex(resolved, ci.unique, ci.index_name));
-  // New access path: cached plans must get a chance to pick it up.
-  db_->catalog()->BumpVersion();
-  return Status::OK();
+  // Catalog-owned DDL: the index lands and the catalog version bumps, so
+  // cached plans get a chance to pick the new access path up.
+  return db_->catalog()->CreateSecondaryIndex(table, resolved, ci.unique,
+                                              ci.index_name);
 }
 
 Status Planner::ExecuteDropIndex(const DropIndexStmt& di) {
   Table* table = nullptr;
   RELGRAPH_RETURN_IF_ERROR(FindTable(di.table, &table));
-  RELGRAPH_RETURN_IF_ERROR(table->DropSecondaryIndex(di.index_name));
-  // Plans probing the dropped index would fail at open; invalidate them.
-  db_->catalog()->BumpVersion();
-  return Status::OK();
+  return db_->catalog()->DropSecondaryIndex(table, di.index_name);
 }
 
 // ----- bind + execute --------------------------------------------------------

@@ -60,26 +60,41 @@ Status PreparedStatement::ExplainBound(const SqlParams& params,
 
 Status SqlEngine::Prepare(const std::string& statement,
                           std::shared_ptr<PreparedStatement>* out) {
-  if (cache_capacity_ > 0) {
-    auto it = cache_.find(statement);
-    if (it != cache_.end()) {
-      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
-      db_->RecordPlanCacheHit();
-      *out = it->second.stmt;
-      return Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    if (cache_capacity_ > 0) {
+      auto it = cache_.find(statement);
+      if (it != cache_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+        db_->RecordPlanCacheHit();
+        *out = it->second.stmt;
+        return Status::OK();
+      }
     }
   }
+  // Parse + compile outside the lock (the slow path); a racing thread
+  // preparing the same text at worst compiles twice and the second insert
+  // replaces the first — both handles stay valid (shared ownership).
   std::unique_ptr<Statement> ast;
   RELGRAPH_RETURN_IF_ERROR(Parser::Parse(statement, &ast));
   std::shared_ptr<PreparedStatement> ps(
       new PreparedStatement(db_, statement, std::move(ast)));
   RELGRAPH_RETURN_IF_ERROR(ps->CompileNow());
-  if (cache_capacity_ > 0) {
-    lru_.push_front(statement);
-    cache_[statement] = {ps, lru_.begin()};
-    while (cache_.size() > cache_capacity_) {
-      cache_.erase(lru_.back());
-      lru_.pop_back();
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    if (cache_capacity_ > 0) {
+      auto it = cache_.find(statement);
+      if (it != cache_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+        it->second.stmt = ps;
+      } else {
+        lru_.push_front(statement);
+        cache_[statement] = {ps, lru_.begin()};
+      }
+      while (cache_.size() > cache_capacity_) {
+        cache_.erase(lru_.back());
+        lru_.pop_back();
+      }
     }
   }
   *out = std::move(ps);
@@ -129,6 +144,7 @@ Status SqlEngine::Explain(const std::string& statement, std::string* plan,
 }
 
 void SqlEngine::SetPlanCacheCapacity(size_t n) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
   cache_capacity_ = n;
   while (cache_.size() > cache_capacity_) {
     cache_.erase(lru_.back());

@@ -2,6 +2,7 @@
 
 #include <list>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -81,7 +82,15 @@ class PreparedStatement {
 /// plan back (DatabaseStats::plan_cache_hits), so even text-only callers
 /// pay parse+plan once per distinct statement; explicit Prepare() skips
 /// the text lookup entirely. DDL invalidates via the catalog version.
-/// The engine is single-session, like the rest of the stack.
+///
+/// The text-keyed cache itself is mutex-guarded, so concurrent Prepare()
+/// calls on a shared engine cannot corrupt it. That does NOT make
+/// concurrent *execution* safe: Execute() of the same text from two
+/// threads hands both the same cached handle, and a PreparedStatement
+/// must never run on two threads at once (binding mutates its plan).
+/// Concurrent executors need their own connection — exactly what the
+/// distributed shard pool does, one engine + handles per pooled
+/// connection; the cache lock is a guard rail, not a session model.
 class SqlEngine {
  public:
   explicit SqlEngine(Database* db) : db_(db) {}
@@ -121,10 +130,14 @@ class SqlEngine {
   /// text-interface regime (bench_sql_client's "text" series uses this to
   /// measure exactly what prepared execution removes).
   void SetPlanCacheCapacity(size_t n);
-  size_t plan_cache_size() const { return cache_.size(); }
+  size_t plan_cache_size() const {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    return cache_.size();
+  }
 
  private:
   Database* db_;
+  mutable std::mutex cache_mu_;  // guards cache_, lru_, cache_capacity_
   size_t cache_capacity_ = 128;
   std::list<std::string> lru_;  // front = most recently used
   struct CacheEntry {

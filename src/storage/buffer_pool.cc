@@ -4,8 +4,11 @@
 
 namespace relgraph {
 
-BufferPool::BufferPool(size_t pool_size, DiskManager* disk)
-    : disk_(disk), replacer_(pool_size) {
+BufferPool::BufferPool(size_t pool_size, DiskManager* disk,
+                       bool concurrent_readers)
+    : concurrent_readers_(concurrent_readers),
+      disk_(disk),
+      replacer_(pool_size) {
   frames_.reserve(pool_size);
   for (size_t i = 0; i < pool_size; i++) {
     frames_.push_back(std::make_unique<Page>());
@@ -36,6 +39,7 @@ Status BufferPool::GetFreeFrame(frame_id_t* frame_id) {
 }
 
 Status BufferPool::FetchPage(page_id_t page_id, Page** out) {
+  OptionalLock lock(this);
   auto it = page_table_.find(page_id);
   if (it != page_table_.end()) {
     stats_.hits++;
@@ -63,6 +67,7 @@ Status BufferPool::FetchPage(page_id_t page_id, Page** out) {
 }
 
 Status BufferPool::NewPage(page_id_t* page_id, Page** out) {
+  OptionalLock lock(this);
   frame_id_t frame;
   RELGRAPH_RETURN_IF_ERROR(GetFreeFrame(&frame));
   *page_id = disk_->AllocatePage();
@@ -77,6 +82,7 @@ Status BufferPool::NewPage(page_id_t* page_id, Page** out) {
 }
 
 Status BufferPool::UnpinPage(page_id_t page_id, bool is_dirty) {
+  OptionalLock lock(this);
   auto it = page_table_.find(page_id);
   if (it == page_table_.end()) {
     return Status::NotFound("unpin of non-resident page " +
@@ -94,6 +100,7 @@ Status BufferPool::UnpinPage(page_id_t page_id, bool is_dirty) {
 }
 
 Status BufferPool::FlushPage(page_id_t page_id) {
+  OptionalLock lock(this);
   auto it = page_table_.find(page_id);
   if (it == page_table_.end()) return Status::OK();
   Page* page = frames_[it->second].get();
@@ -105,6 +112,7 @@ Status BufferPool::FlushPage(page_id_t page_id) {
 }
 
 Status BufferPool::FlushAll() {
+  OptionalLock lock(this);
   for (const auto& [page_id, frame] : page_table_) {
     Page* page = frames_[frame].get();
     if (page->is_dirty_) {
@@ -116,6 +124,7 @@ Status BufferPool::FlushAll() {
 }
 
 size_t BufferPool::PinnedFrames() const {
+  OptionalLock lock(this);
   size_t n = 0;
   for (const auto& f : frames_) {
     if (f->pin_count() > 0) n++;

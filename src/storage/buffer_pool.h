@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -51,9 +52,22 @@ struct BufferPoolStats {
 ///   pool.UnpinPage(id, /*dirty=*/true_if_modified);
 /// Pinned pages are never evicted; fetching when every frame is pinned
 /// returns ResourceExhausted.
+///
+/// Thread-safety: with `concurrent_readers` set, every public operation
+/// takes the pool mutex, so any number of threads may fetch/unpin
+/// concurrently — the regime the distributed shard services run in, where
+/// pooled connections of concurrent query sessions read one shard's pages
+/// at once. Page *data* is read outside the mutex while pinned; that is
+/// safe for concurrent readers (shard data is written only at load time)
+/// but writers still require external serialization — the engine remains
+/// single-writer per database. The flag defaults to off because the
+/// fetch/unpin pair is the engine's hottest path: single-session
+/// databases (every single-node workload, each dist session's TVisited)
+/// must not pay a lock per page access, and correctly do not.
 class BufferPool {
  public:
-  BufferPool(size_t pool_size, DiskManager* disk);
+  BufferPool(size_t pool_size, DiskManager* disk,
+             bool concurrent_readers = false);
 
   /// Pins page `page_id`, reading it from disk on a miss.
   Status FetchPage(page_id_t page_id, Page** out);
@@ -71,16 +85,44 @@ class BufferPool {
   Status FlushAll();
 
   size_t pool_size() const { return frames_.size(); }
+  bool concurrent_readers() const { return concurrent_readers_; }
+  /// Counters mutate under the pool lock discipline; read them
+  /// quiescently (between queries), like every other stats block.
   const BufferPoolStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = BufferPoolStats{}; }
+  void ResetStats() {
+    OptionalLock lock(this);
+    stats_ = BufferPoolStats{};
+  }
   DiskManager* disk() { return disk_; }
 
   /// Number of currently pinned frames (test/diagnostic hook).
   size_t PinnedFrames() const;
 
  private:
+  /// Takes mu_ only when the pool is in concurrent-readers mode — one
+  /// predicted branch instead of an atomic RMW pair on the single-session
+  /// hot path.
+  class OptionalLock {
+   public:
+    explicit OptionalLock(const BufferPool* pool)
+        : mu_(pool->concurrent_readers_ ? &pool->mu_ : nullptr) {
+      if (mu_ != nullptr) mu_->lock();
+    }
+    ~OptionalLock() {
+      if (mu_ != nullptr) mu_->unlock();
+    }
+    OptionalLock(const OptionalLock&) = delete;
+    OptionalLock& operator=(const OptionalLock&) = delete;
+
+   private:
+    std::mutex* mu_;
+  };
+
+  /// Requires the pool lock (when in concurrent-readers mode).
   Status GetFreeFrame(frame_id_t* frame_id);
 
+  const bool concurrent_readers_;
+  mutable std::mutex mu_;
   DiskManager* disk_;
   std::vector<std::unique_ptr<Page>> frames_;
   std::vector<frame_id_t> free_list_;

@@ -187,6 +187,43 @@ TEST_F(SqlPreparedTest, CreateAndDropIndexFlipExplainOnTheSameHandle) {
   EXPECT_EQ(r.rows[0].value(0).AsInt(), 10);
 }
 
+// The catalog-version hole the native setup paths used to have: index DDL
+// issued *outside* the SQL surface (Catalog::CreateSecondaryIndex on a
+// Table*, the route GraphStore/VisitedTable construction takes) must bump
+// the catalog version too, so prepared handles re-plan exactly as they do
+// for `create index` statements.
+TEST_F(SqlPreparedTest, NativeIndexDdlReplansPreparedHandles) {
+  Run("create table t (a int, b int)");
+  Run("insert into t values (1, 10), (2, 20)");
+  auto ps = Prep("select b from t where a = :x");
+
+  std::string plan;
+  ASSERT_TRUE(ps->ExplainBound({{"x", Value(int64_t{2})}}, &plan).ok());
+  EXPECT_NE(plan.find("SeqScan"), std::string::npos) << plan;
+
+  // Native (non-SQL) index creation through the catalog-owned API.
+  Table* table = db_.catalog()->GetTable("t");
+  ASSERT_NE(table, nullptr);
+  const uint64_t version_before = db_.catalog()->version();
+  ASSERT_TRUE(
+      db_.catalog()->CreateSecondaryIndex(table, "a", /*unique=*/false).ok());
+  EXPECT_GT(db_.catalog()->version(), version_before);
+
+  // The existing handle picks the new access path up on its next use.
+  ASSERT_TRUE(ps->ExplainBound({{"x", Value(int64_t{2})}}, &plan).ok());
+  EXPECT_NE(plan.find("IndexRangeScan: t.a in [2, 2]"), std::string::npos)
+      << plan;
+
+  // Native drop invalidates again.
+  ASSERT_TRUE(db_.catalog()->DropSecondaryIndex(table, "a").ok());
+  ASSERT_TRUE(ps->ExplainBound({{"x", Value(int64_t{2})}}, &plan).ok());
+  EXPECT_NE(plan.find("SeqScan"), std::string::npos) << plan;
+  SqlResult r;
+  ASSERT_TRUE(ps->Execute({{"x", Value(int64_t{2})}}, &r).ok());
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0].value(0).AsInt(), 20);
+}
+
 TEST_F(SqlPreparedTest, PreparedStatementSurvivesDataChangesWithoutReplan) {
   Run("create table t (a int)");
   auto count = Prep("select count(*) from t");
