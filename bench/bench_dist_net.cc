@@ -1,0 +1,127 @@
+// Networked-transport bench: the same distributed BSDJ workload through
+// in-process shard services vs loopback TCP ShardServers — what one hop of
+// real wire (framing, syscalls, a round trip per contacted shard per
+// round) costs on top of the function call it replaces.
+//
+// JSON records (RELGRAPH_JSON): label dist_net/<transport>, context
+// shards. The deterministic metrics (`visited` = rows_shipped,
+// `statements`, found/total) are asserted identical across transports
+// before emitting — the bench itself enforces the transport-invisibility
+// invariant — so the diff_bench gate pins them exactly and any drift in
+// either transport fails CI.
+#include <cstdlib>
+
+#include "bench_common.h"
+#include "src/dist/dist_path_finder.h"
+#include "src/dist/sharded_graph.h"
+#include "src/net/shard_server.h"
+
+namespace relgraph {
+namespace bench {
+namespace {
+
+struct NetAvg {
+  double wall_s = 0;  // measured serial clock per query
+  double rows_shipped = 0;
+  double statements = 0;
+  int found = 0;
+  int total = 0;
+};
+
+NetAvg RunPairs(DistPathFinder* finder,
+                const std::vector<std::pair<node_id_t, node_id_t>>& pairs) {
+  NetAvg avg;
+  for (const auto& [s, t] : pairs) {
+    DistPathResult r;
+    Check(finder->Find(s, t, &r), "DistPathFinder::Find");
+    avg.wall_s += static_cast<double>(r.stats.serial_us) / 1e6;
+    avg.rows_shipped += static_cast<double>(r.stats.rows_shipped);
+    avg.statements += static_cast<double>(r.stats.shard_statements +
+                                          r.stats.coordinator_statements);
+    if (r.found) avg.found++;
+    avg.total++;
+  }
+  int q = std::max(avg.total, 1);
+  avg.wall_s /= q;
+  avg.rows_shipped /= q;
+  avg.statements /= q;
+  return avg;
+}
+
+void EmitJson(const std::string& label, const NetAvg& avg) {
+  AvgResult a;
+  a.time_s = avg.wall_s;
+  a.visited = avg.rows_shipped;
+  a.statements = avg.statements;
+  a.found = avg.found;
+  a.total = avg.total;
+  JsonRecord(label, a);
+}
+
+void Run() {
+  Banner("Networked shard transport (loopback)",
+         "in-process shard services vs TCP ShardServers, serial coordinator",
+         "The loopback column pays framing + syscalls + one round trip per "
+         "contacted shard per round; rows_shipped and statements must be "
+         "bit-identical across transports (asserted) — only the clock may "
+         "move. The gap bounds the per-round wire tax a real deployment "
+         "starts from before network latency is added");
+  BenchEnv env = GetEnv();
+  int64_t n = Scaled(8000);
+  EdgeList list = GenerateBarabasiAlbert(n, 3, WeightRange{1, 100}, 4242);
+  auto pairs = MakeQueryPairs(n, env.queries, 24242);
+
+  std::printf("%8s %12s %14s %10s %14s %14s\n", "shards", "local_s",
+              "loopback_s", "wire_tax", "rows_shipped", "stmts");
+  for (int shards : {2, 4}) {
+    ShardedGraphOptions sopts;
+    sopts.num_shards = shards;
+    std::unique_ptr<ShardedGraphStore> store;
+    Check(ShardedGraphStore::Create(list, sopts, &store),
+          "ShardedGraphStore::Create");
+    JsonContext("shards", shards);
+
+    // All-local baseline.
+    std::unique_ptr<DistPathFinder> local;
+    Check(DistPathFinder::Create(store.get(), &local), "local finder");
+    NetAvg l = RunPairs(local.get(), pairs);
+    EmitJson("dist_net/local", l);
+
+    // Every shard behind a loopback ShardServer.
+    std::vector<std::unique_ptr<net::ShardServer>> servers;
+    DistOptions dopts;
+    for (int s = 0; s < shards; s++) {
+      std::unique_ptr<net::ShardServer> server;
+      Check(net::ShardServer::Start(store.get(), s, net::ShardServerOptions{},
+                                    &server),
+            "ShardServer::Start");
+      dopts.shard_endpoints.push_back("127.0.0.1:" +
+                                      std::to_string(server->port()));
+      servers.push_back(std::move(server));
+    }
+    std::unique_ptr<DistPathFinder> remote;
+    Check(DistPathFinder::Create(store.get(), &remote, dopts),
+          "loopback finder");
+    NetAvg r = RunPairs(remote.get(), pairs);
+    EmitJson("dist_net/loopback", r);
+
+    // The invariant the whole transport hangs on.
+    if (l.rows_shipped != r.rows_shipped || l.statements != r.statements ||
+        l.found != r.found) {
+      std::fprintf(stderr,
+                   "FATAL: loopback transport drifted from local results "
+                   "(shards=%d)\n", shards);
+      std::exit(1);
+    }
+
+    std::printf("%8d %12.4f %14.4f %9.2fx %14.0f %14.0f\n", shards, l.wall_s,
+                r.wall_s, l.wall_s > 0 ? r.wall_s / l.wall_s : 0.0,
+                l.rows_shipped, l.statements);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace relgraph
+
+int main() { relgraph::bench::Run(); }

@@ -25,6 +25,10 @@ const char* CodeName(Status::Code code) {
       return "AlreadyExists";
     case Status::Code::kInternal:
       return "Internal";
+    case Status::Code::kUnavailable:
+      return "Unavailable";
+    case Status::Code::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

@@ -23,6 +23,8 @@ class Status {
     kResourceExhausted,
     kAlreadyExists,
     kInternal,
+    kUnavailable,
+    kDeadlineExceeded,
   };
 
   Status() : code_(Code::kOk) {}
@@ -55,6 +57,18 @@ class Status {
   static Status Internal(std::string msg = "") {
     return Status(Code::kInternal, std::move(msg));
   }
+  /// A dependency (a shard server, a pooled connection) cannot serve the
+  /// request right now. Retryable by policy: the networked shard client
+  /// retries with backoff and surfaces this — never a hang — when the
+  /// budget is spent or its circuit breaker is open.
+  static Status Unavailable(std::string msg = "") {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
+  /// The per-request deadline expired before the operation completed
+  /// (connect, send, or receive on the shard wire).
+  static Status DeadlineExceeded(std::string msg = "") {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -65,6 +79,11 @@ class Status {
     return code_ == Code::kResourceExhausted;
   }
   bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code_ == Code::kDeadlineExceeded;
+  }
 
   Code code() const { return code_; }
   const std::string& message() const { return msg_; }

@@ -12,13 +12,17 @@ ThreadPool::ThreadPool(int num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;  // second caller: workers already joined/joining
     stopping_ = true;
   }
   cv_.notify_all();
   for (std::thread& w : workers_) w.join();
+  workers_.clear();
 }
 
 void ThreadPool::WorkerLoop() {

@@ -5,6 +5,7 @@
 #include <future>
 #include <mutex>
 #include <queue>
+#include <stdexcept>
 #include <thread>
 #include <type_traits>
 #include <utility>
@@ -27,16 +28,29 @@ namespace relgraph {
 class ThreadPool {
  public:
   explicit ThreadPool(int num_threads);
-  ~ThreadPool();  // drains the queue, then joins every worker
+  ~ThreadPool();  // Shutdown(): drains the queue, then joins every worker
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   int size() const { return static_cast<int>(workers_.size()); }
 
+  /// Begins shutdown: no further Submit() is accepted, tasks already
+  /// queued still run, and every worker is joined before this returns.
+  /// Idempotent; the destructor calls it. Without the Submit()-side
+  /// stopping_ check this was a race: a task enqueued concurrently with
+  /// destruction could land *after* a drained worker's queue-empty exit
+  /// check, and its future would block forever with nobody left to run it.
+  void Shutdown();
+
   /// Enqueues `fn` and returns a future for its result. The future's
   /// get()/wait() is the only completion signal; exceptions propagate
   /// through it (the engine's own tasks return Status instead of throwing).
+  ///
+  /// Submitting after Shutdown() has begun is refused: the task is
+  /// dropped (never run) and the returned future holds a
+  /// std::runtime_error("ThreadPool is shut down") instead of blocking on
+  /// a result no worker will ever produce.
   template <typename F>
   auto Submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
@@ -45,6 +59,12 @@ class ThreadPool {
     std::future<R> result = task->get_future();
     {
       std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) {
+        std::promise<R> refused;
+        refused.set_exception(std::make_exception_ptr(
+            std::runtime_error("ThreadPool is shut down")));
+        return refused.get_future();
+      }
       queue_.push([task] { (*task)(); });
     }
     cv_.notify_one();

@@ -6,6 +6,43 @@
 
 namespace relgraph {
 
+namespace {
+
+/// Splits "host:port" (port in (0, 65535]); empty host defaults to
+/// loopback.
+Status ParseEndpoint(const std::string& endpoint, std::string* host,
+                     uint16_t* port) {
+  const size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument("shard endpoint '" + endpoint +
+                                   "' is not host:port");
+  }
+  *host = endpoint.substr(0, colon);
+  if (host->empty()) *host = "127.0.0.1";
+  const std::string port_str = endpoint.substr(colon + 1);
+  int parsed = 0;
+  bool valid = !port_str.empty();
+  for (char c : port_str) {
+    if (c < '0' || c > '9') {
+      valid = false;
+      break;
+    }
+    parsed = parsed * 10 + (c - '0');
+    if (parsed > 65535) {
+      valid = false;
+      break;
+    }
+  }
+  if (!valid || parsed <= 0) {
+    return Status::InvalidArgument("bad port in shard endpoint '" +
+                                   endpoint + "'");
+  }
+  *port = static_cast<uint16_t>(parsed);
+  return Status::OK();
+}
+
+}  // namespace
+
 Status DistCoordinator::Create(ShardedGraphStore* store, DistOptions options,
                                std::unique_ptr<DistCoordinator>* out) {
   if (store == nullptr) {
@@ -17,13 +54,37 @@ Status DistCoordinator::Create(ShardedGraphStore* store, DistOptions options,
   if (options.connections_per_shard < 1) {
     return Status::InvalidArgument("connections_per_shard must be >= 1");
   }
+  if (!options.shard_endpoints.empty() &&
+      static_cast<int>(options.shard_endpoints.size()) !=
+          store->num_shards()) {
+    return Status::InvalidArgument(
+        "shard_endpoints must name every shard (one entry per shard, \"\" "
+        "for in-process)");
+  }
   auto coord = std::unique_ptr<DistCoordinator>(
       new DistCoordinator(store, options));
   coord->services_.resize(store->num_shards());
   for (int shard = 0; shard < store->num_shards(); shard++) {
-    RELGRAPH_RETURN_IF_ERROR(LocalShardService::Create(
-        store, shard, options.connections_per_shard,
-        &coord->services_[shard]));
+    const std::string endpoint =
+        options.shard_endpoints.empty() ? std::string()
+                                        : options.shard_endpoints[shard];
+    if (endpoint.empty()) {
+      LocalShardOptions lopts;
+      lopts.connections = options.connections_per_shard;
+      lopts.checkout_timeout_ms = options.checkout_timeout_ms;
+      std::unique_ptr<LocalShardService> local;
+      RELGRAPH_RETURN_IF_ERROR(
+          LocalShardService::Create(store, shard, lopts, &local));
+      coord->services_[shard] = std::move(local);
+    } else {
+      std::string host;
+      uint16_t port = 0;
+      RELGRAPH_RETURN_IF_ERROR(ParseEndpoint(endpoint, &host, &port));
+      std::unique_ptr<net::RemoteShardService> remote;
+      RELGRAPH_RETURN_IF_ERROR(net::RemoteShardService::Connect(
+          host, port, shard, store->num_shards(), options.remote, &remote));
+      coord->services_[shard] = std::move(remote);
+    }
   }
   if (options.num_threads > 0) {
     coord->pool_ = std::make_unique<ThreadPool>(options.num_threads);

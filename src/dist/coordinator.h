@@ -1,11 +1,13 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/common/thread_pool.h"
 #include "src/dist/shard_service.h"
 #include "src/dist/sharded_graph.h"
+#include "src/net/remote_shard_service.h"
 
 namespace relgraph {
 
@@ -20,19 +22,32 @@ struct DistOptions {
   /// task per contacted shard on a shared pool and `parallel_us` becomes a
   /// *measured* wall clock.
   int num_threads = 0;
-  /// Pooled connections per shard. Each query session holds at most one
-  /// connection per shard at a time, so this bounds how many sessions can
-  /// expand on the same shard simultaneously; additional sessions queue.
+  /// Pooled connections per (in-process) shard. Each query session holds at
+  /// most one connection per shard at a time, so this bounds how many
+  /// sessions can expand on the same shard simultaneously; additional
+  /// sessions queue, up to checkout_timeout_ms.
   int connections_per_shard = 1;
+  /// How long a session may queue for a local shard connection before the
+  /// round fails with Status::Unavailable (see LocalShardOptions).
+  int64_t checkout_timeout_ms = 30'000;
+  /// Transport per shard: one "host:port" endpoint per shard served by a
+  /// net::ShardServer, or "" for the in-process LocalShardService. An
+  /// empty vector keeps every shard local (the default single-process
+  /// deployment); otherwise the size must equal the store's shard count.
+  /// Mixing is fully supported — the coordinator's merge logic cannot
+  /// tell, which is the point of the ShardService seam.
+  std::vector<std::string> shard_endpoints;
+  /// Failure-handling knobs applied to every remote shard stub.
+  net::RemoteShardOptions remote;
 };
 
 /// Process-wide coordinator state for distributed BSDJ over one
-/// ShardedGraphStore: the shard services (each with its prepared-statement
-/// connection pool) and the worker pool that runs expansion rounds. Query
-/// sessions (DistPathFinder) are created from here — each owns its own
-/// coordinator-local TVisited and FEM engine, so N sessions run Find()
-/// concurrently against the shared shard pool, the "many clients, one
-/// cluster" shape of the north star.
+/// ShardedGraphStore: the shard services (in-process pools and/or remote
+/// stubs dialing net::ShardServers) and the worker pool that runs
+/// expansion rounds. Query sessions (DistPathFinder) are created from
+/// here — each owns its own coordinator-local TVisited and FEM engine, so
+/// N sessions run Find() concurrently against the shared shard set, the
+/// "many clients, one cluster" shape of the north star.
 class DistCoordinator {
  public:
   static Status Create(ShardedGraphStore* store, DistOptions options,
@@ -53,11 +68,11 @@ class DistCoordinator {
 
  private:
   DistCoordinator(ShardedGraphStore* store, DistOptions options)
-      : store_(store), options_(options) {}
+      : store_(store), options_(std::move(options)) {}
 
   ShardedGraphStore* store_;
   DistOptions options_;
-  std::vector<std::unique_ptr<LocalShardService>> services_;
+  std::vector<std::unique_ptr<ShardService>> services_;
   std::unique_ptr<ThreadPool> pool_;
 };
 

@@ -1,5 +1,6 @@
 #include "src/dist/shard_service.h"
 
+#include <chrono>
 #include <unordered_set>
 #include <utility>
 
@@ -8,14 +9,17 @@
 namespace relgraph {
 
 Status LocalShardService::Create(ShardedGraphStore* store, int shard,
-                                 int connections,
+                                 LocalShardOptions options,
                                  std::unique_ptr<LocalShardService>* out) {
-  if (connections < 1) {
+  if (options.connections < 1) {
     return Status::InvalidArgument("shard connection pool must be >= 1");
   }
+  if (options.checkout_timeout_ms < 1) {
+    return Status::InvalidArgument("checkout timeout must be >= 1 ms");
+  }
   auto svc = std::unique_ptr<LocalShardService>(
-      new LocalShardService(store, shard));
-  for (int i = 0; i < connections; i++) {
+      new LocalShardService(store, shard, options));
+  for (int i = 0; i < options.connections; i++) {
     auto conn = std::make_unique<Conn>();
     conn->engine = std::make_unique<sql::SqlEngine>(store->shard_db(shard));
     if (store->out_edges(shard)->HasIndexOn("fid")) {
@@ -37,12 +41,24 @@ Status LocalShardService::Create(ShardedGraphStore* store, int shard,
   return Status::OK();
 }
 
-LocalShardService::Conn* LocalShardService::CheckoutConn() {
+Status LocalShardService::CheckoutConn(Conn** out) {
   std::unique_lock<std::mutex> lock(mu_);
-  conn_available_.wait(lock, [this] { return !idle_.empty(); });
-  Conn* c = idle_.back();
+  // Deadline-bounded wait: a pool held busy past the timeout surfaces as
+  // the same typed Unavailable the remote transport degrades to, instead
+  // of wedging the session forever (the pre-fix behavior).
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(options_.checkout_timeout_ms);
+  if (!conn_available_.wait_until(lock, deadline,
+                                  [this] { return !idle_.empty(); })) {
+    return Status::Unavailable(
+        "shard " + std::to_string(shard_) + " connection pool exhausted (" +
+        std::to_string(conns_.size()) + " connections busy for " +
+        std::to_string(options_.checkout_timeout_ms) + " ms)");
+  }
+  *out = idle_.back();
   idle_.pop_back();
-  return c;
+  return Status::OK();
 }
 
 void LocalShardService::ReturnConn(Conn* c) {
@@ -53,10 +69,36 @@ void LocalShardService::ReturnConn(Conn* c) {
   conn_available_.notify_one();
 }
 
+Status LocalShardService::DebugCheckoutConn(void** handle) {
+  Conn* conn = nullptr;
+  RELGRAPH_RETURN_IF_ERROR(CheckoutConn(&conn));
+  *handle = conn;
+  return Status::OK();
+}
+
+void LocalShardService::DebugReturnConn(void* handle) {
+  ReturnConn(static_cast<Conn*>(handle));
+}
+
+bool LocalShardService::ProbeFaultFires() {
+  // The countdown parks at 0 once spent, so the fault stays sticky until
+  // ClearFaults — mirroring DiskManager's injection semantics.
+  int64_t cur = probe_fault_in_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (cur < 0) return false;
+    if (cur == 0) return true;
+    if (probe_fault_in_.compare_exchange_weak(cur, cur - 1,
+                                              std::memory_order_relaxed)) {
+      return false;
+    }
+  }
+}
+
 Status LocalShardService::Expand(const ShardExpandRequest& request,
                                  ShardExpandResponse* response) {
   *response = ShardExpandResponse{};
-  Conn* conn = CheckoutConn();
+  Conn* conn = nullptr;
+  RELGRAPH_RETURN_IF_ERROR(CheckoutConn(&conn));
   Timer timer;
   // One logical round-trip to this shard per request (the conceptual
   // `... WHERE fid IN (<frontier ∩ shard>)` statement); the shard's own
@@ -65,11 +107,16 @@ Status LocalShardService::Expand(const ShardExpandRequest& request,
   Status st;
   const std::shared_ptr<sql::PreparedStatement>& probe =
       request.forward ? conn->probe_fwd : conn->probe_bwd;
+  const bool fault_armed = probe_fault_in_.load(std::memory_order_relaxed) >= 0;
   if (probe != nullptr) {
     // Indexed shard: bind-and-execute the prepared point probe per frontier
     // node — the same index range scan the native path built by hand, now
     // through the shard's SQL surface with zero re-planning.
     for (node_id_t n : request.nodes) {
+      if (fault_armed && ProbeFaultFires()) {
+        st = Status::Internal("injected probe fault");
+        break;
+      }
       sql::SqlResult r;
       st = probe->Execute({{"n", Value(n)}}, &r);
       if (!st.ok()) break;
@@ -81,24 +128,34 @@ Status LocalShardService::Expand(const ShardExpandRequest& request,
   } else {
     // NoIndex shard: one batched scan answers the whole frontier set.
     db()->RecordStatement();
-    Table* table = request.forward ? store_->out_edges(shard_)
-                                   : store_->in_edges(shard_);
-    const size_t frontier_idx = request.forward ? 0 : 1;
-    const size_t emit_idx = request.forward ? 1 : 0;
-    std::unordered_set<node_id_t> wanted(request.nodes.begin(),
-                                         request.nodes.end());
-    Table::Iterator it = table->Scan();
-    Tuple row;
-    while (it.Next(&row, nullptr)) {
-      node_id_t key = row.value(frontier_idx).AsInt();
-      if (!wanted.count(key)) continue;
-      response->edges.push_back(
-          {key, row.value(emit_idx).AsInt(), row.value(2).AsInt()});
+    if (fault_armed && ProbeFaultFires()) {
+      st = Status::Internal("injected probe fault");
+    } else {
+      Table* table = request.forward ? store_->out_edges(shard_)
+                                     : store_->in_edges(shard_);
+      const size_t frontier_idx = request.forward ? 0 : 1;
+      const size_t emit_idx = request.forward ? 1 : 0;
+      std::unordered_set<node_id_t> wanted(request.nodes.begin(),
+                                           request.nodes.end());
+      Table::Iterator it = table->Scan();
+      Tuple row;
+      while (it.Next(&row, nullptr)) {
+        node_id_t key = row.value(frontier_idx).AsInt();
+        if (!wanted.count(key)) continue;
+        response->edges.push_back(
+            {key, row.value(emit_idx).AsInt(), row.value(2).AsInt()});
+      }
+      st = it.status();
     }
-    st = it.status();
   }
   response->elapsed_us = timer.ElapsedMicros();
   ReturnConn(conn);
+  if (!st.ok()) {
+    // Error contract (see ShardService): never leak a partial response.
+    // A retrying caller folding these edges/stats in *again* after the
+    // retry succeeds would double-count them.
+    *response = ShardExpandResponse{};
+  }
   return st;
 }
 

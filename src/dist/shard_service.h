@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
@@ -12,11 +13,14 @@ namespace relgraph {
 
 /// One expansion request from the coordinator to a shard: "expand these
 /// frontier nodes in this direction and send back your local adjacency
-/// rows". This is the whole coordinator->shard wire contract — a networked
-/// transport later only has to serialize this struct and its response.
+/// rows". This is the whole coordinator->shard wire contract — the
+/// networked transport (src/net) serializes exactly this struct and its
+/// response.
 struct ShardExpandRequest {
   bool forward = true;              // out-edges (fid) vs in-edges (tid)
   std::vector<node_id_t> nodes;     // frontier ∩ shard (owner-routed)
+
+  bool operator==(const ShardExpandRequest&) const = default;
 };
 
 /// One adjacency row shipped back: the frontier node it was expanded from,
@@ -26,6 +30,8 @@ struct ShippedEdge {
   node_id_t frontier_node = kInvalidNode;
   node_id_t emit_node = kInvalidNode;
   weight_t cost = 0;
+
+  bool operator==(const ShippedEdge&) const = default;
 };
 
 /// The shard's answer: its matching adjacency rows plus the counters the
@@ -39,16 +45,24 @@ struct ShardExpandResponse {
   /// Shard-local service time (µs), measured after a connection is held —
   /// queueing for a connection is coordinator-side wait, not shard work.
   int64_t elapsed_us = 0;
+
+  bool operator==(const ShardExpandResponse&) const = default;
 };
 
 /// The shard-side service boundary of the distributed engine. Exactly one
 /// method today because expansion is the only thing BSDJ asks of a shard;
-/// the interface is the seam where a networked transport (RPC stub
-/// implementing Expand) lands without touching the coordinator.
+/// the interface is the seam where the networked transport
+/// (net::RemoteShardService, an RPC stub implementing Expand) lands
+/// without touching the coordinator.
 ///
 /// Implementations must be safe to call from many threads at once: the
 /// thread-pool coordinator issues one Expand per owner shard per round, and
 /// concurrent query sessions overlap their rounds freely.
+///
+/// Error contract: on a non-OK Status, `*response` is left EMPTY
+/// (default-constructed). Callers retry Expand — the remote stub does so
+/// transparently — and a partially filled response surviving a failed
+/// attempt would double-count edges and statements on the retry.
 class ShardService {
  public:
   virtual ~ShardService() = default;
@@ -56,20 +70,32 @@ class ShardService {
                         ShardExpandResponse* response) = 0;
 };
 
+/// Knobs for the in-process shard service.
+struct LocalShardOptions {
+  /// Pooled connections (each its own SqlEngine + prepared probes).
+  int connections = 1;
+  /// How long one Expand() may wait for a pooled connection before giving
+  /// up with Status::Unavailable — the same typed error the remote path
+  /// degrades to, so pool exhaustion is reported, not a wedged session.
+  int64_t checkout_timeout_ms = 30'000;
+};
+
 /// In-process ShardService over one shard of a ShardedGraphStore.
 ///
 /// Each shard keeps a fixed pool of *connections* — a per-connection
 /// SqlEngine with the two edge-probe statements prepared once at
 /// construction — and every Expand() checks one out for the duration of
-/// the request (blocking when all are busy, like a JDBC connection pool
-/// under load). Shard-side steady state is therefore parse-free and
-/// concurrent sessions never share a statement handle; what they do share
-/// is the shard's Database, whose read path is audited for concurrent
-/// readers (see the thread-safety notes on BufferPool, Table, and BTree —
-/// queries only read shard data, all writes happen at load time).
+/// the request (waiting up to checkout_timeout_ms when all are busy, like
+/// a JDBC connection pool under load). Shard-side steady state is
+/// therefore parse-free and concurrent sessions never share a statement
+/// handle; what they do share is the shard's Database, whose read path is
+/// audited for concurrent readers (see the thread-safety notes on
+/// BufferPool, Table, and BTree — queries only read shard data, all writes
+/// happen at load time).
 class LocalShardService : public ShardService {
  public:
-  static Status Create(ShardedGraphStore* store, int shard, int connections,
+  static Status Create(ShardedGraphStore* store, int shard,
+                       LocalShardOptions options,
                        std::unique_ptr<LocalShardService>* out);
 
   Status Expand(const ShardExpandRequest& request,
@@ -78,9 +104,26 @@ class LocalShardService : public ShardService {
   Database* db() const { return store_->shard_db(shard_); }
   int connections() const { return static_cast<int>(conns_.size()); }
 
+  /// Fault injection for failure-path tests (the DiskManager idiom): after
+  /// `countdown` further successful per-node probes, every subsequent one
+  /// fails with Internal("injected probe fault"). Negative disables.
+  void InjectProbeFaultAfter(int64_t countdown) {
+    probe_fault_in_.store(countdown, std::memory_order_relaxed);
+  }
+  void ClearFaults() {
+    probe_fault_in_.store(-1, std::memory_order_relaxed);
+  }
+
+  /// Testing hooks: checkout/return a pooled connection directly, under
+  /// the same deadline policy as Expand() — lets tests hold the pool
+  /// empty deterministically. `handle` is opaque.
+  Status DebugCheckoutConn(void** handle);
+  void DebugReturnConn(void* handle);
+
  private:
-  LocalShardService(ShardedGraphStore* store, int shard)
-      : store_(store), shard_(shard) {}
+  LocalShardService(ShardedGraphStore* store, int shard,
+                    const LocalShardOptions& options)
+      : store_(store), shard_(shard), options_(options) {}
 
   /// One pooled shard connection: engine + prepared probes (null when the
   /// shard's adjacency is not indexed; the NoIndex strategy answers the
@@ -92,12 +135,19 @@ class LocalShardService : public ShardService {
     std::shared_ptr<sql::PreparedStatement> probe_bwd;  // in-edges by tid
   };
 
-  Conn* CheckoutConn();     // blocks until a connection is free
+  /// Waits up to options_.checkout_timeout_ms for a free connection;
+  /// Unavailable when the pool stays exhausted past the deadline.
+  Status CheckoutConn(Conn** out);
   void ReturnConn(Conn* c);
+
+  /// True when the injected probe fault should fire for this probe.
+  bool ProbeFaultFires();
 
   ShardedGraphStore* store_;
   int shard_;
+  LocalShardOptions options_;
   std::vector<std::unique_ptr<Conn>> conns_;
+  std::atomic<int64_t> probe_fault_in_{-1};
 
   std::mutex mu_;
   std::condition_variable conn_available_;

@@ -1,0 +1,219 @@
+#include "src/net/remote_shard_service.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+namespace relgraph {
+namespace net {
+
+Status RemoteShardService::Connect(
+    const std::string& host, uint16_t port, int shard, int num_shards,
+    RemoteShardOptions options, std::unique_ptr<RemoteShardService>* out) {
+  if (options.max_attempts < 1) {
+    return Status::InvalidArgument("max_attempts must be >= 1");
+  }
+  if (options.breaker_failure_threshold < 1) {
+    return Status::InvalidArgument("breaker threshold must be >= 1");
+  }
+  auto svc = std::unique_ptr<RemoteShardService>(
+      new RemoteShardService(host, port, shard, num_shards, options));
+  // Eager validation: a wrong address, dead server, version skew, or
+  // shard-identity mismatch fails at wiring time with the real reason, not
+  // on the first query round.
+  Socket sock;
+  RELGRAPH_RETURN_IF_ERROR(
+      svc->Dial(DeadlineAfterMs(options.connect_timeout_ms), &sock));
+  svc->ReturnSocket(std::move(sock));
+  *out = std::move(svc);
+  return Status::OK();
+}
+
+Status RemoteShardService::Dial(Deadline deadline, Socket* out) {
+  Socket sock;
+  RELGRAPH_RETURN_IF_ERROR(TcpConnect(host_, port_, deadline, &sock));
+  HandshakeRequest req;
+  req.shard = shard_;
+  req.num_shards = num_shards_;
+  RELGRAPH_RETURN_IF_ERROR(SendFrame(&sock, FrameType::kHandshake,
+                                     EncodeHandshakeRequest(req), deadline));
+  FrameType type;
+  std::string payload;
+  RELGRAPH_RETURN_IF_ERROR(RecvFrame(&sock, &type, &payload, deadline));
+  if (type == FrameType::kError) {
+    Status remote;
+    RELGRAPH_RETURN_IF_ERROR(DecodeErrorStatus(payload, &remote));
+    return remote;
+  }
+  if (type != FrameType::kHandshakeAck) {
+    return Status::Corruption("expected handshake ack");
+  }
+  HandshakeAck ack;
+  RELGRAPH_RETURN_IF_ERROR(DecodeHandshakeAck(payload, &ack));
+  if (ack.shard != shard_) {
+    return Status::InvalidArgument(
+        "server acked shard " + std::to_string(ack.shard) + ", expected " +
+        std::to_string(shard_));
+  }
+  *out = std::move(sock);
+  return Status::OK();
+}
+
+Status RemoteShardService::CheckoutSocket(Deadline deadline, Socket* out) {
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    if (!idle_socks_.empty()) {
+      *out = std::move(idle_socks_.back());
+      idle_socks_.pop_back();
+      return Status::OK();
+    }
+  }
+  return Dial(deadline, out);
+}
+
+void RemoteShardService::ReturnSocket(Socket sock) {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  if (static_cast<int>(idle_socks_.size()) <
+      options_.max_pooled_connections) {
+    idle_socks_.push_back(std::move(sock));
+  }
+  // else: sock closes on scope exit — the pool is full.
+}
+
+Status RemoteShardService::ExpandOnce(Socket* sock,
+                                      const ShardExpandRequest& request,
+                                      ShardExpandResponse* response,
+                                      Deadline deadline) {
+  RELGRAPH_RETURN_IF_ERROR(SendFrame(sock, FrameType::kExpandRequest,
+                                     EncodeExpandRequest(request),
+                                     deadline));
+  FrameType type;
+  std::string payload;
+  RELGRAPH_RETURN_IF_ERROR(RecvFrame(sock, &type, &payload, deadline));
+  if (type == FrameType::kError) {
+    Status remote;
+    RELGRAPH_RETURN_IF_ERROR(DecodeErrorStatus(payload, &remote));
+    return remote.ok() ? Status::Corruption("error frame carried OK")
+                       : remote;
+  }
+  if (type != FrameType::kExpandResponse) {
+    return Status::Corruption("expected expand response frame");
+  }
+  return DecodeExpandResponse(payload, response);
+}
+
+bool RemoteShardService::IsRetryable(const Status& st) {
+  // Transport-class failures: the connection (or its deadline) failed, not
+  // the shard's execution of a well-formed request. Expansion is a pure
+  // read, so re-sending it is safe.
+  return st.IsUnavailable() || st.IsDeadlineExceeded() || st.IsIOError();
+}
+
+Status RemoteShardService::BreakerAdmit() {
+  std::lock_guard<std::mutex> lock(breaker_mu_);
+  if (!breaker_open_) return Status::OK();
+  if (std::chrono::steady_clock::now() < breaker_open_until_) {
+    return Status::Unavailable(
+        "circuit open for shard " + std::to_string(shard_) + " (" + host_ +
+        ":" + std::to_string(port_) + "); failing fast");
+  }
+  // Half-open: let this call probe the shard. A failure re-opens the
+  // window (RecordFailure), a success closes the circuit.
+  return Status::OK();
+}
+
+void RemoteShardService::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(breaker_mu_);
+  consecutive_failures_ = 0;
+  breaker_open_ = false;
+}
+
+void RemoteShardService::RecordFailure() {
+  failures_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(breaker_mu_);
+  consecutive_failures_++;
+  if (consecutive_failures_ >= options_.breaker_failure_threshold) {
+    breaker_open_ = true;
+    breaker_open_until_ = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(options_.breaker_open_ms);
+  }
+}
+
+bool RemoteShardService::circuit_open() const {
+  std::lock_guard<std::mutex> lock(breaker_mu_);
+  return breaker_open_ &&
+         std::chrono::steady_clock::now() < breaker_open_until_;
+}
+
+int64_t RemoteShardService::BackoffWithJitterMs(int attempt) {
+  int64_t backoff = options_.backoff_base_ms;
+  for (int i = 1; i < attempt && backoff < options_.backoff_max_ms; i++) {
+    backoff *= 2;
+  }
+  backoff = std::min(backoff, options_.backoff_max_ms);
+  if (backoff <= 0) return 0;
+  std::lock_guard<std::mutex> lock(jitter_mu_);
+  return backoff + static_cast<int64_t>(
+                       jitter_rng_.NextBounded(static_cast<uint64_t>(backoff)));
+}
+
+Status RemoteShardService::Expand(const ShardExpandRequest& request,
+                                  ShardExpandResponse* response) {
+  *response = ShardExpandResponse{};
+  RELGRAPH_RETURN_IF_ERROR(BreakerAdmit());
+
+  Status last;
+  for (int attempt = 1; attempt <= options_.max_attempts; attempt++) {
+    if (attempt > 1) {
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(BackoffWithJitterMs(attempt - 1)));
+    }
+    const Deadline deadline = DeadlineAfterMs(options_.request_timeout_ms);
+    Socket sock;
+    last = CheckoutSocket(deadline, &sock);
+    if (last.ok()) {
+      last = ExpandOnce(&sock, request, response, deadline);
+    }
+    if (last.ok()) {
+      ReturnSocket(std::move(sock));
+      RecordSuccess();
+      return Status::OK();
+    }
+    // Failed attempt: the connection state is unknown (half-written frame,
+    // stale response in flight) — never reuse it, and never leak a
+    // partially decoded response into the next attempt.
+    *response = ShardExpandResponse{};
+    if (!IsRetryable(last)) {
+      // Application-level error from the shard (it executed and said no):
+      // retrying cannot change the answer. Does not trip the breaker —
+      // the shard is alive.
+      return last;
+    }
+  }
+  RecordFailure();
+  return Status::Unavailable(
+      "shard " + std::to_string(shard_) + " (" + host_ + ":" +
+      std::to_string(port_) + ") unreachable after " +
+      std::to_string(options_.max_attempts) +
+      " attempt(s); last error: " + last.ToString());
+}
+
+Status RemoteShardService::Ping() {
+  const Deadline deadline = DeadlineAfterMs(options_.request_timeout_ms);
+  Socket sock;
+  RELGRAPH_RETURN_IF_ERROR(CheckoutSocket(deadline, &sock));
+  RELGRAPH_RETURN_IF_ERROR(
+      SendFrame(&sock, FrameType::kHeartbeat, std::string(), deadline));
+  FrameType type;
+  std::string payload;
+  RELGRAPH_RETURN_IF_ERROR(RecvFrame(&sock, &type, &payload, deadline));
+  if (type != FrameType::kHeartbeatAck) {
+    return Status::Corruption("expected heartbeat ack");
+  }
+  ReturnSocket(std::move(sock));
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace relgraph

@@ -1,0 +1,202 @@
+#include "src/net/shard_server.h"
+
+#include <chrono>
+#include <utility>
+
+namespace relgraph {
+namespace net {
+
+namespace {
+/// Poll granularity for idle waits: how quickly a stop request is
+/// observed by the accept loop and idle connections.
+constexpr int64_t kPollSliceMs = 50;
+}  // namespace
+
+Status ShardServer::Start(ShardedGraphStore* store, int shard,
+                          ShardServerOptions options,
+                          std::unique_ptr<ShardServer>* out) {
+  if (store == nullptr) {
+    return Status::InvalidArgument("null ShardedGraphStore");
+  }
+  if (shard < 0 || shard >= store->num_shards()) {
+    return Status::InvalidArgument("shard index out of range");
+  }
+  if (options.workers < 1) {
+    return Status::InvalidArgument("server workers must be >= 1");
+  }
+  auto server = std::unique_ptr<ShardServer>(
+      new ShardServer(store, shard, options));
+  RELGRAPH_RETURN_IF_ERROR(LocalShardService::Create(
+      store, shard, options.shard, &server->local_));
+  RELGRAPH_RETURN_IF_ERROR(
+      Listener::Listen(options.port, &server->listener_));
+  server->conn_pool_ = std::make_unique<ThreadPool>(options.workers);
+  server->accept_thread_ = std::thread([s = server.get()] {
+    s->AcceptLoop();
+  });
+  *out = std::move(server);
+  return Status::OK();
+}
+
+ShardServer::~ShardServer() { Stop(); }
+
+void ShardServer::Stop() {
+  stopping_.store(true, std::memory_order_relaxed);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.Close();
+  // Connection workers observe stopping_ at their next poll slice; queued
+  // handlers that never started return immediately. Shutdown() drains and
+  // joins them all (and refuses any late submits — the fixed race).
+  if (conn_pool_) conn_pool_->Shutdown();
+}
+
+void ShardServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    Socket conn;
+    Status st = listener_.Accept(&conn, DeadlineAfterMs(kPollSliceMs));
+    if (st.IsDeadlineExceeded()) continue;
+    if (!st.ok()) {
+      if (stopping_.load(std::memory_order_relaxed)) break;
+      // Transient accept failure (e.g. EMFILE): back off one slice.
+      std::this_thread::sleep_for(std::chrono::milliseconds(kPollSliceMs));
+      continue;
+    }
+    auto shared = std::make_shared<Socket>(std::move(conn));
+    conn_pool_->Submit([this, shared] { ServeConn(std::move(*shared)); });
+  }
+  // The accept thread owns the listener's lifecycle: closing it here (not
+  // from whichever thread requested the stop) keeps the fd single-owner,
+  // and a self-stop (InjectStopAfterRequests) starts refusing connects
+  // within one poll slice even before Stop() is called.
+  listener_.Close();
+}
+
+void ShardServer::DelaySlices(int ms) {
+  while (ms > 0 && !stopping_.load(std::memory_order_relaxed)) {
+    const int slice = ms < kPollSliceMs ? ms : static_cast<int>(kPollSliceMs);
+    std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+    ms -= slice;
+  }
+}
+
+bool ShardServer::HandleFrame(Socket* conn, FrameType type,
+                              const std::string& payload, bool* handshaken) {
+  const Deadline io_deadline = DeadlineAfterMs(options_.io_timeout_ms);
+  switch (type) {
+    case FrameType::kHandshake: {
+      HandshakeRequest req;
+      Status st = DecodeHandshakeRequest(payload, &req);
+      if (st.ok() && req.magic != kWireMagic) {
+        st = Status::InvalidArgument("bad magic: peer is not a shard client");
+      }
+      if (st.ok() && req.version != kWireVersion) {
+        st = Status::InvalidArgument(
+            "wire version mismatch: client " + std::to_string(req.version) +
+            ", server " + std::to_string(kWireVersion));
+      }
+      if (st.ok() && req.shard != shard_) {
+        st = Status::InvalidArgument(
+            "shard identity mismatch: client dialed shard " +
+            std::to_string(req.shard) + ", this server serves shard " +
+            std::to_string(shard_));
+      }
+      if (st.ok() && req.num_shards != store_->num_shards()) {
+        st = Status::InvalidArgument(
+            "partition count mismatch: client routes over " +
+            std::to_string(req.num_shards) + " shards, server store has " +
+            std::to_string(store_->num_shards()));
+      }
+      if (!st.ok()) {
+        SendFrame(conn, FrameType::kError, EncodeErrorStatus(st),
+                  io_deadline);
+        return false;
+      }
+      HandshakeAck ack;
+      ack.shard = shard_;
+      *handshaken = true;
+      return SendFrame(conn, FrameType::kHandshakeAck,
+                       EncodeHandshakeAck(ack), io_deadline)
+          .ok();
+    }
+    case FrameType::kExpandRequest: {
+      if (!*handshaken) {
+        SendFrame(conn, FrameType::kError,
+                  EncodeErrorStatus(Status::InvalidArgument(
+                      "expand before handshake")),
+                  io_deadline);
+        return false;
+      }
+      ShardExpandRequest req;
+      Status st = DecodeExpandRequest(payload, &req);
+      if (!st.ok()) {
+        SendFrame(conn, FrameType::kError, EncodeErrorStatus(st),
+                  io_deadline);
+        return false;  // framing is broken; do not trust this stream
+      }
+      const int delay = response_delay_ms_.load(std::memory_order_relaxed);
+      if (delay > 0) DelaySlices(delay);
+      if (stopping_.load(std::memory_order_relaxed)) return false;
+      ShardExpandResponse resp;
+      st = local_->Expand(req, &resp);
+      if (!st.ok()) {
+        // Shard-side execution error: ship the typed Status; the
+        // connection itself is healthy, so keep serving it.
+        return SendFrame(conn, FrameType::kError, EncodeErrorStatus(st),
+                         io_deadline)
+            .ok();
+      }
+      if (!SendFrame(conn, FrameType::kExpandResponse,
+                     EncodeExpandResponse(resp), io_deadline)
+               .ok()) {
+        return false;
+      }
+      requests_served_.fetch_add(1, std::memory_order_relaxed);
+      int64_t left = stop_after_requests_.load(std::memory_order_relaxed);
+      if (left >= 0 &&
+          stop_after_requests_.fetch_sub(1, std::memory_order_relaxed) <= 1) {
+        // Injected death: as if the process was killed after this
+        // response. The accept loop and every connection retire at their
+        // next poll slice.
+        stopping_.store(true, std::memory_order_relaxed);
+      }
+      return true;
+    }
+    case FrameType::kHeartbeat:
+      return SendFrame(conn, FrameType::kHeartbeatAck, std::string(),
+                       io_deadline)
+          .ok();
+    default:
+      SendFrame(conn, FrameType::kError,
+                EncodeErrorStatus(Status::InvalidArgument(
+                    "unexpected frame type from client")),
+                io_deadline);
+      return false;
+  }
+}
+
+void ShardServer::ServeConn(Socket conn) {
+  bool handshaken = false;
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    // Idle poll in slices so a stop request retires the connection even
+    // when the client never sends another request.
+    Status st = conn.WaitReadable(DeadlineAfterMs(kPollSliceMs));
+    if (st.IsDeadlineExceeded()) continue;
+    if (!st.ok()) break;
+    FrameType type;
+    std::string payload;
+    st = RecvFrame(&conn, &type, &payload,
+                   DeadlineAfterMs(options_.io_timeout_ms));
+    if (!st.ok()) {
+      if (st.IsCorruption()) {
+        // Tell the peer why before hanging up (best effort).
+        SendFrame(&conn, FrameType::kError, EncodeErrorStatus(st),
+                  DeadlineAfterMs(options_.io_timeout_ms));
+      }
+      break;  // peer closed, timed out mid-frame, or sent garbage
+    }
+    if (!HandleFrame(&conn, type, payload, &handshaken)) break;
+  }
+}
+
+}  // namespace net
+}  // namespace relgraph

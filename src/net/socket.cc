@@ -1,0 +1,259 @@
+#include "src/net/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+namespace relgraph {
+namespace net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IOError(std::string(what) + ": " + strerror(errno));
+}
+
+/// Remaining deadline budget in whole milliseconds, clamped to >= 0.
+int RemainingMs(Deadline deadline) {
+  auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - std::chrono::steady_clock::now());
+  return static_cast<int>(std::max<int64_t>(0, left.count()));
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(O_NONBLOCK)");
+  }
+  return Status::OK();
+}
+
+/// Waits for `events` readiness; DeadlineExceeded when the budget runs out
+/// first. Retries EINTR with the remaining budget.
+Status PollFor(int fd, short events, Deadline deadline) {
+  for (;;) {
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    const int timeout_ms = RemainingMs(deadline);
+    const int rc = poll(&pfd, 1, timeout_ms);
+    if (rc > 0) {
+      if (pfd.revents & POLLNVAL) {
+        return Status::IOError("poll on invalid socket");
+      }
+      // POLLERR/POLLHUP also count as ready: the caller's next syscall
+      // (recv, send, or the SO_ERROR check after connect) surfaces the
+      // real error with its errno intact.
+      return Status::OK();
+    }
+    if (rc == 0) return Status::DeadlineExceeded("socket wait timed out");
+    if (errno == EINTR) continue;
+    return Errno("poll");
+  }
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Socket::SendAll(const char* data, size_t len, Deadline deadline) {
+  if (!valid()) return Status::IOError("send on closed socket");
+  size_t sent = 0;
+  while (sent < len) {
+    // MSG_NOSIGNAL: a dead peer must surface as EPIPE -> Status, not kill
+    // the process with SIGPIPE.
+    const ssize_t n =
+        ::send(fd_, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      RELGRAPH_RETURN_IF_ERROR(PollFor(fd_, POLLOUT, deadline));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EPIPE || errno == ECONNRESET)) {
+      return Status::Unavailable("peer closed connection");
+    }
+    return Errno("send");
+  }
+  return Status::OK();
+}
+
+Status Socket::RecvAll(char* out, size_t len, Deadline deadline) {
+  if (!valid()) return Status::IOError("recv on closed socket");
+  size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd_, out + got, len - got, 0);
+    if (n > 0) {
+      got += static_cast<size_t>(n);
+      continue;
+    }
+    if (n == 0) return Status::Unavailable("peer closed connection");
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      RELGRAPH_RETURN_IF_ERROR(PollFor(fd_, POLLIN, deadline));
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == ECONNRESET) {
+      return Status::Unavailable("peer closed connection");
+    }
+    return Errno("recv");
+  }
+  return Status::OK();
+}
+
+Status Socket::WaitReadable(Deadline deadline) {
+  if (!valid()) return Status::IOError("wait on closed socket");
+  return PollFor(fd_, POLLIN, deadline);
+}
+
+Status TcpConnect(const std::string& host, uint16_t port, Deadline deadline,
+                  Socket* out) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  Socket sock(fd);
+  RELGRAPH_RETURN_IF_ERROR(SetNonBlocking(fd));
+  int one = 1;
+  // Expansion rounds are small request/response exchanges; Nagle would
+  // serialize them against delayed ACKs.
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad IPv4 address: " + host);
+  }
+
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    if (errno == ECONNREFUSED) {
+      return Status::Unavailable("connection refused: " + host + ":" +
+                                 std::to_string(port));
+    }
+    if (errno != EINPROGRESS) return Errno("connect");
+    RELGRAPH_RETURN_IF_ERROR(PollFor(fd, POLLOUT, deadline));
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    if (getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) < 0) {
+      return Errno("getsockopt(SO_ERROR)");
+    }
+    if (err != 0) {
+      if (err == ECONNREFUSED || err == EHOSTUNREACH || err == ENETUNREACH ||
+          err == ETIMEDOUT) {
+        return Status::Unavailable(std::string("connect: ") + strerror(err));
+      }
+      return Status::IOError(std::string("connect: ") + strerror(err));
+    }
+  }
+  *out = std::move(sock);
+  return Status::OK();
+}
+
+Status Listener::Listen(uint16_t port, Listener* out) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  Socket sock(fd);
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  RELGRAPH_RETURN_IF_ERROR(SetNonBlocking(fd));
+
+  struct sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Errno("bind");
+  }
+  if (::listen(fd, 64) < 0) return Errno("listen");
+
+  struct sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (getsockname(fd, reinterpret_cast<struct sockaddr*>(&bound),
+                  &bound_len) < 0) {
+    return Errno("getsockname");
+  }
+  out->sock_ = std::move(sock);
+  out->port_ = ntohs(bound.sin_port);
+  return Status::OK();
+}
+
+Status Listener::Accept(Socket* out, Deadline deadline) {
+  if (!valid()) return Status::IOError("accept on closed listener");
+  for (;;) {
+    const int fd = ::accept(sock_.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      Socket conn(fd);
+      RELGRAPH_RETURN_IF_ERROR(SetNonBlocking(fd));
+      int one = 1;
+      setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      *out = std::move(conn);
+      return Status::OK();
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      RELGRAPH_RETURN_IF_ERROR(PollFor(sock_.fd(), POLLIN, deadline));
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return Errno("accept");
+  }
+}
+
+Status SendFrame(Socket* sock, FrameType type, const std::string& payload,
+                 Deadline deadline) {
+  char header[kFrameHeaderBytes];
+  EncodeFrameHeader(type, static_cast<uint32_t>(payload.size()), header);
+  // One buffer, one send path: framing errors cannot split a header from
+  // its payload on a partial write.
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  frame.append(header, kFrameHeaderBytes);
+  frame.append(payload);
+  return sock->SendAll(frame.data(), frame.size(), deadline);
+}
+
+Status RecvFrame(Socket* sock, FrameType* type, std::string* payload,
+                 Deadline deadline) {
+  char header[kFrameHeaderBytes];
+  RELGRAPH_RETURN_IF_ERROR(
+      sock->RecvAll(header, kFrameHeaderBytes, deadline));
+  uint32_t payload_len;
+  RELGRAPH_RETURN_IF_ERROR(DecodeFrameHeader(header, type, &payload_len));
+  payload->resize(payload_len);
+  if (payload_len > 0) {
+    RELGRAPH_RETURN_IF_ERROR(
+        sock->RecvAll(payload->data(), payload_len, deadline));
+  }
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace relgraph

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/net/wire.h"
+
+namespace relgraph {
+namespace net {
+
+/// Absolute deadline for one socket operation (steady clock: immune to
+/// wall-clock jumps). Every blocking call below takes one; expiry surfaces
+/// as Status::DeadlineExceeded, never an indefinite block.
+using Deadline = std::chrono::steady_clock::time_point;
+
+inline Deadline DeadlineAfterMs(int64_t ms) {
+  return std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+}
+
+/// Move-only RAII wrapper over one connected TCP fd. All I/O is
+/// deadline-bounded: the fd is non-blocking and readiness is awaited with
+/// poll() for at most the remaining deadline budget.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void Close();
+
+  /// Writes exactly `len` bytes or fails (DeadlineExceeded on timeout,
+  /// Unavailable when the peer closed, IOError otherwise).
+  Status SendAll(const char* data, size_t len, Deadline deadline);
+  /// Reads exactly `len` bytes or fails (same taxonomy; a clean peer close
+  /// mid-message is Unavailable — the caller's retry policy handles it).
+  Status RecvAll(char* out, size_t len, Deadline deadline);
+
+  /// Waits until the fd is readable. OK on readable, DeadlineExceeded on
+  /// timeout — lets servers poll for the next request in short slices and
+  /// check a stop flag between them.
+  Status WaitReadable(Deadline deadline);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Connects to host:port within the deadline (non-blocking connect +
+/// poll). Refused/unreachable endpoints fail with Unavailable.
+Status TcpConnect(const std::string& host, uint16_t port, Deadline deadline,
+                  Socket* out);
+
+/// Listening TCP socket on 127.0.0.1 (the loopback transport this PR
+/// ships; binding wider is a deployment concern, not a protocol one).
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener() { Close(); }
+  Listener(Listener&&) = default;
+  Listener& operator=(Listener&&) = default;
+
+  /// Binds and listens; `port` 0 picks an ephemeral port (read it back
+  /// from port()).
+  static Status Listen(uint16_t port, Listener* out);
+
+  bool valid() const { return sock_.valid(); }
+  uint16_t port() const { return port_; }
+  void Close() { sock_.Close(); }
+
+  /// Accepts one connection, waiting at most until `deadline`
+  /// (DeadlineExceeded on timeout). The accepted socket is non-blocking.
+  Status Accept(Socket* out, Deadline deadline);
+
+ private:
+  Socket sock_;
+  uint16_t port_ = 0;
+};
+
+/// ----- framed I/O over a Socket --------------------------------------------
+
+/// Sends one frame (header + payload) within the deadline.
+Status SendFrame(Socket* sock, FrameType type, const std::string& payload,
+                 Deadline deadline);
+
+/// Receives one frame within the deadline, validating the header
+/// (Corruption on a malformed one, Unavailable on peer close,
+/// DeadlineExceeded on timeout).
+Status RecvFrame(Socket* sock, FrameType* type, std::string* payload,
+                 Deadline deadline);
+
+}  // namespace net
+}  // namespace relgraph

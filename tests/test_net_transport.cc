@@ -1,0 +1,402 @@
+// The networked shard transport end to end over loopback: mixed
+// local/remote shard sets must be bit-identical to the all-local oracle
+// (results AND every deterministic counter — the transport is an execution
+// change only), and failure must degrade, not hang: a shard server killed
+// mid-query surfaces Status::Unavailable within the deadline+retry budget,
+// responses delayed past the deadline exercise retry and backoff, and the
+// circuit breaker opens on repeated failure then recovers half-open.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/dist/dist_path_finder.h"
+#include "src/dist/sharded_graph.h"
+#include "src/graph/generators.h"
+#include "src/net/remote_shard_service.h"
+#include "src/net/shard_server.h"
+
+namespace relgraph {
+namespace {
+
+struct QueryOutcome {
+  bool found = false;
+  weight_t distance = kInfinity;
+  std::vector<node_id_t> path;
+  int64_t rows_shipped = 0;
+  int64_t shard_statements = 0;
+  int64_t coordinator_statements = 0;
+  int64_t rounds = 0;
+
+  bool operator==(const QueryOutcome&) const = default;
+};
+
+QueryOutcome Outcome(const DistPathResult& r) {
+  return {r.found,
+          r.distance,
+          r.path,
+          r.stats.rows_shipped,
+          r.stats.shard_statements,
+          r.stats.coordinator_statements,
+          r.stats.rounds};
+}
+
+void ExpectSameOutcome(const QueryOutcome& got, const QueryOutcome& want,
+                       const std::string& what) {
+  EXPECT_EQ(got.found, want.found) << what;
+  EXPECT_EQ(got.distance, want.distance) << what;
+  EXPECT_EQ(got.path, want.path) << what;
+  EXPECT_EQ(got.rows_shipped, want.rows_shipped) << what;
+  EXPECT_EQ(got.shard_statements, want.shard_statements) << what;
+  EXPECT_EQ(got.coordinator_statements, want.coordinator_statements) << what;
+  EXPECT_EQ(got.rounds, want.rounds) << what;
+}
+
+/// One loopback "cluster": the store every component shares, ShardServers
+/// for the shards marked remote, and the endpoint vector wiring them into
+/// a DistCoordinator ("" = in-process).
+struct Cluster {
+  std::unique_ptr<ShardedGraphStore> store;
+  std::vector<std::unique_ptr<net::ShardServer>> servers;  // remote shards
+  std::vector<std::string> endpoints;
+
+  static Cluster Start(const EdgeList& list, int shards,
+                       const std::vector<bool>& remote) {
+    Cluster c;
+    ShardedGraphOptions sopts;
+    sopts.num_shards = shards;
+    Status st = ShardedGraphStore::Create(list, sopts, &c.store);
+    if (!st.ok()) {
+      ADD_FAILURE() << "store: " << st.ToString();
+      return c;
+    }
+    c.endpoints.assign(shards, "");
+    for (int s = 0; s < shards; s++) {
+      if (!remote[s]) continue;
+      net::ShardServerOptions opts;  // ephemeral port, default workers
+      std::unique_ptr<net::ShardServer> server;
+      st = net::ShardServer::Start(c.store.get(), s, opts, &server);
+      if (!st.ok()) {
+        ADD_FAILURE() << "server shard " << s << ": " << st.ToString();
+        return c;
+      }
+      c.endpoints[s] = "127.0.0.1:" + std::to_string(server->port());
+      c.servers.push_back(std::move(server));
+    }
+    return c;
+  }
+};
+
+std::vector<std::pair<node_id_t, node_id_t>> QueryPairs(int64_t num_nodes,
+                                                        uint64_t seed,
+                                                        int count) {
+  Rng rng(seed);
+  std::vector<std::pair<node_id_t, node_id_t>> pairs;
+  for (int i = 0; i < count; i++) {
+    pairs.emplace_back(rng.NextInt(0, num_nodes - 1),
+                       rng.NextInt(0, num_nodes - 1));
+  }
+  return pairs;
+}
+
+// The tentpole invariant: whether a shard is an in-process pool or a TCP
+// server must be invisible in every result and every counter. All-local,
+// all-remote, and a mixed set are run over the same graph and asserted
+// bit-identical, in both serial and threaded coordinator modes.
+TEST(NetTransport, TransportIsInvisibleInResultsAndCounters) {
+  constexpr int kShards = 4;
+  EdgeList list = GenerateBarabasiAlbert(140, 2, WeightRange{1, 50}, 23);
+  auto pairs = QueryPairs(list.num_nodes, 231, 5);
+
+  // Oracle: all-local, serial.
+  std::vector<QueryOutcome> oracle;
+  {
+    Cluster local = Cluster::Start(list, kShards,
+                                   std::vector<bool>(kShards, false));
+    ASSERT_TRUE(local.store != nullptr);
+    std::unique_ptr<DistPathFinder> finder;
+    ASSERT_TRUE(DistPathFinder::Create(local.store.get(), &finder).ok());
+    for (const auto& [s, t] : pairs) {
+      DistPathResult r;
+      ASSERT_TRUE(finder->Find(s, t, &r).ok());
+      oracle.push_back(Outcome(r));
+    }
+  }
+
+  struct Scenario {
+    const char* name;
+    std::vector<bool> remote;
+  };
+  const std::vector<Scenario> scenarios = {
+      {"all-remote", {true, true, true, true}},
+      {"mixed-even-local", {false, true, false, true}},
+      {"one-remote", {false, false, true, false}},
+  };
+  for (const Scenario& sc : scenarios) {
+    for (int threads : {0, 2}) {
+      Cluster c = Cluster::Start(list, kShards, sc.remote);
+      ASSERT_TRUE(c.store != nullptr);
+      DistOptions dopts;
+      dopts.num_threads = threads;
+      dopts.shard_endpoints = c.endpoints;
+      std::unique_ptr<DistPathFinder> finder;
+      ASSERT_TRUE(
+          DistPathFinder::Create(c.store.get(), &finder, dopts).ok());
+      for (size_t i = 0; i < pairs.size(); i++) {
+        DistPathResult r;
+        ASSERT_TRUE(finder->Find(pairs[i].first, pairs[i].second, &r).ok());
+        ExpectSameOutcome(Outcome(r), oracle[i],
+                          std::string(sc.name) + " threads=" +
+                              std::to_string(threads) + " query " +
+                              std::to_string(i));
+      }
+    }
+  }
+}
+
+// A shard server dying mid-query must surface as a typed Unavailable from
+// Find() — after the bounded retry budget, never a hang. The stop is
+// injected deterministically after 2 more served requests, so a multi-round
+// query is guaranteed to hit the dead shard while in flight.
+TEST(NetTransport, ServerDeathMidQueryDegradesToUnavailable) {
+  constexpr int kShards = 2;
+  EdgeList list = GenerateBarabasiAlbert(120, 2, WeightRange{1, 30}, 59);
+  Cluster c = Cluster::Start(list, kShards, {false, true});
+  ASSERT_TRUE(c.store != nullptr);
+  ASSERT_EQ(c.servers.size(), 1u);
+
+  DistOptions dopts;
+  dopts.shard_endpoints = c.endpoints;
+  dopts.remote.request_timeout_ms = 500;
+  dopts.remote.max_attempts = 2;
+  dopts.remote.backoff_base_ms = 1;
+  dopts.remote.backoff_max_ms = 2;
+  std::unique_ptr<DistPathFinder> finder;
+  ASSERT_TRUE(DistPathFinder::Create(c.store.get(), &finder, dopts).ok());
+
+  // Sanity: the remote shard answers while alive — and count how many
+  // expand requests the query actually sends it. Queries are
+  // deterministic, so the rerun below needs exactly the same number and a
+  // stop injected short of it is guaranteed to hit mid-query.
+  DistPathResult warm;
+  ASSERT_TRUE(finder->Find(1, 100, &warm).ok());
+  const int64_t warm_requests = c.servers[0]->requests_served();
+  ASSERT_GE(warm_requests, 3) << "query too short to die mid-flight";
+
+  c.servers[0]->InjectStopAfterRequests(warm_requests - 2);
+  DistPathResult r;
+  Status st = finder->Find(1, 100, &r);
+  ASSERT_FALSE(st.ok()) << "query succeeded against a dead shard";
+  EXPECT_TRUE(st.IsUnavailable()) << st.ToString();
+
+  // And it keeps failing fast (not hanging) now that the server is gone —
+  // same pair, so the dead shard is provably on the query's path.
+  st = finder->Find(1, 100, &r);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsUnavailable()) << st.ToString();
+}
+
+// Responses delayed past the per-request deadline: each attempt times out,
+// the stub retries (observable via retries()), and the whole Expand
+// degrades to Unavailable once the budget is spent. Uses the stub directly
+// so the retry counter and the returned code are asserted without
+// coordinator noise.
+TEST(NetTransport, DelayPastDeadlineRetriesThenDegrades) {
+  EdgeList list = GenerateBarabasiAlbert(60, 2, WeightRange{1, 10}, 3);
+  Cluster c = Cluster::Start(list, 1, {true});
+  ASSERT_TRUE(c.store != nullptr);
+
+  net::RemoteShardOptions ropts;
+  ropts.request_timeout_ms = 50;
+  ropts.max_attempts = 2;
+  ropts.backoff_base_ms = 1;
+  ropts.backoff_max_ms = 2;
+  ropts.breaker_failure_threshold = 100;  // keep the breaker out of this test
+  std::unique_ptr<net::RemoteShardService> stub;
+  ASSERT_TRUE(net::RemoteShardService::Connect("127.0.0.1",
+                                               c.servers[0]->port(), 0, 1,
+                                               ropts, &stub)
+                  .ok());
+
+  ShardExpandRequest req;
+  req.nodes = {0};
+  ShardExpandResponse resp;
+  ASSERT_TRUE(stub->Expand(req, &resp).ok());
+  const ShardExpandResponse want = resp;
+  EXPECT_EQ(stub->retries(), 0);
+
+  c.servers[0]->InjectResponseDelayMs(300);  // 6x the deadline
+  Status st = stub->Expand(req, &resp);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsUnavailable()) << st.ToString();
+  EXPECT_EQ(stub->retries(), 1);  // max_attempts=2 => exactly one retry
+  EXPECT_EQ(stub->failures(), 1);
+  EXPECT_EQ(resp, ShardExpandResponse{}) << "failed Expand leaked a response";
+
+  // Recovery: clear the delay and the same stub answers identically
+  // (elapsed_us is a measured clock, so compare the deterministic fields).
+  c.servers[0]->InjectResponseDelayMs(0);
+  ASSERT_TRUE(stub->Expand(req, &resp).ok());
+  EXPECT_EQ(resp.edges, want.edges);
+  EXPECT_EQ(resp.statements, want.statements);
+}
+
+// The circuit breaker: enough consecutive failures open it (calls fail
+// fast without touching the network), and after the cooldown a half-open
+// probe against the recovered server closes it again.
+TEST(NetTransport, CircuitBreakerOpensAndRecovers) {
+  EdgeList list = GenerateBarabasiAlbert(60, 2, WeightRange{1, 10}, 11);
+  Cluster c = Cluster::Start(list, 1, {true});
+  ASSERT_TRUE(c.store != nullptr);
+
+  net::RemoteShardOptions ropts;
+  ropts.request_timeout_ms = 40;
+  ropts.max_attempts = 1;  // every delayed call is one whole-Expand failure
+  ropts.breaker_failure_threshold = 2;
+  ropts.breaker_open_ms = 100;
+  std::unique_ptr<net::RemoteShardService> stub;
+  ASSERT_TRUE(net::RemoteShardService::Connect("127.0.0.1",
+                                               c.servers[0]->port(), 0, 1,
+                                               ropts, &stub)
+                  .ok());
+
+  ShardExpandRequest req;
+  req.nodes = {0};
+  ShardExpandResponse resp;
+  c.servers[0]->InjectResponseDelayMs(200);
+  ASSERT_FALSE(stub->Expand(req, &resp).ok());
+  EXPECT_FALSE(stub->circuit_open()) << "opened below the threshold";
+  ASSERT_FALSE(stub->Expand(req, &resp).ok());
+  EXPECT_TRUE(stub->circuit_open()) << "2 consecutive failures must open it";
+
+  // While open: immediate Unavailable, no network (so no added failures).
+  const int64_t failures_at_open = stub->failures();
+  Status st = stub->Expand(req, &resp);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsUnavailable());
+  EXPECT_NE(st.message().find("circuit open"), std::string::npos)
+      << st.ToString();
+  EXPECT_EQ(stub->failures(), failures_at_open);
+
+  // Server recovers; after the cooldown the half-open probe succeeds and
+  // the circuit closes.
+  c.servers[0]->InjectResponseDelayMs(0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  EXPECT_TRUE(stub->Expand(req, &resp).ok());
+  EXPECT_FALSE(stub->circuit_open());
+  EXPECT_FALSE(resp.edges.empty());
+}
+
+// Handshake validation: a stub wired to the wrong shard, or with the wrong
+// partition count, is rejected at Connect() time — a misconfigured cluster
+// fails at wiring, not with wrong answers at query time.
+TEST(NetTransport, MisconfiguredHandshakeIsRejectedAtConnect) {
+  EdgeList list = GenerateBarabasiAlbert(60, 2, WeightRange{1, 10}, 29);
+  Cluster c = Cluster::Start(list, 2, {true, false});
+  ASSERT_TRUE(c.store != nullptr);
+  const uint16_t port = c.servers[0]->port();
+
+  std::unique_ptr<net::RemoteShardService> stub;
+  // Wrong shard identity: the server serves shard 0, the client wants 1.
+  Status st = net::RemoteShardService::Connect(
+      "127.0.0.1", port, /*shard=*/1, /*num_shards=*/2,
+      net::RemoteShardOptions{}, &stub);
+  EXPECT_FALSE(st.ok()) << "wrong-shard dial must fail";
+
+  // Wrong partition count: routing disagreement would mis-route frontiers.
+  st = net::RemoteShardService::Connect("127.0.0.1", port, 0, /*num_shards=*/3,
+                                        net::RemoteShardOptions{}, &stub);
+  EXPECT_FALSE(st.ok()) << "wrong num_shards dial must fail";
+
+  // Correct identity still works (server unharmed by the rejections).
+  ASSERT_TRUE(net::RemoteShardService::Connect("127.0.0.1", port, 0, 2,
+                                               net::RemoteShardOptions{},
+                                               &stub)
+                  .ok());
+  EXPECT_TRUE(stub->Ping().ok());
+}
+
+// Nobody home: connecting to a port with no listener degrades to a typed
+// error within the connect timeout — the "wrong address in the config"
+// case.
+TEST(NetTransport, DeadEndpointFailsAtConnectNotAtQueryTime) {
+  net::RemoteShardOptions ropts;
+  ropts.connect_timeout_ms = 200;
+  std::unique_ptr<net::RemoteShardService> stub;
+  // Port 1 on loopback: reserved, nothing listens there.
+  Status st = net::RemoteShardService::Connect("127.0.0.1", 1, 0, 1, ropts,
+                                               &stub);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsUnavailable() || st.IsDeadlineExceeded())
+      << st.ToString();
+}
+
+// Concurrent sessions over remote shards: every session reproduces the
+// all-local oracle exactly, statements included — the response merge stays
+// deterministic under real socket concurrency.
+TEST(NetTransport, ConcurrentSessionsOverLoopbackMatchOracle) {
+  constexpr int kSessions = 3;
+  constexpr int kShards = 2;
+  EdgeList list = GenerateBarabasiAlbert(100, 2, WeightRange{1, 40}, 83);
+  auto pairs = QueryPairs(list.num_nodes, 831, 4);
+
+  std::vector<QueryOutcome> oracle;
+  {
+    Cluster local = Cluster::Start(list, kShards, {false, false});
+    ASSERT_TRUE(local.store != nullptr);
+    std::unique_ptr<DistPathFinder> finder;
+    ASSERT_TRUE(DistPathFinder::Create(local.store.get(), &finder).ok());
+    for (const auto& [s, t] : pairs) {
+      DistPathResult r;
+      ASSERT_TRUE(finder->Find(s, t, &r).ok());
+      oracle.push_back(Outcome(r));
+    }
+  }
+
+  Cluster c = Cluster::Start(list, kShards, {true, true});
+  ASSERT_TRUE(c.store != nullptr);
+  DistOptions dopts;
+  dopts.shard_endpoints = c.endpoints;
+  std::unique_ptr<DistCoordinator> coord;
+  ASSERT_TRUE(DistCoordinator::Create(c.store.get(), dopts, &coord).ok());
+
+  std::vector<std::unique_ptr<DistPathFinder>> sessions(kSessions);
+  for (int s = 0; s < kSessions; s++) {
+    ASSERT_TRUE(coord->NewSession(&sessions[s]).ok());
+  }
+  std::vector<std::vector<QueryOutcome>> results(kSessions);
+  std::vector<Status> statuses(kSessions);
+  std::vector<std::thread> clients;
+  for (int s = 0; s < kSessions; s++) {
+    clients.emplace_back([&, s] {
+      for (const auto& [a, b] : pairs) {
+        DistPathResult r;
+        Status st = sessions[s]->Find(a, b, &r);
+        if (!st.ok()) {
+          statuses[s] = st;
+          return;
+        }
+        results[s].push_back(Outcome(r));
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  for (int s = 0; s < kSessions; s++) {
+    ASSERT_TRUE(statuses[s].ok()) << statuses[s].ToString();
+    ASSERT_EQ(results[s].size(), pairs.size());
+    for (size_t i = 0; i < pairs.size(); i++) {
+      ExpectSameOutcome(results[s][i], oracle[i],
+                        "session " + std::to_string(s) + " query " +
+                            std::to_string(i));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace relgraph

@@ -1,0 +1,223 @@
+// The shard wire format: every message must survive serialize→deserialize
+// bit-identically (property-tested over random and adversarially shaped
+// payloads), and every malformed frame — truncated, oversized, trailing
+// garbage, unknown type, bad status code — must be rejected as
+// Status::Corruption, never misread or crashed on.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/net/wire.h"
+
+namespace relgraph {
+namespace net {
+namespace {
+
+ShardExpandRequest RandomRequest(Rng* rng, size_t max_nodes) {
+  ShardExpandRequest req;
+  req.forward = rng->NextBounded(2) == 0;
+  const size_t n = rng->NextBounded(max_nodes + 1);
+  for (size_t i = 0; i < n; i++) {
+    req.nodes.push_back(rng->NextInt(0, 1'000'000'000));
+  }
+  return req;
+}
+
+ShardExpandResponse RandomResponse(Rng* rng, size_t max_edges) {
+  ShardExpandResponse resp;
+  const size_t m = rng->NextBounded(max_edges + 1);
+  for (size_t i = 0; i < m; i++) {
+    resp.edges.push_back({rng->NextInt(0, 1'000'000),
+                          rng->NextInt(0, 1'000'000),
+                          rng->NextInt(0, 100)});
+  }
+  resp.statements = rng->NextInt(0, 1'000'000);
+  resp.elapsed_us = rng->NextInt(0, 10'000'000);
+  return resp;
+}
+
+TEST(WireRoundTrip, RandomExpandRequestsSurviveBitIdentically) {
+  Rng rng(20260807);
+  for (int i = 0; i < 200; i++) {
+    ShardExpandRequest req = RandomRequest(&rng, 64);
+    ShardExpandRequest back;
+    ASSERT_TRUE(DecodeExpandRequest(EncodeExpandRequest(req), &back).ok());
+    EXPECT_EQ(req, back) << "iteration " << i;
+  }
+}
+
+TEST(WireRoundTrip, RandomExpandResponsesSurviveBitIdentically) {
+  Rng rng(777123);
+  for (int i = 0; i < 200; i++) {
+    ShardExpandResponse resp = RandomResponse(&rng, 64);
+    ShardExpandResponse back;
+    ASSERT_TRUE(
+        DecodeExpandResponse(EncodeExpandResponse(resp), &back).ok());
+    EXPECT_EQ(resp, back) << "iteration " << i;
+  }
+}
+
+// The shapes most likely to hide an off-by-one: empty frontiers, zero-cost
+// edges, and extreme node ids (max int64, kInvalidNode's -1, kInfinity).
+TEST(WireRoundTrip, EdgeShapedPayloadsSurvive) {
+  constexpr int64_t kMaxI64 = std::numeric_limits<int64_t>::max();
+
+  ShardExpandRequest empty;
+  empty.forward = false;
+  ShardExpandRequest back_req;
+  ASSERT_TRUE(DecodeExpandRequest(EncodeExpandRequest(empty), &back_req).ok());
+  EXPECT_EQ(empty, back_req);
+
+  ShardExpandRequest extremes;
+  extremes.nodes = {0, kMaxI64, kInvalidNode, 1, kMaxI64 - 1};
+  ASSERT_TRUE(
+      DecodeExpandRequest(EncodeExpandRequest(extremes), &back_req).ok());
+  EXPECT_EQ(extremes, back_req);
+
+  ShardExpandResponse empty_resp;  // all defaults
+  ShardExpandResponse back_resp;
+  ASSERT_TRUE(
+      DecodeExpandResponse(EncodeExpandResponse(empty_resp), &back_resp)
+          .ok());
+  EXPECT_EQ(empty_resp, back_resp);
+
+  ShardExpandResponse extreme_resp;
+  extreme_resp.edges = {{0, 0, 0},                          // zero cost
+                        {kMaxI64, kInvalidNode, kInfinity},  // extreme ids
+                        {1, 2, 0}};                          // zero cost again
+  extreme_resp.statements = kMaxI64;
+  extreme_resp.elapsed_us = 0;
+  ASSERT_TRUE(
+      DecodeExpandResponse(EncodeExpandResponse(extreme_resp), &back_resp)
+          .ok());
+  EXPECT_EQ(extreme_resp, back_resp);
+}
+
+TEST(WireRoundTrip, HandshakeAndErrorFramesSurvive) {
+  HandshakeRequest hs;
+  hs.shard = 3;
+  hs.num_shards = 8;
+  HandshakeRequest hs_back;
+  ASSERT_TRUE(
+      DecodeHandshakeRequest(EncodeHandshakeRequest(hs), &hs_back).ok());
+  EXPECT_EQ(hs.magic, hs_back.magic);
+  EXPECT_EQ(hs.version, hs_back.version);
+  EXPECT_EQ(hs.shard, hs_back.shard);
+  EXPECT_EQ(hs.num_shards, hs_back.num_shards);
+
+  HandshakeAck ack;
+  ack.shard = 5;
+  HandshakeAck ack_back;
+  ASSERT_TRUE(DecodeHandshakeAck(EncodeHandshakeAck(ack), &ack_back).ok());
+  EXPECT_EQ(ack.version, ack_back.version);
+  EXPECT_EQ(ack.shard, ack_back.shard);
+
+  for (const Status& st :
+       {Status::Unavailable("shard 2 gone"), Status::DeadlineExceeded(""),
+        Status::Internal("probe blew up"), Status::InvalidArgument("nope")}) {
+    Status back;
+    ASSERT_TRUE(DecodeErrorStatus(EncodeErrorStatus(st), &back).ok());
+    EXPECT_EQ(back.code(), st.code());
+    EXPECT_EQ(back.message(), st.message());
+  }
+}
+
+// Every strict prefix of a valid payload must decode as Corruption: the
+// bounds checks cannot be fooled by any truncation point.
+TEST(WireReject, EveryTruncationOfARequestIsCorruption) {
+  Rng rng(5150);
+  ShardExpandRequest req = RandomRequest(&rng, 8);
+  if (req.nodes.empty()) req.nodes.push_back(42);
+  const std::string full = EncodeExpandRequest(req);
+  for (size_t cut = 0; cut < full.size(); cut++) {
+    ShardExpandRequest back;
+    Status st = DecodeExpandRequest(full.substr(0, cut), &back);
+    EXPECT_TRUE(st.IsCorruption()) << "cut=" << cut << ": " << st.ToString();
+  }
+}
+
+TEST(WireReject, EveryTruncationOfAResponseIsCorruption) {
+  Rng rng(6160);
+  ShardExpandResponse resp = RandomResponse(&rng, 6);
+  if (resp.edges.empty()) resp.edges.push_back({1, 2, 3});
+  const std::string full = EncodeExpandResponse(resp);
+  for (size_t cut = 0; cut < full.size(); cut++) {
+    ShardExpandResponse back;
+    Status st = DecodeExpandResponse(full.substr(0, cut), &back);
+    EXPECT_TRUE(st.IsCorruption()) << "cut=" << cut << ": " << st.ToString();
+  }
+}
+
+TEST(WireReject, TrailingGarbageIsCorruption) {
+  ShardExpandRequest req;
+  req.nodes = {1, 2, 3};
+  std::string bytes = EncodeExpandRequest(req) + std::string("x", 1);
+  ShardExpandRequest back_req;
+  EXPECT_TRUE(DecodeExpandRequest(bytes, &back_req).IsCorruption());
+
+  ShardExpandResponse resp;
+  bytes = EncodeExpandResponse(resp) + std::string(4, '\0');
+  ShardExpandResponse back_resp;
+  EXPECT_TRUE(DecodeExpandResponse(bytes, &back_resp).IsCorruption());
+}
+
+// A corrupt count field must be rejected *before* any allocation sized by
+// it: a count claiming more elements than the payload has bytes is
+// corruption however huge it is.
+TEST(WireReject, LyingCountFieldIsCorruptionNotAllocation) {
+  WireWriter w;
+  w.PutU8(1);                                        // forward
+  w.PutU64(std::numeric_limits<uint64_t>::max());    // absurd node count
+  w.PutI64(7);                                       // one real node
+  ShardExpandRequest req;
+  EXPECT_TRUE(DecodeExpandRequest(w.Take(), &req).IsCorruption());
+
+  WireWriter w2;
+  w2.PutU64(1u << 30);  // a billion edges in a 24-byte payload
+  w2.PutI64(1);
+  w2.PutI64(2);
+  w2.PutI64(3);
+  ShardExpandResponse resp;
+  EXPECT_TRUE(DecodeExpandResponse(w2.Take(), &resp).IsCorruption());
+}
+
+TEST(WireReject, FrameHeaderValidation) {
+  char hdr[kFrameHeaderBytes];
+  FrameType type;
+  uint32_t len;
+
+  EncodeFrameHeader(FrameType::kExpandRequest, 128, hdr);
+  ASSERT_TRUE(DecodeFrameHeader(hdr, &type, &len).ok());
+  EXPECT_EQ(type, FrameType::kExpandRequest);
+  EXPECT_EQ(len, 128u);
+
+  hdr[4] = 0;  // frame type 0 does not exist
+  EXPECT_TRUE(DecodeFrameHeader(hdr, &type, &len).IsCorruption());
+  hdr[4] = 99;  // nor does 99
+  EXPECT_TRUE(DecodeFrameHeader(hdr, &type, &len).IsCorruption());
+
+  EncodeFrameHeader(FrameType::kError, kMaxFramePayload + 1, hdr);
+  EXPECT_TRUE(DecodeFrameHeader(hdr, &type, &len).IsCorruption());
+}
+
+TEST(WireReject, BadStatusCodeAndBadDirectionFlag) {
+  WireWriter w;
+  w.PutU32(200);  // not a Status::Code
+  w.PutBytes("whatever");
+  Status decoded;
+  EXPECT_TRUE(DecodeErrorStatus(w.Take(), &decoded).IsCorruption());
+
+  WireWriter w2;
+  w2.PutU8(2);  // direction flag must be 0 or 1
+  w2.PutU64(0);
+  ShardExpandRequest req;
+  EXPECT_TRUE(DecodeExpandRequest(w2.Take(), &req).IsCorruption());
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace relgraph

@@ -1,0 +1,173 @@
+// LocalShardService failure paths: a failed Expand() must leave the
+// response EMPTY (the error contract retries rely on — a partially filled
+// response surviving a failed attempt double-counts edges and statements),
+// and connection checkout must be bounded — an exhausted pool degrades to
+// Status::Unavailable at the deadline instead of blocking the session
+// forever.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/dist/shard_service.h"
+#include "src/dist/sharded_graph.h"
+#include "src/graph/generators.h"
+
+namespace relgraph {
+namespace {
+
+/// A shard-0 frontier big enough that a mid-frontier fault leaves edges
+/// already collected — the exact partial state the contract forbids
+/// leaking.
+std::vector<node_id_t> Shard0Frontier(const ShardedGraphStore& store,
+                                      int64_t num_nodes, size_t want) {
+  std::vector<node_id_t> nodes;
+  for (node_id_t n = 0; n < num_nodes && nodes.size() < want; n++) {
+    if (store.OwnerShard(n) == 0) nodes.push_back(n);
+  }
+  return nodes;
+}
+
+class LocalShardServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    EdgeList list = GenerateBarabasiAlbert(80, 3, WeightRange{1, 20}, 19);
+    num_nodes_ = list.num_nodes;
+    ShardedGraphOptions sopts;
+    sopts.num_shards = 2;
+    ASSERT_TRUE(ShardedGraphStore::Create(list, sopts, &store_).ok());
+  }
+
+  std::unique_ptr<ShardedGraphStore> store_;
+  int64_t num_nodes_ = 0;
+};
+
+// Regression for the partial-response leak: an Expand() failing after some
+// frontier nodes were already probed used to return the edges collected so
+// far alongside the error. The response must now come back
+// default-constructed, and a retry after the fault clears must produce the
+// same answer as a never-faulted run — nothing double-counted.
+TEST_F(LocalShardServiceTest, FailedExpandLeavesResponseEmpty) {
+  std::unique_ptr<LocalShardService> svc;
+  ASSERT_TRUE(
+      LocalShardService::Create(store_.get(), 0, LocalShardOptions{}, &svc)
+          .ok());
+
+  ShardExpandRequest req;
+  req.forward = true;
+  req.nodes = Shard0Frontier(*store_, num_nodes_, 8);
+  ASSERT_GE(req.nodes.size(), 4u) << "graph too small for the scenario";
+
+  // The clean answer first, from an identical service on the same shard.
+  ShardExpandResponse want;
+  ASSERT_TRUE(svc->Expand(req, &want).ok());
+  ASSERT_FALSE(want.edges.empty()) << "frontier expanded to nothing";
+
+  // Now fault the third probe: two nodes' edges are already in the
+  // response when the failure hits.
+  svc->InjectProbeFaultAfter(2);
+  ShardExpandResponse got;
+  Status st = svc->Expand(req, &got);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), Status::Code::kInternal) << st.ToString();
+  EXPECT_TRUE(got.edges.empty())
+      << got.edges.size() << " edges leaked out of a failed Expand";
+  EXPECT_EQ(got, ShardExpandResponse{});
+
+  // The retry path: clear the fault and re-send the same request into the
+  // same (now non-empty) response object — the identical answer, not the
+  // answer plus leftovers (elapsed_us is a measured clock, so compare the
+  // deterministic fields).
+  svc->ClearFaults();
+  ASSERT_TRUE(svc->Expand(req, &got).ok());
+  EXPECT_EQ(got.edges, want.edges);
+  EXPECT_EQ(got.statements, want.statements);
+}
+
+// Same contract on the NoIndex strategy, whose expansion is one batched
+// scan rather than per-node probes.
+TEST(LocalShardServiceNoIndex, FailedExpandLeavesResponseEmpty) {
+  EdgeList list = GenerateBarabasiAlbert(60, 2, WeightRange{1, 10}, 7);
+  ShardedGraphOptions sopts;
+  sopts.num_shards = 1;
+  sopts.strategy = IndexStrategy::kNoIndex;
+  std::unique_ptr<ShardedGraphStore> store;
+  ASSERT_TRUE(ShardedGraphStore::Create(list, sopts, &store).ok());
+  std::unique_ptr<LocalShardService> svc;
+  ASSERT_TRUE(
+      LocalShardService::Create(store.get(), 0, LocalShardOptions{}, &svc)
+          .ok());
+
+  ShardExpandRequest req;
+  for (node_id_t n = 0; n < 8; n++) req.nodes.push_back(n);
+  svc->InjectProbeFaultAfter(0);  // fail immediately
+  ShardExpandResponse got;
+  ASSERT_FALSE(svc->Expand(req, &got).ok());
+  EXPECT_EQ(got, ShardExpandResponse{});
+  svc->ClearFaults();
+  ASSERT_TRUE(svc->Expand(req, &got).ok());
+}
+
+// Regression for unbounded CheckoutConn blocking: with the pool held empty
+// by another holder, Expand() must give up with Unavailable once the
+// checkout deadline passes — and succeed again as soon as a connection
+// comes back.
+TEST_F(LocalShardServiceTest, ExhaustedPoolDegradesToUnavailable) {
+  LocalShardOptions opts;
+  opts.connections = 1;
+  opts.checkout_timeout_ms = 50;
+  std::unique_ptr<LocalShardService> svc;
+  ASSERT_TRUE(
+      LocalShardService::Create(store_.get(), 0, opts, &svc).ok());
+  ASSERT_EQ(svc->connections(), 1);
+
+  void* held = nullptr;
+  ASSERT_TRUE(svc->DebugCheckoutConn(&held).ok());
+
+  ShardExpandRequest req;
+  req.nodes = Shard0Frontier(*store_, num_nodes_, 4);
+  ShardExpandResponse resp;
+  const auto t0 = std::chrono::steady_clock::now();
+  Status st = svc->Expand(req, &resp);
+  const auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_TRUE(st.IsUnavailable()) << st.ToString();
+  EXPECT_GE(waited.count(), 50) << "returned before the deadline";
+  EXPECT_EQ(resp, ShardExpandResponse{});
+
+  // Returning the connection un-wedges the service immediately.
+  svc->DebugReturnConn(held);
+  EXPECT_TRUE(svc->Expand(req, &resp).ok());
+  EXPECT_FALSE(resp.edges.empty());
+}
+
+// The waiting (not failing) side of the deadline: a checkout that starts
+// blocked but sees the connection returned within the deadline completes
+// normally.
+TEST_F(LocalShardServiceTest, CheckoutWaitsForAReturnedConnection) {
+  LocalShardOptions opts;
+  opts.connections = 1;
+  opts.checkout_timeout_ms = 5000;  // ample — must not be needed
+  std::unique_ptr<LocalShardService> svc;
+  ASSERT_TRUE(
+      LocalShardService::Create(store_.get(), 0, opts, &svc).ok());
+
+  void* held = nullptr;
+  ASSERT_TRUE(svc->DebugCheckoutConn(&held).ok());
+  std::thread returner([&svc, held] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    svc->DebugReturnConn(held);
+  });
+
+  ShardExpandRequest req;
+  req.nodes = Shard0Frontier(*store_, num_nodes_, 4);
+  ShardExpandResponse resp;
+  EXPECT_TRUE(svc->Expand(req, &resp).ok());
+  returner.join();
+}
+
+}  // namespace
+}  // namespace relgraph

@@ -5,6 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -62,6 +65,76 @@ TEST(ThreadPool, DestructionDrainsQueuedTasks) {
     }
   }  // destructor joins after the queue drains
   EXPECT_EQ(ran.load(), 32);
+}
+
+// Regression for the Submit/shutdown race: Submit() used to enqueue
+// unconditionally, so a task slipping in concurrently with destruction
+// could land after the workers' drain-and-exit check and its future would
+// block forever. Submission after stop must now be *refused* — the task is
+// never run and the future reports the error instead of hanging.
+TEST(ThreadPool, SubmitAfterShutdownIsRefusedNotHung) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.Submit([&ran] { ran.fetch_add(1); }).get();
+  pool.Shutdown();
+  std::atomic<bool> refused_ran{false};
+  auto refused = pool.Submit([&refused_ran] {
+    refused_ran.store(true);
+    return 99;
+  });
+  // The future must complete immediately (no worker will ever serve it)…
+  ASSERT_EQ(refused.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  // …with the documented error, and the task must never have run.
+  EXPECT_THROW(refused.get(), std::runtime_error);
+  EXPECT_FALSE(refused_ran.load());
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPool, ShutdownIsIdempotentAndStillRunsEarlierTasks) {
+  ThreadPool pool(1);
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> fs;
+  for (int i = 0; i < 16; i++) {
+    fs.push_back(pool.Submit([&ran] { ran.fetch_add(1); }));
+  }
+  pool.Shutdown();
+  pool.Shutdown();  // second call must be a no-op, not a double join
+  for (auto& f : fs) f.get();  // all pre-shutdown futures complete
+  EXPECT_EQ(ran.load(), 16);
+}
+
+// The racing schedule itself: submitters hammer Submit() while another
+// thread begins shutdown. Every returned future must settle — either with
+// the task's value (it made it in before the stop) or with the refusal
+// error (it did not) — and the test must not hang. Before the fix, a task
+// enqueued in the race window was never run and this get() deadlocked.
+TEST(ThreadPool, ConcurrentSubmitAndShutdownNeverStrandsAFuture) {
+  for (int round = 0; round < 8; round++) {
+    auto pool = std::make_unique<ThreadPool>(2);
+    std::atomic<bool> go{false};
+    std::atomic<int64_t> completed{0}, refused{0};
+    std::vector<std::thread> submitters;
+    for (int s = 0; s < 4; s++) {
+      submitters.emplace_back([&] {
+        while (!go.load()) {
+        }
+        for (int i = 0; i < 64; i++) {
+          auto f = pool->Submit([] { return 1; });
+          try {
+            completed.fetch_add(f.get());
+          } catch (const std::runtime_error&) {
+            refused.fetch_add(1);
+          }
+        }
+      });
+    }
+    go.store(true);
+    pool->Shutdown();  // races the submitters by design
+    for (auto& t : submitters) t.join();
+    // Conservation: every submission either ran or was refused.
+    EXPECT_EQ(completed.load() + refused.load(), 4 * 64);
+  }
 }
 
 }  // namespace

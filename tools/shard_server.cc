@@ -1,0 +1,90 @@
+// Standalone shard server: generates the deterministic benchmark graph,
+// partitions it, and serves ONE shard over loopback TCP — the paper-§7
+// "one RDBMS node per partition" as an actual process. A fleet of these
+// (one per shard, same seed/nodes/shards so every process derives the
+// same partitioning) plus the dist_query driver is a whole distributed
+// deployment on one machine; the CI smoke starts such a fleet and kills a
+// member mid-run to prove queries degrade instead of hanging.
+//
+// Usage:
+//   shard_server --shard I --shards K [--nodes N] [--seed S] [--port P]
+//
+// Prints "LISTENING <port>" on stdout once ready (port 0 => ephemeral,
+// read it from there), then serves until SIGINT/SIGTERM.
+
+#include <signal.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <thread>
+
+#include "src/dist/sharded_graph.h"
+#include "src/graph/generators.h"
+#include "src/net/shard_server.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void OnSignal(int) { g_stop.store(true); }
+
+int64_t ArgInt(int argc, char** argv, const char* name, int64_t fallback) {
+  for (int i = 1; i + 1 < argc; i++) {
+    if (std::strcmp(argv[i], name) == 0) return std::atoll(argv[i + 1]);
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace relgraph;
+  const int shard = static_cast<int>(ArgInt(argc, argv, "--shard", -1));
+  const int shards = static_cast<int>(ArgInt(argc, argv, "--shards", 2));
+  const int64_t nodes = ArgInt(argc, argv, "--nodes", 2000);
+  const uint64_t seed =
+      static_cast<uint64_t>(ArgInt(argc, argv, "--seed", 4242));
+  const uint16_t port =
+      static_cast<uint16_t>(ArgInt(argc, argv, "--port", 0));
+  if (shard < 0 || shard >= shards) {
+    std::fprintf(stderr,
+                 "usage: %s --shard I --shards K [--nodes N] [--seed S] "
+                 "[--port P]\n", argv[0]);
+    return 64;
+  }
+
+  EdgeList list = GenerateBarabasiAlbert(nodes, 3, WeightRange{1, 100}, seed);
+  ShardedGraphOptions sopts;
+  sopts.num_shards = shards;
+  std::unique_ptr<ShardedGraphStore> store;
+  Status st = ShardedGraphStore::Create(list, sopts, &store);
+  if (!st.ok()) {
+    std::fprintf(stderr, "store: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  net::ShardServerOptions opts;
+  opts.port = port;
+  std::unique_ptr<net::ShardServer> server;
+  st = net::ShardServer::Start(store.get(), shard, opts, &server);
+  if (!st.ok()) {
+    std::fprintf(stderr, "server: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("LISTENING %u\n", server->port());
+  std::fflush(stdout);
+
+  signal(SIGINT, OnSignal);
+  signal(SIGTERM, OnSignal);
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  server->Stop();
+  std::fprintf(stderr, "shard %d: served %lld requests, stopping\n", shard,
+               static_cast<long long>(server->requests_served()));
+  return 0;
+}
