@@ -75,6 +75,10 @@ void FlushJson() {
         {"fpr_s", a.fpr_s},           {"f_s", a.f_s},
         {"e_s", a.e_s},               {"m_s", a.m_s},
         {"buffer_misses", a.buffer_misses},
+        {"retries", a.retries},       {"failures", a.failures},
+        {"breaker_opens", a.breaker_opens},
+        {"failovers", a.failovers},   {"hedges", a.hedges},
+        {"sheds", a.sheds},
         {"found", static_cast<double>(a.found)},
         {"total", static_cast<double>(a.total)},
     };

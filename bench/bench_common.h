@@ -36,7 +36,10 @@ std::vector<std::pair<node_id_t, node_id_t>> MakeQueryPairs(int64_t num_nodes,
                                                             int n,
                                                             uint64_t seed);
 
-/// Averaged per-query metrics for one (algorithm, graph) cell.
+/// Averaged per-query metrics for one (algorithm, graph) cell. The
+/// resilience block (totals, not averages) is zero for single-node benches
+/// and populated by the distributed/networked ones, so CI can gate on
+/// "this series must see zero sheds / exactly these failovers".
 struct AvgResult {
   double time_s = 0;
   double expansions = 0;
@@ -45,6 +48,8 @@ struct AvgResult {
   double pe_s = 0, sc_s = 0, fpr_s = 0;
   double f_s = 0, e_s = 0, m_s = 0;
   double buffer_misses = 0;
+  double retries = 0, failures = 0, breaker_opens = 0;
+  double failovers = 0, hedges = 0, sheds = 0;
   int found = 0;
   int total = 0;
 };

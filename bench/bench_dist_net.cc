@@ -9,7 +9,14 @@
 // before emitting — the bench itself enforces the transport-invisibility
 // invariant — so the diff_bench gate pins them exactly and any drift in
 // either transport fails CI.
+//
+// Two resilience series ride along: dist_net/replicated (2 replicas per
+// shard; a healthy fleet must route without a single failover/hedge/shed —
+// those metrics are pinned at 0 by the gate) and dist_net/overload (4
+// concurrent sessions over 1-connection pools; the admission queue must
+// absorb the contention with zero sheds and bit-identical results).
 #include <cstdlib>
+#include <thread>
 
 #include "bench_common.h"
 #include "src/dist/dist_path_finder.h"
@@ -26,6 +33,7 @@ struct NetAvg {
   double statements = 0;
   int found = 0;
   int total = 0;
+  ResilienceCounters resilience;  // totals over the whole series
 };
 
 NetAvg RunPairs(DistPathFinder* finder,
@@ -55,6 +63,13 @@ void EmitJson(const std::string& label, const NetAvg& avg) {
   a.statements = avg.statements;
   a.found = avg.found;
   a.total = avg.total;
+  const ResilienceCounters& rc = avg.resilience;
+  a.retries = static_cast<double>(rc.retries);
+  a.failures = static_cast<double>(rc.failures);
+  a.breaker_opens = static_cast<double>(rc.breaker_opens);
+  a.failovers = static_cast<double>(rc.failovers);
+  a.hedges = static_cast<double>(rc.hedges);
+  a.sheds = static_cast<double>(rc.sheds);
   JsonRecord(label, a);
 }
 
@@ -103,6 +118,7 @@ void Run() {
     Check(DistPathFinder::Create(store.get(), &remote, dopts),
           "loopback finder");
     NetAvg r = RunPairs(remote.get(), pairs);
+    r.resilience = remote->coordinator()->Resilience();
     EmitJson("dist_net/loopback", r);
 
     // The invariant the whole transport hangs on.
@@ -111,6 +127,83 @@ void Run() {
       std::fprintf(stderr,
                    "FATAL: loopback transport drifted from local results "
                    "(shards=%d)\n", shards);
+      std::exit(1);
+    }
+
+    // Two replicas per shard: a healthy replica set must be
+    // indistinguishable from one replica — same results, zero failovers,
+    // zero hedges, zero sheds (the gate pins those at 0).
+    std::vector<std::unique_ptr<net::ShardServer>> replicas;
+    DistOptions ropts;
+    for (int s = 0; s < shards; s++) {
+      std::string joined;
+      for (int rep = 0; rep < 2; rep++) {
+        std::unique_ptr<net::ShardServer> server;
+        Check(net::ShardServer::Start(store.get(), s,
+                                      net::ShardServerOptions{}, &server),
+              "replica ShardServer::Start");
+        if (!joined.empty()) joined += '|';
+        joined += "127.0.0.1:" + std::to_string(server->port());
+        replicas.push_back(std::move(server));
+      }
+      ropts.shard_endpoints.push_back(std::move(joined));
+    }
+    std::unique_ptr<DistPathFinder> replicated;
+    Check(DistPathFinder::Create(store.get(), &replicated, ropts),
+          "replicated finder");
+    NetAvg rr = RunPairs(replicated.get(), pairs);
+    rr.resilience = replicated->coordinator()->Resilience();
+    EmitJson("dist_net/replicated", rr);
+    if (rr.rows_shipped != l.rows_shipped || rr.statements != l.statements ||
+        rr.found != l.found || rr.resilience.failovers != 0 ||
+        rr.resilience.hedges != 0 || rr.resilience.sheds != 0) {
+      std::fprintf(stderr,
+                   "FATAL: healthy replicated fleet drifted from local "
+                   "results (shards=%d)\n", shards);
+      std::exit(1);
+    }
+
+    // Oversubscription: 4 concurrent sessions over 1-connection local
+    // pools. The admission queue must absorb the contention — every query
+    // completes with the oracle's exact counters and zero sheds.
+    constexpr int kSessions = 4;
+    DistOptions oopts;
+    oopts.connections_per_shard = 1;
+    std::unique_ptr<DistCoordinator> ocoord;
+    Check(DistCoordinator::Create(store.get(), oopts, &ocoord),
+          "overload coordinator");
+    std::vector<std::unique_ptr<DistPathFinder>> sessions(kSessions);
+    for (auto& s : sessions) Check(ocoord->NewSession(&s), "overload session");
+    std::vector<NetAvg> per_session(kSessions);
+    {
+      std::vector<std::thread> threads;
+      for (int i = 0; i < kSessions; i++) {
+        threads.emplace_back([&, i] {
+          per_session[i] = RunPairs(sessions[i].get(), pairs);
+        });
+      }
+      for (auto& th : threads) th.join();
+    }
+    // Every session ran the same pairs, so the deterministic counters must
+    // agree session-to-session AND with the uncontended local baseline.
+    NetAvg o = per_session[0];
+    o.wall_s = 0;
+    for (const NetAvg& s : per_session) {
+      o.wall_s += s.wall_s / kSessions;
+      if (s.rows_shipped != l.rows_shipped || s.statements != l.statements ||
+          s.found != l.found) {
+        std::fprintf(stderr,
+                     "FATAL: oversubscribed session drifted from local "
+                     "results (shards=%d)\n", shards);
+        std::exit(1);
+      }
+    }
+    o.resilience = ocoord->Resilience();
+    EmitJson("dist_net/overload", o);
+    if (o.resilience.sheds != 0) {
+      std::fprintf(stderr,
+                   "FATAL: admission queue shed load under a workload it "
+                   "must absorb (shards=%d)\n", shards);
       std::exit(1);
     }
 

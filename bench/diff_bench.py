@@ -56,7 +56,13 @@ import os
 import sys
 import time
 
-EXACT_METRICS = ("statements", "expansions", "visited", "found", "total")
+EXACT_METRICS = (
+    "statements", "expansions", "visited", "found", "total",
+    # Resilience counters: healthy bench fleets must not retry, trip
+    # breakers, fail over, hedge, or shed — a nonzero value (or any drift
+    # from the checked-in baseline) is a robustness regression.
+    "retries", "failures", "breaker_opens", "failovers", "hedges", "sheds",
+)
 
 
 def record_key(rec):

@@ -1,0 +1,99 @@
+#include "src/common/admission_queue.h"
+
+#include <algorithm>
+#include <string>
+
+namespace relgraph {
+
+AdmissionQueue::AdmissionQueue(int permits, int max_waiters)
+    : permits_(std::max(1, permits)),
+      max_waiters_(std::max(0, max_waiters)),
+      free_(permits_) {}
+
+int AdmissionQueue::waiting() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waiting_;
+}
+
+void AdmissionQueue::GrantLocked() {
+  // Rotate across sessions with waiters: each grant goes to the session at
+  // the cursor, then the cursor advances — a session with 100 queued
+  // requests gets exactly one grant per lap, same as a session with 1.
+  while (free_ > 0 && !rr_.empty()) {
+    if (rr_pos_ >= rr_.size()) rr_pos_ = 0;
+    const uint64_t session = rr_[rr_pos_];
+    auto it = queues_.find(session);
+    Waiter* w = it->second.front();
+    it->second.pop_front();
+    if (it->second.empty()) {
+      queues_.erase(it);
+      rr_.erase(rr_.begin() + static_cast<ptrdiff_t>(rr_pos_));
+      // rr_pos_ now points at the next session already.
+    } else {
+      rr_pos_++;
+    }
+    free_--;
+    waiting_--;
+    w->granted = true;
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Waiters check their own `granted` flag; one broadcast wakes the lot.
+  cv_.notify_all();
+}
+
+Status AdmissionQueue::Acquire(
+    uint64_t session, std::chrono::steady_clock::time_point deadline) {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Fast path: free permit and nobody queued ahead (no barging past the
+  // line — a free permit with waiters present cannot persist, but the
+  // check keeps the invariant explicit).
+  if (free_ > 0 && waiting_ == 0) {
+    free_--;
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+  if (waiting_ >= max_waiters_) {
+    // Shed NOW: the queue is at capacity, so waiting out the deadline
+    // cannot help — tell the caller while it can still react.
+    sheds_.fetch_add(1, std::memory_order_relaxed);
+    return Status::ResourceExhausted(
+        "admission queue full (" + std::to_string(waiting_) + " waiting, " +
+        std::to_string(permits_) + " permit(s) busy); shedding load");
+  }
+  Waiter w;
+  auto [it, inserted] = queues_.try_emplace(session);
+  if (inserted) rr_.push_back(session);
+  it->second.push_back(&w);
+  waiting_++;
+  // A permit may have freed between our fast-path check and enqueue.
+  GrantLocked();
+  if (cv_.wait_until(lock, deadline, [&w] { return w.granted; })) {
+    return Status::OK();
+  }
+  // Deadline passed while queued: remove ourselves. The grant may have
+  // landed between the timeout and re-locking — wait_until re-checks the
+  // predicate under the lock, so reaching here means not granted.
+  auto qit = queues_.find(session);
+  auto& dq = qit->second;
+  dq.erase(std::find(dq.begin(), dq.end(), &w));
+  if (dq.empty()) {
+    queues_.erase(qit);
+    auto rit = std::find(rr_.begin(), rr_.end(), session);
+    const size_t idx = static_cast<size_t>(rit - rr_.begin());
+    rr_.erase(rit);
+    if (idx < rr_pos_) rr_pos_--;
+  }
+  waiting_--;
+  timeouts_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Unavailable(
+      "timed out in admission queue (" + std::to_string(permits_) +
+      " permit(s) busy)");
+}
+
+void AdmissionQueue::Release() {
+  std::lock_guard<std::mutex> lock(mu_);
+  free_++;
+  GrantLocked();
+}
+
+}  // namespace relgraph

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace relgraph {
+
+/// Bounded, per-session-fair admission queue over a fixed set of permits —
+/// the policy layer in front of every shard connection pool.
+///
+/// The PR-6 pools woke waiters in whatever order the condition variable
+/// chose and let them queue until their deadline: one chatty session could
+/// starve the rest, and under overload every request waited the full
+/// deadline before failing. This queue fixes both:
+///
+///   * **Fairness**: waiters are queued per session and permits are granted
+///     round-robin across the sessions that have waiters, so N sessions
+///     hammering one pool each get ~1/N of the grants regardless of how
+///     many requests any one of them has queued.
+///   * **Bounded queueing with fast shedding**: at most `max_waiters`
+///     requests may queue; one more is rejected *immediately* with
+///     Status::ResourceExhausted (a load-shed the caller can act on now)
+///     instead of burning its deadline in a line it will never clear.
+///
+/// A waiter whose deadline passes while queued degrades to the same typed
+/// Status::Unavailable the pools always used — shedding is the "queue is
+/// provably over capacity" signal, the deadline is the "capacity exists but
+/// not for me in time" signal.
+///
+/// Thread-safe. Session ids are opaque; 0 is a fine default for callers
+/// without session identity (all such callers then share one FIFO lane).
+class AdmissionQueue {
+ public:
+  /// `permits`: concurrent holders allowed (the pool size). `max_waiters`:
+  /// requests allowed to queue beyond the permits before shedding starts.
+  AdmissionQueue(int permits, int max_waiters);
+
+  AdmissionQueue(const AdmissionQueue&) = delete;
+  AdmissionQueue& operator=(const AdmissionQueue&) = delete;
+
+  /// Acquires one permit as session `session`. OK => the caller holds a
+  /// permit and must Release() it. ResourceExhausted => the queue was full
+  /// (returns without waiting). Unavailable => queued but the deadline
+  /// passed before a permit was granted.
+  Status Acquire(uint64_t session, std::chrono::steady_clock::time_point deadline);
+
+  /// Returns a permit; grants it to the next waiter (round-robin across
+  /// sessions) if any.
+  void Release();
+
+  int permits() const { return permits_; }
+  int max_waiters() const { return max_waiters_; }
+
+  /// ----- observability ------------------------------------------------------
+  int64_t admitted() const { return admitted_.load(std::memory_order_relaxed); }
+  int64_t sheds() const { return sheds_.load(std::memory_order_relaxed); }
+  int64_t timeouts() const { return timeouts_.load(std::memory_order_relaxed); }
+  /// Requests currently queued (diagnostic snapshot).
+  int waiting() const;
+
+ private:
+  struct Waiter {
+    bool granted = false;
+  };
+
+  /// Grants free permits to queued waiters, rotating across sessions.
+  /// Caller holds mu_.
+  void GrantLocked();
+
+  const int permits_;
+  const int max_waiters_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int free_;
+  int waiting_ = 0;
+  /// Waiting requests, FIFO within a session.
+  std::map<uint64_t, std::deque<Waiter*>> queues_;
+  /// Sessions with waiters, in grant rotation order; rr_pos_ points at the
+  /// session served next.
+  std::vector<uint64_t> rr_;
+  size_t rr_pos_ = 0;
+
+  std::atomic<int64_t> admitted_{0};
+  std::atomic<int64_t> sheds_{0};
+  std::atomic<int64_t> timeouts_{0};
+};
+
+}  // namespace relgraph

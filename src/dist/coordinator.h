@@ -1,10 +1,13 @@
 #pragma once
 
+#include <atomic>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "src/common/thread_pool.h"
+#include "src/dist/replica_set.h"
 #include "src/dist/shard_service.h"
 #include "src/dist/sharded_graph.h"
 #include "src/net/remote_shard_service.h"
@@ -30,15 +33,29 @@ struct DistOptions {
   /// How long a session may queue for a local shard connection before the
   /// round fails with Status::Unavailable (see LocalShardOptions).
   int64_t checkout_timeout_ms = 30'000;
-  /// Transport per shard: one "host:port" endpoint per shard served by a
-  /// net::ShardServer, or "" for the in-process LocalShardService. An
-  /// empty vector keeps every shard local (the default single-process
-  /// deployment); otherwise the size must equal the store's shard count.
-  /// Mixing is fully supported — the coordinator's merge logic cannot
-  /// tell, which is the point of the ShardService seam.
+  /// Requests allowed to queue per local shard pool beyond the connection
+  /// count; one more is shed immediately with ResourceExhausted (see
+  /// LocalShardOptions::max_queue_depth).
+  int admission_queue_depth = 256;
+  /// Transport per shard: each entry is one or more '|'-separated
+  /// *replicas* of that shard — "host:port" for a net::ShardServer, or ""
+  /// / "local" for the in-process LocalShardService. One replica wires the
+  /// service directly (eagerly validated); several wire a
+  /// ReplicatedShardService that routes by health, fails over, and
+  /// optionally hedges (see `replica`). An empty vector keeps every shard
+  /// local (the default single-process deployment); otherwise the size
+  /// must equal the store's shard count. Mixing is fully supported — the
+  /// coordinator's merge logic cannot tell, which is the point of the
+  /// ShardService seam.
   std::vector<std::string> shard_endpoints;
   /// Failure-handling knobs applied to every remote shard stub.
   net::RemoteShardOptions remote;
+  /// Replica routing / health / hedging knobs (multi-replica shards only).
+  ReplicaOptions replica;
+  /// Test/harness hook: called with the 1-based FEM round number right
+  /// before that round's shard fan-out, from the session thread — the seam
+  /// a deterministic FaultSchedule threads through. Null in production.
+  std::function<void(int64_t)> round_hook;
 };
 
 /// Process-wide coordinator state for distributed BSDJ over one
@@ -66,6 +83,16 @@ class DistCoordinator {
   ThreadPool* pool() const { return pool_.get(); }
   const DistOptions& options() const { return options_; }
 
+  /// Sums resilience counters (retries, failovers, hedges, sheds, health
+  /// census, ...) across every shard service and its replicas.
+  ResilienceCounters Resilience() const;
+
+  /// Monotonic session id (1-based) stamped on each new session's shard
+  /// requests, so shard-side admission can be per-session fair.
+  int64_t NextSessionId() {
+    return next_session_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
  private:
   DistCoordinator(ShardedGraphStore* store, DistOptions options)
       : store_(store), options_(std::move(options)) {}
@@ -74,6 +101,7 @@ class DistCoordinator {
   DistOptions options_;
   std::vector<std::unique_ptr<ShardService>> services_;
   std::unique_ptr<ThreadPool> pool_;
+  std::atomic<int64_t> next_session_id_{0};
 };
 
 }  // namespace relgraph

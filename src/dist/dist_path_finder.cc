@@ -25,6 +25,7 @@ Status DistPathFinder::Create(ShardedGraphStore* store,
 Status DistPathFinder::CreateSession(DistCoordinator* coord,
                                      std::unique_ptr<DistPathFinder>* out) {
   auto finder = std::unique_ptr<DistPathFinder>(new DistPathFinder(coord));
+  finder->session_id_ = coord->NextSessionId();
   // Each session is its own "RDBMS node": statement counts and buffer
   // traffic on its TVisited accrue here, separate from every shard database
   // and from every other session.
@@ -69,7 +70,8 @@ Status DistPathFinder::ExpandOnShards(const std::vector<node_id_t>& frontier,
     int64_t round_max_us = 0;
     for (size_t i = 0; i < contacted.size(); i++) {
       int shard = contacted[i];
-      ShardExpandRequest req{forward, std::move(by_shard[shard])};
+      ShardExpandRequest req{forward, std::move(by_shard[shard]),
+                             session_id_};
       RELGRAPH_RETURN_IF_ERROR(
           coord_->shard_service(shard)->Expand(req, &responses[i]));
       *shard_serial_us += responses[i].elapsed_us;
@@ -92,11 +94,13 @@ Status DistPathFinder::ExpandOnShards(const std::vector<node_id_t>& frontier,
       ShardService* svc = coord_->shard_service(shard);
       ShardExpandResponse* resp = &responses[i];
       auto req = std::make_shared<ShardExpandRequest>(
-          ShardExpandRequest{forward, std::move(by_shard[shard])});
+          ShardExpandRequest{forward, std::move(by_shard[shard]),
+                             session_id_});
       futures.push_back(pool->Submit(
           [svc, req, resp]() -> Status { return svc->Expand(*req, resp); }));
     }
-    ShardExpandRequest first_req{forward, std::move(by_shard[contacted[0]])};
+    ShardExpandRequest first_req{forward, std::move(by_shard[contacted[0]]),
+                                 session_id_};
     Status first_error =
         coord_->shard_service(contacted[0])->Expand(first_req, &responses[0]);
     for (auto& f : futures) {
@@ -225,6 +229,13 @@ Status DistPathFinder::Find(node_id_t s, node_id_t t, DistPathResult* result) {
       }
     }
 
+    // Fault-schedule seam: the hook sees the 1-based round number right
+    // before this round's shard fan-out, from the session thread — so a
+    // scripted fault ("kill replica R at round K") lands at a
+    // deterministic point in the query, every run.
+    if (coord_->options().round_hook) {
+      coord_->options().round_hook(stats.rounds + 1);
+    }
     std::vector<Tuple> expansion;
     RELGRAPH_RETURN_IF_ERROR(ExpandOnShards(frontier, forward, level,
                                             &expansion, &stats,

@@ -69,6 +69,11 @@ class DistPathFinder {
   /// The session's database (statement counts feed DistQueryStats).
   Database* coordinator_db() { return coord_db_.get(); }
 
+  /// The coordinator this session runs on (resilience counters live there).
+  DistCoordinator* coordinator() const { return coord_; }
+  /// This session's id, stamped on every shard request it issues.
+  int64_t session_id() const { return session_id_; }
+
  private:
   friend class DistCoordinator;
 
@@ -93,6 +98,7 @@ class DistPathFinder {
 
   DistCoordinator* coord_ = nullptr;
   ShardedGraphStore* store_ = nullptr;
+  int64_t session_id_ = 0;
   /// Set only by the single-session Create() overload, which owns its
   /// coordinator; sessions minted via NewSession() borrow theirs.
   std::unique_ptr<DistCoordinator> owned_coord_;

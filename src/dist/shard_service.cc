@@ -17,6 +17,9 @@ Status LocalShardService::Create(ShardedGraphStore* store, int shard,
   if (options.checkout_timeout_ms < 1) {
     return Status::InvalidArgument("checkout timeout must be >= 1 ms");
   }
+  if (options.max_queue_depth < 0) {
+    return Status::InvalidArgument("admission queue depth must be >= 0");
+  }
   auto svc = std::unique_ptr<LocalShardService>(
       new LocalShardService(store, shard, options));
   for (int i = 0; i < options.connections; i++) {
@@ -41,21 +44,28 @@ Status LocalShardService::Create(ShardedGraphStore* store, int shard,
   return Status::OK();
 }
 
-Status LocalShardService::CheckoutConn(Conn** out) {
-  std::unique_lock<std::mutex> lock(mu_);
-  // Deadline-bounded wait: a pool held busy past the timeout surfaces as
-  // the same typed Unavailable the remote transport degrades to, instead
-  // of wedging the session forever (the pre-fix behavior).
+Status LocalShardService::CheckoutConn(int64_t session, Conn** out) {
+  // Admission first: the queue bounds the wait at checkout_timeout_ms
+  // (-> Unavailable, same typed error the remote transport degrades to),
+  // sheds queue-full arrivals immediately (-> ResourceExhausted), and
+  // round-robins grants across sessions so none starves.
   const auto deadline =
       std::chrono::steady_clock::now() +
       std::chrono::milliseconds(options_.checkout_timeout_ms);
-  if (!conn_available_.wait_until(lock, deadline,
-                                  [this] { return !idle_.empty(); })) {
-    return Status::Unavailable(
-        "shard " + std::to_string(shard_) + " connection pool exhausted (" +
-        std::to_string(conns_.size()) + " connections busy for " +
-        std::to_string(options_.checkout_timeout_ms) + " ms)");
+  Status admit = admission_.Acquire(static_cast<uint64_t>(session), deadline);
+  if (!admit.ok()) {
+    if (admit.IsUnavailable()) {
+      // Keep the pool-exhaustion shape callers/tests key on.
+      return Status::Unavailable(
+          "shard " + std::to_string(shard_) + " connection pool exhausted (" +
+          std::to_string(conns_.size()) + " connections busy for " +
+          std::to_string(options_.checkout_timeout_ms) + " ms)");
+    }
+    return Status::ResourceExhausted(
+        "shard " + std::to_string(shard_) + ": " + admit.message());
   }
+  // A granted permit means a connection is free (permits == pool size).
+  std::lock_guard<std::mutex> lock(mu_);
   *out = idle_.back();
   idle_.pop_back();
   return Status::OK();
@@ -66,12 +76,12 @@ void LocalShardService::ReturnConn(Conn* c) {
     std::lock_guard<std::mutex> lock(mu_);
     idle_.push_back(c);
   }
-  conn_available_.notify_one();
+  admission_.Release();
 }
 
 Status LocalShardService::DebugCheckoutConn(void** handle) {
   Conn* conn = nullptr;
-  RELGRAPH_RETURN_IF_ERROR(CheckoutConn(&conn));
+  RELGRAPH_RETURN_IF_ERROR(CheckoutConn(/*session=*/0, &conn));
   *handle = conn;
   return Status::OK();
 }
@@ -98,7 +108,7 @@ Status LocalShardService::Expand(const ShardExpandRequest& request,
                                  ShardExpandResponse* response) {
   *response = ShardExpandResponse{};
   Conn* conn = nullptr;
-  RELGRAPH_RETURN_IF_ERROR(CheckoutConn(&conn));
+  RELGRAPH_RETURN_IF_ERROR(CheckoutConn(request.session_id, &conn));
   Timer timer;
   // One logical round-trip to this shard per request (the conceptual
   // `... WHERE fid IN (<frontier ∩ shard>)` statement); the shard's own

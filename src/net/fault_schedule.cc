@@ -1,0 +1,173 @@
+#include "src/net/fault_schedule.h"
+
+namespace relgraph {
+namespace net {
+
+Status ReplicaFleet::Start(ShardedGraphStore* store, int replicas_per_shard,
+                           ShardServerOptions base,
+                           std::unique_ptr<ReplicaFleet>* out) {
+  if (store == nullptr) {
+    return Status::InvalidArgument("null ShardedGraphStore");
+  }
+  if (replicas_per_shard < 1) {
+    return Status::InvalidArgument("replicas_per_shard must be >= 1");
+  }
+  if (base.port != 0) {
+    return Status::InvalidArgument(
+        "fleet replicas must use ephemeral ports (base.port == 0)");
+  }
+  auto fleet = std::unique_ptr<ReplicaFleet>(
+      new ReplicaFleet(store, replicas_per_shard, base));
+  fleet->servers_.resize(store->num_shards());
+  fleet->ports_.resize(store->num_shards());
+  for (int shard = 0; shard < store->num_shards(); shard++) {
+    for (int r = 0; r < replicas_per_shard; r++) {
+      std::unique_ptr<ShardServer> server;
+      RELGRAPH_RETURN_IF_ERROR(
+          ShardServer::Start(store, shard, base, &server));
+      fleet->ports_[shard].push_back(server->port());
+      fleet->servers_[shard].push_back(std::move(server));
+    }
+  }
+  *out = std::move(fleet);
+  return Status::OK();
+}
+
+std::vector<std::string> ReplicaFleet::Endpoints() const {
+  std::vector<std::string> endpoints;
+  endpoints.reserve(ports_.size());
+  for (const auto& shard_ports : ports_) {
+    std::string joined;
+    for (uint16_t p : shard_ports) {
+      if (!joined.empty()) joined += '|';
+      joined += "127.0.0.1:" + std::to_string(p);
+    }
+    endpoints.push_back(std::move(joined));
+  }
+  return endpoints;
+}
+
+Status ReplicaFleet::CheckIndex(int shard, int replica) const {
+  if (shard < 0 || shard >= num_shards() || replica < 0 ||
+      replica >= replicas_per_shard_) {
+    return Status::InvalidArgument(
+        "no replica " + std::to_string(replica) + " of shard " +
+        std::to_string(shard) + " in this fleet");
+  }
+  return Status::OK();
+}
+
+Status ReplicaFleet::Kill(int shard, int replica) {
+  RELGRAPH_RETURN_IF_ERROR(CheckIndex(shard, replica));
+  // Destroying the server stops it (connections cut, port released) — the
+  // closest in-process stand-in for SIGKILL on the replica's process.
+  servers_[shard][replica].reset();
+  return Status::OK();
+}
+
+Status ReplicaFleet::Restart(int shard, int replica) {
+  RELGRAPH_RETURN_IF_ERROR(CheckIndex(shard, replica));
+  if (servers_[shard][replica] != nullptr) return Status::OK();
+  ShardServerOptions opts = base_;
+  opts.port = ports_[shard][replica];  // same address clients already know
+  return ShardServer::Start(store_, shard, opts, &servers_[shard][replica]);
+}
+
+Status ReplicaFleet::SetDelay(int shard, int replica, int ms) {
+  RELGRAPH_RETURN_IF_ERROR(CheckIndex(shard, replica));
+  if (servers_[shard][replica] == nullptr) {
+    return Status::InvalidArgument("cannot delay a killed replica");
+  }
+  servers_[shard][replica]->InjectResponseDelayMs(ms);
+  return Status::OK();
+}
+
+Status ReplicaFleet::DropConnections(int shard, int replica) {
+  RELGRAPH_RETURN_IF_ERROR(CheckIndex(shard, replica));
+  if (servers_[shard][replica] == nullptr) {
+    return Status::InvalidArgument(
+        "cannot drop connections of a killed replica");
+  }
+  servers_[shard][replica]->InjectDropConnections();
+  return Status::OK();
+}
+
+Status ReplicaFleet::Heal() {
+  for (int shard = 0; shard < num_shards(); shard++) {
+    for (int r = 0; r < replicas_per_shard_; r++) {
+      RELGRAPH_RETURN_IF_ERROR(Restart(shard, r));
+      servers_[shard][r]->InjectResponseDelayMs(0);
+    }
+  }
+  return Status::OK();
+}
+
+FaultSchedule& FaultSchedule::Kill(int64_t round, int shard, int replica) {
+  events_.push_back({round, Op::kKill, shard, replica, 0});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::Restart(int64_t round, int shard, int replica) {
+  events_.push_back({round, Op::kRestart, shard, replica, 0});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::DelayMs(int64_t round, int shard, int replica,
+                                      int ms) {
+  events_.push_back({round, Op::kDelayMs, shard, replica, ms});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::DropConnections(int64_t round, int shard,
+                                              int replica) {
+  events_.push_back({round, Op::kDropConnections, shard, replica, 0});
+  return *this;
+}
+
+Status FaultSchedule::OnRound(int64_t round, ReplicaFleet* fleet) const {
+  for (const Event& e : events_) {
+    if (e.round != round) continue;
+    switch (e.op) {
+      case Op::kKill:
+        RELGRAPH_RETURN_IF_ERROR(fleet->Kill(e.shard, e.replica));
+        break;
+      case Op::kRestart:
+        RELGRAPH_RETURN_IF_ERROR(fleet->Restart(e.shard, e.replica));
+        break;
+      case Op::kDelayMs:
+        RELGRAPH_RETURN_IF_ERROR(fleet->SetDelay(e.shard, e.replica, e.arg));
+        break;
+      case Op::kDropConnections:
+        RELGRAPH_RETURN_IF_ERROR(fleet->DropConnections(e.shard, e.replica));
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+std::string FaultSchedule::ToString() const {
+  std::string out = "[";
+  for (const Event& e : events_) {
+    if (out.size() > 1) out += ", ";
+    out += "round " + std::to_string(e.round) + ": ";
+    switch (e.op) {
+      case Op::kKill:
+        out += "kill";
+        break;
+      case Op::kRestart:
+        out += "restart";
+        break;
+      case Op::kDelayMs:
+        out += "delay(" + std::to_string(e.arg) + "ms)";
+        break;
+      case Op::kDropConnections:
+        out += "drop-conns";
+        break;
+    }
+    out += " s" + std::to_string(e.shard) + "r" + std::to_string(e.replica);
+  }
+  return out + "]";
+}
+
+}  // namespace net
+}  // namespace relgraph

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/net/shard_server.h"
+
+namespace relgraph {
+namespace net {
+
+/// A replicated shard fleet for tests and tools: `replicas_per_shard`
+/// ShardServer processes-in-miniature per shard, all over one shared
+/// ShardedGraphStore, each on its own loopback port. The fleet remembers
+/// every replica's port, so a killed replica restarts *on the same port*
+/// (SO_REUSEADDR) — exactly what a supervised production process would do —
+/// and clients redial the address they already know.
+class ReplicaFleet {
+ public:
+  static Status Start(ShardedGraphStore* store, int replicas_per_shard,
+                      ShardServerOptions base,
+                      std::unique_ptr<ReplicaFleet>* out);
+
+  int num_shards() const { return static_cast<int>(servers_.size()); }
+  int replicas_per_shard() const { return replicas_per_shard_; }
+
+  /// Coordinator-ready endpoint strings: one per shard, replicas joined
+  /// with '|' ("127.0.0.1:p1|127.0.0.1:p2").
+  std::vector<std::string> Endpoints() const;
+
+  /// nullptr while that replica is killed.
+  ShardServer* server(int shard, int replica) const {
+    return servers_[shard][replica].get();
+  }
+  uint16_t port(int shard, int replica) const {
+    return ports_[shard][replica];
+  }
+
+  /// Stops the replica as if its process died (connections cut, port
+  /// released). No-op if already dead.
+  Status Kill(int shard, int replica);
+  /// Restarts a killed replica on its original port. No-op if alive.
+  Status Restart(int shard, int replica);
+  /// Injects a response delay (0 clears); replica must be alive.
+  Status SetDelay(int shard, int replica, int ms);
+  /// Abruptly drops the replica's open connections; replica must be alive.
+  Status DropConnections(int shard, int replica);
+  /// Restarts every dead replica and clears every delay — one call returns
+  /// the fleet to pristine between schedule runs.
+  Status Heal();
+
+ private:
+  ReplicaFleet(ShardedGraphStore* store, int replicas_per_shard,
+               ShardServerOptions base)
+      : store_(store), replicas_per_shard_(replicas_per_shard), base_(base) {}
+
+  Status CheckIndex(int shard, int replica) const;
+
+  ShardedGraphStore* store_;
+  int replicas_per_shard_;
+  ShardServerOptions base_;
+  std::vector<std::vector<std::unique_ptr<ShardServer>>> servers_;
+  std::vector<std::vector<uint16_t>> ports_;
+};
+
+/// A deterministic fault script: "at FEM round K, do X to replica R of
+/// shard S". The coordinator's round hook calls OnRound() right before each
+/// round's shard fan-out, so the same schedule replays the same
+/// interleaving every run — the schedule-exploration idiom: tests enumerate
+/// schedules (every round × every replica × every op) and assert the
+/// invariant under all of them, reaching interleavings a timing-based test
+/// only hits by luck.
+class FaultSchedule {
+ public:
+  enum class Op {
+    kKill,             // stop the replica's server (process death)
+    kRestart,          // bring a killed replica back on its old port
+    kDelayMs,          // arg = response delay in ms (0 clears)
+    kDropConnections,  // cut every open connection once
+  };
+
+  struct Event {
+    int64_t round = 0;  // FEM round (1-based) this fires before
+    Op op = Op::kKill;
+    int shard = 0;
+    int replica = 0;
+    int arg = 0;  // kDelayMs only
+  };
+
+  FaultSchedule& Kill(int64_t round, int shard, int replica);
+  FaultSchedule& Restart(int64_t round, int shard, int replica);
+  FaultSchedule& DelayMs(int64_t round, int shard, int replica, int ms);
+  FaultSchedule& DropConnections(int64_t round, int shard, int replica);
+
+  const std::vector<Event>& events() const { return events_; }
+
+  /// Applies every event scheduled for `round`, in insertion order.
+  /// Designed to sit in DistOptions::round_hook.
+  Status OnRound(int64_t round, ReplicaFleet* fleet) const;
+
+  /// Human-readable one-liner for test failure messages.
+  std::string ToString() const;
+
+ private:
+  std::vector<Event> events_;
+};
+
+}  // namespace net
+}  // namespace relgraph

@@ -1,0 +1,64 @@
+#include "src/net/prober.h"
+
+#include <chrono>
+
+namespace relgraph {
+namespace net {
+
+const char* ReplicaHealthName(ReplicaHealth h) {
+  switch (h) {
+    case ReplicaHealth::kHealthy:
+      return "healthy";
+    case ReplicaHealth::kSuspect:
+      return "suspect";
+    case ReplicaHealth::kDead:
+      return "dead";
+  }
+  return "unknown";
+}
+
+HealthProber::HealthProber(std::vector<Target> targets, ProberOptions options)
+    : targets_(std::move(targets)), options_(options) {
+  if (options_.probe_interval_ms > 0 && !targets_.empty()) {
+    thread_ = std::thread([this] { Loop(); });
+  }
+}
+
+HealthProber::~HealthProber() { Stop(); }
+
+void HealthProber::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void HealthProber::Loop() {
+  const auto interval = std::chrono::milliseconds(options_.probe_interval_ms);
+  while (true) {
+    for (const Target& t : targets_) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stopping_) return;
+      }
+      probes_sent_.fetch_add(1, std::memory_order_relaxed);
+      Status s = t.probe();
+      if (s.ok()) {
+        t.state->RecordSuccess();
+      } else {
+        t.state->RecordFailure(options_);
+      }
+    }
+    sweeps_.fetch_add(1, std::memory_order_relaxed);
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stop_cv_.wait_for(lock, interval, [this] { return stopping_; })) {
+      return;
+    }
+  }
+}
+
+}  // namespace net
+}  // namespace relgraph

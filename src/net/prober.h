@@ -1,0 +1,130 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace relgraph {
+namespace net {
+
+/// Health of one shard replica, as routing sees it.
+///
+///   healthy — answering probes/requests; preferred by routing.
+///   suspect — at least one recent consecutive failure; routed to only
+///             when no healthy replica exists.
+///   dead    — failed `dead_after` consecutive times; routed to last
+///             (the attempt doubles as a recovery probe — its circuit
+///             breaker keeps the cost of a still-dead replica near zero).
+enum class ReplicaHealth : int { kHealthy = 0, kSuspect = 1, kDead = 2 };
+
+const char* ReplicaHealthName(ReplicaHealth h);
+
+/// Thresholds for the failure->suspect->dead ladder and the probe cadence.
+struct ProberOptions {
+  /// Probe every replica this often. <= 0 disables the background prober
+  /// (health then updates only passively, from request outcomes).
+  int64_t probe_interval_ms = 250;
+  /// Consecutive failures before healthy -> suspect.
+  int suspect_after = 1;
+  /// Consecutive failures before -> dead. Dead replicas keep being probed
+  /// at the same cadence: one success revives them to healthy.
+  int dead_after = 3;
+};
+
+/// One replica's shared health cell: written by the background prober and
+/// by request outcomes (passive detection is faster than the next probe
+/// tick), read lock-free on every routing decision.
+class HealthState {
+ public:
+  ReplicaHealth health() const {
+    return static_cast<ReplicaHealth>(
+        state_.load(std::memory_order_relaxed));
+  }
+
+  /// Any successful probe or request: one good answer proves liveness.
+  void RecordSuccess() {
+    consecutive_failures_.store(0, std::memory_order_relaxed);
+    state_.store(static_cast<int>(ReplicaHealth::kHealthy),
+                 std::memory_order_relaxed);
+  }
+
+  /// A failed probe or a transport-failed request; walks the ladder.
+  void RecordFailure(const ProberOptions& opts) {
+    const int fails =
+        consecutive_failures_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (fails >= opts.dead_after) {
+      state_.store(static_cast<int>(ReplicaHealth::kDead),
+                   std::memory_order_relaxed);
+    } else if (fails >= opts.suspect_after) {
+      state_.store(static_cast<int>(ReplicaHealth::kSuspect),
+                   std::memory_order_relaxed);
+    }
+  }
+
+  /// Marks dead outright (e.g. endpoint unreachable at wiring time).
+  void MarkDead() {
+    state_.store(static_cast<int>(ReplicaHealth::kDead),
+                 std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int> state_{static_cast<int>(ReplicaHealth::kHealthy)};
+  std::atomic<int> consecutive_failures_{0};
+};
+
+/// Background health prober: one thread sweeping a fixed set of replicas on
+/// a cadence, reusing the wire's kHeartbeat/kHeartbeatAck frames (the probe
+/// callback is typically RemoteShardService::Ping). Routing then consults
+/// an up-to-date health cell instead of discovering a dead replica
+/// per-request; dead replicas keep being probed, so recovery is noticed
+/// without any query traffic.
+class HealthProber {
+ public:
+  struct Target {
+    /// Bounded health check (e.g. a heartbeat round trip). Must be safe to
+    /// call concurrently with request traffic.
+    std::function<Status()> probe;
+    HealthState* state = nullptr;
+  };
+
+  /// Starts the probe thread immediately.
+  HealthProber(std::vector<Target> targets, ProberOptions options);
+  ~HealthProber();
+
+  HealthProber(const HealthProber&) = delete;
+  HealthProber& operator=(const HealthProber&) = delete;
+
+  /// Stops and joins the probe thread. Idempotent.
+  void Stop();
+
+  /// Probes sent since construction (all targets, all sweeps).
+  int64_t probes_sent() const {
+    return probes_sent_.load(std::memory_order_relaxed);
+  }
+  /// Completed full sweeps — tests wait on this to know every replica's
+  /// health reflects the world at least once since an injected change.
+  int64_t sweeps() const { return sweeps_.load(std::memory_order_relaxed); }
+
+ private:
+  void Loop();
+
+  const std::vector<Target> targets_;
+  const ProberOptions options_;
+
+  std::mutex mu_;
+  std::condition_variable stop_cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+
+  std::atomic<int64_t> probes_sent_{0};
+  std::atomic<int64_t> sweeps_{0};
+};
+
+}  // namespace net
+}  // namespace relgraph

@@ -7,7 +7,7 @@
 namespace relgraph {
 namespace net {
 
-Status RemoteShardService::Connect(
+Status RemoteShardService::Create(
     const std::string& host, uint16_t port, int shard, int num_shards,
     RemoteShardOptions options, std::unique_ptr<RemoteShardService>* out) {
   if (options.max_attempts < 1) {
@@ -16,17 +16,30 @@ Status RemoteShardService::Connect(
   if (options.breaker_failure_threshold < 1) {
     return Status::InvalidArgument("breaker threshold must be >= 1");
   }
-  auto svc = std::unique_ptr<RemoteShardService>(
+  *out = std::unique_ptr<RemoteShardService>(
       new RemoteShardService(host, port, shard, num_shards, options));
+  return Status::OK();
+}
+
+Status RemoteShardService::Validate() {
   // Eager validation: a wrong address, dead server, version skew, or
   // shard-identity mismatch fails at wiring time with the real reason, not
   // on the first query round.
   Socket sock;
   RELGRAPH_RETURN_IF_ERROR(
-      svc->Dial(DeadlineAfterMs(options.connect_timeout_ms), &sock));
-  svc->ReturnSocket(std::move(sock));
-  *out = std::move(svc);
+      Dial(DeadlineAfterMs(options_.connect_timeout_ms), &sock));
+  ReturnSocket(std::move(sock));
   return Status::OK();
+}
+
+Status RemoteShardService::Connect(
+    const std::string& host, uint16_t port, int shard, int num_shards,
+    RemoteShardOptions options, std::unique_ptr<RemoteShardService>* out) {
+  RELGRAPH_RETURN_IF_ERROR(
+      Create(host, port, shard, num_shards, options, out));
+  Status st = (*out)->Validate();
+  if (!st.ok()) out->reset();
+  return st;
 }
 
 Status RemoteShardService::Dial(Deadline deadline, Socket* out) {
@@ -117,8 +130,17 @@ Status RemoteShardService::BreakerAdmit() {
         "circuit open for shard " + std::to_string(shard_) + " (" + host_ +
         ":" + std::to_string(port_) + "); failing fast");
   }
-  // Half-open: let this call probe the shard. A failure re-opens the
-  // window (RecordFailure), a success closes the circuit.
+  // Half-open: exactly one caller probes the shard; concurrent callers keep
+  // failing fast until the probe records an outcome (success closes the
+  // circuit, failure re-opens the window). Without this slot, N threads
+  // arriving at cooldown expiry would all hammer a possibly-still-dead
+  // shard at once — the stampede the breaker exists to prevent.
+  if (half_open_probe_inflight_) {
+    return Status::Unavailable(
+        "circuit open for shard " + std::to_string(shard_) + " (" + host_ +
+        ":" + std::to_string(port_) + "); half-open probe in flight");
+  }
+  half_open_probe_inflight_ = true;
   return Status::OK();
 }
 
@@ -126,13 +148,18 @@ void RemoteShardService::RecordSuccess() {
   std::lock_guard<std::mutex> lock(breaker_mu_);
   consecutive_failures_ = 0;
   breaker_open_ = false;
+  half_open_probe_inflight_ = false;
 }
 
 void RemoteShardService::RecordFailure() {
   failures_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(breaker_mu_);
   consecutive_failures_++;
+  half_open_probe_inflight_ = false;
   if (consecutive_failures_ >= options_.breaker_failure_threshold) {
+    if (!breaker_open_) {
+      breaker_opens_.fetch_add(1, std::memory_order_relaxed);
+    }
     breaker_open_ = true;
     breaker_open_until_ = std::chrono::steady_clock::now() +
                           std::chrono::milliseconds(options_.breaker_open_ms);
@@ -186,8 +213,10 @@ Status RemoteShardService::Expand(const ShardExpandRequest& request,
     *response = ShardExpandResponse{};
     if (!IsRetryable(last)) {
       // Application-level error from the shard (it executed and said no):
-      // retrying cannot change the answer. Does not trip the breaker —
-      // the shard is alive.
+      // retrying cannot change the answer. The shard answered, so it is
+      // alive — record success for the breaker (closing it if this was the
+      // half-open probe; the slot must be released either way).
+      RecordSuccess();
       return last;
     }
   }
@@ -199,8 +228,10 @@ Status RemoteShardService::Expand(const ShardExpandRequest& request,
       " attempt(s); last error: " + last.ToString());
 }
 
-Status RemoteShardService::Ping() {
-  const Deadline deadline = DeadlineAfterMs(options_.request_timeout_ms);
+Status RemoteShardService::Ping() { return Ping(options_.request_timeout_ms); }
+
+Status RemoteShardService::Ping(int64_t timeout_ms) {
+  const Deadline deadline = DeadlineAfterMs(timeout_ms);
   Socket sock;
   RELGRAPH_RETURN_IF_ERROR(CheckoutSocket(deadline, &sock));
   RELGRAPH_RETURN_IF_ERROR(

@@ -58,10 +58,21 @@ struct RemoteShardOptions {
 /// checks a pooled connection out (dialing a new one when none is idle).
 class RemoteShardService : public ShardService {
  public:
-  /// Dials `host:port` and validates the handshake (magic, wire version,
-  /// shard identity, partition count) before returning — a misconfigured
-  /// endpoint fails here, not on the first query. The validated connection
-  /// is pooled for the first Expand().
+  /// Builds a stub without touching the network (options validation only).
+  /// Used by replicated fleets, where a currently-dead replica is a state
+  /// to route around, not a wiring error.
+  static Status Create(const std::string& host, uint16_t port, int shard,
+                       int num_shards, RemoteShardOptions options,
+                       std::unique_ptr<RemoteShardService>* out);
+
+  /// Eagerly dials and validates the handshake (magic, wire version, shard
+  /// identity, partition count); the validated connection is pooled for the
+  /// first Expand(). Distinguishes misconfiguration (InvalidArgument /
+  /// Corruption) from a merely-unreachable endpoint (Unavailable).
+  Status Validate();
+
+  /// Create() + Validate(): the single-endpoint wiring path, where a dead
+  /// endpoint should fail at startup, not on the first query.
   static Status Connect(const std::string& host, uint16_t port, int shard,
                         int num_shards, RemoteShardOptions options,
                         std::unique_ptr<RemoteShardService>* out);
@@ -72,6 +83,9 @@ class RemoteShardService : public ShardService {
   /// Heartbeat round trip on a pooled connection (dials if needed),
   /// bounded by request_timeout_ms. OK means the shard is alive.
   Status Ping();
+  /// Same, with an explicit bound — the health prober probes on a faster
+  /// clock than request traffic.
+  Status Ping(int64_t timeout_ms);
 
   int shard() const { return shard_; }
   const std::string& host() const { return host_; }
@@ -85,7 +99,17 @@ class RemoteShardService : public ShardService {
   int64_t failures() const {
     return failures_.load(std::memory_order_relaxed);
   }
+  /// Closed->open breaker transitions since construction.
+  int64_t breaker_opens() const {
+    return breaker_opens_.load(std::memory_order_relaxed);
+  }
   bool circuit_open() const;
+
+  void AddResilience(ResilienceCounters* out) const override {
+    out->retries += retries();
+    out->failures += failures();
+    out->breaker_opens += breaker_opens();
+  }
 
  private:
   RemoteShardService(std::string host, uint16_t port, int shard,
@@ -107,7 +131,10 @@ class RemoteShardService : public ShardService {
   Status ExpandOnce(Socket* sock, const ShardExpandRequest& request,
                     ShardExpandResponse* response, Deadline deadline);
 
-  /// Breaker bookkeeping around one whole Expand() outcome.
+  /// Breaker bookkeeping around one whole Expand() outcome. While the
+  /// circuit is open past its cooldown, exactly ONE caller is admitted as
+  /// the half-open probe (the slot is held until that caller records an
+  /// outcome); everyone else keeps failing fast.
   Status BreakerAdmit();  // Unavailable while the circuit is open
   void RecordSuccess();
   void RecordFailure();
@@ -130,6 +157,8 @@ class RemoteShardService : public ShardService {
   mutable std::mutex breaker_mu_;
   int consecutive_failures_ = 0;
   bool breaker_open_ = false;
+  /// True while a half-open probe request is in flight; gates the slot.
+  bool half_open_probe_inflight_ = false;
   std::chrono::steady_clock::time_point breaker_open_until_{};
 
   std::mutex jitter_mu_;
@@ -137,6 +166,7 @@ class RemoteShardService : public ShardService {
 
   std::atomic<int64_t> retries_{0};
   std::atomic<int64_t> failures_{0};
+  std::atomic<int64_t> breaker_opens_{0};
 };
 
 }  // namespace net

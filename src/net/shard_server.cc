@@ -50,8 +50,18 @@ void ShardServer::Stop() {
   if (conn_pool_) conn_pool_->Shutdown();
 }
 
+void ShardServer::Drain() {
+  draining_.store(true, std::memory_order_relaxed);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.Close();
+  // Connections now serve only frames already pending and retire once
+  // idle; Shutdown() blocks until the last one has.
+  if (conn_pool_) conn_pool_->Shutdown();
+}
+
 void ShardServer::AcceptLoop() {
-  while (!stopping_.load(std::memory_order_relaxed)) {
+  while (!stopping_.load(std::memory_order_relaxed) &&
+         !draining_.load(std::memory_order_relaxed)) {
     Socket conn;
     Status st = listener_.Accept(&conn, DeadlineAfterMs(kPollSliceMs));
     if (st.IsDeadlineExceeded()) continue;
@@ -145,12 +155,14 @@ bool ShardServer::HandleFrame(Socket* conn, FrameType type,
                          io_deadline)
             .ok();
       }
+      // Count before sending: a client that has the response in hand must
+      // already observe the incremented counter (tests assert on it).
+      requests_served_.fetch_add(1, std::memory_order_relaxed);
       if (!SendFrame(conn, FrameType::kExpandResponse,
                      EncodeExpandResponse(resp), io_deadline)
                .ok()) {
         return false;
       }
-      requests_served_.fetch_add(1, std::memory_order_relaxed);
       int64_t left = stop_after_requests_.load(std::memory_order_relaxed);
       if (left >= 0 &&
           stop_after_requests_.fetch_sub(1, std::memory_order_relaxed) <= 1) {
@@ -176,11 +188,22 @@ bool ShardServer::HandleFrame(Socket* conn, FrameType type,
 
 void ShardServer::ServeConn(Socket conn) {
   bool handshaken = false;
+  const int64_t my_epoch = drop_epoch_.load(std::memory_order_relaxed);
   while (!stopping_.load(std::memory_order_relaxed)) {
+    if (drop_epoch_.load(std::memory_order_relaxed) != my_epoch) {
+      break;  // injected connection drop: hang up abruptly
+    }
     // Idle poll in slices so a stop request retires the connection even
-    // when the client never sends another request.
-    Status st = conn.WaitReadable(DeadlineAfterMs(kPollSliceMs));
-    if (st.IsDeadlineExceeded()) continue;
+    // when the client never sends another request. Under drain, only
+    // frames already pending are served (zero wait), then the connection
+    // retires as soon as it goes idle.
+    const bool draining = draining_.load(std::memory_order_relaxed);
+    Status st =
+        conn.WaitReadable(DeadlineAfterMs(draining ? 0 : kPollSliceMs));
+    if (st.IsDeadlineExceeded()) {
+      if (draining) break;
+      continue;
+    }
     if (!st.ok()) break;
     FrameType type;
     std::string payload;

@@ -59,6 +59,14 @@ class ShardServer {
   /// threads. Idempotent.
   void Stop();
 
+  /// Graceful *drain* (SIGTERM semantics): stop accepting new connections,
+  /// let every in-flight request finish and each connection's
+  /// already-pending frames be served, then retire connections as they go
+  /// idle and join all threads. Unlike Stop(), no request that the server
+  /// has started reading is ever abandoned. Idempotent; Stop() after a
+  /// drain is a no-op.
+  void Drain();
+
   /// Expand requests answered successfully since Start().
   int64_t requests_served() const {
     return requests_served_.load(std::memory_order_relaxed);
@@ -76,6 +84,12 @@ class ShardServer {
   /// for multi-round queries. Negative disables.
   void InjectStopAfterRequests(int64_t n) {
     stop_after_requests_.store(n, std::memory_order_relaxed);
+  }
+  /// Abruptly closes every currently-open connection (at its next poll
+  /// slice) while the server keeps running and accepting — the "network
+  /// blip" fault: clients see a peer close and must redial/retry.
+  void InjectDropConnections() {
+    drop_epoch_.fetch_add(1, std::memory_order_relaxed);
   }
 
  private:
@@ -99,9 +113,13 @@ class ShardServer {
   std::unique_ptr<ThreadPool> conn_pool_;
   std::thread accept_thread_;
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_{false};
   std::atomic<int64_t> requests_served_{0};
   std::atomic<int> response_delay_ms_{0};
   std::atomic<int64_t> stop_after_requests_{-1};
+  /// Bumped by InjectDropConnections(); each connection remembers the epoch
+  /// it was accepted in and retires when the epoch moves.
+  std::atomic<int64_t> drop_epoch_{0};
 };
 
 }  // namespace net

@@ -164,6 +164,7 @@ Status DecodeFrameHeader(const char in[kFrameHeaderBytes], FrameType* type,
 std::string EncodeExpandRequest(const ShardExpandRequest& req) {
   WireWriter w;
   w.PutU8(req.forward ? 1 : 0);
+  w.PutI64(req.session_id);
   w.PutU64(req.nodes.size());
   for (node_id_t n : req.nodes) w.PutI64(n);
   return w.Take();
@@ -175,6 +176,8 @@ Status DecodeExpandRequest(const std::string& payload,
   uint8_t forward;
   RELGRAPH_RETURN_IF_ERROR(r.GetU8(&forward));
   if (forward > 1) return Status::Corruption("bad direction flag");
+  int64_t session_id;
+  RELGRAPH_RETURN_IF_ERROR(r.GetI64(&session_id));
   uint64_t count;
   RELGRAPH_RETURN_IF_ERROR(r.GetU64(&count));
   // The count must be coverable by the bytes actually present — reject it
@@ -183,6 +186,7 @@ Status DecodeExpandRequest(const std::string& payload,
     return Status::Corruption("frontier count exceeds payload");
   }
   req->forward = forward == 1;
+  req->session_id = session_id;
   req->nodes.clear();
   req->nodes.reserve(count);
   for (uint64_t i = 0; i < count; i++) {

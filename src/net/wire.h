@@ -9,7 +9,7 @@
 namespace relgraph {
 namespace net {
 
-/// The shard wire format, version 1. Every message is one *frame*:
+/// The shard wire format, version 2. Every message is one *frame*:
 ///
 ///     [u32 payload_len][u8 frame_type][payload_len bytes]
 ///
@@ -26,7 +26,9 @@ namespace net {
 /// failure answers with an Error frame carrying the typed Status; transport
 /// growth happens by bumping kWireVersion and extending the handshake.
 constexpr uint32_t kWireMagic = 0x52475348;  // "RGSH"
-constexpr uint16_t kWireVersion = 1;
+/// v2 added the session id to ExpandRequest so shard-side admission can be
+/// per-session fair. Both sides live in this tree, so the bump is clean.
+constexpr uint16_t kWireVersion = 2;
 /// Upper bound on one frame's payload; a length field beyond this is
 /// corruption (or a peer speaking another protocol), not a real message.
 constexpr uint32_t kMaxFramePayload = 64u << 20;

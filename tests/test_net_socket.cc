@@ -1,0 +1,194 @@
+// Socket-layer robustness on a real kernel socketpair: SendAll/RecvAll
+// must assemble complete messages across partial reads/writes (forced by
+// tiny kernel buffers), survive EINTR storms (a signal-peppering thread
+// with a no-SA_RESTART handler), report timeouts as DeadlineExceeded, and
+// report a peer close as Unavailable — the taxonomy every retry policy
+// above this layer depends on.
+
+#include <gtest/gtest.h>
+#include <pthread.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/net/socket.h"
+
+namespace relgraph {
+namespace net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// A connected AF_UNIX socketpair wrapped in two deadline-bounded Sockets,
+/// with the kernel buffers squeezed to `bufsize` so any transfer larger
+/// than a few KB is forced through many partial send()/recv() calls.
+void MakePair(int bufsize, Socket* a, Socket* b) {
+  int fds[2];
+  // SOCK_NONBLOCK: Socket's deadline-bounded I/O loops assume a
+  // non-blocking fd (as TcpConnect/Accept produce) — a blocking fd would
+  // park recv() in the kernel and never consult the deadline.
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK, 0, fds), 0)
+      << strerror(errno);
+  for (int fd : {fds[0], fds[1]}) {
+    ASSERT_EQ(setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &bufsize, sizeof(bufsize)),
+              0);
+    ASSERT_EQ(setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &bufsize, sizeof(bufsize)),
+              0);
+  }
+  *a = Socket(fds[0]);
+  *b = Socket(fds[1]);
+}
+
+std::string Pattern(size_t n) {
+  std::string s(n, '\0');
+  for (size_t i = 0; i < n; i++) s[i] = static_cast<char>('A' + i % 23);
+  return s;
+}
+
+// A payload ~100x the kernel buffer cannot move in one syscall: SendAll
+// must loop over partial writes while RecvAll loops over partial reads,
+// and the bytes must arrive intact and in order.
+TEST(NetSocket, PartialReadsAndWritesAssembleExactly) {
+  Socket tx, rx;
+  MakePair(/*bufsize=*/2048, &tx, &rx);
+  const std::string sent = Pattern(256 * 1024);
+
+  std::thread sender([&] {
+    Status st = tx.SendAll(sent.data(), sent.size(), DeadlineAfterMs(10'000));
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  });
+  std::string got(sent.size(), '\0');
+  Status st = rx.RecvAll(got.data(), got.size(), DeadlineAfterMs(10'000));
+  sender.join();
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(got, sent) << "bytes reordered or corrupted across partial I/O";
+}
+
+// ----- EINTR ---------------------------------------------------------------
+
+void NoopHandler(int) {}
+
+/// Installs SIGUSR1 *without* SA_RESTART, so every signal delivery makes
+/// the interrupted syscall return EINTR instead of resuming transparently.
+void InstallInterruptingHandler() {
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = NoopHandler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // the point: no SA_RESTART
+  ASSERT_EQ(sigaction(SIGUSR1, &sa, nullptr), 0);
+}
+
+// The same big transfer with a thread firing SIGUSR1 at the I/O threads
+// the whole time: every poll/send/recv is repeatedly interrupted, and the
+// loops must treat EINTR as "try again", not as failure.
+TEST(NetSocket, TransferSurvivesEintrStorm) {
+  InstallInterruptingHandler();
+  Socket tx, rx;
+  MakePair(/*bufsize=*/2048, &tx, &rx);
+  const std::string sent = Pattern(128 * 1024);
+
+  // The I/O lambdas flip their flag as their last statement; the pepper
+  // thread signals only threads whose flag is still down and exits once
+  // both are up — so no pthread_kill can ever target a joined thread
+  // (main joins the I/O threads only after pepper has exited).
+  std::atomic<bool> send_done{false}, recv_done{false};
+
+  std::thread sender([&] {
+    Status st = tx.SendAll(sent.data(), sent.size(), DeadlineAfterMs(10'000));
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    send_done.store(true);
+  });
+  std::string got(sent.size(), '\0');
+  Status recv_st;
+  std::thread receiver([&] {
+    recv_st = rx.RecvAll(got.data(), got.size(), DeadlineAfterMs(10'000));
+    recv_done.store(true);
+  });
+
+  std::thread pepper([&] {
+    while (!send_done.load() || !recv_done.load()) {
+      if (!send_done.load()) pthread_kill(sender.native_handle(), SIGUSR1);
+      if (!recv_done.load()) pthread_kill(receiver.native_handle(), SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  pepper.join();
+  sender.join();
+  receiver.join();
+  ASSERT_TRUE(recv_st.ok()) << recv_st.ToString();
+  EXPECT_EQ(got, sent) << "EINTR dropped or duplicated bytes";
+}
+
+// ----- deadline and peer-close taxonomy ------------------------------------
+
+// A RecvAll with nothing arriving must come back DeadlineExceeded at
+// (not meaningfully after) its deadline.
+TEST(NetSocket, RecvAllHonorsDeadline) {
+  Socket tx, rx;
+  MakePair(4096, &tx, &rx);
+  char buf[16];
+  const auto t0 = Clock::now();
+  Status st = rx.RecvAll(buf, sizeof(buf), DeadlineAfterMs(60));
+  const auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+      Clock::now() - t0);
+  EXPECT_TRUE(st.IsDeadlineExceeded()) << st.ToString();
+  EXPECT_GE(waited.count(), 50) << "gave up before the deadline";
+  EXPECT_LT(waited.count(), 5000) << "overshot the deadline wildly";
+}
+
+// A SendAll into a full pipe (peer never reads, kernel buffers tiny) must
+// also hit DeadlineExceeded rather than blocking forever.
+TEST(NetSocket, SendAllIntoFullBufferHonorsDeadline) {
+  Socket tx, rx;
+  MakePair(2048, &tx, &rx);
+  const std::string big = Pattern(512 * 1024);
+  Status st = tx.SendAll(big.data(), big.size(), DeadlineAfterMs(100));
+  EXPECT_TRUE(st.IsDeadlineExceeded()) << st.ToString();
+}
+
+// Peer closing mid-message is Unavailable — the "redial and retry" signal,
+// distinct from both timeout and corruption.
+TEST(NetSocket, PeerCloseMidMessageIsUnavailable) {
+  Socket tx, rx;
+  MakePair(4096, &tx, &rx);
+  const std::string half = Pattern(64);
+  ASSERT_TRUE(tx.SendAll(half.data(), half.size(), DeadlineAfterMs(1000)).ok());
+  tx.Close();
+
+  std::string got(128, '\0');  // expects more than the peer ever sent
+  Status st = rx.RecvAll(got.data(), got.size(), DeadlineAfterMs(1000));
+  EXPECT_TRUE(st.IsUnavailable()) << st.ToString();
+}
+
+// Same taxonomy one layer up: a frame cut off by a peer close must surface
+// as Unavailable from RecvFrame (not Corruption — the header itself was
+// fine, the connection died).
+TEST(NetSocket, FrameCutByPeerCloseIsUnavailable) {
+  Socket tx, rx;
+  MakePair(4096, &tx, &rx);
+  char hdr[kFrameHeaderBytes];
+  EncodeFrameHeader(FrameType::kExpandRequest, 1024, hdr);
+  ASSERT_TRUE(tx.SendAll(hdr, sizeof(hdr), DeadlineAfterMs(1000)).ok());
+  const std::string partial = Pattern(100);  // 100 of the promised 1024
+  ASSERT_TRUE(
+      tx.SendAll(partial.data(), partial.size(), DeadlineAfterMs(1000)).ok());
+  tx.Close();
+
+  FrameType type;
+  std::string payload;
+  Status st = RecvFrame(&rx, &type, &payload, DeadlineAfterMs(1000));
+  EXPECT_TRUE(st.IsUnavailable()) << st.ToString();
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace relgraph

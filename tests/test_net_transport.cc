@@ -292,6 +292,91 @@ TEST(NetTransport, CircuitBreakerOpensAndRecovers) {
   EXPECT_FALSE(resp.edges.empty());
 }
 
+// The half-open state must admit exactly ONE probe: N threads racing the
+// breaker the moment its cooldown expires must produce one real request on
+// the wire (the probe, which succeeds and closes the circuit) and N-1
+// immediate typed failures — not N simultaneous probes stampeding a shard
+// that just came back. The server's response delay holds the probe in
+// flight long enough that every racer provably arrives during it.
+TEST(NetTransport, HalfOpenAdmitsExactlyOneProbe) {
+  EdgeList list = GenerateBarabasiAlbert(60, 2, WeightRange{1, 10}, 17);
+  Cluster c = Cluster::Start(list, 1, {true});
+  ASSERT_TRUE(c.store != nullptr);
+
+  net::RemoteShardOptions ropts;
+  ropts.request_timeout_ms = 5000;
+  ropts.max_attempts = 1;
+  ropts.breaker_failure_threshold = 1;  // one failure opens it
+  ropts.breaker_open_ms = 100;
+  std::unique_ptr<net::RemoteShardService> stub;
+  ASSERT_TRUE(net::RemoteShardService::Connect("127.0.0.1",
+                                               c.servers[0]->port(), 0, 1,
+                                               ropts, &stub)
+                  .ok());
+
+  ShardExpandRequest req;
+  req.nodes = {0};
+  ShardExpandResponse resp;
+
+  // Open the breaker: drop the server's connections and call until the
+  // retired connection bites (the drop lands at the server's next poll
+  // slice, so the first call or two may still be served).
+  c.servers[0]->InjectDropConnections();
+  Status open_st;
+  for (int i = 0; i < 200 && !stub->circuit_open(); i++) {
+    open_st = stub->Expand(req, &resp);
+    if (!open_st.ok()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_FALSE(open_st.ok()) << "dropped connections never failed a call";
+  ASSERT_TRUE(stub->circuit_open());
+  const int64_t opens_before = stub->breaker_opens();
+
+  // The server is healthy again but slow: the probe will be in flight for
+  // ~300ms, a window every racer below starts inside.
+  c.servers[0]->InjectResponseDelayMs(300);
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));  // > cooldown
+
+  const int64_t served_before = c.servers[0]->requests_served();
+  constexpr int kRacers = 8;
+  std::vector<Status> outcomes(kRacers);
+  std::vector<ShardExpandResponse> responses(kRacers);
+  std::atomic<int> ready{0};
+  std::vector<std::thread> racers;
+  for (int i = 0; i < kRacers; i++) {
+    racers.emplace_back([&, i] {
+      ready.fetch_add(1);
+      while (ready.load() < kRacers) std::this_thread::yield();  // barrier
+      outcomes[i] = stub->Expand(req, &responses[i]);
+    });
+  }
+  for (auto& t : racers) t.join();
+
+  int ok = 0, half_open_rejected = 0;
+  for (int i = 0; i < kRacers; i++) {
+    if (outcomes[i].ok()) {
+      ok++;
+      EXPECT_FALSE(responses[i].edges.empty());
+    } else {
+      EXPECT_TRUE(outcomes[i].IsUnavailable()) << outcomes[i].ToString();
+      if (outcomes[i].message().find("half-open") != std::string::npos) {
+        half_open_rejected++;
+      }
+    }
+  }
+  EXPECT_EQ(ok, 1) << "exactly the probe must reach the recovered server";
+  EXPECT_EQ(half_open_rejected, kRacers - 1);
+  EXPECT_EQ(c.servers[0]->requests_served() - served_before, 1)
+      << "a racer other than the probe touched the network";
+  EXPECT_EQ(stub->breaker_opens(), opens_before)
+      << "the successful probe must close, not re-open, the circuit";
+  EXPECT_FALSE(stub->circuit_open());
+
+  // And the now-closed circuit serves everyone again.
+  c.servers[0]->InjectResponseDelayMs(0);
+  ASSERT_TRUE(stub->Expand(req, &resp).ok());
+}
+
 // Handshake validation: a stub wired to the wrong shard, or with the wrong
 // partition count, is rejected at Connect() time — a misconfigured cluster
 // fails at wiring, not with wrong answers at query time.

@@ -20,6 +20,7 @@ namespace {
 ShardExpandRequest RandomRequest(Rng* rng, size_t max_nodes) {
   ShardExpandRequest req;
   req.forward = rng->NextBounded(2) == 0;
+  req.session_id = rng->NextInt(0, 1'000'000);
   const size_t n = rng->NextBounded(max_nodes + 1);
   for (size_t i = 0; i < n; i++) {
     req.nodes.push_back(rng->NextInt(0, 1'000'000'000));
@@ -73,6 +74,7 @@ TEST(WireRoundTrip, EdgeShapedPayloadsSurvive) {
   EXPECT_EQ(empty, back_req);
 
   ShardExpandRequest extremes;
+  extremes.session_id = kMaxI64;  // session ids must survive the full range
   extremes.nodes = {0, kMaxI64, kInvalidNode, 1, kMaxI64 - 1};
   ASSERT_TRUE(
       DecodeExpandRequest(EncodeExpandRequest(extremes), &back_req).ok());
@@ -171,6 +173,7 @@ TEST(WireReject, TrailingGarbageIsCorruption) {
 TEST(WireReject, LyingCountFieldIsCorruptionNotAllocation) {
   WireWriter w;
   w.PutU8(1);                                        // forward
+  w.PutI64(0);                                       // session id
   w.PutU64(std::numeric_limits<uint64_t>::max());    // absurd node count
   w.PutI64(7);                                       // one real node
   ShardExpandRequest req;

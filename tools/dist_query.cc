@@ -8,7 +8,12 @@
 //       [--nodes N] [--seed S] [--queries Q] [--expect-unavailable]
 //
 // An endpoint entry of "local" keeps that shard in-process (mixed
-// deployments). Exit codes: 0 success; 2 wrong answer (transport changed
+// deployments); an entry may also name several '|'-separated replicas
+// ("h:p1|h:p2") — the coordinator then load-balances by health and fails
+// over, so killing one replica mid-run must NOT fail any query (the
+// replicated CI smoke asserts exactly that). A resilience-counter summary
+// (retries, failovers, hedges, sheds, ...) is printed at exit.
+// Exit codes: 0 success; 2 wrong answer (transport changed
 // results); 3 unexpected shard failure; with --expect-unavailable the
 // meanings of success flip — 0 when some query degrades to a typed
 // Unavailable (the fleet was killed under us, gracefully), 4 when every
@@ -47,6 +52,20 @@ bool HasFlag(int argc, char** argv, const char* name) {
     if (std::strcmp(argv[i], name) == 0) return true;
   }
   return false;
+}
+
+void PrintResilience(const relgraph::ResilienceCounters& rc) {
+  std::printf(
+      "RESILIENCE retries=%lld failures=%lld breaker_opens=%lld "
+      "failovers=%lld hedges=%lld sheds=%lld probes=%lld healthy=%lld "
+      "suspect=%lld dead=%lld\n",
+      static_cast<long long>(rc.retries), static_cast<long long>(rc.failures),
+      static_cast<long long>(rc.breaker_opens),
+      static_cast<long long>(rc.failovers), static_cast<long long>(rc.hedges),
+      static_cast<long long>(rc.sheds), static_cast<long long>(rc.probes),
+      static_cast<long long>(rc.replicas_healthy),
+      static_cast<long long>(rc.replicas_suspect),
+      static_cast<long long>(rc.replicas_dead));
 }
 
 std::vector<std::string> SplitCommas(const std::string& s) {
@@ -128,6 +147,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "query %d (%lld -> %lld): %s\n", q,
                    static_cast<long long>(s_node),
                    static_cast<long long>(t_node), st.ToString().c_str());
+      PrintResilience(finder->coordinator()->Resilience());
       if (expect_unavailable && st.IsUnavailable()) {
         std::printf("DEGRADED query=%d\n", q);
         return 0;  // graceful degradation observed, as the smoke demands
@@ -145,6 +165,7 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  PrintResilience(finder->coordinator()->Resilience());
   if (expect_unavailable) {
     std::fprintf(stderr, "expected a degraded query, saw none\n");
     return 4;

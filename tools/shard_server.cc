@@ -10,7 +10,11 @@
 //   shard_server --shard I --shards K [--nodes N] [--seed S] [--port P]
 //
 // Prints "LISTENING <port>" on stdout once ready (port 0 => ephemeral,
-// read it from there), then serves until SIGINT/SIGTERM.
+// read it from there), then serves until SIGINT/SIGTERM — on which it
+// DRAINS: stops accepting, finishes every in-flight request, then exits 0.
+// A supervised restart therefore never drops a request the server had
+// started reading (the CI fleet smoke kills and restarts a member to prove
+// it).
 
 #include <signal.h>
 
@@ -83,8 +87,11 @@ int main(int argc, char** argv) {
   while (!g_stop.load()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
-  server->Stop();
-  std::fprintf(stderr, "shard %d: served %lld requests, stopping\n", shard,
+  // Graceful drain: new connections are refused, requests already in
+  // flight (and frames already pending on open connections) are served to
+  // completion, then workers are joined.
+  server->Drain();
+  std::fprintf(stderr, "shard %d: drained, served %lld requests\n", shard,
                static_cast<long long>(server->requests_served()));
   return 0;
 }
