@@ -15,11 +15,20 @@
 // those metrics are pinned at 0 by the gate) and dist_net/overload (4
 // concurrent sessions over 1-connection pools; the admission queue must
 // absorb the contention with zero sheds and bit-identical results).
+//
+// A restart series closes the set: dist_net/restart_ingest (cold start by
+// re-ingesting the edge list) vs dist_net/restart_snapshot (verify + load
+// the checksummed shard snapshots a previous run persisted). The snapshot
+// page count is deterministic, so the gate pins it; the wall-clock ratio
+// is the operational payoff of durable shards.
+#include <chrono>
 #include <cstdlib>
+#include <filesystem>
 #include <thread>
 
 #include "bench_common.h"
 #include "src/dist/dist_path_finder.h"
+#include "src/dist/shard_snapshot.h"
 #include "src/dist/sharded_graph.h"
 #include "src/net/shard_server.h"
 
@@ -210,6 +219,77 @@ void Run() {
     std::printf("%8d %12.4f %14.4f %9.2fx %14.0f %14.0f\n", shards, l.wall_s,
                 r.wall_s, l.wall_s > 0 ? r.wall_s / l.wall_s : 0.0,
                 l.rows_shipped, l.statements);
+
+    // Restart paths: re-ingesting the edge list from scratch vs verifying
+    // and loading the checksummed snapshots this fleet would have left on
+    // disk. Page counts are deterministic (pinned by the gate); the clock
+    // ratio is what a durable shard buys at restart time.
+    namespace fs = std::filesystem;
+    using Clock = std::chrono::steady_clock;
+    auto seconds = [](Clock::time_point a, Clock::time_point b) {
+      return std::chrono::duration<double>(b - a).count();
+    };
+    fs::path snapdir = fs::temp_directory_path() /
+                       ("relgraph_bench_snap_" + std::to_string(::getpid()));
+    fs::create_directories(snapdir);
+
+    auto t0 = Clock::now();
+    {
+      std::unique_ptr<ShardedGraphStore> reingested;
+      Check(ShardedGraphStore::Create(list, sopts, &reingested),
+            "re-ingest ShardedGraphStore::Create");
+    }
+    auto t1 = Clock::now();
+    NetAvg ingest;
+    ingest.wall_s = seconds(t0, t1);
+    ingest.rows_shipped = static_cast<double>(list.edges.size());
+    ingest.found = shards;
+    ingest.total = shards;
+    EmitJson("dist_net/restart_ingest", ingest);
+
+    std::vector<std::string> snaps;
+    for (int s = 0; s < shards; s++) {
+      snaps.push_back((snapdir / ("shard" + std::to_string(s) + ".rgsnap"))
+                          .string());
+      Check(WriteShardSnapshot(*store, s, snaps.back()),
+            "WriteShardSnapshot");
+    }
+    int64_t total_pages = 0;
+    auto t2 = Clock::now();
+    for (int s = 0; s < shards; s++) {
+      int64_t pages = 0;
+      Check(VerifySnapshotPages(snaps[s], &pages), "VerifySnapshotPages");
+      total_pages += pages;
+      std::unique_ptr<ShardedGraphStore> loaded;
+      ShardSnapshotInfo info;
+      Check(LoadShardSnapshot(snaps[s], DatabaseOptions{},
+                              /*verify_structure=*/true, &loaded, &info),
+            "LoadShardSnapshot");
+      if (info.shard != s || info.num_shards != shards ||
+          info.num_nodes != store->num_nodes() ||
+          info.num_edges != store->num_edges()) {
+        std::fprintf(stderr,
+                     "FATAL: snapshot manifest drifted from the store it "
+                     "was written from (shards=%d)\n", shards);
+        std::exit(1);
+      }
+    }
+    auto t3 = Clock::now();
+    NetAvg snap;
+    snap.wall_s = seconds(t2, t3);
+    snap.rows_shipped = static_cast<double>(total_pages);
+    snap.found = shards;
+    snap.total = shards;
+    EmitJson("dist_net/restart_snapshot", snap);
+
+    double scrub_mb = static_cast<double>(total_pages) * kPageSize / 1e6;
+    std::printf("%8s %12.4f %14.4f %9.2fx %14lld %10.1f MB/s\n", "restart",
+                ingest.wall_s, snap.wall_s,
+                snap.wall_s > 0 ? ingest.wall_s / snap.wall_s : 0.0,
+                static_cast<long long>(total_pages),
+                snap.wall_s > 0 ? scrub_mb / snap.wall_s : 0.0);
+    std::error_code ec;
+    fs::remove_all(snapdir, ec);
   }
 }
 

@@ -18,6 +18,16 @@ Status Catalog::CreateTable(const std::string& name, Schema schema,
   return Status::OK();
 }
 
+Status Catalog::AttachTable(std::unique_ptr<Table> table) {
+  const std::string& name = table->name();
+  if (tables_.count(name) != 0) {
+    return Status::AlreadyExists("table " + name + " already exists");
+  }
+  tables_[name] = std::move(table);
+  BumpVersion();
+  return Status::OK();
+}
+
 Table* Catalog::GetTable(const std::string& name) {
   auto it = tables_.find(name);
   return it == tables_.end() ? nullptr : it->second.get();

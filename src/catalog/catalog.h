@@ -37,6 +37,11 @@ class Catalog {
   Status CreateTable(const std::string& name, Schema schema,
                      TableOptions options, Table** out);
 
+  /// Adopts an already-constructed table (snapshot attach path: the table
+  /// was rebuilt over existing pages with Table::Attach, not created).
+  /// Fails with AlreadyExists on a name clash; bumps the catalog version.
+  Status AttachTable(std::unique_ptr<Table> table);
+
   /// Returns nullptr when absent.
   Table* GetTable(const std::string& name);
 

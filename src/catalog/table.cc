@@ -62,6 +62,103 @@ Status Table::Create(BufferPool* pool, std::string name, Schema schema,
   return Status::OK();
 }
 
+TablePersistentState Table::ExportState() const {
+  TablePersistentState st;
+  st.name = name_;
+  st.schema = schema_;
+  st.options = options_;
+  st.num_rows = num_rows_;
+  st.next_tie = next_tie_;
+  if (options_.storage == TableStorage::kClustered) {
+    st.clustered_root = clustered_.root();
+    st.clustered_entries = clustered_.num_entries();
+  } else {
+    st.heap_first = heap_.first_page();
+    st.heap_last = heap_.last_page();
+  }
+  for (const auto& idx : indexes_) {
+    TablePersistentState::IndexState is;
+    is.name = idx.name;
+    is.column = idx.column;
+    is.unique = idx.unique;
+    is.root = idx.tree.root();
+    is.entries = idx.tree.num_entries();
+    st.indexes.push_back(std::move(is));
+  }
+  return st;
+}
+
+Status Table::Attach(BufferPool* pool, const TablePersistentState& state,
+                     std::unique_ptr<Table>* out) {
+  auto table = std::unique_ptr<Table>(new Table());
+  table->pool_ = pool;
+  table->name_ = state.name;
+  table->schema_ = state.schema;
+  table->options_ = state.options;
+  table->num_rows_ = state.num_rows;
+  table->next_tie_ = state.next_tie;
+
+  if (table->options_.storage == TableStorage::kClustered) {
+    int idx = table->schema_.Find(table->options_.cluster_key);
+    if (idx < 0 || table->schema_.column(idx).type != TypeId::kInt) {
+      return Status::Corruption("manifest cluster key '" +
+                                table->options_.cluster_key +
+                                "' is not an INT column of table " +
+                                table->name_);
+    }
+    table->cluster_key_idx_ = static_cast<size_t>(idx);
+    table->fixed_width_ = FixedWidth(table->schema_);
+    table->clustered_ =
+        BTree::Open(pool, state.clustered_root,
+                    static_cast<uint16_t>(table->fixed_width_),
+                    state.clustered_entries);
+  } else {
+    table->heap_ = HeapFile::Open(pool, state.heap_first, state.heap_last);
+  }
+  for (const auto& is : state.indexes) {
+    int col = table->schema_.Find(is.column);
+    if (col < 0 || table->schema_.column(col).type != TypeId::kInt) {
+      return Status::Corruption("manifest index column '" + is.column +
+                                "' is not an INT column of table " +
+                                table->name_);
+    }
+    SecondaryIndex si;
+    si.name = is.name;
+    si.column = is.column;
+    si.column_idx = static_cast<size_t>(col);
+    si.unique = is.unique;
+    si.tree = BTree::Open(pool, is.root, /*payload_size=*/8, is.entries);
+    table->indexes_.push_back(std::move(si));
+  }
+  *out = std::move(table);
+  return Status::OK();
+}
+
+Status Table::CheckConsistency() const {
+  if (options_.storage == TableStorage::kClustered) {
+    RELGRAPH_RETURN_IF_ERROR(clustered_.CheckIntegrity());
+    if (clustered_.num_entries() != num_rows_) {
+      return Status::Corruption(
+          "table " + name_ + ": clustered tree has " +
+          std::to_string(clustered_.num_entries()) + " entries, row count is " +
+          std::to_string(num_rows_));
+    }
+  } else {
+    int64_t live = 0;
+    RELGRAPH_RETURN_IF_ERROR(heap_.CheckConsistency(&live));
+    if (live != num_rows_) {
+      return Status::Corruption("table " + name_ + ": heap holds " +
+                                std::to_string(live) +
+                                " live records, row count is " +
+                                std::to_string(num_rows_));
+    }
+  }
+  for (const auto& idx : indexes_) {
+    RELGRAPH_RETURN_IF_ERROR(idx.tree.CheckIntegrity());
+  }
+  return Status::OK();
+}
+
 std::string Table::SerializeClustered(const Tuple& tuple) const {
   std::string bytes = tuple.Serialize(schema_);
   // NULL columns shrink the serialization below the fixed width; pad so the

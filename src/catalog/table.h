@@ -56,6 +56,31 @@ struct TableAccessStats {
   }
 };
 
+/// Persisted identity of a table: everything a snapshot manifest must
+/// record to re-attach the table over an existing page file. Page ids here
+/// refer to pages of the file the table lives in; payload widths are not
+/// stored because they are derivable (secondary payloads are always 8
+/// bytes, clustered payloads are FixedWidth(schema)).
+struct TablePersistentState {
+  std::string name;
+  Schema schema;
+  TableOptions options;
+  int64_t num_rows = 0;
+  int64_t next_tie = 1;
+  page_id_t heap_first = kInvalidPageId;  // kHeap storage
+  page_id_t heap_last = kInvalidPageId;
+  page_id_t clustered_root = kInvalidPageId;  // kClustered storage
+  int64_t clustered_entries = 0;
+  struct IndexState {
+    std::string name;
+    std::string column;
+    bool unique = false;
+    page_id_t root = kInvalidPageId;
+    int64_t entries = 0;
+  };
+  std::vector<IndexState> indexes;
+};
+
 /// A relational table: schema + physical storage + secondary indexes.
 /// Indexed columns must be INT (node ids, distances, flags — everything the
 /// graph workloads index). All mutations keep secondary indexes consistent.
@@ -64,6 +89,19 @@ class Table {
   /// Creating tables goes through Catalog; tests may call this directly.
   static Status Create(BufferPool* pool, std::string name, Schema schema,
                        TableOptions options, std::unique_ptr<Table>* out);
+
+  /// Captures the table's persisted identity for a snapshot manifest.
+  TablePersistentState ExportState() const;
+
+  /// Reconstructs a table over `pool` from a previously exported state
+  /// (the pages the state's ids reference must already exist in the
+  /// pool's backing file). Validates the state against the schema —
+  /// missing or non-INT cluster/index columns are Corruption, since they
+  /// can only come from a damaged or forged manifest. Structural
+  /// validation of the referenced pages is separate (CheckConsistency /
+  /// CheckIntegrity); snapshot loading runs both.
+  static Status Attach(BufferPool* pool, const TablePersistentState& state,
+                       std::unique_ptr<Table>* out);
 
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
@@ -133,6 +171,13 @@ class Table {
 
   /// Serialized width of this table's rows, if fixed (no VARCHAR columns).
   static size_t FixedWidth(const Schema& schema);
+
+  /// Structural validation of the table's storage: heap chain or clustered
+  /// tree invariants, secondary-index tree invariants, and the stored row
+  /// count against the live-record count. Returns Status::Corruption on
+  /// the first violation. Safe against corrupted pages (bounded walks,
+  /// never out-of-bounds); the snapshot loader and relgraph_fsck run this.
+  Status CheckConsistency() const;
 
   const TableAccessStats& access_stats() const { return access_stats_; }
   void ResetAccessStats() { access_stats_.Reset(); }

@@ -1,0 +1,49 @@
+#include "src/common/crc32c.h"
+
+namespace relgraph {
+namespace crc32c {
+
+namespace {
+
+/// 256-entry table for the reflected Castagnoli polynomial, built once at
+/// first use (constant-initialized would also work, but the generator loop
+/// is clearer than 256 literals and runs in nanoseconds).
+struct Table {
+  uint32_t entries[256];
+  Table() {
+    for (uint32_t i = 0; i < 256; i++) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; k++) {
+        c = (c & 1) ? (0x82F63B78u ^ (c >> 1)) : (c >> 1);
+      }
+      entries[i] = c;
+    }
+  }
+};
+
+const Table& GetTable() {
+  static const Table table;
+  return table;
+}
+
+}  // namespace
+
+uint32_t Extend(uint32_t crc, const char* data, size_t n) {
+  const Table& t = GetTable();
+  uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; i++) {
+    c = t.entries[(c ^ static_cast<uint8_t>(data[i])) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+uint32_t ExtendU32(uint32_t crc, uint32_t v) {
+  char bytes[4];
+  for (int i = 0; i < 4; i++) {
+    bytes[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+  return Extend(crc, bytes, 4);
+}
+
+}  // namespace crc32c
+}  // namespace relgraph

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace relgraph {
+namespace crc32c {
+
+/// CRC-32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78) — the
+/// checksum RocksDB/LevelDB and iSCSI use for on-disk block integrity.
+/// Software table-driven implementation: no hardware intrinsics, so every
+/// build (sanitizers included) computes the identical function. One CRC
+/// guards each disk page, each snapshot section, and each wire frame
+/// payload; the three layers share this module so a checksum computed by
+/// one can be audited by the tools of another.
+
+/// Extends `crc` (the running value over previously-hashed bytes) with
+/// `data[0, n)`. Seed a fresh computation with crc = 0.
+uint32_t Extend(uint32_t crc, const char* data, size_t n);
+
+/// CRC of `data[0, n)` in one call.
+inline uint32_t Value(const char* data, size_t n) {
+  return Extend(0, data, n);
+}
+
+/// Convenience for hashing a little-endian u32 after a byte run (used to
+/// bind a page's checksum to its page id so a misdirected-but-intact write
+/// still fails verification).
+uint32_t ExtendU32(uint32_t crc, uint32_t v);
+
+}  // namespace crc32c
+}  // namespace relgraph

@@ -30,6 +30,14 @@ Database::Database(DatabaseOptions options) : options_(std::move(options)) {
   catalog_ = std::make_unique<Catalog>(pool_.get());
 }
 
+Database::Database(DatabaseOptions options, std::unique_ptr<DiskManager> disk)
+    : options_(std::move(options)), disk_(std::move(disk)) {
+  disk_->set_simulated_io_latency_us(options_.simulated_io_latency_us);
+  pool_ = std::make_unique<BufferPool>(options_.buffer_pool_pages, disk_.get(),
+                                       options_.concurrent_readers);
+  catalog_ = std::make_unique<Catalog>(pool_.get());
+}
+
 void Database::ResetStats() {
   stats_.Reset();
   pool_->ResetStats();

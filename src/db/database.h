@@ -81,6 +81,13 @@ class Database {
  public:
   explicit Database(DatabaseOptions options = DatabaseOptions{});
 
+  /// Attach constructor: wraps an already-open disk manager (e.g. a
+  /// verified snapshot file opened with DiskManager::Open) instead of
+  /// creating fresh storage. The catalog starts empty — the snapshot
+  /// loader re-attaches tables from the manifest. `options.in_memory` and
+  /// `options.path` are ignored in this form.
+  Database(DatabaseOptions options, std::unique_ptr<DiskManager> disk);
+
   Catalog* catalog() { return catalog_.get(); }
   BufferPool* buffer_pool() { return pool_.get(); }
   DiskManager* disk() { return disk_.get(); }

@@ -110,10 +110,12 @@ Status DistCoordinator::Create(ShardedGraphStore* store, DistOptions options,
       }
       continue;
     }
-    // Replica set: a replica that is merely unreachable right now starts
-    // out dead and is routed around (it may come back); only
-    // misconfiguration (bad endpoint syntax, wrong shard identity, version
-    // skew) fails Create.
+    // Replica set: a replica that is merely unreachable right now — or one
+    // refusing to serve because its snapshot failed verification (typed
+    // Corruption) — starts out dead and is routed around: both are states
+    // an operator can repair while the fleet serves. Only misconfiguration
+    // (bad endpoint syntax, wrong shard identity, version skew) fails
+    // Create.
     std::vector<Replica> replicas;
     std::vector<bool> start_dead;
     for (const std::string& tok : tokens) {
@@ -135,7 +137,8 @@ Status DistCoordinator::Create(ShardedGraphStore* store, DistOptions options,
             &remote));
         Status probe = remote->Validate();
         if (!probe.ok() && !probe.IsUnavailable() &&
-            !probe.IsDeadlineExceeded() && !probe.IsIOError()) {
+            !probe.IsDeadlineExceeded() && !probe.IsIOError() &&
+            !probe.IsCorruption()) {
           return probe;  // misconfiguration: fail wiring with the reason
         }
         start_dead.push_back(!probe.ok());

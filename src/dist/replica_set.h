@@ -86,10 +86,16 @@ class ReplicatedShardService : public ShardService {
   ReplicatedShardService(int shard, std::vector<Replica> replicas,
                          ReplicaOptions options);
 
-  /// Transport-class outcome worth trying another replica for. A breaker
-  /// fast-fail surfaces as Unavailable, so it routes onward too.
+  /// Outcome worth trying another replica for. A breaker fast-fail
+  /// surfaces as Unavailable, so it routes onward too. Corruption is
+  /// failoverable by design: it means THIS replica's data (or this
+  /// transport path) is bad, not that the answer doesn't exist — another
+  /// replica with intact pages must get the chance to serve it. It is
+  /// still non-RETRYABLE on the same replica (RemoteShardService), since
+  /// re-reading bad pages cannot heal them.
   static bool IsFailoverable(const Status& st) {
-    return st.IsUnavailable() || st.IsDeadlineExceeded();
+    return st.IsUnavailable() || st.IsDeadlineExceeded() ||
+           st.IsCorruption();
   }
 
   /// Replica indices in routing preference order (health rank, then index).

@@ -1,0 +1,308 @@
+#include "src/dist/shard_snapshot.h"
+
+#include <cstring>
+#include <vector>
+
+#include "src/net/wire.h"
+#include "src/storage/disk_manager.h"
+
+namespace relgraph {
+
+namespace {
+
+/// Manifest magic ("RGSS": relgraph shard snapshot) and format version,
+/// independent of the page-file format version underneath.
+constexpr uint32_t kSnapshotMagic = 0x52475353;
+constexpr uint16_t kSnapshotVersion = 1;
+
+void EncodeTableState(net::WireWriter* w, const TablePersistentState& st) {
+  w->PutBytes(st.name);
+  w->PutU32(static_cast<uint32_t>(st.schema.NumColumns()));
+  for (const auto& col : st.schema.columns()) {
+    w->PutBytes(col.name);
+    w->PutU8(static_cast<uint8_t>(col.type));
+  }
+  w->PutU8(st.options.storage == TableStorage::kClustered ? 1 : 0);
+  w->PutBytes(st.options.cluster_key);
+  w->PutU8(st.options.cluster_unique ? 1 : 0);
+  w->PutI64(st.num_rows);
+  w->PutI64(st.next_tie);
+  w->PutI32(st.heap_first);
+  w->PutI32(st.heap_last);
+  w->PutI32(st.clustered_root);
+  w->PutI64(st.clustered_entries);
+  w->PutU32(static_cast<uint32_t>(st.indexes.size()));
+  for (const auto& idx : st.indexes) {
+    w->PutBytes(idx.name);
+    w->PutBytes(idx.column);
+    w->PutU8(idx.unique ? 1 : 0);
+    w->PutI32(idx.root);
+    w->PutI64(idx.entries);
+  }
+}
+
+Status DecodeTableState(net::WireReader* r, TablePersistentState* st) {
+  RELGRAPH_RETURN_IF_ERROR(r->GetBytes(&st->name));
+  uint32_t ncols;
+  RELGRAPH_RETURN_IF_ERROR(r->GetU32(&ncols));
+  if (ncols > kPageSize) {
+    return Status::Corruption("manifest column count implausible");
+  }
+  std::vector<Column> columns;
+  for (uint32_t i = 0; i < ncols; i++) {
+    Column col;
+    uint8_t type;
+    RELGRAPH_RETURN_IF_ERROR(r->GetBytes(&col.name));
+    RELGRAPH_RETURN_IF_ERROR(r->GetU8(&type));
+    if (type > static_cast<uint8_t>(TypeId::kVarchar)) {
+      return Status::Corruption("manifest column type " +
+                                std::to_string(type) + " unknown");
+    }
+    col.type = static_cast<TypeId>(type);
+    columns.push_back(std::move(col));
+  }
+  st->schema = Schema(std::move(columns));
+  uint8_t storage, cluster_unique, unique;
+  RELGRAPH_RETURN_IF_ERROR(r->GetU8(&storage));
+  if (storage > 1) {
+    return Status::Corruption("manifest storage kind unknown");
+  }
+  st->options.storage =
+      storage == 1 ? TableStorage::kClustered : TableStorage::kHeap;
+  RELGRAPH_RETURN_IF_ERROR(r->GetBytes(&st->options.cluster_key));
+  RELGRAPH_RETURN_IF_ERROR(r->GetU8(&cluster_unique));
+  st->options.cluster_unique = cluster_unique != 0;
+  RELGRAPH_RETURN_IF_ERROR(r->GetI64(&st->num_rows));
+  RELGRAPH_RETURN_IF_ERROR(r->GetI64(&st->next_tie));
+  RELGRAPH_RETURN_IF_ERROR(r->GetI32(&st->heap_first));
+  RELGRAPH_RETURN_IF_ERROR(r->GetI32(&st->heap_last));
+  RELGRAPH_RETURN_IF_ERROR(r->GetI32(&st->clustered_root));
+  RELGRAPH_RETURN_IF_ERROR(r->GetI64(&st->clustered_entries));
+  uint32_t nidx;
+  RELGRAPH_RETURN_IF_ERROR(r->GetU32(&nidx));
+  if (nidx > kPageSize) {
+    return Status::Corruption("manifest index count implausible");
+  }
+  for (uint32_t i = 0; i < nidx; i++) {
+    TablePersistentState::IndexState is;
+    uint8_t u;
+    RELGRAPH_RETURN_IF_ERROR(r->GetBytes(&is.name));
+    RELGRAPH_RETURN_IF_ERROR(r->GetBytes(&is.column));
+    RELGRAPH_RETURN_IF_ERROR(r->GetU8(&u));
+    is.unique = u != 0;
+    RELGRAPH_RETURN_IF_ERROR(r->GetI32(&is.root));
+    RELGRAPH_RETURN_IF_ERROR(r->GetI64(&is.entries));
+    st->indexes.push_back(std::move(is));
+  }
+  return Status::OK();
+}
+
+std::string EncodeManifest(const ShardSnapshotInfo& info,
+                           const TablePersistentState& out_edges,
+                           const TablePersistentState& in_edges) {
+  net::WireWriter w;
+  w.PutU32(kSnapshotMagic);
+  w.PutU16(kSnapshotVersion);
+  w.PutI32(info.shard);
+  w.PutI32(info.num_shards);
+  w.PutU8(static_cast<uint8_t>(info.strategy));
+  w.PutI64(info.num_nodes);
+  w.PutI64(info.num_edges);
+  w.PutI64(info.min_weight);
+  EncodeTableState(&w, out_edges);
+  EncodeTableState(&w, in_edges);
+  return w.Take();
+}
+
+Status DecodeManifest(const std::string& payload, ShardSnapshotInfo* info,
+                      TablePersistentState* out_edges,
+                      TablePersistentState* in_edges) {
+  net::WireReader r(payload);
+  uint32_t magic;
+  uint16_t version;
+  uint8_t strategy;
+  RELGRAPH_RETURN_IF_ERROR(r.GetU32(&magic));
+  if (magic != kSnapshotMagic) {
+    return Status::Corruption("snapshot manifest magic mismatch");
+  }
+  RELGRAPH_RETURN_IF_ERROR(r.GetU16(&version));
+  if (version != kSnapshotVersion) {
+    return Status::InvalidArgument("snapshot manifest version " +
+                                   std::to_string(version) + " (expected " +
+                                   std::to_string(kSnapshotVersion) + ")");
+  }
+  RELGRAPH_RETURN_IF_ERROR(r.GetI32(&info->shard));
+  RELGRAPH_RETURN_IF_ERROR(r.GetI32(&info->num_shards));
+  RELGRAPH_RETURN_IF_ERROR(r.GetU8(&strategy));
+  if (strategy > static_cast<uint8_t>(IndexStrategy::kCluIndex)) {
+    return Status::Corruption("snapshot manifest strategy unknown");
+  }
+  info->strategy = static_cast<IndexStrategy>(strategy);
+  RELGRAPH_RETURN_IF_ERROR(r.GetI64(&info->num_nodes));
+  RELGRAPH_RETURN_IF_ERROR(r.GetI64(&info->num_edges));
+  RELGRAPH_RETURN_IF_ERROR(r.GetI64(&info->min_weight));
+  if (info->num_shards < 1 || info->shard < 0 ||
+      info->shard >= info->num_shards) {
+    return Status::Corruption("snapshot manifest shard identity out of range");
+  }
+  RELGRAPH_RETURN_IF_ERROR(DecodeTableState(&r, out_edges));
+  RELGRAPH_RETURN_IF_ERROR(DecodeTableState(&r, in_edges));
+  return r.Finish();
+}
+
+/// Reads the manifest page (the snapshot's last page) through the CRC
+/// check and parses it.
+Status ReadManifest(DiskManager* disk, ShardSnapshotInfo* info,
+                    TablePersistentState* out_edges,
+                    TablePersistentState* in_edges) {
+  const page_id_t manifest_page = disk->num_pages() - 1;
+  if (manifest_page < 0) {
+    return Status::Corruption("snapshot holds no pages");
+  }
+  char page[kPageSize];
+  RELGRAPH_RETURN_IF_ERROR(disk->ReadPage(manifest_page, page));
+  uint32_t len;
+  std::memcpy(&len, page, 4);
+  if (len > kPageSize - 4) {
+    return Status::Corruption("snapshot manifest length implausible");
+  }
+  std::string payload(page + 4, len);
+  return DecodeManifest(payload, info, out_edges, in_edges);
+}
+
+}  // namespace
+
+Status WriteShardSnapshot(const ShardedGraphStore& store, int shard,
+                          const std::string& path) {
+  if (shard < 0 || shard >= store.num_shards()) {
+    return Status::InvalidArgument("shard out of range");
+  }
+  Database* db = store.shards_[shard].db.get();
+  if (db == nullptr) {
+    return Status::InvalidArgument("shard " + std::to_string(shard) +
+                                   " is not populated in this store");
+  }
+  // Flush so the disk manager (not the pool) holds every current page.
+  RELGRAPH_RETURN_IF_ERROR(db->buffer_pool()->FlushAll());
+
+  ShardSnapshotInfo info;
+  info.shard = shard;
+  info.num_shards = store.num_shards();
+  info.strategy = store.strategy();
+  info.num_nodes = store.num_nodes();
+  info.num_edges = store.num_edges();
+  info.min_weight = store.min_weight();
+  const std::string manifest =
+      EncodeManifest(info, store.shards_[shard].out_edges->ExportState(),
+                     store.shards_[shard].in_edges->ExportState());
+  if (manifest.size() + 4 > kPageSize) {
+    return Status::Internal("snapshot manifest exceeds one page (" +
+                            std::to_string(manifest.size()) + " bytes)");
+  }
+
+  const std::string tmp = path + ".tmp";
+  std::unique_ptr<DiskManager> snap;
+  RELGRAPH_RETURN_IF_ERROR(DiskManager::Open(tmp, OpenMode::kCreate, &snap));
+  DiskManager* src = db->disk();
+  char page[kPageSize];
+  for (page_id_t id = 0; id < src->num_pages(); id++) {
+    RELGRAPH_RETURN_IF_ERROR(src->ReadPage(id, page));
+    snap->AllocatePage();  // sequential: snapshot ids mirror source ids
+    RELGRAPH_RETURN_IF_ERROR(snap->WritePage(id, page));
+  }
+  std::memset(page, 0, kPageSize);
+  const uint32_t len = static_cast<uint32_t>(manifest.size());
+  std::memcpy(page, &len, 4);
+  std::memcpy(page + 4, manifest.data(), manifest.size());
+  const page_id_t manifest_page = snap->AllocatePage();
+  RELGRAPH_RETURN_IF_ERROR(snap->WritePage(manifest_page, page));
+  RELGRAPH_RETURN_IF_ERROR(snap->Sync());
+  snap.reset();
+  return AtomicRename(tmp, path);
+}
+
+Status ReadShardSnapshotInfo(const std::string& path,
+                             ShardSnapshotInfo* info) {
+  std::unique_ptr<DiskManager> disk;
+  RELGRAPH_RETURN_IF_ERROR(
+      DiskManager::Open(path, OpenMode::kOpenExisting, &disk));
+  TablePersistentState out_edges, in_edges;
+  return ReadManifest(disk.get(), info, &out_edges, &in_edges);
+}
+
+Status VerifySnapshotPages(const std::string& path, int64_t* pages_verified) {
+  if (pages_verified != nullptr) *pages_verified = 0;
+  std::unique_ptr<DiskManager> disk;
+  RELGRAPH_RETURN_IF_ERROR(
+      DiskManager::Open(path, OpenMode::kOpenExisting, &disk));
+  char page[kPageSize];
+  for (page_id_t id = 0; id < disk->num_pages(); id++) {
+    RELGRAPH_RETURN_IF_ERROR(disk->ReadPage(id, page));
+    if (pages_verified != nullptr) (*pages_verified)++;
+  }
+  return Status::OK();
+}
+
+Status LoadShardSnapshot(const std::string& path,
+                         const DatabaseOptions& db_options,
+                         bool verify_structure,
+                         std::unique_ptr<ShardedGraphStore>* out,
+                         ShardSnapshotInfo* info) {
+  std::unique_ptr<DiskManager> disk;
+  RELGRAPH_RETURN_IF_ERROR(
+      DiskManager::Open(path, OpenMode::kOpenExisting, &disk));
+
+  ShardSnapshotInfo manifest_info;
+  TablePersistentState out_state, in_state;
+  RELGRAPH_RETURN_IF_ERROR(
+      ReadManifest(disk.get(), &manifest_info, &out_state, &in_state));
+
+  if (verify_structure) {
+    // Full scrub first: every page must pass its checksum before any
+    // structural walk trusts the bytes.
+    char page[kPageSize];
+    for (page_id_t id = 0; id < disk->num_pages(); id++) {
+      RELGRAPH_RETURN_IF_ERROR(disk->ReadPage(id, page));
+    }
+  }
+
+  auto store = std::unique_ptr<ShardedGraphStore>(new ShardedGraphStore());
+  store->options_.num_shards = manifest_info.num_shards;
+  store->options_.strategy = manifest_info.strategy;
+  store->options_.shard_db_options = db_options;
+  store->num_nodes_ = manifest_info.num_nodes;
+  store->num_edges_ = manifest_info.num_edges;
+  store->min_weight_ = manifest_info.min_weight;
+  store->shards_.resize(manifest_info.num_shards);
+
+  ShardedGraphStore::Shard& shard = store->shards_[manifest_info.shard];
+  DatabaseOptions shard_opts = db_options;
+  shard_opts.in_memory = false;
+  shard_opts.path = path;
+  // Shard databases serve pooled connections of concurrent query sessions.
+  shard_opts.concurrent_readers = true;
+  shard.db = std::make_unique<Database>(shard_opts, std::move(disk));
+
+  std::unique_ptr<Table> out_table, in_table;
+  RELGRAPH_RETURN_IF_ERROR(
+      Table::Attach(shard.db->buffer_pool(), out_state, &out_table));
+  RELGRAPH_RETURN_IF_ERROR(
+      Table::Attach(shard.db->buffer_pool(), in_state, &in_table));
+  shard.out_edges = out_table.get();
+  shard.in_edges = in_table.get();
+  RELGRAPH_RETURN_IF_ERROR(
+      shard.db->catalog()->AttachTable(std::move(out_table)));
+  RELGRAPH_RETURN_IF_ERROR(
+      shard.db->catalog()->AttachTable(std::move(in_table)));
+
+  if (verify_structure) {
+    RELGRAPH_RETURN_IF_ERROR(shard.out_edges->CheckConsistency());
+    RELGRAPH_RETURN_IF_ERROR(shard.in_edges->CheckConsistency());
+  }
+
+  if (info != nullptr) *info = manifest_info;
+  *out = std::move(store);
+  return Status::OK();
+}
+
+}  // namespace relgraph

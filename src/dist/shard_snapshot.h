@@ -1,0 +1,67 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/dist/sharded_graph.h"
+
+namespace relgraph {
+
+/// Shard snapshots: one shard's entire database persisted as a single
+/// checksummed page file (the DiskManager on-disk format), so a restarted
+/// shard_server loads and verifies instead of re-ingesting the graph.
+///
+/// Layout: pages 0..N-1 are a 1:1 copy of the shard database's pages —
+/// same ids, so every heap-chain, tree-root, and child pointer stays valid
+/// — and page N (the last page) is the *manifest*: snapshot identity
+/// (shard, partition count, strategy, graph stats) plus each table's
+/// TablePersistentState, wire-encoded with its own magic and version. The
+/// DiskManager CRC footer covers the manifest page like any other.
+///
+/// Install is atomic: the snapshot is written to `path + ".tmp"`, synced,
+/// and renamed over `path` (AtomicRename), so `path` always holds either
+/// the previous snapshot or a complete new one. Loading reopens the file
+/// as the shard database directly — every subsequent page read, during
+/// verification and during query serving, goes through the CRC check.
+
+/// Identity and graph stats recorded in a snapshot manifest.
+struct ShardSnapshotInfo {
+  int32_t shard = -1;
+  int32_t num_shards = -1;
+  IndexStrategy strategy = IndexStrategy::kCluIndex;
+  int64_t num_nodes = 0;
+  int64_t num_edges = 0;
+  weight_t min_weight = kInfinity;
+};
+
+/// Atomically persists shard `shard` of `store` to `path` (write-temp ->
+/// fsync -> rename). The shard database is flushed first, so the snapshot
+/// reflects every row ingested so far.
+Status WriteShardSnapshot(const ShardedGraphStore& store, int shard,
+                          const std::string& path);
+
+/// Reads and validates just the manifest of the snapshot at `path` — an
+/// identity check without attaching the tables.
+Status ReadShardSnapshotInfo(const std::string& path, ShardSnapshotInfo* info);
+
+/// Scrubs every page of the snapshot file through the CRC check. Returns
+/// the first Corruption found; `pages_verified` (optional) receives the
+/// number of pages that passed.
+Status VerifySnapshotPages(const std::string& path,
+                           int64_t* pages_verified = nullptr);
+
+/// Opens the snapshot at `path` and attaches it as a ShardedGraphStore
+/// serving only the snapshotted shard (the other shard slots stay empty —
+/// a shard server never touches them). With `verify_structure`, every page
+/// checksum plus every heap-chain / B+-tree invariant is validated before
+/// the store is returned; a failure is a typed Corruption and `*out` stays
+/// unset, which is how a shard server decides to refuse to serve.
+/// `info` (optional) receives the manifest identity.
+Status LoadShardSnapshot(const std::string& path,
+                         const DatabaseOptions& db_options,
+                         bool verify_structure,
+                         std::unique_ptr<ShardedGraphStore>* out,
+                         ShardSnapshotInfo* info = nullptr);
+
+}  // namespace relgraph

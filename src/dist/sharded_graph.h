@@ -47,6 +47,16 @@ class ShardedGraphStore {
  private:
   ShardedGraphStore() = default;
 
+  // The snapshot layer (src/dist/shard_snapshot.cc) persists one shard's
+  // database and reconstructs a store around the reopened file.
+  friend Status WriteShardSnapshot(const ShardedGraphStore& store, int shard,
+                                   const std::string& path);
+  friend Status LoadShardSnapshot(const std::string& path,
+                                  const DatabaseOptions& db_options,
+                                  bool verify_structure,
+                                  std::unique_ptr<ShardedGraphStore>* out,
+                                  struct ShardSnapshotInfo* info);
+
   struct Shard {
     std::unique_ptr<Database> db;
     Table* out_edges = nullptr;

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cstring>
+#include <unordered_set>
 
 namespace relgraph {
 
@@ -434,13 +435,19 @@ BTree::Iterator BTree::Scan(int64_t key_lo, int64_t key_hi) const {
   it.hi_ = key_hi;
   BtKey probe{key_lo, INT64_MIN};
   page_id_t leaf_id;
-  if (!FindLeaf(probe, &leaf_id, nullptr).ok()) {
+  // A failed descent must poison the iterator, not fake a clean EOF: an
+  // empty-looking range probe would silently drop rows (e.g. a shortest-path
+  // frontier expansion "finding" no edges over a corrupted page).
+  Status descent = FindLeaf(probe, &leaf_id, nullptr);
+  if (!descent.ok()) {
     it.leaf_ = kInvalidPageId;
+    it.status_ = descent;
     return it;
   }
   PageGuard guard(pool_, leaf_id);
   if (!guard.ok()) {
     it.leaf_ = kInvalidPageId;
+    it.status_ = guard.status();
     return it;
   }
   const char* data = guard.data();
@@ -492,10 +499,28 @@ int BTree::Height() const {
   }
 }
 
+BTree BTree::Open(BufferPool* pool, page_id_t root, uint16_t payload_size,
+                  int64_t num_entries) {
+  BTree t;
+  t.pool_ = pool;
+  t.root_ = root;
+  t.payload_size_ = payload_size;
+  t.num_entries_ = num_entries;
+  return t;
+}
+
 Status BTree::CheckIntegrity() const {
   // Walk the whole tree: every node's entries must be strictly ordered and,
   // for internal nodes, each child's keys must fall inside the separator
   // range. Leaves must chain left-to-right in key order.
+  //
+  // Hardened against hostile pages: the walk must terminate and stay in
+  // bounds no matter what bytes a corrupted node holds. Concretely that
+  // means (a) is_leaf must be 0/1 and count within the node's capacity
+  // BEFORE any entry is dereferenced, (b) child and sibling page ids must
+  // be allocated pages, and (c) a visited set rejects any page linked
+  // twice — which both detects shared-subtree corruption and bounds the
+  // traversal (no cycles, so no infinite loop).
   struct Frame {
     page_id_t page;
     bool has_lo;
@@ -503,19 +528,44 @@ Status BTree::CheckIntegrity() const {
     bool has_hi;
     BtKey hi;
   };
+  const page_id_t num_pages = pool_->disk()->num_pages();
+  if (root_ < 0 || root_ >= num_pages) {
+    return Status::Corruption("b+tree root " + std::to_string(root_) +
+                              " is not an allocated page");
+  }
   std::vector<Frame> stack{{root_, false, {}, false, {}}};
+  std::unordered_set<page_id_t> visited;
   int64_t counted = 0;
-  BtKey last_leaf_key{INT64_MIN, INT64_MIN};
-  bool have_last = false;
+  page_id_t first_leaf = kInvalidPageId;
 
   // First verify structure via DFS.
   while (!stack.empty()) {
     Frame f = stack.back();
     stack.pop_back();
+    if (!visited.insert(f.page).second) {
+      return Status::Corruption("b+tree links page " + std::to_string(f.page) +
+                                " twice (shared subtree or cycle)");
+    }
     PageGuard guard(pool_, f.page);
     RELGRAPH_RETURN_IF_ERROR(guard.status());
     const char* data = guard.data();
     const NodeHeader* h = Header(data);
+    if (h->is_leaf != 0 && h->is_leaf != 1) {
+      return Status::Corruption("b+tree node " + std::to_string(f.page) +
+                                " has invalid is_leaf flag " +
+                                std::to_string(h->is_leaf));
+    }
+    const size_t capacity =
+        h->is_leaf ? LeafCapacity(payload_size_) : InternalCapacity();
+    if (h->count > capacity) {
+      return Status::Corruption(
+          "b+tree node " + std::to_string(f.page) + " claims " +
+          std::to_string(h->count) + " entries, capacity is " +
+          std::to_string(capacity));
+    }
+    if (h->is_leaf && first_leaf == kInvalidPageId && !f.has_lo) {
+      first_leaf = f.page;  // leftmost descent reaches the chain head
+    }
     BtKey prev{INT64_MIN, INT64_MIN};
     bool have_prev = false;
     for (uint16_t i = 0; i < h->count; i++) {
@@ -541,6 +591,11 @@ Status BTree::CheckIntegrity() const {
       for (uint16_t i = 0; i < h->count; i++) {
         Frame child;
         child.page = ReadChild(InternalEntry(data, i));
+        if (child.page < 0 || child.page >= num_pages) {
+          return Status::Corruption(
+              "b+tree node " + std::to_string(f.page) + " links child " +
+              std::to_string(child.page) + ", not an allocated page");
+        }
         child.has_lo = i > 0;
         if (child.has_lo) child.lo = ReadKey(InternalEntry(data, i));
         child.has_hi = (i + 1) < h->count;
@@ -563,18 +618,47 @@ Status BTree::CheckIntegrity() const {
                               std::to_string(num_entries_));
   }
 
-  // Then verify the leaf chain yields a globally sorted sequence.
-  Iterator it = ScanAll();
-  BtKey k;
-  std::string payload;
+  // Then verify the leaf chain yields the same globally sorted sequence.
+  // Walked manually (not via Iterator) with its own visited set: a
+  // corrupted `next` pointer may form a cycle of pages the DFS never saw,
+  // and an Iterator would spin in it forever.
+  BtKey last_leaf_key{INT64_MIN, INT64_MIN};
+  bool have_last = false;
   int64_t chained = 0;
-  while (it.Next(&k, &payload)) {
-    if (have_last && !(last_leaf_key < k)) {
-      return Status::Corruption("leaf chain out of order");
+  std::unordered_set<page_id_t> chain_visited;
+  page_id_t leaf = first_leaf;
+  while (leaf != kInvalidPageId) {
+    if (leaf < 0 || leaf >= num_pages) {
+      return Status::Corruption("leaf chain points at unallocated page " +
+                                std::to_string(leaf));
     }
-    last_leaf_key = k;
-    have_last = true;
-    chained++;
+    if (!chain_visited.insert(leaf).second) {
+      return Status::Corruption("leaf chain revisits page " +
+                                std::to_string(leaf) + " (cycle)");
+    }
+    if (visited.find(leaf) == visited.end()) {
+      return Status::Corruption("leaf chain includes page " +
+                                std::to_string(leaf) +
+                                " that is not part of the tree");
+    }
+    PageGuard guard(pool_, leaf);
+    RELGRAPH_RETURN_IF_ERROR(guard.status());
+    const char* data = guard.data();
+    const NodeHeader* h = Header(data);
+    if (!h->is_leaf) {
+      return Status::Corruption("leaf chain passes through internal node " +
+                                std::to_string(leaf));
+    }
+    for (uint16_t i = 0; i < h->count; i++) {
+      BtKey k = ReadKey(LeafEntry(data, i, payload_size_));
+      if (have_last && !(last_leaf_key < k)) {
+        return Status::Corruption("leaf chain out of order");
+      }
+      last_leaf_key = k;
+      have_last = true;
+      chained++;
+    }
+    leaf = h->next;
   }
   if (chained != num_entries_) {
     return Status::Corruption("leaf chain count mismatch");

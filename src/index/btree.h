@@ -48,6 +48,12 @@ class BTree {
   /// Creates an empty tree whose leaf payloads are `payload_size` bytes.
   static Status Create(BufferPool* pool, uint16_t payload_size, BTree* out);
 
+  /// Re-opens an existing tree from its persisted identity (root page,
+  /// payload width, entry count — what the snapshot manifest records).
+  /// Callers that attach untrusted files run CheckIntegrity() afterwards.
+  static BTree Open(BufferPool* pool, page_id_t root, uint16_t payload_size,
+                    int64_t num_entries);
+
   /// Inserts (key -> payload). With `unique` set, an equal primary key part
   /// (ignoring the tiebreaker) fails with AlreadyExists.
   Status Insert(BtKey key, std::string_view payload, bool unique);

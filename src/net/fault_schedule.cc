@@ -92,11 +92,23 @@ Status ReplicaFleet::DropConnections(int shard, int replica) {
   return Status::OK();
 }
 
+Status ReplicaFleet::Corrupt(int shard, int replica) {
+  RELGRAPH_RETURN_IF_ERROR(CheckIndex(shard, replica));
+  if (servers_[shard][replica] == nullptr) {
+    return Status::InvalidArgument("cannot corrupt a killed replica");
+  }
+  servers_[shard][replica]->InjectExpandError(Status::Corruption(
+      "checksum mismatch on replica " + std::to_string(replica) +
+      " of shard " + std::to_string(shard)));
+  return Status::OK();
+}
+
 Status ReplicaFleet::Heal() {
   for (int shard = 0; shard < num_shards(); shard++) {
     for (int r = 0; r < replicas_per_shard_; r++) {
       RELGRAPH_RETURN_IF_ERROR(Restart(shard, r));
       servers_[shard][r]->InjectResponseDelayMs(0);
+      servers_[shard][r]->InjectExpandError(Status::OK());
     }
   }
   return Status::OK();
@@ -124,6 +136,12 @@ FaultSchedule& FaultSchedule::DropConnections(int64_t round, int shard,
   return *this;
 }
 
+FaultSchedule& FaultSchedule::CorruptPage(int64_t round, int shard,
+                                          int replica) {
+  events_.push_back({round, Op::kCorrupt, shard, replica, 0});
+  return *this;
+}
+
 Status FaultSchedule::OnRound(int64_t round, ReplicaFleet* fleet) const {
   for (const Event& e : events_) {
     if (e.round != round) continue;
@@ -139,6 +157,9 @@ Status FaultSchedule::OnRound(int64_t round, ReplicaFleet* fleet) const {
         break;
       case Op::kDropConnections:
         RELGRAPH_RETURN_IF_ERROR(fleet->DropConnections(e.shard, e.replica));
+        break;
+      case Op::kCorrupt:
+        RELGRAPH_RETURN_IF_ERROR(fleet->Corrupt(e.shard, e.replica));
         break;
     }
   }
@@ -162,6 +183,9 @@ std::string FaultSchedule::ToString() const {
         break;
       case Op::kDropConnections:
         out += "drop-conns";
+        break;
+      case Op::kCorrupt:
+        out += "corrupt";
         break;
     }
     out += " s" + std::to_string(e.shard) + "r" + std::to_string(e.replica);

@@ -45,8 +45,17 @@ class ReplicaFleet {
   Status SetDelay(int shard, int replica, int ms);
   /// Abruptly drops the replica's open connections; replica must be alive.
   Status DropConnections(int shard, int replica);
-  /// Restarts every dead replica and clears every delay — one call returns
-  /// the fleet to pristine between schedule runs.
+  /// Marks the replica's data corrupted: every expand request it receives
+  /// from now on is answered with a typed Corruption Error frame (the
+  /// transport stays healthy). Fleet replicas share one in-process store,
+  /// so this models what a replica with its own bit-flipped pages would
+  /// do — detect at read time and refuse the answer; the on-disk half of
+  /// that story (real page CRCs, snapshot verification) is covered by the
+  /// DiskManager/snapshot tests and the CI snapshot smoke. Replica must be
+  /// alive; Heal() clears.
+  Status Corrupt(int shard, int replica);
+  /// Restarts every dead replica and clears every delay and corruption —
+  /// one call returns the fleet to pristine between schedule runs.
   Status Heal();
 
  private:
@@ -77,6 +86,7 @@ class FaultSchedule {
     kRestart,          // bring a killed replica back on its old port
     kDelayMs,          // arg = response delay in ms (0 clears)
     kDropConnections,  // cut every open connection once
+    kCorrupt,          // replica answers expands with typed Corruption
   };
 
   struct Event {
@@ -91,6 +101,7 @@ class FaultSchedule {
   FaultSchedule& Restart(int64_t round, int shard, int replica);
   FaultSchedule& DelayMs(int64_t round, int shard, int replica, int ms);
   FaultSchedule& DropConnections(int64_t round, int shard, int replica);
+  FaultSchedule& CorruptPage(int64_t round, int shard, int replica);
 
   const std::vector<Event>& events() const { return events_; }
 

@@ -38,6 +38,29 @@ Status ShardServer::Start(ShardedGraphStore* store, int shard,
   return Status::OK();
 }
 
+Status ShardServer::StartRefusing(int shard, Status refusal,
+                                  ShardServerOptions options,
+                                  std::unique_ptr<ShardServer>* out) {
+  if (refusal.ok()) {
+    return Status::InvalidArgument(
+        "a refusing server needs a non-OK refusal status");
+  }
+  if (options.workers < 1) {
+    return Status::InvalidArgument("server workers must be >= 1");
+  }
+  auto server = std::unique_ptr<ShardServer>(
+      new ShardServer(/*store=*/nullptr, shard, options));
+  server->refusal_ = std::move(refusal);
+  RELGRAPH_RETURN_IF_ERROR(
+      Listener::Listen(options.port, &server->listener_));
+  server->conn_pool_ = std::make_unique<ThreadPool>(options.workers);
+  server->accept_thread_ = std::thread([s = server.get()] {
+    s->AcceptLoop();
+  });
+  *out = std::move(server);
+  return Status::OK();
+}
+
 ShardServer::~ShardServer() { Stop(); }
 
 void ShardServer::Stop() {
@@ -94,6 +117,13 @@ bool ShardServer::HandleFrame(Socket* conn, FrameType type,
   const Deadline io_deadline = DeadlineAfterMs(options_.io_timeout_ms);
   switch (type) {
     case FrameType::kHandshake: {
+      if (!refusal_.ok()) {
+        // Refusing server (snapshot failed verification): every client
+        // learns the typed reason and must go elsewhere.
+        SendFrame(conn, FrameType::kError, EncodeErrorStatus(refusal_),
+                  io_deadline);
+        return false;
+      }
       HandshakeRequest req;
       Status st = DecodeHandshakeRequest(payload, &req);
       if (st.ok() && req.magic != kWireMagic) {
@@ -146,6 +176,20 @@ bool ShardServer::HandleFrame(Socket* conn, FrameType type,
       const int delay = response_delay_ms_.load(std::memory_order_relaxed);
       if (delay > 0) DelaySlices(delay);
       if (stopping_.load(std::memory_order_relaxed)) return false;
+      if (expand_error_armed_.load(std::memory_order_acquire)) {
+        Status injected;
+        {
+          std::lock_guard<std::mutex> lock(inject_mu_);
+          injected = expand_error_;
+        }
+        if (!injected.ok()) {
+          // Injected data fault (e.g. corruption detected at read time):
+          // typed Error, connection stays healthy.
+          return SendFrame(conn, FrameType::kError,
+                           EncodeErrorStatus(injected), io_deadline)
+              .ok();
+        }
+      }
       ShardExpandResponse resp;
       st = local_->Expand(req, &resp);
       if (!st.ok()) {

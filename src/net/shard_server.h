@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <thread>
 
 #include "src/common/thread_pool.h"
@@ -45,6 +46,17 @@ class ShardServer {
   static Status Start(ShardedGraphStore* store, int shard,
                       ShardServerOptions options,
                       std::unique_ptr<ShardServer>* out);
+
+  /// Starts a server that *refuses to serve*: every handshake is answered
+  /// with a typed Error frame carrying `refusal` (non-OK — e.g. the
+  /// Corruption from a failed snapshot verification) and the connection
+  /// closes. No store is attached, no expand request ever executes; a
+  /// replicated client treats the refusal like any failed replica and
+  /// fails over. This is how a shard_server whose on-disk snapshot fails
+  /// verification stays visibly up without risking wrong answers.
+  static Status StartRefusing(int shard, Status refusal,
+                              ShardServerOptions options,
+                              std::unique_ptr<ShardServer>* out);
   ~ShardServer();
 
   ShardServer(const ShardServer&) = delete;
@@ -52,7 +64,8 @@ class ShardServer {
 
   uint16_t port() const { return listener_.port(); }
   int shard() const { return shard_; }
-  int num_shards() const { return store_->num_shards(); }
+  int num_shards() const { return store_ == nullptr ? -1
+                                                    : store_->num_shards(); }
   LocalShardService* local_service() { return local_.get(); }
 
   /// Graceful shutdown: stop accepting, retire every connection, join all
@@ -91,6 +104,15 @@ class ShardServer {
   void InjectDropConnections() {
     drop_epoch_.fetch_add(1, std::memory_order_relaxed);
   }
+  /// While set to a non-OK status, every expand request is answered with a
+  /// typed Error frame carrying it (the connection stays open — transport
+  /// is healthy, the data is not). Models a replica detecting page
+  /// corruption at read time; a replicated client fails over. OK clears.
+  void InjectExpandError(const Status& status) {
+    std::lock_guard<std::mutex> lock(inject_mu_);
+    expand_error_ = status;
+    expand_error_armed_.store(!status.ok(), std::memory_order_release);
+  }
 
  private:
   ShardServer(ShardedGraphStore* store, int shard,
@@ -120,6 +142,14 @@ class ShardServer {
   /// Bumped by InjectDropConnections(); each connection remembers the epoch
   /// it was accepted in and retires when the epoch moves.
   std::atomic<int64_t> drop_epoch_{0};
+  /// Non-OK when started via StartRefusing: answered to every handshake.
+  Status refusal_;
+  /// InjectExpandError state: armed flag checked lock-free on the hot
+  /// path, the Status itself behind the mutex (it is not trivially
+  /// copyable).
+  std::mutex inject_mu_;
+  Status expand_error_;
+  std::atomic<bool> expand_error_armed_{false};
 };
 
 }  // namespace net

@@ -12,6 +12,8 @@
 
 #include <algorithm>
 
+#include "src/common/crc32c.h"
+
 namespace relgraph {
 namespace net {
 
@@ -230,7 +232,8 @@ Status Listener::Accept(Socket* out, Deadline deadline) {
 Status SendFrame(Socket* sock, FrameType type, const std::string& payload,
                  Deadline deadline) {
   char header[kFrameHeaderBytes];
-  EncodeFrameHeader(type, static_cast<uint32_t>(payload.size()), header);
+  EncodeFrameHeader(type, static_cast<uint32_t>(payload.size()),
+                    crc32c::Value(payload.data(), payload.size()), header);
   // One buffer, one send path: framing errors cannot split a header from
   // its payload on a partial write.
   std::string frame;
@@ -245,12 +248,19 @@ Status RecvFrame(Socket* sock, FrameType* type, std::string* payload,
   char header[kFrameHeaderBytes];
   RELGRAPH_RETURN_IF_ERROR(
       sock->RecvAll(header, kFrameHeaderBytes, deadline));
-  uint32_t payload_len;
-  RELGRAPH_RETURN_IF_ERROR(DecodeFrameHeader(header, type, &payload_len));
+  uint32_t payload_len, payload_crc;
+  RELGRAPH_RETURN_IF_ERROR(
+      DecodeFrameHeader(header, type, &payload_len, &payload_crc));
   payload->resize(payload_len);
   if (payload_len > 0) {
     RELGRAPH_RETURN_IF_ERROR(
         sock->RecvAll(payload->data(), payload_len, deadline));
+  }
+  // Wire integrity (v3): a byte flipped on the socket — payload OR the
+  // checksum itself — surfaces as typed Corruption here, before any
+  // payload decoder sees the bytes.
+  if (crc32c::Value(payload->data(), payload->size()) != payload_crc) {
+    return Status::Corruption("frame payload checksum mismatch");
   }
   return Status::OK();
 }

@@ -134,15 +134,18 @@ Status WireReader::Finish() const {
 }
 
 void EncodeFrameHeader(FrameType type, uint32_t payload_len,
-                       char out[kFrameHeaderBytes]) {
+                       uint32_t payload_crc, char out[kFrameHeaderBytes]) {
   for (int i = 0; i < 4; i++) {
     out[i] = static_cast<char>(payload_len >> (8 * i));
   }
   out[4] = static_cast<char>(type);
+  for (int i = 0; i < 4; i++) {
+    out[5 + i] = static_cast<char>(payload_crc >> (8 * i));
+  }
 }
 
 Status DecodeFrameHeader(const char in[kFrameHeaderBytes], FrameType* type,
-                         uint32_t* payload_len) {
+                         uint32_t* payload_len, uint32_t* payload_crc) {
   uint32_t len = 0;
   for (int i = 0; i < 4; i++) {
     len |= static_cast<uint32_t>(static_cast<uint8_t>(in[i])) << (8 * i);
@@ -156,8 +159,13 @@ Status DecodeFrameHeader(const char in[kFrameHeaderBytes], FrameType* type,
     return Status::Corruption("frame payload length " + std::to_string(len) +
                               " exceeds limit");
   }
+  uint32_t crc = 0;
+  for (int i = 0; i < 4; i++) {
+    crc |= static_cast<uint32_t>(static_cast<uint8_t>(in[5 + i])) << (8 * i);
+  }
   *type = static_cast<FrameType>(raw_type);
   *payload_len = len;
+  *payload_crc = crc;
   return Status::OK();
 }
 

@@ -9,15 +9,18 @@
 namespace relgraph {
 namespace net {
 
-/// The shard wire format, version 2. Every message is one *frame*:
+/// The shard wire format, version 3. Every message is one *frame*:
 ///
-///     [u32 payload_len][u8 frame_type][payload_len bytes]
+///     [u32 payload_len][u8 frame_type][u32 payload_crc][payload_len bytes]
 ///
-/// with all integers little-endian regardless of host order. The payload of
-/// each frame type is a fixed field sequence (below); decoding is
-/// bounds-checked everywhere and must consume the payload exactly, so a
-/// truncated, oversized, or trailing-garbage frame is rejected as
-/// Status::Corruption instead of being misread.
+/// with all integers little-endian regardless of host order, and
+/// `payload_crc` the CRC32C of the payload bytes — RecvFrame verifies it,
+/// so a byte flipped anywhere on the socket decodes to Status::Corruption,
+/// never to a mangled response. The payload of each frame type is a fixed
+/// field sequence (below); decoding is bounds-checked everywhere and must
+/// consume the payload exactly, so a truncated, oversized, or
+/// trailing-garbage frame is rejected as Status::Corruption instead of
+/// being misread.
 ///
 /// A connection opens with Handshake -> HandshakeAck (magic + version + the
 /// shard identity the client expects, so a client dialed at the wrong
@@ -27,13 +30,14 @@ namespace net {
 /// growth happens by bumping kWireVersion and extending the handshake.
 constexpr uint32_t kWireMagic = 0x52475348;  // "RGSH"
 /// v2 added the session id to ExpandRequest so shard-side admission can be
-/// per-session fair. Both sides live in this tree, so the bump is clean.
-constexpr uint16_t kWireVersion = 2;
+/// per-session fair; v3 added the payload CRC32C to the frame header. Both
+/// sides live in this tree, so the bumps are clean.
+constexpr uint16_t kWireVersion = 3;
 /// Upper bound on one frame's payload; a length field beyond this is
 /// corruption (or a peer speaking another protocol), not a real message.
 constexpr uint32_t kMaxFramePayload = 64u << 20;
-/// Bytes of the fixed frame header ([u32 len][u8 type]).
-constexpr size_t kFrameHeaderBytes = 5;
+/// Bytes of the fixed frame header ([u32 len][u8 type][u32 payload crc]).
+constexpr size_t kFrameHeaderBytes = 9;
 
 enum class FrameType : uint8_t {
   kHandshake = 1,
@@ -107,14 +111,17 @@ class WireReader {
 
 /// ----- frame header ---------------------------------------------------------
 
-/// Renders the 5-byte header for a `payload_len`-byte frame of `type`.
+/// Renders the 9-byte header for a `payload_len`-byte frame of `type`
+/// whose payload hashes to `payload_crc` (CRC32C).
 void EncodeFrameHeader(FrameType type, uint32_t payload_len,
-                       char out[kFrameHeaderBytes]);
+                       uint32_t payload_crc, char out[kFrameHeaderBytes]);
 
 /// Parses and validates a frame header: known type, payload length within
-/// kMaxFramePayload. Corruption otherwise.
+/// kMaxFramePayload. Corruption otherwise. `payload_crc` receives the
+/// stated payload checksum; verifying it against the received payload
+/// bytes is the transport's job (RecvFrame).
 Status DecodeFrameHeader(const char in[kFrameHeaderBytes], FrameType* type,
-                         uint32_t* payload_len);
+                         uint32_t* payload_len, uint32_t* payload_crc);
 
 /// ----- payload codecs -------------------------------------------------------
 

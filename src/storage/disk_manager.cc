@@ -1,23 +1,186 @@
 #include "src/storage/disk_manager.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <thread>
 
+#include "src/common/crc32c.h"
+
 namespace relgraph {
+
+namespace {
+
+void PutU32(char* at, uint32_t v) { std::memcpy(at, &v, 4); }
+void PutU16(char* at, uint16_t v) { std::memcpy(at, &v, 2); }
+void PutI32(char* at, int32_t v) { std::memcpy(at, &v, 4); }
+uint32_t GetU32(const char* at) {
+  uint32_t v;
+  std::memcpy(&v, at, 4);
+  return v;
+}
+uint16_t GetU16(const char* at) {
+  uint16_t v;
+  std::memcpy(&v, at, 2);
+  return v;
+}
+int32_t GetI32(const char* at) {
+  int32_t v;
+  std::memcpy(&v, at, 4);
+  return v;
+}
+
+/// CRC stored in a page footer: the data bytes extended with the page id,
+/// so an intact page written to the wrong slot fails verification too.
+uint32_t PageCrc(const char* data, page_id_t page_id) {
+  return crc32c::ExtendU32(crc32c::Value(data, kPageSize),
+                           static_cast<uint32_t>(page_id));
+}
+
+/// Header layout within the kFileHeaderBytes block:
+///   [0]  u32 magic   [4] u16 format version   [6] u16 reserved (0)
+///   [8]  u32 page size                        [12] i32 page count
+///   [16] u32 crc over bytes [0, 16)           rest zero padding
+constexpr size_t kHeaderCrcOffset = 16;
+
+}  // namespace
 
 DiskManager::DiskManager() = default;
 
 DiskManager::DiskManager(const std::string& path) : path_(path) {
+  // Scratch semantics: explicit create-and-truncate, unlink on close. The
+  // format is the same checksummed one durable files use.
   file_ = std::fopen(path.c_str(), "w+b");
   // Fall back to in-memory mode when the path is unwritable; callers that
-  // need durability can check in_memory().
+  // need a file can check in_memory().
+  if (file_ != nullptr) {
+    delete_on_close_ = true;
+    std::lock_guard<std::mutex> lock(mutex_);
+    WriteHeaderLocked();  // best effort; page I/O surfaces real failures
+  }
+}
+
+Status DiskManager::Open(const std::string& path, OpenMode mode,
+                         std::unique_ptr<DiskManager>* out) {
+  if (mode == OpenMode::kCreate) {
+    std::FILE* f = std::fopen(path.c_str(), "w+b");
+    if (f == nullptr) {
+      return Status::IOError("cannot create " + path + ": " +
+                             std::strerror(errno));
+    }
+    auto dm = std::unique_ptr<DiskManager>(
+        new DiskManager(path, f, /*delete_on_close=*/false));
+    {
+      std::lock_guard<std::mutex> lock(dm->mutex_);
+      RELGRAPH_RETURN_IF_ERROR(dm->WriteHeaderLocked());
+    }
+    *out = std::move(dm);
+    return Status::OK();
+  }
+
+  // kOpenExisting: never truncate; the header must verify. The manager is
+  // constructed only AFTER validation succeeds: a rejected file must be
+  // closed untouched — in particular, the destructor's best-effort header
+  // write must never clobber a file we just refused to trust.
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  auto fail = [f](Status st) {
+    std::fclose(f);
+    return st;
+  };
+
+  char header[kFileHeaderBytes];
+  std::fseek(f, 0, SEEK_SET);
+  if (std::fread(header, 1, kFileHeaderBytes, f) != kFileHeaderBytes) {
+    return fail(Status::Corruption("file header truncated: " + path));
+  }
+  if (GetU32(header) != kFileMagic) {
+    return fail(Status::Corruption("bad file magic: " + path +
+                                   " is not a relgraph page file"));
+  }
+  if (GetU16(header + 4) != kFileFormatVersion) {
+    return fail(Status::InvalidArgument(
+        "page file format version " + std::to_string(GetU16(header + 4)) +
+        " (expected " + std::to_string(kFileFormatVersion) + "): " + path));
+  }
+  if (GetU32(header + 8) != kPageSize) {
+    return fail(Status::InvalidArgument(
+        "page size mismatch: file has " + std::to_string(GetU32(header + 8)) +
+        ", engine uses " + std::to_string(kPageSize) + ": " + path));
+  }
+  if (GetU32(header + kHeaderCrcOffset) !=
+      crc32c::Value(header, kHeaderCrcOffset)) {
+    return fail(Status::Corruption("file header checksum mismatch: " + path));
+  }
+  const int32_t page_count = GetI32(header + 12);
+  if (page_count < 0) {
+    return fail(
+        Status::Corruption("negative page count in file header: " + path));
+  }
+  // The synced page count must be covered by actual file bytes.
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  if (size < PageOffset(page_count)) {
+    return fail(Status::Corruption(
+        "page file truncated: header promises " + std::to_string(page_count) +
+        " page(s), file holds " + std::to_string(size) + " byte(s): " + path));
+  }
+  auto dm = std::unique_ptr<DiskManager>(
+      new DiskManager(path, f, /*delete_on_close=*/false));
+  dm->next_page_id_.store(page_count);
+  *out = std::move(dm);
+  return Status::OK();
+}
+
+Status DiskManager::WriteHeaderLocked() {
+  if (file_ == nullptr) return Status::OK();
+  char header[kFileHeaderBytes] = {0};
+  PutU32(header, kFileMagic);
+  PutU16(header + 4, kFileFormatVersion);
+  PutU16(header + 6, 0);
+  PutU32(header + 8, kPageSize);
+  PutI32(header + 12, next_page_id_.load());
+  PutU32(header + kHeaderCrcOffset, crc32c::Value(header, kHeaderCrcOffset));
+  std::fseek(file_, 0, SEEK_SET);
+  if (std::fwrite(header, 1, kFileHeaderBytes, file_) != kFileHeaderBytes) {
+    return Status::IOError("short write on file header");
+  }
+  return Status::OK();
+}
+
+Status DiskManager::Sync() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ == nullptr) return Status::OK();
+  if (crashed_) return Status::IOError("injected crash: sync");
+  RELGRAPH_RETURN_IF_ERROR(WriteHeaderLocked());
+  if (std::fflush(file_) != 0) {
+    return Status::IOError(std::string("fflush: ") + std::strerror(errno));
+  }
+  if (::fsync(::fileno(file_)) != 0) {
+    return Status::IOError(std::string("fsync: ") + std::strerror(errno));
+  }
+  return Status::OK();
 }
 
 DiskManager::~DiskManager() {
   if (file_ != nullptr) {
+    if (!delete_on_close_) {
+      // Durable close: persist the page count so a clean shutdown without
+      // an explicit Sync() still reopens with everything visible.
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!crashed_) {
+        WriteHeaderLocked();
+        std::fflush(file_);
+      }
+    }
     std::fclose(file_);
-    std::remove(path_.c_str());
+    if (delete_on_close_) std::remove(path_.c_str());
   }
 }
 
@@ -27,10 +190,12 @@ page_id_t DiskManager::AllocatePage() {
   stats_.allocations++;
   if (file_ == nullptr) {
     mem_pages_.emplace_back(kPageSize, 0);
-  } else {
-    char zeros[kPageSize] = {0};
-    std::fseek(file_, static_cast<long>(id) * kPageSize, SEEK_SET);
-    std::fwrite(zeros, 1, kPageSize, file_);
+  } else if (!crashed_) {
+    char physical[kPhysicalPageSize] = {0};
+    PutU32(physical + kPageSize, static_cast<uint32_t>(id));
+    PutU32(physical + kPageSize + 4, PageCrc(physical, id));
+    std::fseek(file_, PageOffset(id), SEEK_SET);
+    std::fwrite(physical, 1, kPhysicalPageSize, file_);
   }
   return id;
 }
@@ -40,6 +205,10 @@ Status DiskManager::ReadPage(page_id_t page_id, char* out) {
   if (page_id < 0 || page_id >= next_page_id_.load()) {
     return Status::OutOfRange("read of unallocated page " +
                               std::to_string(page_id));
+  }
+  if (crashed_) {
+    return Status::IOError("injected crash: read of page " +
+                           std::to_string(page_id));
   }
   if (read_fault_in_ >= 0 && read_fault_in_-- == 0) {
     read_fault_in_ = 0;  // keep failing until cleared
@@ -52,11 +221,24 @@ Status DiskManager::ReadPage(page_id_t page_id, char* out) {
     std::memcpy(out, mem_pages_[page_id].data(), kPageSize);
     return Status::OK();
   }
-  std::fseek(file_, static_cast<long>(page_id) * kPageSize, SEEK_SET);
-  size_t n = std::fread(out, 1, kPageSize, file_);
-  if (n != kPageSize) {
+  char physical[kPhysicalPageSize];
+  std::fseek(file_, PageOffset(page_id), SEEK_SET);
+  size_t n = std::fread(physical, 1, kPhysicalPageSize, file_);
+  if (n != kPhysicalPageSize) {
     return Status::IOError("short read on page " + std::to_string(page_id));
   }
+  const uint32_t stored_id = GetU32(physical + kPageSize);
+  const uint32_t stored_crc = GetU32(physical + kPageSize + 4);
+  if (stored_id != static_cast<uint32_t>(page_id)) {
+    return Status::Corruption(
+        "page " + std::to_string(page_id) + " carries id " +
+        std::to_string(stored_id) + " (misdirected write or torn page)");
+  }
+  if (stored_crc != PageCrc(physical, page_id)) {
+    return Status::Corruption("checksum mismatch on page " +
+                              std::to_string(page_id));
+  }
+  std::memcpy(out, physical, kPageSize);
   return Status::OK();
 }
 
@@ -66,21 +248,84 @@ Status DiskManager::WritePage(page_id_t page_id, const char* data) {
     return Status::OutOfRange("write of unallocated page " +
                               std::to_string(page_id));
   }
+  if (crashed_) {
+    return Status::IOError("injected crash: write of page " +
+                           std::to_string(page_id));
+  }
   if (write_fault_in_ >= 0 && write_fault_in_-- == 0) {
     write_fault_in_ = 0;  // keep failing until cleared
     return Status::IOError("injected fault: write of page " +
                            std::to_string(page_id));
   }
+  if (crash_in_ >= 0 && crash_in_-- == 0) {
+    crashed_ = true;  // process died between writes: nothing reaches disk
+    return Status::IOError("injected crash: write of page " +
+                           std::to_string(page_id));
+  }
+  const bool torn = torn_write_in_ >= 0 && torn_write_in_-- == 0;
   stats_.writes++;
   if (file_ == nullptr) {
+    if (torn) {
+      // No footer in memory mode: tear the data itself, then crash.
+      std::memcpy(mem_pages_[page_id].data(), data, kPageSize / 2);
+      crashed_ = true;
+      return Status::IOError("injected crash: torn write of page " +
+                             std::to_string(page_id));
+    }
     std::memcpy(mem_pages_[page_id].data(), data, kPageSize);
     return Status::OK();
   }
-  std::fseek(file_, static_cast<long>(page_id) * kPageSize, SEEK_SET);
-  size_t n = std::fwrite(data, 1, kPageSize, file_);
-  if (n != kPageSize) {
+  char physical[kPhysicalPageSize];
+  std::memcpy(physical, data, kPageSize);
+  PutU32(physical + kPageSize, static_cast<uint32_t>(page_id));
+  PutU32(physical + kPageSize + 4, PageCrc(physical, page_id));
+  std::fseek(file_, PageOffset(page_id), SEEK_SET);
+  if (torn) {
+    // Half the sectors make it; the footer (with the CRC) does not. The
+    // manager then behaves as a dead process: every further op fails.
+    std::fwrite(physical, 1, kPageSize / 2, file_);
+    std::fflush(file_);
+    crashed_ = true;
+    return Status::IOError("injected crash: torn write of page " +
+                           std::to_string(page_id));
+  }
+  size_t n = std::fwrite(physical, 1, kPhysicalPageSize, file_);
+  if (n != kPhysicalPageSize) {
     return Status::IOError("short write on page " + std::to_string(page_id));
   }
+  return Status::OK();
+}
+
+Status DiskManager::CorruptByteForTest(page_id_t page_id, size_t offset) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (page_id < 0 || page_id >= next_page_id_.load()) {
+    return Status::OutOfRange("corrupt of unallocated page " +
+                              std::to_string(page_id));
+  }
+  if (file_ == nullptr) {
+    if (offset >= kPageSize) {
+      return Status::OutOfRange("in-memory pages have no footer");
+    }
+    mem_pages_[page_id][offset] ^= static_cast<char>(0xFF);
+    return Status::OK();
+  }
+  if (offset >= kPhysicalPageSize) {
+    return Status::OutOfRange("offset beyond physical page");
+  }
+  std::fflush(file_);
+  char byte;
+  std::fseek(file_, PageOffset(page_id) + static_cast<long>(offset),
+             SEEK_SET);
+  if (std::fread(&byte, 1, 1, file_) != 1) {
+    return Status::IOError("short read corrupting page");
+  }
+  byte ^= static_cast<char>(0xFF);
+  std::fseek(file_, PageOffset(page_id) + static_cast<long>(offset),
+             SEEK_SET);
+  if (std::fwrite(&byte, 1, 1, file_) != 1) {
+    return Status::IOError("short write corrupting page");
+  }
+  std::fflush(file_);
   return Status::OK();
 }
 
@@ -92,6 +337,23 @@ void DiskManager::MaybeSimulateLatency() {
   // tens of microseconds we model, which would distort the sweep.
   while (std::chrono::steady_clock::now() < until) {
   }
+}
+
+Status AtomicRename(const std::string& from, const std::string& to) {
+  if (std::rename(from.c_str(), to.c_str()) != 0) {
+    return Status::IOError("rename " + from + " -> " + to + ": " +
+                           std::strerror(errno));
+  }
+  // Make the rename itself durable: fsync the containing directory.
+  std::string dir = to;
+  const size_t slash = dir.find_last_of('/');
+  dir = slash == std::string::npos ? std::string(".") : dir.substr(0, slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);  // best effort; some filesystems refuse directory fsync
+    ::close(dfd);
+  }
+  return Status::OK();
 }
 
 }  // namespace relgraph

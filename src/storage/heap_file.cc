@@ -1,5 +1,7 @@
 #include "src/storage/heap_file.h"
 
+#include <unordered_set>
+
 namespace relgraph {
 
 Status HeapFile::Create(BufferPool* pool, HeapFile* out) {
@@ -83,6 +85,39 @@ Status HeapFile::Delete(const Rid& rid) {
   SlottedPage sp(guard.data());
   RELGRAPH_RETURN_IF_ERROR(sp.Delete(rid.slot));
   guard.MarkDirty();
+  return Status::OK();
+}
+
+Status HeapFile::CheckConsistency(int64_t* live_records) const {
+  if (live_records != nullptr) *live_records = 0;
+  std::unordered_set<page_id_t> visited;
+  page_id_t id = first_page_;
+  bool saw_last = false;
+  while (id != kInvalidPageId) {
+    if (id < 0 || id >= pool_->disk()->num_pages()) {
+      return Status::Corruption("heap chain points at unallocated page " +
+                                std::to_string(id));
+    }
+    if (!visited.insert(id).second) {
+      return Status::Corruption("heap chain revisits page " +
+                                std::to_string(id) + " (cycle)");
+    }
+    PageGuard guard(pool_, id);
+    RELGRAPH_RETURN_IF_ERROR(guard.status());
+    SlottedPage sp(guard.data());
+    RELGRAPH_RETURN_IF_ERROR(sp.CheckConsistency());
+    if (live_records != nullptr) {
+      for (slot_id_t s = 0; s < sp.num_slots(); s++) {
+        if (!sp.IsDeleted(s)) (*live_records)++;
+      }
+    }
+    saw_last = saw_last || id == last_page_;
+    id = sp.next_page_id();
+  }
+  if (!saw_last) {
+    return Status::Corruption("heap chain never reaches last page " +
+                              std::to_string(last_page_));
+  }
   return Status::OK();
 }
 

@@ -40,6 +40,15 @@ class HeapFile {
   page_id_t first_page() const { return first_page_; }
   page_id_t last_page() const { return last_page_; }
 
+  /// Walks the page chain validating structure: every page id in range,
+  /// every page passes SlottedPage::CheckConsistency, no page appears
+  /// twice (cycles), and the chain terminates at last_page(). Returns
+  /// Status::Corruption naming the first violation; counts live records
+  /// into `*live_records` when non-null. Shared between the unit tests and
+  /// the relgraph_fsck scrubber, and safe to run against corrupted images
+  /// (it never follows an out-of-range pointer and cannot loop forever).
+  Status CheckConsistency(int64_t* live_records = nullptr) const;
+
   /// Forward scanner over live records. Copies each record out so the page
   /// pin is dropped between calls.
   class Iterator {

@@ -1,6 +1,7 @@
 #include "src/storage/slotted_page.h"
 
 #include <cstring>
+#include <string>
 
 namespace relgraph {
 
@@ -86,6 +87,36 @@ Status SlottedPage::Delete(slot_id_t slot) {
   }
   s->offset = kDeletedOffset;
   s->size = 0;
+  return Status::OK();
+}
+
+Status SlottedPage::CheckConsistency() const {
+  const Header* h = header();
+  const size_t directory_end = kHeaderSize + h->num_slots * kSlotSize;
+  if (directory_end > kPageSize) {
+    return Status::Corruption("slotted page: slot count " +
+                              std::to_string(h->num_slots) +
+                              " overflows the page");
+  }
+  if (h->free_space_offset > kPageSize ||
+      h->free_space_offset < directory_end) {
+    return Status::Corruption(
+        "slotted page: free-space offset " +
+        std::to_string(h->free_space_offset) +
+        " outside [slot directory end, page end]");
+  }
+  for (uint16_t i = 0; i < h->num_slots; i++) {
+    const Slot& s = slot_array()[i];
+    if (s.offset == kDeletedOffset) continue;
+    if (s.offset < h->free_space_offset ||
+        static_cast<size_t>(s.offset) + s.size > kPageSize) {
+      return Status::Corruption(
+          "slotted page: slot " + std::to_string(i) + " spans [" +
+          std::to_string(s.offset) + ", " +
+          std::to_string(s.offset + s.size) +
+          ") outside the record data region");
+    }
+  }
   return Status::OK();
 }
 

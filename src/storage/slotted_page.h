@@ -48,6 +48,14 @@ class SlottedPage {
 
   bool IsDeleted(slot_id_t slot) const;
 
+  /// Structural validation against raw (possibly corrupted) bytes: header
+  /// fields in range, slot directory below the free-space offset, every
+  /// live slot's [offset, offset+size) inside the record data region. On
+  /// violation returns Status::Corruption naming the check — never reads
+  /// out of bounds, so it is safe to call on arbitrary page images (it is
+  /// the first thing relgraph_fsck and the heap/B+-tree validators do).
+  Status CheckConsistency() const;
+
   /// Maximum record size a freshly initialized page can hold.
   static constexpr size_t MaxRecordSize() {
     return kPageSize - kHeaderSize - kSlotSize;

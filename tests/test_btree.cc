@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <functional>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -254,6 +255,183 @@ TEST_P(BTreeRandomizedTest, MatchesReferenceSetUnderChurn) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BTreeRandomizedTest,
                          ::testing::Values(1, 2, 3, 4, 5));
+
+// ----- hardened CheckIntegrity against hostile pages ------------------------
+//
+// These tests attach a tree whose pages have been mutated underneath it
+// (the attach-an-untrusted-snapshot scenario) and demand that every
+// structural violation comes back as typed Corruption from
+// CheckIntegrity — never a crash, an out-of-range page access, or an
+// infinite chain walk.
+
+/// Builds a multi-level tree over `dm`, flushes it, and returns (root,
+/// entries). All further access goes through fresh pools so mutations made
+/// directly through `dm` are always visible.
+void BuildTree(DiskManager* dm, page_id_t* root, int64_t* entries) {
+  BufferPool pool(512, dm);
+  BTree tree;
+  ASSERT_TRUE(BTree::Create(&pool, 8, &tree).ok());
+  for (int i = 0; i < 5000; i++) {
+    ASSERT_TRUE(tree.Insert({i, 0}, Pay(i), true).ok());
+  }
+  ASSERT_GT(tree.Height(), 1);
+  ASSERT_TRUE(pool.FlushAll().ok());
+  *root = tree.root();
+  *entries = tree.num_entries();
+}
+
+/// Reads page `id`, lets `mutate` rewrite it, and writes it back.
+void MutatePage(DiskManager* dm, page_id_t id,
+                const std::function<void(char*)>& mutate) {
+  char buf[kPageSize];
+  ASSERT_TRUE(dm->ReadPage(id, buf).ok());
+  mutate(buf);
+  ASSERT_TRUE(dm->WritePage(id, buf).ok());
+}
+
+/// On-page node header layout (mirrors btree.cc): u8 is_leaf | u8 pad |
+/// u16 count | i32 next. The tests only ever *write* through this view.
+struct RawNodeHeader {
+  uint8_t is_leaf;
+  uint8_t pad;
+  uint16_t count;
+  int32_t next;
+};
+
+Status IntegrityOf(DiskManager* dm, page_id_t root, int64_t entries) {
+  BufferPool pool(512, dm);
+  BTree tree = BTree::Open(&pool, root, 8, entries);
+  return tree.CheckIntegrity();
+}
+
+TEST(BTreeHostilePages, RootOutOfRangeIsCorruption) {
+  DiskManager dm;
+  page_id_t root;
+  int64_t entries;
+  BuildTree(&dm, &root, &entries);
+  EXPECT_TRUE(IntegrityOf(&dm, 99'999, entries).IsCorruption());
+  EXPECT_TRUE(IntegrityOf(&dm, -5, entries).IsCorruption());
+}
+
+TEST(BTreeHostilePages, BogusLeafFlagIsCorruption) {
+  DiskManager dm;
+  page_id_t root;
+  int64_t entries;
+  BuildTree(&dm, &root, &entries);
+  MutatePage(&dm, root, [](char* p) {
+    reinterpret_cast<RawNodeHeader*>(p)->is_leaf = 7;
+  });
+  Status st = IntegrityOf(&dm, root, entries);
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+}
+
+TEST(BTreeHostilePages, CountBeyondCapacityIsCorruption) {
+  DiskManager dm;
+  page_id_t root;
+  int64_t entries;
+  BuildTree(&dm, &root, &entries);
+  MutatePage(&dm, root, [](char* p) {
+    reinterpret_cast<RawNodeHeader*>(p)->count = 0xFFFF;
+  });
+  Status st = IntegrityOf(&dm, root, entries);
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+}
+
+// A leaf whose next pointer loops back onto itself: the chain walk must
+// detect the cycle through its visited set and stop — typed Corruption,
+// not an unbounded loop.
+TEST(BTreeHostilePages, LeafChainCycleIsCorruptionNotAHang) {
+  DiskManager dm;
+  BufferPool pool(64, &dm);
+  BTree small;
+  ASSERT_TRUE(BTree::Create(&pool, 8, &small).ok());
+  for (int i = 0; i < 3; i++) {
+    ASSERT_TRUE(small.Insert({i, 0}, Pay(i), true).ok());
+  }
+  ASSERT_EQ(small.Height(), 1) << "root must still be the single leaf";
+  ASSERT_TRUE(pool.FlushAll().ok());
+  const page_id_t root = small.root();
+  MutatePage(&dm, root, [root](char* p) {
+    reinterpret_cast<RawNodeHeader*>(p)->next = root;  // self-cycle
+  });
+  Status st = IntegrityOf(&dm, root, small.num_entries());
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+}
+
+TEST(BTreeHostilePages, LeafNextOutOfRangeIsCorruption) {
+  DiskManager dm;
+  page_id_t root;
+  int64_t entries;
+  BuildTree(&dm, &root, &entries);
+  // Find a leaf: page ids are dense, walk until is_leaf == 1.
+  page_id_t leaf = kInvalidPageId;
+  char buf[kPageSize];
+  for (page_id_t id = 0; id < dm.num_pages(); id++) {
+    ASSERT_TRUE(dm.ReadPage(id, buf).ok());
+    if (reinterpret_cast<RawNodeHeader*>(buf)->is_leaf == 1) {
+      leaf = id;
+      break;
+    }
+  }
+  ASSERT_NE(leaf, kInvalidPageId);
+  MutatePage(&dm, leaf, [](char* p) {
+    reinterpret_cast<RawNodeHeader*>(p)->next = 1'000'000;
+  });
+  Status st = IntegrityOf(&dm, root, entries);
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+}
+
+// The fuzz: one random byte flipped anywhere in the tree's pages, fresh
+// pool, full CheckIntegrity. Any verdict is allowed (a flipped payload
+// byte is structurally invisible); crashing, reading out of range, or
+// failing to terminate is not. Restoring the byte must restore a clean
+// verdict.
+TEST(BTreeHostilePages, SingleByteFlipFuzzNeverCrashesOrWedges) {
+  DiskManager dm;
+  page_id_t root;
+  int64_t entries;
+  BuildTree(&dm, &root, &entries);
+
+  Rng rng(47620268);
+  for (int iter = 0; iter < 200; iter++) {
+    const page_id_t page =
+        static_cast<page_id_t>(rng.NextBounded(dm.num_pages()));
+    const size_t off = static_cast<size_t>(rng.NextBounded(kPageSize));
+    ASSERT_TRUE(dm.CorruptByteForTest(page, off).ok());
+    IntegrityOf(&dm, root, entries);  // must return; verdict is free
+    ASSERT_TRUE(dm.CorruptByteForTest(page, off).ok());  // restore
+  }
+  Status st = IntegrityOf(&dm, root, entries);
+  EXPECT_TRUE(st.ok()) << "fuzz left damage behind: " << st.ToString();
+}
+
+// A range probe whose tree descent fails must surface the error through
+// the iterator — not report a clean empty range. (An "empty" probe over a
+// bad page once made a shortest-path search conclude its frontier had no
+// edges and return not-found with an OK status.)
+TEST(BTreeHostilePages, FailedScanDescentIsAnErrorNotAnEmptyRange) {
+  DiskManager dm;
+  page_id_t root;
+  int64_t entries;
+  BuildTree(&dm, &root, &entries);
+
+  BufferPool pool(512, &dm);  // fresh pool: every descent re-reads the disk
+  BTree tree = BTree::Open(&pool, root, 8, entries);
+  dm.InjectReadFaultAfter(0);
+  BTree::Iterator it = tree.Scan(100, 200);
+  BtKey key;
+  std::string payload;
+  EXPECT_FALSE(it.Next(&key, &payload));
+  EXPECT_TRUE(it.status().IsIOError())
+      << "descent failure faked a clean EOF: " << it.status().ToString();
+
+  dm.ClearFaults();
+  BTree::Iterator again = tree.Scan(100, 200);
+  int64_t rows = 0;
+  while (again.Next(&key, &payload)) rows++;
+  ASSERT_TRUE(again.status().ok()) << again.status().ToString();
+  EXPECT_EQ(rows, 101);
+}
 
 }  // namespace
 }  // namespace relgraph

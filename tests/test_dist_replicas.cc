@@ -238,6 +238,104 @@ TEST_F(DistReplicaTest, SlowPrimaryTriggersHedgeWithoutChangingResults) {
   ASSERT_TRUE(fleet_->Heal().ok());
 }
 
+// A replica whose data is corrupted (every expand answered with a typed
+// Corruption frame — what a replica that fails its page checksums at read
+// time does) must cost failovers, never answers: with one intact replica
+// per shard, 100% of queries must come back bit-identical to the all-local
+// oracle, and the failover counter must show the corrupted replica was
+// actually tried and routed around.
+TEST_F(DistReplicaTest, CorruptedReplicaServesNothingButFailoverCoversIt) {
+  ASSERT_TRUE(fleet_->Heal().ok());
+  net::FaultSchedule schedule;
+  for (int shard = 0; shard < kShards; shard++) {
+    schedule.CorruptPage(1, shard, 0);  // replica 0 of every shard
+  }
+  DistOptions dopts = ReplicatedOptions();
+  dopts.round_hook = [this, &schedule](int64_t r) {
+    Status st = schedule.OnRound(r, fleet_.get());
+    ASSERT_TRUE(st.ok()) << st.ToString();
+  };
+  std::unique_ptr<DistPathFinder> finder;
+  ASSERT_TRUE(DistPathFinder::Create(store_.get(), &finder, dopts).ok());
+
+  int matched = 0;
+  const int kQueries = 20;
+  for (int q = 0; q < kQueries; q++) {
+    const node_id_t s = 1 + q, t = num_nodes_ - 2 - q;
+    DistPathResult got, want;
+    Status st = finder->Find(s, t, &got);
+    ASSERT_TRUE(st.ok()) << "query " << q << ": " << st.ToString();
+    ASSERT_TRUE(oracle_->Find(s, t, &want).ok());
+    EXPECT_EQ(got.found, want.found) << "query " << q;
+    EXPECT_EQ(got.distance, want.distance) << "query " << q;
+    EXPECT_EQ(got.path, want.path) << "query " << q;
+    EXPECT_EQ(got.stats.rows_shipped, want.stats.rows_shipped)
+        << "query " << q;
+    EXPECT_EQ(got.stats.shard_statements, want.stats.shard_statements)
+        << "query " << q;
+    matched++;
+  }
+  EXPECT_EQ(matched, kQueries) << "corruption must cost 0% of queries";
+  ResilienceCounters rc = finder->coordinator()->Resilience();
+  EXPECT_GT(rc.failovers, 0)
+      << "the corrupted replica was never tried — the schedule is inert";
+  ASSERT_TRUE(fleet_->Heal().ok());
+}
+
+// The corruption schedule matrix, mirroring the kill matrix: corrupt every
+// (shard, replica) right before every round the query executes; the
+// answer must be the oracle's under all of them.
+TEST_F(DistReplicaTest, CorruptMatrixNeverChangesResults) {
+  const node_id_t s = 1, t = num_nodes_ - 1;
+  DistPathResult want;
+  ASSERT_TRUE(oracle_->Find(s, t, &want).ok());
+  const int64_t rounds = want.stats.rounds;
+  ASSERT_GE(rounds, 2);
+
+  for (int shard = 0; shard < kShards; shard++) {
+    for (int replica = 0; replica < kReplicas; replica++) {
+      for (int64_t round = 1; round <= rounds; round++) {
+        net::FaultSchedule schedule;
+        schedule.CorruptPage(round, shard, replica);
+        ASSERT_TRUE(fleet_->Heal().ok());
+        DistOptions dopts = ReplicatedOptions();
+        dopts.round_hook = [this, &schedule](int64_t r) {
+          Status st = schedule.OnRound(r, fleet_.get());
+          ASSERT_TRUE(st.ok()) << st.ToString();
+        };
+        ExpectMatchesOracle(dopts, s, t, "schedule " + schedule.ToString());
+      }
+    }
+  }
+  ASSERT_TRUE(fleet_->Heal().ok());
+}
+
+// Every replica of a shard corrupted: no intact copy exists, so the query
+// must fail *typed* (the router's all-replicas-failed verdict carrying the
+// Corruption), and healing must restore oracle-identical service on the
+// same coordinator.
+TEST_F(DistReplicaTest, AllReplicasCorruptFailsTypedThenHealRecovers) {
+  ASSERT_TRUE(fleet_->Heal().ok());
+  for (int replica = 0; replica < kReplicas; replica++) {
+    ASSERT_TRUE(fleet_->Corrupt(0, replica).ok());
+  }
+  DistOptions dopts = ReplicatedOptions();
+  std::unique_ptr<DistPathFinder> finder;
+  ASSERT_TRUE(DistPathFinder::Create(store_.get(), &finder, dopts).ok());
+  DistPathResult got;
+  Status st = finder->Find(4, num_nodes_ - 5, &got);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("Corruption"), std::string::npos)
+      << "the typed cause must survive aggregation: " << st.ToString();
+
+  ASSERT_TRUE(fleet_->Heal().ok());
+  DistPathResult want;
+  ASSERT_TRUE(oracle_->Find(4, num_nodes_ - 5, &want).ok());
+  ASSERT_TRUE(finder->Find(4, num_nodes_ - 5, &got).ok());
+  EXPECT_EQ(got.distance, want.distance);
+  EXPECT_EQ(got.path, want.path);
+}
+
 // The background prober walks a replica dead -> (restart) -> healthy
 // without any query traffic driving the transitions.
 TEST_F(DistReplicaTest, ProberDetectsDeathAndRecovery) {

@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <memory>
+#include <string>
 
 #include "src/core/path_finder.h"
 #include "src/db/database.h"
@@ -152,6 +154,87 @@ TEST(FaultInjection, PathFinderSurfacesFaultMidQuery) {
   db.disk()->ClearFaults();
   PathQueryResult again;
   ASSERT_TRUE(finder->Find(1, 200, &again).ok());
+}
+
+// ----- on-disk corruption (CRC) propagating as a *typed* status ------------
+
+/// Unique scratch path for a file-backed database (scratch mode: the file
+/// is deleted when the Database goes away).
+std::string FaultDbPath(const std::string& name) {
+  auto p = std::filesystem::temp_directory_path() / ("relgraph_ft_" + name);
+  std::filesystem::remove(p);
+  return p.string();
+}
+
+/// XORs 0xFF into one data byte of every currently allocated page. Call
+/// again with the same arguments to undo. Pages must be flushed first.
+void CorruptEveryPage(DiskManager* disk, size_t offset) {
+  for (page_id_t id = 0; id < disk->num_pages(); id++) {
+    ASSERT_TRUE(disk->CorruptByteForTest(id, offset).ok()) << "page " << id;
+  }
+}
+
+// A bit flip on disk (not an I/O error: the read *succeeds*, the bytes are
+// wrong) must surface from a table scan as Status::Corruption — the CRC
+// catches what no errno ever would — and restoring the bytes must restore
+// the exact row count.
+TEST(FaultInjection, OnDiskBitFlipSurfacesAsCorruptionFromSql) {
+  DatabaseOptions opts;
+  opts.buffer_pool_pages = 8;  // scans must go back to the disk
+  opts.in_memory = false;
+  opts.path = FaultDbPath("sql.rgpf");
+  Database db(opts);
+  ASSERT_FALSE(db.disk()->in_memory()) << "temp dir must be writable";
+  sql::SqlEngine conn(&db);
+  ASSERT_TRUE(conn.Execute("create table t (a int)").ok());
+  // Far more rows than the 8-page pool can hold: the scan below MUST go
+  // back to the disk, where the flipped bytes are.
+  for (int i = 0; i < 20000; i++) {
+    ASSERT_TRUE(
+        conn.Execute("insert into t values (" + std::to_string(i) + ")").ok());
+  }
+  ASSERT_TRUE(db.buffer_pool()->FlushAll().ok());
+
+  CorruptEveryPage(db.disk(), /*offset=*/7);
+  sql::SqlResult r;
+  Status st = conn.Execute("select count(*) from t", &r);
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+
+  CorruptEveryPage(db.disk(), /*offset=*/7);  // XOR back
+  st = conn.Execute("select count(*) from t", &r);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(r.Scalar().AsInt(), 20000);
+}
+
+// The same flip reaching the top of the stack: a shortest-path query over
+// a file-backed graph store with a tiny buffer pool must come back as
+// typed Corruption — never a crash, a hang, or a silently wrong path.
+TEST(FaultInjection, OnDiskBitFlipSurfacesAsCorruptionFromPathFinder) {
+  EdgeList list = GenerateBarabasiAlbert(2000, 4, WeightRange{1, 50}, 77);
+  DatabaseOptions opts;
+  opts.buffer_pool_pages = 16;
+  opts.in_memory = false;
+  opts.path = FaultDbPath("finder.rgpf");
+  Database db(opts);
+  ASSERT_FALSE(db.disk()->in_memory());
+  std::unique_ptr<GraphStore> graph;
+  ASSERT_TRUE(GraphStore::Create(&db, list, GraphStoreOptions{}, &graph).ok());
+  std::unique_ptr<PathFinder> finder;
+  ASSERT_TRUE(
+      PathFinder::Create(graph.get(), PathFinderOptions{}, &finder).ok());
+
+  PathQueryResult r;
+  ASSERT_TRUE(finder->Find(0, 1500, &r).ok());
+  ASSERT_TRUE(r.found);
+
+  ASSERT_TRUE(db.buffer_pool()->FlushAll().ok());
+  CorruptEveryPage(db.disk(), /*offset=*/11);
+  // A repeat of the warm query could be answered entirely from the 16
+  // still-resident frames without ever re-reading the flipped bytes; a
+  // query from a fresh source must fetch that node's adjacency from disk,
+  // where the CRC check fires.
+  Status st = finder->Find(1999, 3, &r);
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
 }
 
 TEST(FaultInjection, FlushAllReportsWriteFault) {

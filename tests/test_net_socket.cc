@@ -176,7 +176,7 @@ TEST(NetSocket, FrameCutByPeerCloseIsUnavailable) {
   Socket tx, rx;
   MakePair(4096, &tx, &rx);
   char hdr[kFrameHeaderBytes];
-  EncodeFrameHeader(FrameType::kExpandRequest, 1024, hdr);
+  EncodeFrameHeader(FrameType::kExpandRequest, 1024, 0, hdr);
   ASSERT_TRUE(tx.SendAll(hdr, sizeof(hdr), DeadlineAfterMs(1000)).ok());
   const std::string partial = Pattern(100);  // 100 of the promised 1024
   ASSERT_TRUE(

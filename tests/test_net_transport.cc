@@ -483,5 +483,58 @@ TEST(NetTransport, ConcurrentSessionsOverLoopbackMatchOracle) {
   }
 }
 
+// A replica refusing to serve because its snapshot failed verification
+// (typed Corruption on every handshake) is a repairable *state*, not a
+// misconfiguration: wiring a replica set that still has a healthy member
+// must succeed, start the refuser dead, and answer every query
+// oracle-identically through the healthy replica. A refusing endpoint
+// with no fallback is still a wiring failure, with the typed reason.
+TEST(NetTransport, RefusingReplicaIsRoutedAroundAtWiring) {
+  EdgeList list = GenerateBarabasiAlbert(120, 2, WeightRange{1, 40}, 57);
+  Cluster c = Cluster::Start(list, 2, {true, true});
+  ASSERT_TRUE(c.store != nullptr);
+  auto pairs = QueryPairs(list.num_nodes, 571, 4);
+
+  std::vector<QueryOutcome> oracle;
+  {
+    std::unique_ptr<DistPathFinder> finder;
+    ASSERT_TRUE(DistPathFinder::Create(c.store.get(), &finder).ok());
+    for (const auto& [s, t] : pairs) {
+      DistPathResult r;
+      ASSERT_TRUE(finder->Find(s, t, &r).ok());
+      oracle.push_back(Outcome(r));
+    }
+  }
+
+  std::unique_ptr<net::ShardServer> refusing;
+  ASSERT_TRUE(net::ShardServer::StartRefusing(
+                  0, Status::Corruption("snapshot failed verification"),
+                  net::ShardServerOptions{}, &refusing)
+                  .ok());
+  const std::string refusing_ep =
+      "127.0.0.1:" + std::to_string(refusing->port());
+
+  DistOptions dopts;
+  dopts.shard_endpoints = {refusing_ep + "|" + c.endpoints[0],
+                           c.endpoints[1]};
+  std::unique_ptr<DistPathFinder> finder;
+  ASSERT_TRUE(DistPathFinder::Create(c.store.get(), &finder, dopts).ok())
+      << "a refusing replica with a healthy sibling must not fail wiring";
+  for (size_t i = 0; i < pairs.size(); i++) {
+    DistPathResult r;
+    ASSERT_TRUE(finder->Find(pairs[i].first, pairs[i].second, &r).ok());
+    ExpectSameOutcome(Outcome(r), oracle[i],
+                      "query " + std::to_string(i) + " with refusing replica");
+  }
+
+  // Sole endpoint for its shard: nothing to route around — the wiring
+  // fails eagerly and the reason survives verbatim.
+  DistOptions solo;
+  solo.shard_endpoints = {refusing_ep, c.endpoints[1]};
+  std::unique_ptr<DistPathFinder> bad;
+  Status st = DistPathFinder::Create(c.store.get(), &bad, solo);
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+}
+
 }  // namespace
 }  // namespace relgraph

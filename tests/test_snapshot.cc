@@ -1,0 +1,378 @@
+// Crash-consistent shard snapshots: a snapshot written with
+// WriteShardSnapshot must reload bit-identically (every expansion a
+// LocalShardService can answer matches the original store), every
+// single-byte corruption of the file — data, footer, manifest, header —
+// must surface as a *typed* Status::Corruption from verification and load
+// (never a crash or silently wrong rows), and the torn-write x crash-point
+// matrix on the underlying durable DiskManager must always resolve to one
+// of exactly two outcomes: the last synced state, or typed Corruption on
+// the torn page.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/dist/shard_service.h"
+#include "src/dist/shard_snapshot.h"
+#include "src/dist/sharded_graph.h"
+#include "src/graph/generators.h"
+#include "src/storage/disk_manager.h"
+
+namespace relgraph {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Per-test scratch directory, removed on teardown.
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("relgraph_snap_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const {
+    return (fs::path(dir_) / name).string();
+  }
+
+  std::string dir_;
+};
+
+/// XORs 0xFF into one byte of `path` at absolute file offset `off` —
+/// applying it twice restores the original byte.
+void FlipByteAt(const std::string& path, std::streamoff off) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good()) << path;
+  f.seekg(off);
+  char b;
+  ASSERT_TRUE(f.read(&b, 1).good());
+  b = static_cast<char>(b ^ 0xFF);
+  f.seekp(off);
+  ASSERT_TRUE(f.write(&b, 1).good());
+}
+
+/// Absolute file offset of byte `within` of the stored image of page `id`
+/// (data bytes first, then the 8-byte footer).
+std::streamoff PageByte(page_id_t id, size_t within) {
+  return static_cast<std::streamoff>(DiskManager::kFileHeaderBytes) +
+         static_cast<std::streamoff>(id) *
+             static_cast<std::streamoff>(DiskManager::kPhysicalPageSize) +
+         static_cast<std::streamoff>(within);
+}
+
+std::unique_ptr<ShardedGraphStore> MakeStore(int num_shards) {
+  EdgeList list = GenerateBarabasiAlbert(400, 3, WeightRange{1, 50}, 2026);
+  ShardedGraphOptions sopts;
+  sopts.num_shards = num_shards;
+  std::unique_ptr<ShardedGraphStore> store;
+  EXPECT_TRUE(ShardedGraphStore::Create(list, sopts, &store).ok());
+  return store;
+}
+
+/// Every expansion the shard can be asked for, from both stores, compared
+/// edge-for-edge: the loaded snapshot must be indistinguishable from the
+/// store it was taken of.
+void ExpectShardAnswersIdentical(ShardedGraphStore* original,
+                                 ShardedGraphStore* loaded, int shard) {
+  std::unique_ptr<LocalShardService> svc_orig, svc_snap;
+  ASSERT_TRUE(LocalShardService::Create(original, shard, LocalShardOptions{},
+                                        &svc_orig)
+                  .ok());
+  ASSERT_TRUE(
+      LocalShardService::Create(loaded, shard, LocalShardOptions{}, &svc_snap)
+          .ok());
+
+  std::vector<node_id_t> owned;
+  for (node_id_t n = 0; n < original->num_nodes(); n++) {
+    if (original->OwnerShard(n) == shard) owned.push_back(n);
+  }
+  ASSERT_FALSE(owned.empty());
+
+  for (bool forward : {true, false}) {
+    for (size_t at = 0; at < owned.size(); at += 64) {
+      ShardExpandRequest req;
+      req.forward = forward;
+      req.nodes.assign(owned.begin() + at,
+                       owned.begin() + std::min(at + 64, owned.size()));
+      ShardExpandResponse want, got;
+      ASSERT_TRUE(svc_orig->Expand(req, &want).ok());
+      ASSERT_TRUE(svc_snap->Expand(req, &got).ok());
+      EXPECT_EQ(got.edges, want.edges)
+          << "shard " << shard << (forward ? " forward" : " backward")
+          << " frontier chunk at " << at;
+    }
+  }
+}
+
+// ----- round trip ----------------------------------------------------------
+
+TEST_F(SnapshotTest, RoundTripServesBitIdenticalExpansions) {
+  auto store = MakeStore(/*num_shards=*/2);
+  for (int shard = 0; shard < 2; shard++) {
+    const std::string path = Path("shard" + std::to_string(shard) + ".rgpf");
+    ASSERT_TRUE(WriteShardSnapshot(*store, shard, path).ok());
+
+    ShardSnapshotInfo info;
+    ASSERT_TRUE(ReadShardSnapshotInfo(path, &info).ok());
+    EXPECT_EQ(info.shard, shard);
+    EXPECT_EQ(info.num_shards, 2);
+    EXPECT_EQ(info.strategy, store->strategy());
+    EXPECT_EQ(info.num_nodes, store->num_nodes());
+    EXPECT_EQ(info.num_edges, store->num_edges());
+    EXPECT_EQ(info.min_weight, store->min_weight());
+
+    std::unique_ptr<ShardedGraphStore> loaded;
+    ShardSnapshotInfo load_info;
+    Status st = LoadShardSnapshot(path, DatabaseOptions{},
+                                  /*verify_structure=*/true, &loaded,
+                                  &load_info);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    EXPECT_EQ(load_info.shard, shard);
+    EXPECT_EQ(loaded->num_nodes(), store->num_nodes());
+    EXPECT_EQ(loaded->num_edges(), store->num_edges());
+    EXPECT_EQ(loaded->min_weight(), store->min_weight());
+
+    ExpectShardAnswersIdentical(store.get(), loaded.get(), shard);
+  }
+}
+
+TEST_F(SnapshotTest, VerifyScrubsEveryPageOfACleanSnapshot) {
+  auto store = MakeStore(2);
+  const std::string path = Path("clean.rgpf");
+  ASSERT_TRUE(WriteShardSnapshot(*store, 0, path).ok());
+  int64_t pages = 0;
+  Status st = VerifySnapshotPages(path, &pages);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_GT(pages, 0);
+  // And the file size is exactly header + pages * physical page.
+  EXPECT_EQ(static_cast<uintmax_t>(fs::file_size(path)),
+            DiskManager::kFileHeaderBytes +
+                static_cast<uintmax_t>(pages) * DiskManager::kPhysicalPageSize);
+}
+
+// A leftover ".tmp" from an interrupted install must be irrelevant: the
+// install is write-temp -> fsync -> rename, so `path` itself always holds a
+// complete snapshot (or the previous one) — never the partial temp.
+TEST_F(SnapshotTest, GarbageTempFileDoesNotShadowInstalledSnapshot) {
+  auto store = MakeStore(2);
+  const std::string path = Path("installed.rgpf");
+  ASSERT_TRUE(WriteShardSnapshot(*store, 1, path).ok());
+  {
+    std::ofstream tmp(path + ".tmp", std::ios::binary);
+    tmp << "half-written garbage from a crashed installer";
+  }
+  std::unique_ptr<ShardedGraphStore> loaded;
+  Status st =
+      LoadShardSnapshot(path, DatabaseOptions{}, true, &loaded);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  ExpectShardAnswersIdentical(store.get(), loaded.get(), 1);
+}
+
+// Re-snapshotting over an existing file must atomically replace it with an
+// equally loadable image (the restart-after-reingest path).
+TEST_F(SnapshotTest, RewriteReplacesSnapshotAtomically) {
+  auto store = MakeStore(2);
+  const std::string path = Path("rewrite.rgpf");
+  ASSERT_TRUE(WriteShardSnapshot(*store, 0, path).ok());
+  ASSERT_TRUE(WriteShardSnapshot(*store, 0, path).ok());
+  std::unique_ptr<ShardedGraphStore> loaded;
+  Status st = LoadShardSnapshot(path, DatabaseOptions{}, true, &loaded);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  ExpectShardAnswersIdentical(store.get(), loaded.get(), 0);
+  EXPECT_FALSE(fs::exists(path + ".tmp")) << "temp file leaked";
+}
+
+// ----- corruption taxonomy -------------------------------------------------
+
+TEST_F(SnapshotTest, MissingAndGarbageFilesFailTyped) {
+  std::unique_ptr<ShardedGraphStore> loaded;
+  Status st = LoadShardSnapshot(Path("never-written.rgpf"), DatabaseOptions{},
+                                true, &loaded);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(loaded, nullptr);
+
+  const std::string garbage = Path("garbage.rgpf");
+  {
+    std::ofstream f(garbage, std::ios::binary);
+    f << std::string(100, 'g');
+  }
+  st = LoadShardSnapshot(garbage, DatabaseOptions{}, true, &loaded);
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsCorruption() || st.IsIOError()) << st.ToString();
+  EXPECT_EQ(loaded, nullptr);
+
+  ShardSnapshotInfo info;
+  EXPECT_FALSE(ReadShardSnapshotInfo(garbage, &info).ok());
+}
+
+// The bit-flip matrix: one flipped byte in every distinct region of the
+// file — first data byte, mid-page data, the page-id echo, the CRC itself,
+// the manifest page, and the file header — must each surface as a typed
+// failure from both the page scrub and the verifying load, and flipping
+// the byte back must restore a clean verify.
+TEST_F(SnapshotTest, SingleByteFlipAnywhereIsDetectedAndTyped) {
+  auto store = MakeStore(2);
+  const std::string path = Path("flip.rgpf");
+  ASSERT_TRUE(WriteShardSnapshot(*store, 0, path).ok());
+  int64_t pages = 0;
+  ASSERT_TRUE(VerifySnapshotPages(path, &pages).ok());
+  ASSERT_GE(pages, 3);
+
+  struct Site {
+    const char* what;
+    std::streamoff off;
+    bool header;  // file header: load fails before any page is read
+  };
+  const std::vector<Site> sites = {
+      {"page 0 first data byte", PageByte(0, 0), false},
+      {"mid-file mid-page data", PageByte(pages / 2, kPageSize / 2), false},
+      {"page-id echo in footer", PageByte(1, kPageSize), false},
+      {"stored CRC itself", PageByte(1, kPageSize + 4), false},
+      {"manifest (last) page", PageByte(pages - 1, 16), false},
+      {"file header magic", 0, true},
+      {"file header page count", 12, true},
+  };
+
+  for (const Site& site : sites) {
+    FlipByteAt(path, site.off);
+
+    Status st = VerifySnapshotPages(path);
+    EXPECT_FALSE(st.ok()) << site.what;
+    if (!site.header) {
+      EXPECT_TRUE(st.IsCorruption()) << site.what << ": " << st.ToString();
+    }
+
+    std::unique_ptr<ShardedGraphStore> loaded;
+    st = LoadShardSnapshot(path, DatabaseOptions{}, true, &loaded);
+    EXPECT_FALSE(st.ok()) << site.what;
+    EXPECT_TRUE(st.IsCorruption() || st.IsIOError())
+        << site.what << ": " << st.ToString();
+    EXPECT_EQ(loaded, nullptr) << site.what;
+
+    FlipByteAt(path, site.off);  // XOR again restores the byte
+    st = VerifySnapshotPages(path);
+    EXPECT_TRUE(st.ok()) << site.what << ": " << st.ToString();
+  }
+
+  // After the whole matrix the snapshot still loads and serves.
+  std::unique_ptr<ShardedGraphStore> loaded;
+  ASSERT_TRUE(LoadShardSnapshot(path, DatabaseOptions{}, true, &loaded).ok());
+  ExpectShardAnswersIdentical(store.get(), loaded.get(), 0);
+}
+
+// ----- crash-point matrix on the durable file ------------------------------
+
+/// Deterministic page contents: version v of page i differs from version
+/// v+1 in every byte, including byte 0 (what a torn half-write exposes).
+void FillPage(char* buf, page_id_t id, int version) {
+  for (size_t j = 0; j < kPageSize; j++) {
+    buf[j] = static_cast<char>((id * 31 + j * 7 + version * 131) % 251);
+  }
+}
+
+// The schedule matrix: kPages synced pages, then an overwrite pass that is
+// interrupted at every point n by either a torn write (half the physical
+// page reaches the file) or a clean crash (nothing does). For every
+// (fault, n) schedule the reopened file must show, per page, exactly one
+// of: the old synced bytes, the complete new bytes, or typed Corruption —
+// and Corruption only on the torn page. No schedule may produce a page
+// that is readable but equal to neither version.
+TEST_F(SnapshotTest, TornWriteAndCrashPointMatrixRecoversOrReportsTyped) {
+  constexpr int kPages = 6;
+  enum class Fault { kTorn, kCrash };
+
+  for (Fault fault : {Fault::kTorn, Fault::kCrash}) {
+    // n == kPages: the countdown never fires — a control run that must
+    // come back fully updated.
+    for (int n = 0; n <= kPages; n++) {
+      const std::string path =
+          Path("matrix_" + std::to_string(static_cast<int>(fault)) + "_" +
+               std::to_string(n) + ".rgpf");
+      {
+        std::unique_ptr<DiskManager> dm;
+        ASSERT_TRUE(DiskManager::Open(path, OpenMode::kCreate, &dm).ok());
+        char buf[kPageSize];
+        for (int i = 0; i < kPages; i++) {
+          page_id_t id = dm->AllocatePage();
+          ASSERT_EQ(id, i);
+          FillPage(buf, id, /*version=*/1);
+          ASSERT_TRUE(dm->WritePage(id, buf).ok());
+        }
+        ASSERT_TRUE(dm->Sync().ok());  // the "last good snapshot"
+
+        if (fault == Fault::kTorn) {
+          dm->InjectTornWriteAfter(n);
+        } else {
+          dm->InjectCrashAfter(n);
+        }
+        Status last = Status::OK();
+        for (int i = 0; i < kPages; i++) {
+          FillPage(buf, i, /*version=*/2);
+          last = dm->WritePage(i, buf);
+          if (!last.ok()) break;
+        }
+        if (n < kPages) {
+          ASSERT_TRUE(last.IsIOError()) << "schedule n=" << n;
+          // The crashed manager fails everything from here on — no
+          // half-alive state.
+          char scratch[kPageSize];
+          EXPECT_TRUE(dm->ReadPage(0, scratch).IsIOError());
+          EXPECT_TRUE(dm->WritePage(0, buf).IsIOError());
+        } else {
+          ASSERT_TRUE(last.ok());
+          ASSERT_TRUE(dm->Sync().ok());
+        }
+        // Destructor: a crashed manager must NOT touch the header.
+      }
+
+      std::unique_ptr<DiskManager> re;
+      Status st = DiskManager::Open(path, OpenMode::kOpenExisting, &re);
+      ASSERT_TRUE(st.ok()) << "schedule n=" << n << ": " << st.ToString();
+      ASSERT_EQ(re->num_pages(), kPages);
+
+      char got[kPageSize], v1[kPageSize], v2[kPageSize];
+      for (int i = 0; i < kPages; i++) {
+        FillPage(v1, i, 1);
+        FillPage(v2, i, 2);
+        Status rd = re->ReadPage(i, got);
+        const std::string ctx = "fault=" +
+                                std::to_string(static_cast<int>(fault)) +
+                                " n=" + std::to_string(n) +
+                                " page=" + std::to_string(i);
+        if (fault == Fault::kTorn && i == n && n < kPages) {
+          // The torn page: half new data over old bytes with the old
+          // footer — must read as typed Corruption, never as data.
+          EXPECT_TRUE(rd.IsCorruption()) << ctx << ": " << rd.ToString();
+          continue;
+        }
+        ASSERT_TRUE(rd.ok()) << ctx << ": " << rd.ToString();
+        const bool is_v1 = std::memcmp(got, v1, kPageSize) == 0;
+        const bool is_v2 = std::memcmp(got, v2, kPageSize) == 0;
+        EXPECT_TRUE(is_v1 || is_v2) << ctx << ": neither version";
+        // Pages before the crash point carry the new bytes; pages at or
+        // after it still carry the synced ones.
+        if (i < n) {
+          EXPECT_TRUE(is_v2) << ctx << ": completed write lost";
+        } else {
+          EXPECT_TRUE(is_v1) << ctx << ": unsynced write leaked";
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace relgraph

@@ -8,15 +8,28 @@
 //
 // Usage:
 //   shard_server --shard I --shards K [--nodes N] [--seed S] [--port P]
+//               [--data-dir DIR]
+//
+// With --data-dir, the server is durable: the first start ingests the
+// graph and atomically installs a checksummed snapshot of its shard in
+// DIR; every later start with the same identity (shard/shards/nodes/seed,
+// all embedded in the snapshot filename) verifies the snapshot — every
+// page checksum plus the heap-chain and B+-tree structural invariants —
+// and serves straight off the verified file instead of re-ingesting. If
+// verification fails, the server STILL comes up, but refuses to serve:
+// every handshake is answered with the typed Corruption, so replicated
+// clients fail over and nobody ever reads a wrong distance off bad pages.
 //
 // Prints "LISTENING <port>" on stdout once ready (port 0 => ephemeral,
-// read it from there), then serves until SIGINT/SIGTERM — on which it
-// DRAINS: stops accepting, finishes every in-flight request, then exits 0.
-// A supervised restart therefore never drops a request the server had
-// started reading (the CI fleet smoke kills and restarts a member to prove
-// it).
+// read it from there), then "STATE <serving-ingested|serving-snapshot|
+// refusing>" describing how it came up, then serves until SIGINT/SIGTERM —
+// on which it DRAINS: stops accepting, finishes every in-flight request,
+// then exits 0. A supervised restart therefore never drops a request the
+// server had started reading (the CI fleet smoke kills and restarts a
+// member to prove it).
 
 #include <signal.h>
+#include <sys/stat.h>
 
 #include <atomic>
 #include <chrono>
@@ -24,8 +37,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <string>
 #include <thread>
 
+#include "src/dist/shard_snapshot.h"
 #include "src/dist/sharded_graph.h"
 #include "src/graph/generators.h"
 #include "src/net/shard_server.h"
@@ -43,6 +58,19 @@ int64_t ArgInt(int argc, char** argv, const char* name, int64_t fallback) {
   return fallback;
 }
 
+const char* ArgStr(int argc, char** argv, const char* name,
+                   const char* fallback) {
+  for (int i = 1; i + 1 < argc; i++) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+bool FileExists(const std::string& path) {
+  struct stat sb;
+  return ::stat(path.c_str(), &sb) == 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -54,32 +82,96 @@ int main(int argc, char** argv) {
       static_cast<uint64_t>(ArgInt(argc, argv, "--seed", 4242));
   const uint16_t port =
       static_cast<uint16_t>(ArgInt(argc, argv, "--port", 0));
+  const std::string data_dir = ArgStr(argc, argv, "--data-dir", "");
   if (shard < 0 || shard >= shards) {
     std::fprintf(stderr,
                  "usage: %s --shard I --shards K [--nodes N] [--seed S] "
-                 "[--port P]\n", argv[0]);
+                 "[--port P] [--data-dir DIR]\n", argv[0]);
     return 64;
   }
 
-  EdgeList list = GenerateBarabasiAlbert(nodes, 3, WeightRange{1, 100}, seed);
-  ShardedGraphOptions sopts;
-  sopts.num_shards = shards;
+  // Snapshot identity is in the filename: a changed partitioning or graph
+  // never silently reuses a stale file.
+  const std::string snapshot_path =
+      data_dir.empty()
+          ? std::string()
+          : data_dir + "/shard-" + std::to_string(shard) + "-of-" +
+                std::to_string(shards) + "-n" + std::to_string(nodes) + "-s" +
+                std::to_string(seed) + ".rgpf";
+
   std::unique_ptr<ShardedGraphStore> store;
-  Status st = ShardedGraphStore::Create(list, sopts, &store);
-  if (!st.ok()) {
-    std::fprintf(stderr, "store: %s\n", st.ToString().c_str());
-    return 1;
+  std::unique_ptr<net::ShardServer> server;
+  const char* state = "serving-ingested";
+  Status st;
+
+  if (!snapshot_path.empty() && FileExists(snapshot_path)) {
+    // Restart path: verify-and-load, never re-ingest, never serve
+    // unverified bytes.
+    ShardSnapshotInfo info;
+    st = LoadShardSnapshot(snapshot_path, DatabaseOptions{},
+                           /*verify_structure=*/true, &store, &info);
+    if (st.ok() && (info.shard != shard || info.num_shards != shards)) {
+      st = Status::Corruption(
+          "snapshot identity mismatch: file claims shard " +
+          std::to_string(info.shard) + "/" + std::to_string(info.num_shards) +
+          ", server is shard " + std::to_string(shard) + "/" +
+          std::to_string(shards));
+      store.reset();
+    }
+    if (!st.ok()) {
+      std::fprintf(stderr, "shard %d: snapshot %s failed verification: %s\n",
+                   shard, snapshot_path.c_str(), st.ToString().c_str());
+      net::ShardServerOptions opts;
+      opts.port = port;
+      Status start = net::ShardServer::StartRefusing(shard, st, opts, &server);
+      if (!start.ok()) {
+        std::fprintf(stderr, "server: %s\n", start.ToString().c_str());
+        return 1;
+      }
+      state = "refusing";
+    } else {
+      std::fprintf(stderr, "shard %d: restored snapshot %s (%lld edges)\n",
+                   shard, snapshot_path.c_str(),
+                   static_cast<long long>(store->num_edges()));
+      state = "serving-snapshot";
+    }
   }
 
-  net::ShardServerOptions opts;
-  opts.port = port;
-  std::unique_ptr<net::ShardServer> server;
-  st = net::ShardServer::Start(store.get(), shard, opts, &server);
-  if (!st.ok()) {
-    std::fprintf(stderr, "server: %s\n", st.ToString().c_str());
-    return 1;
+  if (server == nullptr && store == nullptr) {
+    // First start (or no --data-dir): ingest from the generator.
+    EdgeList list =
+        GenerateBarabasiAlbert(nodes, 3, WeightRange{1, 100}, seed);
+    ShardedGraphOptions sopts;
+    sopts.num_shards = shards;
+    st = ShardedGraphStore::Create(list, sopts, &store);
+    if (!st.ok()) {
+      std::fprintf(stderr, "store: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    if (!snapshot_path.empty()) {
+      st = WriteShardSnapshot(*store, shard, snapshot_path);
+      if (!st.ok()) {
+        // Durability is degraded but service is not: log and serve.
+        std::fprintf(stderr, "shard %d: snapshot write failed: %s\n", shard,
+                     st.ToString().c_str());
+      } else {
+        std::fprintf(stderr, "shard %d: snapshot installed at %s\n", shard,
+                     snapshot_path.c_str());
+      }
+    }
+  }
+
+  if (server == nullptr) {
+    net::ShardServerOptions opts;
+    opts.port = port;
+    st = net::ShardServer::Start(store.get(), shard, opts, &server);
+    if (!st.ok()) {
+      std::fprintf(stderr, "server: %s\n", st.ToString().c_str());
+      return 1;
+    }
   }
   std::printf("LISTENING %u\n", server->port());
+  std::printf("STATE %s\n", state);
   std::fflush(stdout);
 
   signal(SIGINT, OnSignal);
