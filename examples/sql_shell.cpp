@@ -18,6 +18,8 @@
 
 #include "src/core/sql_path_finder.h"
 #include "src/graph/graph_store.h"
+#include "src/labels/label_builder.h"
+#include "src/labels/labeled_path_finder.h"
 #include "src/sql/sql_engine.h"
 
 using namespace relgraph;
@@ -115,8 +117,14 @@ int main(int argc, char** argv) {
       "  \\q quits, --demo runs the paper's statement sequence.\n"
       "  \\prepare <sql>      parse+plan once, keep the handle\n"
       "  \\exec [k=v ...]     bind :params and run the prepared handle\n"
-      "  \\stats              statement / prepare / plan-cache counters\n");
+      "  \\stats              statement / prepare / plan-cache counters\n"
+      "  \\labels <s> <t>     distance from the hub-label index (built on\n"
+      "                      first use; exact FEM fallback when it cannot\n"
+      "                      certify), \\labels alone prints hit/fallback\n"
+      "                      counters\n");
   std::shared_ptr<sql::PreparedStatement> prepared;
+  std::unique_ptr<LabelIndex> label_index;
+  std::unique_ptr<LabeledPathFinder> labeled;
   std::string line, statement;
   while (true) {
     std::printf(statement.empty() ? "sql> " : "  -> ");
@@ -200,6 +208,75 @@ int main(int argc, char** argv) {
       statement.clear();
       continue;
     }
+    if (meta_cmd == "labels") {
+      std::string rest = statement.substr(meta_end);
+      if (size_t semi = rest.find(';'); semi != std::string::npos) {
+        rest.resize(semi);
+      }
+      long long qs = -1, qt = -1;
+      const int parsed = std::sscanf(rest.c_str(), " %lld %lld", &qs, &qt);
+      if (parsed > 0 && parsed < 2) {
+        std::printf("usage: \\labels <s> <t>  (or bare \\labels for "
+                    "counters)\n");
+        statement.clear();
+        continue;
+      }
+      if (labeled == nullptr && parsed == 2) {
+        // Build lazily on the first query: a complete pruned-landmark
+        // index over the current graph, FEM as the exact fallback.
+        LabelBuildStats bstats;
+        Status s2 = LabelBuilder::Build(graph.get(), "", LabelBuildOptions{},
+                                        &label_index, &bstats);
+        if (s2.ok()) {
+          s2 = LabeledPathFinder::Create(graph.get(), label_index.get(),
+                                         LabeledPathFinderOptions{}, &labeled);
+        }
+        if (!s2.ok()) {
+          std::printf("label build failed: %s\n", s2.ToString().c_str());
+          statement.clear();
+          continue;
+        }
+        std::printf("built hub labels: %lld hubs, %lld label rows, %lld SQL "
+                    "statements, %.1f ms\n",
+                    static_cast<long long>(bstats.hubs),
+                    static_cast<long long>(bstats.entries),
+                    static_cast<long long>(bstats.statements),
+                    bstats.build_us / 1e3);
+      }
+      if (parsed == 2) {
+        PathQueryResult r;
+        bool served = false;
+        Status s2 = labeled->Distance(static_cast<node_id_t>(qs),
+                                      static_cast<node_id_t>(qt), &r, &served);
+        if (!s2.ok()) {
+          std::printf("error: %s\n", s2.ToString().c_str());
+        } else if (!r.found) {
+          std::printf("no path (%s)\n",
+                      served ? "served from labels" : "FEM fallback");
+        } else {
+          std::printf("distance = %lld (%s, %lld statement%s, %lld us)\n",
+                      static_cast<long long>(r.distance),
+                      served ? "served from labels" : "FEM fallback",
+                      static_cast<long long>(r.stats.statements),
+                      r.stats.statements == 1 ? "" : "s",
+                      static_cast<long long>(r.stats.total_us));
+        }
+      } else if (labeled == nullptr) {
+        std::printf("no label index yet — \\labels <s> <t> builds it on "
+                    "first use\n");
+      } else {
+        const LabelServeCounters& c = labeled->counters();
+        std::printf("label_hits=%lld fallbacks=%lld stale=%lld inexact=%lld "
+                    "path=%lld\n",
+                    static_cast<long long>(c.label_hits),
+                    static_cast<long long>(c.fallbacks),
+                    static_cast<long long>(c.stale_fallbacks),
+                    static_cast<long long>(c.inexact_fallbacks),
+                    static_cast<long long>(c.path_fallbacks));
+      }
+      statement.clear();
+      continue;
+    }
     if (meta_cmd == "stats") {
       const DatabaseStats& st = db.stats();
       std::printf("statements=%lld prepares=%lld plan_cache_hits=%lld\n",
@@ -212,7 +289,7 @@ int main(int argc, char** argv) {
     if (meta_cmd == "q") break;
     if (!meta_cmd.empty()) {
       std::printf("unknown command \\%s (try \\prepare, \\exec, \\stats, "
-                  "\\q)\n",
+                  "\\labels, \\q)\n",
                   meta_cmd.c_str());
       statement.clear();
       continue;

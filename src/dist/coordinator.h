@@ -10,11 +10,23 @@
 #include "src/dist/replica_set.h"
 #include "src/dist/shard_service.h"
 #include "src/dist/sharded_graph.h"
+#include "src/labels/label_store.h"
 #include "src/net/remote_shard_service.h"
 
 namespace relgraph {
 
 class DistPathFinder;
+
+/// Coordinator-wide fast-path accounting: how many distance queries the
+/// attached label index answered without any shard fan-out, and why the
+/// rest fell back to the distributed FEM search. Summed across sessions
+/// (tools print this next to the RESILIENCE summary).
+struct DistLabelCounters {
+  int64_t label_hits = 0;
+  int64_t fallbacks = 0;
+  int64_t stale_fallbacks = 0;
+  int64_t inexact_fallbacks = 0;
+};
 
 /// Execution knobs for the distributed coordinator.
 struct DistOptions {
@@ -87,6 +99,34 @@ class DistCoordinator {
   /// census, ...) across every shard service and its replicas.
   ResilienceCounters Resilience() const;
 
+  /// Attaches a hub-label serving unit: from here on, sessions answer
+  /// certified-exact distance queries coordinator-side from two label
+  /// probes — zero shard statements, zero rows shipped — and fall back to
+  /// the distributed FEM search otherwise. Attach before queries start;
+  /// the pointer is read un-synchronized on the query path.
+  void AttachLabels(std::unique_ptr<LabelStore> labels) {
+    labels_ = std::move(labels);
+  }
+  /// nullptr when no labels are attached.
+  LabelStore* labels() const { return labels_.get(); }
+
+  DistLabelCounters LabelCounters() const {
+    DistLabelCounters c;
+    c.label_hits = label_hits_.load(std::memory_order_relaxed);
+    c.fallbacks = label_fallbacks_.load(std::memory_order_relaxed);
+    c.stale_fallbacks = label_stale_.load(std::memory_order_relaxed);
+    c.inexact_fallbacks = label_inexact_.load(std::memory_order_relaxed);
+    return c;
+  }
+  void RecordLabelHit() {
+    label_hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordLabelFallback(bool stale, bool inexact) {
+    label_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    if (stale) label_stale_.fetch_add(1, std::memory_order_relaxed);
+    if (inexact) label_inexact_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   /// Monotonic session id (1-based) stamped on each new session's shard
   /// requests, so shard-side admission can be per-session fair.
   int64_t NextSessionId() {
@@ -102,6 +142,11 @@ class DistCoordinator {
   std::vector<std::unique_ptr<ShardService>> services_;
   std::unique_ptr<ThreadPool> pool_;
   std::atomic<int64_t> next_session_id_{0};
+  std::unique_ptr<LabelStore> labels_;
+  std::atomic<int64_t> label_hits_{0};
+  std::atomic<int64_t> label_fallbacks_{0};
+  std::atomic<int64_t> label_stale_{0};
+  std::atomic<int64_t> label_inexact_{0};
 };
 
 }  // namespace relgraph

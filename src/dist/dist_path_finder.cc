@@ -40,6 +40,39 @@ Status DistPathFinder::CreateSession(DistCoordinator* coord,
   return Status::OK();
 }
 
+Status DistPathFinder::Distance(node_id_t s, node_id_t t,
+                                DistPathResult* result,
+                                bool* served_from_labels) {
+  if (served_from_labels != nullptr) *served_from_labels = false;
+  LabelStore* labels = coord_->labels();
+  if (labels != nullptr) {
+    if (label_probe_ == nullptr) {
+      RELGRAPH_RETURN_IF_ERROR(
+          LabelProbe::Create(labels->labels(), &label_probe_));
+    }
+    if (labels->stale()) {
+      coord_->RecordLabelFallback(/*stale=*/true, /*inexact=*/false);
+    } else {
+      Timer timer;
+      LabelProbeResult probe;
+      RELGRAPH_RETURN_IF_ERROR(label_probe_->Distance(s, t, &probe));
+      if (probe.answered) {
+        *result = DistPathResult{};
+        result->found = probe.found;
+        result->distance = probe.found ? probe.distance : kInfinity;
+        result->stats.coordinator_statements = probe.statements;
+        result->stats.serial_us = timer.ElapsedMicros();
+        result->stats.parallel_us = result->stats.serial_us;
+        coord_->RecordLabelHit();
+        if (served_from_labels != nullptr) *served_from_labels = true;
+        return Status::OK();
+      }
+      coord_->RecordLabelFallback(/*stale=*/false, /*inexact=*/true);
+    }
+  }
+  return Find(s, t, result);
+}
+
 Status DistPathFinder::ExpandOnShards(const std::vector<node_id_t>& frontier,
                                       bool forward, weight_t level,
                                       std::vector<Tuple>* rows,

@@ -7,6 +7,7 @@
 #include "src/core/visited_table.h"
 #include "src/dist/coordinator.h"
 #include "src/dist/sharded_graph.h"
+#include "src/labels/label_probe.h"
 
 namespace relgraph {
 
@@ -66,6 +67,16 @@ class DistPathFinder {
   /// `result->found`; the Status covers engine errors only.
   Status Find(node_id_t s, node_id_t t, DistPathResult* result);
 
+  /// Distance-only query with the label fast path: when the coordinator
+  /// has labels attached, they are fresh, and the probe certifies its
+  /// answer exact, the result comes from two coordinator-side index scans
+  /// — stats show zero rounds, zero shard statements, zero rows shipped.
+  /// Everything else (stale labels, uncertified bound, no labels) runs the
+  /// full distributed FEM search. `served_from_labels` (optional) reports
+  /// which path answered; `result->path` stays empty on a label hit.
+  Status Distance(node_id_t s, node_id_t t, DistPathResult* result,
+                  bool* served_from_labels = nullptr);
+
   /// The session's database (statement counts feed DistQueryStats).
   Database* coordinator_db() { return coord_db_.get(); }
 
@@ -105,6 +116,10 @@ class DistPathFinder {
   std::unique_ptr<Database> coord_db_;
   std::unique_ptr<VisitedTable> visited_;
   std::unique_ptr<FemEngine> fem_;
+  /// Created lazily on the first Distance() after labels are attached:
+  /// each session owns its probe (engine + prepared handles are
+  /// single-threaded) over the coordinator's shared label database.
+  std::unique_ptr<LabelProbe> label_probe_;
 };
 
 }  // namespace relgraph

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/catalog/table.h"
+#include "src/common/status.h"
+#include "src/net/wire.h"
+#include "src/storage/disk_manager.h"
+
+namespace relgraph {
+
+class Database;
+
+/// Shared machinery of the durable snapshot formats (shard snapshots,
+/// label-index snapshots): wire-encoding of TablePersistentState, the
+/// one-page manifest framing, and the copy-pages + write-manifest +
+/// atomic-rename install sequence. Each snapshot kind keeps its own magic,
+/// version, and identity block; what they share is "a page-exact copy of a
+/// Database with a trailing manifest page, installed atomically and
+/// CRC-verified on every read".
+
+/// Appends one table's persisted identity to `w`.
+void EncodeTableState(net::WireWriter* w, const TablePersistentState& st);
+
+/// Decodes one table state; every count is bounds-checked so a forged or
+/// damaged manifest yields Corruption, never a huge allocation.
+Status DecodeTableState(net::WireReader* r, TablePersistentState* st);
+
+/// Reads the manifest page (the snapshot's last page) through the CRC
+/// check and returns its payload (the bytes the writer framed).
+Status ReadManifestPage(DiskManager* disk, std::string* payload);
+
+/// Copies every page of `db` into `path + ".tmp"`, appends `manifest` as
+/// the final page, syncs, and atomically renames over `path` — crash
+/// mid-install keeps the previous snapshot. Flushes the buffer pool first
+/// so the disk manager holds every current page. Fails with Internal when
+/// the manifest exceeds one page.
+Status WriteDatabaseSnapshot(Database* db, const std::string& manifest,
+                             const std::string& path);
+
+}  // namespace relgraph

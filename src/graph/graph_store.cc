@@ -117,6 +117,7 @@ Status GraphStore::AddEdge(const Edge& e) {
   }
   num_edges_++;
   min_weight_ = std::min(min_weight_, e.weight);
+  mutation_epoch_.fetch_add(1, std::memory_order_acq_rel);
   return Status::OK();
 }
 
@@ -154,6 +155,7 @@ Status GraphStore::RemoveEdge(const Edge& e) {
     RELGRAPH_RETURN_IF_ERROR(RemoveOneEdgeRow(edges_in_, "tid", e.to, e));
   }
   num_edges_--;
+  mutation_epoch_.fetch_add(1, std::memory_order_acq_rel);
   return Status::OK();
 }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <string>
 
@@ -66,6 +67,15 @@ class GraphStore {
   weight_t min_weight() const { return min_weight_; }
   IndexStrategy strategy() const { return options_.strategy; }
 
+  /// Counts graph mutations (AddEdge/RemoveEdge) since construction.
+  /// Derived structures (hub labels, sketches) record the epoch they were
+  /// built at; a moved epoch means their answers may no longer match the
+  /// graph. Unlike the catalog version this only moves on *data* changes,
+  /// so unrelated DDL (working tables, indexes) doesn't invalidate them.
+  uint64_t mutation_epoch() const {
+    return mutation_epoch_.load(std::memory_order_acquire);
+  }
+
   /// Appends one edge to every physical copy/index (dynamic updates).
   Status AddEdge(const Edge& e);
 
@@ -87,6 +97,7 @@ class GraphStore {
   int64_t num_nodes_ = 0;
   int64_t num_edges_ = 0;
   weight_t min_weight_ = kInfinity;
+  std::atomic<uint64_t> mutation_epoch_{0};
 };
 
 }  // namespace relgraph

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/graph/graph_store.h"
+#include "src/labels/label_index.h"
+
+namespace relgraph {
+
+struct LabelBuildOptions {
+  /// How many hubs to process, in pruned-landmark order (total degree
+  /// descending, node id ascending as the tie-break). < 0 processes every
+  /// vertex — a *complete* index, which answers all pairs exactly. A
+  /// smaller budget trades exactness for build time: answers become upper
+  /// bounds and only witness-at-endpoint probes are certified (the rest
+  /// fall back to FEM).
+  int64_t max_hubs = -1;
+  /// Working-table name; must be unique per concurrent builder in one
+  /// database. The table is dropped when construction finishes.
+  std::string work_table = "LabelW";
+  /// Per-hub safety valve on BFS rounds; a correct run never reaches it.
+  int64_t max_iterations = 10'000'000;
+};
+
+/// Statement counts of one construction run — how much SQL the pipeline
+/// issued (benches report this next to wall clock).
+struct LabelBuildStats {
+  int64_t hubs = 0;
+  int64_t statements = 0;
+  int64_t rounds = 0;   // frontier rounds summed over hubs and directions
+  int64_t entries = 0;  // label rows materialized (both directions)
+  int64_t build_us = 0;
+};
+
+/// Constructs hub labels (pruned landmark labeling, Akiba et al. — the
+/// "Shortest Paths in Microseconds" structure) as a batched
+/// prepared-statement SQL pipeline over the graph tables: the same
+/// MERGE/UPDATE frontier idioms the FEM operators use, one pruned Dijkstra
+/// per hub per direction, label rows emitted with INSERT..SELECT. Every
+/// statement is prepared once and re-bound per hub, so the whole build
+/// performs a constant number of parses/plans.
+///
+/// Per hub h (forward shown; backward swaps the edge relation and the two
+/// label tables):
+///
+///   delete from W; insert into W values (:h, 0, 0)
+///   loop:
+///     F  update W set f = 2 where f = 0 and d = (select min(d) ...)
+///     P  merge .. when matched and cov <= d then update set f = 1
+///        (cov = min over common hubs of existing labels — the PLL prune;
+///         pruned vertices are neither labeled nor expanded)
+///     L  insert into LabelsIn (nid, hub, dist)
+///        select nid, :h, d from W where f = 2
+///     E  merge into W using (frontier x TEdges, window-deduplicated) ..
+///     M  update W set f = 1 where f = 2
+///
+/// Prune joins only consult labels of *previously processed* hubs (a
+/// vertex enters the frontier at most once per BFS and its current-hub
+/// label row is emitted after the prune step), which is exactly the
+/// PLL invariant that keeps emitted distances exact.
+class LabelBuilder {
+ public:
+  /// Builds labels for `graph` into tables <prefix>LabelsOut/In/Meta in
+  /// graph->db(), where prefix = graph's table prefix is NOT assumed —
+  /// pass it via `prefix` (empty for the default single-graph database).
+  /// Fails with AlreadyExists when label tables of this prefix exist.
+  static Status Build(GraphStore* graph, const std::string& prefix,
+                      LabelBuildOptions options,
+                      std::unique_ptr<LabelIndex>* out,
+                      LabelBuildStats* stats = nullptr);
+};
+
+}  // namespace relgraph

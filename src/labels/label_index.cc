@@ -1,0 +1,76 @@
+#include "src/labels/label_index.h"
+
+#include "src/sql/sql_engine.h"
+
+namespace relgraph {
+
+namespace {
+
+using namespace label_internal;  // NOLINT: meta-key enum
+
+Status ReadMetaValue(sql::SqlEngine* conn, const std::string& meta,
+                     int64_t key, int64_t* out) {
+  Value v;
+  sql::SqlParams params;
+  params.emplace("k", Value(key));
+  RELGRAPH_RETURN_IF_ERROR(conn->QueryScalar(
+      "select v from " + meta + " where k = :k", &v, params));
+  if (v.IsNull()) {
+    return Status::Corruption("label meta key " + std::to_string(key) +
+                              " missing from " + meta);
+  }
+  *out = v.AsInt();
+  return Status::OK();
+}
+
+}  // namespace
+
+Status LabelIndex::Attach(Database* db, const std::string& prefix,
+                          std::unique_ptr<LabelIndex>* out) {
+  auto index = std::unique_ptr<LabelIndex>(new LabelIndex());
+  index->db_ = db;
+  index->prefix_ = prefix;
+  for (const std::string& name :
+       {index->out_name(), index->in_name(), index->meta_name()}) {
+    if (db->catalog()->GetTable(name) == nullptr) {
+      return Status::InvalidArgument("label table " + name +
+                                     " not found in this database");
+    }
+  }
+  sql::SqlEngine conn(db);
+  const std::string meta = index->meta_name();
+  int64_t format, num_hubs, complete, epoch, catalog_version, nodes, edges,
+      entries;
+  RELGRAPH_RETURN_IF_ERROR(ReadMetaValue(
+      &conn, meta, kMetaFormatVersion, &format));
+  if (format != kLabelFormatVersion) {
+    return Status::InvalidArgument(
+        "label index format " + std::to_string(format) + " (expected " +
+        std::to_string(kLabelFormatVersion) + ")");
+  }
+  RELGRAPH_RETURN_IF_ERROR(
+      ReadMetaValue(&conn, meta, kMetaNumHubs, &num_hubs));
+  RELGRAPH_RETURN_IF_ERROR(
+      ReadMetaValue(&conn, meta, kMetaComplete, &complete));
+  RELGRAPH_RETURN_IF_ERROR(
+      ReadMetaValue(&conn, meta, kMetaMutationEpoch, &epoch));
+  RELGRAPH_RETURN_IF_ERROR(ReadMetaValue(
+      &conn, meta, kMetaCatalogVersion, &catalog_version));
+  RELGRAPH_RETURN_IF_ERROR(
+      ReadMetaValue(&conn, meta, kMetaNumNodes, &nodes));
+  RELGRAPH_RETURN_IF_ERROR(
+      ReadMetaValue(&conn, meta, kMetaNumEdges, &edges));
+  RELGRAPH_RETURN_IF_ERROR(
+      ReadMetaValue(&conn, meta, kMetaNumEntries, &entries));
+  index->num_hubs_ = num_hubs;
+  index->complete_ = complete != 0;
+  index->num_entries_ = entries;
+  index->num_nodes_ = nodes;
+  index->num_edges_ = edges;
+  index->built_mutation_epoch_ = static_cast<uint64_t>(epoch);
+  index->built_catalog_version_ = static_cast<uint64_t>(catalog_version);
+  *out = std::move(index);
+  return Status::OK();
+}
+
+}  // namespace relgraph

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/db/database.h"
+
+namespace relgraph {
+
+namespace label_internal {
+
+/// <prefix>LabelsMeta keys. The meta relation is (k int, v int) so the
+/// index is reconstructible from the database alone (Attach) — snapshots
+/// carry the tables, the tables carry the metadata.
+enum MetaKey : int64_t {
+  kMetaFormatVersion = 1,
+  kMetaNumHubs = 2,
+  kMetaComplete = 3,
+  kMetaMutationEpoch = 4,
+  kMetaCatalogVersion = 5,
+  kMetaNumNodes = 6,
+  kMetaNumEdges = 7,
+  kMetaNumEntries = 8,
+};
+
+constexpr int64_t kLabelFormatVersion = 1;
+
+}  // namespace label_internal
+
+/// Handle on a materialized hub-label index: the two label relations
+///
+///   <prefix>LabelsOut (nid, hub, dist)   -- dist = d(nid -> hub)
+///   <prefix>LabelsIn  (nid, hub, dist)   -- dist = d(hub -> nid)
+///
+/// clustered by nid so one probe is one sargable range scan, plus a
+/// <prefix>LabelsMeta (k, v) relation recording what the labels were built
+/// from. `distance(s,t)` is then two probes and a min:
+///
+///   select min(lo.dist + li.dist) from LabelsOut lo, LabelsIn li
+///   where lo.nid = :s and li.nid = :t and li.hub = lo.hub
+///
+/// A *complete* index (every vertex processed as a hub, pruned landmark
+/// order) answers every pair exactly, including unreachable ones (no common
+/// hub <=> no path). A partial index yields an upper bound that is provably
+/// exact only when the witness hub is s or t — LabelProbe reports which,
+/// and callers fall back to FEM for the rest.
+///
+/// Staleness: the index records the GraphStore::mutation_epoch() it was
+/// built at. Serving layers compare that against the live graph's epoch and
+/// fall back to FEM on any mismatch — stale labels never answer. The epoch
+/// comparison only works against the graph object the labels were built on;
+/// after restoring labels + graph from paired snapshots, the restorer calls
+/// RebaseEpoch() to assert the pair matches again.
+class LabelIndex {
+ public:
+  /// Reattaches an index whose relations already live in `db` (created by
+  /// LabelBuilder earlier, or just restored by LoadLabelSnapshot), reading
+  /// the build metadata back from <prefix>LabelsMeta. InvalidArgument when
+  /// the tables are missing; Corruption when the meta rows are.
+  static Status Attach(Database* db, const std::string& prefix,
+                       std::unique_ptr<LabelIndex>* out);
+
+  Database* db() const { return db_; }
+  const std::string& prefix() const { return prefix_; }
+  std::string out_name() const { return prefix_ + "LabelsOut"; }
+  std::string in_name() const { return prefix_ + "LabelsIn"; }
+  std::string meta_name() const { return prefix_ + "LabelsMeta"; }
+
+  /// Hubs processed during construction; `complete()` when that covered
+  /// every vertex of the graph (=> every answer exact).
+  int64_t num_hubs() const { return num_hubs_; }
+  bool complete() const { return complete_; }
+  /// Total label entries across both directions (avg labels/vertex =
+  /// num_entries / (2 * num_nodes) — the index-size number benches report).
+  int64_t num_entries() const { return num_entries_; }
+  int64_t num_nodes() const { return num_nodes_; }
+  int64_t num_edges() const { return num_edges_; }
+
+  uint64_t built_mutation_epoch() const { return built_mutation_epoch_; }
+  uint64_t built_catalog_version() const { return built_catalog_version_; }
+
+  /// True when the graph has mutated since the labels were built — the
+  /// serving layers' never-answer-stale check.
+  bool stale(uint64_t current_mutation_epoch) const {
+    return current_mutation_epoch != built_mutation_epoch_;
+  }
+
+  /// Re-anchors the staleness baseline to `current_mutation_epoch`. Called
+  /// by a restorer that re-paired these labels with a graph it *knows*
+  /// matches them (e.g. both sides of one snapshot pair): the restored
+  /// graph counts mutations from zero again, so the build-time epoch no
+  /// longer lines up even though the data does.
+  void RebaseEpoch(uint64_t current_mutation_epoch) {
+    built_mutation_epoch_ = current_mutation_epoch;
+  }
+
+ private:
+  friend class LabelBuilder;
+  LabelIndex() = default;
+
+  Database* db_ = nullptr;
+  std::string prefix_;
+  int64_t num_hubs_ = 0;
+  bool complete_ = false;
+  int64_t num_entries_ = 0;
+  int64_t num_nodes_ = 0;
+  int64_t num_edges_ = 0;
+  uint64_t built_mutation_epoch_ = 0;
+  uint64_t built_catalog_version_ = 0;
+};
+
+}  // namespace relgraph

@@ -1,0 +1,68 @@
+#include "src/labels/label_probe.h"
+
+namespace relgraph {
+
+Status LabelProbe::Create(const LabelIndex* index,
+                          std::unique_ptr<LabelProbe>* out) {
+  auto probe = std::unique_ptr<LabelProbe>(new LabelProbe());
+  probe->index_ = index;
+  probe->conn_ = std::make_unique<sql::SqlEngine>(index->db());
+  const std::string lo = index->out_name();
+  const std::string li = index->in_name();
+  RELGRAPH_RETURN_IF_ERROR(probe->conn_->Prepare(
+      "select min(lo.dist + li.dist) from " + lo + " lo, " + li +
+          " li where lo.nid = :s and li.nid = :t and li.hub = lo.hub",
+      &probe->min_stmt_));
+  RELGRAPH_RETURN_IF_ERROR(probe->conn_->Prepare(
+      "select top 1 lo.hub from " + lo + " lo, " + li +
+          " li where lo.nid = :s and li.nid = :t and li.hub = lo.hub and "
+          "lo.dist + li.dist = :d",
+      &probe->witness_stmt_));
+  *out = std::move(probe);
+  return Status::OK();
+}
+
+Status LabelProbe::Distance(node_id_t s, node_id_t t,
+                            LabelProbeResult* result) {
+  *result = LabelProbeResult{};
+  if (s == t) {
+    result->answered = true;
+    result->found = true;
+    result->distance = 0;
+    return Status::OK();
+  }
+  sql::SqlParams params;
+  params.emplace("s", Value(static_cast<int64_t>(s)));
+  params.emplace("t", Value(static_cast<int64_t>(t)));
+  Value min_v;
+  RELGRAPH_RETURN_IF_ERROR(min_stmt_->QueryScalar(params, &min_v));
+  result->statements++;
+  if (min_v.IsNull()) {
+    // No common hub. A complete index labels every vertex pair that has a
+    // path, so emptiness *proves* unreachability; a partial one proves
+    // nothing.
+    result->answered = index_->complete();
+    result->found = false;
+    return Status::OK();
+  }
+  result->found = true;
+  result->distance = min_v.AsInt();
+  if (index_->complete()) {
+    result->answered = true;
+    return Status::OK();
+  }
+  // Partial index: the min is an upper bound. It is provably exact when
+  // the witness hub is an endpoint (then it equals a label entry's true
+  // distance, and no shorter path exists below a true distance).
+  params.emplace("d", Value(static_cast<int64_t>(result->distance)));
+  Value hub_v;
+  RELGRAPH_RETURN_IF_ERROR(witness_stmt_->QueryScalar(params, &hub_v));
+  result->statements++;
+  if (!hub_v.IsNull()) {
+    const node_id_t hub = hub_v.AsInt();
+    result->answered = hub == s || hub == t;
+  }
+  return Status::OK();
+}
+
+}  // namespace relgraph

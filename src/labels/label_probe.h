@@ -1,0 +1,59 @@
+#pragma once
+
+#include <memory>
+
+#include "src/graph/memgraph.h"
+#include "src/labels/label_index.h"
+#include "src/sql/sql_engine.h"
+
+namespace relgraph {
+
+/// Outcome of one label probe. `answered` is the exactness certificate:
+/// true only when the probe *proves* its answer equals the true shortest
+/// distance (complete index; or witness hub equal to an endpoint; or
+/// s == t). answered == false carries the best upper bound found (or
+/// nothing) and the caller must fall back to FEM. The probe never checks
+/// staleness — callers own their graph and gate on LabelIndex::stale()
+/// before probing.
+struct LabelProbeResult {
+  bool answered = false;
+  bool found = false;                // meaningful when answered
+  weight_t distance = kInfinity;     // exact when answered, else upper bound
+  int64_t statements = 0;            // SQL statements this probe issued
+};
+
+/// Serves distance(s,t) from the label relations: one sargable range scan
+/// per endpoint joined on the hub column, min over the sums —
+///
+///   select min(lo.dist + li.dist) from LabelsOut lo, LabelsIn li
+///   where lo.nid = :s and li.nid = :t and li.hub = lo.hub
+///
+/// Statements are prepared at Create() and only re-bound per query, so a
+/// probe is bind + two indexed range scans. A probe owns its own SqlEngine
+/// and handles (a PreparedStatement must not run on two threads at once):
+/// concurrent sessions each create their own probe over the shared label
+/// database, exactly like the distributed shard pool's per-connection
+/// engines.
+class LabelProbe {
+ public:
+  static Status Create(const LabelIndex* index,
+                       std::unique_ptr<LabelProbe>* out);
+
+  /// Probes distance(s,t). On a complete index one statement decides
+  /// everything (a NULL min proves unreachability). On a partial index an
+  /// answer is certified only via the witness-hub statement; unreachable
+  /// pairs cannot be certified at all.
+  Status Distance(node_id_t s, node_id_t t, LabelProbeResult* result);
+
+  const LabelIndex* index() const { return index_; }
+
+ private:
+  LabelProbe() = default;
+
+  const LabelIndex* index_ = nullptr;
+  std::unique_ptr<sql::SqlEngine> conn_;
+  std::shared_ptr<sql::PreparedStatement> min_stmt_;
+  std::shared_ptr<sql::PreparedStatement> witness_stmt_;
+};
+
+}  // namespace relgraph

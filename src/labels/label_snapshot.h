@@ -1,0 +1,40 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/labels/label_index.h"
+
+namespace relgraph {
+
+/// Durable label-index snapshots, riding the same machinery as shard
+/// snapshots (src/dist/snapshot_manifest.h): a page-exact, CRC-verified
+/// copy of the database holding the label relations, with a one-page
+/// manifest naming the three tables, installed by atomic rename. A
+/// restarted shard loads this file and serves label hits without any
+/// rebuild; the build metadata (hub count, completeness, build epoch)
+/// travels inside the LabelsMeta relation itself.
+
+/// Snapshots the database `index` lives in. When labels were built in
+/// place (same database as the graph), the graph pages come along — the
+/// manifest still only re-attaches the label tables on load.
+Status WriteLabelSnapshot(const LabelIndex& index, const std::string& path);
+
+/// A restored index: the reopened database and the handle over it. The
+/// index's staleness baseline is the *build-time* epoch; after pairing it
+/// with a graph known to match (restored from the same install), call
+/// index->RebaseEpoch(graph->mutation_epoch()).
+struct RestoredLabelIndex {
+  std::unique_ptr<Database> db;
+  std::unique_ptr<LabelIndex> index;
+};
+
+/// Opens a label snapshot (every page read passes the CRC check), attaches
+/// the label relations, and rebuilds the LabelIndex handle from LabelsMeta.
+/// Corruption anywhere — damaged page, forged manifest, missing meta rows —
+/// refuses the load; it never serves a half-readable index.
+Status LoadLabelSnapshot(const std::string& path,
+                         const DatabaseOptions& db_options,
+                         RestoredLabelIndex* out);
+
+}  // namespace relgraph

@@ -1,0 +1,38 @@
+#include "src/labels/label_store.h"
+
+#include "src/labels/label_snapshot.h"
+
+namespace relgraph {
+
+Status LabelStore::Build(const EdgeList& list, LabelBuildOptions options,
+                         std::unique_ptr<LabelStore>* out,
+                         LabelBuildStats* stats) {
+  auto store = std::unique_ptr<LabelStore>(new LabelStore());
+  DatabaseOptions db_opts;
+  db_opts.concurrent_readers = true;
+  store->db_ = std::make_unique<Database>(db_opts);
+  RELGRAPH_RETURN_IF_ERROR(GraphStore::Create(
+      store->db_.get(), list, GraphStoreOptions{}, &store->graph_));
+  RELGRAPH_RETURN_IF_ERROR(LabelBuilder::Build(
+      store->graph_.get(), /*prefix=*/"", options, &store->index_, stats));
+  *out = std::move(store);
+  return Status::OK();
+}
+
+Status LabelStore::Load(const std::string& path,
+                        std::unique_ptr<LabelStore>* out) {
+  auto store = std::unique_ptr<LabelStore>(new LabelStore());
+  RestoredLabelIndex restored;
+  RELGRAPH_RETURN_IF_ERROR(
+      LoadLabelSnapshot(path, DatabaseOptions{}, &restored));
+  store->db_ = std::move(restored.db);
+  store->index_ = std::move(restored.index);
+  *out = std::move(store);
+  return Status::OK();
+}
+
+Status LabelStore::WriteSnapshot(const std::string& path) const {
+  return WriteLabelSnapshot(*index_, path);
+}
+
+}  // namespace relgraph

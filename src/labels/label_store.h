@@ -1,0 +1,52 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/graph/graph_store.h"
+#include "src/labels/label_builder.h"
+#include "src/labels/label_index.h"
+
+namespace relgraph {
+
+/// A self-contained label serving unit: its own Database (concurrent
+/// readers on — many sessions probe it at once), a GraphStore built from
+/// the edge list, and the LabelIndex constructed over it. This is what a
+/// DistCoordinator attaches so distributed fleets answer label hits
+/// coordinator-side with zero shard fan-out — construction stays a
+/// single-node SQL pipeline, serving scales with sessions.
+class LabelStore {
+ public:
+  /// Builds graph tables + labels from `list` in a fresh in-memory
+  /// database.
+  static Status Build(const EdgeList& list, LabelBuildOptions options,
+                      std::unique_ptr<LabelStore>* out,
+                      LabelBuildStats* stats = nullptr);
+
+  /// Restores from a WriteLabelSnapshot() file instead of rebuilding.
+  /// A restored store has no graph — probes work, staleness cannot move
+  /// (nothing can mutate a graph it doesn't have), and graph() is null.
+  static Status Load(const std::string& path,
+                     std::unique_ptr<LabelStore>* out);
+
+  Status WriteSnapshot(const std::string& path) const;
+
+  LabelIndex* labels() const { return index_.get(); }
+  /// Null for a snapshot-restored store.
+  GraphStore* graph() const { return graph_.get(); }
+
+  /// Never-answer-stale gate: true when the backing graph mutated after
+  /// the build. A restored store is fresh by construction.
+  bool stale() const {
+    return graph_ != nullptr && index_->stale(graph_->mutation_epoch());
+  }
+
+ private:
+  LabelStore() = default;
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<GraphStore> graph_;
+  std::unique_ptr<LabelIndex> index_;
+};
+
+}  // namespace relgraph

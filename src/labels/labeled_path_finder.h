@@ -1,0 +1,65 @@
+#pragma once
+
+#include <memory>
+
+#include "src/core/sql_path_finder.h"
+#include "src/labels/label_index.h"
+#include "src/labels/label_probe.h"
+
+namespace relgraph {
+
+struct LabeledPathFinderOptions {
+  /// The exact fallback: the paper's FEM algorithms through the SQL-text
+  /// client. `fallback.visited_table` must be unique per finder in one
+  /// database.
+  SqlPathFinderOptions fallback;
+};
+
+/// Why each query was (or was not) served from labels — the fast-path
+/// hit/fallback accounting tools and benches print.
+struct LabelServeCounters {
+  int64_t label_hits = 0;         // answered from labels, no FEM
+  int64_t fallbacks = 0;          // total FEM executions via this finder
+  int64_t stale_fallbacks = 0;    // graph mutated since the build
+  int64_t inexact_fallbacks = 0;  // partial index could not certify
+  int64_t path_fallbacks = 0;     // full path requested (labels hold none)
+};
+
+/// The serve-from-index fast path with FEM as the exact slow path:
+/// Distance() answers from two label probes + min when the index can
+/// *prove* the answer (fresh labels, certified exact), and transparently
+/// runs the full FEM search otherwise — a stale or partial index degrades
+/// to the paper's algorithm, never to a wrong answer. Find() (full path)
+/// always runs FEM: labels store distances, not paths.
+class LabeledPathFinder {
+ public:
+  /// `labels` may live in graph->db() (built in place) or in a separate
+  /// restored database; the finder probes wherever the index points and
+  /// falls back onto `graph`.
+  static Status Create(GraphStore* graph, const LabelIndex* labels,
+                       LabeledPathFinderOptions options,
+                       std::unique_ptr<LabeledPathFinder>* out);
+
+  /// Distance-only query. `result->path` stays empty on a label hit;
+  /// `served_from_labels` (optional) reports which path answered.
+  Status Distance(node_id_t s, node_id_t t, PathQueryResult* result,
+                  bool* served_from_labels = nullptr);
+
+  /// Full-path query: always the FEM fallback.
+  Status Find(node_id_t s, node_id_t t, PathQueryResult* result);
+
+  const LabelServeCounters& counters() const { return counters_; }
+  const LabelIndex* labels() const { return labels_; }
+  SqlPathFinder* fallback() { return fallback_.get(); }
+
+ private:
+  LabeledPathFinder() = default;
+
+  GraphStore* graph_ = nullptr;
+  const LabelIndex* labels_ = nullptr;
+  std::unique_ptr<LabelProbe> probe_;
+  std::unique_ptr<SqlPathFinder> fallback_;
+  LabelServeCounters counters_;
+};
+
+}  // namespace relgraph

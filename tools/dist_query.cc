@@ -6,6 +6,7 @@
 // Usage:
 //   dist_query --shards K --endpoints host:port,host:port,...
 //       [--nodes N] [--seed S] [--queries Q] [--expect-unavailable]
+//       [--labels [--label-hubs H]]
 //
 // An endpoint entry of "local" keeps that shard in-process (mixed
 // deployments); an entry may also name several '|'-separated replicas
@@ -13,6 +14,17 @@
 // over, so killing one replica mid-run must NOT fail any query (the
 // replicated CI smoke asserts exactly that). A resilience-counter summary
 // (retries, failovers, hedges, sheds, ...) is printed at exit.
+//
+// With --labels the coordinator gets a hub-label index built from the
+// same deterministic graph and queries run distance-only through the
+// label fast path: certified hits are answered coordinator-side with
+// ZERO shard fan-out (asserted: no rounds, no shard statements, no rows
+// shipped), everything else falls back to the distributed FEM search —
+// both checked against the oracle. A LABELS hit/fallback counter line is
+// printed next to the RESILIENCE summary. --label-hubs H builds a
+// partial index (fewer certified pairs, more fallbacks) to exercise the
+// fallback path; the default is a complete index, where every query
+// must be a hit (exit 2 otherwise).
 // Exit codes: 0 success; 2 wrong answer (transport changed
 // results); 3 unexpected shard failure; with --expect-unavailable the
 // meanings of success flip — 0 when some query degrades to a typed
@@ -30,6 +42,7 @@
 #include "src/dist/dist_path_finder.h"
 #include "src/dist/sharded_graph.h"
 #include "src/graph/generators.h"
+#include "src/labels/label_store.h"
 
 namespace {
 
@@ -52,6 +65,15 @@ bool HasFlag(int argc, char** argv, const char* name) {
     if (std::strcmp(argv[i], name) == 0) return true;
   }
   return false;
+}
+
+void PrintLabelCounters(const relgraph::DistLabelCounters& lc) {
+  std::printf(
+      "LABELS hits=%lld fallbacks=%lld stale=%lld inexact=%lld\n",
+      static_cast<long long>(lc.label_hits),
+      static_cast<long long>(lc.fallbacks),
+      static_cast<long long>(lc.stale_fallbacks),
+      static_cast<long long>(lc.inexact_fallbacks));
 }
 
 void PrintResilience(const relgraph::ResilienceCounters& rc) {
@@ -89,11 +111,14 @@ int main(int argc, char** argv) {
       static_cast<uint64_t>(ArgInt(argc, argv, "--seed", 4242));
   const int queries = static_cast<int>(ArgInt(argc, argv, "--queries", 8));
   const bool expect_unavailable = HasFlag(argc, argv, "--expect-unavailable");
+  const bool use_labels = HasFlag(argc, argv, "--labels");
+  const int64_t label_hubs = ArgInt(argc, argv, "--label-hubs", -1);
   const char* endpoints_arg = ArgStr(argc, argv, "--endpoints");
   if (endpoints_arg == nullptr) {
     std::fprintf(stderr,
                  "usage: %s --shards K --endpoints h:p,h:p,... [--nodes N] "
-                 "[--seed S] [--queries Q] [--expect-unavailable]\n",
+                 "[--seed S] [--queries Q] [--expect-unavailable] "
+                 "[--labels [--label-hubs H]]\n",
                  argv[0]);
     return 64;
   }
@@ -136,13 +161,33 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "coordinator: %s\n", st.ToString().c_str());
     return expect_unavailable && st.IsUnavailable() ? 0 : 3;
   }
+  if (use_labels) {
+    LabelBuildOptions lopts;
+    lopts.max_hubs = label_hubs;
+    std::unique_ptr<LabelStore> labels;
+    LabelBuildStats lstats;
+    st = LabelStore::Build(list, lopts, &labels, &lstats);
+    if (!st.ok()) {
+      std::fprintf(stderr, "label build: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("LABELS built hubs=%lld entries=%lld statements=%lld "
+                "build_us=%lld\n",
+                static_cast<long long>(lstats.hubs),
+                static_cast<long long>(lstats.entries),
+                static_cast<long long>(lstats.statements),
+                static_cast<long long>(lstats.build_us));
+    finder->coordinator()->AttachLabels(std::move(labels));
+  }
 
   Rng rng(seed * 31 + 7);
   for (int q = 0; q < queries; q++) {
     const node_id_t s_node = rng.NextInt(0, nodes - 1);
     const node_id_t t_node = rng.NextInt(0, nodes - 1);
     DistPathResult got;
-    st = finder->Find(s_node, t_node, &got);
+    bool served = false;
+    st = use_labels ? finder->Distance(s_node, t_node, &got, &served)
+                    : finder->Find(s_node, t_node, &got);
     if (!st.ok()) {
       std::fprintf(stderr, "query %d (%lld -> %lld): %s\n", q,
                    static_cast<long long>(s_node),
@@ -156,6 +201,27 @@ int main(int argc, char** argv) {
     }
     DistPathResult want;
     if (!oracle->Find(s_node, t_node, &want).ok()) return 1;
+    if (use_labels) {
+      // Distance-only: the label fast path carries no path, so only
+      // found/distance are compared — but a *hit* must also prove it
+      // never touched a shard.
+      if (got.found != want.found || got.distance != want.distance) {
+        std::fprintf(stderr, "query %d: label answer drifted from oracle\n",
+                     q);
+        return 2;
+      }
+      if (served && (got.stats.rounds != 0 || got.stats.shard_statements != 0 ||
+                     got.stats.rows_shipped != 0)) {
+        std::fprintf(stderr, "query %d: label hit touched shards\n", q);
+        return 2;
+      }
+      if (!served && label_hubs < 0) {
+        std::fprintf(stderr, "query %d: complete fresh index must serve "
+                     "every distance\n", q);
+        return 2;
+      }
+      continue;
+    }
     if (got.found != want.found || got.distance != want.distance ||
         got.path != want.path ||
         got.stats.rows_shipped != want.stats.rows_shipped ||
@@ -166,6 +232,7 @@ int main(int argc, char** argv) {
     }
   }
   PrintResilience(finder->coordinator()->Resilience());
+  if (use_labels) PrintLabelCounters(finder->coordinator()->LabelCounters());
   if (expect_unavailable) {
     std::fprintf(stderr, "expected a degraded query, saw none\n");
     return 4;
