@@ -1,11 +1,26 @@
 // Micro-benchmarks (google-benchmark) for the executor layer: the window
 // function and the MERGE statement — the two "new SQL features" whose cost
-// profile §5.2 (Fig 6(d)) depends on — plus the E-operator's index join and
+// profile §5.2 (Fig 6(d)) depends on — plus the E-operator's index join,
 // the row-at-a-time vs batched (EvalBatch) filter+project comparison that
-// motivates defaulting everything to the batch path.
+// motivates defaulting everything to the batch path, the selection-vector
+// vs force-compact filter regimes across selectivities, and the vectorized
+// open-addressing hash aggregate against the classic std::map probe.
+//
+// Two run modes: without RELGRAPH_JSON this is a normal google-benchmark
+// binary. With RELGRAPH_JSON=path it instead runs a small deterministic
+// series (selectivity sweep + agg comparison, min-of-5 wall clocks and
+// exact row counters) and emits bench_common JSON records — the form CI
+// pins in the ci_smoke rolling diff window.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <functional>
+#include <limits>
+#include <map>
+
+#include "bench/bench_common.h"
 #include "src/catalog/table.h"
+#include "src/exec/agg_executors.h"
 #include "src/exec/dml_executors.h"
 #include "src/exec/join_executors.h"
 #include "src/exec/scan_executors.h"
@@ -175,6 +190,310 @@ BENCHMARK(BM_FilterProjectBatched)
     ->Args({10000, 1024})
     ->Args({10000, 4096});
 
+// ---------------------------------------------------------------------------
+// Selection-vector regimes. k = i % 100 makes `k < s` an exact s%
+// selectivity predicate; the second Args slot picks the filter regime:
+// 0 = default (selection vectors above kSelVectorMinRows), 1 = force the
+// legacy compact-every-batch path. The gap between the two at a given
+// selectivity is what the selection-vector representation buys.
+//
+// The input rows are base-table-wide (a POI row: id columns plus name and
+// address attributes) while the projection keeps two ints — the standard
+// scan -> filter -> narrow-project shape. The plan stacks two filters the
+// way conjunct pushdown does (the selective key predicate, then a fixed
+// ~50% attribute predicate). That shape is what the compact regime pays
+// for: each filter deep-copies every surviving wide row (strings included)
+// just for the rows to be thrown away after projection, while selection
+// vectors compose through the stack and only the two projected columns are
+// ever touched.
+// ---------------------------------------------------------------------------
+
+Schema SelSchema() {
+  return Schema({{"k", TypeId::kInt},
+                 {"a", TypeId::kInt},
+                 {"b", TypeId::kInt},
+                 {"lat", TypeId::kInt},
+                 {"lng", TypeId::kInt},
+                 {"cat", TypeId::kInt},
+                 {"name", TypeId::kVarchar},
+                 {"addr", TypeId::kVarchar}});
+}
+
+std::vector<Tuple> MakeSelRows(int64_t n) {
+  std::vector<Tuple> rows;
+  rows.reserve(n);
+  for (int64_t i = 0; i < n; i++) {
+    rows.push_back(Tuple({Value(i % 100), Value((i * 13) % 500),
+                          Value(i % 31), Value((i * 7) % 3600),
+                          Value((i * 11) % 1800), Value(i % 40),
+                          Value("point-of-interest-" + std::to_string(i % 1000)),
+                          Value("no. " + std::to_string(i % 500) +
+                                " example boulevard, sample city")}));
+  }
+  return rows;
+}
+
+ExecRef MakeSelPlan(const std::vector<Tuple>& rows, int64_t s) {
+  ExecRef scan = std::make_unique<MaterializedExecutor>(rows, SelSchema());
+  ExecRef filter1 = std::make_unique<FilterExecutor>(
+      std::move(scan), Cmp(CompareOp::kLt, Col("k"), Lit(s)));
+  // a = (i * 13) % 500, so `a < 250` keeps ~half of the survivors.
+  ExecRef filter2 = std::make_unique<FilterExecutor>(
+      std::move(filter1), Cmp(CompareOp::kLt, Col("a"), Lit(int64_t{250})));
+  std::vector<ExprRef> exprs = {Col("a"), Add(Col("k"), Col("b"))};
+  return std::make_unique<ProjectExecutor>(
+      std::move(filter2), std::move(exprs),
+      Schema({{"p0", TypeId::kInt}, {"p1", TypeId::kInt}}));
+}
+
+/// Runs one prepared-plan execution, folding the output like the engine's
+/// hot consumers do; returns rows produced.
+int64_t DrainSelPlan(Executor* plan) {
+  int64_t produced = 0;
+  int64_t acc = 0;
+  std::vector<Tuple> batch;
+  while (plan->NextBatch(&batch)) {
+    produced += static_cast<int64_t>(batch.size());
+    for (const Tuple& t : batch) acc += t.value(1).AsInt();
+  }
+  benchmark::DoNotOptimize(acc);
+  return produced;
+}
+
+void BM_FilterProjectSelectivity(benchmark::State& state) {
+  auto rows = MakeSelRows(40000);
+  const int64_t selectivity = state.range(0);
+  SetSelVectorMinRows(state.range(1) == 0
+                          ? 0
+                          : std::numeric_limits<size_t>::max());
+  ExecRef plan = MakeSelPlan(rows, selectivity);
+  for (auto _ : state) {
+    if (!plan->Init().ok()) state.SkipWithError("init failed");
+    benchmark::DoNotOptimize(DrainSelPlan(plan.get()));
+  }
+  SetSelVectorMinRows(0);
+  state.SetItemsProcessed(state.iterations() * rows.size());
+}
+BENCHMARK(BM_FilterProjectSelectivity)
+    ->ArgNames({"sel_pct", "compact"})
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({10, 0})
+    ->Args({10, 1})
+    ->Args({50, 0})
+    ->Args({50, 1})
+    ->Args({100, 0})
+    ->Args({100, 1});
+
+// ---------------------------------------------------------------------------
+// Hash aggregation: the vectorized open-addressing build vs the classic
+// row-at-a-time std::map probe it replaced. The map baseline reproduces
+// the old executor's build loop exactly (per-row key vector, ordered map
+// probe, scalar argument evaluation), so the gap is the probe + batch
+// evaluation strategy, nothing else.
+// ---------------------------------------------------------------------------
+
+Schema AggSchema() {
+  return Schema({{"g", TypeId::kInt}, {"v", TypeId::kInt}});
+}
+
+std::vector<Tuple> MakeAggRows(int64_t n, int64_t groups) {
+  std::vector<Tuple> rows;
+  rows.reserve(n);
+  for (int64_t i = 0; i < n; i++) {
+    rows.push_back(Tuple({Value((i * 7919) % groups), Value(i % 1000)}));
+  }
+  return rows;
+}
+
+std::vector<AggSpec> MakeAggSpecs() {
+  return {{AggOp::kSum, Col("v"), "sm"},
+          {AggOp::kMin, Col("v"), "mn"},
+          {AggOp::kCount, nullptr, "cnt"}};
+}
+
+/// The pre-vectorization build: one ordered-map probe and one scalar
+/// expression evaluation per row.
+int64_t MapAggBaseline(const std::vector<Tuple>& rows) {
+  const Schema schema = AggSchema();
+  const std::vector<AggSpec> aggs = MakeAggSpecs();
+  auto cmp = [](const std::vector<Value>& a, const std::vector<Value>& b) {
+    for (size_t i = 0; i < a.size(); i++) {
+      int c = a[i].Compare(b[i]);
+      if (c != 0) return c < 0;
+    }
+    return false;
+  };
+  std::map<std::vector<Value>, std::vector<AggState>, decltype(cmp)> groups(
+      cmp);
+  MaterializedExecutor child(rows, schema);
+  if (!child.Init().ok()) return -1;
+  std::vector<Tuple> batch;
+  while (child.NextBatch(&batch)) {
+    for (const Tuple& t : batch) {
+      std::vector<Value> key = {t.value(0)};
+      auto [it, inserted] =
+          groups.try_emplace(std::move(key), std::vector<AggState>(aggs.size()));
+      for (size_t k = 0; k < aggs.size(); k++) {
+        AggState& s = it->second[k];
+        if (aggs[k].expr == nullptr) {
+          s.count++;
+          continue;
+        }
+        Value v = aggs[k].expr->Evaluate(t, schema);
+        if (v.IsNull()) continue;
+        switch (aggs[k].op) {
+          case AggOp::kSum:
+            s.acc = s.acc.IsNull() ? v : s.acc.Add(v);
+            break;
+          case AggOp::kMin:
+            if (s.acc.IsNull() || v.Compare(s.acc) < 0) s.acc = v;
+            break;
+          case AggOp::kMax:
+            if (s.acc.IsNull() || v.Compare(s.acc) > 0) s.acc = v;
+            break;
+          case AggOp::kCount:
+            s.count++;
+            break;
+        }
+      }
+    }
+  }
+  int64_t acc = 0;
+  for (const auto& [key, states] : groups) {
+    acc += states[2].count + states[0].acc.AsInt();
+  }
+  benchmark::DoNotOptimize(acc);
+  return static_cast<int64_t>(groups.size());
+}
+
+int64_t VectorizedAgg(const std::vector<Tuple>& rows) {
+  HashAggregateExecutor agg(
+      std::make_unique<MaterializedExecutor>(rows, AggSchema()), {"g"},
+      MakeAggSpecs());
+  if (!agg.Init().ok()) return -1;
+  int64_t produced = 0;
+  int64_t acc = 0;
+  std::vector<Tuple> batch;
+  while (agg.NextBatch(&batch)) {
+    produced += static_cast<int64_t>(batch.size());
+    for (const Tuple& t : batch) acc += t.value(3).AsInt() + t.value(1).AsInt();
+  }
+  benchmark::DoNotOptimize(acc);
+  return produced;
+}
+
+void BM_HashAggVectorized(benchmark::State& state) {
+  auto rows = MakeAggRows(state.range(0), state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(VectorizedAgg(rows));
+  }
+  state.SetItemsProcessed(state.iterations() * rows.size());
+}
+BENCHMARK(BM_HashAggVectorized)
+    ->ArgNames({"rows", "groups"})
+    ->Args({100000, 64})
+    ->Args({100000, 4096})
+    ->Args({100000, 65536});
+
+void BM_HashAggMapBaseline(benchmark::State& state) {
+  auto rows = MakeAggRows(state.range(0), state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MapAggBaseline(rows));
+  }
+  state.SetItemsProcessed(state.iterations() * rows.size());
+}
+BENCHMARK(BM_HashAggMapBaseline)
+    ->ArgNames({"rows", "groups"})
+    ->Args({100000, 64})
+    ->Args({100000, 4096})
+    ->Args({100000, 65536});
+
+// ---------------------------------------------------------------------------
+// Deterministic JSON series for CI (RELGRAPH_JSON mode): the same two
+// comparisons at fixed sizes, min-of-5 wall clocks, with output-row counts
+// in the exact-gated `visited` field — any selection-vector or hash-table
+// behaviour drift shows up as a counter diff, not just a timing blip.
+// ---------------------------------------------------------------------------
+
+double TimeSeconds(const std::function<void()>& fn) {
+  auto t0 = std::chrono::steady_clock::now();
+  fn();
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+void RunJsonSeries() {
+  bench::Banner(
+      "micro_exec",
+      "executor micro series: selection-vector filter+project regimes and "
+      "vectorized vs map hash aggregation",
+      "selvec should widen its lead as selectivity drops; the vectorized "
+      "aggregate should beat the map probe at every group count");
+  constexpr int kReps = 5;
+
+  const int64_t n = 40000;
+  auto rows = MakeSelRows(n);
+  bench::JsonContext("groups", 0);
+  for (int64_t s : {int64_t{1}, int64_t{10}, int64_t{50}, int64_t{100}}) {
+    bench::JsonContext("selectivity", static_cast<double>(s));
+    const struct {
+      const char* label;
+      size_t knob;
+    } regimes[] = {
+        {"filter_project:selvec", 0},
+        {"filter_project:compact", std::numeric_limits<size_t>::max()},
+    };
+    for (const auto& regime : regimes) {
+      SetSelVectorMinRows(regime.knob);
+      ExecRef plan = MakeSelPlan(rows, s);
+      double best = std::numeric_limits<double>::max();
+      int64_t produced = 0;
+      for (int r = 0; r < kReps; r++) {
+        best = std::min(best, TimeSeconds([&] {
+                          bench::Check(plan->Init(), "sel plan init");
+                          produced = DrainSelPlan(plan.get());
+                        }));
+      }
+      SetSelVectorMinRows(0);
+      bench::AvgResult avg;
+      avg.time_s = best;
+      avg.expansions = static_cast<double>(n);
+      avg.visited = static_cast<double>(produced);
+      avg.total = 1;
+      bench::JsonRecord(regime.label, avg);
+    }
+  }
+
+  bench::JsonContext("selectivity", 0);
+  const int64_t agg_n = 100000;
+  for (int64_t groups : {int64_t{64}, int64_t{65536}}) {
+    bench::JsonContext("groups", static_cast<double>(groups));
+    auto agg_rows = MakeAggRows(agg_n, groups);
+    const struct {
+      const char* label;
+      int64_t (*run)(const std::vector<Tuple>&);
+    } variants[] = {
+        {"hash_agg:vectorized", &VectorizedAgg},
+        {"hash_agg:map", &MapAggBaseline},
+    };
+    for (const auto& variant : variants) {
+      double best = std::numeric_limits<double>::max();
+      int64_t out_groups = 0;
+      for (int r = 0; r < kReps; r++) {
+        best = std::min(
+            best, TimeSeconds([&] { out_groups = variant.run(agg_rows); }));
+      }
+      bench::AvgResult avg;
+      avg.time_s = best;
+      avg.expansions = static_cast<double>(agg_n);
+      avg.visited = static_cast<double>(out_groups);
+      avg.total = 1;
+      bench::JsonRecord(variant.label, avg);
+    }
+  }
+}
+
 void BM_IndexNestedLoopJoin(benchmark::State& state) {
   // The E-operator join: a small frontier probing a large clustered edge
   // table.
@@ -216,4 +535,17 @@ BENCHMARK(BM_IndexNestedLoopJoin);
 }  // namespace
 }  // namespace relgraph
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // JSON mode (CI): the deterministic series only — quick, and its records
+  // ride the same diff_bench gate as the figure benches. Otherwise the
+  // binary behaves like any google-benchmark executable.
+  if (relgraph::bench::JsonEnabled()) {
+    relgraph::RunJsonSeries();
+    return 0;
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -32,6 +32,16 @@ struct Rid {
 /// SetExecBatchSize() (src/exec/executor.h); everything else uses this.
 constexpr size_t kExecBatchSize = 1024;
 
+/// Minimum surviving rows for a filter to forward a selection vector over
+/// its child's batch instead of compacting the survivors into a dense copy.
+/// Below this, a compact copy is cheaper than making every downstream
+/// operator gather through the indirection; above it, skipping the copy
+/// wins. Runtime-tunable via SetSelVectorMinRows() (src/exec/executor.h)
+/// so bench_micro_exec can sweep it; SIZE_MAX forces the always-compact
+/// legacy path (the baseline the selection-vector series is diffed
+/// against).
+constexpr size_t kSelVectorMinRows = 8;
+
 /// Node identifier in a graph (matches the paper's `nid`/`fid`/`tid`).
 using node_id_t = int64_t;
 /// Edge weight / path distance. The paper uses integer weights in [1,100];

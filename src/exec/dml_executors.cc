@@ -63,47 +63,43 @@ Status ApplyUpdates(Table* table, Table::Iterator it, ExprRef predicate,
   std::vector<RowRef> refs;
   ValueColumn pred_scratch;
   std::vector<char> keep;
-  std::vector<Tuple> matched;
-  std::vector<RowRef> matched_refs;
+  std::vector<uint32_t> sel;
   std::vector<ValueColumn> set_cols(resolved.size());
   bool exhausted = false;
   while (DrainScanBatch(&it, &exhausted, &rows, &refs)) {
+    // Matched rows stay where the scan put them; a selection vector over
+    // the scan batch replaces the old compact-into-`matched` copy.
+    const uint32_t* selp = nullptr;
+    size_t lanes = rows.size();
     if (predicate != nullptr) {
       RowBatch batch(rows, schema);
       EvalPredicateBatch(*predicate, batch, &pred_scratch, &keep);
-      matched.clear();
-      matched_refs.clear();
+      sel.clear();
       for (size_t i = 0; i < rows.size(); i++) {
-        if (keep[i]) {
-          matched.push_back(std::move(rows[i]));
-          matched_refs.push_back(refs[i]);
-        }
+        if (keep[i]) sel.push_back(static_cast<uint32_t>(i));
       }
-    } else {
-      // Swap, not move: the displaced batch flows back into `rows`, whose
-      // recycled slot buffers the next DrainScanBatch then reuses.
-      matched.swap(rows);
-      matched_refs = refs;
+      if (sel.empty()) continue;
+      selp = sel.data();
+      lanes = sel.size();
     }
-    if (matched.empty()) continue;
     // SET expressions see the *old* rows — one column per clause when the
     // match set is big enough to amortize it, row-at-a-time otherwise.
-    const bool vectorize_sets = matched.size() >= kMinVectorizedRows;
+    const bool vectorize_sets = lanes >= kMinVectorizedRows;
     if (vectorize_sets) {
-      RowBatch mbatch(matched, schema);
+      RowBatch mbatch(rows.data(), rows.size(), schema, selp, lanes);
       for (size_t k = 0; k < resolved.size(); k++) {
         resolved[k].second->EvalBatch(mbatch, &set_cols[k]);
       }
     }
-    for (size_t i = 0; i < matched.size(); i++) {
-      Tuple updated = matched[i];
+    for (size_t i = 0; i < lanes; i++) {
+      const size_t r = selp != nullptr ? selp[i] : i;
+      Tuple updated = rows[r];
       for (size_t k = 0; k < resolved.size(); k++) {
         updated.value(resolved[k].first) =
             vectorize_sets ? set_cols[k].Get(i)
-                           : resolved[k].second->Evaluate(matched[i], schema);
+                           : resolved[k].second->Evaluate(rows[r], schema);
       }
-      pending.emplace_back(matched_refs[i],
-                           want_old ? std::move(matched[i]) : Tuple(),
+      pending.emplace_back(refs[r], want_old ? std::move(rows[r]) : Tuple(),
                            std::move(updated));
     }
   }

@@ -4,12 +4,19 @@ namespace relgraph {
 
 namespace {
 size_t g_exec_batch_size = kExecBatchSize;
+size_t g_sel_vector_min_rows = kSelVectorMinRows;
 }  // namespace
 
 size_t ExecBatchSize() { return g_exec_batch_size; }
 
 void SetExecBatchSize(size_t n) {
   g_exec_batch_size = n == 0 ? kExecBatchSize : n;
+}
+
+size_t SelVectorMinRows() { return g_sel_vector_min_rows; }
+
+void SetSelVectorMinRows(size_t n) {
+  g_sel_vector_min_rows = n == 0 ? kSelVectorMinRows : n;
 }
 
 void Executor::Explain(int depth, std::string* out) const {

@@ -17,6 +17,40 @@ namespace relgraph {
 size_t ExecBatchSize();
 void SetExecBatchSize(size_t n);  // n = 0 restores kExecBatchSize
 
+/// Effective selection-vector threshold: the minimum number of surviving
+/// rows for FilterExecutor to forward (rows, sel) instead of compacting.
+/// Defaults to kSelVectorMinRows; SetSelVectorMinRows lets bench_micro_exec
+/// sweep it and tests pin both extremes (1 = always forward a selection,
+/// SIZE_MAX = always compact, i.e. the legacy path). Same thread-safety
+/// caveat as SetExecBatchSize: set before running plans, never mid-drain.
+size_t SelVectorMinRows();
+void SetSelVectorMinRows(size_t n);  // n = 0 restores kSelVectorMinRows
+
+/// A borrowed batch plus an optional selection vector: the unit of flow on
+/// the NextBatchSel path. `rows[0..num_rows)` are owned by the producer and
+/// valid until its next pull of any kind. When `sel` is non-null, only the
+/// lanes `rows[sel[0..num_sel)]` are part of the stream (sel is strictly
+/// ascending); when null, the batch is dense and num_sel is ignored.
+///
+/// Contract: consumers iterate lanes with count()/row(i) and must never
+/// reorder or mutate through the span. Only materialization boundaries
+/// (Sort, Collect, MERGE's source drain, DML apply, wire serialization)
+/// may compact; pass-through operators (Project, Rename, Join outer sides,
+/// aggregation builds) must consume the selection in place.
+struct BatchSpan {
+  const Tuple* rows = nullptr;
+  size_t num_rows = 0;
+  const uint32_t* sel = nullptr;  // nullptr = dense
+  size_t num_sel = 0;
+
+  /// Number of selected lanes.
+  size_t count() const { return sel != nullptr ? num_sel : num_rows; }
+  /// Maps lane i to its index in rows.
+  size_t index(size_t i) const { return sel != nullptr ? sel[i] : i; }
+  const Tuple& row(size_t i) const { return rows[index(i)]; }
+  bool dense() const { return sel == nullptr; }
+};
+
 /// Shared body of every batch drain: pulls up to ExecBatchSize() rows via
 /// `pull(Tuple*)` straight into `out`'s slots. The slot discipline is the
 /// batch path's core perf invariant — grow on demand (short streams never
@@ -73,6 +107,20 @@ class Executor {
     if (!NextBatch(&view_buffer_)) return false;
     *rows = view_buffer_.data();
     *n = view_buffer_.size();
+    return true;
+  }
+
+  /// Selection-aware pull: like NextBatchView but the producer may attach a
+  /// selection vector instead of compacting (see BatchSpan for the borrow
+  /// and iteration contract). The default serves the NextBatchView stream
+  /// as dense spans, so every executor speaks this interface; only
+  /// FilterExecutor currently produces sparse spans, and only when the
+  /// survivor count reaches SelVectorMinRows().
+  virtual bool NextBatchSel(BatchSpan* out) {
+    const Tuple* rows = nullptr;
+    size_t n = 0;
+    if (!NextBatchView(&rows, &n)) return false;
+    *out = BatchSpan{rows, n, nullptr, 0};
     return true;
   }
 

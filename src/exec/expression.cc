@@ -10,9 +10,10 @@ namespace relgraph {
 void Expression::EvalBatch(const RowBatch& batch, ValueColumn* out) const {
   // Scalar fallback: one Evaluate per row. Operator nodes override this
   // with column-at-a-time kernels.
-  out->Reset(batch.num_rows());
-  for (const Tuple& t : batch) {
-    out->Append(Evaluate(t, batch.schema()));
+  const size_t n = batch.num_rows();
+  out->Reset(n);
+  for (size_t i = 0; i < n; i++) {
+    out->Append(Evaluate(batch.row(i), batch.schema()));
   }
 }
 
@@ -101,10 +102,14 @@ class ColumnExpr : public Expression {
   }
   void EvalBatch(const RowBatch& batch, ValueColumn* out) const override {
     // The whole point of batch mode: the name -> position lookup happens
-    // once here instead of once per row.
-    out->Reset(batch.num_rows());
+    // once here instead of once per row. row(i) gathers through the
+    // batch's selection vector when one is attached, so every interior
+    // kernel above this leaf sees a compact column and stays
+    // selection-oblivious.
+    const size_t n = batch.num_rows();
+    out->Reset(n);
     const size_t idx = batch.schema().IndexOf(name_);
-    for (const Tuple& t : batch) out->AppendRef(t.value(idx));
+    for (size_t i = 0; i < n; i++) out->AppendRef(batch.row(i).value(idx));
   }
   std::string ToString() const override { return name_; }
 
@@ -650,9 +655,11 @@ bool EvalPredicate(const Expression& expr, const Tuple& tuple,
 
 void EvalPredicateBatch(const Expression& expr, const RowBatch& batch,
                         ValueColumn* scratch, std::vector<char>* keep) {
-  if (batch.num_rows() < kMinVectorizedRows) {
-    // Tiny batch (the FEM loop's single-digit-row frontier statements):
-    // per-row evaluation beats the per-node column setup cost.
+  if (!batch.has_selection() && batch.num_rows() < kMinVectorizedRows) {
+    // Tiny dense batch (the FEM loop's single-digit-row frontier
+    // statements): per-row evaluation beats the per-node column setup
+    // cost. Selection-carrying batches always vectorize — the producer
+    // only forwards a selection when enough lanes survive.
     keep->resize(batch.num_rows());
     for (size_t i = 0; i < batch.num_rows(); i++) {
       (*keep)[i] = EvalPredicate(expr, batch.row(i), batch.schema()) ? 1 : 0;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -23,17 +24,31 @@ class RowBatch {
   /// Borrowed-span form (NextBatchView output).
   RowBatch(const Tuple* rows, size_t n, const Schema& schema)
       : rows_(rows), num_rows_(n), schema_(&schema) {}
+  /// Selection-vector form (NextBatchSel output): only rows[sel[i]] for
+  /// i < sel_n are part of the batch. num_rows() reports the *selected*
+  /// count and row(i) maps through the selection, so expression kernels
+  /// evaluate exactly the qualifying lanes and their output columns are
+  /// compact (entry i of every column belongs to lane i). A null `sel`
+  /// degrades to the dense span form.
+  RowBatch(const Tuple* rows, size_t n, const Schema& schema,
+           const uint32_t* sel, size_t sel_n)
+      : rows_(rows),
+        num_rows_(sel != nullptr ? sel_n : n),
+        schema_(&schema),
+        sel_(sel) {}
 
   size_t num_rows() const { return num_rows_; }
-  const Tuple& row(size_t i) const { return rows_[i]; }
-  const Tuple* begin() const { return rows_; }
-  const Tuple* end() const { return rows_ + num_rows_; }
+  const Tuple& row(size_t i) const {
+    return rows_[sel_ != nullptr ? sel_[i] : i];
+  }
+  bool has_selection() const { return sel_ != nullptr; }
   const Schema& schema() const { return *schema_; }
 
  private:
   const Tuple* rows_;
-  size_t num_rows_;
+  size_t num_rows_;  // selected count when sel_ is set
   const Schema* schema_;
+  const uint32_t* sel_ = nullptr;
 };
 
 /// One expression's output over a whole RowBatch. Two representations:

@@ -66,25 +66,25 @@ Status IndexNestedLoopJoinExecutor::Init() {
     return Status::InvalidArgument("index nested-loop join requires index on " +
                                    inner_column_);
   }
-  outer_batch_.clear();
-  outer_pos_ = 0;
+  outer_span_ = BatchSpan{};
+  outer_lane_ = 0;
   inner_open_ = false;
   return outer_->Init();
 }
 
 bool IndexNestedLoopJoinExecutor::OpenNextOuter() {
   for (;;) {
-    if (outer_pos_ >= outer_batch_.size()) {
-      if (!outer_->NextBatch(&outer_batch_)) {
+    if (outer_lane_ >= outer_span_.count()) {
+      if (!outer_->NextBatchSel(&outer_span_)) {
         status_ = outer_->status();
         return false;
       }
-      outer_pos_ = 0;
+      outer_lane_ = 0;
     }
-    Value key = outer_key_->Evaluate(outer_batch_[outer_pos_],
+    Value key = outer_key_->Evaluate(outer_span_.row(outer_lane_),
                                      outer_->OutputSchema());
     if (key.IsNull()) {  // NULL keys join nothing
-      outer_pos_++;
+      outer_lane_++;
       continue;
     }
     status_ = inner_->ScanRange(inner_column_, key.AsInt(), key.AsInt(),
@@ -99,7 +99,7 @@ bool IndexNestedLoopJoinExecutor::Next(Tuple* out) {
   for (;;) {
     if (!inner_open_ && !OpenNextOuter()) return false;
     while (inner_it_.Next(&inner_tuple_, nullptr)) {
-      Tuple joined = ConcatTuples(outer_batch_[outer_pos_], inner_tuple_);
+      Tuple joined = ConcatTuples(outer_span_.row(outer_lane_), inner_tuple_);
       if (residual_ == nullptr ||
           EvalPredicate(*residual_, joined, output_schema_)) {
         *out = std::move(joined);
@@ -111,7 +111,7 @@ bool IndexNestedLoopJoinExecutor::Next(Tuple* out) {
       return false;
     }
     inner_open_ = false;
-    outer_pos_++;
+    outer_lane_++;
   }
 }
 

@@ -77,10 +77,14 @@ class IndexNestedLoopJoinExecutor : public Executor {
   ExprRef outer_key_;
   ExprRef residual_;
   Schema output_schema_;
-  // The outer side is pulled through NextBatch; probes walk outer_batch_ so
-  // the per-row virtual-call round trip disappears from the join loop.
-  std::vector<Tuple> outer_batch_;
-  size_t outer_pos_ = 0;
+  // The outer side is pulled through NextBatchSel: probes walk the
+  // borrowed span lane by lane, so a filtered outer (the E-operator's
+  // frontier restriction) flows into the join without ever being
+  // compacted, and the per-row virtual-call round trip disappears from
+  // the join loop. The span stays valid because the outer child is only
+  // pulled again once every lane has been probed.
+  BatchSpan outer_span_;
+  size_t outer_lane_ = 0;
   Tuple inner_tuple_;  // reused across probes
   Table::Iterator inner_it_;
   bool inner_open_ = false;

@@ -165,36 +165,109 @@ bool FilterExecutor::Next(Tuple* out) {
   return false;
 }
 
-bool FilterExecutor::NextBatch(std::vector<Tuple>* out) {
+namespace {
+
+/// Copies the selected lanes of `span` into `dst` under the slot
+/// discipline (overwrite existing slots, grow on demand, trim at the end).
+void CompactLanes(const BatchSpan& span, const std::vector<char>& keep,
+                  std::vector<Tuple>* dst) {
+  const size_t lanes = span.count();
   size_t n = 0;
-  const Schema& in_schema = child_->OutputSchema();
-  // Each child batch is consumed whole, so no tuples straddle calls, and
-  // pulling stops as soon as anything matched — out never exceeds one child
-  // batch, which keeps the batch-size cap intact through filter stacks. The
-  // child is read through the borrowed-batch interface and the predicate
-  // runs as one EvalBatch per batch, so only the *matched* rows are ever
-  // copied (into output slots whose buffers are recycled across calls).
-  while (n == 0) {
-    const Tuple* rows = nullptr;
-    size_t cnt = 0;
-    if (!child_->NextBatchView(&rows, &cnt)) {
-      status_ = child_->status();
-      break;
-    }
-    RowBatch batch(rows, cnt, in_schema);
-    EvalPredicateBatch(*predicate_, batch, &pred_scratch_, &keep_);
-    for (size_t i = 0; i < cnt; i++) {
-      if (!keep_[i]) continue;
-      if (n < out->size()) {
-        (*out)[n] = rows[i];
-      } else {
-        out->push_back(rows[i]);
-      }
-      n++;
-    }
+  for (size_t i = 0; i < lanes; i++) {
+    if (!keep[i]) continue;
+    if (n == dst->size()) dst->emplace_back();
+    (*dst)[n++] = span.row(i);
   }
-  out->resize(n);
-  return n > 0;
+  dst->resize(n);
+}
+
+/// Flattens every lane of a (possibly sparse) span into `dst`, same slot
+/// discipline.
+void FlattenSpan(const BatchSpan& span, std::vector<Tuple>* dst) {
+  const size_t lanes = span.count();
+  for (size_t i = 0; i < lanes; i++) {
+    if (i == dst->size()) dst->emplace_back();
+    (*dst)[i] = span.row(i);
+  }
+  dst->resize(lanes);
+}
+
+}  // namespace
+
+bool FilterExecutor::PullSel(BatchSpan* out, std::vector<Tuple>* compact_into) {
+  const Schema& in_schema = child_->OutputSchema();
+  // Each child batch is consumed whole, so no lanes straddle calls and the
+  // forwarded span never exceeds one child batch — the batch-size cap holds
+  // through filter stacks. The predicate runs as one EvalPredicateBatch per
+  // child batch over exactly the child's selected lanes.
+  for (;;) {
+    BatchSpan cs;
+    if (!child_->NextBatchSel(&cs)) {
+      status_ = child_->status();
+      return false;
+    }
+    RowBatch batch(cs.rows, cs.num_rows, in_schema, cs.sel, cs.num_sel);
+    EvalPredicateBatch(*predicate_, batch, &pred_scratch_, &keep_);
+    const size_t lanes = cs.count();
+    size_t k = 0;
+    for (size_t i = 0; i < lanes; i++) k += keep_[i] != 0;
+    if (k == 0) continue;
+    if (k == lanes) {
+      // Every lane passed: forward the child's span untouched (for a
+      // stacked filter this also preserves the child's selection vector).
+      *out = cs;
+      return true;
+    }
+    if (k >= SelVectorMinRows()) {
+      // Enough survivors to be worth the downstream indirection: keep the
+      // child's rows where they are and carry the qualifying indices.
+      // cs.index(i) composes with the child's own selection, so the
+      // forwarded sel always indexes the underlying row storage.
+      sel_.clear();
+      sel_.reserve(k);
+      for (size_t i = 0; i < lanes; i++) {
+        if (keep_[i]) sel_.push_back(static_cast<uint32_t>(cs.index(i)));
+      }
+      *out = BatchSpan{cs.rows, cs.num_rows, sel_.data(), sel_.size()};
+      return true;
+    }
+    // Few survivors: a compact copy is cheaper than the indirection.
+    CompactLanes(cs, keep_, compact_into);
+    *out = BatchSpan{compact_into->data(), compact_into->size(), nullptr, 0};
+    return true;
+  }
+}
+
+bool FilterExecutor::NextBatchSel(BatchSpan* out) {
+  return PullSel(out, &compact_buffer_);
+}
+
+bool FilterExecutor::NextBatchView(const Tuple** rows, size_t* n) {
+  BatchSpan span;
+  if (!PullSel(&span, &view_buffer_)) return false;
+  if (span.dense()) {
+    // Either the child's own storage (all-true: forwarded zero-copy) or
+    // view_buffer_ (compacted below threshold) — serve it directly.
+    *rows = span.rows;
+    *n = span.num_rows;
+    return true;
+  }
+  FlattenSpan(span, &view_buffer_);
+  *rows = view_buffer_.data();
+  *n = view_buffer_.size();
+  return true;
+}
+
+bool FilterExecutor::NextBatch(std::vector<Tuple>* out) {
+  BatchSpan span;
+  if (!PullSel(&span, out)) {
+    out->clear();
+    return false;
+  }
+  // PullSel may have compacted straight into `out`; otherwise the span
+  // borrows the child's storage and the caller needs its own copy.
+  if (span.rows != out->data()) FlattenSpan(span, out);
+  return true;
 }
 
 const Schema& FilterExecutor::OutputSchema() const {
@@ -232,38 +305,43 @@ bool ProjectExecutor::Next(Tuple* out) {
 }
 
 bool ProjectExecutor::NextBatch(std::vector<Tuple>* out) {
-  const Tuple* rows = nullptr;
-  size_t cnt = 0;
-  if (!child_->NextBatchView(&rows, &cnt)) {
+  BatchSpan span;
+  if (!child_->NextBatchSel(&span)) {
     out->clear();
     status_ = child_->status();
     return false;
   }
   const Schema& in_schema = child_->OutputSchema();
-  const size_t n_rows = cnt;
-  if (n_rows < kMinVectorizedRows) {  // tiny batch: row-at-a-time is cheaper
+  const size_t n_rows = span.count();
+  // Tiny *dense* batch (the FEM frontier statements): row-at-a-time is
+  // cheaper than per-node column setup. A selection-carrying span always
+  // takes the column path — the old behavior here was the hidden cost of
+  // compacting filters: survivors dribbled in below the vectorization
+  // cutoff and every projection fell back to per-row name resolution.
+  if (span.dense() && n_rows < kMinVectorizedRows) {
     out->resize(n_rows);
     for (size_t i = 0; i < n_rows; i++) {
       std::vector<Value> values;
       values.reserve(exprs_.size());
       for (const auto& e : exprs_) {
-        values.push_back(e->Evaluate(rows[i], in_schema));
+        values.push_back(e->Evaluate(span.rows[i], in_schema));
       }
       (*out)[i] = Tuple(std::move(values));
     }
     return true;
   }
-  // Column-at-a-time over the borrowed child batch (no input copy): each
-  // select item produces one column over the whole batch, then the columns
-  // zip back into row tuples. Output slots with the right arity are
-  // overwritten in place (no allocation); slots a downstream consumer
-  // moved from get rebuilt.
-  RowBatch batch(rows, cnt, in_schema);
+  // Column-at-a-time over the borrowed child span (no input copy): each
+  // select item produces one column over the selected lanes, then the
+  // columns zip back into row tuples — this is where a sparse span
+  // compacts, as a side effect of producing fresh output rows. Output
+  // slots with the right arity are overwritten in place (no allocation);
+  // slots a downstream consumer moved from get rebuilt.
+  RowBatch batch(span.rows, span.num_rows, in_schema, span.sel, span.num_sel);
   expr_cols_.resize(exprs_.size());
   for (size_t k = 0; k < exprs_.size(); k++) {
     exprs_[k]->EvalBatch(batch, &expr_cols_[k]);
   }
-  const size_t n = cnt;
+  const size_t n = n_rows;
   const size_t width = exprs_.size();
   out->resize(n);
   for (size_t i = 0; i < n; i++) {
@@ -382,6 +460,14 @@ bool RenameExecutor::NextBatch(std::vector<Tuple>* out) {
 
 bool RenameExecutor::NextBatchView(const Tuple** rows, size_t* n) {
   if (!child_->NextBatchView(rows, n)) {
+    status_ = child_->status();
+    return false;
+  }
+  return true;
+}
+
+bool RenameExecutor::NextBatchSel(BatchSpan* out) {
+  if (!child_->NextBatchSel(out)) {
     status_ = child_->status();
     return false;
   }

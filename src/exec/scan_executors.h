@@ -72,12 +72,25 @@ class IndexRangeScanExecutor : public Executor {
 };
 
 /// WHERE clause: forwards child tuples satisfying the predicate.
+///
+/// The batch paths are built around one selection-aware pull (PullSel):
+/// per child batch the predicate runs once, and the survivors are
+/// forwarded in the cheapest legal representation — the child's span
+/// untouched when every lane passes (zero copies), a selection vector
+/// over the child's rows when at least SelVectorMinRows() lanes survive
+/// (still zero copies), and a dense compacted batch only below that
+/// threshold, where the indirection would cost downstream more than the
+/// copy. NextBatchSel consumers see all three forms; NextBatchView and
+/// NextBatch flatten sparse spans since their interfaces cannot carry a
+/// selection.
 class FilterExecutor : public Executor {
  public:
   FilterExecutor(ExecRef child, ExprRef predicate);
   Status Init() override;
   bool Next(Tuple* out) override;
   bool NextBatch(std::vector<Tuple>* out) override;
+  bool NextBatchView(const Tuple** rows, size_t* n) override;
+  bool NextBatchSel(BatchSpan* out) override;
   const Schema& OutputSchema() const override;
   void Explain(int depth, std::string* out) const override {
     Indent(depth, out);
@@ -86,10 +99,19 @@ class FilterExecutor : public Executor {
   }
 
  private:
+  /// Pulls child batches until one has survivors (or the stream ends).
+  /// Forwards all-true and above-threshold batches without copying; below
+  /// the threshold, compacts the survivors into `compact_into` (slot
+  /// discipline: recycled tuples keep their buffers) and returns a dense
+  /// span over it.
+  bool PullSel(BatchSpan* out, std::vector<Tuple>* compact_into);
+
   ExecRef child_;
   ExprRef predicate_;
   ValueColumn pred_scratch_;  // EvalBatch output column
-  std::vector<char> keep_;    // per-row predicate verdicts
+  std::vector<char> keep_;    // per-lane predicate verdicts
+  std::vector<uint32_t> sel_;  // backs forwarded selection vectors
+  std::vector<Tuple> compact_buffer_;  // NextBatchSel's compaction target
 };
 
 /// SELECT list: evaluates one expression per output column.
@@ -173,6 +195,7 @@ class RenameExecutor : public Executor {
   /// row-at-a-time pulls underneath it.
   bool NextBatch(std::vector<Tuple>* out) override;
   bool NextBatchView(const Tuple** rows, size_t* n) override;
+  bool NextBatchSel(BatchSpan* out) override;
   const Schema& OutputSchema() const override;
   void Explain(int depth, std::string* out) const override {
     Indent(depth, out);

@@ -7,11 +7,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
+#include <map>
 #include <memory>
 #include <vector>
 
 #include "src/catalog/table.h"
 #include "src/common/rng.h"
+#include "src/exec/agg_executors.h"
 #include "src/exec/dml_executors.h"
 #include "src/exec/join_executors.h"
 #include "src/exec/scan_executors.h"
@@ -465,6 +469,446 @@ TEST_F(ExecBatchTest, WindowAndMaterializedBatchesAgree) {
   ASSERT_EQ(mrows.size(), rows.size());
   ASSERT_EQ(mrows.size(), mbatched.size());
   for (size_t i = 0; i < mrows.size(); i++) EXPECT_EQ(mrows[i], mbatched[i]);
+}
+
+// ---------------------------------------------------------------------------
+// Selection-vector properties: (batch, sel) execution must be bit-identical
+// to compacted execution and to the scalar oracle, across selectivities,
+// batch sizes (including 1), and both extremes of the threshold knob.
+// ---------------------------------------------------------------------------
+
+/// Pass-through wrapper that records the pointer of every view it serves,
+/// so tests can assert a downstream operator forwarded that exact storage
+/// (zero-copy) instead of draining it into a local buffer.
+class ViewProbeExecutor : public Executor {
+ public:
+  explicit ViewProbeExecutor(ExecRef inner) : inner_(std::move(inner)) {}
+  Status Init() override { return inner_->Init(); }
+  bool Next(Tuple* out) override {
+    if (!inner_->Next(out)) {
+      status_ = inner_->status();
+      return false;
+    }
+    return true;
+  }
+  bool NextBatchView(const Tuple** rows, size_t* n) override {
+    if (!inner_->NextBatchView(rows, n)) {
+      status_ = inner_->status();
+      return false;
+    }
+    last_served_ = *rows;
+    return true;
+  }
+  const Schema& OutputSchema() const override {
+    return inner_->OutputSchema();
+  }
+  const Tuple* last_served() const { return last_served_; }
+
+ private:
+  ExecRef inner_;
+  const Tuple* last_served_ = nullptr;
+};
+
+class SelVectorTest : public ::testing::Test {
+ protected:
+  static Schema InputSchema() {
+    return Schema({{"k", TypeId::kInt}, {"v", TypeId::kInt}});
+  }
+
+  /// k = i % 100 makes `k < s` an exact s% selectivity predicate.
+  static std::vector<Tuple> MakeRows(int n, uint64_t seed) {
+    Rng rng(seed);
+    std::vector<Tuple> rows;
+    rows.reserve(n);
+    for (int i = 0; i < n; i++) {
+      rows.push_back(
+          Tuple({Value(int64_t{i % 100}), Value(rng.NextInt(-100, 100))}));
+    }
+    return rows;
+  }
+
+  static std::vector<Tuple> DrainBatched(Executor* e) {
+    EXPECT_TRUE(e->Init().ok());
+    std::vector<Tuple> out;
+    std::vector<Tuple> batch;
+    while (e->NextBatch(&batch)) {
+      out.insert(out.end(), batch.begin(), batch.end());
+    }
+    EXPECT_TRUE(e->status().ok());
+    return out;
+  }
+
+  /// Filter(k < s) -> Project(v, k + v) over a materialized input.
+  static ExecRef MakePlan(const std::vector<Tuple>& rows, int64_t s) {
+    ExecRef scan =
+        std::make_unique<MaterializedExecutor>(rows, InputSchema());
+    ExecRef filter = std::make_unique<FilterExecutor>(
+        std::move(scan), Cmp(CompareOp::kLt, Col("k"), Lit(s)));
+    std::vector<ExprRef> exprs = {Col("v"), Add(Col("k"), Col("v"))};
+    Schema out({{"p0", TypeId::kInt}, {"p1", TypeId::kInt}});
+    return std::make_unique<ProjectExecutor>(std::move(filter),
+                                             std::move(exprs), out);
+  }
+};
+
+TEST_F(SelVectorTest, SelectivityBatchSizeThresholdSweepIsBitIdentical) {
+  const std::vector<Tuple> rows = MakeRows(5000, 11);
+  for (int64_t s : {int64_t{0}, int64_t{1}, int64_t{50}, int64_t{100}}) {
+    // Scalar oracle, computed without any executor machinery.
+    std::vector<Tuple> oracle;
+    for (const Tuple& t : rows) {
+      const int64_t k = t.value(0).AsInt();
+      const int64_t v = t.value(1).AsInt();
+      if (k < s) oracle.push_back(Tuple({Value(v), Value(k + v)}));
+    }
+    for (size_t batch : {size_t{1}, size_t{3}, size_t{17}, size_t{1024}}) {
+      for (size_t threshold :
+           {size_t{1}, size_t{0}, std::numeric_limits<size_t>::max()}) {
+        SetExecBatchSize(batch);
+        SetSelVectorMinRows(threshold);  // 0 restores the default
+        ExecRef batched_plan = MakePlan(rows, s);
+        std::vector<Tuple> got = DrainBatched(batched_plan.get());
+        ExecRef viewed_plan = MakePlan(rows, s);
+        ASSERT_TRUE(viewed_plan->Init().ok());
+        std::vector<Tuple> viewed;
+        const Tuple* vr = nullptr;
+        size_t vn = 0;
+        while (viewed_plan->NextBatchView(&vr, &vn)) {
+          viewed.insert(viewed.end(), vr, vr + vn);
+        }
+        SetExecBatchSize(0);
+        SetSelVectorMinRows(0);
+        ASSERT_EQ(oracle.size(), got.size())
+            << "s=" << s << " batch=" << batch << " threshold=" << threshold;
+        ASSERT_EQ(oracle.size(), viewed.size())
+            << "s=" << s << " batch=" << batch << " threshold=" << threshold;
+        for (size_t i = 0; i < oracle.size(); i++) {
+          ASSERT_EQ(oracle[i], got[i])
+              << "s=" << s << " batch=" << batch << " threshold=" << threshold
+              << " row " << i;
+          ASSERT_EQ(oracle[i], viewed[i])
+              << "s=" << s << " batch=" << batch << " threshold=" << threshold
+              << " row " << i;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(SelVectorMinRows(), kSelVectorMinRows);  // knob restored
+}
+
+TEST_F(SelVectorTest, AllTruePredicateForwardsChildStorageZeroCopy) {
+  const std::vector<Tuple> rows = MakeRows(3000, 12);
+  auto probe_owner = std::make_unique<ViewProbeExecutor>(
+      std::make_unique<MaterializedExecutor>(rows, InputSchema()));
+  ViewProbeExecutor* probe = probe_owner.get();
+  // k >= 0 holds for every row: the filter must forward the child's views
+  // untouched through both span and view pulls.
+  FilterExecutor filter(std::move(probe_owner),
+                        Cmp(CompareOp::kGe, Col("k"), Lit(int64_t{0})));
+  ASSERT_TRUE(filter.Init().ok());
+  BatchSpan span;
+  ASSERT_TRUE(filter.NextBatchSel(&span));
+  EXPECT_TRUE(span.dense());
+  EXPECT_EQ(span.rows, probe->last_served());
+  const Tuple* vr = nullptr;
+  size_t vn = 0;
+  ASSERT_TRUE(filter.NextBatchView(&vr, &vn));
+  EXPECT_EQ(vr, probe->last_served());
+  EXPECT_EQ(vn, ExecBatchSize());
+}
+
+TEST_F(SelVectorTest, ThresholdControlsForwardVersusCompact) {
+  const std::vector<Tuple> rows = MakeRows(4000, 13);
+  auto make_filter = [&](ViewProbeExecutor** probe_out) {
+    auto probe_owner = std::make_unique<ViewProbeExecutor>(
+        std::make_unique<MaterializedExecutor>(rows, InputSchema()));
+    *probe_out = probe_owner.get();
+    // 50% selectivity: 512 of every 1024-row batch survives.
+    return std::make_unique<FilterExecutor>(
+        std::move(probe_owner),
+        Cmp(CompareOp::kLt, Col("k"), Lit(int64_t{50})));
+  };
+
+  // Survivors in the first child batch (ExecBatchSize() lanes of k = i%100).
+  size_t expect = 0;
+  for (size_t i = 0; i < ExecBatchSize(); i++) {
+    if (i % 100 < 50) expect++;
+  }
+
+  // Above the threshold: a selection vector over the child's storage.
+  ViewProbeExecutor* probe = nullptr;
+  auto filter = make_filter(&probe);
+  ASSERT_TRUE(filter->Init().ok());
+  BatchSpan span;
+  ASSERT_TRUE(filter->NextBatchSel(&span));
+  EXPECT_FALSE(span.dense());
+  EXPECT_EQ(span.rows, probe->last_served());
+  EXPECT_EQ(span.count(), expect);
+  for (size_t i = 0; i < span.count(); i++) {
+    EXPECT_LT(span.row(i).value(0).AsInt(), 50);
+  }
+
+  // Force-compact: dense copy, not the child's storage.
+  SetSelVectorMinRows(std::numeric_limits<size_t>::max());
+  ViewProbeExecutor* probe2 = nullptr;
+  auto filter2 = make_filter(&probe2);
+  ASSERT_TRUE(filter2->Init().ok());
+  BatchSpan span2;
+  ASSERT_TRUE(filter2->NextBatchSel(&span2));
+  SetSelVectorMinRows(0);
+  EXPECT_TRUE(span2.dense());
+  EXPECT_NE(span2.rows, probe2->last_served());
+  EXPECT_EQ(span2.count(), expect);
+}
+
+TEST_F(ExecBatchTest, SelVectorKnobDoesNotChangeAnyPlanStream) {
+  // Whatever the threshold, every random plan (filters, projects, limits,
+  // index joins stacked in arbitrary order) must yield the same stream.
+  for (uint64_t seed = 1; seed <= 25; seed++) {
+    std::vector<std::vector<Tuple>> streams;
+    for (size_t threshold :
+         {size_t{0}, size_t{1}, std::numeric_limits<size_t>::max()}) {
+      Rng rng(seed);
+      ExecRef plan = BuildPlan(&rng, 3);
+      SetSelVectorMinRows(threshold);
+      streams.push_back(DrainBatched(plan.get()));
+      SetSelVectorMinRows(0);
+    }
+    for (size_t k = 1; k < streams.size(); k++) {
+      ASSERT_EQ(streams[0].size(), streams[k].size()) << "seed " << seed;
+      for (size_t i = 0; i < streams[0].size(); i++) {
+        ASSERT_EQ(streams[0][i], streams[k][i])
+            << "seed " << seed << " row " << i << " regime " << k;
+      }
+    }
+  }
+}
+
+TEST_F(EvalBatchTest, SelectionVectorAgreesWithCompactedAndScalar) {
+  Schema schema = TestSchema();
+  for (uint64_t seed = 1; seed <= 40; seed++) {
+    Rng rng(seed);
+    const size_t n = 96;
+    auto rows = MakeRows(&rng, static_cast<int>(n));
+    for (size_t want : {size_t{0}, size_t{1}, n / 2, n}) {
+      // Random ascending selection of exactly `want` lanes.
+      std::vector<uint32_t> all(n);
+      for (size_t i = 0; i < n; i++) all[i] = static_cast<uint32_t>(i);
+      for (size_t i = n; i > 1; i--) {
+        std::swap(all[i - 1],
+                  all[static_cast<size_t>(rng.NextInt(0, static_cast<int64_t>(i) - 1))]);
+      }
+      std::vector<uint32_t> sel(all.begin(), all.begin() + want);
+      std::sort(sel.begin(), sel.end());
+      std::vector<Tuple> compact;
+      compact.reserve(want);
+      for (uint32_t r : sel) compact.push_back(rows[r]);
+
+      // sel == nullptr means dense, so an empty selection still needs a
+      // non-null pointer (an empty vector's data() may be null).
+      static uint32_t empty_sel_storage = 0;
+      const uint32_t* selp = sel.empty() ? &empty_sel_storage : sel.data();
+      for (const ExprRef& e : {RandomNumExpr(&rng, static_cast<int>(seed % 4)),
+                               RandomBoolExpr(&rng, static_cast<int>(seed % 3))}) {
+        RowBatch sel_batch(rows.data(), rows.size(), schema, selp, sel.size());
+        ValueColumn col_sel;
+        e->EvalBatch(sel_batch, &col_sel);
+        ASSERT_EQ(col_sel.size(), want);
+        RowBatch dense_batch(compact, schema);
+        ValueColumn col_dense;
+        e->EvalBatch(dense_batch, &col_dense);
+        ASSERT_EQ(col_dense.size(), want);
+        for (size_t i = 0; i < want; i++) {
+          const Value scalar = e->Evaluate(rows[sel[i]], schema);
+          const Value via_sel = col_sel.Get(i);
+          const Value via_dense = col_dense.Get(i);
+          ASSERT_EQ(scalar.IsNull(), via_sel.IsNull())
+              << "seed " << seed << " lane " << i << " " << e->ToString();
+          ASSERT_EQ(scalar.IsNull(), via_dense.IsNull());
+          if (!scalar.IsNull()) {
+            ASSERT_EQ(scalar.Compare(via_sel), 0)
+                << "seed " << seed << " lane " << i << " " << e->ToString();
+            ASSERT_EQ(scalar.Compare(via_dense), 0);
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hash-aggregation fuzz: the open-addressing build must reproduce a
+// std::map oracle exactly — NULL group keys, grouped and scalar shapes,
+// filters underneath (selection-vector spans into the build), and enough
+// groups to force table resizes.
+// ---------------------------------------------------------------------------
+
+class HashAggOracleTest : public ::testing::Test {
+ protected:
+  struct OracleState {
+    Value acc;
+    int64_t count = 0;
+  };
+
+  static void OracleAccumulate(AggOp op, const Value& v, OracleState* s) {
+    if (op == AggOp::kCount) {
+      if (!v.IsNull()) s->count++;
+      return;
+    }
+    if (v.IsNull()) return;
+    if (s->acc.IsNull()) {
+      s->acc = v;
+      return;
+    }
+    switch (op) {
+      case AggOp::kMin:
+        if (v.Compare(s->acc) < 0) s->acc = v;
+        break;
+      case AggOp::kMax:
+        if (v.Compare(s->acc) > 0) s->acc = v;
+        break;
+      case AggOp::kSum:
+        s->acc = s->acc.Add(v);
+        break;
+      case AggOp::kCount:
+        break;
+    }
+  }
+
+  /// The old executor's build, reproduced verbatim as the oracle: std::map
+  /// keyed on the group values under lexicographic Value::Compare.
+  static std::vector<Tuple> OracleAggregate(
+      const std::vector<Tuple>& rows, const Schema& schema,
+      const std::vector<size_t>& group_idx,
+      const std::vector<AggSpec>& aggs) {
+    auto cmp = [](const std::vector<Value>& a, const std::vector<Value>& b) {
+      for (size_t i = 0; i < a.size(); i++) {
+        int c = a[i].Compare(b[i]);
+        if (c != 0) return c < 0;
+      }
+      return false;
+    };
+    std::map<std::vector<Value>, std::vector<OracleState>, decltype(cmp)>
+        groups(cmp);
+    for (const Tuple& t : rows) {
+      std::vector<Value> key;
+      key.reserve(group_idx.size());
+      for (size_t gi : group_idx) key.push_back(t.value(gi));
+      auto [it, inserted] =
+          groups.try_emplace(std::move(key), std::vector<OracleState>(aggs.size()));
+      for (size_t k = 0; k < aggs.size(); k++) {
+        if (aggs[k].expr == nullptr) {
+          it->second[k].count++;
+        } else {
+          OracleAccumulate(aggs[k].op, aggs[k].expr->Evaluate(t, schema),
+                           &it->second[k]);
+        }
+      }
+    }
+    std::vector<Tuple> out;
+    if (groups.empty() && group_idx.empty()) {
+      std::vector<Value> row;
+      for (const auto& a : aggs) {
+        row.push_back(a.op == AggOp::kCount ? Value(int64_t{0}) : Value::Null());
+      }
+      out.push_back(Tuple(std::move(row)));
+      return out;
+    }
+    for (auto& [key, states] : groups) {
+      std::vector<Value> row = key;
+      for (size_t k = 0; k < aggs.size(); k++) {
+        row.push_back(aggs[k].op == AggOp::kCount ? Value(states[k].count)
+                                                  : states[k].acc);
+      }
+      out.push_back(Tuple(std::move(row)));
+    }
+    return out;
+  }
+};
+
+TEST_F(HashAggOracleTest, FuzzGroupedAggregationMatchesMapOracle) {
+  Schema schema(
+      {{"g1", TypeId::kInt}, {"g2", TypeId::kInt}, {"v", TypeId::kInt}});
+  for (uint64_t seed = 1; seed <= 30; seed++) {
+    Rng rng(seed);
+    const int n = static_cast<int>(rng.NextInt(0, 3000));
+    const int64_t fanout = rng.NextInt(1, 40);
+    std::vector<Tuple> rows;
+    rows.reserve(n);
+    for (int i = 0; i < n; i++) {
+      auto g = [&](int null_one_in, int64_t hi) {
+        return rng.NextInt(0, null_one_in) == 0 ? Value::Null()
+                                                : Value(rng.NextInt(0, hi));
+      };
+      rows.push_back(Tuple({g(7, fanout), g(9, 5), g(9, 100)}));
+    }
+    // Alternate: plain scan vs a ~50% filter underneath (selection-vector
+    // spans feed the build) — the oracle applies the same predicate.
+    ExprRef pred = seed % 2 == 0
+                       ? Cmp(CompareOp::kGe, Col("v"), Lit(int64_t{50}))
+                       : nullptr;
+    std::vector<Tuple> oracle_input;
+    for (const Tuple& t : rows) {
+      if (pred == nullptr || EvalPredicate(*pred, t, schema)) {
+        oracle_input.push_back(t);
+      }
+    }
+    std::vector<AggSpec> aggs = {{AggOp::kMin, Col("v"), "mn"},
+                                 {AggOp::kMax, Col("v"), "mx"},
+                                 {AggOp::kSum, Col("v"), "sm"},
+                                 {AggOp::kCount, Col("v"), "cv"},
+                                 {AggOp::kCount, nullptr, "cs"}};
+    // Group-by-two-columns and scalar shapes both fuzz here.
+    const bool scalar_shape = seed % 5 == 0;
+    std::vector<std::string> group_cols =
+        scalar_shape ? std::vector<std::string>{}
+                     : std::vector<std::string>{"g1", "g2"};
+    std::vector<size_t> group_idx;
+    for (const auto& gname : group_cols) {
+      group_idx.push_back(schema.IndexOf(gname));
+    }
+    std::vector<Tuple> expected =
+        OracleAggregate(oracle_input, schema, group_idx, aggs);
+
+    ExecRef child = std::make_unique<MaterializedExecutor>(rows, schema);
+    if (pred != nullptr) {
+      child = std::make_unique<FilterExecutor>(std::move(child), pred);
+    }
+    HashAggregateExecutor agg(std::move(child), group_cols, aggs);
+    std::vector<Tuple> got;
+    ASSERT_TRUE(Collect(&agg, &got).ok()) << "seed " << seed;
+    ASSERT_EQ(expected.size(), got.size()) << "seed " << seed;
+    for (size_t i = 0; i < expected.size(); i++) {
+      ASSERT_EQ(expected[i], got[i]) << "seed " << seed << " group " << i;
+    }
+  }
+}
+
+TEST_F(HashAggOracleTest, ManyGroupsExerciseTheResizePath) {
+  // > 64k distinct groups forces several bucket-array doublings; the
+  // output must still be every key exactly once, ascending, with exact
+  // accumulator values.
+  Schema schema({{"g", TypeId::kInt}, {"v", TypeId::kInt}});
+  const int64_t kGroups = 70000;
+  std::vector<Tuple> rows;
+  rows.reserve(2 * kGroups);
+  for (int64_t pass = 0; pass < 2; pass++) {
+    for (int64_t g = 0; g < kGroups; g++) {
+      rows.push_back(Tuple({Value(g), Value(g % 7 + pass)}));
+    }
+  }
+  HashAggregateExecutor agg(
+      std::make_unique<MaterializedExecutor>(std::move(rows), schema), {"g"},
+      {{AggOp::kSum, Col("v"), "sm"}, {AggOp::kCount, nullptr, "cnt"}});
+  std::vector<Tuple> got;
+  ASSERT_TRUE(Collect(&agg, &got).ok());
+  ASSERT_EQ(got.size(), static_cast<size_t>(kGroups));
+  for (int64_t g = 0; g < kGroups; g++) {
+    const Tuple& t = got[static_cast<size_t>(g)];
+    ASSERT_EQ(t.value(0).AsInt(), g);
+    ASSERT_EQ(t.value(1).AsInt(), 2 * (g % 7) + 1);  // v summed over 2 passes
+    ASSERT_EQ(t.value(2).AsInt(), 2);
+  }
 }
 
 }  // namespace

@@ -9,12 +9,14 @@
 
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "src/common/rng.h"
 #include "src/core/sql_path_finder.h"
+#include "src/exec/executor.h"
 #include "src/dist/coordinator.h"
 #include "src/dist/dist_path_finder.h"
 #include "src/graph/generators.h"
@@ -249,6 +251,66 @@ TEST(LabelIndexTest, BuildDdlBumpsCatalogVersionAndPreparedHandlesSurvive) {
     if (want.found) {
       EXPECT_EQ(got.distance, want.distance);
     }
+  }
+}
+
+/// One label build in a fresh database under whatever executor regime is
+/// currently selected: the run's statement counts plus full dumps of both
+/// label tables in physical scan order.
+struct RegimeBuild {
+  LabelBuildStats stats;
+  std::vector<Tuple> out_rows;
+  std::vector<Tuple> in_rows;
+};
+
+RegimeBuild BuildUnderCurrentRegime(const EdgeList& list) {
+  RegimeBuild r;
+  Database db{DatabaseOptions{}};
+  std::unique_ptr<GraphStore> graph;
+  EXPECT_TRUE(GraphStore::Create(&db, list, GraphStoreOptions{}, &graph).ok());
+  std::unique_ptr<LabelIndex> index;
+  EXPECT_TRUE(
+      LabelBuilder::Build(graph.get(), "", LabelBuildOptions{}, &index,
+                          &r.stats)
+          .ok());
+  auto dump = [&](const std::string& name, std::vector<Tuple>* dst) {
+    Table* t = db.catalog()->GetTable(name);
+    ASSERT_NE(t, nullptr) << name;
+    Table::Iterator it = t->Scan();
+    Tuple row;
+    while (it.Next(&row, nullptr)) dst->push_back(row);
+    EXPECT_TRUE(it.status().ok());
+  };
+  dump(index->out_name(), &r.out_rows);
+  dump(index->in_name(), &r.in_rows);
+  return r;
+}
+
+// The executor-regime regression: the selection-vector pipeline and the
+// forced-compacting legacy path must drive the label-build SQL pipeline
+// identically — same number of statements and frontier rounds, and label
+// tables that match row for row in physical order. Any drift here means a
+// vectorized operator changed visible semantics, not just speed.
+TEST(LabelIndexTest, BuildIsBitIdenticalUnderBothExecutorRegimes) {
+  EdgeList list = SpicedRandomGraph(60, 150, 23);
+
+  RegimeBuild vectorized = BuildUnderCurrentRegime(list);
+  SetSelVectorMinRows(std::numeric_limits<size_t>::max());
+  RegimeBuild compacting = BuildUnderCurrentRegime(list);
+  SetSelVectorMinRows(0);
+
+  EXPECT_EQ(vectorized.stats.hubs, compacting.stats.hubs);
+  EXPECT_EQ(vectorized.stats.statements, compacting.stats.statements);
+  EXPECT_EQ(vectorized.stats.rounds, compacting.stats.rounds);
+  EXPECT_EQ(vectorized.stats.entries, compacting.stats.entries);
+
+  ASSERT_EQ(vectorized.out_rows.size(), compacting.out_rows.size());
+  for (size_t i = 0; i < vectorized.out_rows.size(); i++) {
+    ASSERT_EQ(vectorized.out_rows[i], compacting.out_rows[i]) << "row " << i;
+  }
+  ASSERT_EQ(vectorized.in_rows.size(), compacting.in_rows.size());
+  for (size_t i = 0; i < vectorized.in_rows.size(); i++) {
+    ASSERT_EQ(vectorized.in_rows[i], compacting.in_rows[i]) << "row " << i;
   }
 }
 
